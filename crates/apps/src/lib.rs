@@ -1,0 +1,35 @@
+//! Symmetry-breaking applications on top of network decompositions.
+//!
+//! The original motivation of network decomposition (Awerbuch–Goldberg–
+//! Luby–Plotkin 1989, recounted in the paper's introduction): given a
+//! `(D, χ)` decomposition plus a `χ`-coloring of its supergraph, problems
+//! like maximal independent set, `(Δ+1)`-coloring and maximal matching are
+//! solved in `O(D·χ)` distributed time by sweeping the color classes —
+//! same-color clusters are non-adjacent, so each class is solved in
+//! parallel by collecting every cluster to its leader.
+//!
+//! - [`schedule`] — the class-sweep engine with `O(D·χ)` round accounting.
+//! - [`mis`] — maximal independent set via the sweep; [`luby`] — Luby's
+//!   direct randomized MIS as the comparison baseline.
+//! - [`coloring`] — `(Δ+1)`-vertex-coloring via the sweep.
+//! - [`matching`] — maximal matching via the sweep (internal greedy plus
+//!   proposal rounds across class boundaries).
+//! - [`cover`] — sparse neighborhood covers via power-graph decomposition
+//!   (the Awerbuch–Peleg connection noted in §1.1).
+//! - [`spanner`] — sparse spanners from a decomposition (the \[DMP+05]
+//!   application cited in §1.1).
+//! - [`verify`] — validity checkers for all three symmetry-breaking
+//!   problems.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coloring;
+pub mod cover;
+pub mod luby;
+pub mod matching;
+pub mod mis;
+pub mod schedule;
+pub mod spanner;
+pub mod verify;

@@ -1,0 +1,258 @@
+//! Maximal matching via the decomposition class sweep.
+//!
+//! Within a class, each cluster first matches greedily over its *internal*
+//! edges. Boundary edges to already-processed vertices are then resolved by
+//! proposal rounds: every still-unmatched vertex of the current class
+//! proposes to its smallest-id unmatched processed neighbor; every
+//! proposed-to vertex accepts its smallest-id proposer. Proposal rounds
+//! repeat until stable, which keeps concurrent same-class clusters from
+//! racing over a shared earlier-class neighbor — the same-class clusters
+//! are non-adjacent, so their proposals can only collide *at* the earlier
+//! vertex, which picks exactly one.
+
+use netdecomp_core::{DecompError, NetworkDecomposition};
+use netdecomp_graph::{Graph, VertexId};
+
+use crate::schedule::{self, ScheduleCost};
+
+/// Result of the decomposition-based maximal matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchingResult {
+    /// `mate[v]` is `v`'s partner, `None` if unmatched.
+    pub mate: Vec<Option<VertexId>>,
+    /// Distributed-round accounting of the sweep (proposal rounds included).
+    pub cost: ScheduleCost,
+}
+
+/// Computes a maximal matching of `graph` by sweeping `decomposition`'s
+/// color classes.
+///
+/// # Errors
+///
+/// [`DecompError::GraphMismatch`] if sizes differ;
+/// [`DecompError::InvalidParameter`] for incomplete decompositions.
+///
+/// # Example
+///
+/// ```
+/// use netdecomp_apps::{matching, verify};
+/// use netdecomp_core::{basic, params::DecompositionParams};
+/// use netdecomp_graph::generators;
+///
+/// let g = generators::grid2d(5, 5);
+/// let params = DecompositionParams::new(2, 4.0)?;
+/// let outcome = basic::decompose(&g, &params, 6)?;
+/// let result = matching::solve(&g, outcome.decomposition())?;
+/// assert!(verify::is_maximal_matching(&g, &result.mate));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn solve(
+    graph: &Graph,
+    decomposition: &NetworkDecomposition,
+) -> Result<MatchingResult, DecompError> {
+    if !decomposition.partition().is_complete() {
+        return Err(DecompError::InvalidParameter {
+            name: "decomposition",
+            reason: "must cover every vertex to drive applications".into(),
+        });
+    }
+    let n = graph.vertex_count();
+    let mut mate: Vec<Option<VertexId>> = vec![None; n];
+    let mut processed = vec![false; n];
+    let partition = decomposition.partition();
+
+    // Collect members per class up front: proposal rounds operate on whole
+    // classes, not single clusters.
+    let clusters = partition.clusters();
+    let blocks = decomposition.blocks();
+    let mut extra_rounds = 0usize;
+
+    let cost = {
+        let mut class_members: Vec<Vec<VertexId>> = vec![Vec::new(); blocks.len()];
+        for (block, cluster_ids) in blocks.iter().enumerate() {
+            for &c in cluster_ids {
+                class_members[block].extend(clusters[c].iter().copied());
+            }
+        }
+        // Internal greedy per cluster through the sweep (accounts 2D+1
+        // rounds per class), then proposal rounds per class.
+        let mut current_block = usize::MAX;
+        let base_cost = schedule::sweep(graph, decomposition, |block, c, members| {
+            // Run the proposal rounds of the previous class once we move on.
+            if block != current_block {
+                if current_block != usize::MAX {
+                    extra_rounds +=
+                        proposal_rounds(graph, &class_members[current_block], &mut mate, &processed);
+                    for &v in &class_members[current_block] {
+                        processed[v] = true;
+                    }
+                }
+                current_block = block;
+            }
+            let _ = c;
+            // Internal greedy maximal matching on the cluster.
+            for &v in members {
+                if mate[v].is_some() {
+                    continue;
+                }
+                let partner = graph
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .find(|&u| {
+                        mate[u].is_none()
+                            && partition.cluster_of(u) == partition.cluster_of(v)
+                    });
+                if let Some(u) = partner {
+                    mate[v] = Some(u);
+                    mate[u] = Some(v);
+                }
+            }
+        })?;
+        // Flush the final class's proposals.
+        if current_block != usize::MAX {
+            extra_rounds +=
+                proposal_rounds(graph, &class_members[current_block], &mut mate, &processed);
+            for &v in &class_members[current_block] {
+                processed[v] = true;
+            }
+        }
+        base_cost
+    };
+
+    Ok(MatchingResult {
+        mate,
+        cost: ScheduleCost {
+            classes: cost.classes,
+            rounds: cost.rounds + extra_rounds,
+        },
+    })
+}
+
+/// Repeated proposal rounds between the class `members` and their processed
+/// neighbors; returns the number of rounds run.
+fn proposal_rounds(
+    graph: &Graph,
+    members: &[VertexId],
+    mate: &mut [Option<VertexId>],
+    processed: &[bool],
+) -> usize {
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        // Each unmatched member proposes to its smallest unmatched processed
+        // neighbor.
+        let mut proposals: Vec<(VertexId, VertexId)> = Vec::new(); // (target, proposer)
+        for &v in members {
+            if mate[v].is_some() {
+                continue;
+            }
+            if let Some(u) = graph
+                .neighbors(v)
+                .iter()
+                .copied()
+                .find(|&u| processed[u] && mate[u].is_none())
+            {
+                proposals.push((u, v));
+            }
+        }
+        if proposals.is_empty() {
+            return rounds;
+        }
+        // Each target accepts its smallest proposer.
+        proposals.sort_unstable();
+        let mut progressed = false;
+        let mut i = 0;
+        while i < proposals.len() {
+            let (target, proposer) = proposals[i];
+            // Skip the rest of this target's proposals.
+            let mut j = i + 1;
+            while j < proposals.len() && proposals[j].0 == target {
+                j += 1;
+            }
+            if mate[target].is_none() && mate[proposer].is_none() {
+                mate[target] = Some(proposer);
+                mate[proposer] = Some(target);
+                progressed = true;
+            }
+            i = j;
+        }
+        if !progressed {
+            return rounds;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use netdecomp_core::{basic, params::DecompositionParams};
+    use netdecomp_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn match_on(g: &Graph, seed: u64) -> MatchingResult {
+        let params = DecompositionParams::new(3, 4.0).unwrap();
+        let outcome = basic::decompose(g, &params, seed).unwrap();
+        solve(g, outcome.decomposition()).unwrap()
+    }
+
+    #[test]
+    fn matching_is_maximal_on_families() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let graphs = [generators::path(20),
+            generators::cycle(21),
+            generators::grid2d(6, 6),
+            generators::complete(9),
+            generators::star(12),
+            generators::gnp(70, 0.1, &mut rng).unwrap(),
+            generators::caveman(4, 5).unwrap()];
+        for (i, g) in graphs.iter().enumerate() {
+            for seed in 0..3u64 {
+                let r = match_on(g, seed);
+                assert!(
+                    verify::is_maximal_matching(g, &r.mate),
+                    "graph {i} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_matching_size() {
+        // A maximal matching on a path of 2m vertices has >= m/2 edges; on
+        // P4 any maximal matching has at least 1 edge, at most 2.
+        let g = generators::path(4);
+        let r = match_on(&g, 0);
+        let matched = r.mate.iter().filter(|m| m.is_some()).count();
+        assert!(matched == 2 || matched == 4);
+    }
+
+    #[test]
+    fn edgeless_graph_has_empty_matching() {
+        let g = Graph::empty(6);
+        let r = match_on(&g, 1);
+        assert!(r.mate.iter().all(Option::is_none));
+        assert!(verify::is_maximal_matching(&g, &r.mate));
+    }
+
+    #[test]
+    fn incomplete_decomposition_rejected() {
+        use netdecomp_graph::Partition;
+        let g = generators::path(3);
+        let mut p = Partition::new(3);
+        p.push_cluster(&[0, 1]);
+        let d = netdecomp_core::NetworkDecomposition::from_parts(p, vec![0], vec![0]);
+        assert!(solve(&g, &d).is_err());
+    }
+
+    #[test]
+    fn star_matching_has_exactly_one_edge() {
+        let g = generators::star(10);
+        let r = match_on(&g, 3);
+        let matched = r.mate.iter().filter(|m| m.is_some()).count();
+        assert_eq!(matched, 2, "hub can match only one leaf");
+        assert!(verify::is_maximal_matching(&g, &r.mate));
+    }
+}

@@ -1,0 +1,252 @@
+//! Sparse spanners from a network decomposition.
+//!
+//! One of the applications the paper cites (Dubhashi et al. \[DMP+05] build
+//! sparse spanners and linear-size skeletons from decompositions). The
+//! classical cluster-spanner construction implemented here:
+//!
+//! 1. inside every cluster, keep a BFS tree rooted at the cluster center;
+//! 2. between every pair of *adjacent* clusters, keep exactly one crossing
+//!    edge.
+//!
+//! For a decomposition with cluster radius ≤ `ρ` this spans every original
+//! edge within `4ρ + 1` hops, i.e. it is a multiplicative `(4ρ + 1)`-
+//! spanner, with at most `n − #clusters + #superedges` edges. ([DMP+05]
+//! refine step 2 to get linear size; one edge per adjacent cluster pair is
+//! the textbook variant and keeps the guarantee measurable.)
+
+use netdecomp_core::{DecompError, NetworkDecomposition};
+use netdecomp_graph::{bfs, Graph, GraphBuilder, VertexId, VertexSet};
+
+/// A spanner with its provenance.
+#[derive(Debug, Clone)]
+pub struct SpannerResult {
+    /// The spanner as a standalone graph over the same vertex ids.
+    pub spanner: Graph,
+    /// The stretch bound `4ρ + 1` implied by the decomposition's measured
+    /// maximum cluster radius `ρ`.
+    pub stretch_bound: usize,
+    /// Tree edges kept inside clusters.
+    pub tree_edges: usize,
+    /// Crossing edges kept between adjacent clusters.
+    pub crossing_edges: usize,
+}
+
+/// Builds the cluster spanner of `graph` induced by `decomposition`.
+///
+/// # Errors
+///
+/// [`DecompError::GraphMismatch`] if sizes differ;
+/// [`DecompError::InvalidParameter`] if the decomposition is incomplete or
+/// has disconnected clusters (a strong-diameter decomposition never does).
+pub fn build(
+    graph: &Graph,
+    decomposition: &NetworkDecomposition,
+) -> Result<SpannerResult, DecompError> {
+    if decomposition.vertex_count() != graph.vertex_count() {
+        return Err(DecompError::GraphMismatch {
+            decomposition_n: decomposition.vertex_count(),
+            graph_n: graph.vertex_count(),
+        });
+    }
+    if !decomposition.partition().is_complete() {
+        return Err(DecompError::InvalidParameter {
+            name: "decomposition",
+            reason: "must cover every vertex".into(),
+        });
+    }
+    let n = graph.vertex_count();
+    let partition = decomposition.partition();
+    let mut b = GraphBuilder::new(n);
+    let mut tree_edges = 0usize;
+    let mut max_radius = 0usize;
+
+    // 1. BFS tree per cluster, rooted at the center.
+    for c in 0..partition.cluster_count() {
+        let members = partition.cluster_set(c);
+        let center = decomposition.center_of_cluster(c);
+        if !members.contains(center) || members.len() <= 1 {
+            if members.len() > 1 {
+                return Err(DecompError::InvalidParameter {
+                    name: "decomposition",
+                    reason: format!("cluster {c} does not contain its center"),
+                });
+            }
+            continue;
+        }
+        let dist = bfs::distances_restricted(graph, center, &members);
+        for v in members.iter() {
+            match dist[v] {
+                Some(0) => {}
+                Some(d) => {
+                    max_radius = max_radius.max(d);
+                    let parent = graph
+                        .neighbors(v)
+                        .iter()
+                        .copied()
+                        .find(|&u| members.contains(u) && dist[u] == Some(d - 1))
+                        .expect("BFS predecessor exists");
+                    b.add_edge(v, parent).expect("in range");
+                    tree_edges += 1;
+                }
+                None => {
+                    return Err(DecompError::InvalidParameter {
+                        name: "decomposition",
+                        reason: format!(
+                            "cluster {c} is disconnected; spanners need strong-diameter clusters"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // 2. One crossing edge per adjacent cluster pair.
+    let mut chosen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    let mut crossing_edges = 0usize;
+    for (u, v) in graph.edges() {
+        let (cu, cv) = (
+            partition.cluster_of(u).expect("complete"),
+            partition.cluster_of(v).expect("complete"),
+        );
+        if cu == cv {
+            continue;
+        }
+        let key = if cu < cv { (cu, cv) } else { (cv, cu) };
+        if chosen.insert(key) {
+            b.add_edge(u, v).expect("in range");
+            crossing_edges += 1;
+        }
+    }
+
+    Ok(SpannerResult {
+        spanner: b.build(),
+        stretch_bound: 4 * max_radius + 1,
+        tree_edges,
+        crossing_edges,
+    })
+}
+
+/// Measures the actual stretch of `spanner` over every edge of `graph`:
+/// `max d_spanner(u, v)` over `(u, v) ∈ E(G)`. Returns `None` if some edge's
+/// endpoints are disconnected in the spanner (not a spanner at all).
+#[must_use]
+pub fn measured_stretch(graph: &Graph, spanner: &Graph) -> Option<usize> {
+    let mut worst = 0usize;
+    let full = VertexSet::full(spanner.vertex_count());
+    // One BFS per distinct edge source suffices.
+    let mut last_source: Option<(VertexId, Vec<Option<usize>>)> = None;
+    for (u, v) in graph.edges() {
+        let dist = match &last_source {
+            Some((s, d)) if *s == u => d,
+            _ => {
+                let d = bfs::distances_restricted(spanner, u, &full);
+                last_source = Some((u, d));
+                &last_source.as_ref().expect("just set").1
+            }
+        };
+        match dist[v] {
+            Some(d) => worst = worst.max(d),
+            None => return None,
+        }
+    }
+    Some(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdecomp_core::{basic, params::DecompositionParams};
+    use netdecomp_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spanner_on(g: &Graph, k: usize, seed: u64) -> SpannerResult {
+        let params = DecompositionParams::new(k, 4.0).unwrap();
+        let outcome = basic::decompose(g, &params, seed).unwrap();
+        build(g, outcome.decomposition()).unwrap()
+    }
+
+    #[test]
+    fn spanner_is_sparse_subgraph_with_bounded_stretch() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::gnp(120, 0.15, &mut rng).unwrap();
+        let s = spanner_on(&g, 3, 2);
+        // Subgraph.
+        for (u, v) in s.spanner.edges() {
+            assert!(g.has_edge(u, v), "non-edge {u}-{v} in spanner");
+        }
+        // Stretch within the bound.
+        let stretch = measured_stretch(&g, &s.spanner).expect("spans all edges");
+        assert!(
+            stretch <= s.stretch_bound,
+            "stretch {stretch} > bound {}",
+            s.stretch_bound
+        );
+    }
+
+    #[test]
+    fn spanner_preserves_connectivity() {
+        let g = generators::grid2d(8, 8);
+        let s = spanner_on(&g, 3, 5);
+        assert!(netdecomp_graph::components::is_connected(&s.spanner));
+    }
+
+    #[test]
+    fn dense_graph_spanner_is_much_sparser() {
+        let g = generators::complete(40);
+        let s = spanner_on(&g, 3, 1);
+        assert!(
+            s.spanner.edge_count() * 2 < g.edge_count(),
+            "spanner {} vs graph {}",
+            s.spanner.edge_count(),
+            g.edge_count()
+        );
+    }
+
+    #[test]
+    fn edge_budget_accounting_is_exact() {
+        let g = generators::grid2d(6, 6);
+        let s = spanner_on(&g, 3, 3);
+        assert_eq!(s.spanner.edge_count(), s.tree_edges + s.crossing_edges);
+    }
+
+    #[test]
+    fn stretch_across_families_and_seeds() {
+        let graphs = [generators::cycle(40),
+            generators::caveman(5, 6).unwrap(),
+            generators::grid2d(7, 7)];
+        for (i, g) in graphs.iter().enumerate() {
+            for seed in 0..3u64 {
+                let s = spanner_on(g, 3, seed);
+                let stretch = measured_stretch(g, &s.spanner).expect("spans");
+                assert!(
+                    stretch <= s.stretch_bound,
+                    "graph {i} seed {seed}: {stretch} > {}",
+                    s.stretch_bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incomplete_decomposition_rejected() {
+        use netdecomp_graph::Partition;
+        let g = generators::path(3);
+        let mut p = Partition::new(3);
+        p.push_cluster(&[0]);
+        let d = netdecomp_core::NetworkDecomposition::from_parts(p, vec![0], vec![0]);
+        assert!(build(&g, &d).is_err());
+    }
+
+    #[test]
+    fn disconnected_cluster_rejected() {
+        use netdecomp_graph::Partition;
+        let g = generators::path(3); // 0-1-2
+        let mut p = Partition::new(3);
+        p.push_cluster(&[0, 2]); // disconnected
+        p.push_cluster(&[1]);
+        let d = netdecomp_core::NetworkDecomposition::from_parts(p, vec![0, 1], vec![0, 1]);
+        let err = build(&g, &d).unwrap_err();
+        assert!(err.to_string().contains("disconnected"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Validity checkers for the symmetry-breaking problems.
+
+use netdecomp_graph::{Graph, VertexId};
+
+/// Is `in_mis` an independent set of `g`?
+#[must_use]
+pub fn is_independent_set(g: &Graph, in_mis: &[bool]) -> bool {
+    g.edges().all(|(u, v)| !(in_mis[u] && in_mis[v]))
+}
+
+/// Is `in_mis` a *maximal* independent set of `g`? (Independent, and every
+/// vertex outside has a neighbor inside.)
+#[must_use]
+pub fn is_maximal_independent_set(g: &Graph, in_mis: &[bool]) -> bool {
+    if !is_independent_set(g, in_mis) {
+        return false;
+    }
+    g.vertices().all(|v| {
+        in_mis[v] || g.neighbors(v).iter().any(|&u| in_mis[u])
+    })
+}
+
+/// Is `colors` a proper coloring of `g` using at most `max_colors` colors?
+#[must_use]
+pub fn is_proper_coloring(g: &Graph, colors: &[usize], max_colors: usize) -> bool {
+    colors.iter().all(|&c| c < max_colors)
+        && g.edges().all(|(u, v)| colors[u] != colors[v])
+}
+
+/// Is `mate` a matching of `g`? (`mate[v] = Some(u)` must be symmetric, over
+/// real edges, and nobody is matched twice by construction of the encoding.)
+#[must_use]
+pub fn is_matching(g: &Graph, mate: &[Option<VertexId>]) -> bool {
+    mate.iter().enumerate().all(|(v, m)| match m {
+        None => true,
+        Some(u) => *u != v && *u < mate.len() && mate[*u] == Some(v) && g.has_edge(v, *u),
+    })
+}
+
+/// Is `mate` a *maximal* matching? (A matching with no edge both of whose
+/// endpoints are unmatched.)
+#[must_use]
+pub fn is_maximal_matching(g: &Graph, mate: &[Option<VertexId>]) -> bool {
+    if !is_matching(g, mate) {
+        return false;
+    }
+    g.edges()
+        .all(|(u, v)| mate[u].is_some() || mate[v].is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdecomp_graph::generators;
+
+    #[test]
+    fn independent_set_checks() {
+        let g = generators::path(4); // 0-1-2-3
+        assert!(is_independent_set(&g, &[true, false, true, false]));
+        assert!(!is_independent_set(&g, &[true, true, false, false]));
+        assert!(is_maximal_independent_set(&g, &[true, false, true, false]));
+        // {0} is independent but not maximal (2-3 uncovered).
+        assert!(!is_maximal_independent_set(&g, &[true, false, false, false]));
+        // {0, 3} is independent but 1,2 are covered? 1 adj 0 yes, 2 adj 3 yes.
+        assert!(is_maximal_independent_set(&g, &[true, false, false, true]));
+    }
+
+    #[test]
+    fn coloring_checks() {
+        let g = generators::cycle(4);
+        assert!(is_proper_coloring(&g, &[0, 1, 0, 1], 2));
+        assert!(!is_proper_coloring(&g, &[0, 1, 0, 0], 2));
+        assert!(!is_proper_coloring(&g, &[0, 1, 0, 5], 2)); // out of palette
+    }
+
+    #[test]
+    fn matching_checks() {
+        let g = generators::path(4);
+        let m: Vec<Option<usize>> = vec![Some(1), Some(0), Some(3), Some(2)];
+        assert!(is_matching(&g, &m));
+        assert!(is_maximal_matching(&g, &m));
+        // Asymmetric is invalid.
+        let bad: Vec<Option<usize>> = vec![Some(1), None, None, None];
+        assert!(!is_matching(&g, &bad));
+        // Non-edge is invalid.
+        let nonedge: Vec<Option<usize>> = vec![Some(2), None, Some(0), None];
+        assert!(!is_matching(&g, &nonedge));
+        // Self-match is invalid.
+        let selfm: Vec<Option<usize>> = vec![Some(0), None, None, None];
+        assert!(!is_matching(&g, &selfm));
+        // Empty matching on a graph with edges is not maximal.
+        assert!(!is_maximal_matching(&g, &[None, None, None, None]));
+        // Middle edge only: {1-2} is maximal on the path 0-1-2-3.
+        let mid: Vec<Option<usize>> = vec![None, Some(2), Some(1), None];
+        assert!(is_maximal_matching(&g, &mid));
+    }
+}

@@ -1,0 +1,140 @@
+//! Deterministic sequential ball carving (region growing).
+//!
+//! The textbook low-diameter decomposition: repeatedly pick the
+//! smallest-id alive vertex and grow a BFS ball around it until the next
+//! ring would grow the ball by less than a factor `1 + ε`; carve the ball
+//! as a cluster. Every cluster has strong radius `O(log n / ln(1 + ε))` and
+//! at most an `ε/(1+ε)` fraction of edges leave clusters (amortized).
+//!
+//! Useful as a deterministic, non-distributed reference point for the
+//! (diameter, colors) tradeoff plots.
+
+use netdecomp_core::DecompError;
+use netdecomp_graph::{bfs, Graph, Partition, VertexId, VertexSet};
+
+/// Result of ball carving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BallCarvingOutcome {
+    /// The complete partition into carved balls.
+    pub partition: Partition,
+    /// The ball centers, indexed by cluster id.
+    pub centers: Vec<VertexId>,
+    /// The largest ball radius used.
+    pub max_radius: usize,
+}
+
+/// Carves `graph` into low-diameter balls with growth parameter `epsilon`.
+///
+/// # Errors
+///
+/// [`DecompError::InvalidParameter`] unless `epsilon` is finite and
+/// positive.
+pub fn carve(graph: &Graph, epsilon: f64) -> Result<BallCarvingOutcome, DecompError> {
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(DecompError::InvalidParameter {
+            name: "epsilon",
+            reason: format!("growth parameter must be finite and positive, got {epsilon}"),
+        });
+    }
+    let n = graph.vertex_count();
+    let mut alive = VertexSet::full(n);
+    let mut partition = Partition::new(n);
+    let mut centers = Vec::new();
+    let mut max_radius = 0usize;
+
+    while let Some(center) = alive.iter().next() {
+        // Grow the ball ring by ring until growth stalls.
+        let dist = bfs::distances_restricted(graph, center, &alive);
+        let mut ring_counts: Vec<usize> = Vec::new();
+        for v in alive.iter() {
+            if let Some(d) = dist[v] {
+                if d >= ring_counts.len() {
+                    ring_counts.resize(d + 1, 0);
+                }
+                ring_counts[d] += 1;
+            }
+        }
+        let mut radius = 0usize;
+        let mut inside = ring_counts[0];
+        while radius + 1 < ring_counts.len() {
+            let next_ring = ring_counts[radius + 1];
+            if (next_ring as f64) < epsilon * inside as f64 {
+                break;
+            }
+            radius += 1;
+            inside += next_ring;
+        }
+        max_radius = max_radius.max(radius);
+        let members: Vec<VertexId> = alive
+            .iter()
+            .filter(|&v| dist[v].is_some_and(|d| d <= radius))
+            .collect();
+        partition.push_cluster(&members);
+        centers.push(center);
+        for &v in &members {
+            alive.remove(v);
+        }
+    }
+
+    Ok(BallCarvingOutcome {
+        partition,
+        centers,
+        max_radius,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdecomp_graph::{diameter, generators};
+
+    #[test]
+    fn carving_is_complete_and_connected() {
+        let g = generators::grid2d(9, 9);
+        let outcome = carve(&g, 0.5).unwrap();
+        assert!(outcome.partition.is_complete());
+        for c in 0..outcome.partition.cluster_count() {
+            let members = outcome.partition.cluster_set(c);
+            assert!(
+                diameter::strong_diameter(&g, &members).is_some(),
+                "ball {c} disconnected"
+            );
+        }
+    }
+
+    #[test]
+    fn radius_bounds_diameter() {
+        let g = generators::cycle(64);
+        let outcome = carve(&g, 0.3).unwrap();
+        for c in 0..outcome.partition.cluster_count() {
+            let members = outcome.partition.cluster_set(c);
+            let d = diameter::strong_diameter(&g, &members).unwrap();
+            assert!(d <= 2 * outcome.max_radius, "cluster {c} diameter {d}");
+        }
+    }
+
+    #[test]
+    fn small_epsilon_gives_few_big_balls() {
+        let g = generators::grid2d(10, 10);
+        let few = carve(&g, 0.01).unwrap().partition.cluster_count();
+        let many = carve(&g, 10.0).unwrap().partition.cluster_count();
+        assert!(few < many, "few={few} many={many}");
+        // epsilon huge: nothing ever grows, every ball is radius 0.
+        assert_eq!(many, 100);
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        let g = generators::path(3);
+        assert!(carve(&g, 0.0).is_err());
+        assert!(carve(&g, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn disconnected_graph_handled() {
+        let g = Graph::empty(4);
+        let outcome = carve(&g, 0.5).unwrap();
+        assert_eq!(outcome.partition.cluster_count(), 4);
+        assert_eq!(outcome.max_radius, 0);
+    }
+}

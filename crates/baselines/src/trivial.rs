@@ -1,0 +1,75 @@
+//! Degenerate baselines anchoring the ends of the (D, χ) tradeoff.
+
+use netdecomp_core::NetworkDecomposition;
+use netdecomp_graph::{coloring, components, Graph, Partition};
+
+/// The `(0, χ_greedy)` decomposition: every vertex its own cluster, colored
+/// by a greedy proper coloring of `G` itself (at most `Δ + 1` colors).
+///
+/// This is the "network decomposition generalizes vertex coloring" end of
+/// the spectrum from the paper's introduction.
+#[must_use]
+pub fn singletons(graph: &Graph) -> NetworkDecomposition {
+    let n = graph.vertex_count();
+    let partition = Partition::singletons(n);
+    let colors = coloring::greedy(graph);
+    let blocks = colors.colors().to_vec();
+    let centers = (0..n).collect();
+    NetworkDecomposition::from_parts(partition, blocks, centers)
+}
+
+/// The `(diam(G), 1)` decomposition: one cluster per connected component,
+/// all in a single block.
+#[must_use]
+pub fn whole_components(graph: &Graph) -> NetworkDecomposition {
+    let comps = components::components(graph);
+    let mut partition = Partition::new(graph.vertex_count());
+    let mut centers = Vec::new();
+    for group in comps.groups() {
+        let center = group[0];
+        partition.push_cluster(&group);
+        centers.push(center);
+    }
+    let blocks = vec![0; partition.cluster_count()];
+    NetworkDecomposition::from_parts(partition, blocks, centers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdecomp_core::verify;
+    use netdecomp_graph::generators;
+
+    #[test]
+    fn singletons_is_valid_zero_diameter() {
+        let g = generators::cycle(7);
+        let d = singletons(&g);
+        let r = verify::verify(&g, &d).unwrap();
+        assert!(r.is_valid_strong(0));
+        assert!(r.color_count <= g.max_degree() + 1);
+        assert_eq!(r.cluster_count, 7);
+    }
+
+    #[test]
+    fn whole_components_is_one_color() {
+        let g = generators::grid2d(4, 4);
+        let d = whole_components(&g);
+        let r = verify::verify(&g, &d).unwrap();
+        assert_eq!(r.color_count, 1);
+        assert_eq!(r.cluster_count, 1);
+        assert_eq!(r.max_strong_diameter, netdecomp_graph::diameter::diameter(&g));
+        assert!(r.supergraph_properly_colored);
+    }
+
+    #[test]
+    fn whole_components_on_disconnected_graph() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        let d = whole_components(&g);
+        let r = verify::verify(&g, &d).unwrap();
+        assert_eq!(r.cluster_count, 3);
+        assert_eq!(r.color_count, 1);
+        // Components are non-adjacent, so one block is proper.
+        assert!(r.supergraph_properly_colored);
+        assert!(r.clusters_connected);
+    }
+}

@@ -1,0 +1,32 @@
+//! Wall-clock benches of the applications (E11 engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netdecomp_apps::{coloring, luby, matching, mis};
+use netdecomp_bench::workloads::Family;
+use netdecomp_core::{basic, params};
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("applications");
+    let n = 1024usize;
+    let g = Family::Gnp { avg_degree: 6.0 }.build(n, 7);
+    let p = params::DecompositionParams::new(3, 4.0).unwrap();
+    let outcome = basic::decompose(&g, &p, 1).unwrap();
+    let d = outcome.decomposition();
+
+    group.bench_with_input(BenchmarkId::new("mis_sweep", n), &g, |b, g| {
+        b.iter(|| mis::solve(g, d).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("coloring_sweep", n), &g, |b, g| {
+        b.iter(|| coloring::solve(g, d).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("matching_sweep", n), &g, |b, g| {
+        b.iter(|| matching::solve(g, d).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("luby_direct", n), &g, |b, g| {
+        b.iter(|| luby::solve(g, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Wall-clock benches of the baselines (E4 and E10 engines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netdecomp_baselines::{ball_carving, linial_saks, mpx};
+use netdecomp_bench::workloads::Family;
+
+fn bench_linial_saks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linial_saks");
+    for &n in &[256usize, 1024] {
+        let g = Family::Gnp { avg_degree: 6.0 }.build(n, 7);
+        let p = linial_saks::LinialSaksParams::new(3, 4.0).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| linial_saks::decompose(g, &p, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mpx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpx_padded_partition");
+    for &n in &[256usize, 1024, 4096] {
+        let g = Family::Gnp { avg_degree: 6.0 }.build(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| mpx::padded_partition(g, 0.2, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ball_carving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ball_carving");
+    for &n in &[256usize, 1024] {
+        let g = Family::Grid.build(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| ball_carving::carve(g, 0.2).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linial_saks, bench_mpx, bench_ball_carving);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Wall-clock benches of the message-passing execution (E5 engine):
+//! distributed (simulator) vs. centralized simulation, and top-two pruning
+//! vs. full forwarding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netdecomp_bench::workloads::Family;
+use netdecomp_core::distributed::{decompose_distributed, DistributedConfig, Forwarding};
+use netdecomp_core::{basic, params};
+
+fn bench_distributed_vs_central(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_vs_central");
+    group.sample_size(10);
+    let n = 256usize;
+    let g = Family::Gnp { avg_degree: 6.0 }.build(n, 7);
+    let p = params::DecompositionParams::new(3, 4.0).unwrap();
+    group.bench_with_input(BenchmarkId::new("central", n), &g, |b, g| {
+        b.iter(|| basic::decompose(g, &p, 1).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("congest_top2", n), &g, |b, g| {
+        b.iter(|| {
+            decompose_distributed(g, &p, 1, &DistributedConfig::default()).unwrap()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("local_full", n), &g, |b, g| {
+        b.iter(|| {
+            decompose_distributed(
+                g,
+                &p,
+                1,
+                &DistributedConfig {
+                    forwarding: Forwarding::Full,
+                    ..DistributedConfig::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed_vs_central);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Wall-clock benches of the three theorem algorithms (E1–E3 engines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netdecomp_bench::workloads::Family;
+use netdecomp_core::{basic, high_radius, params, staged};
+
+fn bench_basic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1_basic");
+    for &n in &[256usize, 1024] {
+        for family in [Family::Gnp { avg_degree: 6.0 }, Family::Grid] {
+            let g = family.build(n, 7);
+            let p = params::DecompositionParams::new(3, 4.0).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(family.label(), n),
+                &g,
+                |b, g| b.iter(|| basic::decompose(g, &p, 1).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_staged(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem2_staged");
+    for &n in &[256usize, 1024] {
+        let g = Family::Gnp { avg_degree: 6.0 }.build(n, 7);
+        let p = params::StagedParams::new(3, 6.0).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| staged::decompose(g, &p, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_high_radius(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem3_high_radius");
+    for &n in &[256usize, 1024] {
+        let g = Family::Cycle.build(n, 7);
+        let p = params::HighRadiusParams::new(3, 4.0).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| high_radius::decompose(g, &p, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_headline_scaling(c: &mut Criterion) {
+    // k = ln n across sizes: the O(log n, log n) regime the abstract leads
+    // with.
+    let mut group = c.benchmark_group("headline_k_ln_n");
+    group.sample_size(10);
+    for &n in &[256usize, 1024, 4096] {
+        let g = Family::Gnp { avg_degree: 6.0 }.build(n, 7);
+        let p = params::DecompositionParams::for_graph_size(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| basic::decompose(g, &p, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_basic,
+    bench_staged,
+    bench_high_radius,
+    bench_headline_scaling
+);
+criterion_main!(benches);

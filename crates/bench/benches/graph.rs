@@ -1,0 +1,61 @@
+//! Wall-clock benches of the graph substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netdecomp_bench::workloads::Family;
+use netdecomp_graph::{bfs, components, generators, VertexSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    for &n in &[1024usize, 8192] {
+        group.bench_with_input(BenchmarkId::new("gnp", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                generators::gnp(n, 6.0 / n as f64, &mut rng).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("random_regular", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                generators::random_regular(n, 4, &mut rng).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("barabasi_albert", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                generators::barabasi_albert(n, 3, &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs");
+    for &n in &[1024usize, 8192] {
+        let g = Family::Gnp { avg_degree: 6.0 }.build(n, 7);
+        group.bench_with_input(BenchmarkId::new("distances", n), &g, |b, g| {
+            b.iter(|| bfs::distances(g, 0))
+        });
+        let alive = VertexSet::full(g.vertex_count());
+        group.bench_with_input(BenchmarkId::new("restricted", n), &g, |b, g| {
+            b.iter(|| bfs::distances_restricted(g, 0, &alive))
+        });
+    }
+    group.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+    for &n in &[1024usize, 8192] {
+        let g = Family::Gnp { avg_degree: 2.0 }.build(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| components::components(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_bfs, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! E10 — the MPX13 substrate: padded partitions from exponential shifts
+//! have strong diameter `O(log n / β)` and cut at most an `O(β)` fraction
+//! of edges.
+//!
+//! The paper adapts exactly this machinery, so reproducing its guarantees
+//! validates the foundation. The reference column `4·ln(n)/β` makes the
+//! `O(log n/β)` shape visible; the cut bound is `β` up to constants.
+
+use netdecomp_baselines::mpx;
+
+use crate::runner::par_trials;
+use crate::stats::summarize;
+use crate::table::{fmt_f, Table};
+use crate::workloads::Family;
+use crate::Effort;
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(effort: Effort) -> Vec<Table> {
+    let n = 1024usize;
+    let trials = effort.trials(6, 20);
+    let families = [
+        Family::Gnp { avg_degree: 6.0 },
+        Family::Grid,
+        Family::Ba { attach: 3 },
+    ];
+
+    let mut table = Table::new(
+        "E10: MPX13 padded partition — diameter and cut fraction vs beta",
+        &[
+            "family", "beta", "max strong D", "ref 4 ln(n)/beta", "cut frac", "beta (bound shape)",
+            "clusters",
+        ],
+    );
+    table.set_caption(format!(
+        "n ~ {n}, {trials} trials; diameters are maxima over trials, cut fractions are means"
+    ));
+
+    for family in families {
+        for &beta in &[0.05f64, 0.1, 0.2, 0.4, 0.8] {
+            let results: Vec<(usize, f64, usize)> = par_trials(trials, |seed| {
+                let g = family.build(n, seed);
+                let padded = mpx::padded_partition(&g, beta, seed).expect("valid beta");
+                let report = mpx::report(&g, &padded);
+                (
+                    report
+                        .max_strong_diameter
+                        .expect("MPX clusters are connected"),
+                    report.cut_fraction,
+                    report.cluster_count,
+                )
+            });
+            let n_eff = family.build(n, 0).vertex_count();
+            let diam_max = results.iter().map(|r| r.0).max().unwrap_or(0);
+            let cut = summarize(&results.iter().map(|r| r.1).collect::<Vec<_>>());
+            let clusters = results.iter().map(|r| r.2).sum::<usize>() / results.len();
+            table.push_row(vec![
+                family.label(),
+                fmt_f(beta),
+                diam_max.to_string(),
+                format!("{:.1}", 4.0 * (n_eff as f64).ln() / beta),
+                fmt_f(cut.mean),
+                fmt_f(beta),
+                clusters.to_string(),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows() {
+        let tables = run(Effort::Quick);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].row_count(), 3 * 5);
+    }
+}

@@ -1,0 +1,205 @@
+//! E12 — the (diameter, colors) tradeoff frontier across all three
+//! theorems (the paper's parameter tradeoff, plotted as a table).
+//!
+//! For a fixed graph, sweep `k` through Theorem 1/2 and `λ` through
+//! Theorem 3, plus the Linial–Saks weak points and the degenerate anchors,
+//! and print each point's measured (strong D, weak D, χ). Reading down the
+//! table traces the frontier from many-colors/zero-diameter to
+//! one-color/full-diameter.
+
+use netdecomp_baselines::{ball_carving, linial_saks, trivial};
+use netdecomp_core::{basic, high_radius, params, staged, verify};
+
+use crate::runner::par_trials;
+use crate::table::{fmt_diameter, Table};
+use crate::workloads::Family;
+use crate::Effort;
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(effort: Effort) -> Vec<Table> {
+    let n = match effort {
+        Effort::Quick => 256,
+        Effort::Full => 1024,
+    };
+    let trials = effort.trials(5, 15);
+    let family = Family::Gnp { avg_degree: 6.0 };
+
+    let mut table = Table::new(
+        "E12: the (diameter, colors) tradeoff frontier",
+        &["point", "param", "strong D", "weak D", "chi", "connected"],
+    );
+    table.set_caption(format!(
+        "graph: {} with n = {n}; maxima over {trials} trials; EN = this paper, LS = Linial-Saks, MPX-style anchors via trivial/ball-carving",
+        family.label()
+    ));
+
+    // Degenerate anchors.
+    {
+        let g = family.build(n, 0);
+        let d = trivial::singletons(&g);
+        let r = verify::verify(&g, &d).expect("verify");
+        table.push_row(vec![
+            "singletons".into(),
+            "-".into(),
+            fmt_diameter(r.max_strong_diameter),
+            fmt_diameter(r.max_weak_diameter),
+            r.color_count.to_string(),
+            r.clusters_connected.to_string(),
+        ]);
+        let d = trivial::whole_components(&g);
+        let r = verify::verify(&g, &d).expect("verify");
+        table.push_row(vec![
+            "whole-graph".into(),
+            "-".into(),
+            fmt_diameter(r.max_strong_diameter),
+            fmt_diameter(r.max_weak_diameter),
+            r.color_count.to_string(),
+            r.clusters_connected.to_string(),
+        ]);
+        let carve = ball_carving::carve(&g, 0.2).expect("carve");
+        let d = netdecomp_baselines::decomposition_via_greedy_coloring(
+            &g,
+            carve.partition,
+            carve.centers,
+        );
+        let r = verify::verify(&g, &d).expect("verify");
+        table.push_row(vec![
+            "ball-carving".into(),
+            "eps=0.2".into(),
+            fmt_diameter(r.max_strong_diameter),
+            fmt_diameter(r.max_weak_diameter),
+            r.color_count.to_string(),
+            r.clusters_connected.to_string(),
+        ]);
+    }
+
+    let agg = |points: Vec<(Option<usize>, Option<usize>, usize, bool)>| {
+        let strong = points
+            .iter()
+            .map(|p| p.0)
+            .collect::<Option<Vec<_>>>()
+            .map(|v| v.into_iter().max().unwrap_or(0));
+        let weak = points
+            .iter()
+            .map(|p| p.1)
+            .collect::<Option<Vec<_>>>()
+            .map(|v| v.into_iter().max().unwrap_or(0));
+        let chi = points.iter().map(|p| p.2).max().unwrap_or(0);
+        let connected = points.iter().all(|p| p.3);
+        (strong, weak, chi, connected)
+    };
+
+    // Theorem 1 and Theorem 2 sweeps over k.
+    let ln_n = (n as f64).ln().ceil() as usize;
+    for k in [2usize, 3, 5, ln_n] {
+        let p = params::DecompositionParams::new(k, 4.0).expect("valid");
+        let points = par_trials(trials, |seed| {
+            let g = family.build(n, seed);
+            let o = basic::decompose(&g, &p, seed).expect("run");
+            let r = verify::verify(&g, o.decomposition()).expect("verify");
+            (
+                r.max_strong_diameter,
+                r.max_weak_diameter,
+                r.color_count,
+                r.clusters_connected,
+            )
+        });
+        let (s, w, chi, conn) = agg(points);
+        table.push_row(vec![
+            "EN-T1".into(),
+            format!("k={k}"),
+            fmt_diameter(s),
+            fmt_diameter(w),
+            chi.to_string(),
+            conn.to_string(),
+        ]);
+
+        let sp = params::StagedParams::new(k, 6.0).expect("valid");
+        let points = par_trials(trials, |seed| {
+            let g = family.build(n, seed);
+            let o = staged::decompose(&g, &sp, seed).expect("run");
+            let r = verify::verify(&g, o.decomposition()).expect("verify");
+            (
+                r.max_strong_diameter,
+                r.max_weak_diameter,
+                r.color_count,
+                r.clusters_connected,
+            )
+        });
+        let (s, w, chi, conn) = agg(points);
+        table.push_row(vec![
+            "EN-T2".into(),
+            format!("k={k}"),
+            fmt_diameter(s),
+            fmt_diameter(w),
+            chi.to_string(),
+            conn.to_string(),
+        ]);
+    }
+
+    // Theorem 3 sweep over lambda.
+    for lambda in [2usize, 3, 5] {
+        let p = params::HighRadiusParams::new(lambda, 4.0).expect("valid");
+        let points = par_trials(trials, |seed| {
+            let g = family.build(n, seed);
+            let o = high_radius::decompose(&g, &p, seed).expect("run");
+            let r = verify::verify(&g, o.decomposition()).expect("verify");
+            (
+                r.max_strong_diameter,
+                r.max_weak_diameter,
+                r.color_count,
+                r.clusters_connected,
+            )
+        });
+        let (s, w, chi, conn) = agg(points);
+        table.push_row(vec![
+            "EN-T3".into(),
+            format!("lambda={lambda}"),
+            fmt_diameter(s),
+            fmt_diameter(w),
+            chi.to_string(),
+            conn.to_string(),
+        ]);
+    }
+
+    // Linial-Saks weak points.
+    for k in [3usize, 5, ln_n] {
+        let p = linial_saks::LinialSaksParams::new(k, 4.0).expect("valid");
+        let points = par_trials(trials, |seed| {
+            let g = family.build(n, seed);
+            let o = linial_saks::decompose(&g, &p, seed).expect("run");
+            let r = verify::verify(&g, &o.decomposition).expect("verify");
+            (
+                r.max_strong_diameter,
+                r.max_weak_diameter,
+                r.color_count,
+                r.clusters_connected,
+            )
+        });
+        let (s, w, chi, conn) = agg(points);
+        table.push_row(vec![
+            "LS93".into(),
+            format!("k={k}"),
+            fmt_diameter(s),
+            fmt_diameter(w),
+            chi.to_string(),
+            conn.to_string(),
+        ]);
+    }
+
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_covers_all_points() {
+        let tables = run(Effort::Quick);
+        assert_eq!(tables.len(), 1);
+        // 3 anchors + 4 k-values * 2 + 3 lambdas + 3 LS rows.
+        assert_eq!(tables[0].row_count(), 3 + 8 + 3 + 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! E13 (ablation) — why the join margin is exactly 1.
+//!
+//! The rule `m₁ − m₂ > θ` with `θ = 1` is what the proof of Lemma 4 needs:
+//! adjacent vertices see any origin's value differ by at most 1, so a
+//! margin of 1 forces every vertex on a shortest path to the center to
+//! join too (Claim 3). This ablation re-runs the carving loop with other
+//! margins:
+//!
+//! - `θ < 1` joins more vertices per phase (fewer colors!) but breaks the
+//!   strong-diameter argument — the violation column shows how often the
+//!   `2k − 2` bound actually fails;
+//! - `θ > 1` keeps the bound but pays in phases (= colors), since Lemma
+//!   5's join probability shrinks.
+
+use netdecomp_core::carve::carve_phase_with_margin;
+use netdecomp_core::params::DecompositionParams;
+use netdecomp_core::shift::ShiftSource;
+use netdecomp_graph::{components, diameter, Graph, VertexSet};
+
+use crate::runner::par_trials;
+use crate::stats::{fraction, summarize_usize};
+use crate::table::{fmt_f, Table};
+use crate::workloads::Family;
+use crate::Effort;
+
+struct Run {
+    max_strong_diameter: Option<usize>,
+    phases: usize,
+    violated: bool,
+}
+
+/// Carve to exhaustion with an explicit margin, measuring cluster diameters.
+fn run_with_margin(g: &Graph, params: &DecompositionParams, seed: u64, margin: f64) -> Run {
+    let n = g.vertex_count();
+    let beta = params.beta(n);
+    let cap = params.radius_cap();
+    let source = ShiftSource::new(seed, beta).expect("valid beta");
+    let mut alive = VertexSet::full(n);
+    let mut phases = 0usize;
+    let mut max_diam: Option<usize> = Some(0);
+    let hard_max = params.phase_budget(n) * 64 + 1024;
+    while !alive.is_empty() && phases < hard_max {
+        let mut shifts = vec![0.0; n];
+        for v in alive.iter() {
+            shifts[v] = source.shift(phases as u64, v);
+        }
+        let result = carve_phase_with_margin(g, &alive, &shifts, cap, margin);
+        let joined = result.joined();
+        if !joined.is_empty() {
+            let mut block = VertexSet::new(n);
+            for &v in &joined {
+                block.insert(v);
+            }
+            for group in components::components_restricted(g, &block).groups() {
+                let mut members = VertexSet::new(n);
+                for &v in &group {
+                    members.insert(v);
+                }
+                match (max_diam, diameter::strong_diameter(g, &members)) {
+                    (Some(best), Some(d)) => max_diam = Some(best.max(d)),
+                    _ => max_diam = None,
+                }
+            }
+            for &v in &joined {
+                alive.remove(v);
+            }
+        }
+        phases += 1;
+    }
+    let violated = max_diam.is_none_or(|d| d > params.diameter_bound());
+    Run {
+        max_strong_diameter: max_diam,
+        phases,
+        violated,
+    }
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(effort: Effort) -> Vec<Table> {
+    let n = 256usize;
+    let trials = effort.trials(8, 30);
+    let k = 4usize;
+    let family = Family::Grid;
+    let params = DecompositionParams::new(k, 4.0).expect("valid");
+
+    let mut table = Table::new(
+        "E13 (ablation): the join margin m1 - m2 > theta",
+        &[
+            "theta", "D bound", "D max measured", "violations", "phases mean", "phases max",
+        ],
+    );
+    table.set_caption(format!(
+        "paper uses theta = 1; grid n = {n}, k = {k}, c = 4, {trials} trials; violation = strong diameter above 2k-2 (or a disconnected block component)"
+    ));
+
+    for &margin in &[0.0f64, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0] {
+        let runs: Vec<Run> = par_trials(trials, |seed| {
+            let g = family.build(n, seed);
+            run_with_margin(&g, &params, seed, margin)
+        });
+        let diam_max = runs
+            .iter()
+            .map(|r| r.max_strong_diameter)
+            .collect::<Option<Vec<_>>>()
+            .map(|v| v.into_iter().max().unwrap_or(0));
+        let phases = summarize_usize(&runs.iter().map(|r| r.phases).collect::<Vec<_>>());
+        let violations = fraction(&runs.iter().map(|r| r.violated).collect::<Vec<_>>());
+        table.push_row(vec![
+            fmt_f(margin),
+            params.diameter_bound().to_string(),
+            crate::table::fmt_diameter(diam_max),
+            fmt_f(violations),
+            fmt_f(phases.mean),
+            format!("{}", phases.max as usize),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn margin_one_row_is_clean_and_small_margins_violate() {
+        let tables = run(Effort::Quick);
+        let text = tables[0].to_string();
+        assert_eq!(tables[0].row_count(), 7);
+        // The theta = 0 row essentially always violates on a grid (whole
+        // graph joins in one phase, diameter >> 2k-2).
+        let zero_row = text
+            .lines()
+            .find(|l| l.starts_with("| 0.000"))
+            .expect("theta=0 row");
+        assert!(
+            zero_row.contains("1.000") || zero_row.contains("inf"),
+            "theta=0 should violate: {zero_row}"
+        );
+    }
+}

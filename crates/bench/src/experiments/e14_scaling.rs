@@ -1,0 +1,78 @@
+//! E14 (figure) — the headline scaling: strong `(O(log n), O(log n))`
+//! decompositions in `O(log² n)` rounds.
+//!
+//! Sweeping `n` with `k = ⌈ln n⌉`, `c = 4`: measured diameter and colors
+//! should track `log n`, and rounds (`k` per phase × phases used) should
+//! track `log² n`. The constant columns (`x / ln n`, `x / ln² n`) flatten
+//! out if the asymptotics are right — that is the "shape" this figure
+//! checks.
+
+use netdecomp_core::{basic, params::DecompositionParams, verify};
+
+use crate::runner::par_trials;
+use crate::stats::summarize_usize;
+use crate::table::{fmt_f, Table};
+use crate::workloads::Family;
+use crate::Effort;
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(effort: Effort) -> Vec<Table> {
+    let sizes = effort.sizes(&[128, 256, 512], &[128, 256, 512, 1024, 2048, 4096, 8192]);
+    let trials = effort.trials(6, 20);
+    let family = Family::Gnp { avg_degree: 6.0 };
+
+    let mut table = Table::new(
+        "E14 (figure): headline scaling at k = ceil(ln n)",
+        &[
+            "n", "k", "D max", "D / ln n", "chi max", "chi / ln n", "rounds max",
+            "rounds / ln^2 n",
+        ],
+    );
+    table.set_caption(format!(
+        "family {}, c = 4, {trials} trials; rounds = k x phases used; the ratio columns should flatten as n grows (O(log n) diameter/colors, O(log^2 n) rounds)",
+        family.label()
+    ));
+
+    for &n in sizes {
+        let params = DecompositionParams::for_graph_size(n);
+        let k = params.k();
+        let results: Vec<(usize, usize, usize)> = par_trials(trials, |seed| {
+            let g = family.build(n, seed);
+            let o = basic::decompose(&g, &params, seed).expect("run");
+            let r = verify::verify(&g, o.decomposition()).expect("verify");
+            (
+                r.max_strong_diameter.unwrap_or(usize::MAX),
+                r.color_count,
+                k * o.phases_used(),
+            )
+        });
+        let ln_n = (n as f64).ln();
+        let diam = summarize_usize(&results.iter().map(|r| r.0).collect::<Vec<_>>());
+        let chi = summarize_usize(&results.iter().map(|r| r.1).collect::<Vec<_>>());
+        let rounds = summarize_usize(&results.iter().map(|r| r.2).collect::<Vec<_>>());
+        table.push_row(vec![
+            n.to_string(),
+            k.to_string(),
+            format!("{}", diam.max as usize),
+            fmt_f(diam.max / ln_n),
+            format!("{}", chi.max as usize),
+            fmt_f(chi.max / ln_n),
+            format!("{}", rounds.max as usize),
+            fmt_f(rounds.max / (ln_n * ln_n)),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows() {
+        let tables = run(Effort::Quick);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].row_count(), 3);
+    }
+}

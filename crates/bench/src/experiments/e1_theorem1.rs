@@ -1,0 +1,117 @@
+//! E1 — Theorem 1: strong `(2k−2, (cn)^{1/k}·ln(cn))` decomposition in
+//! `k(cn)^{1/k}·ln(cn)` rounds with probability `≥ 1 − 3/c`.
+//!
+//! For every (family, n, k) cell we run many seeded trials of
+//! [`netdecomp_core::basic`], verify each decomposition exhaustively, and
+//! print the measured maxima next to the paper's bounds. "ok" counts trials
+//! that satisfied *all* guarantees simultaneously within the phase budget —
+//! the event whose probability the theorem bounds below by `1 − 3/c`.
+
+use netdecomp_core::{basic, params::DecompositionParams, verify};
+
+use crate::runner::par_trials;
+use crate::stats::{fraction, summarize_usize};
+use crate::table::{fmt_f, Table};
+use crate::workloads::default_families;
+use crate::Effort;
+
+struct Cell {
+    strong_diameter: Option<usize>,
+    colors: usize,
+    phases: usize,
+    success: bool,
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(effort: Effort) -> Vec<Table> {
+    let sizes = effort.sizes(&[256], &[256, 1024, 4096]).to_vec();
+    let trials = effort.trials(8, 30);
+    let c = 4.0;
+
+    let mut table = Table::new(
+        "E1: Theorem 1 — basic algorithm",
+        &[
+            "family", "n", "k", "D bound", "D max", "chi bound", "chi max", "phase budget",
+            "phases max", "succ bound", "succ",
+        ],
+    );
+    table.set_caption(format!(
+        "strong (2k-2, (cn)^(1/k) ln(cn)) decomposition; success prob >= 1 - 3/c, c = {c}; {trials} trials/cell"
+    ));
+
+    for family in default_families() {
+        for &n in &sizes {
+            let ks = pick_ks(n);
+            for k in ks {
+                let params = DecompositionParams::new(k, c).expect("valid params");
+                let cells: Vec<Cell> = par_trials(trials, |seed| {
+                    let g = family.build(n, seed);
+                    let outcome = basic::decompose(&g, &params, seed).expect("run succeeds");
+                    let report = verify::verify(&g, outcome.decomposition()).expect("same graph");
+                    let success = outcome.exhausted_within_budget()
+                        && report.is_valid_strong(params.diameter_bound());
+                    Cell {
+                        strong_diameter: report.max_strong_diameter,
+                        colors: report.color_count,
+                        phases: outcome.phases_used(),
+                        success,
+                    }
+                });
+                let n_eff = family.build(n, 0).vertex_count();
+                let diam_max = cells
+                    .iter()
+                    .map(|c| c.strong_diameter)
+                    .collect::<Option<Vec<_>>>()
+                    .map(|v| v.into_iter().max().unwrap_or(0));
+                let colors = summarize_usize(&cells.iter().map(|c| c.colors).collect::<Vec<_>>());
+                let phases = summarize_usize(&cells.iter().map(|c| c.phases).collect::<Vec<_>>());
+                let succ = fraction(&cells.iter().map(|c| c.success).collect::<Vec<_>>());
+                table.push_row(vec![
+                    family.label(),
+                    n_eff.to_string(),
+                    k.to_string(),
+                    params.diameter_bound().to_string(),
+                    crate::table::fmt_diameter(diam_max),
+                    params.color_bound(n_eff).to_string(),
+                    format!("{}", colors.max as usize),
+                    params.phase_budget(n_eff).to_string(),
+                    format!("{}", phases.max as usize),
+                    fmt_f(1.0 - params.failure_probability()),
+                    fmt_f(succ),
+                ]);
+            }
+        }
+    }
+    vec![table]
+}
+
+fn pick_ks(n: usize) -> Vec<usize> {
+    let ln_n = (n as f64).ln().ceil() as usize;
+    let mut ks = vec![2, 3, 5];
+    if !ks.contains(&ln_n) {
+        ks.push(ln_n);
+    }
+    ks.retain(|&k| k <= ln_n.max(2));
+    ks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows() {
+        let tables = run(Effort::Quick);
+        assert_eq!(tables.len(), 1);
+        assert!(tables[0].row_count() >= 4);
+        let text = tables[0].to_string();
+        assert!(text.contains("E1"));
+    }
+
+    #[test]
+    fn k_grid_respects_ln_n() {
+        assert!(pick_ks(256).contains(&2));
+        assert!(pick_ks(256).iter().all(|&k| k <= 6));
+    }
+}

@@ -1,0 +1,99 @@
+//! E3 — Theorem 3: the high-radius regime — strong
+//! `(2(cn)^{1/λ}·ln(cn), λ)` decomposition in `λ(cn)^{1/λ}·ln(cn)` rounds.
+//!
+//! Here the number of colors is pinned to `λ` and the diameter bound blows
+//! up instead; the high-diameter families (path, cycle, grid, caveman) are
+//! the interesting workloads.
+
+use netdecomp_core::{high_radius, params::HighRadiusParams, verify};
+
+use crate::runner::par_trials;
+use crate::stats::{fraction, summarize_usize};
+use crate::table::{fmt_f, Table};
+use crate::workloads::Family;
+use crate::Effort;
+
+struct Cell {
+    strong_diameter: Option<usize>,
+    colors: usize,
+    success: bool,
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(effort: Effort) -> Vec<Table> {
+    let sizes = effort.sizes(&[256], &[256, 1024]).to_vec();
+    let trials = effort.trials(8, 30);
+    let c = 4.0;
+    let families = [
+        Family::Path,
+        Family::Cycle,
+        Family::Grid,
+        Family::Caveman { cave_size: 8 },
+    ];
+
+    let mut table = Table::new(
+        "E3: Theorem 3 — high-radius regime",
+        &[
+            "family", "n", "lambda", "D bound", "D max", "chi bound", "chi max",
+            "succ bound", "succ",
+        ],
+    );
+    table.set_caption(format!(
+        "strong (2(cn)^(1/lambda) ln(cn), lambda); success prob >= 1 - 3/c, c = {c}; {trials} trials/cell"
+    ));
+
+    for family in families {
+        for &n in &sizes {
+            for lambda in [2usize, 3, 5] {
+                let params = HighRadiusParams::new(lambda, c).expect("valid params");
+                let cells: Vec<Cell> = par_trials(trials, |seed| {
+                    let g = family.build(n, seed);
+                    let outcome =
+                        high_radius::decompose(&g, &params, seed).expect("run succeeds");
+                    let report = verify::verify(&g, outcome.decomposition()).expect("same graph");
+                    let nv = g.vertex_count();
+                    let success = outcome.exhausted_within_budget()
+                        && report.is_valid_strong(params.diameter_bound(nv));
+                    Cell {
+                        strong_diameter: report.max_strong_diameter,
+                        colors: report.color_count,
+                        success,
+                    }
+                });
+                let n_eff = family.build(n, 0).vertex_count();
+                let diam_max = cells
+                    .iter()
+                    .map(|c| c.strong_diameter)
+                    .collect::<Option<Vec<_>>>()
+                    .map(|v| v.into_iter().max().unwrap_or(0));
+                let colors = summarize_usize(&cells.iter().map(|c| c.colors).collect::<Vec<_>>());
+                let succ = fraction(&cells.iter().map(|c| c.success).collect::<Vec<_>>());
+                table.push_row(vec![
+                    family.label(),
+                    n_eff.to_string(),
+                    lambda.to_string(),
+                    params.diameter_bound(n_eff).to_string(),
+                    crate::table::fmt_diameter(diam_max),
+                    lambda.to_string(),
+                    format!("{}", colors.max as usize),
+                    fmt_f(1.0 - params.failure_probability()),
+                    fmt_f(succ),
+                ]);
+            }
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows() {
+        let tables = run(Effort::Quick);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].row_count(), 4 * 3);
+    }
+}

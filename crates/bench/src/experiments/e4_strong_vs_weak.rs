@@ -1,0 +1,175 @@
+//! E4 — the headline: Elkin–Neiman strong `(O(log n), O(log n))` vs.
+//! Linial–Saks weak `(O(log n), O(log n))` at `k = ⌈ln n⌉`.
+//!
+//! Both algorithms run on the same graphs at matched parameters. The
+//! columns that matter:
+//! - **strong D**: EN16 stays `≤ 2k − 2`; LS93 clusters can be
+//!   *disconnected* (`inf`) — the open problem the paper closes.
+//! - **weak D**: both stay `O(log n)`.
+//! - **disc**: fraction of trials in which at least one LS93 cluster was
+//!   disconnected in its induced subgraph.
+
+use netdecomp_baselines::linial_saks::{self, LinialSaksParams};
+use netdecomp_core::distributed::{decompose_distributed, DistributedConfig};
+use netdecomp_core::{basic, params::DecompositionParams, verify};
+use netdecomp_sim::CongestLimit;
+
+use crate::runner::par_trials;
+use crate::stats::{fraction, summarize_usize};
+use crate::table::{fmt_diameter, fmt_f, Table};
+use crate::workloads::Family;
+use crate::Effort;
+
+struct Cell {
+    en_strong: Option<usize>,
+    en_weak: Option<usize>,
+    en_colors: usize,
+    en_phases: usize,
+    ls_strong: Option<usize>,
+    ls_weak: Option<usize>,
+    ls_colors: usize,
+    ls_phases: usize,
+    ls_disconnected: bool,
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(effort: Effort) -> Vec<Table> {
+    let sizes = effort.sizes(&[256], &[256, 1024, 4096]).to_vec();
+    let trials = effort.trials(8, 30);
+    let families = [
+        Family::Gnp { avg_degree: 6.0 },
+        Family::Grid,
+        Family::Caveman { cave_size: 8 },
+        Family::Tree,
+    ];
+
+    let mut table = Table::new(
+        "E4: strong (EN16) vs weak (LS93) decomposition at k = ln n",
+        &[
+            "family", "n", "k", "algo", "strong D", "weak D", "chi", "phases", "disc",
+        ],
+    );
+    table.set_caption(format!(
+        "same graphs, c = 4, {trials} trials; 'strong D'/'weak D' are maxima over trials; disc = fraction of trials with a disconnected cluster (strong diameter infinite)"
+    ));
+
+    for family in families {
+        for &n in &sizes {
+            let k = ((n as f64).ln().ceil() as usize).max(2);
+            let en_params = DecompositionParams::new(k, 4.0).expect("valid");
+            let ls_params = LinialSaksParams::new(k, 4.0).expect("valid");
+            let cells: Vec<Cell> = par_trials(trials, |seed| {
+                let g = family.build(n, seed);
+                let en = basic::decompose(&g, &en_params, seed).expect("en run");
+                let en_report = verify::verify(&g, en.decomposition()).expect("same graph");
+                let ls = linial_saks::decompose(&g, &ls_params, seed).expect("ls run");
+                let ls_report = verify::verify(&g, &ls.decomposition).expect("same graph");
+                Cell {
+                    en_strong: en_report.max_strong_diameter,
+                    en_weak: en_report.max_weak_diameter,
+                    en_colors: en_report.color_count,
+                    en_phases: en.phases_used(),
+                    ls_strong: ls_report.max_strong_diameter,
+                    ls_weak: ls_report.max_weak_diameter,
+                    ls_colors: ls_report.color_count,
+                    ls_phases: ls.phases_used,
+                    ls_disconnected: !ls_report.clusters_connected,
+                }
+            });
+            let n_eff = family.build(n, 0).vertex_count();
+            let max_opt = |xs: Vec<Option<usize>>| -> Option<usize> {
+                xs.into_iter()
+                    .collect::<Option<Vec<_>>>()
+                    .map(|v| v.into_iter().max().unwrap_or(0))
+            };
+            let en_strong = max_opt(cells.iter().map(|c| c.en_strong).collect());
+            let en_weak = max_opt(cells.iter().map(|c| c.en_weak).collect());
+            let ls_strong = max_opt(cells.iter().map(|c| c.ls_strong).collect());
+            let ls_weak = max_opt(cells.iter().map(|c| c.ls_weak).collect());
+            let en_colors = summarize_usize(&cells.iter().map(|c| c.en_colors).collect::<Vec<_>>());
+            let ls_colors = summarize_usize(&cells.iter().map(|c| c.ls_colors).collect::<Vec<_>>());
+            let en_phases = summarize_usize(&cells.iter().map(|c| c.en_phases).collect::<Vec<_>>());
+            let ls_phases = summarize_usize(&cells.iter().map(|c| c.ls_phases).collect::<Vec<_>>());
+            let disc = fraction(&cells.iter().map(|c| c.ls_disconnected).collect::<Vec<_>>());
+            table.push_row(vec![
+                family.label(),
+                n_eff.to_string(),
+                k.to_string(),
+                "EN16".into(),
+                fmt_diameter(en_strong),
+                fmt_diameter(en_weak),
+                format!("{}", en_colors.max as usize),
+                format!("{}", en_phases.max as usize),
+                fmt_f(0.0),
+            ]);
+            table.push_row(vec![
+                String::new(),
+                String::new(),
+                String::new(),
+                "LS93".into(),
+                fmt_diameter(ls_strong),
+                fmt_diameter(ls_weak),
+                format!("{}", ls_colors.max as usize),
+                format!("{}", ls_phases.max as usize),
+                fmt_f(disc),
+            ]);
+        }
+    }
+
+    // Second table: the measured communication bill of both message-passing
+    // implementations on one graph.
+    let mut comm_table = Table::new(
+        "E4b: measured communication — EN16 (top-two) vs LS93 (label frontier)",
+        &["algo", "n", "k", "messages", "payload bytes", "max edge B/rd", "rounds"],
+    );
+    comm_table.set_caption(
+        "single seeded run per row on gnp(d~6); EN16 messages are 14 B, LS93 messages 8 B"
+            .to_string(),
+    );
+    {
+        let n = 256usize;
+        let family = Family::Gnp { avg_degree: 6.0 };
+        let g = family.build(n, 0);
+        let k = ((n as f64).ln().ceil() as usize).max(2);
+        let en_params = DecompositionParams::new(k, 4.0).expect("valid");
+        let en = decompose_distributed(&g, &en_params, 0, &DistributedConfig::default())
+            .expect("en run");
+        comm_table.push_row(vec![
+            "EN16".into(),
+            n.to_string(),
+            k.to_string(),
+            en.comm.total_messages.to_string(),
+            en.comm.total_bytes.to_string(),
+            en.comm.max_edge_bytes.to_string(),
+            en.comm.rounds.to_string(),
+        ]);
+        let ls_params = LinialSaksParams::new(k, 4.0).expect("valid");
+        let (_, ls_comm) =
+            linial_saks::decompose_distributed(&g, &ls_params, 0, CongestLimit::Unlimited)
+                .expect("ls run");
+        comm_table.push_row(vec![
+            "LS93".into(),
+            n.to_string(),
+            k.to_string(),
+            ls_comm.total_messages.to_string(),
+            ls_comm.total_bytes.to_string(),
+            ls_comm.max_edge_bytes.to_string(),
+            ls_comm.rounds.to_string(),
+        ]);
+    }
+    vec![table, comm_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_paired_rows() {
+        let tables = run(Effort::Quick);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].row_count(), 4 * 2);
+        assert_eq!(tables[1].row_count(), 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! E5 — the CONGEST claim (§2, last paragraph): forwarding only the top two
+//! entries keeps every message `O(1)` words without changing any clustering
+//! decision.
+//!
+//! We execute the distributed protocol twice per seed — once with top-two
+//! pruning, once with full (LOCAL-style) forwarding — assert the outcomes
+//! are identical, and compare the communication bills. `max edge B/rd` is
+//! the largest number of payload bytes crossing one directed edge in one
+//! round: bounded by 28 (two 14-byte entries) under pruning, unbounded in
+//! principle under full forwarding.
+
+use netdecomp_core::distributed::{decompose_distributed, DistributedConfig, Forwarding};
+use netdecomp_core::params::DecompositionParams;
+
+use crate::runner::par_trials;
+use crate::stats::summarize_usize;
+use crate::table::Table;
+use crate::workloads::Family;
+use crate::Effort;
+
+struct Cell {
+    msgs_top: usize,
+    msgs_full: usize,
+    bytes_top: usize,
+    max_edge_top: usize,
+    max_edge_full: usize,
+    rounds: usize,
+    identical: bool,
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(effort: Effort) -> Vec<Table> {
+    let sizes = effort.sizes(&[128], &[128, 256, 512]).to_vec();
+    let trials = effort.trials(4, 12);
+    let families = [Family::Gnp { avg_degree: 6.0 }, Family::Grid];
+
+    let mut table = Table::new(
+        "E5: CONGEST accounting — top-two pruning vs full forwarding",
+        &[
+            "family", "n", "k", "msgs (top2)", "msgs (full)", "ratio", "max edge B/rd (top2)",
+            "max edge B/rd (full)", "rounds", "identical",
+        ],
+    );
+    table.set_caption(format!(
+        "message = (origin u32, r f64, dist u16) = 14 bytes; top-two cap is 28 B/edge/round; {trials} trials/cell; 'identical' = decompositions bit-equal across modes"
+    ));
+
+    for family in families {
+        for &n in &sizes {
+            // Large k (the headline regime) makes radii big enough that
+            // broadcasts overlap heavily and pruning actually bites.
+            let k = ((n as f64).ln().ceil() as usize).max(5);
+            let params = DecompositionParams::new(k, 4.0).expect("valid");
+            let cells: Vec<Cell> = par_trials(trials, |seed| {
+                let g = family.build(n, seed);
+                let top = decompose_distributed(
+                    &g,
+                    &params,
+                    seed,
+                    &DistributedConfig {
+                        forwarding: Forwarding::TopTwo,
+                        ..DistributedConfig::default()
+                    },
+                )
+                .expect("top-two run");
+                let full = decompose_distributed(
+                    &g,
+                    &params,
+                    seed,
+                    &DistributedConfig {
+                        forwarding: Forwarding::Full,
+                        ..DistributedConfig::default()
+                    },
+                )
+                .expect("full run");
+                Cell {
+                    msgs_top: top.comm.total_messages,
+                    msgs_full: full.comm.total_messages,
+                    bytes_top: top.comm.total_bytes,
+                    max_edge_top: top.comm.max_edge_bytes,
+                    max_edge_full: full.comm.max_edge_bytes,
+                    rounds: top.comm.rounds,
+                    identical: top.outcome.decomposition() == full.outcome.decomposition(),
+                }
+            });
+            let n_eff = family.build(n, 0).vertex_count();
+            let msgs_top = summarize_usize(&cells.iter().map(|c| c.msgs_top).collect::<Vec<_>>());
+            let msgs_full = summarize_usize(&cells.iter().map(|c| c.msgs_full).collect::<Vec<_>>());
+            let edge_top =
+                summarize_usize(&cells.iter().map(|c| c.max_edge_top).collect::<Vec<_>>());
+            let edge_full =
+                summarize_usize(&cells.iter().map(|c| c.max_edge_full).collect::<Vec<_>>());
+            let rounds = summarize_usize(&cells.iter().map(|c| c.rounds).collect::<Vec<_>>());
+            let identical = cells.iter().all(|c| c.identical);
+            let _ = summarize_usize(&cells.iter().map(|c| c.bytes_top).collect::<Vec<_>>());
+            table.push_row(vec![
+                family.label(),
+                n_eff.to_string(),
+                k.to_string(),
+                format!("{:.0}", msgs_top.mean),
+                format!("{:.0}", msgs_full.mean),
+                format!("{:.2}", msgs_full.mean / msgs_top.mean.max(1.0)),
+                format!("{}", edge_top.max as usize),
+                format!("{}", edge_full.max as usize),
+                format!("{:.0}", rounds.mean),
+                identical.to_string(),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows_and_identical_outcomes() {
+        let tables = run(Effort::Quick);
+        assert_eq!(tables.len(), 1);
+        let text = tables[0].to_string();
+        assert!(text.contains("true"), "modes must agree: {text}");
+        assert!(!text.contains("false"));
+    }
+}

@@ -1,0 +1,107 @@
+//! E7 — Claim 6 / Corollary 7: survival decay.
+//!
+//! Claim 6: `Pr[y ∈ G_{t+1}] ≤ (1 − (cn)^{−1/k})^t` — the fraction of
+//! vertices still alive decays geometrically with the phase index, so
+//! `λ = (cn)^{1/k}·ln(cn)` phases empty the graph with probability
+//! `≥ 1 − 1/c`. This is the paper's only "figure-shaped" statement: a
+//! series over `t`. We print the measured survival fraction against the
+//! bound at sampled phases.
+
+use netdecomp_core::{basic, params::DecompositionParams};
+
+use crate::runner::par_trials;
+use crate::stats::fraction;
+use crate::table::{fmt_f, Table};
+use crate::workloads::Family;
+use crate::Effort;
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(effort: Effort) -> Vec<Table> {
+    let n = 512usize;
+    let trials = effort.trials(10, 40);
+    let c = 4.0;
+    let k = 3usize;
+    let families = [Family::Gnp { avg_degree: 6.0 }, Family::Path, Family::Ba { attach: 3 }];
+    let mut tables = Vec::new();
+
+    let mut curve = Table::new(
+        "E7a: Claim 6 — survival fraction by phase (figure series)",
+        &["family", "phase t", "bound (1-(cn)^-1/k)^t", "measured mean"],
+    );
+    curve.set_caption(format!(
+        "n = {n}, k = {k}, c = {c}, {trials} trials; measured = mean over trials of |G_t|/n"
+    ));
+    let mut budget_table = Table::new(
+        "E7b: Corollary 7 — exhaustion within the phase budget",
+        &["family", "phase budget", "phases max", "P[exhausted in budget]", "bound"],
+    );
+    budget_table.set_caption("the graph empties within lambda phases w.p. >= 1 - 1/c".to_string());
+
+    for family in families {
+        let params = DecompositionParams::new(k, c).expect("valid");
+        // survivors[t] per trial; phases used per trial.
+        let results: Vec<(Vec<f64>, usize, bool)> = par_trials(trials, |seed| {
+            let g = family.build(n, seed);
+            let outcome = basic::decompose(&g, &params, seed).expect("run");
+            let nv = g.vertex_count() as f64;
+            let mut fracs = Vec::new();
+            for t in outcome.trace() {
+                fracs.push(t.alive_before as f64 / nv);
+            }
+            (
+                fracs,
+                outcome.phases_used(),
+                outcome.exhausted_within_budget(),
+            )
+        });
+        let n_eff = family.build(n, 0).vertex_count();
+        let q = 1.0 - (c * n_eff as f64).powf(-1.0 / k as f64);
+        let budget = params.phase_budget(n_eff);
+        // Sample the curve at a handful of phases.
+        let max_phases = results.iter().map(|(f, _, _)| f.len()).max().unwrap_or(0);
+        let sample_points: Vec<usize> = [0usize, 1, 2, 4, 8, 16, 32, 64, 128, 256]
+            .iter()
+            .copied()
+            .filter(|&t| t < max_phases)
+            .collect();
+        for &t in &sample_points {
+            let measured: Vec<f64> = results
+                .iter()
+                .map(|(f, _, _)| f.get(t).copied().unwrap_or(0.0))
+                .collect();
+            let mean = measured.iter().sum::<f64>() / measured.len() as f64;
+            curve.push_row(vec![
+                family.label(),
+                t.to_string(),
+                fmt_f(q.powi(t as i32)),
+                fmt_f(mean),
+            ]);
+        }
+        let phases_max = results.iter().map(|(_, p, _)| *p).max().unwrap_or(0);
+        let in_budget = fraction(&results.iter().map(|(_, _, b)| *b).collect::<Vec<_>>());
+        budget_table.push_row(vec![
+            family.label(),
+            budget.to_string(),
+            phases_max.to_string(),
+            fmt_f(in_budget),
+            fmt_f(1.0 - 1.0 / c),
+        ]);
+    }
+    tables.push(curve);
+    tables.push(budget_table);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_two_tables() {
+        let tables = run(Effort::Quick);
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].row_count() >= 6);
+        assert_eq!(tables[1].row_count(), 3);
+    }
+}

@@ -1,0 +1,84 @@
+//! E8 — Claim 8: under the staged schedule, the probability a vertex is
+//! still alive at the start of stage `i` is at most `e^{−2i}`.
+//!
+//! The trace records β per phase, which identifies each phase's stage, so
+//! we can measure survival at each stage boundary.
+
+use netdecomp_core::{params::StagedParams, staged};
+
+use crate::runner::par_trials;
+use crate::table::{fmt_f, Table};
+use crate::workloads::Family;
+use crate::Effort;
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(effort: Effort) -> Vec<Table> {
+    let n = 512usize;
+    let trials = effort.trials(10, 40);
+    let c = 6.0;
+    let k = 3usize;
+    let families = [Family::Gnp { avg_degree: 6.0 }, Family::Grid];
+
+    let mut table = Table::new(
+        "E8: Claim 8 — staged survival at stage boundaries",
+        &["family", "stage i", "first phase", "bound e^-2i", "measured mean"],
+    );
+    table.set_caption(format!(
+        "n = {n}, k = {k}, c = {c}, {trials} trials; measured = mean fraction alive at the first phase of stage i"
+    ));
+
+    for family in families {
+        let params = StagedParams::new(k, c).expect("valid");
+        let n_eff = family.build(n, 0).vertex_count();
+        // First global phase index of each stage.
+        let mut stage_starts = Vec::new();
+        let mut cursor = 0usize;
+        for i in 0..params.stage_count(n_eff) {
+            stage_starts.push((i, cursor));
+            cursor += params.stage_phases(n_eff, i);
+        }
+        let survival: Vec<Vec<f64>> = par_trials(trials, |seed| {
+            let g = family.build(n, seed);
+            let outcome = staged::decompose(&g, &params, seed).expect("run");
+            let nv = g.vertex_count() as f64;
+            stage_starts
+                .iter()
+                .map(|&(_, phase)| {
+                    outcome
+                        .trace()
+                        .get(phase)
+                        .map_or(0.0, |t| t.alive_before as f64 / nv)
+                })
+                .collect()
+        });
+        for (idx, &(stage, phase)) in stage_starts.iter().enumerate() {
+            // Stop printing once the bound is negligible.
+            let bound = (-2.0 * stage as f64).exp();
+            if bound < 1e-4 {
+                break;
+            }
+            let mean = survival.iter().map(|s| s[idx]).sum::<f64>() / survival.len() as f64;
+            table.push_row(vec![
+                family.label(),
+                stage.to_string(),
+                phase.to_string(),
+                fmt_f(bound),
+                fmt_f(mean),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows() {
+        let tables = run(Effort::Quick);
+        assert_eq!(tables.len(), 1);
+        assert!(tables[0].row_count() >= 6);
+    }
+}

@@ -1,0 +1,93 @@
+//! E9 — Lemma 1: the probability that *any* vertex ever samples
+//! `r_v ≥ k + 1` (event `E_v`, forcing broadcast truncation) is at most
+//! `2/c` for Theorem 1's schedule and `4/c` for Theorem 2's.
+//!
+//! The event log of every run counts truncations exactly, so the measured
+//! column is the fraction of runs with at least one event.
+
+use netdecomp_core::{basic, params, staged};
+
+use crate::runner::par_trials;
+use crate::stats::fraction;
+use crate::table::{fmt_f, Table};
+use crate::workloads::Family;
+use crate::Effort;
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(effort: Effort) -> Vec<Table> {
+    let sizes = effort.sizes(&[256], &[256, 1024]).to_vec();
+    let trials = effort.trials(20, 100);
+    let family = Family::Gnp { avg_degree: 6.0 };
+
+    let mut table = Table::new(
+        "E9: Lemma 1 — frequency of truncation events E_v",
+        &["algorithm", "n", "k", "c", "bound", "P[any E_v] measured", "mean #events"],
+    );
+    table.set_caption(format!(
+        "E_v: some vertex samples r >= k+1 in some phase; {trials} trials/cell on {}",
+        family.label()
+    ));
+
+    for &n in &sizes {
+        for &(k, c) in &[(2usize, 4.0f64), (3, 4.0), (3, 16.0), (5, 4.0)] {
+            let p = params::DecompositionParams::new(k, c).expect("valid");
+            let results: Vec<(bool, usize)> = par_trials(trials, |seed| {
+                let g = family.build(n, seed);
+                let outcome = basic::decompose(&g, &p, seed).expect("run");
+                (
+                    !outcome.events().clean(),
+                    outcome.events().truncation_events,
+                )
+            });
+            let any = fraction(&results.iter().map(|r| r.0).collect::<Vec<_>>());
+            let mean_events =
+                results.iter().map(|r| r.1).sum::<usize>() as f64 / results.len() as f64;
+            table.push_row(vec![
+                "T1 basic".into(),
+                n.to_string(),
+                k.to_string(),
+                format!("{c}"),
+                fmt_f(2.0 / c),
+                fmt_f(any),
+                fmt_f(mean_events),
+            ]);
+        }
+        // Theorem 2's bound (4/c).
+        let k = 3usize;
+        let c = 8.0f64;
+        let sp = params::StagedParams::new(k, c).expect("valid");
+        let results: Vec<(bool, usize)> = par_trials(trials, |seed| {
+            let g = family.build(n, seed);
+            let outcome = staged::decompose(&g, &sp, seed).expect("run");
+            (
+                !outcome.events().clean(),
+                outcome.events().truncation_events,
+            )
+        });
+        let any = fraction(&results.iter().map(|r| r.0).collect::<Vec<_>>());
+        let mean_events = results.iter().map(|r| r.1).sum::<usize>() as f64 / results.len() as f64;
+        table.push_row(vec![
+            "T2 staged".into(),
+            n.to_string(),
+            k.to_string(),
+            format!("{c}"),
+            fmt_f(4.0 / c),
+            fmt_f(any),
+            fmt_f(mean_events),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows() {
+        let tables = run(Effort::Quick);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].row_count(), 5);
+    }
+}

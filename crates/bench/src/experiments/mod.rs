@@ -1,0 +1,50 @@
+//! One module per experiment; see the crate docs for the index.
+
+pub mod e1_theorem1;
+pub mod e2_theorem2;
+pub mod e3_high_radius;
+pub mod e4_strong_vs_weak;
+pub mod e5_congest;
+pub mod e6_order_stats;
+pub mod e7_survival;
+pub mod e8_staged_survival;
+pub mod e9_truncation;
+pub mod e10_padded;
+pub mod e11_applications;
+pub mod e12_tradeoff;
+pub mod e13_margin;
+pub mod e14_scaling;
+
+use crate::table::Table;
+use crate::Effort;
+
+/// Experiment ids accepted by the `tables` binary.
+pub const ALL: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+];
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the binary validates first).
+#[must_use]
+pub fn run(id: &str, effort: Effort) -> Vec<Table> {
+    match id {
+        "e1" => e1_theorem1::run(effort),
+        "e2" => e2_theorem2::run(effort),
+        "e3" => e3_high_radius::run(effort),
+        "e4" => e4_strong_vs_weak::run(effort),
+        "e5" => e5_congest::run(effort),
+        "e6" => e6_order_stats::run(effort),
+        "e7" => e7_survival::run(effort),
+        "e8" => e8_staged_survival::run(effort),
+        "e9" => e9_truncation::run(effort),
+        "e10" => e10_padded::run(effort),
+        "e11" => e11_applications::run(effort),
+        "e12" => e12_tradeoff::run(effort),
+        "e13" => e13_margin::run(effort),
+        "e14" => e14_scaling::run(effort),
+        other => panic!("unknown experiment id {other}"),
+    }
+}

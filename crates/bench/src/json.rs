@@ -1,0 +1,499 @@
+//! A minimal JSON serializer backend for [`serde::Serialize`].
+//!
+//! The workspace's report types (`DecompositionReport`, parameter structs,
+//! experiment tables) derive `Serialize`; this module turns them into JSON
+//! text so experiment results are machine-readable — without pulling a
+//! JSON crate into the dependency set (see DESIGN.md §4).
+//!
+//! Supported: the entire serde data model except byte strings and
+//! deserialization (reports are write-only artifacts).
+
+use std::fmt::Write as _;
+
+use serde::ser::{self, Serialize};
+
+/// Serializes any `Serialize` value to a compact JSON string.
+///
+/// # Errors
+///
+/// [`JsonError`] if the value contains non-finite floats, byte strings, or
+/// map keys that are not strings.
+///
+/// # Example
+///
+/// ```
+/// use netdecomp_bench::json::to_json;
+/// use serde::Serialize;
+///
+/// #[derive(Serialize)]
+/// struct Row { name: String, score: f64, tags: Vec<u32> }
+///
+/// let row = Row { name: "e1".into(), score: 0.5, tags: vec![1, 2] };
+/// assert_eq!(
+///     to_json(&row)?,
+///     r#"{"name":"e1","score":0.5,"tags":[1,2]}"#
+/// );
+/// # Ok::<(), netdecomp_bench::json::JsonError>(())
+/// ```
+pub fn to_json<T: Serialize + ?Sized>(value: &T) -> Result<String, JsonError> {
+    let mut ser = JsonSerializer { out: String::new() };
+    value.serialize(&mut ser)?;
+    Ok(ser.out)
+}
+
+/// Error produced when a value cannot be represented as JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl ser::Error for JsonError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        JsonError(msg.to_string())
+    }
+}
+
+struct JsonSerializer {
+    out: String,
+}
+
+impl JsonSerializer {
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for ch in s.chars() {
+            match ch {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.out, "\\u{:04x}", c as u32);
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn push_f64(&mut self, v: f64) -> Result<(), JsonError> {
+        if !v.is_finite() {
+            return Err(JsonError(format!("non-finite float {v}")));
+        }
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+}
+
+/// Compound serializer tracking whether a separator is needed.
+struct Compound<'a> {
+    ser: &'a mut JsonSerializer,
+    first: bool,
+    closer: char,
+}
+
+impl Compound<'_> {
+    fn sep(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.ser.out.push(',');
+        }
+    }
+
+    fn end_inner(self) {
+        self.ser.out.push(self.closer);
+    }
+}
+
+macro_rules! int_impls {
+    ($($name:ident: $ty:ty),*) => {
+        $(fn $name(self, v: $ty) -> Result<(), JsonError> {
+            let _ = write!(self.out, "{v}");
+            Ok(())
+        })*
+    };
+}
+
+impl<'a> ser::Serializer for &'a mut JsonSerializer {
+    type Ok = ();
+    type Error = JsonError;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), JsonError> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    int_impls!(
+        serialize_i8: i8, serialize_i16: i16, serialize_i32: i32, serialize_i64: i64,
+        serialize_u8: u8, serialize_u16: u16, serialize_u32: u32, serialize_u64: u64
+    );
+
+    fn serialize_f32(self, v: f32) -> Result<(), JsonError> {
+        self.push_f64(f64::from(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), JsonError> {
+        self.push_f64(v)
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), JsonError> {
+        self.push_escaped(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), JsonError> {
+        self.push_escaped(v);
+        Ok(())
+    }
+
+    fn serialize_bytes(self, _v: &[u8]) -> Result<(), JsonError> {
+        Err(JsonError("byte strings are not supported".into()))
+    }
+
+    fn serialize_none(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), JsonError> {
+        self.serialize_unit()
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<(), JsonError> {
+        self.push_escaped(variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.out.push('{');
+        self.push_escaped(variant);
+        self.out.push(':');
+        value.serialize(&mut *self)?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, JsonError> {
+        self.out.push('[');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            closer: ']',
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Compound<'a>, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.out.push('{');
+        self.push_escaped(variant);
+        self.out.push_str(":[");
+        Ok(Compound {
+            ser: self,
+            first: true,
+            closer: ']', // object brace closed in end()
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, JsonError> {
+        self.out.push('{');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            closer: '}',
+        })
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.serialize_map(None)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.out.push('{');
+        self.push_escaped(variant);
+        self.out.push_str(":{");
+        Ok(Compound {
+            ser: self,
+            first: true,
+            closer: '}', // object brace closed in end()
+        })
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.sep();
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.end_inner();
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.ser.out.push(']');
+        self.ser.out.push('}');
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), JsonError> {
+        self.sep();
+        // JSON object keys must be strings: serialize the key and require
+        // the output to be a string literal.
+        let before = self.ser.out.len();
+        key.serialize(&mut *self.ser)?;
+        if !self.ser.out[before..].starts_with('"') {
+            return Err(JsonError("map keys must be strings".into()));
+        }
+        self.ser.out.push(':');
+        Ok(())
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.end_inner();
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.sep();
+        self.ser.push_escaped(key);
+        self.ser.out.push(':');
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.end_inner();
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.ser.out.push('}');
+        self.ser.out.push('}');
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Nested {
+        flag: bool,
+        opt: Option<u32>,
+        none: Option<u32>,
+        list: Vec<i32>,
+    }
+
+    #[test]
+    fn structs_and_options() {
+        let v = Nested {
+            flag: true,
+            opt: Some(7),
+            none: None,
+            list: vec![-1, 2],
+        };
+        assert_eq!(
+            to_json(&v).unwrap(),
+            r#"{"flag":true,"opt":7,"none":null,"list":[-1,2]}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            to_json("a\"b\\c\nd\u{1}").unwrap(),
+            r#""a\"b\\c\nd\u0001""#
+        );
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        assert_eq!(to_json(&42u64).unwrap(), "42");
+        assert_eq!(to_json(&-3i32).unwrap(), "-3");
+        assert_eq!(to_json(&2.5f64).unwrap(), "2.5");
+        assert!(to_json(&f64::NAN).is_err());
+        assert!(to_json(&f64::INFINITY).is_err());
+    }
+
+    #[derive(Serialize)]
+    enum Mode {
+        Quick,
+        Custom { cells: u32 },
+        Pair(u8, u8),
+    }
+
+    #[test]
+    fn enum_representations() {
+        assert_eq!(to_json(&Mode::Quick).unwrap(), r#""Quick""#);
+        assert_eq!(
+            to_json(&Mode::Custom { cells: 3 }).unwrap(),
+            r#"{"Custom":{"cells":3}}"#
+        );
+        assert_eq!(to_json(&Mode::Pair(1, 2)).unwrap(), r#"{"Pair":[1,2]}"#);
+    }
+
+    #[test]
+    fn maps_require_string_keys() {
+        let mut ok = std::collections::BTreeMap::new();
+        ok.insert("a".to_string(), 1u8);
+        assert_eq!(to_json(&ok).unwrap(), r#"{"a":1}"#);
+        let mut bad = std::collections::BTreeMap::new();
+        bad.insert(3u32, 1u8);
+        assert!(to_json(&bad).is_err());
+    }
+
+    #[test]
+    fn tuples_and_units() {
+        assert_eq!(to_json(&(1u8, "x")).unwrap(), r#"[1,"x"]"#);
+        assert_eq!(to_json(&()).unwrap(), "null");
+    }
+
+    #[test]
+    fn report_types_serialize() {
+        // The workspace's own derived types go through cleanly.
+        let params = netdecomp_core::params::DecompositionParams::new(3, 4.0).unwrap();
+        let text = to_json(&params).unwrap();
+        assert!(text.contains("\"k\":3"));
+        assert!(text.contains("\"c\":4"));
+    }
+}

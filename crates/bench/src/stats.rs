@@ -1,0 +1,85 @@
+//! Summary statistics over trial outcomes.
+
+/// Summary of a sample of `f64` observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Minimum (0 for an empty sample).
+    pub min: f64,
+    /// Maximum (0 for an empty sample).
+    pub max: f64,
+    /// Population standard deviation (0 for fewer than 2 observations).
+    pub std: f64,
+}
+
+/// Summarizes a sample.
+#[must_use]
+pub fn summarize(xs: &[f64]) -> Summary {
+    if xs.is_empty() {
+        return Summary {
+            count: 0,
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            std: 0.0,
+        };
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    Summary {
+        count: xs.len(),
+        mean,
+        min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+        max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        std: var.sqrt(),
+    }
+}
+
+/// Summarizes a sample of integers.
+#[must_use]
+pub fn summarize_usize(xs: &[usize]) -> Summary {
+    summarize(&xs.iter().map(|&x| x as f64).collect::<Vec<_>>())
+}
+
+/// Fraction of `true` entries.
+#[must_use]
+pub fn fraction(flags: &[bool]) -> f64 {
+    if flags.is_empty() {
+        return 0.0;
+    }
+    flags.iter().filter(|&&b| b).count() as f64 / flags.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample() {
+        let s = summarize(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn usize_and_fraction() {
+        let s = summarize_usize(&[2, 4]);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((fraction(&[true, false, true, true]) - 0.75).abs() < 1e-12);
+        assert_eq!(fraction(&[]), 0.0);
+    }
+}

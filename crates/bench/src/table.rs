@@ -1,0 +1,137 @@
+//! Aligned text tables for experiment output.
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// A simple aligned text table with a title and caption.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Table {
+    title: String,
+    caption: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            caption: String::new(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets an explanatory caption printed under the title.
+    pub fn set_caption(&mut self, caption: impl Into<String>) {
+        self.caption = caption.into();
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the headers'.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        if !self.caption.is_empty() {
+            writeln!(f, "{}", self.caption)?;
+        }
+        writeln!(f)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for i in 0..cols {
+                write!(f, " {:<width$} |", cells[i], width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats an `Option<usize>` diameter, rendering `None` as `inf`
+/// (disconnected cluster).
+#[must_use]
+pub fn fmt_diameter(d: Option<usize>) -> String {
+    match d {
+        Some(x) => x.to_string(),
+        None => "inf".into(),
+    }
+}
+
+/// Formats a float with 3 decimals.
+#[must_use]
+pub fn fmt_f(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.set_caption("caption text");
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["333".into(), "4".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("caption text"));
+        assert!(s.contains("| a   | long-header |"));
+        assert!(s.contains("| 333 | 4           |"));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_diameter(Some(4)), "4");
+        assert_eq!(fmt_diameter(None), "inf");
+        assert_eq!(fmt_f(1.0 / 3.0), "0.333");
+    }
+}

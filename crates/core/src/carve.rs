@@ -1,0 +1,500 @@
+//! One phase of block carving: the shifted-shortest-path propagation.
+//!
+//! Given the current graph `G_t` (the subgraph induced by the alive set) and
+//! a shift `r_v` per alive vertex, every vertex `y` must learn the two
+//! largest values of `m_v = r_v − d_{G_t}(y, v)` over all `v` whose
+//! (truncated) broadcast reaches it, then join the block iff
+//! `m₁ − m₂ > 1`, choosing `v₁` as its center.
+//!
+//! [`carve_phase`] computes this **exactly** — it is a centralized
+//! simulation of the `k` communication rounds, implemented as a multi-source
+//! best-two Dijkstra over the keys `r_v − d`. Only a vertex's two best
+//! distinct-origin labels are ever expanded, which is sound for precisely
+//! the reason the paper gives for its CONGEST implementation: if two
+//! distinct origins dominate a label at `y`, they dominate it (and outlive
+//! it, since `m_a > m_b` implies `⌊m_a⌋ ≥ ⌊m_b⌋`, so the dominators'
+//! remaining broadcast ranges are no shorter) at every vertex reachable
+//! through `y`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use netdecomp_graph::{Graph, VertexId, VertexSet};
+
+/// What one vertex decided in one phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CarveDecision {
+    /// The best value `m₁ = r_{v₁} − d(y, v₁)`.
+    pub m1: f64,
+    /// The vertex achieving `m₁` (the would-be center).
+    pub center: VertexId,
+    /// The second best value `m₂` (0 when only one broadcast arrived, as the
+    /// paper defines).
+    pub m2: f64,
+    /// `true` iff `m₁ − m₂ > 1`: the vertex joins the block this phase.
+    pub joined: bool,
+}
+
+/// Result of one carving phase over the alive set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseResult {
+    /// Decision per vertex; `None` for vertices outside the alive set.
+    pub decisions: Vec<Option<CarveDecision>>,
+    /// Number of alive vertices whose `⌊r_v⌋` exceeded the cap (event `E_v`
+    /// of Lemma 1); their broadcasts were truncated at the cap.
+    pub truncated: usize,
+    /// Largest shift sampled among alive vertices this phase.
+    pub max_shift: f64,
+}
+
+impl PhaseResult {
+    /// The vertices that joined the block this phase.
+    #[must_use]
+    pub fn joined(&self) -> Vec<VertexId> {
+        self.decisions
+            .iter()
+            .enumerate()
+            .filter_map(|(v, d)| match d {
+                Some(d) if d.joined => Some(v),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A propagation label in the heap: origin's broadcast as seen at `vertex`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapLabel {
+    value: f64,
+    origin: VertexId,
+    vertex: VertexId,
+    dist: usize,
+}
+
+impl Eq for HeapLabel {}
+
+impl Ord for HeapLabel {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on value; ties broken toward the smaller origin id, then
+        // the smaller vertex id, so pop order is fully deterministic.
+        self.value
+            .total_cmp(&other.value)
+            .then_with(|| other.origin.cmp(&self.origin))
+            .then_with(|| other.vertex.cmp(&self.vertex))
+            .then_with(|| other.dist.cmp(&self.dist))
+    }
+}
+
+impl PartialOrd for HeapLabel {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-vertex record of the best two distinct-origin labels.
+#[derive(Debug, Clone, Copy, Default)]
+struct TopTwo {
+    slots: [Option<(f64, VertexId)>; 2],
+}
+
+impl TopTwo {
+    fn has_origin(&self, origin: VertexId) -> bool {
+        self.slots
+            .iter()
+            .flatten()
+            .any(|&(_, o)| o == origin)
+    }
+
+    fn is_full(&self) -> bool {
+        self.slots.iter().all(Option::is_some)
+    }
+
+    /// Inserts keeping slot 0 as the better label (value desc, then origin
+    /// asc). Caller guarantees the origin is new and a slot is free **or**
+    /// the label belongs above an existing slot (push order guarantees
+    /// values arrive non-increasing, so simple append-then-sort suffices).
+    fn insert(&mut self, value: f64, origin: VertexId) {
+        debug_assert!(!self.has_origin(origin));
+        if self.slots[0].is_none() {
+            self.slots[0] = Some((value, origin));
+        } else {
+            debug_assert!(self.slots[1].is_none());
+            self.slots[1] = Some((value, origin));
+        }
+    }
+}
+
+/// Executes one carving phase with the paper's join margin of 1.
+///
+/// - `alive`: the vertex set of the current graph `G_t`.
+/// - `shifts[v]`: the sampled `r_v` (only alive entries are read).
+/// - `cap`: broadcast radius cap — the number of communication rounds the
+///   phase is allotted (`k` for Theorems 1 and 2). Broadcasts whose `⌊r_v⌋`
+///   exceeds it are truncated at `cap` hops and counted in
+///   [`PhaseResult::truncated`].
+///
+/// # Panics
+///
+/// Panics if `alive`'s universe or `shifts`' length differ from the graph's
+/// vertex count.
+#[must_use]
+pub fn carve_phase(
+    g: &Graph,
+    alive: &VertexSet,
+    shifts: &[f64],
+    cap: usize,
+) -> PhaseResult {
+    carve_phase_with_margin(g, alive, shifts, cap, 1.0)
+}
+
+/// [`carve_phase`] with an explicit join margin `θ` (join iff
+/// `m₁ − m₂ > θ`).
+///
+/// The paper fixes `θ = 1`; this generalization exists for the ablation
+/// experiment (E13): the proof of Lemma 4 uses `θ = 1` exactly — vertices
+/// one hop apart see values differing by at most 1, so any `θ < 1` lets
+/// adjacent vertices adopt different centers inside one connected block
+/// (breaking the strong-diameter argument), while `θ > 1` only slows the
+/// carving down (Lemma 5's per-phase join probability shrinks).
+///
+/// # Panics
+///
+/// Panics on mismatched sizes (as [`carve_phase`]) or a negative/NaN
+/// margin.
+#[must_use]
+pub fn carve_phase_with_margin(
+    g: &Graph,
+    alive: &VertexSet,
+    shifts: &[f64],
+    cap: usize,
+    margin: f64,
+) -> PhaseResult {
+    assert!(
+        margin.is_finite() && margin >= 0.0,
+        "margin must be finite and nonnegative"
+    );
+    let n = g.vertex_count();
+    assert_eq!(alive.universe(), n, "alive universe must match graph");
+    assert_eq!(shifts.len(), n, "one shift per vertex");
+
+    let mut tops: Vec<TopTwo> = vec![TopTwo::default(); n];
+    let mut heap: BinaryHeap<HeapLabel> = BinaryHeap::new();
+    let mut truncated = 0usize;
+    let mut max_shift = 0.0f64;
+
+    for v in alive.iter() {
+        let r = shifts[v];
+        debug_assert!(r >= 0.0, "shifts are nonnegative");
+        max_shift = max_shift.max(r);
+        if (r.floor() as usize) > cap {
+            truncated += 1;
+        }
+        heap.push(HeapLabel {
+            value: r,
+            origin: v,
+            vertex: v,
+            dist: 0,
+        });
+    }
+
+    while let Some(label) = heap.pop() {
+        let t = &mut tops[label.vertex];
+        if t.has_origin(label.origin) || t.is_full() {
+            // Stale (same origin arrived with a better value) or dominated
+            // by two distinct origins: this label is irrelevant everywhere
+            // downstream too.
+            continue;
+        }
+        t.insert(label.value, label.origin);
+        // Expand: the origin's broadcast travels one more hop if its radius
+        // (and the phase's round budget) allow.
+        let radius = (shifts[label.origin].floor() as usize).min(cap);
+        let next_dist = label.dist + 1;
+        if next_dist > radius {
+            continue;
+        }
+        for &z in g.neighbors(label.vertex) {
+            if alive.contains(z) && !tops[z].is_full() && !tops[z].has_origin(label.origin) {
+                heap.push(HeapLabel {
+                    value: label.value - 1.0,
+                    origin: label.origin,
+                    vertex: z,
+                    dist: next_dist,
+                });
+            }
+        }
+    }
+
+    let mut decisions: Vec<Option<CarveDecision>> = vec![None; n];
+    for y in alive.iter() {
+        let t = &tops[y];
+        let (m1, center) = t.slots[0].expect("every alive vertex hears itself");
+        let m2 = t.slots[1].map_or(0.0, |(v, _)| v);
+        decisions[y] = Some(CarveDecision {
+            m1,
+            center,
+            m2,
+            joined: m1 - m2 > margin,
+        });
+    }
+    PhaseResult {
+        decisions,
+        truncated,
+        max_shift,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use netdecomp_graph::generators;
+
+    fn full(n: usize) -> VertexSet {
+        VertexSet::full(n)
+    }
+
+    #[test]
+    fn isolated_vertex_joins_iff_shift_above_one() {
+        let g = Graph::empty(2);
+        let res = carve_phase(&g, &full(2), &[1.5, 0.5], 3);
+        let d0 = res.decisions[0].unwrap();
+        assert!(d0.joined); // m1 = 1.5, m2 = 0
+        assert_eq!(d0.center, 0);
+        let d1 = res.decisions[1].unwrap();
+        assert!(!d1.joined); // m1 = 0.5 - 0 = 0.5 <= 1
+    }
+
+    #[test]
+    fn single_dominant_center_captures_path() {
+        // Vertex 0 has a huge shift; everyone within radius joins with
+        // center 0.
+        let g = generators::path(5);
+        let shifts = [4.5, 0.0, 0.0, 0.0, 0.0];
+        let res = carve_phase(&g, &full(5), &shifts, 10);
+        for v in 0..5 {
+            let d = res.decisions[v].unwrap();
+            assert_eq!(d.center, 0, "vertex {v}");
+            assert!((d.m1 - (4.5 - v as f64)).abs() < 1e-12);
+        }
+        // m2 = 0 everywhere (all other broadcasts have radius 0), so a
+        // vertex joins iff 4.5 - d(0, v) > 1, i.e. d <= 3.
+        for v in 0..4 {
+            assert!(res.decisions[v].unwrap().joined, "vertex {v} should join");
+        }
+        assert!(!res.decisions[4].unwrap().joined, "4.5 - 4 = 0.5 <= 1");
+        assert_eq!(res.joined().len(), 4);
+    }
+
+    #[test]
+    fn radius_truncation_respects_cap() {
+        // Same dominant center but cap 2: vertices 3, 4 never hear it.
+        let g = generators::path(5);
+        let shifts = [4.5, 0.0, 0.0, 0.0, 0.0];
+        let res = carve_phase(&g, &full(5), &shifts, 2);
+        assert_eq!(res.truncated, 1); // floor(4.5) = 4 > 2
+        let d3 = res.decisions[3].unwrap();
+        assert_ne!(d3.center, 0);
+        let d2 = res.decisions[2].unwrap();
+        assert_eq!(d2.center, 0); // distance 2 <= cap
+    }
+
+    #[test]
+    fn competing_centers_split_a_path() {
+        // Two strong centers at the ends; the middle hears both and the
+        // difference there is small, so the midpoint stays out.
+        let g = generators::path(7);
+        let shifts = [5.2, 0.0, 0.0, 0.0, 0.0, 0.0, 5.2];
+        let res = carve_phase(&g, &full(7), &shifts, 10);
+        // Vertex 3 hears 5.2-3 = 2.2 from both ends: m1 - m2 = 0.
+        let d3 = res.decisions[3].unwrap();
+        assert!(!d3.joined);
+        // Vertex 1 hears 4.2 from 0 and 5.2-5 = 0.2 from 6: joins 0.
+        let d1 = res.decisions[1].unwrap();
+        assert!(d1.joined);
+        assert_eq!(d1.center, 0);
+        // Vertex 5 symmetric.
+        let d5 = res.decisions[5].unwrap();
+        assert!(d5.joined);
+        assert_eq!(d5.center, 6);
+    }
+
+    #[test]
+    fn margin_exactly_one_does_not_join() {
+        // Two vertices, shifts engineered so m1 - m2 == 1 exactly.
+        let g = generators::path(2);
+        let shifts = [3.0, 1.0]; // at vertex 1: m = [3.0 - 1, 1.0] = [2, 1]
+        let res = carve_phase(&g, &full(2), &shifts, 5);
+        let d1 = res.decisions[1].unwrap();
+        assert!((d1.m1 - 2.0).abs() < 1e-12);
+        assert!((d1.m2 - 1.0).abs() < 1e-12);
+        assert!(!d1.joined, "strict inequality required");
+    }
+
+    #[test]
+    fn dead_vertices_do_not_relay() {
+        // Path 0-1-2 with vertex 1 dead: 0's broadcast cannot reach 2.
+        let g = generators::path(3);
+        let mut alive = VertexSet::full(3);
+        alive.remove(1);
+        let shifts = [9.0, 0.0, 0.1];
+        let res = carve_phase(&g, &alive, &shifts, 10);
+        assert!(res.decisions[1].is_none());
+        let d2 = res.decisions[2].unwrap();
+        assert_eq!(d2.center, 2, "vertex 2 only hears itself");
+        assert!((d2.m1 - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observation2_holds_for_joiners() {
+        // Observation 2: a joiner y with center v has d(v,y) < r_v - 1.
+        let g = generators::grid2d(6, 6);
+        let alive = full(36);
+        let shifts: Vec<f64> = (0..36)
+            .map(|v| crate::shift::ShiftSource::new(11, 0.7).unwrap().shift(0, v))
+            .collect();
+        let res = carve_phase(&g, &alive, &shifts, 8);
+        let dist_cache: Vec<Vec<Option<usize>>> = (0..36)
+            .map(|v| netdecomp_graph::bfs::distances_restricted(&g, v, &alive))
+            .collect();
+        for y in 0..36 {
+            let d = res.decisions[y].unwrap();
+            if d.joined {
+                let dist = dist_cache[d.center][y].expect("center reachable");
+                assert!(
+                    (dist as f64) < shifts[d.center] - 1.0,
+                    "Observation 2 violated at {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_alive_vertex_gets_a_decision() {
+        let g = generators::cycle(12);
+        let shifts: Vec<f64> = (0..12).map(|v| 0.3 * v as f64).collect();
+        let res = carve_phase(&g, &full(12), &shifts, 4);
+        assert!(res.decisions.iter().all(Option::is_some));
+        assert!((res.max_shift - 3.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn own_value_is_a_lower_bound_on_m1() {
+        let g = generators::cycle(10);
+        let shifts: Vec<f64> = (0..10).map(|v| (v as f64) * 0.17).collect();
+        let res = carve_phase(&g, &full(10), &shifts, 5);
+        for v in 0..10 {
+            let d = res.decisions[v].unwrap();
+            assert!(d.m1 >= shifts[v] - 1e-12, "m1 below own shift at {v}");
+        }
+    }
+
+    #[test]
+    fn zero_margin_joins_everyone() {
+        // theta = 0: every vertex has m1 - m2 >= 0... strictly greater than
+        // 0 whenever there is any asymmetry; with distinct shifts all
+        // vertices join (MPX-style one-shot partition).
+        let g = generators::path(6);
+        let shifts: Vec<f64> = (0..6).map(|v| 2.0 + 0.1 * v as f64).collect();
+        let res = carve_phase_with_margin(&g, &full(6), &shifts, 10, 0.0);
+        assert_eq!(res.joined().len(), 6);
+    }
+
+    #[test]
+    fn larger_margin_joins_fewer() {
+        let g = generators::grid2d(6, 6);
+        let src = crate::shift::ShiftSource::new(3, 0.6).unwrap();
+        let shifts: Vec<f64> = (0..36).map(|v| src.shift(0, v)).collect();
+        let low = carve_phase_with_margin(&g, &full(36), &shifts, 6, 0.5);
+        let mid = carve_phase(&g, &full(36), &shifts, 6);
+        let high = carve_phase_with_margin(&g, &full(36), &shifts, 6, 2.0);
+        assert!(low.joined().len() >= mid.joined().len());
+        assert!(mid.joined().len() >= high.joined().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be finite")]
+    fn negative_margin_panics() {
+        let g = generators::path(2);
+        let _ = carve_phase_with_margin(&g, &full(2), &[0.0, 0.0], 1, -1.0);
+    }
+
+    #[test]
+    fn claim3_path_containment_for_joiners() {
+        // Claim 3: if y joined with center v, every vertex on a shortest
+        // path from v to y in G_t joined with center v too.
+        use netdecomp_graph::bfs;
+        for seed in 0..6u64 {
+            let g = generators::grid2d(6, 6);
+            let n = 36;
+            let alive = full(n);
+            let src = crate::shift::ShiftSource::new(seed, 0.7).unwrap();
+            let shifts: Vec<f64> = (0..n).map(|v| src.shift(0, v)).collect();
+            // Use a large cap so no truncation interferes with the claim.
+            let res = carve_phase(&g, &alive, &shifts, 100);
+            for y in 0..n {
+                let d = res.decisions[y].unwrap();
+                if !d.joined || d.center == y {
+                    continue;
+                }
+                // Walk one shortest path from y back to the center greedily.
+                let dist_from_center = bfs::distances_restricted(&g, d.center, &alive);
+                let mut cur = y;
+                while cur != d.center {
+                    let dc = dist_from_center[cur].expect("reachable");
+                    let next = g
+                        .neighbors(cur)
+                        .iter()
+                        .copied()
+                        .find(|&z| dist_from_center[z] == Some(dc - 1))
+                        .expect("a predecessor exists on a shortest path");
+                    let nd = res.decisions[next].unwrap();
+                    assert!(nd.joined, "seed {seed}: path vertex {next} not joined");
+                    assert_eq!(
+                        nd.center, d.center,
+                        "seed {seed}: path vertex {next} chose another center"
+                    );
+                    cur = next;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_agreement_on_small_graphs() {
+        // Compare the pruned Dijkstra against a brute-force evaluation of
+        // m_v = r_v - d(y, v) with radius truncation.
+        use netdecomp_graph::bfs;
+        let seeds = [1u64, 2, 3];
+        for seed in seeds {
+            let src = crate::shift::ShiftSource::new(seed, 0.9).unwrap();
+            let g = generators::grid2d(4, 4);
+            let n = 16;
+            let alive = full(n);
+            let cap = 4usize;
+            let shifts: Vec<f64> = (0..n).map(|v| src.shift(0, v)).collect();
+            let res = carve_phase(&g, &alive, &shifts, cap);
+            for y in 0..n {
+                // Brute force: collect r_v - d for all v with d <= min(floor(r_v), cap).
+                let mut vals: Vec<(f64, usize)> = Vec::new();
+                for v in 0..n {
+                    let d = bfs::distances_restricted(&g, v, &alive)[y];
+                    if let Some(d) = d {
+                        let radius = (shifts[v].floor() as usize).min(cap);
+                        if d <= radius {
+                            vals.push((shifts[v] - d as f64, v));
+                        }
+                    }
+                }
+                vals.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+                let expect_m1 = vals[0].0;
+                let expect_center = vals[0].1;
+                let expect_m2 = vals.get(1).map_or(0.0, |x| x.0);
+                let d = res.decisions[y].unwrap();
+                assert_eq!(d.center, expect_center, "center mismatch at {y} (seed {seed})");
+                assert!((d.m1 - expect_m1).abs() < 1e-12);
+                assert!((d.m2 - expect_m2).abs() < 1e-12);
+            }
+        }
+    }
+}

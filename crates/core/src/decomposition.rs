@@ -1,0 +1,195 @@
+//! The network-decomposition data structure.
+
+use netdecomp_graph::{Partition, VertexId};
+
+/// A `(D, χ)` network decomposition: a partition of the vertices into
+/// clusters, each cluster tagged with the *block* (phase) that carved it.
+///
+/// Clusters carved in the same block are pairwise non-adjacent (they are
+/// distinct connected components of the block's induced subgraph), so the
+/// block index is a proper coloring of the supergraph `G(P)`: the number of
+/// blocks is the decomposition's `χ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkDecomposition {
+    partition: Partition,
+    /// Block (= supergraph color) of each cluster, indexed by cluster id.
+    cluster_blocks: Vec<usize>,
+    /// The center vertex each cluster formed around.
+    cluster_centers: Vec<VertexId>,
+    /// Total number of blocks (phases that carved at least one vertex are
+    /// compacted to a dense range `0..block_count`).
+    block_count: usize,
+}
+
+impl NetworkDecomposition {
+    /// Assembles a decomposition from a partition and per-cluster block
+    /// tags/centers. Block tags are compacted to dense indices preserving
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors' lengths differ from the partition's cluster
+    /// count.
+    #[must_use]
+    pub fn from_parts(
+        partition: Partition,
+        cluster_blocks: Vec<usize>,
+        cluster_centers: Vec<VertexId>,
+    ) -> Self {
+        assert_eq!(
+            partition.cluster_count(),
+            cluster_blocks.len(),
+            "one block tag per cluster"
+        );
+        assert_eq!(
+            partition.cluster_count(),
+            cluster_centers.len(),
+            "one center per cluster"
+        );
+        // Compact block tags.
+        let mut sorted: Vec<usize> = cluster_blocks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let dense: Vec<usize> = cluster_blocks
+            .iter()
+            .map(|b| sorted.binary_search(b).expect("tag present"))
+            .collect();
+        NetworkDecomposition {
+            partition,
+            cluster_blocks: dense,
+            cluster_centers,
+            block_count: sorted.len(),
+        }
+    }
+
+    /// The underlying partition.
+    #[must_use]
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.partition.vertex_count()
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn cluster_count(&self) -> usize {
+        self.partition.cluster_count()
+    }
+
+    /// Number of blocks — the decomposition's color count `χ`.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.block_count
+    }
+
+    /// Block (supergraph color) of cluster `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn block_of_cluster(&self, c: usize) -> usize {
+        self.cluster_blocks[c]
+    }
+
+    /// Center vertex of cluster `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn center_of_cluster(&self, c: usize) -> VertexId {
+        self.cluster_centers[c]
+    }
+
+    /// Cluster of vertex `v` (`None` if the algorithm left it unassigned,
+    /// which is the theorem's low-probability failure mode).
+    #[must_use]
+    pub fn cluster_of(&self, v: VertexId) -> Option<usize> {
+        self.partition.cluster_of(v)
+    }
+
+    /// Block (color) of vertex `v`.
+    #[must_use]
+    pub fn block_of(&self, v: VertexId) -> Option<usize> {
+        self.cluster_of(v).map(|c| self.cluster_blocks[c])
+    }
+
+    /// Cluster ids grouped by block, indexed by block.
+    #[must_use]
+    pub fn blocks(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.block_count];
+        for (c, &b) in self.cluster_blocks.iter().enumerate() {
+            out[b].push(c);
+        }
+        out
+    }
+
+    /// Per-cluster block tags, indexed by cluster id.
+    #[must_use]
+    pub fn cluster_blocks(&self) -> &[usize] {
+        &self.cluster_blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NetworkDecomposition {
+        // 6 vertices; clusters {0,1} (block 0), {2} (block 2), {3,4,5} (block 2).
+        let mut p = Partition::new(6);
+        p.push_cluster(&[0, 1]);
+        p.push_cluster(&[2]);
+        p.push_cluster(&[3, 4, 5]);
+        NetworkDecomposition::from_parts(p, vec![0, 2, 2], vec![0, 2, 4])
+    }
+
+    #[test]
+    fn block_compaction() {
+        let d = sample();
+        assert_eq!(d.block_count(), 2); // tags {0, 2} -> dense {0, 1}
+        assert_eq!(d.block_of_cluster(0), 0);
+        assert_eq!(d.block_of_cluster(1), 1);
+        assert_eq!(d.block_of_cluster(2), 1);
+    }
+
+    #[test]
+    fn vertex_lookups() {
+        let d = sample();
+        assert_eq!(d.cluster_of(4), Some(2));
+        assert_eq!(d.block_of(4), Some(1));
+        assert_eq!(d.block_of(0), Some(0));
+        assert_eq!(d.center_of_cluster(2), 4);
+        assert_eq!(d.cluster_count(), 3);
+        assert_eq!(d.vertex_count(), 6);
+    }
+
+    #[test]
+    fn blocks_grouping() {
+        let d = sample();
+        assert_eq!(d.blocks(), vec![vec![0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn incomplete_partition_reports_none() {
+        let mut p = Partition::new(3);
+        p.push_cluster(&[0]);
+        let d = NetworkDecomposition::from_parts(p, vec![5], vec![0]);
+        assert_eq!(d.cluster_of(1), None);
+        assert_eq!(d.block_of(1), None);
+        assert_eq!(d.block_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one block tag per cluster")]
+    fn mismatched_blocks_panics() {
+        let mut p = Partition::new(2);
+        p.push_cluster(&[0, 1]);
+        let _ = NetworkDecomposition::from_parts(p, vec![], vec![0]);
+    }
+}

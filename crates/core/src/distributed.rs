@@ -1,0 +1,564 @@
+//! The faithful distributed (CONGEST) execution of the algorithm.
+//!
+//! Each phase, every alive vertex broadcasts `(origin, r_v)` to its
+//! `⌊r_v⌋`-neighborhood by per-round relaying. With
+//! [`Forwarding::TopTwo`], a vertex relays only entries currently among its
+//! two best — the paper's CONGEST implementation, where every message is
+//! `O(1)` words; with [`Forwarding::Full`] it relays every improvement (the
+//! naive LOCAL flood) for comparison. Both produce the same clustering
+//! decisions (and the same decisions as the centralized simulation in
+//! [`crate::basic`]); the difference — measured by the returned
+//! [`RunStats`] — is communication volume.
+
+use bytes::Bytes;
+use netdecomp_graph::{Graph, VertexId, VertexSet};
+use netdecomp_sim::wire::{WireReader, WireWriter};
+use netdecomp_sim::{CongestLimit, Ctx, Incoming, Outgoing, Protocol, RunStats, Simulator};
+
+use crate::carve::{CarveDecision, PhaseResult};
+use crate::driver::{run_phases_with_carver, BudgetPolicy, PhasePlan};
+use crate::outcome::DecompositionOutcome;
+use crate::params::{DecompositionParams, HighRadiusParams, StagedParams};
+use crate::DecompError;
+
+/// Relaying discipline of the per-phase broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Forwarding {
+    /// Relay only entries currently among the vertex's two best — the
+    /// paper's CONGEST-compatible rule (§2, final paragraph).
+    #[default]
+    TopTwo,
+    /// Relay every improved entry (LOCAL-model flood); exponentially more
+    /// messages, identical decisions.
+    Full,
+}
+
+/// Configuration of a distributed run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DistributedConfig {
+    /// Relaying discipline.
+    pub forwarding: Forwarding,
+    /// Per-edge byte budget enforced by the simulator (`Unlimited` measures
+    /// without enforcing).
+    pub congest_limit: CongestLimit,
+    /// Budget policy, as in the centralized driver.
+    pub policy: BudgetPolicy,
+}
+
+/// A decomposition produced by message passing, with its communication bill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedRun {
+    /// The algorithm outcome (identical in distribution — in fact, for equal
+    /// seeds identical bit-for-bit — to [`crate::basic::decompose`]).
+    pub outcome: DecompositionOutcome,
+    /// Aggregated communication statistics over all phases.
+    pub comm: RunStats,
+}
+
+/// One known broadcast entry at a vertex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    /// Origin vertex of the broadcast.
+    origin: VertexId,
+    /// The origin's sampled shift `r`.
+    r: f64,
+    /// Hop distance at which this vertex heard the origin (current best).
+    dist: usize,
+}
+
+impl Entry {
+    fn value(&self) -> f64 {
+        self.r - self.dist as f64
+    }
+
+    /// Ordering used everywhere: larger value first, ties toward the
+    /// smaller origin id (matches the centralized heap's tie-break).
+    fn beats(&self, other: &Entry) -> bool {
+        match self.value().total_cmp(&other.value()) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => self.origin < other.origin,
+        }
+    }
+}
+
+/// Per-vertex protocol state for one phase.
+#[derive(Debug)]
+struct CarveNode {
+    alive: bool,
+    r: f64,
+    cap: usize,
+    mode: Forwarding,
+    /// Known entries: all origins (Full) or at most two (TopTwo), kept
+    /// sorted best-first.
+    known: Vec<Entry>,
+}
+
+impl CarveNode {
+    fn new(alive: bool, r: f64, cap: usize, mode: Forwarding) -> Self {
+        CarveNode {
+            alive,
+            r,
+            cap,
+            mode,
+            known: Vec::new(),
+        }
+    }
+
+    /// Records an entry; returns `true` if the knowledge improved (new
+    /// origin accepted or a better distance for a known origin).
+    fn offer(&mut self, entry: Entry) -> bool {
+        if let Some(existing) = self.known.iter_mut().find(|e| e.origin == entry.origin) {
+            if entry.value() > existing.value() {
+                *existing = entry;
+                self.known.sort_by(|a, b| {
+                    if a.beats(b) {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    }
+                });
+                return true;
+            }
+            return false;
+        }
+        match self.mode {
+            Forwarding::Full => {
+                self.known.push(entry);
+            }
+            Forwarding::TopTwo => {
+                if self.known.len() >= 2 {
+                    // Replace the current runner-up if the newcomer beats it.
+                    let worst = self.known.len() - 1;
+                    if entry.beats(&self.known[worst]) {
+                        self.known[worst] = entry;
+                    } else {
+                        return false;
+                    }
+                } else {
+                    self.known.push(entry);
+                }
+            }
+        }
+        self.known.sort_by(|a, b| {
+            if a.beats(b) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        true
+    }
+
+    /// Should `entry` be relayed one hop further?
+    fn should_forward(&self, entry: &Entry) -> bool {
+        let radius = (entry.r.floor() as usize).min(self.cap);
+        if entry.dist + 1 > radius {
+            return false;
+        }
+        match self.mode {
+            Forwarding::Full => true,
+            Forwarding::TopTwo => self
+                .known
+                .iter()
+                .take(2)
+                .any(|e| e.origin == entry.origin),
+        }
+    }
+
+    fn encode(entry: &Entry) -> Bytes {
+        WireWriter::new()
+            .u32(entry.origin as u32)
+            .f64(entry.r)
+            .u16((entry.dist + 1) as u16)
+            .finish()
+    }
+
+    fn decode(payload: Bytes) -> Option<Entry> {
+        let mut r = WireReader::new(payload);
+        let origin = r.u32()? as VertexId;
+        let shift = r.f64()?;
+        let dist = r.u16()? as usize;
+        r.is_exhausted().then_some(Entry {
+            origin,
+            r: shift,
+            dist,
+        })
+    }
+
+    /// The best two entries as a carve decision (driver reads this after
+    /// the phase's rounds complete).
+    fn decision(&self) -> CarveDecision {
+        let best = self.known[0];
+        let m2 = self.known.get(1).map_or(0.0, Entry::value);
+        CarveDecision {
+            m1: best.value(),
+            center: best.origin,
+            m2,
+            joined: best.value() - m2 > 1.0,
+        }
+    }
+}
+
+impl Protocol for CarveNode {
+    fn start(&mut self, _ctx: &Ctx<'_>) -> Vec<Outgoing> {
+        if !self.alive {
+            return Vec::new();
+        }
+        let own = Entry {
+            origin: _ctx.id,
+            r: self.r,
+            dist: 0,
+        };
+        self.offer(own);
+        if self.should_forward(&own) {
+            vec![Outgoing::broadcast(Self::encode(&own))]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming]) -> Vec<Outgoing> {
+        if !self.alive {
+            return Vec::new();
+        }
+        let mut improved: Vec<Entry> = Vec::new();
+        for msg in incoming {
+            let Some(entry) = Self::decode(msg.payload.clone()) else {
+                debug_assert!(false, "malformed carve message");
+                continue;
+            };
+            if self.offer(entry) {
+                // Deduplicate by origin, keeping the better copy.
+                if let Some(slot) = improved.iter_mut().find(|e| e.origin == entry.origin) {
+                    if entry.value() > slot.value() {
+                        *slot = entry;
+                    }
+                } else {
+                    improved.push(entry);
+                }
+            }
+        }
+        improved
+            .into_iter()
+            .filter(|e| self.should_forward(e))
+            .map(|e| Outgoing::broadcast(Self::encode(&e)))
+            .collect()
+    }
+
+    fn is_halted(&self) -> bool {
+        true
+    }
+}
+
+/// Runs Theorem 1's algorithm by actual message passing on the simulator.
+///
+/// With the same `seed` and `params`, the returned decomposition is
+/// bit-identical to [`crate::basic::decompose`]'s (the integration suite
+/// asserts this); additionally the communication totals are returned.
+///
+/// # Errors
+///
+/// [`DecompError::Simulation`] if the configured CONGEST limit is violated
+/// (only possible with [`Forwarding::Full`] or a very small limit);
+/// [`DecompError::InvalidParameter`] for degenerate rates.
+pub fn decompose_distributed(
+    graph: &Graph,
+    params: &DecompositionParams,
+    seed: u64,
+    config: &DistributedConfig,
+) -> Result<DistributedRun, DecompError> {
+    let n = graph.vertex_count();
+    let beta = params.beta(n);
+    let cap = params.radius_cap();
+    run_distributed(graph, seed, params.phase_budget(n), config, move |_| {
+        PhasePlan { beta, cap }
+    })
+}
+
+/// Theorem 2's staged algorithm by actual message passing; the per-stage
+/// rate schedule matches [`crate::staged::decompose`] exactly (equal seeds
+/// give bit-identical decompositions).
+///
+/// # Errors
+///
+/// As [`decompose_distributed`].
+pub fn decompose_distributed_staged(
+    graph: &Graph,
+    params: &StagedParams,
+    seed: u64,
+    config: &DistributedConfig,
+) -> Result<DistributedRun, DecompError> {
+    let n = graph.vertex_count();
+    let cap = params.radius_cap();
+    let budget: usize = (0..params.stage_count(n))
+        .map(|i| params.stage_phases(n, i))
+        .sum();
+    let p = *params;
+    run_distributed(graph, seed, budget, config, move |phase| {
+        // Same stage lookup as the centralized path.
+        let stages = p.stage_count(n);
+        let mut cursor = 0usize;
+        let mut stage = stages.saturating_sub(1);
+        for i in 0..stages {
+            cursor += p.stage_phases(n, i);
+            if phase < cursor {
+                stage = i;
+                break;
+            }
+        }
+        PhasePlan {
+            beta: p.stage_beta(n, stage),
+            cap,
+        }
+    })
+}
+
+/// Theorem 3's high-radius algorithm by actual message passing.
+///
+/// # Errors
+///
+/// As [`decompose_distributed`].
+pub fn decompose_distributed_high_radius(
+    graph: &Graph,
+    params: &HighRadiusParams,
+    seed: u64,
+    config: &DistributedConfig,
+) -> Result<DistributedRun, DecompError> {
+    let n = graph.vertex_count();
+    let beta = params.beta(n);
+    let cap = params.radius_cap(n);
+    run_distributed(graph, seed, params.phase_budget(), config, move |_| {
+        PhasePlan { beta, cap }
+    })
+}
+
+fn run_distributed<F>(
+    graph: &Graph,
+    seed: u64,
+    budget: usize,
+    config: &DistributedConfig,
+    plan_for_phase: F,
+) -> Result<DistributedRun, DecompError>
+where
+    F: Fn(usize) -> PhasePlan,
+{
+    let mut comm = RunStats::default();
+    let outcome = run_phases_with_carver(
+        graph,
+        seed,
+        budget,
+        config.policy,
+        plan_for_phase,
+        |graph, alive, shifts, cap| {
+            let (result, stats) = run_one_phase(graph, alive, shifts, cap, config)?;
+            comm.merge(&stats);
+            Ok(result)
+        },
+    )?;
+    Ok(DistributedRun { outcome, comm })
+}
+
+/// Executes a single phase (`cap + 1` simulator steps) and extracts each
+/// alive vertex's decision.
+fn run_one_phase(
+    graph: &Graph,
+    alive: &VertexSet,
+    shifts: &[f64],
+    cap: usize,
+    config: &DistributedConfig,
+) -> Result<(PhaseResult, RunStats), DecompError> {
+    let mut truncated = 0usize;
+    let mut max_shift = 0.0f64;
+    for v in alive.iter() {
+        max_shift = max_shift.max(shifts[v]);
+        if (shifts[v].floor() as usize) > cap {
+            truncated += 1;
+        }
+    }
+    let mut sim = Simulator::new(graph, |id, _| {
+        CarveNode::new(alive.contains(id), shifts[id], cap, config.forwarding)
+    })
+    .with_limit(config.congest_limit);
+    let stats = sim.run_rounds(cap + 1)?;
+    let decisions = sim
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(v, node)| alive.contains(v).then(|| node.decision()))
+        .collect();
+    Ok((
+        PhaseResult {
+            decisions,
+            truncated,
+            max_shift,
+        },
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shift::ShiftSource;
+    use netdecomp_graph::generators;
+
+    fn one_phase_decisions(
+        g: &Graph,
+        shifts: &[f64],
+        cap: usize,
+        mode: Forwarding,
+    ) -> PhaseResult {
+        let alive = VertexSet::full(g.vertex_count());
+        let config = DistributedConfig {
+            forwarding: mode,
+            ..DistributedConfig::default()
+        };
+        run_one_phase(g, &alive, shifts, cap, &config).unwrap().0
+    }
+
+    #[test]
+    fn distributed_phase_matches_centralized_carve() {
+        for seed in 0..4u64 {
+            let g = generators::grid2d(5, 6);
+            let n = g.vertex_count();
+            let src = ShiftSource::new(seed, 0.8).unwrap();
+            let shifts: Vec<f64> = (0..n).map(|v| src.shift(0, v)).collect();
+            let cap = 4;
+            let central = crate::carve::carve_phase(&g, &VertexSet::full(n), &shifts, cap);
+            for mode in [Forwarding::TopTwo, Forwarding::Full] {
+                let dist = one_phase_decisions(&g, &shifts, cap, mode);
+                assert_eq!(
+                    central.decisions, dist.decisions,
+                    "mode {mode:?} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_two_and_full_forwarding_agree() {
+        for seed in 10..14u64 {
+            let g = generators::cycle(24);
+            let src = ShiftSource::new(seed, 0.5).unwrap();
+            let shifts: Vec<f64> = (0..24).map(|v| src.shift(3, v)).collect();
+            let a = one_phase_decisions(&g, &shifts, 5, Forwarding::TopTwo);
+            let b = one_phase_decisions(&g, &shifts, 5, Forwarding::Full);
+            assert_eq!(a.decisions, b.decisions, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn full_forwarding_sends_at_least_as_much() {
+        let g = generators::grid2d(6, 6);
+        let n = g.vertex_count();
+        let src = ShiftSource::new(5, 0.4).unwrap();
+        let shifts: Vec<f64> = (0..n).map(|v| src.shift(0, v)).collect();
+        let alive = VertexSet::full(n);
+        let cfg_top = DistributedConfig::default();
+        let cfg_full = DistributedConfig {
+            forwarding: Forwarding::Full,
+            ..DistributedConfig::default()
+        };
+        let (_, stats_top) = run_one_phase(&g, &alive, &shifts, 6, &cfg_top).unwrap();
+        let (_, stats_full) = run_one_phase(&g, &alive, &shifts, 6, &cfg_full).unwrap();
+        assert!(stats_full.total_messages >= stats_top.total_messages);
+    }
+
+    #[test]
+    fn end_to_end_distributed_decomposition_is_valid() {
+        let g = generators::grid2d(6, 6);
+        let params = DecompositionParams::new(3, 4.0).unwrap();
+        let run =
+            decompose_distributed(&g, &params, 21, &DistributedConfig::default()).unwrap();
+        let report = crate::verify::verify(&g, run.outcome.decomposition()).unwrap();
+        assert!(report.complete);
+        assert!(report.supergraph_properly_colored);
+        if run.outcome.events().clean() {
+            assert!(report.is_valid_strong(params.diameter_bound()));
+        }
+        assert!(run.comm.total_messages > 0);
+    }
+
+    #[test]
+    fn distributed_equals_centralized_end_to_end() {
+        let g = generators::cycle(30);
+        let params = DecompositionParams::new(2, 4.0).unwrap();
+        for seed in [0u64, 1, 2] {
+            let central = crate::basic::decompose(&g, &params, seed).unwrap();
+            let dist =
+                decompose_distributed(&g, &params, seed, &DistributedConfig::default()).unwrap();
+            assert_eq!(
+                central.decomposition(),
+                dist.outcome.decomposition(),
+                "seed {seed}"
+            );
+            assert_eq!(central.phases_used(), dist.outcome.phases_used());
+        }
+    }
+
+    #[test]
+    fn top_two_respects_congest_budget() {
+        // Two 14-byte entries per edge per round fit in 28 bytes.
+        let g = generators::grid2d(5, 5);
+        let params = DecompositionParams::new(3, 4.0).unwrap();
+        let config = DistributedConfig {
+            congest_limit: CongestLimit::PerEdgeBytes(28),
+            ..DistributedConfig::default()
+        };
+        let run = decompose_distributed(&g, &params, 3, &config).unwrap();
+        assert!(run.comm.max_edge_bytes <= 28);
+    }
+
+    #[test]
+    fn staged_distributed_equals_centralized() {
+        let g = generators::grid2d(5, 5);
+        let params = crate::params::StagedParams::new(3, 6.0).unwrap();
+        for seed in [0u64, 1] {
+            let central = crate::staged::decompose(&g, &params, seed).unwrap();
+            let dist =
+                decompose_distributed_staged(&g, &params, seed, &DistributedConfig::default())
+                    .unwrap();
+            assert_eq!(
+                central.decomposition(),
+                dist.outcome.decomposition(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn high_radius_distributed_equals_centralized() {
+        let g = generators::cycle(24);
+        let params = crate::params::HighRadiusParams::new(2, 4.0).unwrap();
+        for seed in [0u64, 1] {
+            let central = crate::high_radius::decompose(&g, &params, seed).unwrap();
+            let dist = decompose_distributed_high_radius(
+                &g,
+                &params,
+                seed,
+                &DistributedConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                central.decomposition(),
+                dist.outcome.decomposition(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_vertices_stay_silent() {
+        let g = generators::path(4);
+        let mut alive = VertexSet::full(4);
+        alive.remove(1);
+        let shifts = [9.0, 9.0, 0.2, 0.1];
+        let cfg = DistributedConfig::default();
+        let (result, _) = run_one_phase(&g, &alive, &shifts, 4, &cfg).unwrap();
+        assert!(result.decisions[1].is_none());
+        // 0's broadcast is blocked by the dead vertex 1.
+        let d2 = result.decisions[2].unwrap();
+        assert_eq!(d2.center, 2);
+    }
+}

@@ -1,0 +1,216 @@
+//! Shared phase loop used by all three theorem variants.
+
+use netdecomp_graph::{components, Graph, Partition, VertexId, VertexSet};
+
+use crate::carve::{self, PhaseResult};
+use crate::outcome::{DecompositionOutcome, EventLog, PhaseTraceEntry};
+use crate::shift::ShiftSource;
+use crate::{DecompError, NetworkDecomposition};
+
+/// Per-phase plan: which rate and radius cap to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct PhasePlan {
+    /// Exponential rate β for this phase.
+    pub beta: f64,
+    /// Broadcast radius cap (= communication rounds allotted to the phase).
+    pub cap: usize,
+}
+
+/// Stop policy once the theorem's phase budget is exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetPolicy {
+    /// Keep carving until the graph is exhausted, recording the overrun
+    /// (default: experiments then report how often the budget sufficed,
+    /// which is exactly the probability the theorems bound).
+    #[default]
+    ContinueUntilEmpty,
+    /// Stop at the budget, possibly leaving vertices unassigned.
+    StopAtBudget,
+}
+
+/// Hard safety multiple of the phase budget after which the driver aborts
+/// (the probability of ever reaching this is astronomically small; it guards
+/// against hangs on adversarial float inputs).
+const HARD_BUDGET_MULTIPLE: usize = 64;
+
+pub(crate) fn run_phases<F>(
+    graph: &Graph,
+    seed: u64,
+    budget: usize,
+    policy: BudgetPolicy,
+    plan_for_phase: F,
+) -> Result<DecompositionOutcome, DecompError>
+where
+    F: Fn(usize) -> PhasePlan,
+{
+    run_phases_with_carver(
+        graph,
+        seed,
+        budget,
+        policy,
+        plan_for_phase,
+        |graph, alive, shifts, cap| Ok(carve::carve_phase(graph, alive, shifts, cap)),
+    )
+}
+
+/// Generalized phase loop: `carver` computes each phase's decisions — either
+/// the centralized simulation ([`carve::carve_phase`]) or a full
+/// message-passing execution (`crate::distributed`). Everything around it
+/// (sampling, block assembly, bookkeeping) is shared, so the two paths can
+/// only differ in the per-phase decisions themselves.
+pub(crate) fn run_phases_with_carver<F, C>(
+    graph: &Graph,
+    seed: u64,
+    budget: usize,
+    policy: BudgetPolicy,
+    plan_for_phase: F,
+    mut carver: C,
+) -> Result<DecompositionOutcome, DecompError>
+where
+    F: Fn(usize) -> PhasePlan,
+    C: FnMut(&Graph, &VertexSet, &[f64], usize) -> Result<PhaseResult, DecompError>,
+{
+    let n = graph.vertex_count();
+    let mut alive = VertexSet::full(n);
+    let mut partition = Partition::new(n);
+    let mut cluster_blocks: Vec<usize> = Vec::new();
+    let mut cluster_centers: Vec<VertexId> = Vec::new();
+    let mut trace: Vec<PhaseTraceEntry> = Vec::new();
+    let mut events = EventLog::default();
+    let mut mixed_center_clusters = 0usize;
+
+    let hard_max = budget
+        .saturating_mul(HARD_BUDGET_MULTIPLE)
+        .saturating_add(1024);
+    let mut phase = 0usize;
+    while !alive.is_empty() {
+        if phase >= budget && policy == BudgetPolicy::StopAtBudget {
+            break;
+        }
+        if phase >= hard_max {
+            break;
+        }
+        let plan = plan_for_phase(phase);
+        let source = ShiftSource::new(seed, plan.beta)?;
+        let mut shifts = vec![0.0f64; n];
+        for v in alive.iter() {
+            shifts[v] = source.shift(phase as u64, v);
+        }
+        let result: PhaseResult = carver(graph, &alive, &shifts, plan.cap)?;
+        events.truncation_events += result.truncated;
+        events.max_shift = events.max_shift.max(result.max_shift);
+
+        let joined = result.joined();
+        let alive_before = alive.len();
+        let mut clusters_formed = 0usize;
+        if !joined.is_empty() {
+            let mut block: VertexSet = VertexSet::new(n);
+            for &v in &joined {
+                block.insert(v);
+            }
+            let comps = components::components_restricted(graph, &block);
+            for group in comps.groups() {
+                // Lemma 4: all members of a connected component of the block
+                // chose the same center (except, possibly, under truncation).
+                let first_center = result.decisions[group[0]]
+                    .expect("joined vertices have decisions")
+                    .center;
+                let consistent = group.iter().all(|&v| {
+                    result.decisions[v].expect("joined vertices have decisions").center
+                        == first_center
+                });
+                if !consistent {
+                    mixed_center_clusters += 1;
+                }
+                partition.push_cluster(&group);
+                cluster_blocks.push(phase);
+                cluster_centers.push(first_center);
+                clusters_formed += 1;
+            }
+            for &v in &joined {
+                alive.remove(v);
+            }
+        }
+        trace.push(PhaseTraceEntry {
+            phase,
+            beta: plan.beta,
+            alive_before,
+            carved: joined.len(),
+            clusters_formed,
+        });
+        phase += 1;
+    }
+
+    let decomposition =
+        NetworkDecomposition::from_parts(partition, cluster_blocks, cluster_centers);
+    Ok(DecompositionOutcome::new(
+        decomposition,
+        phase,
+        budget,
+        trace,
+        events,
+        mixed_center_clusters,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdecomp_graph::generators;
+
+    #[test]
+    fn driver_exhausts_a_small_cycle() {
+        let g = generators::cycle(12);
+        let outcome = run_phases(&g, 3, 100, BudgetPolicy::ContinueUntilEmpty, |_| PhasePlan {
+            beta: 1.0,
+            cap: 3,
+        })
+        .unwrap();
+        assert!(outcome.decomposition().partition().is_complete());
+        assert!(outcome.phases_used() >= 1);
+        assert_eq!(outcome.trace().len(), outcome.phases_used());
+    }
+
+    #[test]
+    fn stop_at_budget_can_leave_vertices() {
+        let g = generators::complete(30);
+        // beta tiny => joining is rare => one phase almost surely leaves
+        // most vertices unassigned.
+        let outcome = run_phases(&g, 5, 1, BudgetPolicy::StopAtBudget, |_| PhasePlan {
+            beta: 8.0,
+            cap: 2,
+        })
+        .unwrap();
+        assert!(outcome.phases_used() <= 1);
+    }
+
+    #[test]
+    fn trace_alive_counts_are_monotone() {
+        let g = generators::grid2d(5, 5);
+        let outcome = run_phases(&g, 7, 500, BudgetPolicy::ContinueUntilEmpty, |_| PhasePlan {
+            beta: 0.8,
+            cap: 4,
+        })
+        .unwrap();
+        let trace = outcome.trace();
+        for w in trace.windows(2) {
+            assert!(w[1].alive_before <= w[0].alive_before);
+            assert_eq!(w[0].alive_before - w[0].carved, w[1].alive_before);
+        }
+        // Everything eventually carved.
+        let total: usize = trace.iter().map(|t| t.carved).sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn zero_vertex_graph_finishes_immediately() {
+        let g = netdecomp_graph::Graph::empty(0);
+        let outcome = run_phases(&g, 1, 10, BudgetPolicy::ContinueUntilEmpty, |_| PhasePlan {
+            beta: 1.0,
+            cap: 1,
+        })
+        .unwrap();
+        assert_eq!(outcome.phases_used(), 0);
+        assert!(outcome.exhausted_within_budget());
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type of the decomposition library.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by decomposition construction and verification.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DecompError {
+    /// A numeric parameter violated the constraints of the theorems.
+    InvalidParameter {
+        /// Name of the parameter (`k`, `c`, `beta`, `lambda`, …).
+        name: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// A decomposition and a graph do not belong together.
+    GraphMismatch {
+        /// Vertices in the decomposition.
+        decomposition_n: usize,
+        /// Vertices in the graph.
+        graph_n: usize,
+    },
+    /// The underlying simulator failed (distributed execution path).
+    Simulation {
+        /// Stringified simulator error.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DecompError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            DecompError::GraphMismatch {
+                decomposition_n,
+                graph_n,
+            } => write!(
+                f,
+                "decomposition over {decomposition_n} vertices does not match graph with {graph_n}"
+            ),
+            DecompError::Simulation { reason } => write!(f, "simulation failed: {reason}"),
+        }
+    }
+}
+
+impl Error for DecompError {}
+
+impl From<netdecomp_sim::SimError> for DecompError {
+    fn from(e: netdecomp_sim::SimError) -> Self {
+        DecompError::Simulation {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DecompError::InvalidParameter {
+            name: "k",
+            reason: "must be at least 1".into(),
+        };
+        assert_eq!(e.to_string(), "invalid parameter k: must be at least 1");
+        let e = DecompError::GraphMismatch {
+            decomposition_n: 3,
+            graph_n: 5,
+        };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("5"));
+    }
+
+    #[test]
+    fn sim_error_converts() {
+        let e: DecompError = netdecomp_sim::SimError::RoundLimitExceeded { limit: 9 }.into();
+        assert!(matches!(e, DecompError::Simulation { .. }));
+        assert!(e.to_string().contains("9 rounds"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DecompError>();
+    }
+}

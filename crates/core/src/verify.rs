@@ -1,0 +1,244 @@
+//! Exhaustive verification of decomposition properties.
+//!
+//! The theorems promise four things: every vertex is clustered, every
+//! cluster is connected with strong diameter `≤ D`, and the block tags
+//! properly color the supergraph `G(P)`. [`verify`] measures all of them
+//! (plus the weak diameters, for baseline comparisons) and returns a
+//! [`DecompositionReport`] that experiments print as *measured* columns.
+
+use serde::Serialize;
+
+use netdecomp_graph::{components, contraction, diameter, Graph};
+
+use crate::{DecompError, NetworkDecomposition};
+
+/// Everything measurable about a decomposition on a concrete graph.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DecompositionReport {
+    /// Vertices in the graph.
+    pub vertex_count: usize,
+    /// Clusters in the decomposition.
+    pub cluster_count: usize,
+    /// Blocks = colors `χ`.
+    pub color_count: usize,
+    /// `true` if every vertex is assigned.
+    pub complete: bool,
+    /// `true` if every cluster induces a connected subgraph.
+    pub clusters_connected: bool,
+    /// Maximum strong diameter over clusters (`None` = some cluster is
+    /// disconnected, i.e. infinite strong diameter).
+    pub max_strong_diameter: Option<usize>,
+    /// Maximum weak diameter over clusters (`None` = some pair of
+    /// same-cluster vertices is disconnected even in `G`).
+    pub max_weak_diameter: Option<usize>,
+    /// Size of the largest cluster.
+    pub max_cluster_size: usize,
+    /// Mean cluster size.
+    pub mean_cluster_size: f64,
+    /// `true` if block tags properly color the supergraph `G(P)`.
+    pub supergraph_properly_colored: bool,
+}
+
+impl DecompositionReport {
+    /// Is this a valid **strong** `(bound, ·)` decomposition?
+    #[must_use]
+    pub fn is_valid_strong(&self, diameter_bound: usize) -> bool {
+        self.complete
+            && self.clusters_connected
+            && self.supergraph_properly_colored
+            && self
+                .max_strong_diameter
+                .is_some_and(|d| d <= diameter_bound)
+    }
+
+    /// Is this a valid **weak** `(bound, ·)` decomposition? (Clusters may be
+    /// disconnected; only the weak diameter is constrained.)
+    #[must_use]
+    pub fn is_valid_weak(&self, diameter_bound: usize) -> bool {
+        self.complete
+            && self.supergraph_properly_colored
+            && self.max_weak_diameter.is_some_and(|d| d <= diameter_bound)
+    }
+}
+
+/// Measures every property of `decomposition` on `graph`.
+///
+/// # Errors
+///
+/// [`DecompError::GraphMismatch`] if the vertex counts differ.
+///
+/// # Example
+///
+/// ```
+/// use netdecomp_core::{basic, params::DecompositionParams, verify};
+/// use netdecomp_graph::generators;
+///
+/// let g = generators::cycle(16);
+/// let params = DecompositionParams::new(2, 4.0)?;
+/// let outcome = basic::decompose(&g, &params, 42)?;
+/// let report = verify::verify(&g, outcome.decomposition())?;
+/// assert!(report.complete);
+/// assert!(report.clusters_connected);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn verify(
+    graph: &Graph,
+    decomposition: &NetworkDecomposition,
+) -> Result<DecompositionReport, DecompError> {
+    if decomposition.vertex_count() != graph.vertex_count() {
+        return Err(DecompError::GraphMismatch {
+            decomposition_n: decomposition.vertex_count(),
+            graph_n: graph.vertex_count(),
+        });
+    }
+    let partition = decomposition.partition();
+    let complete = partition.is_complete();
+
+    let mut clusters_connected = true;
+    let mut max_strong: Option<usize> = Some(0);
+    let mut max_weak: Option<usize> = Some(0);
+    let mut max_size = 0usize;
+    let cluster_count = partition.cluster_count();
+    for c in 0..cluster_count {
+        let members = partition.cluster_set(c);
+        max_size = max_size.max(members.len());
+        if components::components_restricted(graph, &members).count() > 1 {
+            clusters_connected = false;
+        }
+        match (max_strong, diameter::strong_diameter(graph, &members)) {
+            (Some(best), Some(d)) => max_strong = Some(best.max(d)),
+            _ => max_strong = None,
+        }
+        match (max_weak, diameter::weak_diameter(graph, &members)) {
+            (Some(best), Some(d)) => max_weak = Some(best.max(d)),
+            _ => max_weak = None,
+        }
+    }
+
+    // Proper coloring of the supergraph by block tags.
+    let supergraph_properly_colored = match contraction::contract(graph, partition) {
+        Ok(contraction) => contraction.supergraph().edges().all(|(cu, cv)| {
+            decomposition.block_of_cluster(cu) != decomposition.block_of_cluster(cv)
+        }),
+        Err(_) => false,
+    };
+
+    let assigned = partition.assigned_count();
+    Ok(DecompositionReport {
+        vertex_count: graph.vertex_count(),
+        cluster_count,
+        color_count: decomposition.block_count(),
+        complete,
+        clusters_connected,
+        max_strong_diameter: max_strong,
+        max_weak_diameter: max_weak,
+        max_cluster_size: max_size,
+        mean_cluster_size: if cluster_count == 0 {
+            0.0
+        } else {
+            assigned as f64 / cluster_count as f64
+        },
+        supergraph_properly_colored,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdecomp_graph::{generators, Partition};
+
+    fn decomp(partition: Partition, blocks: Vec<usize>) -> NetworkDecomposition {
+        let centers = (0..partition.cluster_count())
+            .map(|c| partition.cluster_set(c).iter().next().unwrap_or(0))
+            .collect();
+        NetworkDecomposition::from_parts(partition, blocks, centers)
+    }
+
+    #[test]
+    fn valid_decomposition_of_path() {
+        // Path 0-1-2-3: clusters {0,1} and {2,3}, different blocks.
+        let g = generators::path(4);
+        let mut p = Partition::new(4);
+        p.push_cluster(&[0, 1]);
+        p.push_cluster(&[2, 3]);
+        let d = decomp(p, vec![0, 1]);
+        let r = verify(&g, &d).unwrap();
+        assert!(r.complete);
+        assert!(r.clusters_connected);
+        assert_eq!(r.max_strong_diameter, Some(1));
+        assert_eq!(r.max_weak_diameter, Some(1));
+        assert!(r.supergraph_properly_colored);
+        assert!(r.is_valid_strong(1));
+        assert!(!r.is_valid_strong(0));
+        assert_eq!(r.color_count, 2);
+        assert!((r.mean_cluster_size - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_block_adjacent_clusters_fail_coloring() {
+        let g = generators::path(4);
+        let mut p = Partition::new(4);
+        p.push_cluster(&[0, 1]);
+        p.push_cluster(&[2, 3]);
+        let d = decomp(p, vec![0, 0]); // adjacent clusters share a block
+        let r = verify(&g, &d).unwrap();
+        assert!(!r.supergraph_properly_colored);
+        assert!(!r.is_valid_strong(10));
+    }
+
+    #[test]
+    fn disconnected_cluster_detected() {
+        // Path 0-1-2: cluster {0,2} is disconnected (1 is elsewhere).
+        let g = generators::path(3);
+        let mut p = Partition::new(3);
+        p.push_cluster(&[0, 2]);
+        p.push_cluster(&[1]);
+        let d = decomp(p, vec![0, 1]);
+        let r = verify(&g, &d).unwrap();
+        assert!(!r.clusters_connected);
+        assert_eq!(r.max_strong_diameter, None);
+        assert_eq!(r.max_weak_diameter, Some(2));
+        assert!(!r.is_valid_strong(100));
+        assert!(r.is_valid_weak(2));
+    }
+
+    #[test]
+    fn incomplete_partition_detected() {
+        let g = generators::path(3);
+        let mut p = Partition::new(3);
+        p.push_cluster(&[0]);
+        let d = decomp(p, vec![0]);
+        let r = verify(&g, &d).unwrap();
+        assert!(!r.complete);
+        assert!(!r.is_valid_strong(10));
+        assert!(!r.is_valid_weak(10));
+    }
+
+    #[test]
+    fn graph_mismatch_errors() {
+        let g = generators::path(3);
+        let p = Partition::new(5);
+        let d = decomp(p, vec![]);
+        assert!(matches!(
+            verify(&g, &d),
+            Err(DecompError::GraphMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn singleton_decomposition_of_clique_needs_n_colors() {
+        // Each vertex of K3 alone; every cluster in its own block -> proper.
+        let g = generators::complete(3);
+        let p = Partition::singletons(3);
+        let d = decomp(p, vec![0, 1, 2]);
+        let r = verify(&g, &d).unwrap();
+        assert!(r.is_valid_strong(0));
+        assert_eq!(r.color_count, 3);
+        assert_eq!(r.max_strong_diameter, Some(0));
+
+        // Same partition but only one block: improper.
+        let p2 = Partition::singletons(3);
+        let d2 = decomp(p2, vec![0, 0, 0]);
+        assert!(!verify(&g, &d2).unwrap().supergraph_properly_colored);
+    }
+}

@@ -1,0 +1,258 @@
+//! Breadth-first search: the distance oracle of the workspace.
+//!
+//! All distances are hop counts in the unweighted graph. Functions come in
+//! two flavors: over the whole graph, and *restricted* to a [`VertexSet`] of
+//! alive vertices — the latter computes distances in the induced subgraph
+//! `G(W)` without materializing it, which is exactly the notion of distance
+//! the paper's per-phase graphs `G_t` use.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, VertexId, VertexSet};
+
+/// Distances from `source` to every vertex; `None` for unreachable vertices.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Example
+///
+/// ```
+/// use netdecomp_graph::{generators, bfs};
+///
+/// let path = generators::path(4);
+/// assert_eq!(bfs::distances(&path, 0), vec![Some(0), Some(1), Some(2), Some(3)]);
+/// ```
+#[must_use]
+pub fn distances(g: &Graph, source: VertexId) -> Vec<Option<usize>> {
+    assert!(source < g.vertex_count(), "source {source} out of range");
+    let mut dist = vec![None; g.vertex_count()];
+    let mut queue = VecDeque::new();
+    dist[source] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued vertices have distances");
+        for &v in g.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Distances from `source` within the subgraph induced by `alive`.
+///
+/// Vertices outside `alive` are treated as removed: they are never visited
+/// and never relay paths. Returns `None` for vertices not reachable inside
+/// `alive` (including all vertices outside `alive`).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range, if `alive`'s universe differs from the
+/// graph's vertex count, or if `source` is not in `alive`.
+#[must_use]
+pub fn distances_restricted(g: &Graph, source: VertexId, alive: &VertexSet) -> Vec<Option<usize>> {
+    assert_eq!(
+        alive.universe(),
+        g.vertex_count(),
+        "alive-set universe must equal the vertex count"
+    );
+    assert!(alive.contains(source), "source {source} must be alive");
+    let mut dist = vec![None; g.vertex_count()];
+    let mut queue = VecDeque::new();
+    dist[source] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued vertices have distances");
+        for &v in g.neighbors(u) {
+            if alive.contains(v) && dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Multi-source BFS: distance from the nearest source, plus that source's id.
+///
+/// Returns `(distance, source)` per vertex; ties between sources at equal
+/// distance are broken toward the source that entered the queue earlier
+/// (i.e. the earliest in `sources` order).
+///
+/// # Panics
+///
+/// Panics if any source is out of range.
+#[must_use]
+pub fn multi_source_distances(
+    g: &Graph,
+    sources: &[VertexId],
+) -> Vec<Option<(usize, VertexId)>> {
+    let mut dist: Vec<Option<(usize, VertexId)>> = vec![None; g.vertex_count()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        assert!(s < g.vertex_count(), "source {s} out of range");
+        if dist[s].is_none() {
+            dist[s] = Some((0, s));
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let (du, su) = dist[u].expect("queued vertices have distances");
+        for &v in g.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some((du + 1, su));
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Vertices within distance `radius` of `source` in the subgraph induced by
+/// `alive`, reported as `(vertex, distance)` pairs in BFS order.
+///
+/// This is the "broadcast to the `R_v`-neighborhood" primitive of the paper.
+///
+/// # Panics
+///
+/// Same conditions as [`distances_restricted`].
+#[must_use]
+pub fn ball_restricted(
+    g: &Graph,
+    source: VertexId,
+    radius: usize,
+    alive: &VertexSet,
+) -> Vec<(VertexId, usize)> {
+    assert_eq!(
+        alive.universe(),
+        g.vertex_count(),
+        "alive-set universe must equal the vertex count"
+    );
+    assert!(alive.contains(source), "source {source} must be alive");
+    let mut seen = VertexSet::new(g.vertex_count());
+    let mut out = Vec::new();
+    let mut queue = VecDeque::new();
+    seen.insert(source);
+    queue.push_back((source, 0usize));
+    while let Some((u, du)) = queue.pop_front() {
+        out.push((u, du));
+        if du == radius {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if alive.contains(v) && seen.insert(v) {
+                queue.push_back((v, du + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Eccentricity of `source` within its connected component.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+#[must_use]
+pub fn eccentricity(g: &Graph, source: VertexId) -> usize {
+    distances(g, source).into_iter().flatten().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn distances_on_cycle() {
+        let g = generators::cycle(6);
+        let d = distances(&g, 0);
+        assert_eq!(
+            d,
+            vec![Some(0), Some(1), Some(2), Some(3), Some(2), Some(1)]
+        );
+    }
+
+    #[test]
+    fn unreachable_vertices_are_none() {
+        let g = Graph::from_edges(4, &[(0, 1)]).unwrap();
+        let d = distances(&g, 0);
+        assert_eq!(d[2], None);
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn restricted_distances_route_around_dead_vertices() {
+        // Cycle 0-1-2-3-4-5-0 with vertex 1 removed: 0 to 2 must go the long way.
+        let g = generators::cycle(6);
+        let mut alive = VertexSet::full(6);
+        alive.remove(1);
+        let d = distances_restricted(&g, 0, &alive);
+        assert_eq!(d[2], Some(4));
+        assert_eq!(d[1], None);
+    }
+
+    #[test]
+    fn restricted_distances_can_disconnect() {
+        let g = generators::path(5);
+        let mut alive = VertexSet::full(5);
+        alive.remove(2);
+        let d = distances_restricted(&g, 0, &alive);
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[3], None);
+        assert_eq!(d[4], None);
+    }
+
+    #[test]
+    fn multi_source_assigns_nearest_source() {
+        let g = generators::path(7);
+        let d = multi_source_distances(&g, &[0, 6]);
+        assert_eq!(d[1], Some((1, 0)));
+        assert_eq!(d[5], Some((1, 6)));
+        assert_eq!(d[3], Some((3, 0))); // tie broken toward earlier source
+    }
+
+    #[test]
+    fn multi_source_empty_sources_all_none() {
+        let g = generators::path(3);
+        assert!(multi_source_distances(&g, &[]).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn ball_respects_radius_and_alive() {
+        let g = generators::path(6);
+        let mut alive = VertexSet::full(6);
+        alive.remove(4);
+        let ball = ball_restricted(&g, 2, 2, &alive);
+        let verts: Vec<_> = ball.iter().map(|&(v, _)| v).collect();
+        assert!(verts.contains(&0) && verts.contains(&3));
+        assert!(!verts.contains(&4) && !verts.contains(&5));
+        for &(v, d) in &ball {
+            assert!(d <= 2, "vertex {v} at distance {d} > radius");
+        }
+    }
+
+    #[test]
+    fn ball_radius_zero_is_singleton() {
+        let g = generators::cycle(4);
+        let alive = VertexSet::full(4);
+        assert_eq!(ball_restricted(&g, 1, 0, &alive), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn eccentricity_of_path_endpoint() {
+        let g = generators::path(5);
+        assert_eq!(eccentricity(&g, 0), 4);
+        assert_eq!(eccentricity(&g, 2), 2);
+    }
+
+    #[test]
+    fn eccentricity_isolated_vertex_is_zero() {
+        let g = Graph::empty(3);
+        assert_eq!(eccentricity(&g, 1), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Incremental construction of [`Graph`] values.
+
+use crate::{Graph, GraphError, VertexId};
+
+/// Incremental builder for [`Graph`].
+///
+/// Collects edges (deduplicating and normalizing orientation), then produces
+/// the immutable CSR form with [`GraphBuilder::build`].
+///
+/// # Example
+///
+/// ```
+/// use netdecomp_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// b.add_edge(2, 1)?; // duplicate, ignored
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), netdecomp_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on vertices `0..n`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with capacity for `m` edges.
+    #[must_use]
+    pub fn with_edge_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Number of vertices this builder was created with.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Records the undirected edge `{u, v}`.
+    ///
+    /// Duplicates are allowed here and collapsed by [`GraphBuilder::build`].
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::VertexOutOfRange`] if an endpoint is `>= n`;
+    /// [`GraphError::SelfLoop`] if `u == v`.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<&mut Self, GraphError> {
+        if u >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        Ok(self)
+    }
+
+    /// Consumes the builder and produces the immutable CSR graph.
+    #[must_use]
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let mut degrees = vec![0usize; self.n];
+        for &(u, v) in &self.edges {
+            degrees[u] += 1;
+            degrees[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0usize);
+        for v in 0..self.n {
+            offsets.push(offsets[v] + degrees[v]);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; self.edges.len() * 2];
+        for &(u, v) in &self.edges {
+            targets[cursor[u]] = v;
+            cursor[u] += 1;
+            targets[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        // Each adjacency run was filled in increasing order of the opposite
+        // endpoint for the `u < v` direction, but the `v > u` direction
+        // interleaves; sort each run to restore the CSR invariant.
+        for v in 0..self.n {
+            targets[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph::from_csr_parts(offsets, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_normalizes_orientation_and_dedups() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(3, 0).unwrap();
+        b.add_edge(0, 3).unwrap();
+        b.add_edge(1, 2).unwrap();
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(0), &[3]);
+        assert_eq!(g.neighbors(3), &[0]);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap().add_edge(1, 2).unwrap();
+        assert_eq!(b.build().edge_count(), 2);
+    }
+
+    #[test]
+    fn adjacency_lists_are_sorted() {
+        let mut b = GraphBuilder::new(6);
+        for v in [5, 1, 3, 2, 4] {
+            b.add_edge(0, v).unwrap();
+        }
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_vertex_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn with_edge_capacity_behaves_like_new() {
+        let mut b = GraphBuilder::with_edge_capacity(3, 8);
+        b.add_edge(0, 2).unwrap();
+        assert_eq!(b.vertex_count(), 3);
+        assert_eq!(b.build().edge_count(), 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Proper vertex colorings and the greedy coloring heuristic.
+
+use crate::{Graph, VertexId};
+
+/// A proper coloring: `colors[v]` is the color of vertex `v`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    colors: Vec<usize>,
+    color_count: usize,
+}
+
+impl Coloring {
+    /// Wraps a color vector, computing the number of distinct colors used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `colors` is non-empty and skips color indices (colors must
+    /// be dense `0..count`).
+    #[must_use]
+    pub fn from_vec(colors: Vec<usize>) -> Self {
+        let color_count = colors.iter().map(|&c| c + 1).max().unwrap_or(0);
+        let mut seen = vec![false; color_count];
+        for &c in &colors {
+            seen[c] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "color indices must be dense 0..count"
+        );
+        Coloring { colors, color_count }
+    }
+
+    /// Color of vertex `v`.
+    #[must_use]
+    pub fn color(&self, v: VertexId) -> usize {
+        self.colors[v]
+    }
+
+    /// Number of colors used.
+    #[must_use]
+    pub fn color_count(&self) -> usize {
+        self.color_count
+    }
+
+    /// Slice of all colors, indexed by vertex.
+    #[must_use]
+    pub fn colors(&self) -> &[usize] {
+        &self.colors
+    }
+
+    /// Vertices of each color class, indexed by color.
+    #[must_use]
+    pub fn classes(&self) -> Vec<Vec<VertexId>> {
+        let mut out = vec![Vec::new(); self.color_count];
+        for (v, &c) in self.colors.iter().enumerate() {
+            out[c].push(v);
+        }
+        out
+    }
+
+    /// `true` if no edge of `g` is monochromatic.
+    #[must_use]
+    pub fn is_proper(&self, g: &Graph) -> bool {
+        g.edges().all(|(u, v)| self.colors[u] != self.colors[v])
+    }
+}
+
+/// Greedy coloring in vertex-id order: each vertex takes the smallest color
+/// unused by its already-colored neighbors. Uses at most `Δ + 1` colors.
+///
+/// # Example
+///
+/// ```
+/// use netdecomp_graph::{generators, coloring};
+///
+/// let g = generators::cycle(4);
+/// let c = coloring::greedy(&g);
+/// assert!(c.is_proper(&g));
+/// assert!(c.color_count() <= 3);
+/// ```
+#[must_use]
+pub fn greedy(g: &Graph) -> Coloring {
+    greedy_in_order(g, g.vertices())
+}
+
+/// Greedy coloring following the supplied vertex order.
+///
+/// Every vertex must appear exactly once in `order`.
+///
+/// # Panics
+///
+/// Panics if `order` visits a vertex twice or omits one.
+#[must_use]
+pub fn greedy_in_order<I>(g: &Graph, order: I) -> Coloring
+where
+    I: IntoIterator<Item = VertexId>,
+{
+    let n = g.vertex_count();
+    let mut colors: Vec<Option<usize>> = vec![None; n];
+    let mut forbidden = vec![usize::MAX; n.max(1)]; // stamp per color: last vertex using it
+    let mut visited = 0usize;
+    for v in order {
+        assert!(colors[v].is_none(), "vertex {v} visited twice in order");
+        visited += 1;
+        for &u in g.neighbors(v) {
+            if let Some(cu) = colors[u] {
+                forbidden[cu] = v;
+            }
+        }
+        let c = (0..n).find(|&c| forbidden[c] != v).expect("some color free");
+        colors[v] = Some(c);
+    }
+    assert_eq!(visited, n, "order must visit every vertex");
+    Coloring::from_vec(colors.into_iter().map(|c| c.expect("all colored")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn greedy_is_proper_and_bounded() {
+        for g in [
+            generators::complete(6),
+            generators::cycle(7),
+            generators::path(10),
+            generators::star(9),
+        ] {
+            let c = greedy(&g);
+            assert!(c.is_proper(&g));
+            assert!(c.color_count() <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn complete_graph_needs_n_colors() {
+        let g = generators::complete(5);
+        assert_eq!(greedy(&g).color_count(), 5);
+    }
+
+    #[test]
+    fn bipartite_greedy_in_bfs_order_uses_two_colors() {
+        let g = generators::complete_bipartite(3, 4);
+        let c = greedy(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.color_count(), 2);
+    }
+
+    #[test]
+    fn classes_partition_vertices() {
+        let g = generators::cycle(5);
+        let c = greedy(&g);
+        let classes = c.classes();
+        assert_eq!(classes.iter().map(Vec::len).sum::<usize>(), 5);
+        for (color, class) in classes.iter().enumerate() {
+            for &v in class {
+                assert_eq!(c.color(v), color);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_coloring() {
+        let g = Graph::empty(0);
+        let c = greedy(&g);
+        assert_eq!(c.color_count(), 0);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn edgeless_graph_uses_one_color() {
+        let g = Graph::empty(4);
+        let c = greedy(&g);
+        assert_eq!(c.color_count(), 1);
+    }
+
+    #[test]
+    fn is_proper_detects_violation() {
+        let g = generators::path(3);
+        let bad = Coloring::from_vec(vec![0, 0, 1]);
+        assert!(!bad.is_proper(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn from_vec_rejects_sparse_colors() {
+        let _ = Coloring::from_vec(vec![0, 2]);
+    }
+
+    #[test]
+    fn greedy_in_custom_order() {
+        let g = generators::path(4);
+        let c = greedy_in_order(&g, [3, 2, 1, 0]);
+        assert!(c.is_proper(&g));
+        assert!(c.color_count() <= 2);
+    }
+}

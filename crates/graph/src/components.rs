@@ -1,0 +1,166 @@
+//! Connected components, including subset-restricted variants.
+//!
+//! The paper defines clusters as the connected components of the induced
+//! subgraph `G(W_t)` of a carved block `W_t`; [`components_restricted`] is
+//! that operation.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, VertexId, VertexSet};
+
+/// Labeling of vertices by connected component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `label[v]` is the component index of `v`, or `None` if `v` was not in
+    /// the searched subset.
+    labels: Vec<Option<usize>>,
+    count: usize,
+}
+
+impl Components {
+    /// Number of components found.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Component label of `v` (`None` if `v` was outside the subset).
+    #[must_use]
+    pub fn label(&self, v: VertexId) -> Option<usize> {
+        self.labels[v]
+    }
+
+    /// Slice of all labels, indexed by vertex.
+    #[must_use]
+    pub fn labels(&self) -> &[Option<usize>] {
+        &self.labels
+    }
+
+    /// Groups vertices by component, each group sorted increasingly.
+    #[must_use]
+    pub fn groups(&self) -> Vec<Vec<VertexId>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for (v, label) in self.labels.iter().enumerate() {
+            if let Some(c) = label {
+                groups[*c].push(v);
+            }
+        }
+        groups
+    }
+
+    /// `true` if every labeled vertex is in one single component.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.count <= 1
+    }
+}
+
+/// Connected components of the whole graph.
+#[must_use]
+pub fn components(g: &Graph) -> Components {
+    components_restricted(g, &VertexSet::full(g.vertex_count()))
+}
+
+/// Connected components of the subgraph induced by `subset`.
+///
+/// # Panics
+///
+/// Panics if `subset`'s universe differs from the graph's vertex count.
+#[must_use]
+pub fn components_restricted(g: &Graph, subset: &VertexSet) -> Components {
+    assert_eq!(
+        subset.universe(),
+        g.vertex_count(),
+        "subset universe must equal the vertex count"
+    );
+    let mut labels = vec![None; g.vertex_count()];
+    let mut count = 0;
+    let mut queue = VecDeque::new();
+    for root in subset.iter() {
+        if labels[root].is_some() {
+            continue;
+        }
+        labels[root] = Some(count);
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if subset.contains(v) && labels[v].is_none() {
+                    labels[v] = Some(count);
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { labels, count }
+}
+
+/// `true` if the whole graph is connected (vacuously true when empty).
+#[must_use]
+pub fn is_connected(g: &Graph) -> bool {
+    components(g).is_connected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn single_component_on_cycle() {
+        let g = generators::cycle(5);
+        let c = components(&g);
+        assert_eq!(c.count(), 1);
+        assert!(c.is_connected());
+        assert_eq!(c.groups(), vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_own_components() {
+        let g = Graph::empty(3);
+        let c = components(&g);
+        assert_eq!(c.count(), 3);
+        assert!(!c.is_connected());
+    }
+
+    #[test]
+    fn two_components() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        let c = components(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.label(0), c.label(1));
+        assert_eq!(c.label(2), c.label(3));
+        assert_ne!(c.label(0), c.label(2));
+        assert_ne!(c.label(4), c.label(0));
+    }
+
+    #[test]
+    fn restriction_splits_components() {
+        // Path 0-1-2-3-4; removing 2 splits into {0,1} and {3,4}.
+        let g = generators::path(5);
+        let mut alive = VertexSet::full(5);
+        alive.remove(2);
+        let c = components_restricted(&g, &alive);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.label(2), None);
+        assert_eq!(c.label(0), c.label(1));
+        assert_eq!(c.label(3), c.label(4));
+        assert_ne!(c.label(0), c.label(3));
+    }
+
+    #[test]
+    fn empty_subset_has_zero_components() {
+        let g = generators::path(4);
+        let c = components_restricted(&g, &VertexSet::new(4));
+        assert_eq!(c.count(), 0);
+        assert!(c.is_connected());
+        assert!(c.groups().is_empty());
+    }
+
+    #[test]
+    fn is_connected_helper() {
+        assert!(is_connected(&generators::complete(4)));
+        assert!(!is_connected(&Graph::empty(2)));
+        assert!(is_connected(&Graph::empty(0)));
+    }
+}

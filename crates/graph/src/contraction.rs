@@ -1,0 +1,145 @@
+//! Quotient graphs: contracting a partition into its supergraph `G(P)`.
+//!
+//! The paper's supergraph has one vertex per cluster and an edge between two
+//! clusters whenever some original edge crosses between them. A network
+//! decomposition is a partition whose supergraph is properly `χ`-colorable.
+
+use crate::{Graph, GraphBuilder, GraphError, Partition, VertexId};
+
+/// The result of contracting a graph along a partition.
+#[derive(Debug, Clone)]
+pub struct Contraction {
+    /// The supergraph `G(P)`: vertex `c` is cluster `c` of the partition.
+    supergraph: Graph,
+    /// For every original vertex, the supergraph vertex (cluster) it maps to.
+    mapping: Vec<Option<usize>>,
+}
+
+impl Contraction {
+    /// The supergraph `G(P)`.
+    #[must_use]
+    pub fn supergraph(&self) -> &Graph {
+        &self.supergraph
+    }
+
+    /// Mapping from original vertices to supergraph vertices.
+    #[must_use]
+    pub fn mapping(&self) -> &[Option<usize>] {
+        &self.mapping
+    }
+
+    /// Supergraph vertex of original vertex `v`.
+    #[must_use]
+    pub fn image(&self, v: VertexId) -> Option<usize> {
+        self.mapping[v]
+    }
+}
+
+/// Contracts each cluster of `partition` to a single supergraph vertex.
+///
+/// Edges internal to a cluster disappear; multi-edges between clusters are
+/// collapsed. Unassigned vertices are simply absent from the supergraph
+/// (their edges are ignored), so contracting a *partial* partition yields the
+/// supergraph of the assigned portion.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidPartition`] if the partition's vertex count differs
+/// from the graph's.
+pub fn contract(g: &Graph, partition: &Partition) -> Result<Contraction, GraphError> {
+    if partition.vertex_count() != g.vertex_count() {
+        return Err(GraphError::InvalidPartition {
+            reason: format!(
+                "partition covers {} vertices but graph has {}",
+                partition.vertex_count(),
+                g.vertex_count()
+            ),
+        });
+    }
+    let mut b = GraphBuilder::new(partition.cluster_count());
+    for (u, v) in g.edges() {
+        if let (Some(cu), Some(cv)) = (partition.cluster_of(u), partition.cluster_of(v)) {
+            if cu != cv {
+                b.add_edge(cu, cv)
+                    .expect("cluster ids are dense and distinct");
+            }
+        }
+    }
+    Ok(Contraction {
+        supergraph: b.build(),
+        mapping: partition.assignment().to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn contracting_path_halves() {
+        // Path 0-1-2-3; clusters {0,1} and {2,3} -> single superedge.
+        let g = generators::path(4);
+        let mut p = Partition::new(4);
+        p.push_cluster(&[0, 1]);
+        p.push_cluster(&[2, 3]);
+        let c = contract(&g, &p).unwrap();
+        assert_eq!(c.supergraph().vertex_count(), 2);
+        assert_eq!(c.supergraph().edge_count(), 1);
+        assert_eq!(c.image(0), Some(0));
+        assert_eq!(c.image(3), Some(1));
+    }
+
+    #[test]
+    fn internal_edges_vanish() {
+        let g = generators::complete(4);
+        let mut p = Partition::new(4);
+        p.push_cluster(&[0, 1, 2, 3]);
+        let c = contract(&g, &p).unwrap();
+        assert_eq!(c.supergraph().vertex_count(), 1);
+        assert_eq!(c.supergraph().edge_count(), 0);
+    }
+
+    #[test]
+    fn multiple_crossing_edges_collapse() {
+        // K4 split into two pairs: 4 crossing edges -> 1 superedge.
+        let g = generators::complete(4);
+        let mut p = Partition::new(4);
+        p.push_cluster(&[0, 1]);
+        p.push_cluster(&[2, 3]);
+        let c = contract(&g, &p).unwrap();
+        assert_eq!(c.supergraph().edge_count(), 1);
+    }
+
+    #[test]
+    fn unassigned_vertices_are_skipped() {
+        let g = generators::path(5);
+        let mut p = Partition::new(5);
+        p.push_cluster(&[0, 1]);
+        p.push_cluster(&[3, 4]);
+        // vertex 2 unassigned: clusters are NOT adjacent in the supergraph.
+        let c = contract(&g, &p).unwrap();
+        assert_eq!(c.supergraph().vertex_count(), 2);
+        assert_eq!(c.supergraph().edge_count(), 0);
+        assert_eq!(c.image(2), None);
+    }
+
+    #[test]
+    fn mismatched_sizes_error() {
+        let g = generators::path(3);
+        let p = Partition::new(4);
+        assert!(matches!(
+            contract(&g, &p),
+            Err(GraphError::InvalidPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn supergraph_of_singletons_is_isomorphic() {
+        let g = generators::cycle(5);
+        let p = Partition::singletons(5);
+        let c = contract(&g, &p).unwrap();
+        assert_eq!(c.supergraph().edge_count(), g.edge_count());
+        assert_eq!(c.supergraph().vertex_count(), 5);
+    }
+}

@@ -1,0 +1,259 @@
+//! Compact immutable graph storage in compressed sparse row (CSR) form.
+
+use std::fmt;
+
+use crate::{GraphBuilder, GraphError};
+
+/// Identifier of a vertex: a dense index in `0..n`.
+///
+/// The distributed model of the paper assumes processors with distinct
+/// identities in `{1, …, n}`; dense `usize` indices model this exactly
+/// (shifted to `0..n`).
+pub type VertexId = usize;
+
+/// An immutable simple undirected unweighted graph in CSR representation.
+///
+/// Invariants (enforced by [`GraphBuilder`]):
+/// - no self-loops, no parallel edges;
+/// - the adjacency list of every vertex is sorted in increasing order;
+/// - every edge `{u, v}` appears in both `u`'s and `v`'s lists.
+///
+/// # Example
+///
+/// ```
+/// use netdecomp_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1).unwrap();
+/// b.add_edge(1, 2).unwrap();
+/// b.add_edge(2, 3).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.vertex_count(), 4);
+/// assert_eq!(g.edge_count(), 3);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+        }
+    }
+
+    /// Creates a graph from an edge list over vertices `0..n`.
+    ///
+    /// Duplicate edges and orientation are normalized away.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an endpoint is `>= n` and
+    /// [`GraphError::SelfLoop`] if an edge has equal endpoints.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Result<Self, GraphError> {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    pub(crate) fn from_csr_parts(offsets: Vec<usize>, targets: Vec<VertexId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        Graph { offsets, targets }
+    }
+
+    /// Number of vertices `n`.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// `true` if the graph has no vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vertex_count() == 0
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The sorted adjacency list of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the edge `{u, v}` is present. `O(log deg(u))`.
+    #[must_use]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u >= self.vertex_count() || v >= self.vertex_count() {
+            return false;
+        }
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Maximum degree `Δ`; `0` for an empty graph.
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        (0..self.vertex_count())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterator over all vertices `0..n`.
+    pub fn vertices(&self) -> std::ops::Range<VertexId> {
+        0..self.vertex_count()
+    }
+
+    /// Iterator over every undirected edge, each reported once as `(u, v)`
+    /// with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterator over the neighbors of `v` (by value).
+    #[must_use]
+    pub fn neighbor_iter(&self, v: VertexId) -> NeighborIter<'_> {
+        NeighborIter {
+            inner: self.neighbors(v).iter(),
+        }
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.vertex_count())
+            .field("m", &self.edge_count())
+            .finish()
+    }
+}
+
+/// Iterator over the neighbors of a vertex; see [`Graph::neighbor_iter`].
+#[derive(Debug, Clone)]
+pub struct NeighborIter<'a> {
+    inner: std::slice::Iter<'a, VertexId>,
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().copied()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for NeighborIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = Graph::empty(5);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(!g.is_empty());
+        assert!(Graph::empty(0).is_empty());
+    }
+
+    #[test]
+    fn from_edges_builds_symmetric_adjacency() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (3, 1)]).unwrap();
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert!(g.has_edge(1, 3));
+        assert!(g.has_edge(3, 1));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 2)]),
+            Err(GraphError::VertexOutOfRange { vertex: 2, n: 2 })
+        ));
+    }
+
+    #[test]
+    fn from_edges_rejects_self_loop() {
+        assert!(matches!(
+            Graph::from_edges(3, &[(1, 1)]),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn has_edge_handles_out_of_range_gracefully() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        assert!(!g.has_edge(0, 7));
+        assert!(!g.has_edge(7, 0));
+    }
+
+    #[test]
+    fn neighbor_iter_matches_slice() {
+        let g = Graph::from_edges(5, &[(2, 0), (2, 4), (2, 1)]).unwrap();
+        let via_iter: Vec<_> = g.neighbor_iter(2).collect();
+        assert_eq!(via_iter, g.neighbors(2).to_vec());
+        assert_eq!(g.neighbor_iter(2).len(), 3);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let g = Graph::empty(1);
+        assert!(!format!("{g:?}").is_empty());
+    }
+}

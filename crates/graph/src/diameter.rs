@@ -1,0 +1,195 @@
+//! Exact and approximate diameters, global and induced.
+//!
+//! The *strong diameter* of a cluster `C` is the diameter of the induced
+//! subgraph `G(C)`; the *weak diameter* measures the same pairs through the
+//! whole graph `G`. These are the two quantities the paper contrasts, and
+//! [`strong_diameter`] / [`weak_diameter`] compute them exactly.
+
+use crate::{bfs, Graph, VertexId, VertexSet};
+
+/// Exact diameter of the graph.
+///
+/// Returns `None` if the graph is disconnected or empty (the diameter is
+/// infinite/undefined); `Some(0)` for a single vertex.
+///
+/// Runs one BFS per vertex: `O(n·(n+m))`.
+#[must_use]
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for v in g.vertices() {
+        let d = bfs::distances(g, v);
+        let mut ecc = 0;
+        for dv in &d {
+            match dv {
+                Some(x) => ecc = ecc.max(*x),
+                None => return None, // disconnected
+            }
+        }
+        best = best.max(ecc);
+    }
+    Some(best)
+}
+
+/// Strong diameter of `cluster`: the maximum pairwise distance *inside the
+/// induced subgraph* `G(cluster)`.
+///
+/// Returns `None` if the induced subgraph is disconnected (infinite strong
+/// diameter) and `Some(0)` for singleton or empty clusters.
+///
+/// # Panics
+///
+/// Panics if `cluster`'s universe differs from the graph's vertex count.
+#[must_use]
+pub fn strong_diameter(g: &Graph, cluster: &VertexSet) -> Option<usize> {
+    if cluster.is_empty() {
+        return Some(0);
+    }
+    let mut best = 0;
+    for v in cluster.iter() {
+        let d = bfs::distances_restricted(g, v, cluster);
+        for u in cluster.iter() {
+            match d[u] {
+                Some(x) => best = best.max(x),
+                None => return None,
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Weak diameter of `cluster`: the maximum pairwise distance measured in the
+/// *whole* graph `G`.
+///
+/// Returns `None` if some pair of cluster vertices is disconnected in `G`.
+///
+/// # Panics
+///
+/// Panics if `cluster`'s universe differs from the graph's vertex count.
+#[must_use]
+pub fn weak_diameter(g: &Graph, cluster: &VertexSet) -> Option<usize> {
+    assert_eq!(
+        cluster.universe(),
+        g.vertex_count(),
+        "cluster universe must equal the vertex count"
+    );
+    if cluster.is_empty() {
+        return Some(0);
+    }
+    let mut best = 0;
+    for v in cluster.iter() {
+        let d = bfs::distances(g, v);
+        for u in cluster.iter() {
+            match d[u] {
+                Some(x) => best = best.max(x),
+                None => return None,
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Two-sweep heuristic lower bound on the diameter: BFS from `start`, then
+/// BFS from the farthest vertex found. Exact on trees; a lower bound in
+/// general. Returns `None` on an empty graph.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range on a non-empty graph.
+#[must_use]
+pub fn two_sweep_lower_bound(g: &Graph, start: VertexId) -> Option<usize> {
+    if g.is_empty() {
+        return None;
+    }
+    let d1 = bfs::distances(g, start);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter_map(|(v, d)| d.map(|x| (x, v)))
+        .max()
+        .map(|(_, v)| v)?;
+    Some(bfs::eccentricity(g, far))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn diameter_of_path_and_cycle() {
+        assert_eq!(diameter(&generators::path(6)), Some(5));
+        assert_eq!(diameter(&generators::cycle(6)), Some(3));
+        assert_eq!(diameter(&generators::cycle(7)), Some(3));
+        assert_eq!(diameter(&generators::complete(5)), Some(1));
+    }
+
+    #[test]
+    fn diameter_of_disconnected_is_none() {
+        assert_eq!(diameter(&Graph::empty(2)), None);
+        assert_eq!(diameter(&Graph::empty(0)), None);
+        assert_eq!(diameter(&Graph::empty(1)), Some(0));
+    }
+
+    #[test]
+    fn strong_vs_weak_diameter_gap() {
+        // Cycle of 6; cluster {0, 1, 2} has strong diameter 2,
+        // cluster {0, 2, 4} is independent: strong = None, weak = 2.
+        let g = generators::cycle(6);
+        let contiguous: VertexSet = {
+            let mut s = VertexSet::new(6);
+            s.extend([0, 1, 2]);
+            s
+        };
+        assert_eq!(strong_diameter(&g, &contiguous), Some(2));
+        assert_eq!(weak_diameter(&g, &contiguous), Some(2));
+
+        let spread: VertexSet = {
+            let mut s = VertexSet::new(6);
+            s.extend([0, 2, 4]);
+            s
+        };
+        assert_eq!(strong_diameter(&g, &spread), None);
+        assert_eq!(weak_diameter(&g, &spread), Some(2));
+    }
+
+    #[test]
+    fn weak_diameter_through_outside_vertices() {
+        // Star: leaves {1, 2} are at distance 2 via the hub 0, but the
+        // induced subgraph on the leaves has no edges.
+        let g = generators::star(4);
+        let mut leaves = VertexSet::new(4);
+        leaves.extend([1, 2]);
+        assert_eq!(weak_diameter(&g, &leaves), Some(2));
+        assert_eq!(strong_diameter(&g, &leaves), None);
+    }
+
+    #[test]
+    fn singleton_and_empty_clusters() {
+        let g = generators::path(3);
+        let mut single = VertexSet::new(3);
+        single.insert(1);
+        assert_eq!(strong_diameter(&g, &single), Some(0));
+        assert_eq!(weak_diameter(&g, &single), Some(0));
+        let empty = VertexSet::new(3);
+        assert_eq!(strong_diameter(&g, &empty), Some(0));
+        assert_eq!(weak_diameter(&g, &empty), Some(0));
+    }
+
+    #[test]
+    fn two_sweep_exact_on_paths() {
+        let g = generators::path(9);
+        assert_eq!(two_sweep_lower_bound(&g, 4), Some(8));
+    }
+
+    #[test]
+    fn two_sweep_is_lower_bound_on_grid() {
+        let g = generators::grid2d(5, 7);
+        let exact = diameter(&g).unwrap();
+        let lb = two_sweep_lower_bound(&g, 12).unwrap();
+        assert!(lb <= exact);
+        assert_eq!(exact, 4 + 6);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for graph construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction, parsing, and partition handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint was not in `0..n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// The number of vertices of the graph.
+        n: usize,
+    },
+    /// An edge connected a vertex to itself; simple graphs forbid this.
+    SelfLoop {
+        /// The vertex with the loop.
+        vertex: usize,
+    },
+    /// A parameter of a generator was invalid (e.g. odd `n·d` for a random
+    /// regular graph, probability outside `[0, 1]`).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Text input could not be parsed as a graph.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A partition did not cover the graph or was otherwise malformed.
+    InvalidPartition {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop at vertex {vertex} not allowed in a simple graph")
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid generator parameter: {reason}")
+            }
+            GraphError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+            GraphError::InvalidPartition { reason } => {
+                write!(f, "invalid partition: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, n: 4 };
+        assert_eq!(e.to_string(), "vertex 9 out of range for graph with 4 vertices");
+        let e = GraphError::SelfLoop { vertex: 3 };
+        assert!(e.to_string().contains("self-loop at vertex 3"));
+        let e = GraphError::InvalidParameter {
+            reason: "p must lie in [0, 1]".into(),
+        };
+        assert!(e.to_string().contains("p must lie in [0, 1]"));
+        let e = GraphError::Parse {
+            line: 2,
+            reason: "expected two integers".into(),
+        };
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,163 @@
+//! A tiny self-describing edge-list text format.
+//!
+//! Line 1: `n m` (vertex and edge counts); then `m` lines `u v`, one edge
+//! each, `0 ≤ u, v < n`. Blank lines and lines starting with `#` are
+//! ignored. This keeps experiment inputs and outputs diffable and
+//! versionable without binary formats.
+
+use crate::{Graph, GraphBuilder, GraphError};
+use std::fmt::Write as _;
+
+/// Serializes a graph into the edge-list text format.
+///
+/// # Example
+///
+/// ```
+/// use netdecomp_graph::{generators, io};
+///
+/// let g = generators::path(3);
+/// let text = io::to_edge_list(&g);
+/// let back = io::from_edge_list(&text)?;
+/// assert_eq!(g, back);
+/// # Ok::<(), netdecomp_graph::GraphError>(())
+/// ```
+#[must_use]
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {}", g.vertex_count(), g.edge_count());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+/// Parses the edge-list text format produced by [`to_edge_list`].
+///
+/// # Errors
+///
+/// [`GraphError::Parse`] on malformed input (missing header, non-integer
+/// tokens, wrong edge count); [`GraphError::VertexOutOfRange`] /
+/// [`GraphError::SelfLoop`] for invalid edges.
+pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (line_no, header) = lines.next().ok_or(GraphError::Parse {
+        line: 1,
+        reason: "missing `n m` header".into(),
+    })?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parse_token(parts.next(), line_no, "vertex count")?;
+    let m: usize = parse_token(parts.next(), line_no, "edge count")?;
+    if parts.next().is_some() {
+        return Err(GraphError::Parse {
+            line: line_no,
+            reason: "header must be exactly `n m`".into(),
+        });
+    }
+
+    let mut b = GraphBuilder::with_edge_capacity(n, m);
+    let mut edges = 0usize;
+    for (line_no, line) in lines {
+        let mut parts = line.split_whitespace();
+        let u: usize = parse_token(parts.next(), line_no, "edge endpoint")?;
+        let v: usize = parse_token(parts.next(), line_no, "edge endpoint")?;
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                reason: "edge line must be exactly `u v`".into(),
+            });
+        }
+        b.add_edge(u, v)?;
+        edges += 1;
+    }
+    if edges != m {
+        return Err(GraphError::Parse {
+            line: line_no,
+            reason: format!("header declared {m} edges but {edges} were listed"),
+        });
+    }
+    Ok(b.build())
+}
+
+fn parse_token(token: Option<&str>, line: usize, what: &str) -> Result<usize, GraphError> {
+    let token = token.ok_or_else(|| GraphError::Parse {
+        line,
+        reason: format!("missing {what}"),
+    })?;
+    token.parse().map_err(|_| GraphError::Parse {
+        line,
+        reason: format!("{what} `{token}` is not a non-negative integer"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip_random_graph() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = generators::gnp(30, 0.2, &mut rng).unwrap();
+        let back = from_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n\n3 2\n0 1\n# another\n1 2\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn missing_header_is_error() {
+        assert!(matches!(
+            from_edge_list("# only comments\n"),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(from_edge_list(""), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn bad_tokens_are_errors() {
+        assert!(matches!(
+            from_edge_list("3 x\n"),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            from_edge_list("3 1\n0 one\n"),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            from_edge_list("3 1\n0 1 2\n"),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn edge_count_mismatch_is_error() {
+        let err = from_edge_list("3 2\n0 1\n").unwrap_err();
+        assert!(err.to_string().contains("declared 2 edges"));
+    }
+
+    #[test]
+    fn out_of_range_edge_propagates() {
+        assert!(matches!(
+            from_edge_list("2 1\n0 5\n"),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Graph::empty(4);
+        assert_eq!(from_edge_list(&to_edge_list(&g)).unwrap(), g);
+    }
+}

@@ -1,0 +1,260 @@
+//! Vertex partitions: assignments of vertices to disjoint clusters.
+//!
+//! A [`Partition`] is the combinatorial object underlying a network
+//! decomposition: each vertex belongs to at most one cluster. Partitions are
+//! *partial* while an algorithm is still carving; a finished decomposition
+//! requires [`Partition::is_complete`].
+
+use crate::{GraphError, VertexId, VertexSet};
+
+/// A partition of (a subset of) the vertices `0..n` into disjoint clusters.
+///
+/// Cluster ids are dense indices `0..cluster_count()`.
+///
+/// # Example
+///
+/// ```
+/// use netdecomp_graph::Partition;
+///
+/// let mut p = Partition::new(4);
+/// let a = p.push_cluster(&[0, 1]);
+/// let b = p.push_cluster(&[3]);
+/// assert_eq!(p.cluster_of(0), Some(a));
+/// assert_eq!(p.cluster_of(2), None);
+/// assert_eq!(p.cluster_of(3), Some(b));
+/// assert!(!p.is_complete());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    assignment: Vec<Option<usize>>,
+    cluster_count: usize,
+}
+
+impl Partition {
+    /// Creates an empty partition over `n` vertices (no clusters).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Partition {
+            assignment: vec![None; n],
+            cluster_count: 0,
+        }
+    }
+
+    /// The partition of `0..n` into `n` singleton clusters, cluster id = id.
+    #[must_use]
+    pub fn singletons(n: usize) -> Self {
+        Partition {
+            assignment: (0..n).map(Some).collect(),
+            cluster_count: n,
+        }
+    }
+
+    /// Builds a partition from a raw assignment vector.
+    ///
+    /// Cluster ids are compacted to `0..count` preserving first-appearance
+    /// order.
+    pub fn from_assignment(raw: Vec<Option<usize>>) -> Self {
+        let mut remap: Vec<Option<usize>> = Vec::new();
+        let mut assignment = vec![None; raw.len()];
+        let mut next = 0;
+        for (v, slot) in raw.iter().enumerate() {
+            if let Some(c) = slot {
+                if *c >= remap.len() {
+                    remap.resize(c + 1, None);
+                }
+                let dense = *remap[*c].get_or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                });
+                assignment[v] = Some(dense);
+            }
+        }
+        Partition {
+            assignment,
+            cluster_count: next,
+        }
+    }
+
+    /// Number of vertices of the underlying graph.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn cluster_count(&self) -> usize {
+        self.cluster_count
+    }
+
+    /// Cluster id of `v`, or `None` if unassigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn cluster_of(&self, v: VertexId) -> Option<usize> {
+        self.assignment[v]
+    }
+
+    /// Appends a new cluster containing `members` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member is out of range or already assigned — clusters are
+    /// disjoint by construction.
+    pub fn push_cluster(&mut self, members: &[VertexId]) -> usize {
+        let id = self.cluster_count;
+        for &v in members {
+            assert!(
+                self.assignment[v].is_none(),
+                "vertex {v} already assigned to cluster {:?}",
+                self.assignment[v]
+            );
+            self.assignment[v] = Some(id);
+        }
+        self.cluster_count += 1;
+        id
+    }
+
+    /// Number of assigned vertices.
+    #[must_use]
+    pub fn assigned_count(&self) -> usize {
+        self.assignment.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// `true` when every vertex is assigned to some cluster.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.assignment.iter().all(Option::is_some)
+    }
+
+    /// The vertices left unassigned.
+    #[must_use]
+    pub fn unassigned(&self) -> Vec<VertexId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(v, a)| a.is_none().then_some(v))
+            .collect()
+    }
+
+    /// Members of every cluster, indexed by cluster id, each sorted.
+    #[must_use]
+    pub fn clusters(&self) -> Vec<Vec<VertexId>> {
+        let mut out = vec![Vec::new(); self.cluster_count];
+        for (v, a) in self.assignment.iter().enumerate() {
+            if let Some(c) = a {
+                out[*c].push(v);
+            }
+        }
+        out
+    }
+
+    /// Members of cluster `c` as a [`VertexSet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cluster_count()`.
+    #[must_use]
+    pub fn cluster_set(&self, c: usize) -> VertexSet {
+        assert!(c < self.cluster_count, "cluster {c} out of range");
+        let mut s = VertexSet::new(self.assignment.len());
+        for (v, a) in self.assignment.iter().enumerate() {
+            if *a == Some(c) {
+                s.insert(v);
+            }
+        }
+        s
+    }
+
+    /// The raw assignment slice (`assignment[v]` = cluster of `v`).
+    #[must_use]
+    pub fn assignment(&self) -> &[Option<usize>] {
+        &self.assignment
+    }
+
+    /// Checks that the partition covers all vertices.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidPartition`] naming the first uncovered vertex.
+    pub fn require_complete(&self) -> Result<(), GraphError> {
+        match self.assignment.iter().position(Option::is_none) {
+            None => Ok(()),
+            Some(v) => Err(GraphError::InvalidPartition {
+                reason: format!("vertex {v} is not assigned to any cluster"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query_clusters() {
+        let mut p = Partition::new(5);
+        let c0 = p.push_cluster(&[0, 2]);
+        let c1 = p.push_cluster(&[1, 3, 4]);
+        assert_eq!(c0, 0);
+        assert_eq!(c1, 1);
+        assert_eq!(p.cluster_count(), 2);
+        assert!(p.is_complete());
+        assert_eq!(p.clusters(), vec![vec![0, 2], vec![1, 3, 4]]);
+        assert_eq!(p.cluster_set(1).iter().collect::<Vec<_>>(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already assigned")]
+    fn double_assignment_panics() {
+        let mut p = Partition::new(3);
+        p.push_cluster(&[0]);
+        p.push_cluster(&[0]);
+    }
+
+    #[test]
+    fn from_assignment_compacts_labels() {
+        let p = Partition::from_assignment(vec![Some(7), None, Some(3), Some(7)]);
+        assert_eq!(p.cluster_count(), 2);
+        assert_eq!(p.cluster_of(0), Some(0));
+        assert_eq!(p.cluster_of(2), Some(1));
+        assert_eq!(p.cluster_of(3), Some(0));
+        assert_eq!(p.unassigned(), vec![1]);
+    }
+
+    #[test]
+    fn singletons_partition() {
+        let p = Partition::singletons(4);
+        assert_eq!(p.cluster_count(), 4);
+        assert!(p.is_complete());
+        assert_eq!(p.cluster_of(3), Some(3));
+    }
+
+    #[test]
+    fn require_complete_reports_first_gap() {
+        let mut p = Partition::new(3);
+        p.push_cluster(&[0, 2]);
+        let err = p.require_complete().unwrap_err();
+        assert!(err.to_string().contains("vertex 1"));
+        p.push_cluster(&[1]);
+        assert!(p.require_complete().is_ok());
+    }
+
+    #[test]
+    fn assigned_count_tracks_pushes() {
+        let mut p = Partition::new(10);
+        assert_eq!(p.assigned_count(), 0);
+        p.push_cluster(&[4, 5, 6]);
+        assert_eq!(p.assigned_count(), 3);
+    }
+
+    #[test]
+    fn empty_partition_over_zero_vertices() {
+        let p = Partition::new(0);
+        assert!(p.is_complete());
+        assert_eq!(p.cluster_count(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Graph powers: `G^r` connects vertices at distance ≤ `r`.
+//!
+//! Neighborhood covers and several decomposition applications operate on
+//! `G^r`; a decomposition of `G^r` gives clusters whose `G`-distance
+//! blow-up is a factor `r`.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, GraphBuilder, GraphError};
+
+/// Builds `G^r`: same vertices, an edge `{u, v}` whenever
+/// `1 ≤ d_G(u, v) ≤ r`.
+///
+/// Cost: one truncated BFS per vertex, `O(n · |B(v, r)|)` overall.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] if `r == 0` (the power is edgeless by
+/// definition and almost surely a caller bug).
+///
+/// # Example
+///
+/// ```
+/// use netdecomp_graph::{generators, power};
+///
+/// let p = generators::path(5);
+/// let p2 = power::power(&p, 2)?;
+/// assert!(p2.has_edge(0, 2));
+/// assert!(!p2.has_edge(0, 3));
+/// # Ok::<(), netdecomp_graph::GraphError>(())
+/// ```
+pub fn power(g: &Graph, r: usize) -> Result<Graph, GraphError> {
+    if r == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "graph power exponent must be at least 1".into(),
+        });
+    }
+    let n = g.vertex_count();
+    let mut b = GraphBuilder::new(n);
+    let mut dist: Vec<Option<usize>> = vec![None; n];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut queue = VecDeque::new();
+    for v in 0..n {
+        // Truncated BFS to depth r.
+        dist[v] = Some(0);
+        touched.push(v);
+        queue.push_back(v);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u].expect("queued implies distance");
+            if du == r {
+                continue;
+            }
+            for &w in g.neighbors(u) {
+                if dist[w].is_none() {
+                    dist[w] = Some(du + 1);
+                    touched.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        for &w in &touched {
+            if w > v {
+                b.add_edge(v, w).expect("indices in range");
+            }
+        }
+        for w in touched.drain(..) {
+            dist[w] = None;
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn square_of_path() {
+        let g = generators::path(5);
+        let g2 = power(&g, 2).unwrap();
+        assert!(g2.has_edge(0, 1));
+        assert!(g2.has_edge(0, 2));
+        assert!(!g2.has_edge(0, 3));
+        assert_eq!(g2.edge_count(), 4 + 3);
+    }
+
+    #[test]
+    fn power_one_is_identity() {
+        let g = generators::grid2d(3, 4);
+        assert_eq!(power(&g, 1).unwrap(), g);
+    }
+
+    #[test]
+    fn large_power_is_complete_per_component() {
+        let g = generators::cycle(6);
+        let gp = power(&g, 5).unwrap();
+        assert_eq!(gp.edge_count(), 15); // K6
+    }
+
+    #[test]
+    fn power_respects_components() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let gp = power(&g, 3).unwrap();
+        assert!(gp.has_edge(0, 1));
+        assert!(!gp.has_edge(0, 2));
+        assert!(!gp.has_edge(1, 3));
+    }
+
+    #[test]
+    fn zero_exponent_rejected() {
+        let g = generators::path(3);
+        assert!(power(&g, 0).is_err());
+    }
+}

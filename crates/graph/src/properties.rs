@@ -1,0 +1,113 @@
+//! Aggregate structural properties of graphs.
+
+use crate::{components, Graph};
+
+/// Summary statistics of a graph, handy for experiment logs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub vertex_count: usize,
+    /// Number of undirected edges.
+    pub edge_count: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree `Δ`.
+    pub max_degree: usize,
+    /// Average degree `2m/n` (0 for the empty graph).
+    pub avg_degree: f64,
+    /// Number of connected components.
+    pub component_count: usize,
+}
+
+/// Computes [`GraphStats`] for `g`.
+///
+/// # Example
+///
+/// ```
+/// use netdecomp_graph::{generators, properties};
+///
+/// let s = properties::stats(&generators::cycle(5));
+/// assert_eq!(s.max_degree, 2);
+/// assert_eq!(s.component_count, 1);
+/// ```
+#[must_use]
+pub fn stats(g: &Graph) -> GraphStats {
+    let n = g.vertex_count();
+    let degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    GraphStats {
+        vertex_count: n,
+        edge_count: g.edge_count(),
+        min_degree: degrees.iter().copied().min().unwrap_or(0),
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            2.0 * g.edge_count() as f64 / n as f64
+        },
+        component_count: components::components(g).count(),
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of vertices of degree `d`.
+#[must_use]
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    if g.is_empty() {
+        hist.clear();
+    }
+    hist
+}
+
+/// Edge density `m / C(n, 2)`; 0 when `n < 2`.
+#[must_use]
+pub fn density(g: &Graph) -> f64 {
+    let n = g.vertex_count();
+    if n < 2 {
+        return 0.0;
+    }
+    g.edge_count() as f64 / (n * (n - 1) / 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn stats_of_path() {
+        let s = stats(&generators::path(4));
+        assert_eq!(s.vertex_count, 4);
+        assert_eq!(s.edge_count, 3);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.avg_degree - 1.5).abs() < 1e-12);
+        assert_eq!(s.component_count, 1);
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let s = stats(&Graph::empty(0));
+        assert_eq!(s.vertex_count, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.component_count, 0);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = generators::star(7);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 7);
+        assert_eq!(h[1], 6);
+        assert_eq!(h[6], 1);
+    }
+
+    #[test]
+    fn density_bounds() {
+        assert!((density(&generators::complete(5)) - 1.0).abs() < 1e-12);
+        assert_eq!(density(&Graph::empty(5)), 0.0);
+        assert_eq!(density(&Graph::empty(1)), 0.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Dense bitset over vertex ids.
+
+use std::fmt;
+
+use crate::VertexId;
+
+/// A dense set of vertices backed by a bit vector.
+///
+/// The decomposition algorithms carve vertices out of the graph phase by
+/// phase; the set of still-alive vertices is represented by a `VertexSet`.
+///
+/// # Example
+///
+/// ```
+/// use netdecomp_graph::VertexSet;
+///
+/// let mut s = VertexSet::full(5);
+/// s.remove(2);
+/// assert!(s.contains(0) && !s.contains(2));
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 3, 4]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct VertexSet {
+    words: Vec<u64>,
+    universe: usize,
+    len: usize,
+}
+
+impl VertexSet {
+    /// Creates an empty set over the universe `0..universe`.
+    #[must_use]
+    pub fn new(universe: usize) -> Self {
+        VertexSet {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+            len: 0,
+        }
+    }
+
+    /// Creates the full set `{0, …, universe−1}`.
+    #[must_use]
+    pub fn full(universe: usize) -> Self {
+        let mut s = VertexSet::new(universe);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        if universe % 64 != 0 {
+            if let Some(last) = s.words.last_mut() {
+                *last = (1u64 << (universe % 64)) - 1;
+            }
+        }
+        s.len = universe;
+        s
+    }
+
+    /// Size of the universe this set draws from.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the set has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the universe.
+    #[must_use]
+    pub fn contains(&self, v: VertexId) -> bool {
+        assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        self.words[v / 64] >> (v % 64) & 1 == 1
+    }
+
+    /// Inserts `v`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the universe.
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        let word = &mut self.words[v / 64];
+        let mask = 1u64 << (v % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the universe.
+    pub fn remove(&mut self, v: VertexId) -> bool {
+        assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        let word = &mut self.words[v / 64];
+        let mask = 1u64 << (v % 64);
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+        self.len = 0;
+    }
+
+    /// Iterator over members in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for VertexSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<VertexId> for VertexSet {
+    /// Collects vertices into a set whose universe is one past the maximum
+    /// element (empty input yields an empty universe).
+    fn from_iter<I: IntoIterator<Item = VertexId>>(iter: I) -> Self {
+        let items: Vec<VertexId> = iter.into_iter().collect();
+        let universe = items.iter().map(|&v| v + 1).max().unwrap_or(0);
+        let mut s = VertexSet::new(universe);
+        for v in items {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl Extend<VertexId> for VertexSet {
+    fn extend<I: IntoIterator<Item = VertexId>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a VertexSet {
+    type Item = VertexId;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`VertexSet`]; see [`VertexSet::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    set: &'a VertexSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_len() {
+        let mut s = VertexSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn full_set_has_all_members() {
+        let s = VertexSet::full(67);
+        assert_eq!(s.len(), 67);
+        assert!(s.contains(66));
+        assert_eq!(s.iter().count(), 67);
+        assert_eq!(s.iter().last(), Some(66));
+    }
+
+    #[test]
+    fn full_set_word_aligned_universe() {
+        let s = VertexSet::full(128);
+        assert_eq!(s.len(), 128);
+        assert_eq!(s.iter().count(), 128);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let mut s = VertexSet::new(200);
+        for v in [150, 3, 77, 64, 63] {
+            s.insert(v);
+        }
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got, vec![3, 63, 64, 77, 150]);
+    }
+
+    #[test]
+    fn clear_empties_the_set() {
+        let mut s = VertexSet::full(10);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut s: VertexSet = [5, 1, 5].into_iter().collect();
+        assert_eq!(s.universe(), 6);
+        assert_eq!(s.len(), 2);
+        s.extend([0, 2]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 2, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn contains_panics_outside_universe() {
+        let s = VertexSet::new(4);
+        let _ = s.contains(4);
+    }
+
+    #[test]
+    fn debug_lists_members() {
+        let s: VertexSet = [1, 3].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1, 3}");
+    }
+
+    #[test]
+    fn empty_universe_iterates_nothing() {
+        let s = VertexSet::new(0);
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+
+use netdecomp_graph::{bfs, coloring, components, contraction, diameter, io};
+use netdecomp_graph::{Graph, GraphBuilder, Partition, VertexSet};
+
+/// Strategy: an arbitrary simple graph with `2..=max_n` vertices.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(3 * n))
+            .prop_map(move |pairs| {
+                let mut b = GraphBuilder::new(n);
+                for (u, v) in pairs {
+                    if u != v {
+                        b.add_edge(u, v).expect("in range");
+                    }
+                }
+                b.build()
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn adjacency_is_symmetric(g in arb_graph(40)) {
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.has_edge(v, u), "edge {u}->{v} missing reverse");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edges(g in arb_graph(40)) {
+        let sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_edge_lipschitz(g in arb_graph(30)) {
+        // |d(s,u) - d(s,v)| <= 1 for every edge (u,v) reachable from s.
+        let d = bfs::distances(&g, 0);
+        for (u, v) in g.edges() {
+            if let (Some(du), Some(dv)) = (d[u], d[v]) {
+                prop_assert!(du.abs_diff(dv) <= 1);
+            } else {
+                prop_assert_eq!(d[u], d[v]); // both unreachable or neither
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_is_symmetric_between_pairs(g in arb_graph(25)) {
+        let d0 = bfs::distances(&g, 0);
+        for v in g.vertices() {
+            let dv = bfs::distances(&g, v);
+            prop_assert_eq!(d0[v], dv[0], "asymmetric distance 0 <-> {}", v);
+        }
+    }
+
+    #[test]
+    fn restricted_bfs_never_shorter_than_unrestricted(g in arb_graph(25)) {
+        let full = VertexSet::full(g.vertex_count());
+        let unres = bfs::distances(&g, 0);
+        let mut alive = full.clone();
+        // Kill the top half of vertex ids (except 0).
+        for v in (g.vertex_count() / 2).max(1)..g.vertex_count() {
+            alive.remove(v);
+        }
+        if alive.contains(0) {
+            let res = bfs::distances_restricted(&g, 0, &alive);
+            for v in g.vertices() {
+                match (res[v], unres[v]) {
+                    (Some(r), Some(u)) => prop_assert!(r >= u),
+                    (Some(_), None) => prop_assert!(false, "restricted reached unreachable {v}"),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_the_graph(g in arb_graph(40)) {
+        let c = components::components(&g);
+        let groups = c.groups();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.vertex_count());
+        // No edge crosses between components.
+        for (u, v) in g.edges() {
+            prop_assert_eq!(c.label(u), c.label(v));
+        }
+    }
+
+    #[test]
+    fn greedy_coloring_is_proper_and_bounded(g in arb_graph(40)) {
+        let col = coloring::greedy(&g);
+        prop_assert!(col.is_proper(&g));
+        prop_assert!(col.color_count() <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn strong_diameter_at_least_weak(g in arb_graph(20)) {
+        // For any subset, weak diameter <= strong diameter (when both finite).
+        let n = g.vertex_count();
+        let mut cluster = VertexSet::new(n);
+        for v in (0..n).step_by(2) {
+            cluster.insert(v);
+        }
+        let strong = diameter::strong_diameter(&g, &cluster);
+        let weak = diameter::weak_diameter(&g, &cluster);
+        if let (Some(s), Some(w)) = (strong, weak) {
+            prop_assert!(w <= s, "weak {w} > strong {s}");
+        }
+    }
+
+    #[test]
+    fn edge_list_round_trips(g in arb_graph(40)) {
+        let text = io::to_edge_list(&g);
+        let back = io::from_edge_list(&text).expect("own output parses");
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn contraction_preserves_adjacency_structure(g in arb_graph(30)) {
+        // Partition by vertex id parity; supergraph edge exists iff some
+        // original edge crosses parities.
+        let n = g.vertex_count();
+        let p = Partition::from_assignment((0..n).map(|v| Some(v % 2)).collect());
+        let c = contraction::contract(&g, &p).expect("sizes match");
+        let crossing = g.edges().any(|(u, v)| u % 2 != v % 2);
+        prop_assert_eq!(c.supergraph().edge_count() == 1, crossing);
+    }
+
+    #[test]
+    fn vertex_set_iter_matches_contains(members in proptest::collection::hash_set(0usize..200, 0..50)) {
+        let mut s = VertexSet::new(200);
+        for &v in &members {
+            s.insert(v);
+        }
+        prop_assert_eq!(s.len(), members.len());
+        let from_iter: std::collections::HashSet<usize> = s.iter().collect();
+        prop_assert_eq!(from_iter, members);
+    }
+
+    #[test]
+    fn two_sweep_never_exceeds_diameter(g in arb_graph(20)) {
+        if let Some(exact) = diameter::diameter(&g) {
+            let lb = diameter::two_sweep_lower_bound(&g, 0).unwrap();
+            prop_assert!(lb <= exact);
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! The synchronous round engine.
+
+use netdecomp_graph::{Graph, VertexId};
+
+use crate::{CongestLimit, Incoming, Outgoing, Recipient, RoundStats, RunStats, SimError};
+
+/// Read-only view a node gets of its place in the network.
+///
+/// A node knows its own id, its degree, and the ids of its neighbors —
+/// nothing else about the topology, matching the initial knowledge of the
+/// distributed model.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    /// This node's vertex id.
+    pub id: VertexId,
+    /// Total number of nodes `n` (the model assumes `n`, or an upper bound
+    /// on it, is global knowledge).
+    pub n: usize,
+    graph: &'a Graph,
+}
+
+impl Ctx<'_> {
+    /// The ids of this node's neighbors.
+    #[must_use]
+    pub fn neighbors(&self) -> &[VertexId] {
+        self.graph.neighbors(self.id)
+    }
+
+    /// This node's degree.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.id)
+    }
+}
+
+/// A per-node state machine executed by the [`Simulator`].
+///
+/// The engine drives each node through `start` (round 0, before any message
+/// is delivered) and then `round` once per subsequent round with the messages
+/// sent to it in the previous round.
+pub trait Protocol {
+    /// Called once at round 0; returns the node's initial messages.
+    fn start(&mut self, ctx: &Ctx<'_>) -> Vec<Outgoing>;
+
+    /// Called every round ≥ 1 with the messages delivered this round.
+    fn round(&mut self, ctx: &Ctx<'_>, incoming: &[Incoming]) -> Vec<Outgoing>;
+
+    /// `true` once this node has locally terminated. A halted node still
+    /// receives messages (and may un-halt by returning messages again).
+    fn is_halted(&self) -> bool {
+        false
+    }
+}
+
+/// Synchronous simulator executing one [`Protocol`] instance per vertex.
+///
+/// See the crate-level documentation for a complete example.
+#[derive(Debug)]
+pub struct Simulator<'g, P> {
+    graph: &'g Graph,
+    nodes: Vec<P>,
+    /// Messages queued for delivery at the next round, per recipient.
+    inboxes: Vec<Vec<Incoming>>,
+    limit: CongestLimit,
+    stats: RunStats,
+    round: usize,
+    started: bool,
+}
+
+impl<'g, P: Protocol> Simulator<'g, P> {
+    /// Creates a simulator over `graph`, instantiating each node's protocol
+    /// with `make_node`.
+    pub fn new<F>(graph: &'g Graph, mut make_node: F) -> Self
+    where
+        F: FnMut(VertexId, &Ctx<'_>) -> P,
+    {
+        let n = graph.vertex_count();
+        let nodes = (0..n)
+            .map(|id| {
+                let ctx = Ctx { id, n, graph };
+                make_node(id, &ctx)
+            })
+            .collect();
+        Simulator {
+            graph,
+            nodes,
+            inboxes: vec![Vec::new(); n],
+            limit: CongestLimit::Unlimited,
+            stats: RunStats::default(),
+            round: 0,
+            started: false,
+        }
+    }
+
+    /// Sets the per-edge byte budget (CONGEST enforcement). Builder-style.
+    #[must_use]
+    pub fn with_limit(mut self, limit: CongestLimit) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Immutable access to all node states (index = vertex id).
+    #[must_use]
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Mutable access to all node states, for drivers that reconfigure nodes
+    /// between protocol phases.
+    pub fn nodes_mut(&mut self) -> &mut [P] {
+        &mut self.nodes
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Number of rounds executed so far.
+    #[must_use]
+    pub fn rounds_executed(&self) -> usize {
+        self.round
+    }
+
+    /// `true` when all nodes are halted and no message is in flight.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.nodes.iter().all(Protocol::is_halted)
+            && self.inboxes.iter().all(Vec::is_empty)
+    }
+
+    /// Executes one synchronous round: deliver queued messages, let every
+    /// node compute, queue its outgoing messages for the next round.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotNeighbor`] if a node unicasts to a non-neighbor;
+    /// [`SimError::CongestViolation`] if an edge's byte budget is exceeded.
+    pub fn step(&mut self) -> Result<RoundStats, SimError> {
+        let n = self.graph.vertex_count();
+        let mut outboxes: Vec<Vec<Outgoing>> = Vec::with_capacity(n);
+        // Deliver and compute.
+        for id in 0..n {
+            let ctx = Ctx {
+                id,
+                n,
+                graph: self.graph,
+            };
+            let out = if self.started {
+                let incoming = std::mem::take(&mut self.inboxes[id]);
+                self.nodes[id].round(&ctx, &incoming)
+            } else {
+                self.nodes[id].start(&ctx)
+            };
+            outboxes.push(out);
+        }
+        self.started = true;
+
+        // Queue for next round, accounting per directed edge.
+        let mut round_stats = RoundStats {
+            round: self.round,
+            ..RoundStats::default()
+        };
+        for (from, out) in outboxes.into_iter().enumerate() {
+            // Per-edge byte accounting for this sender this round.
+            let mut per_target: std::collections::HashMap<VertexId, usize> =
+                std::collections::HashMap::new();
+            for msg in out {
+                match msg.to {
+                    Recipient::Neighbor(to) => {
+                        if !self.graph.has_edge(from, to) {
+                            return Err(SimError::NotNeighbor { from, to });
+                        }
+                        self.deliver(from, to, &msg.payload, &mut round_stats, &mut per_target)?;
+                    }
+                    Recipient::AllNeighbors => {
+                        for i in 0..self.graph.degree(from) {
+                            let to = self.graph.neighbors(from)[i];
+                            self.deliver(
+                                from,
+                                to,
+                                &msg.payload,
+                                &mut round_stats,
+                                &mut per_target,
+                            )?;
+                        }
+                    }
+                }
+            }
+        }
+        self.round += 1;
+        self.stats.absorb(round_stats);
+        Ok(round_stats)
+    }
+
+    fn deliver(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        payload: &bytes::Bytes,
+        round_stats: &mut RoundStats,
+        per_target: &mut std::collections::HashMap<VertexId, usize>,
+    ) -> Result<(), SimError> {
+        let edge_bytes = per_target.entry(to).or_insert(0);
+        *edge_bytes += payload.len();
+        if let CongestLimit::PerEdgeBytes(limit) = self.limit {
+            if *edge_bytes > limit {
+                return Err(SimError::CongestViolation {
+                    from,
+                    to,
+                    bytes: *edge_bytes,
+                    limit,
+                    round: self.round,
+                });
+            }
+        }
+        round_stats.messages += 1;
+        round_stats.bytes += payload.len();
+        round_stats.max_edge_bytes = round_stats.max_edge_bytes.max(*edge_bytes);
+        self.inboxes[to].push(Incoming {
+            from,
+            payload: payload.clone(),
+        });
+        Ok(())
+    }
+
+    /// Runs exactly `rounds` rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] from [`Simulator::step`].
+    pub fn run_rounds(&mut self, rounds: usize) -> Result<RunStats, SimError> {
+        let mut run = RunStats::default();
+        for _ in 0..rounds {
+            run.absorb(self.step()?);
+        }
+        Ok(run)
+    }
+
+    /// Runs until every node halts and no message is in flight, up to
+    /// `max_rounds`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RoundLimitExceeded`] if quiescence is not reached within
+    /// the budget; otherwise propagates [`Simulator::step`] errors.
+    pub fn run_to_quiescence(&mut self, max_rounds: usize) -> Result<RunStats, SimError> {
+        let mut run = RunStats::default();
+        for _ in 0..max_rounds {
+            run.absorb(self.step()?);
+            if self.is_quiescent() {
+                return Ok(run);
+            }
+        }
+        if self.is_quiescent() {
+            Ok(run)
+        } else {
+            Err(SimError::RoundLimitExceeded { limit: max_rounds })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use netdecomp_graph::generators;
+
+    /// Every node floods a token once; distance of first receipt is recorded.
+    struct FloodDist {
+        dist: Option<usize>,
+        rounds_seen: usize,
+    }
+
+    impl Protocol for FloodDist {
+        fn start(&mut self, ctx: &Ctx<'_>) -> Vec<Outgoing> {
+            if ctx.id == 0 {
+                self.dist = Some(0);
+                vec![Outgoing::broadcast(Bytes::from_static(b"t"))]
+            } else {
+                Vec::new()
+            }
+        }
+
+        fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming]) -> Vec<Outgoing> {
+            self.rounds_seen += 1;
+            if self.dist.is_none() && !incoming.is_empty() {
+                self.dist = Some(self.rounds_seen);
+                return vec![Outgoing::broadcast(Bytes::from_static(b"t"))];
+            }
+            Vec::new()
+        }
+
+        fn is_halted(&self) -> bool {
+            self.dist.is_some()
+        }
+    }
+
+    fn flood(g: &netdecomp_graph::Graph) -> Vec<Option<usize>> {
+        let mut sim = Simulator::new(g, |_, _| FloodDist {
+            dist: None,
+            rounds_seen: 0,
+        });
+        // Flooding cannot take more rounds than n.
+        let _ = sim.run_to_quiescence(g.vertex_count() + 2);
+        sim.nodes().iter().map(|n| n.dist).collect()
+    }
+
+    #[test]
+    fn flooding_computes_bfs_distances() {
+        for g in [
+            generators::path(8),
+            generators::cycle(9),
+            generators::grid2d(4, 5),
+            generators::star(6),
+        ] {
+            let from_flood = flood(&g);
+            let from_bfs = netdecomp_graph::bfs::distances(&g, 0);
+            assert_eq!(from_flood, from_bfs);
+        }
+    }
+
+    #[test]
+    fn disconnected_nodes_stay_unreached_and_run_hits_limit() {
+        let g = netdecomp_graph::Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut sim = Simulator::new(&g, |_, _| FloodDist {
+            dist: None,
+            rounds_seen: 0,
+        });
+        // Node 2 never halts -> quiescence unreachable.
+        let err = sim.run_to_quiescence(5).unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 5 });
+        assert_eq!(sim.nodes()[2].dist, None);
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let g = generators::path(3);
+        let mut sim = Simulator::new(&g, |_, _| FloodDist {
+            dist: None,
+            rounds_seen: 0,
+        });
+        let run = sim.run_to_quiescence(10).unwrap();
+        // Round 0: node 0 broadcasts to 1 neighbor. Round 1: node 1
+        // broadcasts to 2 neighbors. Round 2: node 2 broadcasts to 1.
+        assert_eq!(run.total_messages, 1 + 2 + 1);
+        assert_eq!(run.total_bytes, 4);
+        assert_eq!(run.max_edge_bytes, 1);
+    }
+
+    struct Shout {
+        payload: usize,
+    }
+
+    impl Protocol for Shout {
+        fn start(&mut self, _ctx: &Ctx<'_>) -> Vec<Outgoing> {
+            vec![Outgoing::broadcast(Bytes::from(vec![0u8; self.payload]))]
+        }
+        fn round(&mut self, _ctx: &Ctx<'_>, _incoming: &[Incoming]) -> Vec<Outgoing> {
+            Vec::new()
+        }
+        fn is_halted(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn congest_limit_enforced() {
+        let g = generators::path(2);
+        let mut sim =
+            Simulator::new(&g, |_, _| Shout { payload: 17 }).with_limit(CongestLimit::PerEdgeBytes(16));
+        let err = sim.step().unwrap_err();
+        assert!(matches!(err, SimError::CongestViolation { bytes: 17, limit: 16, .. }));
+    }
+
+    #[test]
+    fn congest_limit_allows_exact_budget() {
+        let g = generators::path(2);
+        let mut sim =
+            Simulator::new(&g, |_, _| Shout { payload: 16 }).with_limit(CongestLimit::PerEdgeBytes(16));
+        assert!(sim.step().is_ok());
+    }
+
+    struct BadAddress;
+
+    impl Protocol for BadAddress {
+        fn start(&mut self, ctx: &Ctx<'_>) -> Vec<Outgoing> {
+            if ctx.id == 0 {
+                vec![Outgoing::unicast(2, Bytes::new())] // 2 is not a neighbor of 0
+            } else {
+                Vec::new()
+            }
+        }
+        fn round(&mut self, _ctx: &Ctx<'_>, _incoming: &[Incoming]) -> Vec<Outgoing> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn unicast_to_non_neighbor_is_rejected() {
+        let g = generators::path(3); // 0-1-2
+        let mut sim = Simulator::new(&g, |_, _| BadAddress);
+        assert_eq!(
+            sim.step().unwrap_err(),
+            SimError::NotNeighbor { from: 0, to: 2 }
+        );
+    }
+
+    #[test]
+    fn two_unicasts_on_one_edge_share_budget() {
+        struct TwoMessages;
+        impl Protocol for TwoMessages {
+            fn start(&mut self, ctx: &Ctx<'_>) -> Vec<Outgoing> {
+                if ctx.id == 0 {
+                    vec![
+                        Outgoing::unicast(1, Bytes::from(vec![0u8; 10])),
+                        Outgoing::unicast(1, Bytes::from(vec![0u8; 10])),
+                    ]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn round(&mut self, _: &Ctx<'_>, _: &[Incoming]) -> Vec<Outgoing> {
+                Vec::new()
+            }
+            fn is_halted(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::path(2);
+        let mut sim =
+            Simulator::new(&g, |_, _| TwoMessages).with_limit(CongestLimit::PerEdgeBytes(16));
+        let err = sim.step().unwrap_err();
+        assert!(matches!(err, SimError::CongestViolation { bytes: 20, .. }));
+    }
+
+    #[test]
+    fn run_rounds_executes_exact_count() {
+        let g = generators::cycle(5);
+        let mut sim = Simulator::new(&g, |_, _| FloodDist {
+            dist: None,
+            rounds_seen: 0,
+        });
+        let run = sim.run_rounds(3).unwrap();
+        assert_eq!(run.rounds, 3);
+        assert_eq!(sim.rounds_executed(), 3);
+    }
+
+    #[test]
+    fn ctx_exposes_neighbors() {
+        let g = generators::star(4);
+        let sim = Simulator::new(&g, |id, ctx| {
+            if id == 0 {
+                assert_eq!(ctx.degree(), 3);
+                assert_eq!(ctx.neighbors(), &[1, 2, 3]);
+            } else {
+                assert_eq!(ctx.degree(), 1);
+            }
+            assert_eq!(ctx.n, 4);
+            Shout { payload: 0 }
+        });
+        assert_eq!(sim.graph().vertex_count(), 4);
+        assert!(!sim.is_quiescent() || sim.nodes().len() == 4);
+    }
+}

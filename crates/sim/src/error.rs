@@ -1,0 +1,89 @@
+//! Error type for simulation runs.
+
+use std::error::Error;
+use std::fmt;
+
+use netdecomp_graph::VertexId;
+
+/// Errors surfaced by the simulation engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A node addressed a message to a vertex that is not its neighbor.
+    NotNeighbor {
+        /// Sender.
+        from: VertexId,
+        /// Intended recipient.
+        to: VertexId,
+    },
+    /// The per-edge per-round byte budget of the CONGEST model was exceeded.
+    CongestViolation {
+        /// Sender.
+        from: VertexId,
+        /// Recipient.
+        to: VertexId,
+        /// Bytes the sender tried to push across the edge this round.
+        bytes: usize,
+        /// Configured limit.
+        limit: usize,
+        /// Round in which it happened.
+        round: usize,
+    },
+    /// `run_to_quiescence` exhausted its round budget before all nodes halted.
+    RoundLimitExceeded {
+        /// The budget that was exhausted.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotNeighbor { from, to } => {
+                write!(f, "node {from} tried to message non-neighbor {to}")
+            }
+            SimError::CongestViolation {
+                from,
+                to,
+                bytes,
+                limit,
+                round,
+            } => write!(
+                f,
+                "congest violation at round {round}: edge {from}->{to} carried {bytes} bytes (limit {limit})"
+            ),
+            SimError::RoundLimitExceeded { limit } => {
+                write!(f, "protocol did not quiesce within {limit} rounds")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::NotNeighbor { from: 1, to: 9 };
+        assert!(e.to_string().contains("non-neighbor 9"));
+        let e = SimError::CongestViolation {
+            from: 0,
+            to: 1,
+            bytes: 64,
+            limit: 16,
+            round: 3,
+        };
+        assert!(e.to_string().contains("limit 16"));
+        let e = SimError::RoundLimitExceeded { limit: 10 };
+        assert!(e.to_string().contains("10 rounds"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,65 @@
+//! Synchronous message-passing simulator for the LOCAL / CONGEST models.
+//!
+//! The distributed model of the paper: each vertex of a graph hosts a
+//! processor; computation proceeds in synchronous rounds; in every round a
+//! processor may send one message along each incident edge; the CONGEST
+//! model additionally caps the message size at `O(log n)` bits.
+//!
+//! This crate reproduces that model *measurably*: protocols exchange
+//! byte-encoded payloads ([`bytes::Bytes`]), and the engine records — and can
+//! enforce — per-edge per-round byte budgets, so the paper's "each message
+//! consists of `O(1)` words" claim becomes a measured quantity rather than an
+//! assumption.
+//!
+//! # Example: flooding a token
+//!
+//! ```
+//! use netdecomp_graph::generators;
+//! use netdecomp_sim::{Ctx, Incoming, Outgoing, Protocol, Simulator};
+//! use bytes::Bytes;
+//!
+//! struct Flood { seen: bool }
+//!
+//! impl Protocol for Flood {
+//!     fn start(&mut self, ctx: &Ctx<'_>) -> Vec<Outgoing> {
+//!         if ctx.id == 0 {
+//!             self.seen = true;
+//!             vec![Outgoing::broadcast(Bytes::from_static(b"x"))]
+//!         } else {
+//!             Vec::new()
+//!         }
+//!     }
+//!     fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming]) -> Vec<Outgoing> {
+//!         if !incoming.is_empty() && !self.seen {
+//!             self.seen = true;
+//!             return vec![Outgoing::broadcast(Bytes::from_static(b"x"))];
+//!         }
+//!         Vec::new()
+//!     }
+//!     fn is_halted(&self) -> bool { self.seen }
+//! }
+//!
+//! let g = generators::path(4);
+//! let mut sim = Simulator::new(&g, |_id, _ctx| Flood { seen: false });
+//! let run = sim.run_to_quiescence(100).unwrap();
+//! assert!(sim.nodes().iter().all(|n| n.seen));
+//! // start + 3 hops of relaying + draining the last node's echo.
+//! assert_eq!(run.rounds, 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod engine;
+mod error;
+mod message;
+mod seeding;
+mod stats;
+pub mod wire;
+
+pub use engine::{Ctx, Protocol, Simulator};
+pub use error::SimError;
+pub use message::{Incoming, Outgoing, Recipient};
+pub use seeding::stream_rng;
+pub use stats::{CongestLimit, RoundStats, RunStats};

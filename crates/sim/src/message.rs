@@ -1,0 +1,66 @@
+//! Message types exchanged through the simulator.
+
+use bytes::Bytes;
+use netdecomp_graph::VertexId;
+
+/// Addressing of an outgoing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recipient {
+    /// Send to one specific neighbor.
+    Neighbor(VertexId),
+    /// Send a copy along every incident edge.
+    AllNeighbors,
+}
+
+/// A message handed to the engine for delivery next round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outgoing {
+    /// Who receives the message.
+    pub to: Recipient,
+    /// Encoded payload; its length is what CONGEST accounting measures.
+    pub payload: Bytes,
+}
+
+impl Outgoing {
+    /// Message to a single neighbor.
+    #[must_use]
+    pub fn unicast(to: VertexId, payload: Bytes) -> Self {
+        Outgoing {
+            to: Recipient::Neighbor(to),
+            payload,
+        }
+    }
+
+    /// Message copied along all incident edges.
+    #[must_use]
+    pub fn broadcast(payload: Bytes) -> Self {
+        Outgoing {
+            to: Recipient::AllNeighbors,
+            payload,
+        }
+    }
+}
+
+/// A message as delivered to a node at the start of a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incoming {
+    /// The neighbor that sent it (previous round).
+    pub from: VertexId,
+    /// Encoded payload.
+    pub payload: Bytes,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let u = Outgoing::unicast(3, Bytes::from_static(b"ab"));
+        assert_eq!(u.to, Recipient::Neighbor(3));
+        assert_eq!(u.payload.len(), 2);
+        let b = Outgoing::broadcast(Bytes::new());
+        assert_eq!(b.to, Recipient::AllNeighbors);
+        assert!(b.payload.is_empty());
+    }
+}

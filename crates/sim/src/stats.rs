@@ -1,0 +1,121 @@
+//! Round- and run-level accounting of communication.
+
+/// Per-edge per-round byte budget, the defining constraint of CONGEST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CongestLimit {
+    /// No limit — the LOCAL model.
+    #[default]
+    Unlimited,
+    /// Hard cap in bytes per directed edge per round; exceeding it is a
+    /// [`crate::SimError::CongestViolation`].
+    PerEdgeBytes(usize),
+}
+
+impl CongestLimit {
+    /// The conventional CONGEST budget used across this workspace:
+    /// `O(1)` words of `O(log n)` bits — concretely two 8-byte words.
+    pub const STANDARD_WORDS: CongestLimit = CongestLimit::PerEdgeBytes(16);
+}
+
+/// Communication accounting for a single round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundStats {
+    /// Round index (0-based; round 0 is the `start` round).
+    pub round: usize,
+    /// Messages delivered this round.
+    pub messages: usize,
+    /// Total payload bytes delivered this round.
+    pub bytes: usize,
+    /// Largest payload in bytes crossing any single directed edge this round.
+    pub max_edge_bytes: usize,
+}
+
+/// Cumulative accounting for a whole run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Number of rounds executed (including the `start` round).
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub total_messages: usize,
+    /// Total payload bytes delivered.
+    pub total_bytes: usize,
+    /// Max over rounds of [`RoundStats::max_edge_bytes`].
+    pub max_edge_bytes: usize,
+    /// Per-round breakdown.
+    pub per_round: Vec<RoundStats>,
+}
+
+impl RunStats {
+    /// Folds one round's stats into the totals.
+    pub fn absorb(&mut self, round: RoundStats) {
+        self.rounds += 1;
+        self.total_messages += round.messages;
+        self.total_bytes += round.bytes;
+        self.max_edge_bytes = self.max_edge_bytes.max(round.max_edge_bytes);
+        self.per_round.push(round);
+    }
+
+    /// Merges another run's stats (e.g. a later phase) into this one.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.rounds += other.rounds;
+        self.total_messages += other.total_messages;
+        self.total_bytes += other.total_bytes;
+        self.max_edge_bytes = self.max_edge_bytes.max(other.max_edge_bytes);
+        self.per_round.extend(other.per_round.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut run = RunStats::default();
+        run.absorb(RoundStats {
+            round: 0,
+            messages: 3,
+            bytes: 30,
+            max_edge_bytes: 10,
+        });
+        run.absorb(RoundStats {
+            round: 1,
+            messages: 1,
+            bytes: 4,
+            max_edge_bytes: 4,
+        });
+        assert_eq!(run.rounds, 2);
+        assert_eq!(run.total_messages, 4);
+        assert_eq!(run.total_bytes, 34);
+        assert_eq!(run.max_edge_bytes, 10);
+        assert_eq!(run.per_round.len(), 2);
+    }
+
+    #[test]
+    fn merge_combines_runs() {
+        let mut a = RunStats::default();
+        a.absorb(RoundStats {
+            round: 0,
+            messages: 1,
+            bytes: 8,
+            max_edge_bytes: 8,
+        });
+        let mut b = RunStats::default();
+        b.absorb(RoundStats {
+            round: 0,
+            messages: 2,
+            bytes: 40,
+            max_edge_bytes: 20,
+        });
+        a.merge(&b);
+        assert_eq!(a.rounds, 2);
+        assert_eq!(a.total_bytes, 48);
+        assert_eq!(a.max_edge_bytes, 20);
+    }
+
+    #[test]
+    fn default_limit_is_unlimited() {
+        assert_eq!(CongestLimit::default(), CongestLimit::Unlimited);
+        assert_eq!(CongestLimit::STANDARD_WORDS, CongestLimit::PerEdgeBytes(16));
+    }
+}

@@ -1,0 +1,155 @@
+//! Fixed-width wire encoding helpers over [`bytes`].
+//!
+//! Protocols encode their payloads through [`WireWriter`] and decode through
+//! [`WireReader`]; all integers are little-endian, floats are IEEE-754 bit
+//! patterns. Keeping the encoding fixed-width makes the CONGEST byte
+//! accounting directly interpretable as "words".
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Builder for a fixed-width binary payload.
+///
+/// # Example
+///
+/// ```
+/// use netdecomp_sim::wire::{WireReader, WireWriter};
+///
+/// let payload = WireWriter::new().u32(7).f64(2.5).finish();
+/// let mut r = WireReader::new(payload);
+/// assert_eq!(r.u32(), Some(7));
+/// assert_eq!(r.f64(), Some(2.5));
+/// assert!(r.is_exhausted());
+/// ```
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        WireWriter::default()
+    }
+
+    /// Appends a `u16`.
+    #[must_use]
+    pub fn u16(mut self, x: u16) -> Self {
+        self.buf.put_u16_le(x);
+        self
+    }
+
+    /// Appends a `u32`.
+    #[must_use]
+    pub fn u32(mut self, x: u32) -> Self {
+        self.buf.put_u32_le(x);
+        self
+    }
+
+    /// Appends a `u64`.
+    #[must_use]
+    pub fn u64(mut self, x: u64) -> Self {
+        self.buf.put_u64_le(x);
+        self
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    #[must_use]
+    pub fn f64(mut self, x: f64) -> Self {
+        self.buf.put_f64_le(x);
+        self
+    }
+
+    /// Finalizes into an immutable payload.
+    #[must_use]
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Cursor decoding a payload written by [`WireWriter`].
+///
+/// Every accessor returns `None` once the payload is exhausted, so malformed
+/// (truncated) messages surface as decode failures rather than panics.
+#[derive(Debug)]
+pub struct WireReader {
+    buf: Bytes,
+}
+
+impl WireReader {
+    /// Wraps a payload for reading.
+    #[must_use]
+    pub fn new(buf: Bytes) -> Self {
+        WireReader { buf }
+    }
+
+    /// Reads a `u16`, if enough bytes remain.
+    pub fn u16(&mut self) -> Option<u16> {
+        (self.buf.remaining() >= 2).then(|| self.buf.get_u16_le())
+    }
+
+    /// Reads a `u32`, if enough bytes remain.
+    pub fn u32(&mut self) -> Option<u32> {
+        (self.buf.remaining() >= 4).then(|| self.buf.get_u32_le())
+    }
+
+    /// Reads a `u64`, if enough bytes remain.
+    pub fn u64(&mut self) -> Option<u64> {
+        (self.buf.remaining() >= 8).then(|| self.buf.get_u64_le())
+    }
+
+    /// Reads an `f64`, if enough bytes remain.
+    pub fn f64(&mut self) -> Option<f64> {
+        (self.buf.remaining() >= 8).then(|| self.buf.get_f64_le())
+    }
+
+    /// `true` when every byte has been consumed.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        !self.buf.has_remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let payload = WireWriter::new()
+            .u16(65535)
+            .u32(123_456)
+            .u64(u64::MAX)
+            .f64(-0.125)
+            .finish();
+        assert_eq!(payload.len(), 2 + 4 + 8 + 8);
+        let mut r = WireReader::new(payload);
+        assert_eq!(r.u16(), Some(65535));
+        assert_eq!(r.u32(), Some(123_456));
+        assert_eq!(r.u64(), Some(u64::MAX));
+        assert_eq!(r.f64(), Some(-0.125));
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_reads_return_none() {
+        let payload = WireWriter::new().u16(1).finish();
+        let mut r = WireReader::new(payload);
+        assert_eq!(r.u32(), None); // only 2 bytes available
+        assert_eq!(r.u16(), Some(1));
+        assert_eq!(r.u16(), None);
+    }
+
+    #[test]
+    fn nan_round_trips_bitwise() {
+        let payload = WireWriter::new().f64(f64::NAN).finish();
+        let mut r = WireReader::new(payload);
+        assert!(r.f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn empty_payload_is_exhausted() {
+        let r = WireReader::new(Bytes::new());
+        assert!(r.is_exhausted());
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the round engine: flooding computes BFS
+//! distances, accounting is self-consistent, budgets are enforced.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use netdecomp_graph::{bfs, Graph, GraphBuilder};
+use netdecomp_sim::{CongestLimit, Ctx, Incoming, Outgoing, Protocol, Simulator};
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(2 * n)).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    b.add_edge(u, v).expect("in range");
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+struct Flood {
+    root: usize,
+    dist: Option<usize>,
+    clock: usize,
+}
+
+impl Protocol for Flood {
+    fn start(&mut self, ctx: &Ctx<'_>) -> Vec<Outgoing> {
+        if ctx.id == self.root {
+            self.dist = Some(0);
+            vec![Outgoing::broadcast(Bytes::from_static(b"x"))]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming]) -> Vec<Outgoing> {
+        self.clock += 1;
+        if self.dist.is_none() && !incoming.is_empty() {
+            self.dist = Some(self.clock);
+            return vec![Outgoing::broadcast(Bytes::from_static(b"x"))];
+        }
+        Vec::new()
+    }
+
+    fn is_halted(&self) -> bool {
+        true
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn flooding_equals_bfs_on_arbitrary_graphs(g in arb_graph(30), root_pick in 0usize..30) {
+        let n = g.vertex_count();
+        let root = root_pick % n;
+        let mut sim = Simulator::new(&g, |_, _| Flood { root, dist: None, clock: 0 });
+        // n+1 rounds always suffice for a flood plus drain.
+        sim.run_rounds(n + 1).expect("no limits");
+        let expected = bfs::distances(&g, root);
+        for (v, want) in expected.iter().enumerate() {
+            prop_assert_eq!(sim.nodes()[v].dist, *want, "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn run_stats_totals_match_per_round_sums(g in arb_graph(24)) {
+        let mut sim = Simulator::new(&g, |_, _| Flood { root: 0, dist: None, clock: 0 });
+        let run = sim.run_rounds(g.vertex_count() + 1).expect("no limits");
+        let msg_sum: usize = run.per_round.iter().map(|r| r.messages).sum();
+        let byte_sum: usize = run.per_round.iter().map(|r| r.bytes).sum();
+        prop_assert_eq!(run.total_messages, msg_sum);
+        prop_assert_eq!(run.total_bytes, byte_sum);
+        let max_edge = run.per_round.iter().map(|r| r.max_edge_bytes).max().unwrap_or(0);
+        prop_assert_eq!(run.max_edge_bytes, max_edge);
+        // Each flood message is one byte; every vertex broadcasts at most
+        // once, so total messages <= 2m.
+        prop_assert!(run.total_messages <= 2 * g.edge_count());
+    }
+
+    #[test]
+    fn one_byte_messages_never_violate_one_byte_budget(g in arb_graph(20)) {
+        let mut sim = Simulator::new(&g, |_, _| Flood { root: 0, dist: None, clock: 0 })
+            .with_limit(CongestLimit::PerEdgeBytes(1));
+        // The flood sends at most one 1-byte message per edge per round.
+        prop_assert!(sim.run_rounds(g.vertex_count() + 1).is_ok());
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: compute a strong (O(log n), O(log n)) network decomposition
+//! of a random graph and verify every guarantee of Theorem 1.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use netdecomp::core::{basic, params::DecompositionParams, verify};
+use netdecomp::graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A sparse Erdos-Renyi graph on 2000 vertices.
+    let n = 2000;
+    let mut rng = StdRng::seed_from_u64(42);
+    let graph = generators::gnp(n, 6.0 / n as f64, &mut rng)?;
+    println!(
+        "graph: n = {}, m = {}, max degree = {}",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.max_degree()
+    );
+
+    // Headline parameters: k = ceil(ln n), c = 4.
+    let params = DecompositionParams::for_graph_size(n);
+    println!(
+        "parameters: k = {}, c = {} => diameter bound {}, color bound {}, phase budget {}",
+        params.k(),
+        params.c(),
+        params.diameter_bound(),
+        params.color_bound(n),
+        params.phase_budget(n),
+    );
+
+    // Run the Elkin-Neiman algorithm (centralized simulation; identical
+    // output to the message-passing execution, see the congest_trace
+    // example).
+    let outcome = basic::decompose(&graph, &params, 7)?;
+    println!(
+        "run: {} phases used (budget {}), truncation events: {}",
+        outcome.phases_used(),
+        outcome.phase_budget(),
+        outcome.events().truncation_events,
+    );
+
+    // Verify everything the theorem promises.
+    let report = verify::verify(&graph, outcome.decomposition())?;
+    println!(
+        "decomposition: {} clusters in {} colors; max strong diameter {:?}; largest cluster {}",
+        report.cluster_count, report.color_count, report.max_strong_diameter, report.max_cluster_size,
+    );
+    assert!(report.complete, "every vertex must be clustered");
+    assert!(report.supergraph_properly_colored, "blocks must color G(P)");
+    if outcome.events().clean() {
+        assert!(
+            report.is_valid_strong(params.diameter_bound()),
+            "strong diameter bound must hold when no truncation occurred"
+        );
+        println!(
+            "valid strong ({}, {}) network decomposition ✓",
+            params.diameter_bound(),
+            report.color_count
+        );
+    }
+    Ok(())
+}

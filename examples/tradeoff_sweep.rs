@@ -1,0 +1,72 @@
+//! Sweep the paper's parameter tradeoff on one graph: Theorem 1/2 over k
+//! (diameter up, colors down), Theorem 3 over lambda (colors pinned), and
+//! print the measured frontier.
+//!
+//! ```text
+//! cargo run --release --example tradeoff_sweep
+//! ```
+
+use netdecomp::core::{basic, high_radius, params, staged, verify};
+use netdecomp::graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 512;
+    let mut rng = StdRng::seed_from_u64(1);
+    let graph = generators::gnp(n, 6.0 / n as f64, &mut rng)?;
+    let seed = 9;
+    let fmt = |d: Option<usize>| d.map_or("inf".to_string(), |x| x.to_string());
+
+    println!("graph: G(n,p), n = {n}, m = {}\n", graph.edge_count());
+    println!(
+        "{:<8} {:>10} {:>9} {:>9} {:>6}",
+        "variant", "param", "D bound", "D meas", "chi"
+    );
+
+    let ln_n = (n as f64).ln().ceil() as usize;
+    for k in 2..=ln_n {
+        let p = params::DecompositionParams::new(k, 4.0)?;
+        let o = basic::decompose(&graph, &p, seed)?;
+        let r = verify::verify(&graph, o.decomposition())?;
+        println!(
+            "{:<8} {:>10} {:>9} {:>9} {:>6}",
+            "T1",
+            format!("k={k}"),
+            p.diameter_bound(),
+            fmt(r.max_strong_diameter),
+            r.color_count
+        );
+    }
+    for k in 2..=ln_n {
+        let p = params::StagedParams::new(k, 6.0)?;
+        let o = staged::decompose(&graph, &p, seed)?;
+        let r = verify::verify(&graph, o.decomposition())?;
+        println!(
+            "{:<8} {:>10} {:>9} {:>9} {:>6}",
+            "T2",
+            format!("k={k}"),
+            p.diameter_bound(),
+            fmt(r.max_strong_diameter),
+            r.color_count
+        );
+    }
+    for lambda in 1..=4usize {
+        let p = params::HighRadiusParams::new(lambda, 4.0)?;
+        let o = high_radius::decompose(&graph, &p, seed)?;
+        let r = verify::verify(&graph, o.decomposition())?;
+        println!(
+            "{:<8} {:>10} {:>9} {:>9} {:>6}",
+            "T3",
+            format!("lam={lambda}"),
+            p.diameter_bound(n),
+            fmt(r.max_strong_diameter),
+            r.color_count
+        );
+    }
+    println!(
+        "\nreading: T1/T2 trade diameter (2k-2) against colors; T2 needs fewer colors \
+         at equal k; T3 pins chi = lambda and pays in diameter."
+    );
+    Ok(())
+}

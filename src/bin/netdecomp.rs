@@ -1,0 +1,174 @@
+//! Command-line interface: decompose a graph given as an edge-list file.
+//!
+//! ```text
+//! netdecomp <file|-> [--algo basic|staged|high-radius|ls93] [--k K] [--c C]
+//!           [--lambda L] [--seed S] [--assignment]
+//! ```
+//!
+//! The input format is the crate's edge-list text (`n m` header then one
+//! `u v` pair per line, `#` comments allowed); `-` reads stdin. Prints the
+//! verification report; with `--assignment`, also one `vertex cluster
+//! color` triple per line.
+
+use std::io::Read as _;
+
+use netdecomp::baselines::linial_saks;
+use netdecomp::core::{basic, high_radius, params, staged, verify, NetworkDecomposition};
+use netdecomp::graph::{io, Graph};
+
+struct Options {
+    input: String,
+    algo: String,
+    k: usize,
+    c: f64,
+    lambda: usize,
+    seed: u64,
+    assignment: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: netdecomp <file|-> [--algo basic|staged|high-radius|ls93] \
+         [--k K] [--c C] [--lambda L] [--seed S] [--assignment]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        input: String::new(),
+        algo: "basic".into(),
+        k: 0, // 0 = derive from n
+        c: 0.0,
+        lambda: 3,
+        seed: 0,
+        assignment: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--algo" => opts.algo = args.next().unwrap_or_else(|| usage()),
+            "--k" => opts.k = parse_or_usage(args.next()),
+            "--c" => opts.c = parse_or_usage(args.next()),
+            "--lambda" => opts.lambda = parse_or_usage(args.next()),
+            "--seed" => opts.seed = parse_or_usage(args.next()),
+            "--assignment" => opts.assignment = true,
+            "--help" | "-h" => usage(),
+            other if opts.input.is_empty() && !other.starts_with("--") => {
+                opts.input = other.to_string();
+            }
+            _ => usage(),
+        }
+    }
+    if opts.input.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn parse_or_usage<T: std::str::FromStr>(raw: Option<String>) -> T {
+    raw.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+}
+
+fn read_graph(path: &str) -> Result<Graph, Box<dyn std::error::Error>> {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        buf
+    } else {
+        std::fs::read_to_string(path)?
+    };
+    Ok(io::from_edge_list(&text)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = parse_args();
+    let graph = read_graph(&opts.input)?;
+    let n = graph.vertex_count();
+    let k = if opts.k == 0 {
+        ((n.max(2) as f64).ln().ceil() as usize).max(2)
+    } else {
+        opts.k
+    };
+
+    let (decomposition, label): (NetworkDecomposition, String) = match opts.algo.as_str() {
+        "basic" => {
+            let c = if opts.c > 0.0 { opts.c } else { 4.0 };
+            let p = params::DecompositionParams::new(k, c)?;
+            let o = basic::decompose(&graph, &p, opts.seed)?;
+            let label = format!(
+                "basic (Theorem 1): k={k} c={c} bound D<=2k-2={} events={}",
+                p.diameter_bound(),
+                o.events().truncation_events
+            );
+            (o.into_decomposition(), label)
+        }
+        "staged" => {
+            let c = if opts.c > 0.0 { opts.c } else { 6.0 };
+            let p = params::StagedParams::new(k, c)?;
+            let o = staged::decompose(&graph, &p, opts.seed)?;
+            let label = format!(
+                "staged (Theorem 2): k={k} c={c} bound D<=2k-2={} color bound {}",
+                p.diameter_bound(),
+                p.color_bound(n)
+            );
+            (o.into_decomposition(), label)
+        }
+        "high-radius" => {
+            let c = if opts.c > 0.0 { opts.c } else { 4.0 };
+            let p = params::HighRadiusParams::new(opts.lambda, c)?;
+            let o = high_radius::decompose(&graph, &p, opts.seed)?;
+            let label = format!(
+                "high-radius (Theorem 3): lambda={} c={c} bound D<={}",
+                opts.lambda,
+                p.diameter_bound(n)
+            );
+            (o.into_decomposition(), label)
+        }
+        "ls93" => {
+            let c = if opts.c > 0.0 { opts.c } else { 4.0 };
+            let p = linial_saks::LinialSaksParams::new(k, c)?;
+            let o = linial_saks::decompose(&graph, &p, opts.seed)?;
+            let label = format!(
+                "linial-saks (weak baseline): k={k} c={c} weak bound D<={}",
+                p.weak_diameter_bound()
+            );
+            (o.decomposition, label)
+        }
+        other => {
+            eprintln!("unknown algorithm `{other}`");
+            usage();
+        }
+    };
+
+    let report = verify::verify(&graph, &decomposition)?;
+    println!("algorithm: {label}");
+    println!("graph: n={} m={}", n, graph.edge_count());
+    println!(
+        "clusters: {}  colors: {}  complete: {}  connected: {}",
+        report.cluster_count, report.color_count, report.complete, report.clusters_connected
+    );
+    println!(
+        "max strong diameter: {}  max weak diameter: {}  proper: {}",
+        report
+            .max_strong_diameter
+            .map_or("inf".into(), |d| d.to_string()),
+        report
+            .max_weak_diameter
+            .map_or("inf".into(), |d| d.to_string()),
+        report.supergraph_properly_colored
+    );
+    if opts.assignment {
+        println!("# vertex cluster color");
+        for v in 0..n {
+            let c = decomposition.cluster_of(v);
+            let b = decomposition.block_of(v);
+            println!(
+                "{v} {} {}",
+                c.map_or(-1i64, |x| x as i64),
+                b.map_or(-1i64, |x| x as i64)
+            );
+        }
+    }
+    Ok(())
+}

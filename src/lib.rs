@@ -1,0 +1,34 @@
+//! Facade crate for the `netdecomp` workspace: distributed strong-diameter
+//! network decomposition (Elkin–Neiman, PODC 2016) with its substrates,
+//! baselines, and applications.
+//!
+//! This crate re-exports the workspace members under stable module names so
+//! downstream users need a single dependency:
+//!
+//! - [`graph`] — CSR graphs, generators, BFS, diameters, contraction.
+//! - [`sim`] — synchronous LOCAL/CONGEST round simulator.
+//! - [`core`] — the paper's algorithms (Theorems 1–3) and verification.
+//! - [`baselines`] — Linial–Saks, MPX13 padded partitions, greedy carving.
+//! - [`apps`] — MIS, (Δ+1)-coloring, maximal matching on decompositions.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use netdecomp::core::{basic, params::DecompositionParams, verify};
+//! use netdecomp::graph::generators;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let g = generators::gnp(200, 0.05, &mut rng)?;
+//! let params = DecompositionParams::for_graph_size(g.vertex_count());
+//! let outcome = basic::decompose(&g, &params, 7)?;
+//! let report = verify::verify(&g, outcome.decomposition())?;
+//! assert!(report.is_valid_strong(params.diameter_bound()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use netdecomp_apps as apps;
+pub use netdecomp_baselines as baselines;
+pub use netdecomp_core as core;
+pub use netdecomp_graph as graph;
+pub use netdecomp_sim as sim;

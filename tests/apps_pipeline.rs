@@ -1,0 +1,93 @@
+//! End-to-end application pipelines: decomposition (strong or weak) driving
+//! MIS, coloring, and matching.
+
+use netdecomp::apps::{coloring, luby, matching, mis, verify as app_verify};
+use netdecomp::baselines::linial_saks;
+use netdecomp::core::{basic, high_radius, params, staged};
+use netdecomp::graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn full_pipeline_on_all_three_theorems() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = generators::gnp(200, 0.04, &mut rng).unwrap();
+    let decomps = [basic::decompose(&g, &params::DecompositionParams::new(3, 4.0).unwrap(), 1)
+            .unwrap()
+            .into_decomposition(),
+        staged::decompose(&g, &params::StagedParams::new(3, 6.0).unwrap(), 1)
+            .unwrap()
+            .into_decomposition(),
+        high_radius::decompose(&g, &params::HighRadiusParams::new(3, 4.0).unwrap(), 1)
+            .unwrap()
+            .into_decomposition()];
+    for (i, d) in decomps.iter().enumerate() {
+        let m = mis::solve(&g, d).unwrap();
+        assert!(
+            app_verify::is_maximal_independent_set(&g, &m.in_mis),
+            "decomp {i}: MIS invalid"
+        );
+        let c = coloring::solve(&g, d).unwrap();
+        assert!(
+            app_verify::is_proper_coloring(&g, &c.colors, g.max_degree() + 1),
+            "decomp {i}: coloring invalid"
+        );
+        let mm = matching::solve(&g, d).unwrap();
+        assert!(
+            app_verify::is_maximal_matching(&g, &mm.mate),
+            "decomp {i}: matching invalid"
+        );
+    }
+}
+
+#[test]
+fn weak_decomposition_also_drives_applications() {
+    // LS93 clusters may be disconnected; the sweep falls back to weak radii
+    // and the applications stay correct.
+    let g = generators::grid2d(10, 10);
+    let p = linial_saks::LinialSaksParams::new(5, 2.0).unwrap();
+    for seed in 0..5u64 {
+        let o = linial_saks::decompose(&g, &p, seed).unwrap();
+        let m = mis::solve(&g, &o.decomposition).unwrap();
+        assert!(
+            app_verify::is_maximal_independent_set(&g, &m.in_mis),
+            "seed {seed}"
+        );
+        let mm = matching::solve(&g, &o.decomposition).unwrap();
+        assert!(app_verify::is_maximal_matching(&g, &mm.mate), "seed {seed}");
+    }
+}
+
+#[test]
+fn sweep_cost_is_bounded_by_d_chi() {
+    let g = generators::grid2d(9, 9);
+    let k = 3usize;
+    let p = params::DecompositionParams::new(k, 4.0).unwrap();
+    let o = basic::decompose(&g, &p, 3).unwrap();
+    if !o.events().clean() {
+        return; // diameter bound not guaranteed this run
+    }
+    let d = o.decomposition();
+    let m = mis::solve(&g, d).unwrap();
+    // Radius <= k-1 per cluster (Observation 2), so each class costs at
+    // most 2(k-1)+1 rounds.
+    let per_class = 2 * (k - 1) + 1;
+    assert!(m.cost.rounds <= per_class * d.block_count());
+    assert_eq!(m.cost.classes, d.block_count());
+}
+
+#[test]
+fn luby_and_sweep_agree_on_validity_not_membership() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let g = generators::gnp(150, 0.05, &mut rng).unwrap();
+    let p = params::DecompositionParams::new(3, 4.0).unwrap();
+    let o = basic::decompose(&g, &p, 2).unwrap();
+    let sweep = mis::solve(&g, o.decomposition()).unwrap();
+    let direct = luby::solve(&g, 2);
+    assert!(app_verify::is_maximal_independent_set(&g, &sweep.in_mis));
+    assert!(app_verify::is_maximal_independent_set(&g, &direct.in_mis));
+    // Two valid MISes exist; sizes are within a reasonable factor.
+    let a = sweep.in_mis.iter().filter(|&&b| b).count();
+    let b = direct.in_mis.iter().filter(|&&b| b).count();
+    assert!(a * 4 >= b && b * 4 >= a, "sizes {a} vs {b}");
+}

@@ -1,0 +1,131 @@
+//! Cross-crate comparison of the paper's algorithm against its baselines.
+
+use netdecomp::baselines::{ball_carving, decomposition_via_greedy_coloring, linial_saks, mpx, trivial};
+use netdecomp::core::{basic, params::DecompositionParams, verify};
+use netdecomp::graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn linial_saks_weak_bound_holds_everywhere() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let graphs = [generators::gnp(150, 0.04, &mut rng).unwrap(),
+        generators::grid2d(10, 10),
+        generators::caveman(8, 6).unwrap()];
+    for (i, g) in graphs.iter().enumerate() {
+        for seed in 0..4u64 {
+            let p = linial_saks::LinialSaksParams::new(4, 4.0).unwrap();
+            let o = linial_saks::decompose(g, &p, seed).unwrap();
+            let r = verify::verify(g, &o.decomposition).unwrap();
+            assert!(r.complete, "graph {i} seed {seed}");
+            assert!(
+                r.is_valid_weak(p.weak_diameter_bound()),
+                "graph {i} seed {seed}: {r:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn en16_dominates_ls93_on_strong_diameter() {
+    // On every graph/seed: EN16's strong diameter is bounded; LS93's weak
+    // diameter is bounded but its strong diameter may be infinite. Verify
+    // the one-sided domination: whenever LS93 is connected, both are
+    // finite; EN16 is *always* finite (given clean events).
+    let g = generators::grid2d(12, 12);
+    let k = 5usize;
+    for seed in 0..10u64 {
+        let en = basic::decompose(&g, &DecompositionParams::new(k, 4.0).unwrap(), seed).unwrap();
+        let en_r = verify::verify(&g, en.decomposition()).unwrap();
+        if en.events().clean() {
+            assert!(
+                en_r.max_strong_diameter.is_some_and(|d| d <= 2 * k - 2),
+                "seed {seed}"
+            );
+        }
+        let ls = linial_saks::decompose(
+            &g,
+            &linial_saks::LinialSaksParams::new(k, 4.0).unwrap(),
+            seed,
+        )
+        .unwrap();
+        let ls_r = verify::verify(&g, &ls.decomposition).unwrap();
+        assert!(ls_r.max_weak_diameter.is_some_and(|d| d <= 2 * (k - 1)));
+    }
+}
+
+#[test]
+fn mpx_partition_guarantees() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = generators::gnp(300, 0.03, &mut rng).unwrap();
+    for seed in 0..4u64 {
+        let padded = mpx::padded_partition(&g, 0.3, seed).unwrap();
+        assert!(padded.partition.is_complete());
+        let report = mpx::report(&g, &padded);
+        assert!(
+            report.max_strong_diameter.is_some(),
+            "seed {seed}: MPX cluster disconnected"
+        );
+        assert!(report.cut_fraction <= 1.0);
+    }
+}
+
+#[test]
+fn mpx_as_decomposition_is_verifiable() {
+    let g = generators::grid2d(9, 9);
+    let padded = mpx::padded_partition(&g, 0.4, 3).unwrap();
+    let centers = padded.centers.clone();
+    let d = decomposition_via_greedy_coloring(&g, padded.partition, centers);
+    let r = verify::verify(&g, &d).unwrap();
+    assert!(r.complete);
+    assert!(r.clusters_connected);
+    assert!(r.supergraph_properly_colored);
+}
+
+#[test]
+fn ball_carving_as_decomposition_is_verifiable() {
+    let g = generators::caveman(6, 7).unwrap();
+    let carve = ball_carving::carve(&g, 0.3).unwrap();
+    let max_radius = carve.max_radius;
+    let d = decomposition_via_greedy_coloring(&g, carve.partition, carve.centers);
+    let r = verify::verify(&g, &d).unwrap();
+    assert!(r.complete && r.clusters_connected && r.supergraph_properly_colored);
+    assert!(r.max_strong_diameter.is_some_and(|diam| diam <= 2 * max_radius));
+}
+
+#[test]
+fn trivial_baselines_anchor_the_tradeoff() {
+    let g = generators::cycle(12);
+    let s = trivial::singletons(&g);
+    let rs = verify::verify(&g, &s).unwrap();
+    assert!(rs.is_valid_strong(0));
+
+    let w = trivial::whole_components(&g);
+    let rw = verify::verify(&g, &w).unwrap();
+    assert_eq!(rw.color_count, 1);
+    assert_eq!(rw.max_strong_diameter, Some(6));
+}
+
+#[test]
+fn en16_and_ls93_comparable_color_counts_at_headline() {
+    // Both use O(log n) colors at k = ln n; check they are within a small
+    // factor of each other on a random graph.
+    let mut rng = StdRng::seed_from_u64(5);
+    let n = 256;
+    let g = generators::gnp(n, 6.0 / n as f64, &mut rng).unwrap();
+    let k = (n as f64).ln().ceil() as usize;
+    let en = basic::decompose(&g, &DecompositionParams::new(k, 4.0).unwrap(), 1).unwrap();
+    let ls = linial_saks::decompose(
+        &g,
+        &linial_saks::LinialSaksParams::new(k, 4.0).unwrap(),
+        1,
+    )
+    .unwrap();
+    let en_colors = en.decomposition().block_count();
+    let ls_colors = ls.decomposition.block_count();
+    assert!(en_colors > 0 && ls_colors > 0);
+    assert!(
+        en_colors <= 10 * ls_colors && ls_colors <= 10 * en_colors,
+        "colors wildly different: EN {en_colors} vs LS {ls_colors}"
+    );
+}

@@ -1,0 +1,113 @@
+//! The centralized simulation and the message-passing execution are the
+//! same algorithm: bit-identical outputs under equal seeds, across
+//! forwarding modes, with CONGEST budgets respected.
+
+use netdecomp::core::distributed::{
+    decompose_distributed, DistributedConfig, Forwarding,
+};
+use netdecomp::core::{basic, params::DecompositionParams};
+use netdecomp::graph::generators;
+use netdecomp::sim::CongestLimit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn central_equals_congest_equals_local_across_graphs() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let graphs = [generators::gnp(80, 0.06, &mut rng).unwrap(),
+        generators::grid2d(8, 9),
+        generators::caveman(6, 6).unwrap(),
+        generators::random_tree(70, &mut rng)];
+    for (i, g) in graphs.iter().enumerate() {
+        for seed in 0..2u64 {
+            let p = DecompositionParams::new(3, 4.0).unwrap();
+            let central = basic::decompose(g, &p, seed).unwrap();
+            let top2 = decompose_distributed(g, &p, seed, &DistributedConfig::default()).unwrap();
+            let full = decompose_distributed(
+                g,
+                &p,
+                seed,
+                &DistributedConfig {
+                    forwarding: Forwarding::Full,
+                    ..DistributedConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                central.decomposition(),
+                top2.outcome.decomposition(),
+                "graph {i} seed {seed}: central != top2"
+            );
+            assert_eq!(
+                top2.outcome.decomposition(),
+                full.outcome.decomposition(),
+                "graph {i} seed {seed}: top2 != full"
+            );
+            assert_eq!(central.phases_used(), top2.outcome.phases_used());
+            assert_eq!(
+                central.events().truncation_events,
+                top2.outcome.events().truncation_events
+            );
+        }
+    }
+}
+
+#[test]
+fn congest_budget_of_two_entries_suffices_for_top_two() {
+    let g = generators::grid2d(7, 7);
+    let p = DecompositionParams::new(3, 4.0).unwrap();
+    for seed in 0..3u64 {
+        let run = decompose_distributed(
+            &g,
+            &p,
+            seed,
+            &DistributedConfig {
+                forwarding: Forwarding::TopTwo,
+                congest_limit: CongestLimit::PerEdgeBytes(28),
+                ..DistributedConfig::default()
+            },
+        )
+        .expect("two 14-byte entries per edge per round must fit");
+        assert!(run.comm.max_edge_bytes <= 28, "seed {seed}");
+    }
+}
+
+#[test]
+fn full_forwarding_costs_at_least_as_many_messages() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let g = generators::gnp(100, 0.05, &mut rng).unwrap();
+    let p = DecompositionParams::new(4, 4.0).unwrap();
+    let top2 = decompose_distributed(&g, &p, 1, &DistributedConfig::default()).unwrap();
+    let full = decompose_distributed(
+        &g,
+        &p,
+        1,
+        &DistributedConfig {
+            forwarding: Forwarding::Full,
+            ..DistributedConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(full.comm.total_messages >= top2.comm.total_messages);
+    assert!(full.comm.max_edge_bytes >= top2.comm.max_edge_bytes);
+}
+
+#[test]
+fn round_count_matches_phase_structure() {
+    // Every phase runs exactly cap + 1 simulator steps.
+    let g = generators::cycle(24);
+    let p = DecompositionParams::new(3, 4.0).unwrap();
+    let run = decompose_distributed(&g, &p, 2, &DistributedConfig::default()).unwrap();
+    let phases = run.outcome.phases_used();
+    assert_eq!(run.comm.rounds, phases * (p.radius_cap() + 1));
+}
+
+#[test]
+fn communication_is_deterministic_under_seed() {
+    let g = generators::grid2d(6, 6);
+    let p = DecompositionParams::new(3, 4.0).unwrap();
+    let a = decompose_distributed(&g, &p, 5, &DistributedConfig::default()).unwrap();
+    let b = decompose_distributed(&g, &p, 5, &DistributedConfig::default()).unwrap();
+    assert_eq!(a.comm, b.comm);
+    assert_eq!(a.outcome, b.outcome);
+}

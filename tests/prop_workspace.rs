@@ -1,0 +1,100 @@
+//! Workspace-level property tests: the paper's invariants on arbitrary
+//! random graphs.
+
+use proptest::prelude::*;
+
+use netdecomp::apps::{mis, verify as app_verify};
+use netdecomp::core::distributed::{decompose_distributed, DistributedConfig, Forwarding};
+use netdecomp::core::{basic, params::DecompositionParams, verify};
+use netdecomp::graph::{GraphBuilder, Graph};
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (4usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(2 * n)).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    b.add_edge(u, v).expect("in range");
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn decomposition_invariants_on_arbitrary_graphs(
+        g in arb_graph(48),
+        k in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let p = DecompositionParams::new(k, 4.0).expect("valid");
+        let o = basic::decompose(&g, &p, seed).expect("runs");
+        let r = verify::verify(&g, o.decomposition()).expect("same graph");
+        // Coverage and disjointness are unconditional.
+        prop_assert!(r.complete);
+        prop_assert!(r.supergraph_properly_colored);
+        // The diameter bound is conditional on no truncation events.
+        if o.events().clean() {
+            prop_assert!(r.clusters_connected);
+            prop_assert!(r.max_strong_diameter.is_some_and(|d| d <= p.diameter_bound()));
+            prop_assert_eq!(o.mixed_center_clusters(), 0);
+        }
+        // Colors never exceed phases used.
+        prop_assert!(o.decomposition().block_count() <= o.phases_used());
+    }
+
+    #[test]
+    fn central_and_distributed_agree_on_arbitrary_graphs(
+        g in arb_graph(28),
+        seed in 0u64..100,
+    ) {
+        let p = DecompositionParams::new(3, 4.0).expect("valid");
+        let central = basic::decompose(&g, &p, seed).expect("runs");
+        let top2 = decompose_distributed(&g, &p, seed, &DistributedConfig::default())
+            .expect("runs");
+        prop_assert_eq!(central.decomposition(), top2.outcome.decomposition());
+        let full = decompose_distributed(
+            &g,
+            &p,
+            seed,
+            &DistributedConfig { forwarding: Forwarding::Full, ..DistributedConfig::default() },
+        )
+        .expect("runs");
+        prop_assert_eq!(central.decomposition(), full.outcome.decomposition());
+    }
+
+    #[test]
+    fn mis_via_decomposition_is_always_valid(
+        g in arb_graph(40),
+        seed in 0u64..100,
+    ) {
+        let p = DecompositionParams::new(3, 4.0).expect("valid");
+        let o = basic::decompose(&g, &p, seed).expect("runs");
+        let m = mis::solve(&g, o.decomposition()).expect("complete decomposition");
+        prop_assert!(app_verify::is_maximal_independent_set(&g, &m.in_mis));
+    }
+
+    #[test]
+    fn partition_is_a_partition(
+        g in arb_graph(48),
+        seed in 0u64..1000,
+    ) {
+        let p = DecompositionParams::new(2, 4.0).expect("valid");
+        let o = basic::decompose(&g, &p, seed).expect("runs");
+        let partition = o.decomposition().partition();
+        // Every vertex in exactly one cluster.
+        let clusters = partition.clusters();
+        let mut seen = vec![false; g.vertex_count()];
+        for members in &clusters {
+            for &v in members {
+                prop_assert!(!seen[v], "vertex {} in two clusters", v);
+                seen[v] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|b| b));
+    }
+}

@@ -1,0 +1,119 @@
+//! Integration tests for the derived structures: spanners from
+//! decompositions, graph powers, and induced-subgraph extraction working
+//! together across crates.
+
+use netdecomp::apps::spanner;
+use netdecomp::core::{basic, high_radius, params, staged, verify};
+use netdecomp::graph::{bfs, components, diameter, generators, induced, power, VertexSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn spanner_from_each_theorem_variant() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = generators::gnp(150, 0.12, &mut rng).unwrap();
+    let decomps = [basic::decompose(&g, &params::DecompositionParams::new(3, 4.0).unwrap(), 2)
+            .unwrap()
+            .into_decomposition(),
+        staged::decompose(&g, &params::StagedParams::new(3, 6.0).unwrap(), 2)
+            .unwrap()
+            .into_decomposition(),
+        high_radius::decompose(&g, &params::HighRadiusParams::new(3, 4.0).unwrap(), 2)
+            .unwrap()
+            .into_decomposition()];
+    for (i, d) in decomps.iter().enumerate() {
+        let r = verify::verify(&g, d).unwrap();
+        if !r.clusters_connected {
+            continue; // rare truncation run: spanner precondition absent
+        }
+        let s = spanner::build(&g, d).unwrap();
+        let stretch = spanner::measured_stretch(&g, &s.spanner)
+            .unwrap_or_else(|| panic!("decomp {i}: spanner does not span"));
+        assert!(
+            stretch <= s.stretch_bound,
+            "decomp {i}: stretch {stretch} > {}",
+            s.stretch_bound
+        );
+        assert!(s.spanner.edge_count() <= g.edge_count());
+    }
+}
+
+#[test]
+fn decomposition_of_graph_power_bounds_base_distance() {
+    // Decompose G^2: clusters have strong diameter <= 2k-2 in G^2, hence
+    // weak diameter <= 2(2k-2) in G.
+    let g = generators::cycle(60);
+    let g2 = power::power(&g, 2).unwrap();
+    let p = params::DecompositionParams::new(3, 8.0).unwrap();
+    let o = basic::decompose(&g2, &p, 5).unwrap();
+    if !o.events().clean() {
+        return;
+    }
+    let d = o.decomposition();
+    for c in 0..d.cluster_count() {
+        let members = d.partition().cluster_set(c);
+        let weak_in_g = diameter::weak_diameter(&g, &members).expect("cycle is connected");
+        assert!(
+            weak_in_g <= 2 * p.diameter_bound(),
+            "cluster {c}: weak diameter {weak_in_g} in G exceeds 2x bound"
+        );
+    }
+}
+
+#[test]
+fn induced_cluster_graphs_match_restricted_views() {
+    // Extracting each cluster as a standalone graph (the leader's collected
+    // topology) preserves diameters computed through the restricted view.
+    let g = generators::grid2d(8, 8);
+    let p = params::DecompositionParams::new(3, 4.0).unwrap();
+    let o = basic::decompose(&g, &p, 9).unwrap();
+    let d = o.decomposition();
+    for c in 0..d.cluster_count() {
+        let members = d.partition().cluster_set(c);
+        let sub = induced::extract(&g, &members);
+        let standalone = diameter::diameter(sub.graph());
+        let restricted = diameter::strong_diameter(&g, &members);
+        assert_eq!(standalone, restricted, "cluster {c}");
+    }
+}
+
+#[test]
+fn power_contracts_distances_consistently() {
+    let g = generators::path(30);
+    let g3 = power::power(&g, 3).unwrap();
+    let d1 = bfs::distances(&g, 0);
+    let d3 = bfs::distances(&g3, 0);
+    for v in 0..30 {
+        let a = d1[v].unwrap();
+        let b = d3[v].unwrap();
+        assert_eq!(b, a.div_ceil(3), "vertex {v}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn spanner_of_disconnected_graph_preserves_components() {
+    let mut rng = StdRng::seed_from_u64(8);
+    // Two disjoint random blobs.
+    let blob = generators::gnp(40, 0.2, &mut rng).unwrap();
+    let mut edges = Vec::new();
+    for (u, v) in blob.edges() {
+        edges.push((u, v));
+        edges.push((u + 40, v + 40));
+    }
+    let g = netdecomp::graph::Graph::from_edges(80, &edges).unwrap();
+    let p = params::DecompositionParams::new(3, 4.0).unwrap();
+    let o = basic::decompose(&g, &p, 4).unwrap();
+    let r = verify::verify(&g, o.decomposition()).unwrap();
+    if !r.clusters_connected {
+        return;
+    }
+    let s = spanner::build(&g, o.decomposition()).unwrap();
+    let gc = components::components(&g);
+    let sc = components::components(&s.spanner);
+    assert_eq!(gc.count(), sc.count());
+    // Every spanner component maps into one graph component.
+    let full = VertexSet::full(80);
+    for v in full.iter() {
+        assert_eq!(gc.label(v).is_some(), sc.label(v).is_some());
+    }
+}

@@ -1,0 +1,156 @@
+//! Workspace integration tests: the theorems' guarantees end to end,
+//! across graph families, parameters, and seeds.
+
+use netdecomp::core::{basic, high_radius, params, staged, verify, BudgetPolicy};
+use netdecomp::graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn families(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        ("gnp", generators::gnp(n, 6.0 / n as f64, &mut rng).unwrap()),
+        ("grid", {
+            let side = (n as f64).sqrt().round() as usize;
+            generators::grid2d(side, side)
+        }),
+        ("cycle", generators::cycle(n)),
+        ("tree", generators::random_tree(n, &mut rng)),
+        (
+            "caveman",
+            generators::caveman(n / 8, 8).unwrap(),
+        ),
+        ("ba", generators::barabasi_albert(n, 3, &mut rng).unwrap()),
+    ]
+}
+
+#[test]
+fn theorem1_all_guarantees_across_families() {
+    for (name, g) in families(144, 0) {
+        for seed in 0..3u64 {
+            for k in [2usize, 3, 5] {
+                let p = params::DecompositionParams::new(k, 4.0).unwrap();
+                let o = basic::decompose(&g, &p, seed).unwrap();
+                let r = verify::verify(&g, o.decomposition()).unwrap();
+                assert!(r.complete, "{name} k={k} seed={seed}: incomplete");
+                assert!(
+                    r.supergraph_properly_colored,
+                    "{name} k={k} seed={seed}: improper"
+                );
+                if o.events().clean() {
+                    assert!(
+                        r.is_valid_strong(p.diameter_bound()),
+                        "{name} k={k} seed={seed}: {r:?}"
+                    );
+                    assert_eq!(
+                        o.mixed_center_clusters(),
+                        0,
+                        "{name} k={k} seed={seed}: mixed centers without truncation"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem2_color_improvement_and_guarantees() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = generators::gnp(400, 0.02, &mut rng).unwrap();
+    let k = 3;
+    let mut basic_colors = 0usize;
+    let mut staged_colors = 0usize;
+    for seed in 0..6u64 {
+        let bp = params::DecompositionParams::new(k, 6.0).unwrap();
+        let sp = params::StagedParams::new(k, 6.0).unwrap();
+        let b = basic::decompose(&g, &bp, seed).unwrap();
+        let s = staged::decompose(&g, &sp, seed).unwrap();
+        let r = verify::verify(&g, s.decomposition()).unwrap();
+        assert!(r.complete && r.supergraph_properly_colored);
+        if s.events().clean() {
+            assert!(r.is_valid_strong(sp.diameter_bound()));
+        }
+        basic_colors += b.decomposition().block_count();
+        staged_colors += s.decomposition().block_count();
+    }
+    assert!(
+        staged_colors < basic_colors,
+        "staged should use fewer colors: {staged_colors} vs {basic_colors}"
+    );
+}
+
+#[test]
+fn theorem3_color_budget_and_diameter() {
+    for (name, g) in families(144, 2) {
+        for lambda in [2usize, 3] {
+            let p = params::HighRadiusParams::new(lambda, 4.0).unwrap();
+            let o = high_radius::decompose(&g, &p, 3).unwrap();
+            let r = verify::verify(&g, o.decomposition()).unwrap();
+            assert!(r.complete, "{name} lambda={lambda}");
+            if o.exhausted_within_budget() {
+                assert!(
+                    r.color_count <= lambda,
+                    "{name} lambda={lambda}: {} colors",
+                    r.color_count
+                );
+            }
+            if o.events().clean() {
+                assert!(r.is_valid_strong(p.diameter_bound(g.vertex_count())));
+            }
+        }
+    }
+}
+
+#[test]
+fn stop_at_budget_never_exceeds_it() {
+    let g = generators::cycle(60);
+    let p = params::DecompositionParams::new(2, 4.0).unwrap();
+    for seed in 0..5u64 {
+        let o = basic::decompose_with_policy(&g, &p, seed, BudgetPolicy::StopAtBudget).unwrap();
+        assert!(o.phases_used() <= o.phase_budget());
+        assert!(o.decomposition().block_count() <= o.phase_budget());
+    }
+}
+
+#[test]
+fn success_probability_is_respected_in_aggregate() {
+    // Theorem 1 with c = 16: failure prob <= 3/16. Over 24 trials expect
+    // >= half successes with enormous margin.
+    let mut ok = 0usize;
+    let trials = 24u64;
+    for seed in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(200, 0.03, &mut rng).unwrap();
+        let p = params::DecompositionParams::new(3, 16.0).unwrap();
+        let o = basic::decompose(&g, &p, seed).unwrap();
+        let r = verify::verify(&g, o.decomposition()).unwrap();
+        if o.exhausted_within_budget() && r.is_valid_strong(p.diameter_bound()) {
+            ok += 1;
+        }
+    }
+    assert!(
+        ok as f64 >= 0.5 * trials as f64,
+        "only {ok}/{trials} successful runs"
+    );
+}
+
+#[test]
+fn disconnected_input_graphs_are_decomposed_componentwise() {
+    // Two disjoint cycles; every guarantee holds per component.
+    let mut edges = Vec::new();
+    for i in 0..10usize {
+        edges.push((i, (i + 1) % 10));
+    }
+    for i in 0..10usize {
+        edges.push((10 + i, 10 + (i + 1) % 10));
+    }
+    let g = Graph::from_edges(20, &edges).unwrap();
+    let p = params::DecompositionParams::new(3, 4.0).unwrap();
+    let o = basic::decompose(&g, &p, 1).unwrap();
+    let r = verify::verify(&g, o.decomposition()).unwrap();
+    assert!(r.complete);
+    assert!(r.supergraph_properly_colored);
+    if o.events().clean() {
+        assert!(r.is_valid_strong(p.diameter_bound()));
+    }
+}
