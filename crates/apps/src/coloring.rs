@@ -66,7 +66,10 @@ pub fn solve(
         }
     })?;
     Ok(ColoringResult {
-        colors: colors.into_iter().map(|c| c.expect("all colored")).collect(),
+        colors: colors
+            .into_iter()
+            .map(|c| c.expect("all colored"))
+            .collect(),
         cost,
     })
 }
@@ -89,11 +92,13 @@ mod tests {
     #[test]
     fn coloring_is_proper_within_palette() {
         let mut rng = StdRng::seed_from_u64(3);
-        let graphs = [generators::cycle(25),
+        let graphs = [
+            generators::cycle(25),
             generators::complete(10),
             generators::grid2d(5, 9),
             generators::gnp(90, 0.07, &mut rng).unwrap(),
-            generators::star(15)];
+            generators::star(15),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             for seed in 0..3u64 {
                 let r = color_on(g, seed);

@@ -179,9 +179,11 @@ mod tests {
 
     #[test]
     fn balls_are_covered_on_families() {
-        let graphs = [generators::cycle(40),
+        let graphs = [
+            generators::cycle(40),
             generators::grid2d(7, 7),
-            generators::caveman(5, 5).unwrap()];
+            generators::caveman(5, 5).unwrap(),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             let (_, rep) = check(g, 2, 3, i as u64);
             assert!(rep.covers_all_balls, "graph {i}: some ball uncovered");
@@ -216,7 +218,8 @@ mod tests {
             let cover = build(&g, 2, &params, seed).unwrap();
             let rep = report(&g, &cover);
             assert!(
-                rep.max_weak_diameter.is_some_and(|d| d <= cover.diameter_bound),
+                rep.max_weak_diameter
+                    .is_some_and(|d| d <= cover.diameter_bound),
                 "seed {seed}: {rep:?} vs bound {}",
                 cover.diameter_bound
             );

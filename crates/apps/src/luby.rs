@@ -87,11 +87,13 @@ mod tests {
     #[test]
     fn luby_mis_is_maximal_on_families() {
         let mut rng = StdRng::seed_from_u64(5);
-        let graphs = [generators::path(25),
+        let graphs = [
+            generators::path(25),
             generators::cycle(26),
             generators::grid2d(7, 7),
             generators::complete(11),
-            generators::gnp(100, 0.06, &mut rng).unwrap()];
+            generators::gnp(100, 0.06, &mut rng).unwrap(),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             for seed in 0..3u64 {
                 let r = solve(g, seed);

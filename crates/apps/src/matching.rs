@@ -81,8 +81,12 @@ pub fn solve(
             // Run the proposal rounds of the previous class once we move on.
             if block != current_block {
                 if current_block != usize::MAX {
-                    extra_rounds +=
-                        proposal_rounds(graph, &class_members[current_block], &mut mate, &processed);
+                    extra_rounds += proposal_rounds(
+                        graph,
+                        &class_members[current_block],
+                        &mut mate,
+                        &processed,
+                    );
                     for &v in &class_members[current_block] {
                         processed[v] = true;
                     }
@@ -95,14 +99,9 @@ pub fn solve(
                 if mate[v].is_some() {
                     continue;
                 }
-                let partner = graph
-                    .neighbors(v)
-                    .iter()
-                    .copied()
-                    .find(|&u| {
-                        mate[u].is_none()
-                            && partition.cluster_of(u) == partition.cluster_of(v)
-                    });
+                let partner = graph.neighbors(v).iter().copied().find(|&u| {
+                    mate[u].is_none() && partition.cluster_of(u) == partition.cluster_of(v)
+                });
                 if let Some(u) = partner {
                     mate[v] = Some(u);
                     mate[u] = Some(v);
@@ -201,13 +200,15 @@ mod tests {
     #[test]
     fn matching_is_maximal_on_families() {
         let mut rng = StdRng::seed_from_u64(9);
-        let graphs = [generators::path(20),
+        let graphs = [
+            generators::path(20),
             generators::cycle(21),
             generators::grid2d(6, 6),
             generators::complete(9),
             generators::star(12),
             generators::gnp(70, 0.1, &mut rng).unwrap(),
-            generators::caveman(4, 5).unwrap()];
+            generators::caveman(4, 5).unwrap(),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             for seed in 0..3u64 {
                 let r = match_on(g, seed);

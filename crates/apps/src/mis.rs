@@ -81,12 +81,14 @@ mod tests {
     #[test]
     fn mis_is_maximal_on_families() {
         let mut rng = StdRng::seed_from_u64(1);
-        let graphs = [generators::path(30),
+        let graphs = [
+            generators::path(30),
             generators::cycle(31),
             generators::grid2d(6, 7),
             generators::star(20),
             generators::complete(12),
-            generators::gnp(80, 0.08, &mut rng).unwrap()];
+            generators::gnp(80, 0.08, &mut rng).unwrap(),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             for seed in 0..3u64 {
                 let r = mis_on(g, seed);

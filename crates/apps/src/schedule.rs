@@ -144,11 +144,8 @@ mod tests {
     fn mismatch_is_rejected() {
         let g = generators::path(3);
         let p = Partition::singletons(4);
-        let d = netdecomp_core::NetworkDecomposition::from_parts(
-            p,
-            vec![0, 1, 2, 3],
-            vec![0, 1, 2, 3],
-        );
+        let d =
+            netdecomp_core::NetworkDecomposition::from_parts(p, vec![0, 1, 2, 3], vec![0, 1, 2, 3]);
         assert!(matches!(
             sweep(&g, &d, |_, _, _| {}),
             Err(DecompError::GraphMismatch { .. })

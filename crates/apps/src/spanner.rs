@@ -212,9 +212,11 @@ mod tests {
 
     #[test]
     fn stretch_across_families_and_seeds() {
-        let graphs = [generators::cycle(40),
+        let graphs = [
+            generators::cycle(40),
             generators::caveman(5, 6).unwrap(),
-            generators::grid2d(7, 7)];
+            generators::grid2d(7, 7),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             for seed in 0..3u64 {
                 let s = spanner_on(g, 3, seed);

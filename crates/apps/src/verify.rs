@@ -15,16 +15,14 @@ pub fn is_maximal_independent_set(g: &Graph, in_mis: &[bool]) -> bool {
     if !is_independent_set(g, in_mis) {
         return false;
     }
-    g.vertices().all(|v| {
-        in_mis[v] || g.neighbors(v).iter().any(|&u| in_mis[u])
-    })
+    g.vertices()
+        .all(|v| in_mis[v] || g.neighbors(v).iter().any(|&u| in_mis[u]))
 }
 
 /// Is `colors` a proper coloring of `g` using at most `max_colors` colors?
 #[must_use]
 pub fn is_proper_coloring(g: &Graph, colors: &[usize], max_colors: usize) -> bool {
-    colors.iter().all(|&c| c < max_colors)
-        && g.edges().all(|(u, v)| colors[u] != colors[v])
+    colors.iter().all(|&c| c < max_colors) && g.edges().all(|(u, v)| colors[u] != colors[v])
 }
 
 /// Is `mate` a matching of `g`? (`mate[v] = Some(u)` must be symmetric, over
@@ -60,7 +58,10 @@ mod tests {
         assert!(!is_independent_set(&g, &[true, true, false, false]));
         assert!(is_maximal_independent_set(&g, &[true, false, true, false]));
         // {0} is independent but not maximal (2-3 uncovered).
-        assert!(!is_maximal_independent_set(&g, &[true, false, false, false]));
+        assert!(!is_maximal_independent_set(
+            &g,
+            &[true, false, false, false]
+        ));
         // {0, 3} is independent but 1,2 are covered? 1 adj 0 yes, 2 adj 3 yes.
         assert!(is_maximal_independent_set(&g, &[true, false, false, true]));
     }

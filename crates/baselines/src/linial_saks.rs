@@ -21,7 +21,9 @@ use netdecomp_core::shift::uniform;
 use netdecomp_core::{DecompError, NetworkDecomposition};
 use netdecomp_graph::{bfs, Graph, Partition, VertexId, VertexSet};
 use netdecomp_sim::wire::{WireReader, WireWriter};
-use netdecomp_sim::{CongestLimit, Ctx, Incoming, Outgoing, Protocol, RunStats, Simulator};
+use netdecomp_sim::{
+    Codec, CongestLimit, Ctx, RunStats, Simulator, Typed, TypedOutbox, TypedProtocol,
+};
 use serde::Serialize;
 
 /// Parameters of the Linial–Saks algorithm.
@@ -111,7 +113,7 @@ impl LinialSaksParams {
     pub fn radius(&self, n: usize, seed: u64, phase: u64, v: VertexId) -> usize {
         let p = self.p(n);
         let u = uniform(seed ^ 0x4C53_3933, phase, v); // distinct stream tag "LS93"
-        // r = floor(ln(1-u)/ln p) has Pr[r >= j] = p^j.
+                                                       // r = floor(ln(1-u)/ln p) has Pr[r >= j] = p^j.
         let r = ((1.0 - u).ln() / p.ln()).floor();
         (r as usize).min(self.k - 1)
     }
@@ -243,26 +245,6 @@ impl LsNode {
         true
     }
 
-    fn encode(label: &LsLabel) -> Bytes {
-        WireWriter::new()
-            .u32(label.id as u32)
-            .u16(label.r as u16)
-            .u16((label.dist + 1) as u16)
-            .finish()
-    }
-
-    fn decode(payload: Bytes) -> Option<LsLabel> {
-        let mut r = WireReader::new(payload);
-        let id = r.u32()? as VertexId;
-        let radius = r.u16()? as usize;
-        let dist = r.u16()? as usize;
-        r.is_exhausted().then_some(LsLabel {
-            id,
-            r: radius,
-            dist,
-        })
-    }
-
     /// The elected (minimum-id) coverer and whether this vertex is interior
     /// to it.
     fn election(&self) -> Option<(VertexId, bool)> {
@@ -273,10 +255,41 @@ impl LsNode {
     }
 }
 
-impl Protocol for LsNode {
-    fn start(&mut self, ctx: &Ctx<'_>) -> Vec<Outgoing> {
+/// Wire format of an [`LsLabel`]: `(id: u32, r: u16, dist: u16)` — 8 bytes,
+/// one CONGEST word. The sender pre-increments `dist` for the receiver.
+#[derive(Debug, Clone, Copy)]
+struct LsCodec;
+
+impl Codec for LsCodec {
+    type Msg = LsLabel;
+
+    fn encode(label: &LsLabel) -> Bytes {
+        WireWriter::new()
+            .u32(label.id as u32)
+            .u16(label.r as u16)
+            .u16((label.dist + 1) as u16)
+            .finish()
+    }
+
+    fn decode(payload: &Bytes) -> Option<LsLabel> {
+        let mut r = WireReader::new(payload.clone());
+        let id = r.u32()? as VertexId;
+        let radius = r.u16()? as usize;
+        let dist = r.u16()? as usize;
+        r.is_exhausted().then_some(LsLabel {
+            id,
+            r: radius,
+            dist,
+        })
+    }
+}
+
+impl TypedProtocol for LsNode {
+    type Codec = LsCodec;
+
+    fn start(&mut self, ctx: &Ctx<'_>, out: &mut TypedOutbox<'_, LsCodec>) {
         if !self.alive {
-            return Vec::new();
+            return;
         }
         let own = LsLabel {
             id: ctx.id,
@@ -285,27 +298,24 @@ impl Protocol for LsNode {
         };
         self.offer(own);
         if own.dist < own.r {
-            vec![Outgoing::broadcast(Self::encode(&own))]
-        } else {
-            Vec::new()
+            out.broadcast(&own);
         }
     }
 
-    fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming]) -> Vec<Outgoing> {
+    fn round(
+        &mut self,
+        _ctx: &Ctx<'_>,
+        incoming: &[(VertexId, LsLabel)],
+        out: &mut TypedOutbox<'_, LsCodec>,
+    ) {
         if !self.alive {
-            return Vec::new();
+            return;
         }
-        let mut out = Vec::new();
-        for msg in incoming {
-            let Some(label) = Self::decode(msg.payload.clone()) else {
-                debug_assert!(false, "malformed LS message");
-                continue;
-            };
+        for &(_, label) in incoming {
             if self.offer(label) && label.dist < label.r {
-                out.push(Outgoing::broadcast(Self::encode(&label)));
+                out.broadcast(&label);
             }
         }
-        out
     }
 
     fn is_halted(&self) -> bool {
@@ -345,10 +355,12 @@ pub fn decompose_distributed(
         for v in alive.iter() {
             radii[v] = params.radius(n, seed, phase as u64, v);
         }
-        let mut sim = Simulator::new(graph, |id, _| LsNode {
-            alive: alive.contains(id),
-            radius: radii[id],
-            known: Vec::new(),
+        let mut sim = Simulator::new(graph, |id, _| {
+            Typed::new(LsNode {
+                alive: alive.contains(id),
+                radius: radii[id],
+                known: Vec::new(),
+            })
         })
         .with_limit(limit);
         // Radii are at most k-1, so k engine steps deliver everything.
@@ -357,7 +369,7 @@ pub fn decompose_distributed(
         let mut members_of: std::collections::BTreeMap<VertexId, Vec<VertexId>> =
             std::collections::BTreeMap::new();
         for y in alive.iter() {
-            if let Some((center, interior)) = sim.nodes()[y].election() {
+            if let Some((center, interior)) = sim.nodes()[y].inner.election() {
                 if interior {
                     members_of.entry(center).or_default().push(y);
                 }
@@ -421,10 +433,7 @@ mod tests {
             .filter(|&t| params.radius(n, 11, t as u64, 0) >= 1)
             .count() as f64
             / trials as f64;
-        assert!(
-            (hits - p).abs() < 0.01,
-            "Pr[r>=1] = {hits}, expected {p}"
-        );
+        assert!((hits - p).abs() < 0.01, "Pr[r>=1] = {hits}, expected {p}");
     }
 
     #[test]
@@ -442,9 +451,11 @@ mod tests {
 
     #[test]
     fn weak_bound_holds_across_families_and_seeds() {
-        let graphs = [generators::cycle(40),
+        let graphs = [
+            generators::cycle(40),
             generators::caveman(4, 6).unwrap(),
-            generators::star(30)];
+            generators::star(30),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             for seed in 0..3u64 {
                 let params = LinialSaksParams::new(3, 4.0).unwrap();
@@ -516,9 +527,11 @@ mod tests {
 
     #[test]
     fn distributed_equals_centralized() {
-        let graphs = [generators::grid2d(6, 6),
+        let graphs = [
+            generators::grid2d(6, 6),
             generators::cycle(30),
-            generators::caveman(5, 5).unwrap()];
+            generators::caveman(5, 5).unwrap(),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             for seed in 0..3u64 {
                 let params = LinialSaksParams::new(4, 4.0).unwrap();
@@ -548,12 +561,24 @@ mod tests {
 
     #[test]
     fn ls_label_domination_rules() {
-        let a = LsLabel { id: 1, r: 3, dist: 0 }; // remaining 3
-        let b = LsLabel { id: 5, r: 4, dist: 2 }; // remaining 2
+        let a = LsLabel {
+            id: 1,
+            r: 3,
+            dist: 0,
+        }; // remaining 3
+        let b = LsLabel {
+            id: 5,
+            r: 4,
+            dist: 2,
+        }; // remaining 2
         assert!(a.dominates(&b));
         assert!(!b.dominates(&a));
         // Larger remaining range with larger id: incomparable.
-        let c = LsLabel { id: 9, r: 9, dist: 0 };
+        let c = LsLabel {
+            id: 9,
+            r: 9,
+            dist: 0,
+        };
         assert!(!a.dominates(&c));
         assert!(!c.dominates(&a));
         let mut node = LsNode {

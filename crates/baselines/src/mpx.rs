@@ -181,9 +181,11 @@ mod tests {
 
     #[test]
     fn clusters_connected_across_families_and_seeds() {
-        let graphs = [generators::grid2d(8, 8),
+        let graphs = [
+            generators::grid2d(8, 8),
             generators::cycle(50),
-            generators::caveman(5, 6).unwrap()];
+            generators::caveman(5, 6).unwrap(),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             for seed in 0..5u64 {
                 let padded = padded_partition(g, 0.5, seed).unwrap();

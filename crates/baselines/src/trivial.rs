@@ -57,7 +57,10 @@ mod tests {
         let r = verify::verify(&g, &d).unwrap();
         assert_eq!(r.color_count, 1);
         assert_eq!(r.cluster_count, 1);
-        assert_eq!(r.max_strong_diameter, netdecomp_graph::diameter::diameter(&g));
+        assert_eq!(
+            r.max_strong_diameter,
+            netdecomp_graph::diameter::diameter(&g)
+        );
         assert!(r.supergraph_properly_colored);
     }
 

@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netdecomp_bench::workloads::Family;
 use netdecomp_core::distributed::{decompose_distributed, DistributedConfig, Forwarding};
 use netdecomp_core::{basic, params};
+use netdecomp_sim::Engine;
 
 fn bench_distributed_vs_central(c: &mut Criterion) {
     let mut group = c.benchmark_group("distributed_vs_central");
@@ -17,8 +18,20 @@ fn bench_distributed_vs_central(c: &mut Criterion) {
         b.iter(|| basic::decompose(g, &p, 1).unwrap())
     });
     group.bench_with_input(BenchmarkId::new("congest_top2", n), &g, |b, g| {
+        b.iter(|| decompose_distributed(g, &p, 1, &DistributedConfig::default()).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("congest_top2_parallel", n), &g, |b, g| {
         b.iter(|| {
-            decompose_distributed(g, &p, 1, &DistributedConfig::default()).unwrap()
+            decompose_distributed(
+                g,
+                &p,
+                1,
+                &DistributedConfig {
+                    engine: Engine::Parallel { threads: 0 },
+                    ..DistributedConfig::default()
+                },
+            )
+            .unwrap()
         })
     });
     group.bench_with_input(BenchmarkId::new("local_full", n), &g, |b, g| {

@@ -10,11 +10,9 @@ fn bench_basic(c: &mut Criterion) {
         for family in [Family::Gnp { avg_degree: 6.0 }, Family::Grid] {
             let g = family.build(n, 7);
             let p = params::DecompositionParams::new(3, 4.0).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(family.label(), n),
-                &g,
-                |b, g| b.iter(|| basic::decompose(g, &p, 1).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(family.label(), n), &g, |b, g| {
+                b.iter(|| basic::decompose(g, &p, 1).unwrap())
+            });
         }
     }
     group.finish();

@@ -1,0 +1,136 @@
+//! Sequential vs. parallel `Simulator::step` throughput on large graphs.
+//!
+//! The workload is carve-shaped: every node broadcasts a 14-byte wire
+//! entry each round and decodes + rank-updates everything it hears, so the
+//! compute phase does real per-message work while delivery stays a
+//! sequential merge. Results (with the machine's available parallelism)
+//! are written to the file named by `NETDECOMP_BENCH_JSON`; the checked-in
+//! `BENCH_engine.json` at the repo root records one such run.
+//!
+//! ```text
+//! NETDECOMP_BENCH_JSON=BENCH_engine.json \
+//!     cargo bench -p netdecomp-bench --bench engine
+//! ```
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netdecomp_bench::workloads::Family;
+use netdecomp_graph::Graph;
+use netdecomp_sim::wire::{WireReader, WireWriter};
+use netdecomp_sim::{Codec, Ctx, Engine, Simulator, Typed, TypedOutbox, TypedProtocol};
+
+/// A carve-like wire entry: `(origin: u32, score: f64, dist: u16)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    origin: u32,
+    score: f64,
+    dist: u16,
+}
+
+struct EntryCodec;
+
+impl Codec for EntryCodec {
+    type Msg = Entry;
+
+    fn encode(e: &Entry) -> Bytes {
+        WireWriter::new()
+            .u32(e.origin)
+            .f64(e.score)
+            .u16(e.dist)
+            .finish()
+    }
+
+    fn decode(payload: &Bytes) -> Option<Entry> {
+        let mut r = WireReader::new(payload.clone());
+        let origin = r.u32()?;
+        let score = r.f64()?;
+        let dist = r.u16()?;
+        r.is_exhausted().then_some(Entry {
+            origin,
+            score,
+            dist,
+        })
+    }
+}
+
+/// Broadcasts its best-known entry every round; keeps a top-two ranking of
+/// everything heard. Deterministic, never halts, constant message volume
+/// (2m entries per round) — a steady-state `step` workload.
+#[derive(Debug, Clone)]
+struct Ranker {
+    best: Entry,
+    second: Option<Entry>,
+}
+
+impl Ranker {
+    fn new(id: usize) -> Self {
+        Ranker {
+            best: Entry {
+                origin: id as u32,
+                // Deterministic pseudo-random initial score.
+                score: f64::from((id as u32).wrapping_mul(2_654_435_761) >> 8),
+                dist: 0,
+            },
+            second: None,
+        }
+    }
+
+    fn offer(&mut self, e: Entry) {
+        if e.score > self.best.score {
+            self.second = Some(self.best);
+            self.best = e;
+        } else if e.origin != self.best.origin && self.second.is_none_or(|s| e.score > s.score) {
+            self.second = Some(e);
+        }
+    }
+}
+
+impl TypedProtocol for Ranker {
+    type Codec = EntryCodec;
+
+    fn start(&mut self, _ctx: &Ctx<'_>, out: &mut TypedOutbox<'_, EntryCodec>) {
+        out.broadcast(&self.best);
+    }
+
+    fn round(
+        &mut self,
+        _ctx: &Ctx<'_>,
+        incoming: &[(usize, Entry)],
+        out: &mut TypedOutbox<'_, EntryCodec>,
+    ) {
+        for &(_, mut e) in incoming {
+            e.dist = e.dist.saturating_add(1);
+            self.offer(e);
+        }
+        out.broadcast(&self.best);
+    }
+}
+
+fn bench_graph(c: &mut Criterion, label: &str, g: &Graph) {
+    let mut group = c.benchmark_group(format!("engine_step/{label}"));
+    group.sample_size(12);
+    for (name, engine) in [
+        ("sequential", Engine::Sequential),
+        ("parallel_2", Engine::Parallel { threads: 2 }),
+        ("parallel_8", Engine::Parallel { threads: 8 }),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, g.vertex_count()), g, |b, g| {
+            let mut sim =
+                Simulator::new(g, |id, _| Typed::new(Ranker::new(id))).with_engine(engine);
+            // Prime past the start round so every step is steady-state.
+            sim.step().unwrap();
+            b.iter(|| sim.step().unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let gnp = Family::Gnp { avg_degree: 8.0 }.build(50_000, 42);
+    bench_graph(c, "gnp_50k", &gnp);
+    let grid = netdecomp_graph::generators::grid2d(300, 300);
+    bench_graph(c, "grid2d_300x300", &grid);
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

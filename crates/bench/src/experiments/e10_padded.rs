@@ -28,7 +28,12 @@ pub fn run(effort: Effort) -> Vec<Table> {
     let mut table = Table::new(
         "E10: MPX13 padded partition — diameter and cut fraction vs beta",
         &[
-            "family", "beta", "max strong D", "ref 4 ln(n)/beta", "cut frac", "beta (bound shape)",
+            "family",
+            "beta",
+            "max strong D",
+            "ref 4 ln(n)/beta",
+            "cut frac",
+            "beta (bound shape)",
             "clusters",
         ],
     );

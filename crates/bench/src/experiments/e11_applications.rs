@@ -36,8 +36,14 @@ pub fn run(effort: Effort) -> Vec<Table> {
     let mut table = Table::new(
         "E11: applications via the decomposition sweep (O(D*chi)) vs Luby",
         &[
-            "family", "n", "chi", "O(D*chi) budget", "MIS rounds", "matching rounds",
-            "luby rounds", "valid",
+            "family",
+            "n",
+            "chi",
+            "O(D*chi) budget",
+            "MIS rounds",
+            "matching rounds",
+            "luby rounds",
+            "valid",
         ],
     );
     table.set_caption(format!(
@@ -68,7 +74,11 @@ pub fn run(effort: Effort) -> Vec<Table> {
                 }
             });
             let n_eff = family.build(n, 0).vertex_count();
-            let chi_proxy = cells.iter().map(|c| c.budget / (2 * (k - 1) + 1)).max().unwrap_or(0);
+            let chi_proxy = cells
+                .iter()
+                .map(|c| c.budget / (2 * (k - 1) + 1))
+                .max()
+                .unwrap_or(0);
             let mis_rounds =
                 summarize_usize(&cells.iter().map(|c| c.sweep_rounds_mis).collect::<Vec<_>>());
             let mat_rounds = summarize_usize(

@@ -87,7 +87,12 @@ pub fn run(effort: Effort) -> Vec<Table> {
     let mut table = Table::new(
         "E13 (ablation): the join margin m1 - m2 > theta",
         &[
-            "theta", "D bound", "D max measured", "violations", "phases mean", "phases max",
+            "theta",
+            "D bound",
+            "D max measured",
+            "violations",
+            "phases mean",
+            "phases max",
         ],
     );
     table.set_caption(format!(

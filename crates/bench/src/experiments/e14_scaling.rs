@@ -25,7 +25,13 @@ pub fn run(effort: Effort) -> Vec<Table> {
     let mut table = Table::new(
         "E14 (figure): headline scaling at k = ceil(ln n)",
         &[
-            "n", "k", "D max", "D / ln n", "chi max", "chi / ln n", "rounds max",
+            "n",
+            "k",
+            "D max",
+            "D / ln n",
+            "chi max",
+            "chi / ln n",
+            "rounds max",
             "rounds / ln^2 n",
         ],
     );

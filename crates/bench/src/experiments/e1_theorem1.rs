@@ -32,8 +32,17 @@ pub fn run(effort: Effort) -> Vec<Table> {
     let mut table = Table::new(
         "E1: Theorem 1 — basic algorithm",
         &[
-            "family", "n", "k", "D bound", "D max", "chi bound", "chi max", "phase budget",
-            "phases max", "succ bound", "succ",
+            "family",
+            "n",
+            "k",
+            "D bound",
+            "D max",
+            "chi bound",
+            "chi max",
+            "phase budget",
+            "phases max",
+            "succ bound",
+            "succ",
         ],
     );
     table.set_caption(format!(

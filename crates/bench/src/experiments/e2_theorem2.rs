@@ -30,8 +30,16 @@ pub fn run(effort: Effort) -> Vec<Table> {
     let mut table = Table::new(
         "E2: Theorem 2 — staged algorithm (improved colors)",
         &[
-            "family", "n", "k", "D bound", "D max", "chi bound (T2)", "chi max (T2)",
-            "chi mean (T1)", "succ bound", "succ",
+            "family",
+            "n",
+            "k",
+            "D bound",
+            "D max",
+            "chi bound (T2)",
+            "chi max (T2)",
+            "chi mean (T1)",
+            "succ bound",
+            "succ",
         ],
     );
     table.set_caption(format!(
@@ -48,8 +56,8 @@ pub fn run(effort: Effort) -> Vec<Table> {
                     let s = staged::decompose(&g, &sp, seed).expect("staged run");
                     let b = basic::decompose(&g, &bp, seed).expect("basic run");
                     let report = verify::verify(&g, s.decomposition()).expect("same graph");
-                    let success = s.exhausted_within_budget()
-                        && report.is_valid_strong(sp.diameter_bound());
+                    let success =
+                        s.exhausted_within_budget() && report.is_valid_strong(sp.diameter_bound());
                     Cell {
                         staged_colors: report.color_count,
                         basic_colors: b.decomposition().block_count(),

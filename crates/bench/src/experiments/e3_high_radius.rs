@@ -35,8 +35,15 @@ pub fn run(effort: Effort) -> Vec<Table> {
     let mut table = Table::new(
         "E3: Theorem 3 — high-radius regime",
         &[
-            "family", "n", "lambda", "D bound", "D max", "chi bound", "chi max",
-            "succ bound", "succ",
+            "family",
+            "n",
+            "lambda",
+            "D bound",
+            "D max",
+            "chi bound",
+            "chi max",
+            "succ bound",
+            "succ",
         ],
     );
     table.set_caption(format!(
@@ -49,8 +56,7 @@ pub fn run(effort: Effort) -> Vec<Table> {
                 let params = HighRadiusParams::new(lambda, c).expect("valid params");
                 let cells: Vec<Cell> = par_trials(trials, |seed| {
                     let g = family.build(n, seed);
-                    let outcome =
-                        high_radius::decompose(&g, &params, seed).expect("run succeeds");
+                    let outcome = high_radius::decompose(&g, &params, seed).expect("run succeeds");
                     let report = verify::verify(&g, outcome.decomposition()).expect("same graph");
                     let nv = g.vertex_count();
                     let success = outcome.exhausted_within_budget()

@@ -121,7 +121,15 @@ pub fn run(effort: Effort) -> Vec<Table> {
     // implementations on one graph.
     let mut comm_table = Table::new(
         "E4b: measured communication — EN16 (top-two) vs LS93 (label frontier)",
-        &["algo", "n", "k", "messages", "payload bytes", "max edge B/rd", "rounds"],
+        &[
+            "algo",
+            "n",
+            "k",
+            "messages",
+            "payload bytes",
+            "max edge B/rd",
+            "rounds",
+        ],
     );
     comm_table.set_caption(
         "single seeded run per row on gnp(d~6); EN16 messages are 14 B, LS93 messages 8 B"

@@ -38,8 +38,16 @@ pub fn run(effort: Effort) -> Vec<Table> {
     let mut table = Table::new(
         "E5: CONGEST accounting — top-two pruning vs full forwarding",
         &[
-            "family", "n", "k", "msgs (top2)", "msgs (full)", "ratio", "max edge B/rd (top2)",
-            "max edge B/rd (full)", "rounds", "identical",
+            "family",
+            "n",
+            "k",
+            "msgs (top2)",
+            "msgs (full)",
+            "ratio",
+            "max edge B/rd (top2)",
+            "max edge B/rd (full)",
+            "rounds",
+            "identical",
         ],
     );
     table.set_caption(format!(

@@ -19,19 +19,14 @@ use crate::Effort;
 fn shapes(q: usize) -> Vec<(&'static str, Vec<f64>)> {
     vec![
         ("all-zero", vec![0.0; q]),
-        (
-            "linear",
-            (0..q).map(|i| i as f64 * 0.25).collect(),
-        ),
+        ("linear", (0..q).map(|i| i as f64 * 0.25).collect()),
         (
             "two-groups",
             (0..q).map(|i| if i % 2 == 0 { 0.0 } else { 3.0 }).collect(),
         ),
         (
             "one-near",
-            (0..q)
-                .map(|i| if i == 0 { 0.0 } else { 5.0 })
-                .collect(),
+            (0..q).map(|i| if i == 0 { 0.0 } else { 5.0 }).collect(),
         ),
     ]
 }

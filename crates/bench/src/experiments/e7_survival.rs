@@ -22,19 +22,34 @@ pub fn run(effort: Effort) -> Vec<Table> {
     let trials = effort.trials(10, 40);
     let c = 4.0;
     let k = 3usize;
-    let families = [Family::Gnp { avg_degree: 6.0 }, Family::Path, Family::Ba { attach: 3 }];
+    let families = [
+        Family::Gnp { avg_degree: 6.0 },
+        Family::Path,
+        Family::Ba { attach: 3 },
+    ];
     let mut tables = Vec::new();
 
     let mut curve = Table::new(
         "E7a: Claim 6 — survival fraction by phase (figure series)",
-        &["family", "phase t", "bound (1-(cn)^-1/k)^t", "measured mean"],
+        &[
+            "family",
+            "phase t",
+            "bound (1-(cn)^-1/k)^t",
+            "measured mean",
+        ],
     );
     curve.set_caption(format!(
         "n = {n}, k = {k}, c = {c}, {trials} trials; measured = mean over trials of |G_t|/n"
     ));
     let mut budget_table = Table::new(
         "E7b: Corollary 7 — exhaustion within the phase budget",
-        &["family", "phase budget", "phases max", "P[exhausted in budget]", "bound"],
+        &[
+            "family",
+            "phase budget",
+            "phases max",
+            "P[exhausted in budget]",
+            "bound",
+        ],
     );
     budget_table.set_caption("the graph empties within lambda phases w.p. >= 1 - 1/c".to_string());
 

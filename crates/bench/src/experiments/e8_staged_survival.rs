@@ -22,7 +22,13 @@ pub fn run(effort: Effort) -> Vec<Table> {
 
     let mut table = Table::new(
         "E8: Claim 8 — staged survival at stage boundaries",
-        &["family", "stage i", "first phase", "bound e^-2i", "measured mean"],
+        &[
+            "family",
+            "stage i",
+            "first phase",
+            "bound e^-2i",
+            "measured mean",
+        ],
     );
     table.set_caption(format!(
         "n = {n}, k = {k}, c = {c}, {trials} trials; measured = mean fraction alive at the first phase of stage i"

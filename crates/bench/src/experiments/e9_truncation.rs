@@ -22,7 +22,15 @@ pub fn run(effort: Effort) -> Vec<Table> {
 
     let mut table = Table::new(
         "E9: Lemma 1 — frequency of truncation events E_v",
-        &["algorithm", "n", "k", "c", "bound", "P[any E_v] measured", "mean #events"],
+        &[
+            "algorithm",
+            "n",
+            "k",
+            "c",
+            "bound",
+            "P[any E_v] measured",
+            "mean #events",
+        ],
     );
     table.set_caption(format!(
         "E_v: some vertex samples r >= k+1 in some phase; {trials} trials/cell on {}",

@@ -1,5 +1,10 @@
 //! One module per experiment; see the crate docs for the index.
 
+pub mod e10_padded;
+pub mod e11_applications;
+pub mod e12_tradeoff;
+pub mod e13_margin;
+pub mod e14_scaling;
 pub mod e1_theorem1;
 pub mod e2_theorem2;
 pub mod e3_high_radius;
@@ -9,11 +14,6 @@ pub mod e6_order_stats;
 pub mod e7_survival;
 pub mod e8_staged_survival;
 pub mod e9_truncation;
-pub mod e10_padded;
-pub mod e11_applications;
-pub mod e12_tradeoff;
-pub mod e13_margin;
-pub mod e14_scaling;
 
 use crate::table::Table;
 use crate::Effort;

@@ -262,11 +262,7 @@ impl<'a> ser::Serializer for &'a mut JsonSerializer {
         })
     }
 
-    fn serialize_struct(
-        self,
-        _name: &'static str,
-        _len: usize,
-    ) -> Result<Compound<'a>, JsonError> {
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, JsonError> {
         self.serialize_map(None)
     }
 
@@ -440,10 +436,7 @@ mod tests {
 
     #[test]
     fn strings_are_escaped() {
-        assert_eq!(
-            to_json("a\"b\\c\nd\u{1}").unwrap(),
-            r#""a\"b\\c\nd\u0001""#
-        );
+        assert_eq!(to_json("a\"b\\c\nd\u{1}").unwrap(), r#""a\"b\\c\nd\u0001""#);
     }
 
     #[test]

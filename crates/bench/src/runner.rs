@@ -1,11 +1,12 @@
 //! Parallel trial execution across seeds.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Runs `trials` independent evaluations of `f` (one per seed `0..trials`)
 /// across all available cores, returning results in seed order.
 ///
-/// Uses crossbeam scoped threads so `f` may borrow from the caller's stack
+/// Uses `std::thread::scope` so `f` may borrow from the caller's stack
 /// (graphs, parameter structs) without `'static` bounds.
 pub fn par_trials<T, F>(trials: usize, f: F) -> Vec<T>
 where
@@ -17,22 +18,22 @@ where
         .unwrap_or(1)
         .min(trials.max(1));
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..trials).map(|_| None).collect());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= trials {
                     break;
                 }
                 let out = f(i as u64);
-                results.lock()[i] = Some(out);
+                results.lock().expect("no poisoned trial lock")[i] = Some(out);
             });
         }
-    })
-    .expect("trial worker panicked");
+    });
     results
         .into_inner()
+        .expect("no poisoned trial lock")
         .into_iter()
         .map(|r| r.expect("all trials filled"))
         .collect()

@@ -1,0 +1,258 @@
+//! Minimal vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the benchmarking surface it uses: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`] / `bench_function`,
+//! [`Bencher::iter`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurements are wall-clock medians over `sample_size` samples, each
+//! sample timing an auto-calibrated batch of iterations. Results print to
+//! stdout; when the `NETDECOMP_BENCH_JSON` environment variable names a
+//! file, a JSON array of `{group, bench, median_ns, mean_ns, samples,
+//! iters_per_sample}` records is also written so runs can be checked in as
+//! artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct Record {
+    group: String,
+    bench: String,
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+
+    fn flush(&self) {
+        let Ok(path) = std::env::var("NETDECOMP_BENCH_JSON") else {
+            return;
+        };
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let mut out = format!("{{\n  \"available_parallelism\": {threads},\n  \"results\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "    {{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.0},\"mean_ns\":{:.0},\"samples\":{},\"iters_per_sample\":{}}}",
+                r.group, r.bench, r.median_ns, r.mean_ns, r.samples, r.iters_per_sample
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, &out) {
+            eprintln!("criterion shim: cannot write {path}: {e}");
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A named benchmark id, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id labeled `name/parameter`.
+    #[must_use]
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Display, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, |b| f(b, input));
+    }
+
+    /// Benchmarks `f` without input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        self.run(id, |b| f(b));
+    }
+
+    fn run(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters: 1,
+            calibrated: false,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut ns: Vec<f64> = bencher.samples.clone();
+        if ns.is_empty() {
+            return;
+        }
+        ns.sort_by(f64::total_cmp);
+        let median = ns[ns.len() / 2];
+        let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+        let label = id.to_string();
+        println!(
+            "{:<40} median {:>12.1} ns/iter  mean {:>12.1} ns/iter  ({} samples x {} iters)",
+            format!("{}/{}", self.name, label),
+            median,
+            mean,
+            ns.len(),
+            bencher.iters
+        );
+        self.criterion.records.push(Record {
+            group: self.name.clone(),
+            bench: label,
+            median_ns: median,
+            mean_ns: mean,
+            samples: ns.len(),
+            iters_per_sample: bencher.iters,
+        });
+    }
+
+    /// Ends the group (stdout spacing only).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Per-sample nanoseconds per iteration.
+    samples: Vec<f64>,
+    iters: u64,
+    calibrated: bool,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs and times `f`, recording `sample_size` samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if !self.calibrated {
+            // Calibrate the batch size so one sample takes >= ~5 ms,
+            // bounding total time while keeping timer noise negligible.
+            let start = Instant::now();
+            black_box(f());
+            let one = start.elapsed().as_nanos().max(1);
+            self.iters = ((5_000_000 / one) as u64).clamp(1, 1_000_000);
+            self.calibrated = true;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                black_box(f());
+            }
+            let total = start.elapsed().as_nanos() as f64;
+            self.samples.push(total / self.iters as f64);
+        }
+    }
+}
+
+/// Declares a benchmark entry function running the given benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench_fn:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($bench_fn(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(3);
+            g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.records.len(), 2);
+        assert!(c.records.iter().all(|r| r.median_ns >= 0.0));
+        assert_eq!(c.records[1].bench, "sum/10");
+    }
+}

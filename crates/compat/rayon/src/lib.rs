@@ -1,0 +1,390 @@
+//! Minimal vendored stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the data-parallel surface `netdecomp-sim` uses: `par_iter_mut` over
+//! slices with `zip` / `enumerate` / `for_each`, [`current_num_threads`],
+//! and [`ThreadPoolBuilder`] + [`ThreadPool::install`] for scoped thread
+//! counts.
+//!
+//! Execution model: fork–join over `std::thread::scope`, splitting the
+//! iterator into one contiguous chunk per thread. There is no work
+//! stealing and no persistent pool — threads are spawned per `for_each`
+//! call — so this shim suits coarse round-granularity parallelism, not
+//! fine-grained task graphs. With one available thread it degrades to a
+//! plain sequential loop with zero spawn overhead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Scoped override installed by [`ThreadPool::install`]; 0 = none.
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of threads parallel iterators will use on this thread.
+///
+/// Resolution order: an installed [`ThreadPool`] override, then the
+/// `RAYON_NUM_THREADS` environment variable, then the machine's available
+/// parallelism.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    let over = THREAD_OVERRIDE.with(Cell::get);
+    if over > 0 {
+        return over;
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Builder for a [`ThreadPool`] with an explicit thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    #[must_use]
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the thread count (0 = automatic).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim; the `Result` mirrors the real API.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle scoping parallel execution to a fixed thread count.
+///
+/// The shim has no persistent workers; [`ThreadPool::install`] only pins
+/// the thread count seen by [`current_num_threads`] while `op` runs.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count installed.
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        let prev = THREAD_OVERRIDE.with(|c| c.replace(self.num_threads));
+        struct Reset(usize);
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _reset = Reset(prev);
+        op()
+    }
+}
+
+/// A splittable, exactly-sized parallel iterator.
+///
+/// The `pi_*` methods are the splitting machinery (an implementation
+/// detail); user code only touches [`for_each`](ParallelIterator::for_each)
+/// and the combinators.
+pub trait ParallelIterator: Sized + Send {
+    /// Element type.
+    type Item: Send;
+    /// Sequential iterator draining one chunk.
+    type Seq: Iterator<Item = Self::Item>;
+
+    #[doc(hidden)]
+    fn pi_len(&self) -> usize;
+
+    #[doc(hidden)]
+    fn pi_split_at(self, mid: usize) -> (Self, Self);
+
+    #[doc(hidden)]
+    fn pi_seq(self) -> Self::Seq;
+
+    /// Applies `f` to every element, splitting the work across
+    /// [`current_num_threads`] threads.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        let threads = current_num_threads();
+        let len = self.pi_len();
+        if threads <= 1 || len <= 1 {
+            self.pi_seq().for_each(f);
+            return;
+        }
+        let chunk = len.div_ceil(threads.min(len));
+        let mut pieces = Vec::with_capacity(threads);
+        let mut rest = self;
+        let mut remaining = len;
+        while remaining > chunk {
+            let (front, back) = rest.pi_split_at(chunk);
+            pieces.push(front);
+            rest = back;
+            remaining -= chunk;
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for piece in pieces {
+                scope.spawn(move || piece.pi_seq().for_each(f));
+            }
+            // The final chunk runs on the calling thread.
+            rest.pi_seq().for_each(f);
+        });
+    }
+
+    /// Pairs elements with those of `other` positionally.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Pairs elements with their index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            inner: self,
+            offset: 0,
+        }
+    }
+
+    /// Accepted for API compatibility; the shim always splits into
+    /// per-thread contiguous chunks, so a minimum split length is moot.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Exclusive parallel iterator over a slice.
+#[derive(Debug)]
+pub struct IterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for IterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(mid);
+        (IterMut { slice: a }, IterMut { slice: b })
+    }
+
+    fn pi_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// Shared parallel iterator over a slice.
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(mid);
+        (Iter { slice: a }, Iter { slice: b })
+    }
+
+    fn pi_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+#[derive(Debug)]
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.pi_split_at(mid);
+        let (b1, b2) = self.b.pi_split_at(mid);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+
+    fn pi_seq(self) -> Self::Seq {
+        self.a.pi_seq().zip(self.b.pi_seq())
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+#[derive(Debug)]
+pub struct Enumerate<A> {
+    inner: A,
+    offset: usize,
+}
+
+/// Sequential side of [`Enumerate`].
+#[derive(Debug)]
+pub struct EnumerateSeq<S> {
+    inner: S,
+    next: usize,
+}
+
+impl<S: Iterator> Iterator for EnumerateSeq<S> {
+    type Item = (usize, S::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let idx = self.next;
+        self.next += 1;
+        Some((idx, item))
+    }
+}
+
+impl<A: ParallelIterator> ParallelIterator for Enumerate<A> {
+    type Item = (usize, A::Item);
+    type Seq = EnumerateSeq<A::Seq>;
+
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+
+    fn pi_split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.inner.pi_split_at(mid);
+        (
+            Enumerate {
+                inner: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                inner: b,
+                offset: self.offset + mid,
+            },
+        )
+    }
+
+    fn pi_seq(self) -> Self::Seq {
+        EnumerateSeq {
+            inner: self.inner.pi_seq(),
+            next: self.offset,
+        }
+    }
+}
+
+/// `par_iter_mut` over slices (and anything derefing to one).
+pub trait ParallelSliceMut<T: Send> {
+    /// An exclusive parallel iterator over the elements.
+    fn par_iter_mut(&mut self) -> IterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> IterMut<'_, T> {
+        IterMut { slice: self }
+    }
+}
+
+/// `par_iter` over slices (and anything derefing to one).
+pub trait ParallelSlice<T: Sync> {
+    /// A shared parallel iterator over the elements.
+    fn par_iter(&self) -> Iter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Iter<'_, T> {
+        Iter { slice: self }
+    }
+}
+
+/// The glob-importable surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_visits_every_element() {
+        let mut v: Vec<usize> = (0..1000).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn zip_enumerate_compose() {
+        let mut a: Vec<usize> = vec![0; 257];
+        let mut b: Vec<usize> = vec![0; 257];
+        a.par_iter_mut()
+            .zip(b.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (x, y))| {
+                *x = i;
+                *y = 2 * i;
+            });
+        assert!(a.iter().enumerate().all(|(i, &x)| x == i));
+        assert!(b.iter().enumerate().all(|(i, &y)| y == 2 * i));
+    }
+
+    #[test]
+    fn pool_install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_ne!(THREAD_OVERRIDE.with(std::cell::Cell::get), 3);
+    }
+
+    #[test]
+    fn parallel_sum_matches_sequential() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let total = AtomicUsize::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            v.par_iter().for_each(|&x| {
+                total.fetch_add(x as usize, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(
+            total.load(Ordering::Relaxed),
+            (0..10_000).sum::<u64>() as usize
+        );
+    }
+
+    #[test]
+    fn empty_and_single_are_fine() {
+        let mut v: Vec<u8> = Vec::new();
+        v.par_iter_mut().for_each(|_| unreachable!());
+        let mut one = [5u8];
+        one.par_iter_mut().for_each(|x| *x = 9);
+        assert_eq!(one[0], 9);
+    }
+}

@@ -1,0 +1,534 @@
+//! Minimal vendored stand-in for the `serde` crate (serialize side only).
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the part of serde's data model it uses: the [`Serialize`] trait, the
+//! [`ser`] module with the `Serializer` trait family that
+//! `netdecomp-bench`'s JSON backend implements, and `#[derive(Serialize)]`
+//! / `#[derive(Deserialize)]` re-exported from the companion
+//! `serde_derive` proc-macro crate.
+//!
+//! [`Deserialize`] is a marker here: the workspace's reports are
+//! write-only artifacts, so deriving it records intent without pulling in a
+//! deserialization framework.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub use ser::{Serialize, Serializer};
+
+/// Marker for types that declare a deserializable wire shape.
+///
+/// No deserializer exists in this workspace; see the crate docs.
+pub trait Deserialize {}
+
+/// The serialization half of the serde data model.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors produced by a [`Serializer`].
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A value that can drive a [`Serializer`] over its structure.
+    pub trait Serialize {
+        /// Feeds `self` into `serializer`.
+        ///
+        /// # Errors
+        ///
+        /// Whatever the serializer surfaces.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    /// A data-format backend receiving the serde data model.
+    pub trait Serializer: Sized {
+        /// Output of a successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Sequence sub-serializer.
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+        /// Tuple sub-serializer.
+        type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+        /// Tuple-struct sub-serializer.
+        type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+        /// Tuple-variant sub-serializer.
+        type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+        /// Map sub-serializer.
+        type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+        /// Struct sub-serializer.
+        type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+        /// Struct-variant sub-serializer.
+        type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+        /// Serializes a `bool`.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i8`.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i16`.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i32`.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i64`.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u8`.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u16`.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u32`.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u64`.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `f32`.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `f64`.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `char`.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a string slice.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a byte slice.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `Option::None`.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `Option::Some(value)`.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `()`.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a unit struct.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a unit enum variant.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_unit_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a newtype struct.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a newtype enum variant.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Begins a sequence.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+        /// Begins a tuple.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+        /// Begins a tuple struct.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_tuple_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+        /// Begins a tuple enum variant.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_tuple_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+        /// Begins a map.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+        /// Begins a struct.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error>;
+        /// Begins a struct enum variant.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_struct_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStructVariant, Self::Error>;
+    }
+
+    /// Streams sequence elements.
+    pub trait SerializeSeq {
+        /// Output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Adds one element.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_element<T: Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+
+        /// Closes the sequence.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Streams tuple elements.
+    pub trait SerializeTuple {
+        /// Output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Adds one element.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_element<T: Serialize + ?Sized>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+
+        /// Closes the tuple.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Streams tuple-struct fields.
+    pub trait SerializeTupleStruct {
+        /// Output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Adds one field.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+
+        /// Closes the tuple struct.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Streams tuple-variant fields.
+    pub trait SerializeTupleVariant {
+        /// Output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Adds one field.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+
+        /// Closes the variant.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Streams map entries.
+    pub trait SerializeMap {
+        /// Output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Adds a key.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Self::Error>;
+
+        /// Adds the value for the preceding key.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+
+        /// Closes the map.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Streams struct fields.
+    pub trait SerializeStruct {
+        /// Output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Adds one named field.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+
+        /// Closes the struct.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Streams struct-variant fields.
+    pub trait SerializeStructVariant {
+        /// Output type.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Adds one named field.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+
+        /// Closes the variant.
+        ///
+        /// # Errors
+        /// Backend-defined.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    mod impls {
+        use super::{Serialize, SerializeMap, SerializeSeq, SerializeTuple, Serializer};
+
+        macro_rules! primitive {
+            ($($ty:ty => $method:ident),* $(,)?) => {$(
+                impl Serialize for $ty {
+                    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                        s.$method(*self)
+                    }
+                }
+            )*};
+        }
+
+        primitive!(
+            bool => serialize_bool,
+            i8 => serialize_i8, i16 => serialize_i16, i32 => serialize_i32,
+            i64 => serialize_i64,
+            u8 => serialize_u8, u16 => serialize_u16, u32 => serialize_u32,
+            u64 => serialize_u64,
+            f32 => serialize_f32, f64 => serialize_f64,
+            char => serialize_char,
+        );
+
+        impl Serialize for usize {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_u64(*self as u64)
+            }
+        }
+
+        impl Serialize for isize {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_i64(*self as i64)
+            }
+        }
+
+        impl Serialize for str {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_str(self)
+            }
+        }
+
+        impl Serialize for String {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_str(self)
+            }
+        }
+
+        impl Serialize for () {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_unit()
+            }
+        }
+
+        impl<T: Serialize + ?Sized> Serialize for &T {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                (**self).serialize(s)
+            }
+        }
+
+        impl<T: Serialize> Serialize for Option<T> {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                match self {
+                    Some(v) => s.serialize_some(v),
+                    None => s.serialize_none(),
+                }
+            }
+        }
+
+        impl<T: Serialize> Serialize for [T] {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let mut seq = s.serialize_seq(Some(self.len()))?;
+                for item in self {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+        }
+
+        impl<T: Serialize> Serialize for Vec<T> {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                self.as_slice().serialize(s)
+            }
+        }
+
+        impl<T: Serialize, const N: usize> Serialize for [T; N] {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                self.as_slice().serialize(s)
+            }
+        }
+
+        macro_rules! tuple {
+            ($($len:literal => ($($name:ident . $idx:tt),+))*) => {$(
+                impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                        let mut t = s.serialize_tuple($len)?;
+                        $(t.serialize_element(&self.$idx)?;)+
+                        t.end()
+                    }
+                }
+            )*};
+        }
+
+        tuple! {
+            1 => (A.0)
+            2 => (A.0, B.1)
+            3 => (A.0, B.1, C.2)
+            4 => (A.0, B.1, C.2, D.3)
+        }
+
+        impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let mut map = s.serialize_map(Some(self.len()))?;
+                for (k, v) in self {
+                    map.serialize_key(k)?;
+                    map.serialize_value(v)?;
+                }
+                map.end()
+            }
+        }
+
+        impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let mut map = s.serialize_map(Some(self.len()))?;
+                for (k, v) in self {
+                    map.serialize_key(k)?;
+                    map.serialize_value(v)?;
+                }
+                map.end()
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses — non-generic named-field structs
+//! and non-generic enums with unit / named / tuple variants — by walking
+//! the raw token stream directly (the build environment has no crates.io
+//! access, so `syn`/`quote` are unavailable).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a parsed item turned out to be.
+enum Item {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum with the given variants.
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum VariantKind {
+    Unit,
+    /// Named fields, in order.
+    Struct(Vec<String>),
+    /// Number of positional fields.
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Splits a brace/paren group body at top-level commas.
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for t in tokens {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(t),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strips leading attributes (`#[...]`, which is also how doc comments
+/// arrive) and a `pub` / `pub(...)` visibility prefix.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // '#' then the [...] group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+/// First identifier of a (attr/vis-stripped) field or variant chunk.
+fn leading_ident(tokens: &[TokenTree]) -> Option<String> {
+    match strip_attrs_and_vis(tokens).first() {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse_named_fields(group_tokens: Vec<TokenTree>) -> Vec<String> {
+    split_commas(group_tokens)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .filter_map(|chunk| leading_ident(chunk))
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let tokens = strip_attrs_and_vis(&tokens);
+    let mut iter = tokens.iter();
+
+    let mut kind = None;
+    for t in iter.by_ref() {
+        if let TokenTree::Ident(id) = t {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                kind = Some(s);
+                break;
+            }
+        }
+    }
+    let kind = kind.expect("serde_derive: expected `struct` or `enum`");
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break g.stream().into_iter().collect::<Vec<_>>();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive: generic items are not supported by the vendored shim")
+            }
+            Some(_) => continue,
+            None => {
+                panic!("serde_derive: `{name}` has no braced body (tuple/unit structs unsupported)")
+            }
+        }
+    };
+
+    if kind == "struct" {
+        Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        }
+    } else {
+        let variants = split_commas(body)
+            .into_iter()
+            .filter(|chunk| !chunk.is_empty())
+            .map(|chunk| {
+                let chunk = strip_attrs_and_vis(&chunk);
+                let vname = match chunk.first() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => panic!("serde_derive: expected variant name, found {other:?}"),
+                };
+                let kind = match chunk.get(1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        VariantKind::Struct(parse_named_fields(g.stream().into_iter().collect()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = split_commas(g.stream().into_iter().collect())
+                            .iter()
+                            .filter(|c| !c.is_empty())
+                            .count();
+                        VariantKind::Tuple(arity)
+                    }
+                    _ => VariantKind::Unit,
+                };
+                Variant { name: vname, kind }
+            })
+            .collect();
+        Item::Enum { name, variants }
+    }
+}
+
+/// Derives `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => {
+            let mut code = format!(
+                "let mut state = ::serde::Serializer::serialize_struct(serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                code.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut state, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            code.push_str("::serde::ser::SerializeStruct::end(state)");
+            code
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pat = fields.join(", ");
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {pat} }} => {{\nlet mut state = ::serde::Serializer::serialize_struct_variant(serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut state, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(state)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let pat = binders.join(", ");
+                        let mut arm = format!(
+                            "{name}::{vname}({pat}) => {{\nlet mut state = ::serde::Serializer::serialize_tuple_variant(serializer, \"{name}\", {idx}u32, \"{vname}\", {arity})?;\n"
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut state, {b})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeTupleVariant::end(state)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+         -> ::core::result::Result<S::Ok, S::Error> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive: generated impl parses")
+}
+
+/// Derives the marker `serde::Deserialize` for a non-generic item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!("#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{}}\n")
+        .parse()
+        .expect("serde_derive: generated impl parses")
+}

@@ -97,10 +97,12 @@ mod tests {
 
     #[test]
     fn diameter_bound_holds_across_families_and_seeds() {
-        let graphs = [generators::path(60),
+        let graphs = [
+            generators::path(60),
             generators::cycle(50),
             generators::grid2d(7, 8),
-            generators::caveman(5, 6).unwrap()];
+            generators::caveman(5, 6).unwrap(),
+        ];
         for (i, g) in graphs.iter().enumerate() {
             for seed in 0..3u64 {
                 let params = DecompositionParams::new(3, 4.0).unwrap();
@@ -184,6 +186,9 @@ mod tests {
             }
         }
         // Bound is 1 - 1/8; demand at least half to keep the test robust.
-        assert!(ok * 2 >= trials, "only {ok}/{trials} runs finished in budget");
+        assert!(
+            ok * 2 >= trials,
+            "only {ok}/{trials} runs finished in budget"
+        );
     }
 }

@@ -99,10 +99,7 @@ struct TopTwo {
 
 impl TopTwo {
     fn has_origin(&self, origin: VertexId) -> bool {
-        self.slots
-            .iter()
-            .flatten()
-            .any(|&(_, o)| o == origin)
+        self.slots.iter().flatten().any(|&(_, o)| o == origin)
     }
 
     fn is_full(&self) -> bool {
@@ -138,12 +135,7 @@ impl TopTwo {
 /// Panics if `alive`'s universe or `shifts`' length differ from the graph's
 /// vertex count.
 #[must_use]
-pub fn carve_phase(
-    g: &Graph,
-    alive: &VertexSet,
-    shifts: &[f64],
-    cap: usize,
-) -> PhaseResult {
+pub fn carve_phase(g: &Graph, alive: &VertexSet, shifts: &[f64], cap: usize) -> PhaseResult {
     carve_phase_with_margin(g, alive, shifts, cap, 1.0)
 }
 
@@ -491,7 +483,10 @@ mod tests {
                 let expect_center = vals[0].1;
                 let expect_m2 = vals.get(1).map_or(0.0, |x| x.0);
                 let d = res.decisions[y].unwrap();
-                assert_eq!(d.center, expect_center, "center mismatch at {y} (seed {seed})");
+                assert_eq!(
+                    d.center, expect_center,
+                    "center mismatch at {y} (seed {seed})"
+                );
                 assert!((d.m1 - expect_m1).abs() < 1e-12);
                 assert!((d.m2 - expect_m2).abs() < 1e-12);
             }

@@ -9,11 +9,21 @@
 //! decisions (and the same decisions as the centralized simulation in
 //! [`crate::basic`]); the difference — measured by the returned
 //! [`RunStats`] — is communication volume.
+//!
+//! Messages are typed ([`Entry`]) and cross the wire through an
+//! [`EntryCodec`]: encoded once per send, decoded once per receipt. The
+//! compute phase can run on the simulator's parallel engine
+//! ([`DistributedConfig::engine`]); decisions are bit-identical across
+//! engines, and [`DistributedConfig::determinism`] can make the simulator
+//! verify that per round.
 
 use bytes::Bytes;
 use netdecomp_graph::{Graph, VertexId, VertexSet};
 use netdecomp_sim::wire::{WireReader, WireWriter};
-use netdecomp_sim::{CongestLimit, Ctx, Incoming, Outgoing, Protocol, RunStats, Simulator};
+use netdecomp_sim::{
+    Codec, CongestLimit, Ctx, Determinism, Engine, RunStats, Simulator, Typed, TypedOutbox,
+    TypedProtocol,
+};
 
 use crate::carve::{CarveDecision, PhaseResult};
 use crate::driver::{run_phases_with_carver, BudgetPolicy, PhasePlan};
@@ -43,6 +53,11 @@ pub struct DistributedConfig {
     pub congest_limit: CongestLimit,
     /// Budget policy, as in the centralized driver.
     pub policy: BudgetPolicy,
+    /// Compute-phase scheduler for the underlying simulator.
+    pub engine: Engine,
+    /// Whether the simulator cross-checks parallel rounds against a
+    /// sequential reference ([`Determinism::Verify`]).
+    pub determinism: Determinism,
 }
 
 /// A decomposition produced by message passing, with its communication bill.
@@ -82,8 +97,40 @@ impl Entry {
     }
 }
 
+/// Wire format of an [`Entry`]: `(origin: u32, r: f64, dist: u16)` —
+/// 14 bytes, under two CONGEST words.
+///
+/// The sender pre-increments `dist`, so the wire carries the distance *at
+/// the receiver* and relaying needs no rewrite before decode.
+#[derive(Debug, Clone, Copy)]
+struct EntryCodec;
+
+impl Codec for EntryCodec {
+    type Msg = Entry;
+
+    fn encode(entry: &Entry) -> Bytes {
+        WireWriter::new()
+            .u32(entry.origin as u32)
+            .f64(entry.r)
+            .u16((entry.dist + 1) as u16)
+            .finish()
+    }
+
+    fn decode(payload: &Bytes) -> Option<Entry> {
+        let mut r = WireReader::new(payload.clone());
+        let origin = r.u32()? as VertexId;
+        let shift = r.f64()?;
+        let dist = r.u16()? as usize;
+        r.is_exhausted().then_some(Entry {
+            origin,
+            r: shift,
+            dist,
+        })
+    }
+}
+
 /// Per-vertex protocol state for one phase.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CarveNode {
     alive: bool,
     r: f64,
@@ -158,32 +205,8 @@ impl CarveNode {
         }
         match self.mode {
             Forwarding::Full => true,
-            Forwarding::TopTwo => self
-                .known
-                .iter()
-                .take(2)
-                .any(|e| e.origin == entry.origin),
+            Forwarding::TopTwo => self.known.iter().take(2).any(|e| e.origin == entry.origin),
         }
-    }
-
-    fn encode(entry: &Entry) -> Bytes {
-        WireWriter::new()
-            .u32(entry.origin as u32)
-            .f64(entry.r)
-            .u16((entry.dist + 1) as u16)
-            .finish()
-    }
-
-    fn decode(payload: Bytes) -> Option<Entry> {
-        let mut r = WireReader::new(payload);
-        let origin = r.u32()? as VertexId;
-        let shift = r.f64()?;
-        let dist = r.u16()? as usize;
-        r.is_exhausted().then_some(Entry {
-            origin,
-            r: shift,
-            dist,
-        })
     }
 
     /// The best two entries as a carve decision (driver reads this after
@@ -200,34 +223,35 @@ impl CarveNode {
     }
 }
 
-impl Protocol for CarveNode {
-    fn start(&mut self, _ctx: &Ctx<'_>) -> Vec<Outgoing> {
+impl TypedProtocol for CarveNode {
+    type Codec = EntryCodec;
+
+    fn start(&mut self, ctx: &Ctx<'_>, out: &mut TypedOutbox<'_, EntryCodec>) {
         if !self.alive {
-            return Vec::new();
+            return;
         }
         let own = Entry {
-            origin: _ctx.id,
+            origin: ctx.id,
             r: self.r,
             dist: 0,
         };
         self.offer(own);
         if self.should_forward(&own) {
-            vec![Outgoing::broadcast(Self::encode(&own))]
-        } else {
-            Vec::new()
+            out.broadcast(&own);
         }
     }
 
-    fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming]) -> Vec<Outgoing> {
+    fn round(
+        &mut self,
+        _ctx: &Ctx<'_>,
+        incoming: &[(VertexId, Entry)],
+        out: &mut TypedOutbox<'_, EntryCodec>,
+    ) {
         if !self.alive {
-            return Vec::new();
+            return;
         }
         let mut improved: Vec<Entry> = Vec::new();
-        for msg in incoming {
-            let Some(entry) = Self::decode(msg.payload.clone()) else {
-                debug_assert!(false, "malformed carve message");
-                continue;
-            };
+        for &(_, entry) in incoming {
             if self.offer(entry) {
                 // Deduplicate by origin, keeping the better copy.
                 if let Some(slot) = improved.iter_mut().find(|e| e.origin == entry.origin) {
@@ -239,11 +263,11 @@ impl Protocol for CarveNode {
                 }
             }
         }
-        improved
-            .into_iter()
-            .filter(|e| self.should_forward(e))
-            .map(|e| Outgoing::broadcast(Self::encode(&e)))
-            .collect()
+        for entry in improved {
+            if self.should_forward(&entry) {
+                out.broadcast(&entry);
+            }
+        }
     }
 
     fn is_halted(&self) -> bool {
@@ -255,7 +279,8 @@ impl Protocol for CarveNode {
 ///
 /// With the same `seed` and `params`, the returned decomposition is
 /// bit-identical to [`crate::basic::decompose`]'s (the integration suite
-/// asserts this); additionally the communication totals are returned.
+/// asserts this) — for every [`Engine`]; additionally the communication
+/// totals are returned.
 ///
 /// # Errors
 ///
@@ -377,15 +402,21 @@ fn run_one_phase(
         }
     }
     let mut sim = Simulator::new(graph, |id, _| {
-        CarveNode::new(alive.contains(id), shifts[id], cap, config.forwarding)
+        Typed::new(CarveNode::new(
+            alive.contains(id),
+            shifts[id],
+            cap,
+            config.forwarding,
+        ))
     })
-    .with_limit(config.congest_limit);
-    let stats = sim.run_rounds(cap + 1)?;
+    .with_limit(config.congest_limit)
+    .with_engine(config.engine);
+    let stats = sim.run_rounds_with(cap + 1, config.determinism)?;
     let decisions = sim
         .nodes()
         .iter()
         .enumerate()
-        .map(|(v, node)| alive.contains(v).then(|| node.decision()))
+        .map(|(v, node)| alive.contains(v).then(|| node.inner.decision()))
         .collect();
     Ok((
         PhaseResult {
@@ -403,12 +434,7 @@ mod tests {
     use crate::shift::ShiftSource;
     use netdecomp_graph::generators;
 
-    fn one_phase_decisions(
-        g: &Graph,
-        shifts: &[f64],
-        cap: usize,
-        mode: Forwarding,
-    ) -> PhaseResult {
+    fn one_phase_decisions(g: &Graph, shifts: &[f64], cap: usize, mode: Forwarding) -> PhaseResult {
         let alive = VertexSet::full(g.vertex_count());
         let config = DistributedConfig {
             forwarding: mode,
@@ -469,8 +495,7 @@ mod tests {
     fn end_to_end_distributed_decomposition_is_valid() {
         let g = generators::grid2d(6, 6);
         let params = DecompositionParams::new(3, 4.0).unwrap();
-        let run =
-            decompose_distributed(&g, &params, 21, &DistributedConfig::default()).unwrap();
+        let run = decompose_distributed(&g, &params, 21, &DistributedConfig::default()).unwrap();
         let report = crate::verify::verify(&g, run.outcome.decomposition()).unwrap();
         assert!(report.complete);
         assert!(report.supergraph_properly_colored);
@@ -494,6 +519,29 @@ mod tests {
                 "seed {seed}"
             );
             assert_eq!(central.phases_used(), dist.outcome.phases_used());
+        }
+    }
+
+    #[test]
+    fn parallel_verified_engine_equals_sequential_distributed() {
+        let g = generators::grid2d(6, 6);
+        let params = DecompositionParams::new(3, 4.0).unwrap();
+        for seed in [0u64, 7] {
+            let seq =
+                decompose_distributed(&g, &params, seed, &DistributedConfig::default()).unwrap();
+            let par = decompose_distributed(
+                &g,
+                &params,
+                seed,
+                &DistributedConfig {
+                    engine: Engine::Parallel { threads: 4 },
+                    determinism: Determinism::Verify,
+                    ..DistributedConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(seq.outcome, par.outcome, "seed {seed}");
+            assert_eq!(seq.comm, par.comm, "seed {seed}");
         }
     }
 
@@ -533,13 +581,9 @@ mod tests {
         let params = crate::params::HighRadiusParams::new(2, 4.0).unwrap();
         for seed in [0u64, 1] {
             let central = crate::high_radius::decompose(&g, &params, seed).unwrap();
-            let dist = decompose_distributed_high_radius(
-                &g,
-                &params,
-                seed,
-                &DistributedConfig::default(),
-            )
-            .unwrap();
+            let dist =
+                decompose_distributed_high_radius(&g, &params, seed, &DistributedConfig::default())
+                    .unwrap();
             assert_eq!(
                 central.decomposition(),
                 dist.outcome.decomposition(),

@@ -116,7 +116,9 @@ where
                     .expect("joined vertices have decisions")
                     .center;
                 let consistent = group.iter().all(|&v| {
-                    result.decisions[v].expect("joined vertices have decisions").center
+                    result.decisions[v]
+                        .expect("joined vertices have decisions")
+                        .center
                         == first_center
                 });
                 if !consistent {
@@ -161,9 +163,8 @@ mod tests {
     #[test]
     fn driver_exhausts_a_small_cycle() {
         let g = generators::cycle(12);
-        let outcome = run_phases(&g, 3, 100, BudgetPolicy::ContinueUntilEmpty, |_| PhasePlan {
-            beta: 1.0,
-            cap: 3,
+        let outcome = run_phases(&g, 3, 100, BudgetPolicy::ContinueUntilEmpty, |_| {
+            PhasePlan { beta: 1.0, cap: 3 }
         })
         .unwrap();
         assert!(outcome.decomposition().partition().is_complete());
@@ -187,9 +188,8 @@ mod tests {
     #[test]
     fn trace_alive_counts_are_monotone() {
         let g = generators::grid2d(5, 5);
-        let outcome = run_phases(&g, 7, 500, BudgetPolicy::ContinueUntilEmpty, |_| PhasePlan {
-            beta: 0.8,
-            cap: 4,
+        let outcome = run_phases(&g, 7, 500, BudgetPolicy::ContinueUntilEmpty, |_| {
+            PhasePlan { beta: 0.8, cap: 4 }
         })
         .unwrap();
         let trace = outcome.trace();

@@ -211,10 +211,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let trials = 100_000;
         for t in [0.25, 1.0, 2.5] {
-            let hits = (0..trials)
-                .filter(|_| exp.sample(&mut rng) <= t)
-                .count() as f64
-                / trials as f64;
+            let hits =
+                (0..trials).filter(|_| exp.sample(&mut rng) <= t).count() as f64 / trials as f64;
             let want = 1.0 - (-beta * t).exp();
             assert!(
                 (hits - want).abs() < 0.01,

@@ -137,12 +137,8 @@ mod tests {
         let mut basic_sum = 0usize;
         let mut staged_sum = 0usize;
         for seed in 0..5u64 {
-            let b = crate::basic::decompose(
-                &g,
-                &DecompositionParams::new(k, 6.0).unwrap(),
-                seed,
-            )
-            .unwrap();
+            let b = crate::basic::decompose(&g, &DecompositionParams::new(k, 6.0).unwrap(), seed)
+                .unwrap();
             let s = decompose(&g, &StagedParams::new(k, 6.0).unwrap(), seed).unwrap();
             basic_sum += b.decomposition().block_count();
             staged_sum += s.decomposition().block_count();
@@ -166,8 +162,7 @@ mod tests {
     fn stop_at_budget_policy_respected() {
         let g = generators::complete(40);
         let params = StagedParams::new(2, 6.0).unwrap();
-        let outcome =
-            decompose_with_policy(&g, &params, 1, BudgetPolicy::StopAtBudget).unwrap();
+        let outcome = decompose_with_policy(&g, &params, 1, BudgetPolicy::StopAtBudget).unwrap();
         assert!(outcome.phases_used() <= outcome.phase_budget());
     }
 }

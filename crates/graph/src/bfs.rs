@@ -87,10 +87,7 @@ pub fn distances_restricted(g: &Graph, source: VertexId, alive: &VertexSet) -> V
 ///
 /// Panics if any source is out of range.
 #[must_use]
-pub fn multi_source_distances(
-    g: &Graph,
-    sources: &[VertexId],
-) -> Vec<Option<(usize, VertexId)>> {
+pub fn multi_source_distances(g: &Graph, sources: &[VertexId]) -> Vec<Option<(usize, VertexId)>> {
     let mut dist: Vec<Option<(usize, VertexId)>> = vec![None; g.vertex_count()];
     let mut queue = VecDeque::new();
     for &s in sources {
@@ -159,7 +156,11 @@ pub fn ball_restricted(
 /// Panics if `source` is out of range.
 #[must_use]
 pub fn eccentricity(g: &Graph, source: VertexId) -> usize {
-    distances(g, source).into_iter().flatten().max().unwrap_or(0)
+    distances(g, source)
+        .into_iter()
+        .flatten()
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

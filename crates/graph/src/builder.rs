@@ -61,10 +61,16 @@ impl GraphBuilder {
     /// [`GraphError::SelfLoop`] if `u == v`.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<&mut Self, GraphError> {
         if u >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                n: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });

@@ -27,7 +27,10 @@ impl Coloring {
             seen.iter().all(|&s| s),
             "color indices must be dense 0..count"
         );
-        Coloring { colors, color_count }
+        Coloring {
+            colors,
+            color_count,
+        }
     }
 
     /// Color of vertex `v`.
@@ -107,11 +110,18 @@ where
                 forbidden[cu] = v;
             }
         }
-        let c = (0..n).find(|&c| forbidden[c] != v).expect("some color free");
+        let c = (0..n)
+            .find(|&c| forbidden[c] != v)
+            .expect("some color free");
         colors[v] = Some(c);
     }
     assert_eq!(visited, n, "order must visit every vertex");
-    Coloring::from_vec(colors.into_iter().map(|c| c.expect("all colored")).collect())
+    Coloring::from_vec(
+        colors
+            .into_iter()
+            .map(|c| c.expect("all colored"))
+            .collect(),
+    )
 }
 
 #[cfg(test)]

@@ -150,6 +150,55 @@ impl Graph {
             inner: self.neighbors(v).iter(),
         }
     }
+
+    /// Number of *directed* edge slots (`2m`): every undirected edge
+    /// `{u, v}` occupies one slot in `u`'s CSR row and one in `v`'s.
+    ///
+    /// Slots index flat per-edge state (byte counters, flags) without
+    /// hashing; see [`Graph::edge_slot`].
+    #[must_use]
+    pub fn directed_edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The dense index of the directed edge `from -> to` in `0..2m`, or
+    /// `None` if `to` is not a neighbor of `from` (or either endpoint is
+    /// out of range). `O(log deg(from))`.
+    ///
+    /// Slots of a fixed `from` are contiguous ([`Graph::neighbor_slots`])
+    /// and ordered like [`Graph::neighbors`], so
+    /// `targets[edge_slot(u, v)] == v`.
+    #[must_use]
+    pub fn edge_slot(&self, from: VertexId, to: VertexId) -> Option<usize> {
+        if from >= self.vertex_count() {
+            return None;
+        }
+        self.neighbors(from)
+            .binary_search(&to)
+            .ok()
+            .map(|i| self.offsets[from] + i)
+    }
+
+    /// The contiguous range of directed-edge slots leaving `v`; slot
+    /// `neighbor_slots(v).start + i` goes to `neighbors(v)[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    pub fn neighbor_slots(&self, v: VertexId) -> std::ops::Range<usize> {
+        self.offsets[v]..self.offsets[v + 1]
+    }
+
+    /// The head (target vertex) of the directed-edge slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= directed_edge_count()`.
+    #[must_use]
+    pub fn slot_target(&self, slot: usize) -> VertexId {
+        self.targets[slot]
+    }
 }
 
 impl fmt::Debug for Graph {
@@ -255,5 +304,40 @@ mod tests {
     fn debug_is_nonempty() {
         let g = Graph::empty(1);
         assert!(!format!("{g:?}").is_empty());
+    }
+
+    #[test]
+    fn edge_slots_are_dense_and_aligned_with_neighbors() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 3), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(g.directed_edge_count(), 10);
+        let mut seen = vec![false; g.directed_edge_count()];
+        for u in g.vertices() {
+            let range = g.neighbor_slots(u);
+            assert_eq!(range.len(), g.degree(u));
+            for (i, slot) in range.clone().enumerate() {
+                let v = g.neighbors(u)[i];
+                assert_eq!(g.slot_target(slot), v);
+                assert_eq!(g.edge_slot(u, v), Some(slot));
+                assert!(!seen[slot], "slot {slot} reused");
+                seen[slot] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every slot covered");
+    }
+
+    #[test]
+    fn edge_slot_rejects_non_edges_and_out_of_range() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(g.edge_slot(0, 2), None);
+        assert_eq!(g.edge_slot(2, 0), None);
+        assert_eq!(g.edge_slot(7, 0), None);
+        assert_eq!(g.edge_slot(0, 7), None);
+    }
+
+    #[test]
+    fn empty_graph_has_no_slots() {
+        let g = Graph::empty(4);
+        assert_eq!(g.directed_edge_count(), 0);
+        assert_eq!(g.neighbor_slots(2), 0..0);
     }
 }

@@ -43,10 +43,16 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::SelfLoop { vertex } => {
-                write!(f, "self-loop at vertex {vertex} not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop at vertex {vertex} not allowed in a simple graph"
+                )
             }
             GraphError::InvalidParameter { reason } => {
                 write!(f, "invalid generator parameter: {reason}")
@@ -70,7 +76,10 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let e = GraphError::VertexOutOfRange { vertex: 9, n: 4 };
-        assert_eq!(e.to_string(), "vertex 9 out of range for graph with 4 vertices");
+        assert_eq!(
+            e.to_string(),
+            "vertex 9 out of range for graph with 4 vertices"
+        );
         let e = GraphError::SelfLoop { vertex: 3 };
         assert!(e.to_string().contains("self-loop at vertex 3"));
         let e = GraphError::InvalidParameter {

@@ -260,7 +260,7 @@ pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Result<Graph, 
             reason: format!("degree {d} must be smaller than n = {n}"),
         });
     }
-    if (n * d) % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(GraphError::InvalidParameter {
             reason: format!("n*d = {} must be even", n * d),
         });
@@ -270,10 +270,8 @@ pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Result<Graph, 
     }
     let mut stubs: Vec<VertexId> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
     stubs.shuffle(rng);
-    let mut pairs: Vec<(VertexId, VertexId)> = stubs
-        .chunks_exact(2)
-        .map(|p| (p[0], p[1]))
-        .collect();
+    let mut pairs: Vec<(VertexId, VertexId)> =
+        stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
     let m = pairs.len();
     let budget = 200 * m + 10_000;
     let mut spent = 0usize;

@@ -45,7 +45,7 @@ impl VertexSet {
         for w in &mut s.words {
             *w = u64::MAX;
         }
-        if universe % 64 != 0 {
+        if !universe.is_multiple_of(64) {
             if let Some(last) = s.words.last_mut() {
                 *last = (1u64 << (universe % 64)) - 1;
             }
@@ -79,7 +79,11 @@ impl VertexSet {
     /// Panics if `v` is outside the universe.
     #[must_use]
     pub fn contains(&self, v: VertexId) -> bool {
-        assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        assert!(
+            v < self.universe,
+            "vertex {v} outside universe {}",
+            self.universe
+        );
         self.words[v / 64] >> (v % 64) & 1 == 1
     }
 
@@ -89,7 +93,11 @@ impl VertexSet {
     ///
     /// Panics if `v` is outside the universe.
     pub fn insert(&mut self, v: VertexId) -> bool {
-        assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        assert!(
+            v < self.universe,
+            "vertex {v} outside universe {}",
+            self.universe
+        );
         let word = &mut self.words[v / 64];
         let mask = 1u64 << (v % 64);
         if *word & mask == 0 {
@@ -107,7 +115,11 @@ impl VertexSet {
     ///
     /// Panics if `v` is outside the universe.
     pub fn remove(&mut self, v: VertexId) -> bool {
-        assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        assert!(
+            v < self.universe,
+            "vertex {v} outside universe {}",
+            self.universe
+        );
         let word = &mut self.words[v / 64];
         let mask = 1u64 << (v % 64);
         if *word & mask != 0 {

@@ -8,16 +8,15 @@ use netdecomp_graph::{Graph, GraphBuilder, Partition, VertexSet};
 /// Strategy: an arbitrary simple graph with `2..=max_n` vertices.
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     (2usize..=max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n), 0..(3 * n))
-            .prop_map(move |pairs| {
-                let mut b = GraphBuilder::new(n);
-                for (u, v) in pairs {
-                    if u != v {
-                        b.add_edge(u, v).expect("in range");
-                    }
+        proptest::collection::vec((0..n, 0..n), 0..(3 * n)).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    b.add_edge(u, v).expect("in range");
                 }
-                b.build()
-            })
+            }
+            b.build()
+        })
     })
 }
 

@@ -1,0 +1,239 @@
+//! Typed message exchange over the byte-level engine.
+//!
+//! A [`Codec`] pairs a message type with its fixed wire encoding; the
+//! [`Typed`] adapter lets a protocol speak in terms of decoded messages
+//! while the engine keeps shipping [`bytes::Bytes`]. Each outgoing message
+//! is encoded exactly once — a broadcast hands every recipient a
+//! reference-counted view of the same encoding — and each incoming payload
+//! is decoded exactly once per recipient.
+
+use bytes::Bytes;
+use netdecomp_graph::VertexId;
+
+use crate::{Ctx, Incoming, Outbox, Protocol};
+
+/// A bidirectional mapping between a message type and its wire bytes.
+///
+/// Implementations are zero-sized tag types. Encoding must be injective;
+/// arbitrary byte strings may decode to `None` (malformed). Most codecs
+/// round-trip (`decode(encode(m)) == Some(m)`), though a codec may fold a
+/// deterministic hop transform into the wire format (e.g. pre-incrementing
+/// a distance for the receiver).
+pub trait Codec {
+    /// The in-memory message type.
+    type Msg;
+
+    /// Encodes one message. Called once per send, including broadcasts.
+    fn encode(msg: &Self::Msg) -> Bytes;
+
+    /// Decodes a payload, or `None` if malformed/truncated.
+    fn decode(payload: &Bytes) -> Option<Self::Msg>;
+}
+
+/// A protocol exchanging typed messages through a [`Codec`].
+///
+/// Wrap it in [`Typed`] to obtain a byte-level [`Protocol`] the
+/// [`crate::Simulator`] can run.
+pub trait TypedProtocol {
+    /// The codec defining this protocol's wire format.
+    type Codec: Codec;
+
+    /// Round 0, before any delivery.
+    fn start(&mut self, ctx: &Ctx<'_>, out: &mut TypedOutbox<'_, Self::Codec>);
+
+    /// Every round ≥ 1, with this round's decoded messages in delivery
+    /// order. Malformed payloads are dropped before this is called (a
+    /// debug build asserts they do not occur).
+    fn round(
+        &mut self,
+        ctx: &Ctx<'_>,
+        incoming: &[(VertexId, <Self::Codec as Codec>::Msg)],
+        out: &mut TypedOutbox<'_, Self::Codec>,
+    );
+
+    /// Local termination, as in [`Protocol::is_halted`].
+    fn is_halted(&self) -> bool {
+        false
+    }
+}
+
+/// Send buffer encoding typed messages through a [`Codec`].
+#[derive(Debug)]
+pub struct TypedOutbox<'a, C: Codec> {
+    raw: &'a mut Outbox,
+    _codec: std::marker::PhantomData<C>,
+}
+
+impl<C: Codec> TypedOutbox<'_, C> {
+    /// Encodes `msg` once and queues it to a single neighbor.
+    pub fn unicast(&mut self, to: VertexId, msg: &C::Msg) {
+        self.raw.unicast(to, C::encode(msg));
+    }
+
+    /// Encodes `msg` once and queues it along every incident edge; all
+    /// recipients share the one encoding.
+    pub fn broadcast(&mut self, msg: &C::Msg) {
+        self.raw.broadcast(C::encode(msg));
+    }
+}
+
+/// Adapter running a [`TypedProtocol`] as a byte-level [`Protocol`].
+///
+/// Carries a per-node scratch buffer for decoded messages, reused across
+/// rounds so the compute phase stays allocation-free in steady state.
+/// `Clone`/`PartialEq` look only at `inner` — the scratch is transient
+/// (filled and consumed within one `round` call).
+pub struct Typed<T: TypedProtocol> {
+    /// The wrapped typed protocol (accessible for result extraction).
+    pub inner: T,
+    decoded: Vec<(VertexId, <T::Codec as Codec>::Msg)>,
+}
+
+impl<T: TypedProtocol> Typed<T> {
+    /// Wraps a typed protocol.
+    pub fn new(inner: T) -> Self {
+        Typed {
+            inner,
+            decoded: Vec::new(),
+        }
+    }
+}
+
+impl<T: TypedProtocol + std::fmt::Debug> std::fmt::Debug for Typed<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Typed").field("inner", &self.inner).finish()
+    }
+}
+
+impl<T: TypedProtocol + Clone> Clone for Typed<T> {
+    fn clone(&self) -> Self {
+        Typed::new(self.inner.clone())
+    }
+}
+
+impl<T: TypedProtocol + PartialEq> PartialEq for Typed<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl<T: TypedProtocol + Eq> Eq for Typed<T> {}
+
+impl<T: TypedProtocol> Protocol for Typed<T> {
+    fn start(&mut self, ctx: &Ctx<'_>, out: &mut Outbox) {
+        let mut typed = TypedOutbox {
+            raw: out,
+            _codec: std::marker::PhantomData,
+        };
+        self.inner.start(ctx, &mut typed);
+    }
+
+    fn round(&mut self, ctx: &Ctx<'_>, incoming: &[Incoming], out: &mut Outbox) {
+        self.decoded.clear();
+        self.decoded.extend(incoming.iter().filter_map(|m| {
+            let msg = T::Codec::decode(&m.payload);
+            debug_assert!(msg.is_some(), "malformed payload from {}", m.from);
+            msg.map(|msg| (m.from, msg))
+        }));
+        let mut typed = TypedOutbox {
+            raw: out,
+            _codec: std::marker::PhantomData,
+        };
+        self.inner.round(ctx, &self.decoded, &mut typed);
+    }
+
+    fn is_halted(&self) -> bool {
+        self.inner.is_halted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{WireReader, WireWriter};
+    use crate::Simulator;
+    use netdecomp_graph::generators;
+
+    /// Counter message: (origin, hops).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Hop {
+        origin: u32,
+        hops: u16,
+    }
+
+    struct HopCodec;
+
+    impl Codec for HopCodec {
+        type Msg = Hop;
+
+        fn encode(msg: &Hop) -> Bytes {
+            WireWriter::new().u32(msg.origin).u16(msg.hops).finish()
+        }
+
+        fn decode(payload: &Bytes) -> Option<Hop> {
+            let mut r = WireReader::new(payload.clone());
+            let origin = r.u32()?;
+            let hops = r.u16()?;
+            r.is_exhausted().then_some(Hop { origin, hops })
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Relay {
+        best: Option<Hop>,
+    }
+
+    impl TypedProtocol for Relay {
+        type Codec = HopCodec;
+
+        fn start(&mut self, ctx: &Ctx<'_>, out: &mut TypedOutbox<'_, HopCodec>) {
+            if ctx.id == 0 {
+                let msg = Hop { origin: 0, hops: 0 };
+                self.best = Some(msg);
+                out.broadcast(&msg);
+            }
+        }
+
+        fn round(
+            &mut self,
+            _ctx: &Ctx<'_>,
+            incoming: &[(usize, Hop)],
+            out: &mut TypedOutbox<'_, HopCodec>,
+        ) {
+            if self.best.is_none() {
+                if let Some((_, first)) = incoming.first() {
+                    let mine = Hop {
+                        origin: first.origin,
+                        hops: first.hops + 1,
+                    };
+                    self.best = Some(mine);
+                    out.broadcast(&mine);
+                }
+            }
+        }
+
+        fn is_halted(&self) -> bool {
+            self.best.is_some()
+        }
+    }
+
+    #[test]
+    fn typed_relay_counts_hops() {
+        let g = generators::path(5);
+        let mut sim = Simulator::new(&g, |_, _| Typed::new(Relay { best: None }));
+        sim.run_to_quiescence(10).unwrap();
+        for (v, node) in sim.nodes().iter().enumerate() {
+            assert_eq!(node.inner.best.unwrap().hops as usize, v);
+        }
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let m = Hop {
+            origin: 77,
+            hops: 3,
+        };
+        assert_eq!(HopCodec::decode(&HopCodec::encode(&m)), Some(m));
+        assert_eq!(HopCodec::decode(&Bytes::from_static(b"xx")), None);
+    }
+}

@@ -1,8 +1,27 @@
-//! The synchronous round engine.
+//! The synchronous round engine: parallel compute, sequential merge.
+//!
+//! Each [`Simulator::step`] runs two phases:
+//!
+//! 1. **Compute** — every node consumes its delivered messages and fills
+//!    its preallocated [`Outbox`]. Nodes are independent within a round,
+//!    so with [`Engine::Parallel`] this phase runs `par_iter_mut` over the
+//!    node array; each node touches only its own state and outbox slot.
+//! 2. **Deliver (sequential merge)** — outboxes are merged in sender-id
+//!    order into one flat, CSR-aligned inbox buffer, with CONGEST byte
+//!    accounting kept in a flat `Vec<usize>` indexed by the graph's
+//!    directed-edge slots ([`netdecomp_graph::Graph::edge_slot`]). Payloads
+//!    are reference-counted [`bytes::Bytes`], so a broadcast is encoded
+//!    once and never copied per recipient.
+//!
+//! Because the merge order is fixed (sender id, then send order, then
+//! adjacency order for broadcasts), the engine is deterministic regardless
+//! of how the compute phase is scheduled; [`Determinism::Verify`] checks
+//! this per round against a sequential reference execution.
 
 use netdecomp_graph::{Graph, VertexId};
+use rayon::prelude::*;
 
-use crate::{CongestLimit, Incoming, Outgoing, Recipient, RoundStats, RunStats, SimError};
+use crate::{CongestLimit, Incoming, Outbox, Recipient, RoundStats, RunStats, SimError};
 
 /// Read-only view a node gets of its place in the network.
 ///
@@ -37,19 +56,52 @@ impl Ctx<'_> {
 ///
 /// The engine drives each node through `start` (round 0, before any message
 /// is delivered) and then `round` once per subsequent round with the messages
-/// sent to it in the previous round.
+/// sent to it in the previous round. Outgoing messages go into the node's
+/// preallocated [`Outbox`].
+///
+/// Implementations must be deterministic functions of `(state, incoming)`:
+/// the compute phase may run nodes on any thread in any order within a
+/// round. [`Determinism::Verify`] can check this at runtime.
 pub trait Protocol {
-    /// Called once at round 0; returns the node's initial messages.
-    fn start(&mut self, ctx: &Ctx<'_>) -> Vec<Outgoing>;
+    /// Called once at round 0; queues the node's initial messages.
+    fn start(&mut self, ctx: &Ctx<'_>, out: &mut Outbox);
 
     /// Called every round ≥ 1 with the messages delivered this round.
-    fn round(&mut self, ctx: &Ctx<'_>, incoming: &[Incoming]) -> Vec<Outgoing>;
+    /// Messages arrive ordered by sender id (ties: sender's send order).
+    fn round(&mut self, ctx: &Ctx<'_>, incoming: &[Incoming], out: &mut Outbox);
 
     /// `true` once this node has locally terminated. A halted node still
     /// receives messages (and may un-halt by returning messages again).
     fn is_halted(&self) -> bool {
         false
     }
+}
+
+/// How the compute phase is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// One node at a time, in id order, on the calling thread.
+    #[default]
+    Sequential,
+    /// Nodes split across threads (`0` = use all available). Delivery is
+    /// still a sequential merge, so results are bit-identical to
+    /// [`Engine::Sequential`] for any deterministic protocol.
+    Parallel {
+        /// Worker thread count; `0` picks the machine's parallelism.
+        threads: usize,
+    },
+}
+
+/// Whether to double-check parallel compute against a sequential reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Determinism {
+    /// Trust the protocol to be deterministic (no overhead).
+    #[default]
+    Trust,
+    /// Re-run each round's compute phase sequentially on cloned nodes and
+    /// require bit-identical outboxes ([`SimError::Nondeterminism`]
+    /// otherwise). Roughly doubles compute cost; meant for tests.
+    Verify,
 }
 
 /// Synchronous simulator executing one [`Protocol`] instance per vertex.
@@ -59,12 +111,101 @@ pub trait Protocol {
 pub struct Simulator<'g, P> {
     graph: &'g Graph,
     nodes: Vec<P>,
-    /// Messages queued for delivery at the next round, per recipient.
-    inboxes: Vec<Vec<Incoming>>,
+    /// One preallocated outbox per node, reused across rounds.
+    outboxes: Vec<Outbox>,
+    /// Messages pending delivery, grouped by recipient (CSR layout with
+    /// [`Simulator::inbox_offsets`]).
+    inbox_data: Vec<Incoming>,
+    /// `n + 1` offsets into [`Simulator::inbox_data`].
+    inbox_offsets: Vec<usize>,
+    /// Per-directed-edge bytes sent this round, indexed by edge slot.
+    edge_bytes: Vec<usize>,
+    /// Edge slots dirtied this round (sparse reset of `edge_bytes`).
+    touched: Vec<usize>,
+    /// Scratch: per-recipient counts, then scatter cursors.
+    scratch: Vec<usize>,
     limit: CongestLimit,
+    engine: Engine,
+    /// Worker pool backing [`Engine::Parallel`], built once in
+    /// [`Simulator::with_engine`] rather than per round.
+    pool: Option<rayon::ThreadPool>,
     stats: RunStats,
     round: usize,
     started: bool,
+}
+
+/// Runs the compute phase for one round over split-out simulator fields
+/// (also used by verified stepping to drive a cloned reference, which
+/// passes `pool: None` for the sequential path).
+fn compute_phase<P: Protocol + Send>(
+    graph: &Graph,
+    started: bool,
+    inbox_data: &[Incoming],
+    inbox_offsets: &[usize],
+    nodes: &mut [P],
+    outboxes: &mut [Outbox],
+    pool: Option<&rayon::ThreadPool>,
+) {
+    let n = graph.vertex_count();
+    let run_node = |id: usize, node: &mut P, out: &mut Outbox| {
+        out.clear();
+        let ctx = Ctx { id, n, graph };
+        if started {
+            let incoming = &inbox_data[inbox_offsets[id]..inbox_offsets[id + 1]];
+            node.round(&ctx, incoming, out);
+        } else {
+            node.start(&ctx, out);
+        }
+    };
+    match pool {
+        None => {
+            for (id, (node, out)) in nodes.iter_mut().zip(outboxes.iter_mut()).enumerate() {
+                run_node(id, node, out);
+            }
+        }
+        Some(pool) => pool.install(|| {
+            nodes
+                .par_iter_mut()
+                .zip(outboxes.par_iter_mut())
+                .enumerate()
+                .for_each(|(id, (node, out))| run_node(id, node, out));
+        }),
+    }
+}
+
+/// Accounts one delivered message on a directed-edge slot.
+#[allow(clippy::too_many_arguments)]
+fn account(
+    edge_bytes: &mut [usize],
+    touched: &mut Vec<usize>,
+    limit: CongestLimit,
+    round: usize,
+    slot: usize,
+    from: VertexId,
+    to: VertexId,
+    len: usize,
+    stats: &mut RoundStats,
+) -> Result<(), SimError> {
+    let bytes = &mut edge_bytes[slot];
+    if *bytes == 0 {
+        touched.push(slot);
+    }
+    *bytes += len;
+    if let CongestLimit::PerEdgeBytes(limit) = limit {
+        if *bytes > limit {
+            return Err(SimError::CongestViolation {
+                from,
+                to,
+                bytes: *bytes,
+                limit,
+                round,
+            });
+        }
+    }
+    stats.messages += 1;
+    stats.bytes += len;
+    stats.max_edge_bytes = stats.max_edge_bytes.max(*bytes);
+    Ok(())
 }
 
 impl<'g, P: Protocol> Simulator<'g, P> {
@@ -84,8 +225,15 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         Simulator {
             graph,
             nodes,
-            inboxes: vec![Vec::new(); n],
+            outboxes: vec![Outbox::new(); n],
+            inbox_data: Vec::new(),
+            inbox_offsets: vec![0; n + 1],
+            edge_bytes: vec![0; graph.directed_edge_count()],
+            touched: Vec::new(),
+            scratch: vec![0; n],
             limit: CongestLimit::Unlimited,
+            engine: Engine::Sequential,
+            pool: None,
             stats: RunStats::default(),
             round: 0,
             started: false,
@@ -97,6 +245,35 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     pub fn with_limit(mut self, limit: CongestLimit) -> Self {
         self.limit = limit;
         self
+    }
+
+    /// Selects the compute-phase scheduler. Builder-style.
+    ///
+    /// [`Engine::Parallel`] builds its worker-pool handle here, once, so
+    /// per-step dispatch is just `pool.install`. Note the *vendored* rayon
+    /// shim backing this workspace has no persistent workers — it spawns
+    /// scoped threads inside each `for_each` — so per-round thread-spawn
+    /// cost remains until a real pool lands (see ROADMAP "Open items");
+    /// with the real rayon crate this hoisting makes stepping spawn-free.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self.pool = match engine {
+            Engine::Sequential => None,
+            Engine::Parallel { threads } => Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("pool construction is infallible"),
+            ),
+        };
+        self
+    }
+
+    /// The configured compute-phase scheduler.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// The underlying graph.
@@ -132,103 +309,154 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// `true` when all nodes are halted and no message is in flight.
     #[must_use]
     pub fn is_quiescent(&self) -> bool {
-        self.nodes.iter().all(Protocol::is_halted)
-            && self.inboxes.iter().all(Vec::is_empty)
+        self.nodes.iter().all(Protocol::is_halted) && self.inbox_data.is_empty()
     }
 
-    /// Executes one synchronous round: deliver queued messages, let every
-    /// node compute, queue its outgoing messages for the next round.
+    /// Worker threads the configured [`Engine`] resolves to right now.
+    fn thread_count(&self) -> usize {
+        match self.engine {
+            Engine::Sequential => 1,
+            Engine::Parallel { threads: 0 } => rayon::current_num_threads(),
+            Engine::Parallel { threads } => threads,
+        }
+    }
+
+    /// Merges all outboxes into the flat inbox buffer for the next round,
+    /// enforcing CONGEST budgets on the way.
+    ///
+    /// Two passes in sender-id order: (1) validate addressing, account
+    /// per-edge bytes, count messages per recipient; (2) prefix-sum the
+    /// counts into CSR offsets and scatter. Per-recipient message order is
+    /// therefore (sender id, send order) — independent of compute-phase
+    /// scheduling.
+    fn deliver(&mut self) -> Result<RoundStats, SimError> {
+        let n = self.graph.vertex_count();
+        let mut round_stats = RoundStats {
+            round: self.round,
+            ..RoundStats::default()
+        };
+
+        // Sparse reset of the per-edge byte counters from last round.
+        for &slot in &self.touched {
+            self.edge_bytes[slot] = 0;
+        }
+        self.touched.clear();
+
+        // Pass 1: validate + account + count.
+        self.scratch.fill(0);
+        for from in 0..n {
+            for msg in self.outboxes[from].messages() {
+                let len = msg.payload.len();
+                match msg.to {
+                    Recipient::Neighbor(to) => {
+                        let slot = self
+                            .graph
+                            .edge_slot(from, to)
+                            .ok_or(SimError::NotNeighbor { from, to })?;
+                        account(
+                            &mut self.edge_bytes,
+                            &mut self.touched,
+                            self.limit,
+                            self.round,
+                            slot,
+                            from,
+                            to,
+                            len,
+                            &mut round_stats,
+                        )?;
+                        self.scratch[to] += 1;
+                    }
+                    Recipient::AllNeighbors => {
+                        for slot in self.graph.neighbor_slots(from) {
+                            let to = self.graph.slot_target(slot);
+                            account(
+                                &mut self.edge_bytes,
+                                &mut self.touched,
+                                self.limit,
+                                self.round,
+                                slot,
+                                from,
+                                to,
+                                len,
+                                &mut round_stats,
+                            )?;
+                            self.scratch[to] += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Prefix sums: scratch (counts) -> inbox_offsets.
+        self.inbox_offsets[0] = 0;
+        for v in 0..n {
+            self.inbox_offsets[v + 1] = self.inbox_offsets[v] + self.scratch[v];
+        }
+        let total = self.inbox_offsets[n];
+        self.inbox_data.clear();
+        self.inbox_data.resize(total, Incoming::default());
+
+        // Pass 2: scatter, reusing scratch as per-recipient cursors.
+        self.scratch.copy_from_slice(&self.inbox_offsets[..n]);
+        for from in 0..n {
+            for msg in self.outboxes[from].messages() {
+                match msg.to {
+                    Recipient::Neighbor(to) => {
+                        let cursor = &mut self.scratch[to];
+                        self.inbox_data[*cursor] = Incoming {
+                            from,
+                            payload: msg.payload.clone(),
+                        };
+                        *cursor += 1;
+                    }
+                    Recipient::AllNeighbors => {
+                        for slot in self.graph.neighbor_slots(from) {
+                            let to = self.graph.slot_target(slot);
+                            let cursor = &mut self.scratch[to];
+                            self.inbox_data[*cursor] = Incoming {
+                                from,
+                                payload: msg.payload.clone(),
+                            };
+                            *cursor += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(round_stats)
+    }
+
+    /// Commits one computed-and-delivered round.
+    fn commit(&mut self, round_stats: RoundStats) -> RoundStats {
+        self.round += 1;
+        self.stats.absorb(round_stats);
+        round_stats
+    }
+}
+
+impl<P: Protocol + Send> Simulator<'_, P> {
+    /// Executes one synchronous round: let every node compute (in parallel
+    /// under [`Engine::Parallel`]), then merge and queue its outgoing
+    /// messages for the next round.
     ///
     /// # Errors
     ///
     /// [`SimError::NotNeighbor`] if a node unicasts to a non-neighbor;
     /// [`SimError::CongestViolation`] if an edge's byte budget is exceeded.
     pub fn step(&mut self) -> Result<RoundStats, SimError> {
-        let n = self.graph.vertex_count();
-        let mut outboxes: Vec<Vec<Outgoing>> = Vec::with_capacity(n);
-        // Deliver and compute.
-        for id in 0..n {
-            let ctx = Ctx {
-                id,
-                n,
-                graph: self.graph,
-            };
-            let out = if self.started {
-                let incoming = std::mem::take(&mut self.inboxes[id]);
-                self.nodes[id].round(&ctx, &incoming)
-            } else {
-                self.nodes[id].start(&ctx)
-            };
-            outboxes.push(out);
-        }
+        compute_phase(
+            self.graph,
+            self.started,
+            &self.inbox_data,
+            &self.inbox_offsets,
+            &mut self.nodes,
+            &mut self.outboxes,
+            self.pool.as_ref(),
+        );
         self.started = true;
-
-        // Queue for next round, accounting per directed edge.
-        let mut round_stats = RoundStats {
-            round: self.round,
-            ..RoundStats::default()
-        };
-        for (from, out) in outboxes.into_iter().enumerate() {
-            // Per-edge byte accounting for this sender this round.
-            let mut per_target: std::collections::HashMap<VertexId, usize> =
-                std::collections::HashMap::new();
-            for msg in out {
-                match msg.to {
-                    Recipient::Neighbor(to) => {
-                        if !self.graph.has_edge(from, to) {
-                            return Err(SimError::NotNeighbor { from, to });
-                        }
-                        self.deliver(from, to, &msg.payload, &mut round_stats, &mut per_target)?;
-                    }
-                    Recipient::AllNeighbors => {
-                        for i in 0..self.graph.degree(from) {
-                            let to = self.graph.neighbors(from)[i];
-                            self.deliver(
-                                from,
-                                to,
-                                &msg.payload,
-                                &mut round_stats,
-                                &mut per_target,
-                            )?;
-                        }
-                    }
-                }
-            }
-        }
-        self.round += 1;
-        self.stats.absorb(round_stats);
-        Ok(round_stats)
-    }
-
-    fn deliver(
-        &mut self,
-        from: VertexId,
-        to: VertexId,
-        payload: &bytes::Bytes,
-        round_stats: &mut RoundStats,
-        per_target: &mut std::collections::HashMap<VertexId, usize>,
-    ) -> Result<(), SimError> {
-        let edge_bytes = per_target.entry(to).or_insert(0);
-        *edge_bytes += payload.len();
-        if let CongestLimit::PerEdgeBytes(limit) = self.limit {
-            if *edge_bytes > limit {
-                return Err(SimError::CongestViolation {
-                    from,
-                    to,
-                    bytes: *edge_bytes,
-                    limit,
-                    round: self.round,
-                });
-            }
-        }
-        round_stats.messages += 1;
-        round_stats.bytes += payload.len();
-        round_stats.max_edge_bytes = round_stats.max_edge_bytes.max(*edge_bytes);
-        self.inboxes[to].push(Incoming {
-            from,
-            payload: payload.clone(),
-        });
-        Ok(())
+        let round_stats = self.deliver()?;
+        Ok(self.commit(round_stats))
     }
 
     /// Runs exactly `rounds` rounds.
@@ -237,11 +465,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     ///
     /// Propagates the first [`SimError`] from [`Simulator::step`].
     pub fn run_rounds(&mut self, rounds: usize) -> Result<RunStats, SimError> {
-        let mut run = RunStats::default();
-        for _ in 0..rounds {
-            run.absorb(self.step()?);
-        }
-        Ok(run)
+        self.run_rounds_loop(rounds, |s| s.step())
     }
 
     /// Runs until every node halts and no message is in flight, up to
@@ -252,17 +476,119 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// [`SimError::RoundLimitExceeded`] if quiescence is not reached within
     /// the budget; otherwise propagates [`Simulator::step`] errors.
     pub fn run_to_quiescence(&mut self, max_rounds: usize) -> Result<RunStats, SimError> {
+        self.run_quiescence_loop(max_rounds, |s| s.step())
+    }
+
+    /// Shared body of the fixed-round runners.
+    fn run_rounds_loop(
+        &mut self,
+        rounds: usize,
+        mut step: impl FnMut(&mut Self) -> Result<RoundStats, SimError>,
+    ) -> Result<RunStats, SimError> {
+        let mut run = RunStats::default();
+        for _ in 0..rounds {
+            run.absorb(step(self)?);
+        }
+        Ok(run)
+    }
+
+    /// Shared body of the run-to-quiescence runners.
+    fn run_quiescence_loop(
+        &mut self,
+        max_rounds: usize,
+        mut step: impl FnMut(&mut Self) -> Result<RoundStats, SimError>,
+    ) -> Result<RunStats, SimError> {
         let mut run = RunStats::default();
         for _ in 0..max_rounds {
-            run.absorb(self.step()?);
+            run.absorb(step(self)?);
             if self.is_quiescent() {
                 return Ok(run);
             }
         }
-        if self.is_quiescent() {
-            Ok(run)
-        } else {
-            Err(SimError::RoundLimitExceeded { limit: max_rounds })
+        // A zero budget asks for no work: succeed iff already quiescent.
+        if max_rounds == 0 && self.is_quiescent() {
+            return Ok(run);
+        }
+        Err(SimError::RoundLimitExceeded { limit: max_rounds })
+    }
+}
+
+impl<P: Protocol + Send + Clone> Simulator<'_, P> {
+    /// Like [`Simulator::step`], but under [`Engine::Parallel`] also runs
+    /// the round's compute phase sequentially on cloned nodes and requires
+    /// the two executions to produce bit-identical outboxes.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Nondeterminism`] on divergence, plus everything
+    /// [`Simulator::step`] can return.
+    pub fn step_verified(&mut self) -> Result<RoundStats, SimError> {
+        if self.thread_count() <= 1 {
+            return self.step();
+        }
+        let mut reference_nodes = self.nodes.clone();
+        let mut reference_outboxes = vec![Outbox::new(); self.nodes.len()];
+        compute_phase(
+            self.graph,
+            self.started,
+            &self.inbox_data,
+            &self.inbox_offsets,
+            &mut reference_nodes,
+            &mut reference_outboxes,
+            None,
+        );
+        compute_phase(
+            self.graph,
+            self.started,
+            &self.inbox_data,
+            &self.inbox_offsets,
+            &mut self.nodes,
+            &mut self.outboxes,
+            self.pool.as_ref(),
+        );
+        self.started = true;
+        if let Some(vertex) =
+            (0..self.outboxes.len()).find(|&v| self.outboxes[v] != reference_outboxes[v])
+        {
+            return Err(SimError::Nondeterminism {
+                round: self.round,
+                vertex,
+            });
+        }
+        let round_stats = self.deliver()?;
+        Ok(self.commit(round_stats))
+    }
+
+    /// Runs exactly `rounds` rounds under the given [`Determinism`] mode.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::step_verified`].
+    pub fn run_rounds_with(
+        &mut self,
+        rounds: usize,
+        determinism: Determinism,
+    ) -> Result<RunStats, SimError> {
+        match determinism {
+            Determinism::Trust => self.run_rounds(rounds),
+            Determinism::Verify => self.run_rounds_loop(rounds, |s| s.step_verified()),
+        }
+    }
+
+    /// Runs to quiescence under the given [`Determinism`] mode.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run_to_quiescence`] and
+    /// [`Simulator::step_verified`].
+    pub fn run_to_quiescence_with(
+        &mut self,
+        max_rounds: usize,
+        determinism: Determinism,
+    ) -> Result<RunStats, SimError> {
+        match determinism {
+            Determinism::Trust => self.run_to_quiescence(max_rounds),
+            Determinism::Verify => self.run_quiescence_loop(max_rounds, |s| s.step_verified()),
         }
     }
 }
@@ -274,28 +600,35 @@ mod tests {
     use netdecomp_graph::generators;
 
     /// Every node floods a token once; distance of first receipt is recorded.
+    #[derive(Debug, Clone, PartialEq, Eq)]
     struct FloodDist {
         dist: Option<usize>,
         rounds_seen: usize,
     }
 
+    impl FloodDist {
+        fn fresh() -> Self {
+            FloodDist {
+                dist: None,
+                rounds_seen: 0,
+            }
+        }
+    }
+
     impl Protocol for FloodDist {
-        fn start(&mut self, ctx: &Ctx<'_>) -> Vec<Outgoing> {
+        fn start(&mut self, ctx: &Ctx<'_>, out: &mut Outbox) {
             if ctx.id == 0 {
                 self.dist = Some(0);
-                vec![Outgoing::broadcast(Bytes::from_static(b"t"))]
-            } else {
-                Vec::new()
+                out.broadcast(Bytes::from_static(b"t"));
             }
         }
 
-        fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming]) -> Vec<Outgoing> {
+        fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming], out: &mut Outbox) {
             self.rounds_seen += 1;
             if self.dist.is_none() && !incoming.is_empty() {
                 self.dist = Some(self.rounds_seen);
-                return vec![Outgoing::broadcast(Bytes::from_static(b"t"))];
+                out.broadcast(Bytes::from_static(b"t"));
             }
-            Vec::new()
         }
 
         fn is_halted(&self) -> bool {
@@ -303,11 +636,8 @@ mod tests {
         }
     }
 
-    fn flood(g: &netdecomp_graph::Graph) -> Vec<Option<usize>> {
-        let mut sim = Simulator::new(g, |_, _| FloodDist {
-            dist: None,
-            rounds_seen: 0,
-        });
+    fn flood(g: &netdecomp_graph::Graph, engine: Engine) -> Vec<Option<usize>> {
+        let mut sim = Simulator::new(g, |_, _| FloodDist::fresh()).with_engine(engine);
         // Flooding cannot take more rounds than n.
         let _ = sim.run_to_quiescence(g.vertex_count() + 2);
         sim.nodes().iter().map(|n| n.dist).collect()
@@ -321,19 +651,39 @@ mod tests {
             generators::grid2d(4, 5),
             generators::star(6),
         ] {
-            let from_flood = flood(&g);
             let from_bfs = netdecomp_graph::bfs::distances(&g, 0);
-            assert_eq!(from_flood, from_bfs);
+            assert_eq!(flood(&g, Engine::Sequential), from_bfs);
+            assert_eq!(flood(&g, Engine::Parallel { threads: 4 }), from_bfs);
         }
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_bit_for_bit() {
+        let g = generators::grid2d(7, 9);
+        let mut seq = Simulator::new(&g, |_, _| FloodDist::fresh());
+        let mut par = Simulator::new(&g, |_, _| FloodDist::fresh())
+            .with_engine(Engine::Parallel { threads: 3 });
+        let a = seq.run_rounds(20).unwrap();
+        let b = par.run_rounds(20).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(seq.nodes(), par.nodes());
+        assert_eq!(seq.stats(), par.stats());
+    }
+
+    #[test]
+    fn verified_stepping_accepts_deterministic_protocols() {
+        let g = generators::grid2d(5, 5);
+        let mut sim = Simulator::new(&g, |_, _| FloodDist::fresh())
+            .with_engine(Engine::Parallel { threads: 4 });
+        let run = sim.run_to_quiescence_with(40, Determinism::Verify).unwrap();
+        assert!(run.rounds > 0);
+        assert!(sim.nodes().iter().all(|n| n.dist.is_some()));
     }
 
     #[test]
     fn disconnected_nodes_stay_unreached_and_run_hits_limit() {
         let g = netdecomp_graph::Graph::from_edges(3, &[(0, 1)]).unwrap();
-        let mut sim = Simulator::new(&g, |_, _| FloodDist {
-            dist: None,
-            rounds_seen: 0,
-        });
+        let mut sim = Simulator::new(&g, |_, _| FloodDist::fresh());
         // Node 2 never halts -> quiescence unreachable.
         let err = sim.run_to_quiescence(5).unwrap_err();
         assert_eq!(err, SimError::RoundLimitExceeded { limit: 5 });
@@ -343,10 +693,7 @@ mod tests {
     #[test]
     fn stats_count_messages_and_bytes() {
         let g = generators::path(3);
-        let mut sim = Simulator::new(&g, |_, _| FloodDist {
-            dist: None,
-            rounds_seen: 0,
-        });
+        let mut sim = Simulator::new(&g, |_, _| FloodDist::fresh());
         let run = sim.run_to_quiescence(10).unwrap();
         // Round 0: node 0 broadcasts to 1 neighbor. Round 1: node 1
         // broadcasts to 2 neighbors. Round 2: node 2 broadcasts to 1.
@@ -355,17 +702,16 @@ mod tests {
         assert_eq!(run.max_edge_bytes, 1);
     }
 
+    #[derive(Debug, Clone)]
     struct Shout {
         payload: usize,
     }
 
     impl Protocol for Shout {
-        fn start(&mut self, _ctx: &Ctx<'_>) -> Vec<Outgoing> {
-            vec![Outgoing::broadcast(Bytes::from(vec![0u8; self.payload]))]
+        fn start(&mut self, _ctx: &Ctx<'_>, out: &mut Outbox) {
+            out.broadcast(Bytes::from(vec![0u8; self.payload]));
         }
-        fn round(&mut self, _ctx: &Ctx<'_>, _incoming: &[Incoming]) -> Vec<Outgoing> {
-            Vec::new()
-        }
+        fn round(&mut self, _ctx: &Ctx<'_>, _incoming: &[Incoming], _out: &mut Outbox) {}
         fn is_halted(&self) -> bool {
             true
         }
@@ -374,33 +720,36 @@ mod tests {
     #[test]
     fn congest_limit_enforced() {
         let g = generators::path(2);
-        let mut sim =
-            Simulator::new(&g, |_, _| Shout { payload: 17 }).with_limit(CongestLimit::PerEdgeBytes(16));
+        let mut sim = Simulator::new(&g, |_, _| Shout { payload: 17 })
+            .with_limit(CongestLimit::PerEdgeBytes(16));
         let err = sim.step().unwrap_err();
-        assert!(matches!(err, SimError::CongestViolation { bytes: 17, limit: 16, .. }));
+        assert!(matches!(
+            err,
+            SimError::CongestViolation {
+                bytes: 17,
+                limit: 16,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn congest_limit_allows_exact_budget() {
         let g = generators::path(2);
-        let mut sim =
-            Simulator::new(&g, |_, _| Shout { payload: 16 }).with_limit(CongestLimit::PerEdgeBytes(16));
+        let mut sim = Simulator::new(&g, |_, _| Shout { payload: 16 })
+            .with_limit(CongestLimit::PerEdgeBytes(16));
         assert!(sim.step().is_ok());
     }
 
     struct BadAddress;
 
     impl Protocol for BadAddress {
-        fn start(&mut self, ctx: &Ctx<'_>) -> Vec<Outgoing> {
+        fn start(&mut self, ctx: &Ctx<'_>, out: &mut Outbox) {
             if ctx.id == 0 {
-                vec![Outgoing::unicast(2, Bytes::new())] // 2 is not a neighbor of 0
-            } else {
-                Vec::new()
+                out.unicast(2, Bytes::new()); // 2 is not a neighbor of 0
             }
         }
-        fn round(&mut self, _ctx: &Ctx<'_>, _incoming: &[Incoming]) -> Vec<Outgoing> {
-            Vec::new()
-        }
+        fn round(&mut self, _ctx: &Ctx<'_>, _incoming: &[Incoming], _out: &mut Outbox) {}
     }
 
     #[test]
@@ -417,19 +766,13 @@ mod tests {
     fn two_unicasts_on_one_edge_share_budget() {
         struct TwoMessages;
         impl Protocol for TwoMessages {
-            fn start(&mut self, ctx: &Ctx<'_>) -> Vec<Outgoing> {
+            fn start(&mut self, ctx: &Ctx<'_>, out: &mut Outbox) {
                 if ctx.id == 0 {
-                    vec![
-                        Outgoing::unicast(1, Bytes::from(vec![0u8; 10])),
-                        Outgoing::unicast(1, Bytes::from(vec![0u8; 10])),
-                    ]
-                } else {
-                    Vec::new()
+                    out.unicast(1, Bytes::from(vec![0u8; 10]));
+                    out.unicast(1, Bytes::from(vec![0u8; 10]));
                 }
             }
-            fn round(&mut self, _: &Ctx<'_>, _: &[Incoming]) -> Vec<Outgoing> {
-                Vec::new()
-            }
+            fn round(&mut self, _: &Ctx<'_>, _: &[Incoming], _: &mut Outbox) {}
             fn is_halted(&self) -> bool {
                 true
             }
@@ -442,15 +785,57 @@ mod tests {
     }
 
     #[test]
+    fn incoming_is_ordered_by_sender_id() {
+        /// Every node broadcasts its own id once; receivers record order.
+        #[derive(Debug, Clone)]
+        struct Gossip {
+            heard: Vec<usize>,
+        }
+        impl Protocol for Gossip {
+            fn start(&mut self, ctx: &Ctx<'_>, out: &mut Outbox) {
+                out.broadcast(Bytes::from(vec![ctx.id as u8]));
+            }
+            fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming], _out: &mut Outbox) {
+                for m in incoming {
+                    self.heard.push(m.from);
+                }
+            }
+            fn is_halted(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::star(6); // center 0 hears 1..=5
+        let mut sim = Simulator::new(&g, |_, _| Gossip { heard: Vec::new() })
+            .with_engine(Engine::Parallel { threads: 3 });
+        sim.run_rounds(2).unwrap();
+        assert_eq!(sim.nodes()[0].heard, vec![1, 2, 3, 4, 5]);
+        for v in 1..6 {
+            assert_eq!(sim.nodes()[v].heard, vec![0]);
+        }
+    }
+
+    #[test]
     fn run_rounds_executes_exact_count() {
         let g = generators::cycle(5);
-        let mut sim = Simulator::new(&g, |_, _| FloodDist {
-            dist: None,
-            rounds_seen: 0,
-        });
+        let mut sim = Simulator::new(&g, |_, _| FloodDist::fresh());
         let run = sim.run_rounds(3).unwrap();
         assert_eq!(run.rounds, 3);
         assert_eq!(sim.rounds_executed(), 3);
+    }
+
+    #[test]
+    fn zero_round_budget_only_succeeds_when_quiescent() {
+        let g = generators::path(2);
+        let mut sim = Simulator::new(&g, |_, _| FloodDist::fresh());
+        // Fresh simulator: inbox empty but dist=None nodes are not halted.
+        assert_eq!(
+            sim.run_to_quiescence(0).unwrap_err(),
+            SimError::RoundLimitExceeded { limit: 0 }
+        );
+        sim.run_to_quiescence(5).unwrap();
+        // Now quiescent: a zero budget is satisfied without stepping.
+        let run = sim.run_to_quiescence(0).unwrap();
+        assert_eq!(run.rounds, 0);
     }
 
     #[test]
@@ -468,5 +853,13 @@ mod tests {
         });
         assert_eq!(sim.graph().vertex_count(), 4);
         assert!(!sim.is_quiescent() || sim.nodes().len() == 4);
+    }
+
+    #[test]
+    fn engine_accessor_reports_configuration() {
+        let g = generators::path(2);
+        let sim =
+            Simulator::new(&g, |_, _| BadAddress).with_engine(Engine::Parallel { threads: 2 });
+        assert_eq!(sim.engine(), Engine::Parallel { threads: 2 });
     }
 }

@@ -34,6 +34,17 @@ pub enum SimError {
         /// The budget that was exhausted.
         limit: usize,
     },
+    /// Verified stepping ([`crate::Determinism::Verify`]) found the
+    /// parallel compute phase producing different outboxes than the
+    /// sequential reference — a protocol whose behavior depends on
+    /// something other than `(state, incoming)`, e.g. shared mutable
+    /// state or ambient randomness.
+    Nondeterminism {
+        /// Round at which the divergence was detected.
+        round: usize,
+        /// First vertex whose outbox diverged.
+        vertex: VertexId,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -55,6 +66,10 @@ impl fmt::Display for SimError {
             SimError::RoundLimitExceeded { limit } => {
                 write!(f, "protocol did not quiesce within {limit} rounds")
             }
+            SimError::Nondeterminism { round, vertex } => write!(
+                f,
+                "parallel compute diverged from the sequential reference at round {round} (vertex {vertex})"
+            ),
         }
     }
 }
@@ -79,6 +94,11 @@ mod tests {
         assert!(e.to_string().contains("limit 16"));
         let e = SimError::RoundLimitExceeded { limit: 10 };
         assert!(e.to_string().contains("10 rounds"));
+        let e = SimError::Nondeterminism {
+            round: 4,
+            vertex: 2,
+        };
+        assert!(e.to_string().contains("round 4"));
     }
 
     #[test]

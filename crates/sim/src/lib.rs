@@ -1,4 +1,5 @@
-//! Synchronous message-passing simulator for the LOCAL / CONGEST models.
+//! Synchronous message-passing simulator for the LOCAL / CONGEST models,
+//! built as a two-phase flat-buffer round engine.
 //!
 //! The distributed model of the paper: each vertex of a graph hosts a
 //! processor; computation proceeds in synchronous rounds; in every round a
@@ -6,41 +7,73 @@
 //! model additionally caps the message size at `O(log n)` bits.
 //!
 //! This crate reproduces that model *measurably*: protocols exchange
-//! byte-encoded payloads ([`bytes::Bytes`]), and the engine records — and can
-//! enforce — per-edge per-round byte budgets, so the paper's "each message
-//! consists of `O(1)` words" claim becomes a measured quantity rather than an
-//! assumption.
+//! byte-encoded payloads ([`bytes::Bytes`]), and the engine records — and
+//! can enforce — per-edge per-round byte budgets, so the paper's "each
+//! message consists of `O(1)` words" claim becomes a measured quantity
+//! rather than an assumption.
+//!
+//! # The two-phase engine
+//!
+//! Every [`Simulator::step`] is **compute, then deliver**:
+//!
+//! - **Compute.** Each node consumes the slice of messages delivered to it
+//!   and fills its preallocated [`Outbox`]. Nodes are independent within a
+//!   round, so under [`Engine::Parallel`] this phase runs across threads
+//!   (`par_iter_mut` over the node array); [`Engine::Sequential`] is the
+//!   default.
+//! - **Deliver (sequential merge).** Outboxes are merged in sender-id
+//!   order into one flat inbox buffer laid out CSR-style by recipient.
+//!   CONGEST accounting lives in a flat `Vec<usize>` indexed by the
+//!   graph's directed-edge slots ([`netdecomp_graph::Graph::edge_slot`]) —
+//!   no per-sender hash maps. Payloads are reference-counted, so a
+//!   broadcast is encoded once and shared by all recipients (zero-copy).
+//!
+//! # Determinism guarantee
+//!
+//! The merge order is fixed — sender id, then send order, then adjacency
+//! order for broadcasts — so for any protocol that is a deterministic
+//! function of `(state, incoming)`, parallel and sequential execution
+//! produce **bit-identical** node states, inboxes, and [`RunStats`].
+//! [`Determinism::Verify`] (via [`Simulator::step_verified`] or the
+//! `*_with` runners) checks this property per round against a sequential
+//! reference execution and fails with [`SimError::Nondeterminism`] if a
+//! protocol sneaks in scheduling dependence.
+//!
+//! # Typed messages
+//!
+//! Protocols may speak bytes directly ([`Protocol`]) or typed messages
+//! through a [`Codec`] ([`TypedProtocol`] wrapped in [`Typed`]): one
+//! encode per send — broadcasts included — and one decode per receipt,
+//! with malformed payloads dropped at the boundary.
 //!
 //! # Example: flooding a token
 //!
 //! ```
 //! use netdecomp_graph::generators;
-//! use netdecomp_sim::{Ctx, Incoming, Outgoing, Protocol, Simulator};
+//! use netdecomp_sim::{Ctx, Engine, Incoming, Outbox, Protocol, Simulator};
 //! use bytes::Bytes;
 //!
 //! struct Flood { seen: bool }
 //!
 //! impl Protocol for Flood {
-//!     fn start(&mut self, ctx: &Ctx<'_>) -> Vec<Outgoing> {
+//!     fn start(&mut self, ctx: &Ctx<'_>, out: &mut Outbox) {
 //!         if ctx.id == 0 {
 //!             self.seen = true;
-//!             vec![Outgoing::broadcast(Bytes::from_static(b"x"))]
-//!         } else {
-//!             Vec::new()
+//!             out.broadcast(Bytes::from_static(b"x"));
 //!         }
 //!     }
-//!     fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming]) -> Vec<Outgoing> {
+//!     fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming], out: &mut Outbox) {
 //!         if !incoming.is_empty() && !self.seen {
 //!             self.seen = true;
-//!             return vec![Outgoing::broadcast(Bytes::from_static(b"x"))];
+//!             out.broadcast(Bytes::from_static(b"x"));
 //!         }
-//!         Vec::new()
 //!     }
 //!     fn is_halted(&self) -> bool { self.seen }
 //! }
 //!
 //! let g = generators::path(4);
-//! let mut sim = Simulator::new(&g, |_id, _ctx| Flood { seen: false });
+//! let mut sim = Simulator::new(&g, |_id, _ctx| Flood { seen: false })
+//!     .with_engine(Engine::Parallel { threads: 2 });
 //! let run = sim.run_to_quiescence(100).unwrap();
 //! assert!(sim.nodes().iter().all(|n| n.seen));
 //! // start + 3 hops of relaying + draining the last node's echo.
@@ -51,6 +84,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod codec;
 mod engine;
 mod error;
 mod message;
@@ -58,8 +92,9 @@ mod seeding;
 mod stats;
 pub mod wire;
 
-pub use engine::{Ctx, Protocol, Simulator};
+pub use codec::{Codec, Typed, TypedOutbox, TypedProtocol};
+pub use engine::{Ctx, Determinism, Engine, Protocol, Simulator};
 pub use error::SimError;
-pub use message::{Incoming, Outgoing, Recipient};
+pub use message::{Incoming, Outbox, Outgoing, Recipient};
 pub use seeding::stream_rng;
 pub use stats::{CongestLimit, RoundStats, RunStats};

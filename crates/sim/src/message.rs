@@ -42,12 +42,74 @@ impl Outgoing {
 }
 
 /// A message as delivered to a node at the start of a round.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Incoming {
     /// The neighbor that sent it (previous round).
     pub from: VertexId,
     /// Encoded payload.
     pub payload: Bytes,
+}
+
+/// A node's per-round send buffer.
+///
+/// The engine hands every node a preallocated `Outbox` (one per vertex,
+/// reused across rounds), so the compute phase allocates nothing in steady
+/// state and can run over all nodes in parallel — each node writes only
+/// its own slot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Outbox {
+    msgs: Vec<Outgoing>,
+}
+
+impl Outbox {
+    /// An empty outbox (the engine preallocates these; protocols normally
+    /// never construct one).
+    #[must_use]
+    pub fn new() -> Self {
+        Outbox::default()
+    }
+
+    /// Queues a message to a single neighbor.
+    pub fn unicast(&mut self, to: VertexId, payload: Bytes) {
+        self.msgs.push(Outgoing::unicast(to, payload));
+    }
+
+    /// Queues a copy of `payload` along every incident edge.
+    ///
+    /// The payload is encoded once; delivery hands each recipient a
+    /// reference-counted view of the same bytes (zero-copy broadcast).
+    pub fn broadcast(&mut self, payload: Bytes) {
+        self.msgs.push(Outgoing::broadcast(payload));
+    }
+
+    /// Queues an already-addressed message.
+    pub fn send(&mut self, msg: Outgoing) {
+        self.msgs.push(msg);
+    }
+
+    /// Messages queued so far this round.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// `true` when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// The queued messages, in send order.
+    #[must_use]
+    pub fn messages(&self) -> &[Outgoing] {
+        &self.msgs
+    }
+
+    /// Drops all queued messages (the engine does this before each
+    /// compute phase).
+    pub(crate) fn clear(&mut self) {
+        self.msgs.clear();
+    }
 }
 
 #[cfg(test)]
@@ -62,5 +124,19 @@ mod tests {
         let b = Outgoing::broadcast(Bytes::new());
         assert_eq!(b.to, Recipient::AllNeighbors);
         assert!(b.payload.is_empty());
+    }
+
+    #[test]
+    fn outbox_queues_in_send_order() {
+        let mut out = Outbox::new();
+        assert!(out.is_empty());
+        out.unicast(2, Bytes::from_static(b"a"));
+        out.broadcast(Bytes::from_static(b"b"));
+        out.send(Outgoing::unicast(1, Bytes::new()));
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.messages()[0].to, Recipient::Neighbor(2));
+        assert_eq!(out.messages()[1].to, Recipient::AllNeighbors);
+        out.clear();
+        assert!(out.is_empty());
     }
 }

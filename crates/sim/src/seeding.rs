@@ -56,8 +56,14 @@ mod tests {
 
     #[test]
     fn identical_tags_identical_streams() {
-        let xs: Vec<u32> = stream_rng(9, &[3, 1, 4]).sample_iter(rand::distributions::Standard).take(8).collect();
-        let ys: Vec<u32> = stream_rng(9, &[3, 1, 4]).sample_iter(rand::distributions::Standard).take(8).collect();
+        let xs: Vec<u32> = stream_rng(9, &[3, 1, 4])
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let ys: Vec<u32> = stream_rng(9, &[3, 1, 4])
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(xs, ys);
     }
 

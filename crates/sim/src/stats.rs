@@ -47,19 +47,24 @@ pub struct RunStats {
 
 impl RunStats {
     /// Folds one round's stats into the totals.
+    ///
+    /// Message and byte totals saturate instead of overflowing: a
+    /// multi-billion-round accumulation pins at `usize::MAX` rather than
+    /// wrapping into a silently wrong small number.
     pub fn absorb(&mut self, round: RoundStats) {
-        self.rounds += 1;
-        self.total_messages += round.messages;
-        self.total_bytes += round.bytes;
+        self.rounds = self.rounds.saturating_add(1);
+        self.total_messages = self.total_messages.saturating_add(round.messages);
+        self.total_bytes = self.total_bytes.saturating_add(round.bytes);
         self.max_edge_bytes = self.max_edge_bytes.max(round.max_edge_bytes);
         self.per_round.push(round);
     }
 
     /// Merges another run's stats (e.g. a later phase) into this one.
+    /// Totals saturate, as in [`RunStats::absorb`].
     pub fn merge(&mut self, other: &RunStats) {
-        self.rounds += other.rounds;
-        self.total_messages += other.total_messages;
-        self.total_bytes += other.total_bytes;
+        self.rounds = self.rounds.saturating_add(other.rounds);
+        self.total_messages = self.total_messages.saturating_add(other.total_messages);
+        self.total_bytes = self.total_bytes.saturating_add(other.total_bytes);
         self.max_edge_bytes = self.max_edge_bytes.max(other.max_edge_bytes);
         self.per_round.extend(other.per_round.iter().copied());
     }
@@ -111,6 +116,26 @@ mod tests {
         assert_eq!(a.rounds, 2);
         assert_eq!(a.total_bytes, 48);
         assert_eq!(a.max_edge_bytes, 20);
+    }
+
+    #[test]
+    fn absorb_and_merge_saturate_instead_of_overflowing() {
+        let near_max = RoundStats {
+            round: 0,
+            messages: usize::MAX - 1,
+            bytes: usize::MAX - 1,
+            max_edge_bytes: 1,
+        };
+        let mut run = RunStats::default();
+        run.absorb(near_max);
+        run.absorb(near_max);
+        assert_eq!(run.total_messages, usize::MAX);
+        assert_eq!(run.total_bytes, usize::MAX);
+        let mut other = RunStats::default();
+        other.absorb(near_max);
+        run.merge(&other);
+        assert_eq!(run.total_messages, usize::MAX);
+        assert_eq!(run.rounds, 3);
     }
 
     #[test]

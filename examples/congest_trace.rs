@@ -1,7 +1,8 @@
 //! Faithful CONGEST execution: run the algorithm by actual message passing
 //! with the paper's top-two pruning, enforce the per-edge byte budget, and
 //! print the communication bill — then check the result is bit-identical
-//! to the centralized simulation.
+//! to the centralized simulation *and* to a run on the parallel
+//! (verified-determinism) engine.
 //!
 //! ```text
 //! cargo run --example congest_trace
@@ -10,7 +11,7 @@
 use netdecomp::core::distributed::{decompose_distributed, DistributedConfig, Forwarding};
 use netdecomp::core::{basic, params::DecompositionParams};
 use netdecomp::graph::generators;
-use netdecomp::sim::CongestLimit;
+use netdecomp::sim::{CongestLimit, Determinism, Engine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -71,10 +72,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         full.comm.total_messages as f64 / congest.comm.total_messages as f64
     );
 
-    // Both must agree with each other and with the centralized simulation.
+    // The same CONGEST run on the parallel engine, with every round's
+    // compute phase cross-checked against a sequential reference.
+    let parallel = decompose_distributed(
+        &graph,
+        &params,
+        seed,
+        &DistributedConfig {
+            forwarding: Forwarding::TopTwo,
+            congest_limit: CongestLimit::PerEdgeBytes(28),
+            engine: Engine::Parallel { threads: 0 },
+            determinism: Determinism::Verify,
+            ..DistributedConfig::default()
+        },
+    )?;
+    println!("\nparallel engine (verified determinism, all cores):");
+    println!("  messages:          {}", parallel.comm.total_messages);
+    println!("  max edge B/round:  {}", parallel.comm.max_edge_bytes);
+
+    // All runs must agree with each other and with the centralized
+    // simulation.
     let central = basic::decompose(&graph, &params, seed)?;
-    assert_eq!(congest.outcome.decomposition(), full.outcome.decomposition());
+    assert_eq!(
+        congest.outcome.decomposition(),
+        full.outcome.decomposition()
+    );
     assert_eq!(congest.outcome.decomposition(), central.decomposition());
-    println!("\nall three executions produced bit-identical decompositions ✓");
+    assert_eq!(congest.outcome, parallel.outcome);
+    assert_eq!(congest.comm, parallel.comm);
+    println!("\nall four executions produced bit-identical decompositions ✓");
     Ok(())
 }

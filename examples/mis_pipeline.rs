@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let c = coloring::solve(&graph, d)?;
-    assert!(verify::is_proper_coloring(&graph, &c.colors, graph.max_degree() + 1));
+    assert!(verify::is_proper_coloring(
+        &graph,
+        &c.colors,
+        graph.max_degree() + 1
+    ));
     let used = c.colors.iter().copied().max().unwrap_or(0) + 1;
     println!(
         "coloring: {:>5} colors (palette {}), {:>5} sweep rounds",

@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = verify::verify(&graph, outcome.decomposition())?;
     println!(
         "decomposition: {} clusters in {} colors; max strong diameter {:?}; largest cluster {}",
-        report.cluster_count, report.color_count, report.max_strong_diameter, report.max_cluster_size,
+        report.cluster_count,
+        report.color_count,
+        report.max_strong_diameter,
+        report.max_cluster_size,
     );
     assert!(report.complete, "every vertex must be clustered");
     assert!(report.supergraph_properly_colored, "blocks must color G(P)");

@@ -28,8 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let params = DecompositionParams::new(k, 4.0)?;
         let outcome = basic::decompose(&graph, &params, 1)?;
         let result = spanner::build(&graph, outcome.decomposition())?;
-        let stretch = spanner::measured_stretch(&graph, &result.spanner)
-            .expect("spanner spans every edge");
+        let stretch =
+            spanner::measured_stretch(&graph, &result.spanner).expect("spanner spans every edge");
         println!(
             "k = {k}: spanner has {} edges ({:.1}% of G) = {} tree + {} crossing; \
              stretch measured {} <= bound {}",

@@ -12,7 +12,8 @@ use rand::SeedableRng;
 fn full_pipeline_on_all_three_theorems() {
     let mut rng = StdRng::seed_from_u64(7);
     let g = generators::gnp(200, 0.04, &mut rng).unwrap();
-    let decomps = [basic::decompose(&g, &params::DecompositionParams::new(3, 4.0).unwrap(), 1)
+    let decomps = [
+        basic::decompose(&g, &params::DecompositionParams::new(3, 4.0).unwrap(), 1)
             .unwrap()
             .into_decomposition(),
         staged::decompose(&g, &params::StagedParams::new(3, 6.0).unwrap(), 1)
@@ -20,7 +21,8 @@ fn full_pipeline_on_all_three_theorems() {
             .into_decomposition(),
         high_radius::decompose(&g, &params::HighRadiusParams::new(3, 4.0).unwrap(), 1)
             .unwrap()
-            .into_decomposition()];
+            .into_decomposition(),
+    ];
     for (i, d) in decomps.iter().enumerate() {
         let m = mis::solve(&g, d).unwrap();
         assert!(

@@ -1,6 +1,8 @@
 //! Cross-crate comparison of the paper's algorithm against its baselines.
 
-use netdecomp::baselines::{ball_carving, decomposition_via_greedy_coloring, linial_saks, mpx, trivial};
+use netdecomp::baselines::{
+    ball_carving, decomposition_via_greedy_coloring, linial_saks, mpx, trivial,
+};
 use netdecomp::core::{basic, params::DecompositionParams, verify};
 use netdecomp::graph::generators;
 use rand::rngs::StdRng;
@@ -9,9 +11,11 @@ use rand::SeedableRng;
 #[test]
 fn linial_saks_weak_bound_holds_everywhere() {
     let mut rng = StdRng::seed_from_u64(0);
-    let graphs = [generators::gnp(150, 0.04, &mut rng).unwrap(),
+    let graphs = [
+        generators::gnp(150, 0.04, &mut rng).unwrap(),
         generators::grid2d(10, 10),
-        generators::caveman(8, 6).unwrap()];
+        generators::caveman(8, 6).unwrap(),
+    ];
     for (i, g) in graphs.iter().enumerate() {
         for seed in 0..4u64 {
             let p = linial_saks::LinialSaksParams::new(4, 4.0).unwrap();
@@ -90,7 +94,9 @@ fn ball_carving_as_decomposition_is_verifiable() {
     let d = decomposition_via_greedy_coloring(&g, carve.partition, carve.centers);
     let r = verify::verify(&g, &d).unwrap();
     assert!(r.complete && r.clusters_connected && r.supergraph_properly_colored);
-    assert!(r.max_strong_diameter.is_some_and(|diam| diam <= 2 * max_radius));
+    assert!(r
+        .max_strong_diameter
+        .is_some_and(|diam| diam <= 2 * max_radius));
 }
 
 #[test]
@@ -115,12 +121,8 @@ fn en16_and_ls93_comparable_color_counts_at_headline() {
     let g = generators::gnp(n, 6.0 / n as f64, &mut rng).unwrap();
     let k = (n as f64).ln().ceil() as usize;
     let en = basic::decompose(&g, &DecompositionParams::new(k, 4.0).unwrap(), 1).unwrap();
-    let ls = linial_saks::decompose(
-        &g,
-        &linial_saks::LinialSaksParams::new(k, 4.0).unwrap(),
-        1,
-    )
-    .unwrap();
+    let ls = linial_saks::decompose(&g, &linial_saks::LinialSaksParams::new(k, 4.0).unwrap(), 1)
+        .unwrap();
     let en_colors = en.decomposition().block_count();
     let ls_colors = ls.decomposition.block_count();
     assert!(en_colors > 0 && ls_colors > 0);

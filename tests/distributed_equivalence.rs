@@ -1,23 +1,24 @@
 //! The centralized simulation and the message-passing execution are the
 //! same algorithm: bit-identical outputs under equal seeds, across
-//! forwarding modes, with CONGEST budgets respected.
+//! forwarding modes, across sequential and parallel engines, with CONGEST
+//! budgets respected.
 
-use netdecomp::core::distributed::{
-    decompose_distributed, DistributedConfig, Forwarding,
-};
+use netdecomp::core::distributed::{decompose_distributed, DistributedConfig, Forwarding};
 use netdecomp::core::{basic, params::DecompositionParams};
 use netdecomp::graph::generators;
-use netdecomp::sim::CongestLimit;
+use netdecomp::sim::{CongestLimit, Determinism, Engine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 #[test]
 fn central_equals_congest_equals_local_across_graphs() {
     let mut rng = StdRng::seed_from_u64(4);
-    let graphs = [generators::gnp(80, 0.06, &mut rng).unwrap(),
+    let graphs = [
+        generators::gnp(80, 0.06, &mut rng).unwrap(),
         generators::grid2d(8, 9),
         generators::caveman(6, 6).unwrap(),
-        generators::random_tree(70, &mut rng)];
+        generators::random_tree(70, &mut rng),
+    ];
     for (i, g) in graphs.iter().enumerate() {
         for seed in 0..2u64 {
             let p = DecompositionParams::new(3, 4.0).unwrap();
@@ -110,4 +111,70 @@ fn communication_is_deterministic_under_seed() {
     let b = decompose_distributed(&g, &p, 5, &DistributedConfig::default()).unwrap();
     assert_eq!(a.comm, b.comm);
     assert_eq!(a.outcome, b.outcome);
+}
+
+#[test]
+fn parallel_engine_is_bit_identical_across_graphs_and_modes() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let graphs = [
+        generators::gnp(80, 0.06, &mut rng).unwrap(),
+        generators::grid2d(8, 9),
+        generators::caveman(6, 6).unwrap(),
+    ];
+    let p = DecompositionParams::new(3, 4.0).unwrap();
+    for (i, g) in graphs.iter().enumerate() {
+        for seed in 0..2u64 {
+            for forwarding in [Forwarding::TopTwo, Forwarding::Full] {
+                let seq = decompose_distributed(
+                    g,
+                    &p,
+                    seed,
+                    &DistributedConfig {
+                        forwarding,
+                        ..DistributedConfig::default()
+                    },
+                )
+                .unwrap();
+                let par = decompose_distributed(
+                    g,
+                    &p,
+                    seed,
+                    &DistributedConfig {
+                        forwarding,
+                        engine: Engine::Parallel { threads: 4 },
+                        determinism: Determinism::Verify,
+                        ..DistributedConfig::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    seq.outcome, par.outcome,
+                    "graph {i} seed {seed} {forwarding:?}: outcome diverged"
+                );
+                assert_eq!(
+                    seq.comm, par.comm,
+                    "graph {i} seed {seed} {forwarding:?}: stats diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_engine_respects_congest_budget() {
+    let g = generators::grid2d(7, 7);
+    let p = DecompositionParams::new(3, 4.0).unwrap();
+    let run = decompose_distributed(
+        &g,
+        &p,
+        1,
+        &DistributedConfig {
+            forwarding: Forwarding::TopTwo,
+            congest_limit: CongestLimit::PerEdgeBytes(28),
+            engine: Engine::Parallel { threads: 0 },
+            ..DistributedConfig::default()
+        },
+    )
+    .expect("budget holds on the parallel engine too");
+    assert!(run.comm.max_edge_bytes <= 28);
 }

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use netdecomp::apps::{mis, verify as app_verify};
 use netdecomp::core::distributed::{decompose_distributed, DistributedConfig, Forwarding};
 use netdecomp::core::{basic, params::DecompositionParams, verify};
-use netdecomp::graph::{GraphBuilder, Graph};
+use netdecomp::graph::{Graph, GraphBuilder};
 
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     (4usize..=max_n).prop_flat_map(|n| {

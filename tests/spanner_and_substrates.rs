@@ -12,7 +12,8 @@ use rand::SeedableRng;
 fn spanner_from_each_theorem_variant() {
     let mut rng = StdRng::seed_from_u64(3);
     let g = generators::gnp(150, 0.12, &mut rng).unwrap();
-    let decomps = [basic::decompose(&g, &params::DecompositionParams::new(3, 4.0).unwrap(), 2)
+    let decomps = [
+        basic::decompose(&g, &params::DecompositionParams::new(3, 4.0).unwrap(), 2)
             .unwrap()
             .into_decomposition(),
         staged::decompose(&g, &params::StagedParams::new(3, 6.0).unwrap(), 2)
@@ -20,7 +21,8 @@ fn spanner_from_each_theorem_variant() {
             .into_decomposition(),
         high_radius::decompose(&g, &params::HighRadiusParams::new(3, 4.0).unwrap(), 2)
             .unwrap()
-            .into_decomposition()];
+            .into_decomposition(),
+    ];
     for (i, d) in decomps.iter().enumerate() {
         let r = verify::verify(&g, d).unwrap();
         if !r.clusters_connected {

@@ -16,10 +16,7 @@ fn families(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
         }),
         ("cycle", generators::cycle(n)),
         ("tree", generators::random_tree(n, &mut rng)),
-        (
-            "caveman",
-            generators::caveman(n / 8, 8).unwrap(),
-        ),
+        ("caveman", generators::caveman(n / 8, 8).unwrap()),
         ("ba", generators::barabasi_albert(n, 3, &mut rng).unwrap()),
     ]
 }
