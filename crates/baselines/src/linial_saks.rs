@@ -22,7 +22,7 @@ use netdecomp_core::{DecompError, NetworkDecomposition};
 use netdecomp_graph::{bfs, Graph, Partition, VertexId, VertexSet};
 use netdecomp_sim::wire::{WireReader, WireWriter};
 use netdecomp_sim::{
-    Codec, CongestLimit, Ctx, RunStats, Simulator, Typed, TypedOutbox, TypedProtocol,
+    Codec, CongestLimit, Ctx, Engine, RunStats, Simulator, Typed, TypedOutbox, TypedProtocol,
 };
 use serde::Serialize;
 
@@ -331,6 +331,10 @@ impl TypedProtocol for LsNode {
 /// label only if no known label has both a smaller id and at least its
 /// remaining range, so at most `k` labels survive per vertex.
 ///
+/// `engine` selects the simulator's round scheduler; like the
+/// Elkin–Neiman driver, the outcome is bit-identical across every
+/// `(threads, shards)` configuration.
+///
 /// # Errors
 ///
 /// [`DecompError::Simulation`] if `limit` is violated.
@@ -339,6 +343,7 @@ pub fn decompose_distributed(
     params: &LinialSaksParams,
     seed: u64,
     limit: CongestLimit,
+    engine: Engine,
 ) -> Result<(LinialSaksOutcome, RunStats), DecompError> {
     let n = graph.vertex_count();
     let mut alive = VertexSet::full(n);
@@ -362,7 +367,8 @@ pub fn decompose_distributed(
                 known: Vec::new(),
             })
         })
-        .with_limit(limit);
+        .with_limit(limit)
+        .with_engine(engine);
         // Radii are at most k-1, so k engine steps deliver everything.
         comm.merge(&sim.run_rounds(params.k())?);
 
@@ -536,14 +542,23 @@ mod tests {
             for seed in 0..3u64 {
                 let params = LinialSaksParams::new(4, 4.0).unwrap();
                 let central = decompose(g, &params, seed).unwrap();
-                let (dist, comm) =
-                    decompose_distributed(g, &params, seed, CongestLimit::Unlimited).unwrap();
-                assert_eq!(
-                    central.decomposition, dist.decomposition,
-                    "graph {i} seed {seed}"
-                );
-                assert_eq!(central.phases_used, dist.phases_used);
-                assert!(comm.total_messages > 0);
+                for engine in [
+                    Engine::Sequential,
+                    Engine::Parallel {
+                        threads: 2,
+                        shards: 4,
+                    },
+                ] {
+                    let (dist, comm) =
+                        decompose_distributed(g, &params, seed, CongestLimit::Unlimited, engine)
+                            .unwrap();
+                    assert_eq!(
+                        central.decomposition, dist.decomposition,
+                        "graph {i} seed {seed} engine {engine:?}"
+                    );
+                    assert_eq!(central.phases_used, dist.phases_used);
+                    assert!(comm.total_messages > 0);
+                }
             }
         }
     }
@@ -554,8 +569,14 @@ mod tests {
         // per round at most k labels = 8k bytes.
         let g = generators::grid2d(7, 7);
         let params = LinialSaksParams::new(4, 4.0).unwrap();
-        let (_, comm) =
-            decompose_distributed(&g, &params, 2, CongestLimit::PerEdgeBytes(8 * 4)).unwrap();
+        let (_, comm) = decompose_distributed(
+            &g,
+            &params,
+            2,
+            CongestLimit::PerEdgeBytes(8 * 4),
+            Engine::Sequential,
+        )
+        .unwrap();
         assert!(comm.max_edge_bytes <= 32);
     }
 

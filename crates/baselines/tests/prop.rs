@@ -49,6 +49,12 @@ proptest! {
             &p,
             seed,
             netdecomp_sim::CongestLimit::Unlimited,
+            // shards: 0 resolves from NETDECOMP_SHARDS (set by a CI matrix
+            // entry) and falls back to the thread count.
+            netdecomp_sim::Engine::Parallel {
+                threads: 2,
+                shards: 0,
+            },
         )
         .expect("runs");
         prop_assert_eq!(central.decomposition, dist.decomposition);

@@ -27,7 +27,10 @@ fn bench_distributed_vs_central(c: &mut Criterion) {
                 &p,
                 1,
                 &DistributedConfig {
-                    engine: Engine::Parallel { threads: 0 },
+                    engine: Engine::Parallel {
+                        threads: 0,
+                        shards: 0,
+                    },
                     ..DistributedConfig::default()
                 },
             )

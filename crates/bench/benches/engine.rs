@@ -1,10 +1,21 @@
-//! Sequential vs. parallel `Simulator::step` throughput on large graphs.
+//! Sequential vs. sharded-parallel `Simulator::step` throughput on large
+//! graphs, plus a delivery-phase micro-benchmark.
 //!
-//! The workload is carve-shaped: every node broadcasts a 14-byte wire
-//! entry each round and decodes + rank-updates everything it hears, so the
-//! compute phase does real per-message work while delivery stays a
-//! sequential merge. Results (with the machine's available parallelism)
-//! are written to the file named by `NETDECOMP_BENCH_JSON`; the checked-in
+//! Two groups per graph:
+//!
+//! - `engine_step/*` — a carve-shaped workload: every node broadcasts a
+//!   14-byte wire entry each round and decodes + rank-updates everything
+//!   it hears, so compute and delivery both do real work.
+//! - `engine_delivery/*` — a delivery-bound workload: every node
+//!   broadcasts one preencoded payload (a reference-count bump) and
+//!   ignores what it hears, so a step is almost entirely the bucket-sort
+//!   delivery. Variants pin `threads: 1` and sweep the shard count, which
+//!   isolates the *sharding overhead* of the delivery rewrite (on a
+//!   single-CPU box `sharded_1` vs `sequential` is the no-regression
+//!   check; multicore speedups need a multicore re-run, see ROADMAP).
+//!
+//! Results (with the machine's available parallelism) are written to the
+//! file named by `NETDECOMP_BENCH_JSON`; the checked-in
 //! `BENCH_engine.json` at the repo root records one such run.
 //!
 //! ```text
@@ -17,7 +28,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netdecomp_bench::workloads::Family;
 use netdecomp_graph::Graph;
 use netdecomp_sim::wire::{WireReader, WireWriter};
-use netdecomp_sim::{Codec, Ctx, Engine, Simulator, Typed, TypedOutbox, TypedProtocol};
+use netdecomp_sim::{
+    Codec, Ctx, Engine, Incoming, Outbox, Protocol, Simulator, Typed, TypedOutbox, TypedProtocol,
+};
 
 /// A carve-like wire entry: `(origin: u32, score: f64, dist: u16)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,13 +119,42 @@ impl TypedProtocol for Ranker {
     }
 }
 
+/// Delivery-bound steady-state workload: broadcast one shared payload,
+/// read nothing, so stepping is dominated by the delivery bucket sort.
+#[derive(Debug, Clone)]
+struct Pulse {
+    payload: Bytes,
+}
+
+impl Protocol for Pulse {
+    fn start(&mut self, _ctx: &Ctx<'_>, out: &mut Outbox) {
+        out.broadcast(self.payload.clone());
+    }
+
+    fn round(&mut self, _ctx: &Ctx<'_>, _incoming: &[Incoming], out: &mut Outbox) {
+        out.broadcast(self.payload.clone());
+    }
+}
+
 fn bench_graph(c: &mut Criterion, label: &str, g: &Graph) {
     let mut group = c.benchmark_group(format!("engine_step/{label}"));
     group.sample_size(12);
     for (name, engine) in [
         ("sequential", Engine::Sequential),
-        ("parallel_2", Engine::Parallel { threads: 2 }),
-        ("parallel_8", Engine::Parallel { threads: 8 }),
+        (
+            "parallel_2",
+            Engine::Parallel {
+                threads: 2,
+                shards: 2,
+            },
+        ),
+        (
+            "parallel_8",
+            Engine::Parallel {
+                threads: 8,
+                shards: 8,
+            },
+        ),
     ] {
         group.bench_with_input(BenchmarkId::new(name, g.vertex_count()), g, |b, g| {
             let mut sim =
@@ -125,11 +167,61 @@ fn bench_graph(c: &mut Criterion, label: &str, g: &Graph) {
     group.finish();
 }
 
+fn bench_delivery(c: &mut Criterion, label: &str, g: &Graph) {
+    let mut group = c.benchmark_group(format!("engine_delivery/{label}"));
+    group.sample_size(12);
+    let engines = [
+        ("sequential", Engine::Sequential),
+        (
+            "sharded_1",
+            Engine::Parallel {
+                threads: 1,
+                shards: 1,
+            },
+        ),
+        (
+            "sharded_2",
+            Engine::Parallel {
+                threads: 1,
+                shards: 2,
+            },
+        ),
+        (
+            "sharded_4",
+            Engine::Parallel {
+                threads: 1,
+                shards: 4,
+            },
+        ),
+        (
+            "sharded_8",
+            Engine::Parallel {
+                threads: 1,
+                shards: 8,
+            },
+        ),
+    ];
+    for (name, engine) in engines {
+        group.bench_with_input(BenchmarkId::new(name, g.vertex_count()), g, |b, g| {
+            let payload = Bytes::from_static(&[7u8; 14]);
+            let mut sim = Simulator::new(g, |_, _| Pulse {
+                payload: payload.clone(),
+            })
+            .with_engine(engine);
+            sim.step().unwrap();
+            b.iter(|| sim.step().unwrap());
+        });
+    }
+    group.finish();
+}
+
 fn bench_engines(c: &mut Criterion) {
     let gnp = Family::Gnp { avg_degree: 8.0 }.build(50_000, 42);
     bench_graph(c, "gnp_50k", &gnp);
+    bench_delivery(c, "gnp_50k", &gnp);
     let grid = netdecomp_graph::generators::grid2d(300, 300);
     bench_graph(c, "grid2d_300x300", &grid);
+    bench_delivery(c, "grid2d_300x300", &grid);
 }
 
 criterion_group!(benches, bench_engines);

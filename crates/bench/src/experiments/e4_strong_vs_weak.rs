@@ -153,9 +153,14 @@ pub fn run(effort: Effort) -> Vec<Table> {
             en.comm.rounds.to_string(),
         ]);
         let ls_params = LinialSaksParams::new(k, 4.0).expect("valid");
-        let (_, ls_comm) =
-            linial_saks::decompose_distributed(&g, &ls_params, 0, CongestLimit::Unlimited)
-                .expect("ls run");
+        let (_, ls_comm) = linial_saks::decompose_distributed(
+            &g,
+            &ls_params,
+            0,
+            CongestLimit::Unlimited,
+            netdecomp_sim::Engine::Sequential,
+        )
+        .expect("ls run");
         comm_table.push_row(vec![
             "LS93".into(),
             n.to_string(),

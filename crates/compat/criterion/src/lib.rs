@@ -11,7 +11,10 @@
 //! stdout; when the `NETDECOMP_BENCH_JSON` environment variable names a
 //! file, a JSON array of `{group, bench, median_ns, mean_ns, samples,
 //! iters_per_sample}` records is also written so runs can be checked in as
-//! artifacts.
+//! artifacts. The JSON header records the box's `available_parallelism`,
+//! and `NETDECOMP_BENCH_NOTE` (if set) is copied into a `note` field —
+//! use it to flag runs whose environment limits what they can show (e.g.
+//! a single-CPU container that can only measure overhead, not speedup).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,7 +63,17 @@ impl Criterion {
             return;
         };
         let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        let mut out = format!("{{\n  \"available_parallelism\": {threads},\n  \"results\": [\n");
+        let mut out = format!("{{\n  \"available_parallelism\": {threads},\n");
+        if let Ok(note) = std::env::var("NETDECOMP_BENCH_NOTE") {
+            // Keep the writer dependency-free: drop the characters that
+            // would need escaping inside a JSON string literal.
+            let escaped: String = note
+                .chars()
+                .filter(|c| *c != '"' && *c != '\\' && !c.is_control())
+                .collect();
+            out.push_str(&format!("  \"note\": \"{escaped}\",\n"));
+        }
+        out.push_str("  \"results\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             if i > 0 {
                 out.push_str(",\n");

@@ -3,15 +3,23 @@
 //! The build environment has no crates.io access, so this workspace vendors
 //! the data-parallel surface `netdecomp-sim` uses: `par_iter_mut` over
 //! slices with `zip` / `enumerate` / `for_each`, [`current_num_threads`],
-//! and [`ThreadPoolBuilder`] + [`ThreadPool::install`] for scoped thread
-//! counts.
+//! [`ThreadPoolBuilder`] + [`ThreadPool::install`] for scoped thread
+//! counts, and [`ThreadPool::broadcast`] for running one closure instance
+//! per pool thread.
 //!
 //! Execution model: fork–join over `std::thread::scope`, splitting the
 //! iterator into one contiguous chunk per thread. There is no work
-//! stealing and no persistent pool — threads are spawned per `for_each`
-//! call — so this shim suits coarse round-granularity parallelism, not
+//! stealing and no persistent pool — `for_each` spawns threads per call —
+//! so this shim suits coarse round-granularity parallelism, not
 //! fine-grained task graphs. With one available thread it degrades to a
 //! plain sequential loop with zero spawn overhead.
+//!
+//! [`ThreadPool::broadcast`] is the one-spawn-per-step primitive: a caller
+//! that needs several barrier-separated parallel phases over the same data
+//! runs them all inside a single `broadcast` (one scoped thread set),
+//! instead of paying one thread spawn per phase via repeated `for_each`
+//! calls. Its surface matches real rayon's `ThreadPool::broadcast`, so a
+//! future swap to the real crate is drop-in.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -97,6 +105,88 @@ impl ThreadPool {
         }
         let _reset = Reset(prev);
         op()
+    }
+
+    /// The thread count `broadcast` (and an installed `for_each`) resolves
+    /// to: the explicit `num_threads`, or the ambient default for `0`.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
+
+    /// Executes `op` once on every thread of the pool, concurrently, and
+    /// returns the per-thread results in index order (mirrors real rayon's
+    /// `ThreadPool::broadcast`).
+    ///
+    /// All instances run at the same time on distinct threads, so `op` may
+    /// coordinate through a [`std::sync::Barrier`] sized to
+    /// [`ThreadPool::current_num_threads`]. This makes one `broadcast` the
+    /// cheapest way to run several barrier-separated parallel phases with a
+    /// single thread-spawn set; with the real rayon crate the same call
+    /// reuses the pool's persistent workers and spawns nothing at all.
+    pub fn broadcast<OP, R>(&self, op: OP) -> Vec<R>
+    where
+        OP: Fn(BroadcastContext<'_>) -> R + Sync,
+        R: Send,
+    {
+        let threads = self.current_num_threads();
+        let run = |index: usize| {
+            // Pin the ambient thread count so nested `for_each` calls see
+            // the pool size, as they would on a real rayon worker.
+            self.install(|| {
+                op(BroadcastContext {
+                    index,
+                    num_threads: threads,
+                    _scope: std::marker::PhantomData,
+                })
+            })
+        };
+        if threads <= 1 {
+            return vec![run(0)];
+        }
+        let mut results: Vec<Option<R>> = Vec::new();
+        results.resize_with(threads, || None);
+        let (last, rest) = results
+            .split_last_mut()
+            .expect("threads >= 2 slots allocated");
+        std::thread::scope(|scope| {
+            for (index, slot) in rest.iter_mut().enumerate() {
+                let run = &run;
+                scope.spawn(move || *slot = Some(run(index)));
+            }
+            // The final instance runs on the calling thread.
+            *last = Some(run(threads - 1));
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every broadcast instance ran"))
+            .collect()
+    }
+}
+
+/// Per-instance information handed to [`ThreadPool::broadcast`] closures.
+#[derive(Debug)]
+pub struct BroadcastContext<'a> {
+    index: usize,
+    num_threads: usize,
+    _scope: std::marker::PhantomData<&'a ()>,
+}
+
+impl BroadcastContext<'_> {
+    /// The index of this instance in `0..num_threads`.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The number of concurrently running instances.
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
     }
 }
 
@@ -377,6 +467,44 @@ mod tests {
             total.load(Ordering::Relaxed),
             (0..10_000).sum::<u64>() as usize
         );
+    }
+
+    #[test]
+    fn broadcast_runs_once_per_thread_in_index_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let indices = pool.broadcast(|ctx| {
+            assert_eq!(ctx.num_threads(), 4);
+            assert_eq!(current_num_threads(), 4);
+            ctx.index()
+        });
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn broadcast_instances_run_concurrently_and_support_barriers() {
+        // The engine runs barrier-separated phases inside one broadcast;
+        // this deadlocks unless all instances are live simultaneously.
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let barrier = std::sync::Barrier::new(3);
+        let phase_one = AtomicUsize::new(0);
+        let results = pool.broadcast(|_| {
+            phase_one.fetch_add(1, Ordering::SeqCst);
+            barrier.wait();
+            // Every instance observes all phase-one effects after the wait.
+            phase_one.load(Ordering::SeqCst)
+        });
+        assert_eq!(results, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn broadcast_with_one_thread_runs_on_caller() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let caller = std::thread::current().id();
+        let ids = pool.broadcast(|ctx| {
+            assert_eq!(ctx.num_threads(), 1);
+            std::thread::current().id()
+        });
+        assert_eq!(ids, vec![caller]);
     }
 
     #[test]

@@ -11,11 +11,12 @@
 //! [`RunStats`] — is communication volume.
 //!
 //! Messages are typed ([`Entry`]) and cross the wire through an
-//! [`EntryCodec`]: encoded once per send, decoded once per receipt. The
-//! compute phase can run on the simulator's parallel engine
-//! ([`DistributedConfig::engine`]); decisions are bit-identical across
-//! engines, and [`DistributedConfig::determinism`] can make the simulator
-//! verify that per round.
+//! [`EntryCodec`]: encoded once per send, decoded once per receipt. Rounds
+//! can run on the simulator's sharded parallel engine — compute *and*
+//! delivery ([`DistributedConfig::engine`]); decisions are bit-identical
+//! across every `(threads, shards)` configuration, and
+//! [`DistributedConfig::determinism`] can make the simulator verify that
+//! per round.
 
 use bytes::Bytes;
 use netdecomp_graph::{Graph, VertexId, VertexSet};
@@ -53,7 +54,8 @@ pub struct DistributedConfig {
     pub congest_limit: CongestLimit,
     /// Budget policy, as in the centralized driver.
     pub policy: BudgetPolicy,
-    /// Compute-phase scheduler for the underlying simulator.
+    /// Round scheduler (worker threads × delivery shards) for the
+    /// underlying simulator.
     pub engine: Engine,
     /// Whether the simulator cross-checks parallel rounds against a
     /// sequential reference ([`Determinism::Verify`]).
@@ -534,7 +536,10 @@ mod tests {
                 &params,
                 seed,
                 &DistributedConfig {
-                    engine: Engine::Parallel { threads: 4 },
+                    engine: Engine::Parallel {
+                        threads: 4,
+                        shards: 3,
+                    },
                     determinism: Determinism::Verify,
                     ..DistributedConfig::default()
                 },

@@ -70,6 +70,12 @@ impl<C: Codec> TypedOutbox<'_, C> {
         self.raw.unicast(to, C::encode(msg));
     }
 
+    /// Encodes `msg` once and queues one copy per listed neighbor; all
+    /// copies share the one encoding.
+    pub fn multicast(&mut self, to: Vec<VertexId>, msg: &C::Msg) {
+        self.raw.multicast(to, C::encode(msg));
+    }
+
     /// Encodes `msg` once and queues it along every incident edge; all
     /// recipients share the one encoding.
     pub fn broadcast(&mut self, msg: &C::Msg) {

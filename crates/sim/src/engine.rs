@@ -1,26 +1,44 @@
-//! The synchronous round engine: parallel compute, sequential merge.
+//! The synchronous round engine: sharded parallel compute *and* delivery.
 //!
-//! Each [`Simulator::step`] runs two phases:
+//! Each [`Simulator::step`] runs three phases over a fixed
+//! [`ShardPlan`] — every shard owns a contiguous vertex range, the outboxes
+//! and inbox slice of those vertices, and the CONGEST counters of the
+//! directed-edge slots leaving them (see the [`crate::shard`] module docs
+//! for the full ownership invariant):
 //!
 //! 1. **Compute** — every node consumes its delivered messages and fills
-//!    its preallocated [`Outbox`]. Nodes are independent within a round,
-//!    so with [`Engine::Parallel`] this phase runs `par_iter_mut` over the
-//!    node array; each node touches only its own state and outbox slot.
-//! 2. **Deliver (sequential merge)** — outboxes are merged in sender-id
-//!    order into one flat, CSR-aligned inbox buffer, with CONGEST byte
-//!    accounting kept in a flat `Vec<usize>` indexed by the graph's
-//!    directed-edge slots ([`netdecomp_graph::Graph::edge_slot`]). Payloads
-//!    are reference-counted [`bytes::Bytes`], so a broadcast is encoded
-//!    once and never copied per recipient.
+//!    its preallocated [`Outbox`]. A shard computes only its own nodes and
+//!    writes only its own outbox chunk.
+//! 2. **Account** (sender side) — each shard validates addressing and
+//!    charges per-edge byte budgets for the messages *its own* vertices
+//!    sent. Edge slots are sender-owned and contiguous per shard, so there
+//!    is no counter merge.
+//! 3. **Place** (recipient side) — each shard bucket-sorts the messages
+//!    addressed *to its own* vertices (unicast, multicast, and broadcast
+//!    alike) from all outboxes into its own CSR inbox slice.
 //!
-//! Because the merge order is fixed (sender id, then send order, then
-//! adjacency order for broadcasts), the engine is deterministic regardless
-//! of how the compute phase is scheduled; [`Determinism::Verify`] checks
-//! this per round against a sequential reference execution.
+//! Under [`Engine::Parallel`] all three phases run on all shards
+//! concurrently inside a **single** [`rayon::ThreadPool::broadcast`] per
+//! step, with a barrier between phases — one scoped thread set per round,
+//! not one per phase. Only the per-shard [`RoundStats`] are merged at the
+//! end. [`Engine::Sequential`] (and a parallelism of one) runs the same
+//! phases inline with zero spawn overhead.
+//!
+//! Because each shard scans senders in id order, per-recipient delivery
+//! order is (sender id, send order, adjacency order for broadcasts) —
+//! independent of both thread scheduling and the shard count, so results
+//! are bit-identical across every `(threads, shards)` configuration for
+//! any deterministic protocol. [`Determinism::Verify`] checks this per
+//! round against a sequential reference for *both* phases: reference
+//! compute on cloned nodes, and a reference single-buffer merge
+//! cross-checked against the sharded delivery.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, RwLock};
 
 use netdecomp_graph::{Graph, VertexId};
-use rayon::prelude::*;
 
+use crate::shard::{DeliveryShard, ShardPlan};
 use crate::{CongestLimit, Incoming, Outbox, Recipient, RoundStats, RunStats, SimError};
 
 /// Read-only view a node gets of its place in the network.
@@ -77,31 +95,155 @@ pub trait Protocol {
     }
 }
 
-/// How the compute phase is scheduled.
+/// How rounds are scheduled across threads and shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
-    /// One node at a time, in id order, on the calling thread.
+    /// One shard, one thread: every phase runs in id order on the calling
+    /// thread with no scheduling overhead at all.
     #[default]
     Sequential,
-    /// Nodes split across threads (`0` = use all available). Delivery is
-    /// still a sequential merge, so results are bit-identical to
-    /// [`Engine::Sequential`] for any deterministic protocol.
+    /// Vertices are split into `shards` contiguous recipient ranges and
+    /// every phase (compute, CONGEST accounting, *and* delivery placement)
+    /// runs per shard across `threads` workers. Results are bit-identical
+    /// to [`Engine::Sequential`] for any deterministic protocol, for every
+    /// `(threads, shards)` combination.
     Parallel {
         /// Worker thread count; `0` picks the machine's parallelism.
         threads: usize,
+        /// Shard count; `0` reads the `NETDECOMP_SHARDS` environment
+        /// variable and falls back to the resolved thread count. Clamped
+        /// to `1..=n` at simulator construction.
+        shards: usize,
     },
 }
 
-/// Whether to double-check parallel compute against a sequential reference.
+/// Shard count requested through the environment (`NETDECOMP_SHARDS`).
+fn env_shards() -> Option<usize> {
+    let raw = std::env::var("NETDECOMP_SHARDS").ok()?;
+    raw.trim().parse().ok().filter(|&s| s > 0)
+}
+
+impl Engine {
+    /// Resolves the configuration to concrete `(threads, shards)` counts.
+    fn resolve(self) -> (usize, usize) {
+        match self {
+            Engine::Sequential => (1, 1),
+            Engine::Parallel { threads, shards } => {
+                let threads = if threads == 0 {
+                    rayon::current_num_threads()
+                } else {
+                    threads
+                };
+                let shards = if shards == 0 {
+                    env_shards().unwrap_or(threads)
+                } else {
+                    shards
+                };
+                (threads, shards)
+            }
+        }
+    }
+}
+
+/// Whether to double-check sharded parallel rounds against a sequential
+/// reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Determinism {
     /// Trust the protocol to be deterministic (no overhead).
     #[default]
     Trust,
-    /// Re-run each round's compute phase sequentially on cloned nodes and
-    /// require bit-identical outboxes ([`SimError::Nondeterminism`]
-    /// otherwise). Roughly doubles compute cost; meant for tests.
+    /// Re-run each round sequentially — compute on cloned nodes, delivery
+    /// as a single-buffer reference merge — and require bit-identical
+    /// outboxes *and* inboxes ([`SimError::Nondeterminism`] otherwise).
+    /// Roughly doubles round cost; meant for tests.
     Verify,
+}
+
+/// A phase barrier that *poisons* instead of deadlocking: if any worker
+/// panics between phases (its [`PoisonOnPanic`] guard fires during
+/// unwinding), every other worker blocked here panics out too, so the
+/// scoped thread set joins and the original panic propagates — matching
+/// the panic behavior of an unsharded round.
+struct PhaseBarrier {
+    members: usize,
+    state: Mutex<PhaseBarrierState>,
+    cv: Condvar,
+}
+
+struct PhaseBarrierState {
+    generation: u64,
+    waiting: usize,
+    poisoned: bool,
+}
+
+impl PhaseBarrier {
+    fn new(members: usize) -> Self {
+        PhaseBarrier {
+            members,
+            state: Mutex::new(PhaseBarrierState {
+                generation: 0,
+                waiting: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all members arrive (or any member poisons the
+    /// barrier, which panics every waiter).
+    fn wait(&self) {
+        let mut state = self.state.lock().expect("phase barrier lock");
+        assert!(!state.poisoned, "a worker panicked during a sharded round");
+        state.waiting += 1;
+        if state.waiting == self.members {
+            state.waiting = 0;
+            state.generation += 1;
+            self.cv.notify_all();
+            return;
+        }
+        let generation = state.generation;
+        while state.generation == generation && !state.poisoned {
+            state = self.cv.wait(state).expect("phase barrier lock");
+        }
+        let poisoned = state.poisoned;
+        drop(state);
+        assert!(!poisoned, "a worker panicked during a sharded round");
+    }
+
+    fn poison(&self) {
+        let mut state = match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Arms a worker so that unwinding (a protocol panic) releases everyone
+/// else from the barrier before the panic leaves the broadcast closure.
+struct PoisonOnPanic<'a>(&'a PhaseBarrier);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+/// One shard's share of a round: its delivery state plus the node states
+/// of its vertex range.
+struct ShardSlot<'a, P> {
+    /// Global shard index (also indexes the outbox chunk array).
+    index: usize,
+    shard: &'a mut DeliveryShard,
+    nodes: &'a mut [P],
+}
+
+/// The contiguous group of shards one broadcast worker executes.
+struct WorkerTask<'a, P> {
+    slots: Vec<ShardSlot<'a, P>>,
 }
 
 /// Synchronous simulator executing one [`Protocol`] instance per vertex.
@@ -111,101 +253,142 @@ pub enum Determinism {
 pub struct Simulator<'g, P> {
     graph: &'g Graph,
     nodes: Vec<P>,
-    /// One preallocated outbox per node, reused across rounds.
-    outboxes: Vec<Outbox>,
-    /// Messages pending delivery, grouped by recipient (CSR layout with
-    /// [`Simulator::inbox_offsets`]).
-    inbox_data: Vec<Incoming>,
-    /// `n + 1` offsets into [`Simulator::inbox_data`].
-    inbox_offsets: Vec<usize>,
-    /// Per-directed-edge bytes sent this round, indexed by edge slot.
-    edge_bytes: Vec<usize>,
-    /// Edge slots dirtied this round (sparse reset of `edge_bytes`).
-    touched: Vec<usize>,
-    /// Scratch: per-recipient counts, then scatter cursors.
-    scratch: Vec<usize>,
+    /// The recipient-range partition driving both phases.
+    plan: ShardPlan,
+    /// Preallocated outboxes, chunked by shard. Written only by the owning
+    /// shard (compute), read by all shards after a barrier (delivery).
+    outboxes: Vec<RwLock<Vec<Outbox>>>,
+    /// Per-shard delivery state (inbox slice, counters, stats).
+    shards: Vec<DeliveryShard>,
     limit: CongestLimit,
     engine: Engine,
-    /// Worker pool backing [`Engine::Parallel`], built once in
-    /// [`Simulator::with_engine`] rather than per round.
+    /// Concurrent workers a step uses: `min(threads, shards)`.
+    workers: usize,
+    /// Worker pool backing parallel steps, built once in
+    /// [`Simulator::with_engine`]; one `broadcast` (one scoped thread set)
+    /// per step.
     pool: Option<rayon::ThreadPool>,
     stats: RunStats,
     round: usize,
     started: bool,
 }
 
-/// Runs the compute phase for one round over split-out simulator fields
-/// (also used by verified stepping to drive a cloned reference, which
-/// passes `pool: None` for the sequential path).
-fn compute_phase<P: Protocol + Send>(
+/// Runs the compute phase for one shard's vertex range: each node consumes
+/// its slice of the shard-owned inbox and refills its preallocated outbox.
+fn compute_shard<P: Protocol>(
     graph: &Graph,
     started: bool,
-    inbox_data: &[Incoming],
-    inbox_offsets: &[usize],
+    shard: &DeliveryShard,
     nodes: &mut [P],
     outboxes: &mut [Outbox],
-    pool: Option<&rayon::ThreadPool>,
 ) {
     let n = graph.vertex_count();
-    let run_node = |id: usize, node: &mut P, out: &mut Outbox| {
+    for (i, (node, out)) in nodes.iter_mut().zip(outboxes.iter_mut()).enumerate() {
+        let id = shard.start() + i;
         out.clear();
         let ctx = Ctx { id, n, graph };
         if started {
-            let incoming = &inbox_data[inbox_offsets[id]..inbox_offsets[id + 1]];
-            node.round(&ctx, incoming, out);
+            node.round(&ctx, shard.incoming(i), out);
         } else {
             node.start(&ctx, out);
         }
-    };
-    match pool {
-        None => {
-            for (id, (node, out)) in nodes.iter_mut().zip(outboxes.iter_mut()).enumerate() {
-                run_node(id, node, out);
-            }
-        }
-        Some(pool) => pool.install(|| {
-            nodes
-                .par_iter_mut()
-                .zip(outboxes.par_iter_mut())
-                .enumerate()
-                .for_each(|(id, (node, out))| run_node(id, node, out));
-        }),
     }
 }
 
-/// Accounts one delivered message on a directed-edge slot.
-#[allow(clippy::too_many_arguments)]
-fn account(
-    edge_bytes: &mut [usize],
-    touched: &mut Vec<usize>,
+/// The sequential single-buffer merge, kept as the reference
+/// implementation [`Determinism::Verify`] cross-checks sharded delivery
+/// against: one global CSR inbox built in two passes over all outboxes in
+/// sender-id order, with flat per-edge-slot accounting.
+fn deliver_reference(
+    graph: &Graph,
     limit: CongestLimit,
     round: usize,
-    slot: usize,
-    from: VertexId,
-    to: VertexId,
-    len: usize,
-    stats: &mut RoundStats,
-) -> Result<(), SimError> {
-    let bytes = &mut edge_bytes[slot];
-    if *bytes == 0 {
-        touched.push(slot);
-    }
-    *bytes += len;
-    if let CongestLimit::PerEdgeBytes(limit) = limit {
-        if *bytes > limit {
-            return Err(SimError::CongestViolation {
-                from,
-                to,
-                bytes: *bytes,
-                limit,
-                round,
-            });
+    outboxes: &[Outbox],
+) -> Result<(Vec<usize>, Vec<Incoming>, RoundStats), SimError> {
+    let n = graph.vertex_count();
+    let mut stats = RoundStats {
+        round,
+        ..RoundStats::default()
+    };
+    let mut edge_bytes = vec![0usize; graph.directed_edge_count()];
+    let mut counts = vec![0usize; n];
+    let mut charge = |slot: usize, from: VertexId, to: VertexId, len: usize| {
+        let bytes = &mut edge_bytes[slot];
+        *bytes += len;
+        if let CongestLimit::PerEdgeBytes(limit) = limit {
+            if *bytes > limit {
+                return Err(SimError::CongestViolation {
+                    from,
+                    to,
+                    bytes: *bytes,
+                    limit,
+                    round,
+                });
+            }
+        }
+        stats.messages += 1;
+        stats.bytes += len;
+        stats.max_edge_bytes = stats.max_edge_bytes.max(*bytes);
+        counts[to] += 1;
+        Ok(())
+    };
+    for (from, out) in outboxes.iter().enumerate() {
+        for msg in out.messages() {
+            let len = msg.payload.len();
+            match &msg.to {
+                Recipient::Neighbor(to) => {
+                    let slot = graph
+                        .edge_slot(from, *to)
+                        .ok_or(SimError::NotNeighbor { from, to: *to })?;
+                    charge(slot, from, *to, len)?;
+                }
+                Recipient::Neighbors(targets) => {
+                    for &to in targets {
+                        let slot = graph
+                            .edge_slot(from, to)
+                            .ok_or(SimError::NotNeighbor { from, to })?;
+                        charge(slot, from, to, len)?;
+                    }
+                }
+                Recipient::AllNeighbors => {
+                    for slot in graph.neighbor_slots(from) {
+                        charge(slot, from, graph.slot_target(slot), len)?;
+                    }
+                }
+            }
         }
     }
-    stats.messages += 1;
-    stats.bytes += len;
-    stats.max_edge_bytes = stats.max_edge_bytes.max(*bytes);
-    Ok(())
+    let mut offsets = vec![0usize; n + 1];
+    for v in 0..n {
+        offsets[v + 1] = offsets[v] + counts[v];
+    }
+    let mut data = vec![Incoming::default(); offsets[n]];
+    let mut cursors = offsets[..n].to_vec();
+    let mut deposit = |to: usize, from: usize, payload: &bytes::Bytes| {
+        data[cursors[to]] = Incoming {
+            from,
+            payload: payload.clone(),
+        };
+        cursors[to] += 1;
+    };
+    for (from, out) in outboxes.iter().enumerate() {
+        for msg in out.messages() {
+            match &msg.to {
+                Recipient::Neighbor(to) => deposit(*to, from, &msg.payload),
+                Recipient::Neighbors(targets) => {
+                    for &to in targets {
+                        deposit(to, from, &msg.payload);
+                    }
+                }
+                Recipient::AllNeighbors => {
+                    for slot in graph.neighbor_slots(from) {
+                        deposit(graph.slot_target(slot), from, &msg.payload);
+                    }
+                }
+            }
+        }
+    }
+    Ok((offsets, data, stats))
 }
 
 impl<'g, P: Protocol> Simulator<'g, P> {
@@ -225,14 +408,12 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         Simulator {
             graph,
             nodes,
-            outboxes: vec![Outbox::new(); n],
-            inbox_data: Vec::new(),
-            inbox_offsets: vec![0; n + 1],
-            edge_bytes: vec![0; graph.directed_edge_count()],
-            touched: Vec::new(),
-            scratch: vec![0; n],
+            plan: ShardPlan::single(n),
+            outboxes: vec![RwLock::new(vec![Outbox::new(); n])],
+            shards: vec![DeliveryShard::new(graph, 0, n)],
             limit: CongestLimit::Unlimited,
             engine: Engine::Sequential,
+            workers: 1,
             pool: None,
             stats: RunStats::default(),
             round: 0,
@@ -247,33 +428,78 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         self
     }
 
-    /// Selects the compute-phase scheduler. Builder-style.
+    /// Selects the round scheduler. Builder-style.
     ///
-    /// [`Engine::Parallel`] builds its worker-pool handle here, once, so
-    /// per-step dispatch is just `pool.install`. Note the *vendored* rayon
-    /// shim backing this workspace has no persistent workers — it spawns
-    /// scoped threads inside each `for_each` — so per-round thread-spawn
-    /// cost remains until a real pool lands (see ROADMAP "Open items");
-    /// with the real rayon crate this hoisting makes stepping spawn-free.
+    /// Resolves the engine's `(threads, shards)` request (consulting
+    /// `NETDECOMP_SHARDS` for an unspecified shard count), rebuilds the
+    /// degree-balanced [`ShardPlan`], redistributes any pending state, and
+    /// builds the worker-pool handle once, so each step's dispatch is a
+    /// single `broadcast` on an existing pool. Note the *vendored* rayon
+    /// shim backing this workspace has no persistent workers — a broadcast
+    /// spawns one scoped thread set — so parallel stepping costs one spawn
+    /// set per round (not one per phase) until a real pool lands (see
+    /// ROADMAP "Open items"); with the real rayon crate the same call
+    /// reuses persistent workers and stepping becomes spawn-free.
     #[must_use]
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
-        self.pool = match engine {
-            Engine::Sequential => None,
-            Engine::Parallel { threads } => Some(
-                rayon::ThreadPoolBuilder::new()
-                    .num_threads(threads)
-                    .build()
-                    .expect("pool construction is infallible"),
-            ),
-        };
+        let (threads, shards) = engine.resolve();
+        self.reshard(ShardPlan::degree_balanced(self.graph, shards));
+        self.workers = threads.min(self.plan.count()).max(1);
+        self.pool = (self.workers > 1).then(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.workers)
+                .build()
+                .expect("pool construction is infallible")
+        });
         self
     }
 
-    /// The configured compute-phase scheduler.
+    /// Re-partitions all per-shard state under `plan`, preserving pending
+    /// (undelivered) messages and outbox buffers.
+    fn reshard(&mut self, plan: ShardPlan) {
+        if plan == self.plan {
+            return;
+        }
+        let mut flat: Vec<Outbox> = Vec::with_capacity(self.nodes.len());
+        for chunk in self.outboxes.drain(..) {
+            flat.extend(chunk.into_inner().expect("no poisoned outbox chunk"));
+        }
+        let old = std::mem::take(&mut self.shards);
+        self.shards = (0..plan.count())
+            .map(|k| {
+                let r = plan.range(k);
+                DeliveryShard::new(self.graph, r.start, r.end)
+            })
+            .collect();
+        // Vertices ascend across old shards, and each new shard's range is
+        // contiguous, so a single in-order sweep rebuilds every local CSR.
+        for shard in &old {
+            for local in 0..shard.len() {
+                let v = shard.start() + local;
+                let new = &mut self.shards[plan.shard_of(v)];
+                new.inbox.extend_from_slice(shard.incoming(local));
+                let (base, filled) = (new.start(), new.inbox.len());
+                new.offsets[v - base + 1] = filled;
+            }
+        }
+        let mut rest = flat.into_iter();
+        self.outboxes = (0..plan.count())
+            .map(|k| RwLock::new(rest.by_ref().take(plan.range(k).len()).collect()))
+            .collect();
+        self.plan = plan;
+    }
+
+    /// The configured round scheduler.
     #[must_use]
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// The resolved recipient-range partition delivery runs over.
+    #[must_use]
+    pub fn shard_plan(&self) -> &ShardPlan {
+        &self.plan
     }
 
     /// The underlying graph.
@@ -309,154 +535,149 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// `true` when all nodes are halted and no message is in flight.
     #[must_use]
     pub fn is_quiescent(&self) -> bool {
-        self.nodes.iter().all(Protocol::is_halted) && self.inbox_data.is_empty()
+        self.nodes.iter().all(Protocol::is_halted) && self.shards.iter().all(|s| s.inbox.is_empty())
     }
 
-    /// Worker threads the configured [`Engine`] resolves to right now.
-    fn thread_count(&self) -> usize {
-        match self.engine {
-            Engine::Sequential => 1,
-            Engine::Parallel { threads: 0 } => rayon::current_num_threads(),
-            Engine::Parallel { threads } => threads,
+    /// Surfaces the round's first error (lowest shard, i.e. lowest sender
+    /// id — matching a sequential sender-order scan) or commits the round
+    /// by merging all per-shard stats.
+    fn finish_round(&mut self) -> Result<RoundStats, SimError> {
+        if let Some(e) = self.shards.iter().find_map(|s| s.error.clone()) {
+            return Err(e);
         }
-    }
-
-    /// Merges all outboxes into the flat inbox buffer for the next round,
-    /// enforcing CONGEST budgets on the way.
-    ///
-    /// Two passes in sender-id order: (1) validate addressing, account
-    /// per-edge bytes, count messages per recipient; (2) prefix-sum the
-    /// counts into CSR offsets and scatter. Per-recipient message order is
-    /// therefore (sender id, send order) — independent of compute-phase
-    /// scheduling.
-    fn deliver(&mut self) -> Result<RoundStats, SimError> {
-        let n = self.graph.vertex_count();
-        let mut round_stats = RoundStats {
+        let mut merged = RoundStats {
             round: self.round,
             ..RoundStats::default()
         };
-
-        // Sparse reset of the per-edge byte counters from last round.
-        for &slot in &self.touched {
-            self.edge_bytes[slot] = 0;
+        for shard in &self.shards {
+            merged.messages += shard.stats.messages;
+            merged.bytes += shard.stats.bytes;
+            merged.max_edge_bytes = merged.max_edge_bytes.max(shard.stats.max_edge_bytes);
         }
-        self.touched.clear();
-
-        // Pass 1: validate + account + count.
-        self.scratch.fill(0);
-        for from in 0..n {
-            for msg in self.outboxes[from].messages() {
-                let len = msg.payload.len();
-                match msg.to {
-                    Recipient::Neighbor(to) => {
-                        let slot = self
-                            .graph
-                            .edge_slot(from, to)
-                            .ok_or(SimError::NotNeighbor { from, to })?;
-                        account(
-                            &mut self.edge_bytes,
-                            &mut self.touched,
-                            self.limit,
-                            self.round,
-                            slot,
-                            from,
-                            to,
-                            len,
-                            &mut round_stats,
-                        )?;
-                        self.scratch[to] += 1;
-                    }
-                    Recipient::AllNeighbors => {
-                        for slot in self.graph.neighbor_slots(from) {
-                            let to = self.graph.slot_target(slot);
-                            account(
-                                &mut self.edge_bytes,
-                                &mut self.touched,
-                                self.limit,
-                                self.round,
-                                slot,
-                                from,
-                                to,
-                                len,
-                                &mut round_stats,
-                            )?;
-                            self.scratch[to] += 1;
-                        }
-                    }
-                }
-            }
-        }
-
-        // Prefix sums: scratch (counts) -> inbox_offsets.
-        self.inbox_offsets[0] = 0;
-        for v in 0..n {
-            self.inbox_offsets[v + 1] = self.inbox_offsets[v] + self.scratch[v];
-        }
-        let total = self.inbox_offsets[n];
-        self.inbox_data.clear();
-        self.inbox_data.resize(total, Incoming::default());
-
-        // Pass 2: scatter, reusing scratch as per-recipient cursors.
-        self.scratch.copy_from_slice(&self.inbox_offsets[..n]);
-        for from in 0..n {
-            for msg in self.outboxes[from].messages() {
-                match msg.to {
-                    Recipient::Neighbor(to) => {
-                        let cursor = &mut self.scratch[to];
-                        self.inbox_data[*cursor] = Incoming {
-                            from,
-                            payload: msg.payload.clone(),
-                        };
-                        *cursor += 1;
-                    }
-                    Recipient::AllNeighbors => {
-                        for slot in self.graph.neighbor_slots(from) {
-                            let to = self.graph.slot_target(slot);
-                            let cursor = &mut self.scratch[to];
-                            self.inbox_data[*cursor] = Incoming {
-                                from,
-                                payload: msg.payload.clone(),
-                            };
-                            *cursor += 1;
-                        }
-                    }
-                }
-            }
-        }
-
-        Ok(round_stats)
-    }
-
-    /// Commits one computed-and-delivered round.
-    fn commit(&mut self, round_stats: RoundStats) -> RoundStats {
         self.round += 1;
-        self.stats.absorb(round_stats);
-        round_stats
+        self.stats.absorb(merged);
+        Ok(merged)
     }
 }
 
 impl<P: Protocol + Send> Simulator<'_, P> {
-    /// Executes one synchronous round: let every node compute (in parallel
-    /// under [`Engine::Parallel`]), then merge and queue its outgoing
-    /// messages for the next round.
+    /// Runs one round's three phases over all shards, leaving results and
+    /// any error in the per-shard state (surfaced by `finish_round`).
+    fn execute_round(&mut self) {
+        if self.workers > 1 {
+            self.execute_round_broadcast();
+        } else {
+            self.execute_round_inline();
+        }
+        self.started = true;
+    }
+
+    /// All phases inline on the calling thread, shard by shard.
+    fn execute_round_inline(&mut self) {
+        let graph = self.graph;
+        let (limit, round) = (self.limit, self.round);
+        let mut node_rest: &mut [P] = &mut self.nodes;
+        for (k, shard) in self.shards.iter().enumerate() {
+            let (mine, rest) = node_rest.split_at_mut(shard.len());
+            node_rest = rest;
+            let mut outs = self.outboxes[k].write().expect("no poisoned outbox chunk");
+            compute_shard(graph, self.started, shard, mine, &mut outs);
+        }
+        for (k, shard) in self.shards.iter_mut().enumerate() {
+            let outs = self.outboxes[k].read().expect("no poisoned outbox chunk");
+            if !shard.account(graph, limit, round, &outs) {
+                return;
+            }
+        }
+        let bounds = self.plan.boundaries();
+        for shard in self.shards.iter_mut() {
+            shard.place(graph, bounds, &self.outboxes);
+        }
+    }
+
+    /// All phases on all shards concurrently, inside one `broadcast` (one
+    /// scoped thread set per step) with a barrier between phases.
+    fn execute_round_broadcast(&mut self) {
+        let graph = self.graph;
+        let (started, limit, round) = (self.started, self.limit, self.round);
+        let bounds = self.plan.boundaries();
+        let outboxes = &self.outboxes;
+        let workers = self.workers;
+        let total = self.shards.len();
+
+        // Deal contiguous shard groups (with their node ranges) to workers;
+        // each worker claims its task through an uncontended mutex, since a
+        // broadcast closure is shared (`Fn`) across threads.
+        let mut tasks: Vec<Mutex<WorkerTask<'_, P>>> = Vec::with_capacity(workers);
+        let mut shard_rest: &mut [DeliveryShard] = &mut self.shards;
+        let mut node_rest: &mut [P] = &mut self.nodes;
+        let mut next = 0usize;
+        for w in 0..workers {
+            let hi = ((w + 1) * total) / workers;
+            let (mine, rest) = shard_rest.split_at_mut(hi - next);
+            shard_rest = rest;
+            let mut slots = Vec::with_capacity(mine.len());
+            for (j, shard) in mine.iter_mut().enumerate() {
+                let (nodes, rest) = node_rest.split_at_mut(shard.len());
+                node_rest = rest;
+                slots.push(ShardSlot {
+                    index: next + j,
+                    shard,
+                    nodes,
+                });
+            }
+            tasks.push(Mutex::new(WorkerTask { slots }));
+            next = hi;
+        }
+
+        let barrier = PhaseBarrier::new(workers);
+        let abort = AtomicBool::new(false);
+        let pool = self.pool.as_ref().expect("parallel step built a pool");
+        pool.broadcast(|ctx| {
+            let _poison_guard = PoisonOnPanic(&barrier);
+            let mut task = tasks[ctx.index()].lock().expect("no poisoned worker task");
+            // Phase 1 — compute: own nodes fill own outbox chunks.
+            for slot in task.slots.iter_mut() {
+                let mut outs = outboxes[slot.index]
+                    .write()
+                    .expect("no poisoned outbox chunk");
+                compute_shard(graph, started, slot.shard, slot.nodes, &mut outs);
+            }
+            barrier.wait();
+            // Phase 2 — account: own outboxes charge own edge counters.
+            for slot in task.slots.iter_mut() {
+                let outs = outboxes[slot.index]
+                    .read()
+                    .expect("no poisoned outbox chunk");
+                if !slot.shard.account(graph, limit, round, &outs) {
+                    abort.store(true, Ordering::Relaxed);
+                }
+            }
+            barrier.wait();
+            // Every worker observes the same flag after the barrier, so all
+            // of them skip placement together (no one left waiting).
+            if abort.load(Ordering::Relaxed) {
+                return;
+            }
+            // Phase 3 — place: all outboxes scatter into own inbox slices.
+            for slot in task.slots.iter_mut() {
+                slot.shard.place(graph, bounds, outboxes);
+            }
+        });
+    }
+
+    /// Executes one synchronous round: let every node compute, then merge
+    /// and queue its outgoing messages for the next round (all phases
+    /// sharded, and parallel under [`Engine::Parallel`]).
     ///
     /// # Errors
     ///
-    /// [`SimError::NotNeighbor`] if a node unicasts to a non-neighbor;
-    /// [`SimError::CongestViolation`] if an edge's byte budget is exceeded.
+    /// [`SimError::NotNeighbor`] if a node unicasts or multicasts to a
+    /// non-neighbor; [`SimError::CongestViolation`] if an edge's byte
+    /// budget is exceeded.
     pub fn step(&mut self) -> Result<RoundStats, SimError> {
-        compute_phase(
-            self.graph,
-            self.started,
-            &self.inbox_data,
-            &self.inbox_offsets,
-            &mut self.nodes,
-            &mut self.outboxes,
-            self.pool.as_ref(),
-        );
-        self.started = true;
-        let round_stats = self.deliver()?;
-        Ok(self.commit(round_stats))
+        self.execute_round();
+        self.finish_round()
     }
 
     /// Runs exactly `rounds` rounds.
@@ -514,49 +735,82 @@ impl<P: Protocol + Send> Simulator<'_, P> {
 }
 
 impl<P: Protocol + Send + Clone> Simulator<'_, P> {
-    /// Like [`Simulator::step`], but under [`Engine::Parallel`] also runs
-    /// the round's compute phase sequentially on cloned nodes and requires
-    /// the two executions to produce bit-identical outboxes.
+    /// First vertex whose outbox differs from the reference set, if any.
+    fn first_outbox_divergence(&self, reference: &[Outbox]) -> Option<VertexId> {
+        let mut base = 0;
+        for chunk in &self.outboxes {
+            let chunk = chunk.read().expect("no poisoned outbox chunk");
+            for (i, out) in chunk.iter().enumerate() {
+                if *out != reference[base + i] {
+                    return Some(base + i);
+                }
+            }
+            base += chunk.len();
+        }
+        None
+    }
+
+    /// Like [`Simulator::step`], but also re-runs the round sequentially —
+    /// compute on cloned nodes, delivery as a single-buffer reference
+    /// merge — and requires both executions to be bit-identical.
     ///
     /// # Errors
     ///
     /// [`SimError::Nondeterminism`] on divergence, plus everything
     /// [`Simulator::step`] can return.
     pub fn step_verified(&mut self) -> Result<RoundStats, SimError> {
-        if self.thread_count() <= 1 {
+        if self.workers <= 1 && self.shards.len() <= 1 {
             return self.step();
         }
+        // Sequential reference compute on cloned nodes, against the same
+        // pre-round inboxes.
         let mut reference_nodes = self.nodes.clone();
         let mut reference_outboxes = vec![Outbox::new(); self.nodes.len()];
-        compute_phase(
-            self.graph,
-            self.started,
-            &self.inbox_data,
-            &self.inbox_offsets,
-            &mut reference_nodes,
-            &mut reference_outboxes,
-            None,
-        );
-        compute_phase(
-            self.graph,
-            self.started,
-            &self.inbox_data,
-            &self.inbox_offsets,
-            &mut self.nodes,
-            &mut self.outboxes,
-            self.pool.as_ref(),
-        );
-        self.started = true;
-        if let Some(vertex) =
-            (0..self.outboxes.len()).find(|&v| self.outboxes[v] != reference_outboxes[v])
         {
-            return Err(SimError::Nondeterminism {
-                round: self.round,
-                vertex,
-            });
+            let mut node_rest: &mut [P] = &mut reference_nodes;
+            let mut out_rest: &mut [Outbox] = &mut reference_outboxes;
+            for shard in &self.shards {
+                let (nodes, rest) = node_rest.split_at_mut(shard.len());
+                node_rest = rest;
+                let (outs, rest) = out_rest.split_at_mut(shard.len());
+                out_rest = rest;
+                compute_shard(self.graph, self.started, shard, nodes, outs);
+            }
         }
-        let round_stats = self.deliver()?;
-        Ok(self.commit(round_stats))
+        let round = self.round;
+        self.execute_round();
+        if let Some(vertex) = self.first_outbox_divergence(&reference_outboxes) {
+            return Err(SimError::Nondeterminism { round, vertex });
+        }
+        if let Some(e) = self.shards.iter().find_map(|s| s.error.clone()) {
+            return Err(e);
+        }
+        // Delivery cross-check: the sharded inboxes must match a global
+        // sequential merge of the (just verified) outboxes.
+        match deliver_reference(self.graph, self.limit, round, &reference_outboxes) {
+            Ok((offsets, data, reference_stats)) => {
+                for shard in &self.shards {
+                    for local in 0..shard.len() {
+                        let v = shard.start() + local;
+                        if shard.incoming(local) != &data[offsets[v]..offsets[v + 1]] {
+                            return Err(SimError::Nondeterminism { round, vertex: v });
+                        }
+                    }
+                }
+                let merged: usize = self.shards.iter().map(|s| s.stats.messages).sum();
+                debug_assert_eq!(merged, reference_stats.messages, "stats diverged");
+            }
+            // The sharded account pass succeeded on identical outboxes, so
+            // a reference-side error is itself a divergence.
+            Err(SimError::CongestViolation { from, .. } | SimError::NotNeighbor { from, .. }) => {
+                return Err(SimError::Nondeterminism {
+                    round,
+                    vertex: from,
+                });
+            }
+            Err(e) => return Err(e),
+        }
+        self.finish_round()
     }
 
     /// Runs exactly `rounds` rounds under the given [`Determinism`] mode.
@@ -653,7 +907,13 @@ mod tests {
         ] {
             let from_bfs = netdecomp_graph::bfs::distances(&g, 0);
             assert_eq!(flood(&g, Engine::Sequential), from_bfs);
-            assert_eq!(flood(&g, Engine::Parallel { threads: 4 }), from_bfs);
+            for (threads, shards) in [(4, 1), (1, 4), (4, 4), (3, 7)] {
+                assert_eq!(
+                    flood(&g, Engine::Parallel { threads, shards }),
+                    from_bfs,
+                    "threads {threads} shards {shards}"
+                );
+            }
         }
     }
 
@@ -661,8 +921,10 @@ mod tests {
     fn parallel_engine_matches_sequential_bit_for_bit() {
         let g = generators::grid2d(7, 9);
         let mut seq = Simulator::new(&g, |_, _| FloodDist::fresh());
-        let mut par = Simulator::new(&g, |_, _| FloodDist::fresh())
-            .with_engine(Engine::Parallel { threads: 3 });
+        let mut par = Simulator::new(&g, |_, _| FloodDist::fresh()).with_engine(Engine::Parallel {
+            threads: 3,
+            shards: 5,
+        });
         let a = seq.run_rounds(20).unwrap();
         let b = par.run_rounds(20).unwrap();
         assert_eq!(a, b);
@@ -673,11 +935,52 @@ mod tests {
     #[test]
     fn verified_stepping_accepts_deterministic_protocols() {
         let g = generators::grid2d(5, 5);
-        let mut sim = Simulator::new(&g, |_, _| FloodDist::fresh())
-            .with_engine(Engine::Parallel { threads: 4 });
+        let mut sim = Simulator::new(&g, |_, _| FloodDist::fresh()).with_engine(Engine::Parallel {
+            threads: 4,
+            shards: 3,
+        });
         let run = sim.run_to_quiescence_with(40, Determinism::Verify).unwrap();
         assert!(run.rounds > 0);
         assert!(sim.nodes().iter().all(|n| n.dist.is_some()));
+    }
+
+    /// A protocol whose sequential-reference clone misbehaves: the clone
+    /// (used only by `Verify`'s reference execution) broadcasts a different
+    /// payload, which must be reported as nondeterminism.
+    #[derive(Debug, PartialEq, Eq)]
+    struct EvilClone {
+        cloned: bool,
+    }
+
+    impl Clone for EvilClone {
+        fn clone(&self) -> Self {
+            EvilClone { cloned: true }
+        }
+    }
+
+    impl Protocol for EvilClone {
+        fn start(&mut self, _ctx: &Ctx<'_>, out: &mut Outbox) {
+            out.broadcast(Bytes::from(vec![u8::from(self.cloned)]));
+        }
+        fn round(&mut self, _: &Ctx<'_>, _: &[Incoming], _: &mut Outbox) {}
+    }
+
+    #[test]
+    fn verified_stepping_reports_divergent_outboxes() {
+        let g = generators::path(4);
+        let mut sim =
+            Simulator::new(&g, |_, _| EvilClone { cloned: false }).with_engine(Engine::Parallel {
+                threads: 2,
+                shards: 2,
+            });
+        let err = sim.step_verified().unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Nondeterminism {
+                round: 0,
+                vertex: 0
+            }
+        ));
     }
 
     #[test]
@@ -741,6 +1044,25 @@ mod tests {
         assert!(sim.step().is_ok());
     }
 
+    #[test]
+    fn congest_error_is_identical_across_engines() {
+        // The reported violation (lowest sender in round order) must not
+        // depend on sharding or threading.
+        let g = generators::grid2d(4, 4);
+        let seq_err = Simulator::new(&g, |_, _| Shout { payload: 9 })
+            .with_limit(CongestLimit::PerEdgeBytes(8))
+            .step()
+            .unwrap_err();
+        for (threads, shards) in [(1, 4), (4, 4), (2, 7)] {
+            let par_err = Simulator::new(&g, |_, _| Shout { payload: 9 })
+                .with_limit(CongestLimit::PerEdgeBytes(8))
+                .with_engine(Engine::Parallel { threads, shards })
+                .step()
+                .unwrap_err();
+            assert_eq!(seq_err, par_err, "threads {threads} shards {shards}");
+        }
+    }
+
     struct BadAddress;
 
     impl Protocol for BadAddress {
@@ -756,6 +1078,25 @@ mod tests {
     fn unicast_to_non_neighbor_is_rejected() {
         let g = generators::path(3); // 0-1-2
         let mut sim = Simulator::new(&g, |_, _| BadAddress);
+        assert_eq!(
+            sim.step().unwrap_err(),
+            SimError::NotNeighbor { from: 0, to: 2 }
+        );
+    }
+
+    #[test]
+    fn multicast_to_non_neighbor_is_rejected() {
+        struct BadMulticast;
+        impl Protocol for BadMulticast {
+            fn start(&mut self, ctx: &Ctx<'_>, out: &mut Outbox) {
+                if ctx.id == 0 {
+                    out.multicast(vec![1, 2], Bytes::new()); // 2 is not adjacent
+                }
+            }
+            fn round(&mut self, _: &Ctx<'_>, _: &[Incoming], _: &mut Outbox) {}
+        }
+        let g = generators::path(3);
+        let mut sim = Simulator::new(&g, |_, _| BadMulticast);
         assert_eq!(
             sim.step().unwrap_err(),
             SimError::NotNeighbor { from: 0, to: 2 }
@@ -785,6 +1126,29 @@ mod tests {
     }
 
     #[test]
+    fn multicast_charges_every_listed_edge() {
+        // A duplicate target is charged (and delivered) twice, exactly as
+        // two unicasts would be.
+        struct DoubleTap;
+        impl Protocol for DoubleTap {
+            fn start(&mut self, ctx: &Ctx<'_>, out: &mut Outbox) {
+                if ctx.id == 0 {
+                    out.multicast(vec![1, 1], Bytes::from(vec![0u8; 10]));
+                }
+            }
+            fn round(&mut self, _: &Ctx<'_>, _: &[Incoming], _: &mut Outbox) {}
+            fn is_halted(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::path(2);
+        let mut sim =
+            Simulator::new(&g, |_, _| DoubleTap).with_limit(CongestLimit::PerEdgeBytes(16));
+        let err = sim.step().unwrap_err();
+        assert!(matches!(err, SimError::CongestViolation { bytes: 20, .. }));
+    }
+
+    #[test]
     fn incoming_is_ordered_by_sender_id() {
         /// Every node broadcasts its own id once; receivers record order.
         #[derive(Debug, Clone)]
@@ -805,12 +1169,61 @@ mod tests {
             }
         }
         let g = generators::star(6); // center 0 hears 1..=5
-        let mut sim = Simulator::new(&g, |_, _| Gossip { heard: Vec::new() })
-            .with_engine(Engine::Parallel { threads: 3 });
-        sim.run_rounds(2).unwrap();
-        assert_eq!(sim.nodes()[0].heard, vec![1, 2, 3, 4, 5]);
-        for v in 1..6 {
-            assert_eq!(sim.nodes()[v].heard, vec![0]);
+        for engine in [
+            Engine::Sequential,
+            Engine::Parallel {
+                threads: 3,
+                shards: 4,
+            },
+        ] {
+            let mut sim =
+                Simulator::new(&g, |_, _| Gossip { heard: Vec::new() }).with_engine(engine);
+            sim.run_rounds(2).unwrap();
+            assert_eq!(sim.nodes()[0].heard, vec![1, 2, 3, 4, 5]);
+            for v in 1..6 {
+                assert_eq!(sim.nodes()[v].heard, vec![0]);
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_delivers_in_list_order_within_sender() {
+        // The center multicasts to a permuted neighbor list; delivery
+        // order per recipient is (sender, send order), and each listed
+        // target gets exactly one copy regardless of sharding.
+        #[derive(Debug, Clone)]
+        struct Center {
+            heard: Vec<usize>,
+        }
+        impl Protocol for Center {
+            fn start(&mut self, ctx: &Ctx<'_>, out: &mut Outbox) {
+                if ctx.id == 0 {
+                    out.multicast(vec![5, 2, 4], Bytes::from_static(b"m"));
+                }
+            }
+            fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming], _out: &mut Outbox) {
+                for m in incoming {
+                    self.heard.push(m.from);
+                }
+            }
+            fn is_halted(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::star(6);
+        for shards in [1, 3, 6] {
+            let mut sim = Simulator::new(&g, |_, _| Center { heard: Vec::new() })
+                .with_engine(Engine::Parallel { threads: 2, shards });
+            sim.run_rounds(2).unwrap();
+            for v in 1..6 {
+                let expect: Vec<usize> = if [5, 2, 4].contains(&v) {
+                    vec![0]
+                } else {
+                    vec![]
+                };
+                assert_eq!(sim.nodes()[v].heard, expect, "vertex {v} shards {shards}");
+            }
+            assert_eq!(sim.stats().total_messages, 3);
         }
     }
 
@@ -839,6 +1252,59 @@ mod tests {
     }
 
     #[test]
+    fn protocol_panic_propagates_instead_of_deadlocking_workers() {
+        // A node panicking mid-round unwinds one worker while the others
+        // sit at a phase barrier; the poisoned barrier must release them
+        // so the panic propagates like it does on the sequential engine.
+        #[derive(Debug, Clone)]
+        struct PanicAt(usize);
+        impl Protocol for PanicAt {
+            fn start(&mut self, ctx: &Ctx<'_>, out: &mut Outbox) {
+                assert!(ctx.id != self.0, "protocol bug at node {}", self.0);
+                out.broadcast(Bytes::from_static(b"x"));
+            }
+            fn round(&mut self, _: &Ctx<'_>, _: &[Incoming], _: &mut Outbox) {}
+        }
+        let g = generators::grid2d(6, 6);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut sim = Simulator::new(&g, |_, _| PanicAt(30)).with_engine(Engine::Parallel {
+                threads: 4,
+                shards: 4,
+            });
+            let _ = sim.step();
+        }));
+        assert!(panicked.is_err());
+    }
+
+    #[test]
+    fn resharding_mid_run_preserves_pending_messages() {
+        // Step once sequentially (messages now in flight), then reshard;
+        // the flood must still reach everyone with correct distances.
+        let g = generators::grid2d(5, 4);
+        let mut sim = Simulator::new(&g, |_, _| FloodDist::fresh());
+        sim.step().unwrap();
+        let mut sim = sim.with_engine(Engine::Parallel {
+            threads: 2,
+            shards: 5,
+        });
+        sim.run_to_quiescence(g.vertex_count()).unwrap();
+        let dists: Vec<_> = sim.nodes().iter().map(|n| n.dist).collect();
+        assert_eq!(dists, netdecomp_graph::bfs::distances(&g, 0));
+    }
+
+    #[test]
+    fn empty_graph_steps_trivially() {
+        let g = netdecomp_graph::Graph::empty(0);
+        let mut sim = Simulator::new(&g, |_, _| FloodDist::fresh()).with_engine(Engine::Parallel {
+            threads: 4,
+            shards: 4,
+        });
+        let run = sim.run_to_quiescence(1).unwrap();
+        assert_eq!(run.total_messages, 0);
+        assert!(sim.is_quiescent());
+    }
+
+    #[test]
     fn ctx_exposes_neighbors() {
         let g = generators::star(4);
         let sim = Simulator::new(&g, |id, ctx| {
@@ -858,8 +1324,13 @@ mod tests {
     #[test]
     fn engine_accessor_reports_configuration() {
         let g = generators::path(2);
-        let sim =
-            Simulator::new(&g, |_, _| BadAddress).with_engine(Engine::Parallel { threads: 2 });
-        assert_eq!(sim.engine(), Engine::Parallel { threads: 2 });
+        let engine = Engine::Parallel {
+            threads: 2,
+            shards: 2,
+        };
+        let sim = Simulator::new(&g, |_, _| BadAddress).with_engine(engine);
+        assert_eq!(sim.engine(), engine);
+        // Shards clamp to the vertex count.
+        assert_eq!(sim.shard_plan().count(), 2);
     }
 }

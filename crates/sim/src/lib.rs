@@ -1,5 +1,5 @@
 //! Synchronous message-passing simulator for the LOCAL / CONGEST models,
-//! built as a two-phase flat-buffer round engine.
+//! built as a sharded flat-buffer round engine.
 //!
 //! The distributed model of the paper: each vertex of a graph hosts a
 //! processor; computation proceeds in synchronous rounds; in every round a
@@ -12,32 +12,46 @@
 //! message consists of `O(1)` words" claim becomes a measured quantity
 //! rather than an assumption.
 //!
-//! # The two-phase engine
+//! # The sharded engine
 //!
-//! Every [`Simulator::step`] is **compute, then deliver**:
+//! A [`ShardPlan`] partitions the vertex set into contiguous,
+//! degree-balanced ranges. The **ownership invariant**: a shard computes
+//! only its own nodes, writes only its own outbox chunk and its own CSR
+//! inbox slice, and — because the slot of the directed edge `from -> to`
+//! lives in the *sender's* CSR row — owns a contiguous block of the
+//! per-edge CONGEST counters. Every [`Simulator::step`] then runs three
+//! shard-local phases:
 //!
 //! - **Compute.** Each node consumes the slice of messages delivered to it
-//!   and fills its preallocated [`Outbox`]. Nodes are independent within a
-//!   round, so under [`Engine::Parallel`] this phase runs across threads
-//!   (`par_iter_mut` over the node array); [`Engine::Sequential`] is the
-//!   default.
-//! - **Deliver (sequential merge).** Outboxes are merged in sender-id
-//!   order into one flat inbox buffer laid out CSR-style by recipient.
-//!   CONGEST accounting lives in a flat `Vec<usize>` indexed by the
-//!   graph's directed-edge slots ([`netdecomp_graph::Graph::edge_slot`]) —
-//!   no per-sender hash maps. Payloads are reference-counted, so a
-//!   broadcast is encoded once and shared by all recipients (zero-copy).
+//!   and fills its preallocated [`Outbox`].
+//! - **Account (sender side).** Each shard validates addressing and
+//!   charges per-edge budgets for messages its own vertices sent; there is
+//!   no counter merge, senders own their edge slots outright.
+//! - **Place (recipient side).** Each shard bucket-sorts the unicast,
+//!   multicast, and broadcast copies addressed to its own vertices from
+//!   all outboxes into its own inbox slice (recycled in place across
+//!   rounds — steady-state stepping allocates nothing). Payloads are
+//!   reference-counted, so a broadcast is encoded once and shared by all
+//!   recipients (zero-copy).
+//!
+//! Under [`Engine::Parallel`] all phases run on all shards concurrently
+//! inside a single scoped thread set per step (barriers between phases);
+//! only per-round [`RoundStats`] are merged. [`Engine::Sequential`] runs
+//! the same phases inline.
 //!
 //! # Determinism guarantee
 //!
-//! The merge order is fixed — sender id, then send order, then adjacency
-//! order for broadcasts — so for any protocol that is a deterministic
-//! function of `(state, incoming)`, parallel and sequential execution
-//! produce **bit-identical** node states, inboxes, and [`RunStats`].
-//! [`Determinism::Verify`] (via [`Simulator::step_verified`] or the
-//! `*_with` runners) checks this property per round against a sequential
-//! reference execution and fails with [`SimError::Nondeterminism`] if a
-//! protocol sneaks in scheduling dependence.
+//! Each shard scans senders in id order, so per-recipient delivery order
+//! is sender id, then send order, then adjacency order for broadcasts —
+//! independent of thread scheduling *and* shard boundaries. For any
+//! protocol that is a deterministic function of `(state, incoming)`, every
+//! `(threads, shards)` configuration produces **bit-identical** node
+//! states, inboxes, and [`RunStats`]. [`Determinism::Verify`] (via
+//! [`Simulator::step_verified`] or the `*_with` runners) checks both
+//! halves per round — reference compute on cloned nodes, and sharded
+//! delivery against a sequential single-buffer merge — and fails with
+//! [`SimError::Nondeterminism`] if a protocol sneaks in scheduling
+//! dependence.
 //!
 //! # Typed messages
 //!
@@ -73,7 +87,7 @@
 //!
 //! let g = generators::path(4);
 //! let mut sim = Simulator::new(&g, |_id, _ctx| Flood { seen: false })
-//!     .with_engine(Engine::Parallel { threads: 2 });
+//!     .with_engine(Engine::Parallel { threads: 2, shards: 2 });
 //! let run = sim.run_to_quiescence(100).unwrap();
 //! assert!(sim.nodes().iter().all(|n| n.seen));
 //! // start + 3 hops of relaying + draining the last node's echo.
@@ -89,6 +103,7 @@ mod engine;
 mod error;
 mod message;
 mod seeding;
+mod shard;
 mod stats;
 pub mod wire;
 
@@ -97,4 +112,5 @@ pub use engine::{Ctx, Determinism, Engine, Protocol, Simulator};
 pub use error::SimError;
 pub use message::{Incoming, Outbox, Outgoing, Recipient};
 pub use seeding::stream_rng;
+pub use shard::ShardPlan;
 pub use stats::{CongestLimit, RoundStats, RunStats};

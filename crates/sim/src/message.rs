@@ -8,6 +8,12 @@ use netdecomp_graph::VertexId;
 pub enum Recipient {
     /// Send to one specific neighbor.
     Neighbor(VertexId),
+    /// Send a copy to each listed neighbor, in list order (multicast).
+    ///
+    /// Every target must be a neighbor of the sender; a repeated target
+    /// receives — and is CONGEST-charged for — one copy per occurrence,
+    /// exactly as the same number of unicasts would be.
+    Neighbors(Vec<VertexId>),
     /// Send a copy along every incident edge.
     AllNeighbors,
 }
@@ -27,6 +33,16 @@ impl Outgoing {
     pub fn unicast(to: VertexId, payload: Bytes) -> Self {
         Outgoing {
             to: Recipient::Neighbor(to),
+            payload,
+        }
+    }
+
+    /// Message copied to each listed neighbor (multicast). The payload is
+    /// shared by reference count; only the target list is owned.
+    #[must_use]
+    pub fn multicast(to: Vec<VertexId>, payload: Bytes) -> Self {
+        Outgoing {
+            to: Recipient::Neighbors(to),
             payload,
         }
     }
@@ -72,6 +88,15 @@ impl Outbox {
     /// Queues a message to a single neighbor.
     pub fn unicast(&mut self, to: VertexId, payload: Bytes) {
         self.msgs.push(Outgoing::unicast(to, payload));
+    }
+
+    /// Queues one copy of `payload` to each listed neighbor (multicast).
+    ///
+    /// The payload is encoded once and shared by all copies; unlike the
+    /// rest of the send surface this allocates for the target list, which
+    /// the engine drops when the outbox is cleared next round.
+    pub fn multicast(&mut self, to: Vec<VertexId>, payload: Bytes) {
+        self.msgs.push(Outgoing::multicast(to, payload));
     }
 
     /// Queues a copy of `payload` along every incident edge.
@@ -132,11 +157,20 @@ mod tests {
         assert!(out.is_empty());
         out.unicast(2, Bytes::from_static(b"a"));
         out.broadcast(Bytes::from_static(b"b"));
+        out.multicast(vec![4, 1], Bytes::from_static(b"c"));
         out.send(Outgoing::unicast(1, Bytes::new()));
-        assert_eq!(out.len(), 3);
+        assert_eq!(out.len(), 4);
         assert_eq!(out.messages()[0].to, Recipient::Neighbor(2));
         assert_eq!(out.messages()[1].to, Recipient::AllNeighbors);
+        assert_eq!(out.messages()[2].to, Recipient::Neighbors(vec![4, 1]));
         out.clear();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multicast_constructor_sets_fields() {
+        let m = Outgoing::multicast(vec![3, 5], Bytes::from_static(b"zz"));
+        assert_eq!(m.to, Recipient::Neighbors(vec![3, 5]));
+        assert_eq!(m.payload.len(), 2);
     }
 }

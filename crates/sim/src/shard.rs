@@ -1,0 +1,486 @@
+//! Recipient-range sharding of the delivery phase.
+//!
+//! A [`ShardPlan`] partitions the vertex set into contiguous ranges. Each
+//! shard owns, exclusively:
+//!
+//! - the **inbox slice** of its vertices (a per-shard CSR: local offsets
+//!   plus a flat `Vec<Incoming>`), written only by the owning shard during
+//!   placement and read only by the owning shard during the next compute
+//!   phase;
+//! - the **per-recipient count/cursor table** backing the bucket sort;
+//! - the **per-edge CONGEST counters** of the directed-edge slots leaving
+//!   its vertices. Edge accounting is *sender-owned*: the slot of the
+//!   directed edge `from -> to` lives in `from`'s CSR row, and because a
+//!   shard is a contiguous vertex range its slots form one contiguous
+//!   block of `0..2m` — sharding needs no counter merge at all.
+//!
+//! This ownership split is what lets every phase of delivery run on all
+//! shards concurrently with no synchronization beyond a barrier between
+//! phases: accounting scans only the shard's own outboxes (sender side),
+//! while counting and scatter scan all outboxes but write only the shard's
+//! own inbox slice (recipient side). Only the per-shard [`RoundStats`] are
+//! merged at the end of a round.
+
+use std::sync::RwLock;
+
+use netdecomp_graph::{Graph, VertexId};
+
+use crate::{CongestLimit, Incoming, Outbox, Recipient, RoundStats, SimError};
+
+/// First directed-edge slot of `v`'s CSR row (`2m` for `v == n`, so the
+/// expression is also valid as an exclusive upper bound).
+fn slot_start(graph: &Graph, v: usize) -> usize {
+    if v < graph.vertex_count() {
+        graph.neighbor_slots(v).start
+    } else {
+        graph.directed_edge_count()
+    }
+}
+
+/// A partition of the vertex set into contiguous recipient ranges.
+///
+/// Boundaries are degree-balanced: shard `k` covers
+/// `boundaries()[k]..boundaries()[k + 1]`, chosen so every shard carries
+/// roughly the same share of `2m + n` (directed-edge slots plus vertices —
+/// the per-round delivery work is linear in both). Because adjacency is
+/// CSR-sorted, a contiguous vertex range also owns one contiguous range of
+/// directed-edge slots, which is what makes per-shard CONGEST counters a
+/// plain slice instead of a merge problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// `count() + 1` non-decreasing vertex ids from `0` to `n`.
+    boundaries: Vec<VertexId>,
+}
+
+impl ShardPlan {
+    /// The trivial plan: one shard covering all of `0..n`.
+    #[must_use]
+    pub fn single(n: usize) -> Self {
+        ShardPlan {
+            boundaries: vec![0, n],
+        }
+    }
+
+    /// A degree-balanced plan with (at most) `shards` shards.
+    ///
+    /// The requested count is clamped to `1..=max(n, 1)`; a shard may still
+    /// end up empty on extremely skewed degree distributions (e.g. a star's
+    /// center outweighing everything else), which the engine handles.
+    #[must_use]
+    pub fn degree_balanced(graph: &Graph, shards: usize) -> Self {
+        let n = graph.vertex_count();
+        let s = shards.clamp(1, n.max(1));
+        let weight = |v: usize| slot_start(graph, v) + v;
+        let total = weight(n);
+        let mut boundaries = Vec::with_capacity(s + 1);
+        boundaries.push(0);
+        for k in 1..s {
+            // Smallest v whose cumulative weight reaches the k-th share.
+            let target = k * total / s;
+            let (mut lo, mut hi) = (boundaries[k - 1], n);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if weight(mid) < target {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            boundaries.push(lo);
+        }
+        boundaries.push(n);
+        ShardPlan { boundaries }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// The non-decreasing shard boundaries: `count() + 1` vertex ids from
+    /// `0` to `n`.
+    #[must_use]
+    pub fn boundaries(&self) -> &[VertexId] {
+        &self.boundaries
+    }
+
+    /// The contiguous vertex range owned by shard `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= count()`.
+    #[must_use]
+    pub fn range(&self, k: usize) -> std::ops::Range<VertexId> {
+        self.boundaries[k]..self.boundaries[k + 1]
+    }
+
+    /// The shard owning vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is at least the plan's vertex count.
+    #[must_use]
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        assert!(v < *self.boundaries.last().expect("non-empty boundaries"));
+        // Last boundary <= v (empty shards share a boundary; the owner is
+        // the unique shard whose half-open range contains v).
+        self.boundaries.partition_point(|&b| b <= v) - 1
+    }
+}
+
+/// Per-shard delivery state: everything one shard touches during a round,
+/// so all shards can run every delivery phase concurrently.
+///
+/// Buffers are sized once (per [`ShardPlan`]) and recycled in place across
+/// rounds: the inbox is overwritten slot by slot by the scatter pass —
+/// payload handles are reference-counted, so an overwrite retires the old
+/// round's handle and installs the new one with no allocation — and only
+/// grows when a round delivers more messages than any round before it.
+#[derive(Debug)]
+pub(crate) struct DeliveryShard {
+    /// First owned vertex.
+    start: VertexId,
+    /// One past the last owned vertex.
+    end: VertexId,
+    /// First directed-edge slot of the owned (contiguous) slot range.
+    slot_base: usize,
+    /// Per-directed-edge bytes this round, indexed by `slot - slot_base`.
+    edge_bytes: Vec<usize>,
+    /// Locally-indexed slots dirtied this round (sparse reset).
+    touched: Vec<usize>,
+    /// Per-recipient counts, then scatter cursors (both local-indexed).
+    counts: Vec<usize>,
+    /// Local CSR offsets into [`DeliveryShard::inbox`]: vertex `start + i`
+    /// receives `inbox[offsets[i]..offsets[i + 1]]`.
+    pub(crate) offsets: Vec<usize>,
+    /// Messages delivered to this shard's vertices, CSR-packed.
+    pub(crate) inbox: Vec<Incoming>,
+    /// This shard's slice of the round's accounting (merged by the engine).
+    pub(crate) stats: RoundStats,
+    /// First error this shard's account pass hit, if any.
+    pub(crate) error: Option<SimError>,
+}
+
+impl DeliveryShard {
+    pub(crate) fn new(graph: &Graph, start: VertexId, end: VertexId) -> Self {
+        let slot_base = slot_start(graph, start);
+        let slots = slot_start(graph, end) - slot_base;
+        DeliveryShard {
+            start,
+            end,
+            slot_base,
+            edge_bytes: vec![0; slots],
+            touched: Vec::new(),
+            counts: vec![0; end - start],
+            offsets: vec![0; end - start + 1],
+            inbox: Vec::new(),
+            stats: RoundStats::default(),
+            error: None,
+        }
+    }
+
+    /// First owned vertex.
+    pub(crate) fn start(&self) -> VertexId {
+        self.start
+    }
+
+    /// Number of owned vertices.
+    pub(crate) fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Messages delivered to owned vertex `start + local` last round.
+    pub(crate) fn incoming(&self, local: usize) -> &[Incoming] {
+        &self.inbox[self.offsets[local]..self.offsets[local + 1]]
+    }
+
+    /// **Account phase** (sender side): validates addressing and charges
+    /// CONGEST byte counters for every message sent *by* this shard's
+    /// vertices. `outboxes` is the shard's own outbox chunk.
+    ///
+    /// Returns `false` (with [`DeliveryShard::error`] set) on the first
+    /// violation, mirroring the abort point of a sequential sender-order
+    /// scan.
+    pub(crate) fn account(
+        &mut self,
+        graph: &Graph,
+        limit: CongestLimit,
+        round: usize,
+        outboxes: &[Outbox],
+    ) -> bool {
+        // Sparse reset of last round's counters; also reached on the next
+        // round after an aborted one, so partial charges never leak.
+        for &local in &self.touched {
+            self.edge_bytes[local] = 0;
+        }
+        self.touched.clear();
+        self.stats = RoundStats {
+            round,
+            ..RoundStats::default()
+        };
+        self.error = None;
+        for (i, out) in outboxes.iter().enumerate() {
+            let from = self.start + i;
+            for msg in out.messages() {
+                let len = msg.payload.len();
+                let sent = match &msg.to {
+                    Recipient::Neighbor(to) => {
+                        self.charge_edge(graph, limit, round, from, *to, len)
+                    }
+                    Recipient::Neighbors(targets) => targets
+                        .iter()
+                        .try_for_each(|&to| self.charge_edge(graph, limit, round, from, to, len)),
+                    Recipient::AllNeighbors => graph.neighbor_slots(from).try_for_each(|slot| {
+                        let to = graph.slot_target(slot);
+                        self.charge_slot(limit, round, slot, from, to, len)
+                    }),
+                };
+                if let Err(e) = sent {
+                    self.error = Some(e);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Resolves the (sender-owned) slot of `from -> to`, then charges it.
+    fn charge_edge(
+        &mut self,
+        graph: &Graph,
+        limit: CongestLimit,
+        round: usize,
+        from: VertexId,
+        to: VertexId,
+        len: usize,
+    ) -> Result<(), SimError> {
+        let slot = graph
+            .edge_slot(from, to)
+            .ok_or(SimError::NotNeighbor { from, to })?;
+        self.charge_slot(limit, round, slot, from, to, len)
+    }
+
+    /// Charges one delivered message against a directed-edge slot.
+    fn charge_slot(
+        &mut self,
+        limit: CongestLimit,
+        round: usize,
+        slot: usize,
+        from: VertexId,
+        to: VertexId,
+        len: usize,
+    ) -> Result<(), SimError> {
+        let bytes = &mut self.edge_bytes[slot - self.slot_base];
+        if *bytes == 0 {
+            self.touched.push(slot - self.slot_base);
+        }
+        *bytes += len;
+        if let CongestLimit::PerEdgeBytes(limit) = limit {
+            if *bytes > limit {
+                return Err(SimError::CongestViolation {
+                    from,
+                    to,
+                    bytes: *bytes,
+                    limit,
+                    round,
+                });
+            }
+        }
+        self.stats.messages += 1;
+        self.stats.bytes += len;
+        self.stats.max_edge_bytes = self.stats.max_edge_bytes.max(*bytes);
+        Ok(())
+    }
+
+    /// The sub-slice of `from`'s (sorted) adjacency that falls in this
+    /// shard's recipient range.
+    fn owned_targets<'g>(&self, graph: &'g Graph, from: VertexId, full: bool) -> &'g [VertexId] {
+        let nb = graph.neighbors(from);
+        if full {
+            return nb;
+        }
+        let s = nb.partition_point(|&v| v < self.start);
+        let e = nb.partition_point(|&v| v < self.end);
+        &nb[s..e]
+    }
+
+    /// **Placement phase** (recipient side): bucket-sorts every message
+    /// addressed *to* this shard's vertices into the shard's own inbox
+    /// slice. `bounds` are the plan boundaries and `chunks` the per-shard
+    /// outbox chunks, so chunk `k`'s first sender is `bounds[k]`; chunks
+    /// are read-locked one at a time (writers finished at the phase
+    /// barrier, so the locks are uncontended — and lock acquisition is
+    /// allocation-free, keeping steady-state rounds zero-alloc).
+    ///
+    /// Two scans in sender-id order (count, then scatter through cursors),
+    /// so per-recipient delivery order is (sender id, send order, adjacency
+    /// order for broadcasts) — identical to a global sequential merge.
+    pub(crate) fn place(
+        &mut self,
+        graph: &Graph,
+        bounds: &[VertexId],
+        chunks: &[RwLock<Vec<Outbox>>],
+    ) {
+        let (lo, hi) = (self.start, self.end);
+        let full = lo == 0 && hi == graph.vertex_count();
+        self.counts.fill(0);
+        for (k, chunk) in chunks.iter().enumerate() {
+            let outs = chunk.read().expect("no poisoned outbox chunk");
+            for (i, out) in outs.iter().enumerate() {
+                let from = bounds[k] + i;
+                for msg in out.messages() {
+                    match &msg.to {
+                        Recipient::Neighbor(to) => {
+                            if full || (lo..hi).contains(to) {
+                                self.counts[to - lo] += 1;
+                            }
+                        }
+                        Recipient::Neighbors(targets) => {
+                            for &to in targets {
+                                if full || (lo..hi).contains(&to) {
+                                    self.counts[to - lo] += 1;
+                                }
+                            }
+                        }
+                        Recipient::AllNeighbors => {
+                            for &to in self.owned_targets(graph, from, full) {
+                                self.counts[to - lo] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Local prefix sums; the inbox is recycled in place (steady-state
+        // rounds reuse both the buffer and its slots, see the type docs).
+        self.offsets[0] = 0;
+        for i in 0..self.len() {
+            self.offsets[i + 1] = self.offsets[i] + self.counts[i];
+        }
+        let len = self.len();
+        let total = self.offsets[len];
+        self.inbox.resize(total, Incoming::default());
+        self.counts.copy_from_slice(&self.offsets[..len]);
+
+        for (k, chunk) in chunks.iter().enumerate() {
+            let outs = chunk.read().expect("no poisoned outbox chunk");
+            for (i, out) in outs.iter().enumerate() {
+                let from = bounds[k] + i;
+                for msg in out.messages() {
+                    match &msg.to {
+                        Recipient::Neighbor(to) => {
+                            if full || (lo..hi).contains(to) {
+                                self.deposit(*to, from, msg.payload.clone());
+                            }
+                        }
+                        Recipient::Neighbors(targets) => {
+                            for &to in targets {
+                                if full || (lo..hi).contains(&to) {
+                                    self.deposit(to, from, msg.payload.clone());
+                                }
+                            }
+                        }
+                        Recipient::AllNeighbors => {
+                            for &to in self.owned_targets(graph, from, full) {
+                                self.deposit(to, from, msg.payload.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Writes one message through the recipient's scatter cursor.
+    fn deposit(&mut self, to: VertexId, from: VertexId, payload: bytes::Bytes) {
+        let cursor = &mut self.counts[to - self.start];
+        self.inbox[*cursor] = Incoming { from, payload };
+        *cursor += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdecomp_graph::generators;
+
+    fn weights(g: &Graph, plan: &ShardPlan) -> Vec<usize> {
+        (0..plan.count())
+            .map(|k| {
+                let r = plan.range(k);
+                r.clone().map(|v| g.degree(v) + 1).sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_covers_all_vertices_contiguously() {
+        let g = generators::grid2d(9, 7);
+        for s in [1, 2, 3, 7, 63, 100] {
+            let plan = ShardPlan::degree_balanced(&g, s);
+            let b = plan.boundaries();
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap(), g.vertex_count());
+            assert!(b.windows(2).all(|w| w[0] <= w[1]), "monotone: {b:?}");
+            assert_eq!(plan.count(), s.min(g.vertex_count()));
+            for v in 0..g.vertex_count() {
+                let k = plan.shard_of(v);
+                assert!(plan.range(k).contains(&v), "vertex {v} shard {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_balances_degree_weight() {
+        let g = generators::grid2d(20, 20);
+        let plan = ShardPlan::degree_balanced(&g, 4);
+        let w = weights(&g, &plan);
+        let total: usize = w.iter().sum();
+        let ideal = total / 4;
+        for (k, &wk) in w.iter().enumerate() {
+            // Degree-balanced boundaries land within one max-weight vertex
+            // of the ideal share; be generous and just require 2x.
+            assert!(wk <= 2 * ideal + 8, "shard {k} weight {wk} vs {ideal}");
+        }
+    }
+
+    #[test]
+    fn plan_handles_skewed_degrees_and_tiny_graphs() {
+        // A star's center carries half of all slots; shards may be empty
+        // but boundaries stay valid.
+        let g = generators::star(50);
+        let plan = ShardPlan::degree_balanced(&g, 8);
+        assert_eq!(*plan.boundaries().last().unwrap(), 50);
+        // Requested shards clamp to the vertex count.
+        let tiny = generators::path(3);
+        assert_eq!(ShardPlan::degree_balanced(&tiny, 64).count(), 3);
+        let empty = Graph::empty(0);
+        let plan = ShardPlan::degree_balanced(&empty, 4);
+        assert_eq!(plan.count(), 1);
+        assert_eq!(plan.range(0), 0..0);
+    }
+
+    #[test]
+    fn single_is_one_full_range() {
+        let plan = ShardPlan::single(12);
+        assert_eq!(plan.count(), 1);
+        assert_eq!(plan.range(0), 0..12);
+        assert_eq!(plan.shard_of(11), 0);
+    }
+
+    #[test]
+    fn delivery_shard_owns_contiguous_slot_range() {
+        let g = generators::grid2d(4, 4);
+        let plan = ShardPlan::degree_balanced(&g, 3);
+        let mut covered = 0;
+        for k in 0..plan.count() {
+            let r = plan.range(k);
+            let shard = DeliveryShard::new(&g, r.start, r.end);
+            assert_eq!(shard.slot_base, covered);
+            covered += shard.edge_bytes.len();
+        }
+        assert_eq!(covered, g.directed_edge_count());
+    }
+}

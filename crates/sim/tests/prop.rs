@@ -54,7 +54,8 @@ impl Protocol for Flood {
 
 /// A deterministic but messier protocol for the equivalence property:
 /// relays a running XOR of everything heard, with payload sizes and
-/// unicast/broadcast choice depending on seed-derived per-node state.
+/// unicast/multicast/broadcast choice depending on seed-derived per-node
+/// state — all three message kinds cross the sharded delivery path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Mixer {
     acc: u64,
@@ -89,11 +90,20 @@ impl Protocol for Mixer {
         if self.budget > 0 && !incoming.is_empty() {
             self.budget -= 1;
             let payload = Bytes::from(self.acc.to_le_bytes().to_vec());
-            if self.quirk.is_multiple_of(2) && ctx.degree() > 0 {
-                let target = ctx.neighbors()[(self.acc % ctx.degree() as u64) as usize];
-                out.unicast(target, payload);
-            } else {
-                out.broadcast(payload);
+            let degree = ctx.degree() as u64;
+            match self.quirk % 3 {
+                0 if degree > 0 => {
+                    let target = ctx.neighbors()[(self.acc % degree) as usize];
+                    out.unicast(target, payload);
+                }
+                1 if degree > 0 => {
+                    // Multicast to two seed-derived positions (possibly the
+                    // same neighbor twice — two copies, like two unicasts).
+                    let a = ctx.neighbors()[(self.acc % degree) as usize];
+                    let b = ctx.neighbors()[(self.acc.rotate_right(17) % degree) as usize];
+                    out.multicast(vec![a, b], payload);
+                }
+                _ => out.broadcast(payload),
             }
         }
     }
@@ -143,13 +153,15 @@ proptest! {
     }
 
     /// The tentpole guarantee: across random graphs, seeds, thread counts,
-    /// and CONGEST limits, the parallel engine produces bit-identical node
-    /// states and `RunStats` to the sequential reference.
+    /// shard counts, and CONGEST limits, the sharded parallel engine —
+    /// delivery included — produces bit-identical node states and
+    /// `RunStats` to the sequential reference.
     #[test]
     fn parallel_engine_is_bit_identical_to_sequential(
         g in arb_graph(24),
         seed in 0u64..1_000,
         threads in 2usize..=8,
+        shard_pick in 0usize..5,
         limit_pick in 0usize..3,
     ) {
         let limit = match limit_pick {
@@ -157,15 +169,20 @@ proptest! {
             1 => CongestLimit::PerEdgeBytes(64),
             _ => CongestLimit::STANDARD_WORDS,
         };
+        // Below, at, and above the thread count, one shard per vertex, and
+        // `0` = the resolved default (NETDECOMP_SHARDS when set — which is
+        // how the CI matrix entry reaches this property — else threads).
+        let shards = [0, 1, 2, 7, g.vertex_count()][shard_pick];
         let rounds = g.vertex_count().min(12) + 2;
 
         let mut seq = Simulator::new(&g, |id, _| Mixer::new(id, seed)).with_limit(limit);
         let mut par = Simulator::new(&g, |id, _| Mixer::new(id, seed))
             .with_limit(limit)
-            .with_engine(Engine::Parallel { threads });
+            .with_engine(Engine::Parallel { threads, shards });
 
         let a = seq.run_rounds(rounds);
-        // Verified stepping doubles as a scheduling-independence check.
+        // Verified stepping doubles as a scheduling-independence check: it
+        // also cross-checks sharded delivery against a sequential merge.
         let b = par.run_rounds_with(rounds, Determinism::Verify);
         prop_assert_eq!(&a, &b, "run outcome diverged");
         if a.is_ok() {

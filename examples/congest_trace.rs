@@ -72,8 +72,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         full.comm.total_messages as f64 / congest.comm.total_messages as f64
     );
 
-    // The same CONGEST run on the parallel engine, with every round's
-    // compute phase cross-checked against a sequential reference.
+    // The same CONGEST run on the sharded parallel engine, with every
+    // round — compute and delivery — cross-checked against a sequential
+    // reference.
     let parallel = decompose_distributed(
         &graph,
         &params,
@@ -81,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &DistributedConfig {
             forwarding: Forwarding::TopTwo,
             congest_limit: CongestLimit::PerEdgeBytes(28),
-            engine: Engine::Parallel { threads: 0 },
+            engine: Engine::Parallel {
+                threads: 0,
+                shards: 0,
+            },
             determinism: Determinism::Verify,
             ..DistributedConfig::default()
         },

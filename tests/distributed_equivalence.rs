@@ -141,7 +141,13 @@ fn parallel_engine_is_bit_identical_across_graphs_and_modes() {
                     seed,
                     &DistributedConfig {
                         forwarding,
-                        engine: Engine::Parallel { threads: 4 },
+                        // shards: 0 honors NETDECOMP_SHARDS (exercised by a
+                        // dedicated CI matrix entry), defaulting to the
+                        // thread count.
+                        engine: Engine::Parallel {
+                            threads: 4,
+                            shards: 0,
+                        },
                         determinism: Determinism::Verify,
                         ..DistributedConfig::default()
                     },
@@ -171,7 +177,10 @@ fn parallel_engine_respects_congest_budget() {
         &DistributedConfig {
             forwarding: Forwarding::TopTwo,
             congest_limit: CongestLimit::PerEdgeBytes(28),
-            engine: Engine::Parallel { threads: 0 },
+            engine: Engine::Parallel {
+                threads: 0,
+                shards: 0,
+            },
             ..DistributedConfig::default()
         },
     )
