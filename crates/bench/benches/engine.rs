@@ -1,18 +1,32 @@
 //! Sequential vs. sharded-parallel `Simulator::step` throughput on large
-//! graphs, plus a delivery-phase micro-benchmark.
+//! graphs, plus delivery-phase micro-benchmarks for both routing regimes.
 //!
-//! Two groups per graph:
+//! Three groups per graph:
 //!
 //! - `engine_step/*` — a carve-shaped workload: every node broadcasts a
 //!   14-byte wire entry each round and decodes + rank-updates everything
 //!   it hears, so compute and delivery both do real work.
-//! - `engine_delivery/*` — a delivery-bound workload: every node
-//!   broadcasts one preencoded payload (a reference-count bump) and
-//!   ignores what it hears, so a step is almost entirely the bucket-sort
-//!   delivery. Variants pin `threads: 1` and sweep the shard count, which
-//!   isolates the *sharding overhead* of the delivery rewrite (on a
-//!   single-CPU box `sharded_1` vs `sequential` is the no-regression
-//!   check; multicore speedups need a multicore re-run, see ROADMAP).
+//! - `engine_delivery/*` — the broadcast-heavy delivery-bound regime:
+//!   every node broadcasts one preencoded payload (a reference-count
+//!   bump) and ignores what it hears, so a step is almost entirely the
+//!   routed bucket-sort delivery (2m copies per round, routed through the
+//!   precomputed adjacency segmentation).
+//! - `engine_delivery_unicast/*` — the unicast-heavy regime: every node
+//!   sends one preencoded payload to a rotating neighbor (n copies per
+//!   round, routed message-by-message through the flat vertex→shard
+//!   table).
+//!
+//! Delivery variants pin `threads: 1` and sweep the shard count, which
+//! isolates the *sharding overhead* of delivery (on a single-CPU box
+//! `sharded_k` vs `sharded_1` is the no-regression check; multicore
+//! speedups need a multicore re-run, see ROADMAP). Each delivery variant
+//! also reports the place phase's measured work counters
+//! (`place_refs_per_round`, `place_copies_per_round`) so the
+//! header-work bound is visible in the checked-in JSON rather than only
+//! in prose: unicast refs stay exactly flat (= messages) across the
+//! shard sweep, and broadcast refs grow only with adjacency-segment
+//! fragmentation — bounded by `copies` (`min(degree, shards)` per
+//! broadcast), never by a `shards ×` rescan multiplier.
 //!
 //! Results (with the machine's available parallelism) are written to the
 //! file named by `NETDECOMP_BENCH_JSON`; the checked-in
@@ -136,6 +150,33 @@ impl Protocol for Pulse {
     }
 }
 
+/// Unicast-heavy delivery-bound workload: one preencoded payload to a
+/// rotating neighbor per round, read nothing — stepping is dominated by
+/// per-message (vertex→shard) routing and singleton-ref delivery.
+#[derive(Debug, Clone)]
+struct Dart {
+    payload: Bytes,
+    tick: usize,
+}
+
+impl Protocol for Dart {
+    fn start(&mut self, ctx: &Ctx<'_>, out: &mut Outbox) {
+        if ctx.degree() > 0 {
+            out.unicast(ctx.neighbors()[0], self.payload.clone());
+        }
+    }
+
+    fn round(&mut self, ctx: &Ctx<'_>, _incoming: &[Incoming], out: &mut Outbox) {
+        self.tick += 1;
+        if ctx.degree() > 0 {
+            out.unicast(
+                ctx.neighbors()[self.tick % ctx.degree()],
+                self.payload.clone(),
+            );
+        }
+    }
+}
+
 fn bench_graph(c: &mut Criterion, label: &str, g: &Graph) {
     let mut group = c.benchmark_group(format!("engine_step/{label}"));
     group.sample_size(12);
@@ -167,52 +208,83 @@ fn bench_graph(c: &mut Criterion, label: &str, g: &Graph) {
     group.finish();
 }
 
-fn bench_delivery(c: &mut Criterion, label: &str, g: &Graph) {
-    let mut group = c.benchmark_group(format!("engine_delivery/{label}"));
+/// The delivery-bench engine sweep: `threads: 1` throughout, so the
+/// variants differ only in shard count.
+const DELIVERY_ENGINES: [(&str, Engine); 5] = [
+    ("sequential", Engine::Sequential),
+    (
+        "sharded_1",
+        Engine::Parallel {
+            threads: 1,
+            shards: 1,
+        },
+    ),
+    (
+        "sharded_2",
+        Engine::Parallel {
+            threads: 1,
+            shards: 2,
+        },
+    ),
+    (
+        "sharded_4",
+        Engine::Parallel {
+            threads: 1,
+            shards: 4,
+        },
+    ),
+    (
+        "sharded_8",
+        Engine::Parallel {
+            threads: 1,
+            shards: 8,
+        },
+    ),
+];
+
+fn bench_delivery_workload<P, F>(c: &mut Criterion, group_name: &str, g: &Graph, make: F)
+where
+    P: Protocol + Send + Clone,
+    F: Fn() -> P,
+{
+    let mut group = c.benchmark_group(group_name);
     group.sample_size(12);
-    let engines = [
-        ("sequential", Engine::Sequential),
-        (
-            "sharded_1",
-            Engine::Parallel {
-                threads: 1,
-                shards: 1,
-            },
-        ),
-        (
-            "sharded_2",
-            Engine::Parallel {
-                threads: 1,
-                shards: 2,
-            },
-        ),
-        (
-            "sharded_4",
-            Engine::Parallel {
-                threads: 1,
-                shards: 4,
-            },
-        ),
-        (
-            "sharded_8",
-            Engine::Parallel {
-                threads: 1,
-                shards: 8,
-            },
-        ),
-    ];
-    for (name, engine) in engines {
+    for (name, engine) in DELIVERY_ENGINES {
         group.bench_with_input(BenchmarkId::new(name, g.vertex_count()), g, |b, g| {
-            let payload = Bytes::from_static(&[7u8; 14]);
-            let mut sim = Simulator::new(g, |_, _| Pulse {
-                payload: payload.clone(),
-            })
-            .with_engine(engine);
+            let mut sim = Simulator::new(g, |_, _| make()).with_engine(engine);
             sim.step().unwrap();
             b.iter(|| sim.step().unwrap());
         });
+        // Measured place-phase work for this engine: steady-state refs
+        // and copies per round. Unicast refs stay flat at `messages`
+        // across the shard sweep; broadcast refs are bounded by copies
+        // (segment fragmentation), with no shards× rescan multiplier.
+        let mut probe = Simulator::new(g, |_, _| make()).with_engine(engine);
+        probe.step().unwrap();
+        probe.step().unwrap();
+        let work = probe.delivery_work();
+        let id = format!("{name}/{}", g.vertex_count());
+        group.report_metric(&id, "place_refs_per_round", work.refs_scanned as f64);
+        group.report_metric(&id, "place_copies_per_round", work.copies_delivered as f64);
     }
     group.finish();
+}
+
+fn bench_delivery(c: &mut Criterion, label: &str, g: &Graph) {
+    let payload = Bytes::from_static(&[7u8; 14]);
+    let broadcast_payload = payload.clone();
+    bench_delivery_workload(c, &format!("engine_delivery/{label}"), g, move || Pulse {
+        payload: broadcast_payload.clone(),
+    });
+    bench_delivery_workload(
+        c,
+        &format!("engine_delivery_unicast/{label}"),
+        g,
+        move || Dart {
+            payload: payload.clone(),
+            tick: 0,
+        },
+    );
 }
 
 fn bench_engines(c: &mut Criterion) {

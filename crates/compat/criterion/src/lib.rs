@@ -11,10 +11,15 @@
 //! stdout; when the `NETDECOMP_BENCH_JSON` environment variable names a
 //! file, a JSON array of `{group, bench, median_ns, mean_ns, samples,
 //! iters_per_sample}` records is also written so runs can be checked in as
-//! artifacts. The JSON header records the box's `available_parallelism`,
-//! and `NETDECOMP_BENCH_NOTE` (if set) is copied into a `note` field —
-//! use it to flag runs whose environment limits what they can show (e.g.
-//! a single-CPU container that can only measure overhead, not speedup).
+//! artifacts. Benchmarks may additionally report non-timing work counters
+//! through [`BenchmarkGroup::report_metric`]; these land in the same
+//! array as `{group, bench, metric, value}` rows, so measured claims
+//! (e.g. "header work is O(messages)") are visible in the checked-in
+//! JSON next to the timings they explain. The JSON header records the
+//! box's `available_parallelism`, and `NETDECOMP_BENCH_NOTE` (if set) is
+//! copied into a `note` field — use it to flag runs whose environment
+//! limits what they can show (e.g. a single-CPU container that can only
+//! measure overhead, not speedup).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,10 +34,22 @@ pub use std::hint::black_box;
 struct Record {
     group: String,
     bench: String,
-    median_ns: f64,
-    mean_ns: f64,
-    samples: usize,
-    iters_per_sample: u64,
+    kind: RecordKind,
+}
+
+/// What a record measured: wall-clock time or a reported work counter.
+#[derive(Debug, Clone)]
+enum RecordKind {
+    Timing {
+        median_ns: f64,
+        mean_ns: f64,
+        samples: usize,
+        iters_per_sample: u64,
+    },
+    Metric {
+        metric: String,
+        value: f64,
+    },
 }
 
 /// The top-level harness handle.
@@ -78,10 +95,21 @@ impl Criterion {
             if i > 0 {
                 out.push_str(",\n");
             }
-            out.push_str(&format!(
-                "    {{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.0},\"mean_ns\":{:.0},\"samples\":{},\"iters_per_sample\":{}}}",
-                r.group, r.bench, r.median_ns, r.mean_ns, r.samples, r.iters_per_sample
-            ));
+            match &r.kind {
+                RecordKind::Timing {
+                    median_ns,
+                    mean_ns,
+                    samples,
+                    iters_per_sample,
+                } => out.push_str(&format!(
+                    "    {{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{median_ns:.0},\"mean_ns\":{mean_ns:.0},\"samples\":{samples},\"iters_per_sample\":{iters_per_sample}}}",
+                    r.group, r.bench
+                )),
+                RecordKind::Metric { metric, value } => out.push_str(&format!(
+                    "    {{\"group\":\"{}\",\"bench\":\"{}\",\"metric\":\"{metric}\",\"value\":{value:.0}}}",
+                    r.group, r.bench
+                )),
+            }
         }
         out.push_str("\n  ]\n}\n");
         if let Err(e) = std::fs::write(&path, &out) {
@@ -154,6 +182,25 @@ impl BenchmarkGroup<'_> {
         self.run(id, |b| f(b));
     }
 
+    /// Reports a non-timing work counter (e.g. items scanned per
+    /// iteration) as its own result row; `metric` names what `value`
+    /// counts.
+    pub fn report_metric(&mut self, id: impl Display, metric: &str, value: f64) {
+        let label = id.to_string();
+        println!(
+            "{:<40} {metric} {value:.0}",
+            format!("{}/{}", self.name, label)
+        );
+        self.criterion.records.push(Record {
+            group: self.name.clone(),
+            bench: label,
+            kind: RecordKind::Metric {
+                metric: metric.to_string(),
+                value,
+            },
+        });
+    }
+
     fn run(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
         let mut bencher = Bencher {
             samples: Vec::new(),
@@ -181,10 +228,12 @@ impl BenchmarkGroup<'_> {
         self.criterion.records.push(Record {
             group: self.name.clone(),
             bench: label,
-            median_ns: median,
-            mean_ns: mean,
-            samples: ns.len(),
-            iters_per_sample: bencher.iters,
+            kind: RecordKind::Timing {
+                median_ns: median,
+                mean_ns: mean,
+                samples: ns.len(),
+                iters_per_sample: bencher.iters,
+            },
         });
     }
 
@@ -262,10 +311,18 @@ mod tests {
             g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
                 b.iter(|| (0..n).sum::<u64>())
             });
+            g.report_metric("noop/work", "items_per_iter", 42.0);
             g.finish();
         }
-        assert_eq!(c.records.len(), 2);
-        assert!(c.records.iter().all(|r| r.median_ns >= 0.0));
+        assert_eq!(c.records.len(), 3);
+        assert!(c.records.iter().all(|r| match &r.kind {
+            RecordKind::Timing { median_ns, .. } => *median_ns >= 0.0,
+            RecordKind::Metric { value, .. } => *value >= 0.0,
+        }));
         assert_eq!(c.records[1].bench, "sum/10");
+        assert!(matches!(
+            &c.records[2].kind,
+            RecordKind::Metric { metric, value: v } if metric == "items_per_iter" && *v == 42.0
+        ));
     }
 }

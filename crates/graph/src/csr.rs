@@ -199,6 +199,20 @@ impl Graph {
     pub fn slot_target(&self, slot: usize) -> VertexId {
         self.targets[slot]
     }
+
+    /// The heads of a contiguous slot range, as one slice of the flat CSR
+    /// target array: `slot_targets(r)[i] == slot_target(r.start + i)`.
+    ///
+    /// Hot delivery paths use this to turn per-copy [`Graph::slot_target`]
+    /// calls (one bounds check each) into a single slice walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range reaches past `directed_edge_count()`.
+    #[must_use]
+    pub fn slot_targets(&self, slots: std::ops::Range<usize>) -> &[VertexId] {
+        &self.targets[slots]
+    }
 }
 
 impl fmt::Debug for Graph {
@@ -314,6 +328,7 @@ mod tests {
         for u in g.vertices() {
             let range = g.neighbor_slots(u);
             assert_eq!(range.len(), g.degree(u));
+            assert_eq!(g.slot_targets(range.clone()), g.neighbors(u));
             for (i, slot) in range.clone().enumerate() {
                 let v = g.neighbors(u)[i];
                 assert_eq!(g.slot_target(slot), v);
@@ -323,6 +338,7 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s), "every slot covered");
+        assert_eq!(g.slot_targets(0..0), &[] as &[VertexId]);
     }
 
     #[test]

@@ -16,23 +16,37 @@
 //!
 //! A [`ShardPlan`] partitions the vertex set into contiguous,
 //! degree-balanced ranges. The **ownership invariant**: a shard computes
-//! only its own nodes, writes only its own outbox chunk and its own CSR
-//! inbox slice, and — because the slot of the directed edge `from -> to`
-//! lives in the *sender's* CSR row — owns a contiguous block of the
-//! per-edge CONGEST counters. Every [`Simulator::step`] then runs three
-//! shard-local phases:
+//! only its own nodes, writes only its own outbox chunk, its own
+//! sender-side router, and its own CSR inbox slice, and — because the
+//! slot of the directed edge `from -> to` lives in the *sender's* CSR
+//! row — owns a contiguous block of the per-edge CONGEST counters. Every
+//! [`Simulator::step`] then runs three shard-local phases:
 //!
 //! - **Compute.** Each node consumes the slice of messages delivered to it
 //!   and fills its preallocated [`Outbox`].
-//! - **Account (sender side).** Each shard validates addressing and
-//!   charges per-edge budgets for messages its own vertices sent; there is
-//!   no counter merge, senders own their edge slots outright.
-//! - **Place (recipient side).** Each shard bucket-sorts the unicast,
-//!   multicast, and broadcast copies addressed to its own vertices from
-//!   all outboxes into its own inbox slice (recycled in place across
-//!   rounds — steady-state stepping allocates nothing). Payloads are
-//!   reference-counted, so a broadcast is encoded once and shared by all
-//!   recipients (zero-copy).
+//! - **Account (sender side).** Each shard validates addressing, charges
+//!   per-edge budgets for messages its own vertices sent (no counter
+//!   merge — senders own their edge slots outright), and *routes* each
+//!   message: references are bucketed by destination shard, unicast and
+//!   multicast targets through a flat O(1) vertex→shard table, broadcasts
+//!   through a per-vertex adjacency segmentation both precomputed in the
+//!   [`RouteIndex`] (once per plan, not per round).
+//! - **Place (recipient side).** Each shard walks only the route-ref
+//!   buckets addressed to it — never another shard's outbox headers — and
+//!   bucket-sorts those copies into its own inbox slice (recycled in
+//!   place across rounds — steady-state stepping allocates nothing).
+//!   Payloads are reference-counted, so a broadcast is encoded once and
+//!   shared by all recipients (zero-copy).
+//!
+//! Sender-side routing is what drops delivery's header work from
+//! `O(shards × messages)` to `O(messages + copies)` refs, with no
+//! shard-count multiplier (the complexity table lives in the `shard`
+//! module docs; [`Simulator::delivery_work`] reports the measured
+//! [`DeliveryWork`] counters). It is also the seam for the
+//! staged process-per-shard backend: a per-`(sender, destination)` bucket
+//! is exactly the batch a transport would ship, so "read the remote
+//! bucket" is the only operation that changes when shards stop sharing an
+//! address space.
 //!
 //! Under [`Engine::Parallel`] all phases run on all shards concurrently
 //! inside a single scoped thread set per step (barriers between phases);
@@ -112,5 +126,5 @@ pub use engine::{Ctx, Determinism, Engine, Protocol, Simulator};
 pub use error::SimError;
 pub use message::{Incoming, Outbox, Outgoing, Recipient};
 pub use seeding::stream_rng;
-pub use shard::ShardPlan;
-pub use stats::{CongestLimit, RoundStats, RunStats};
+pub use shard::{RouteIndex, RouteSegment, ShardPlan};
+pub use stats::{CongestLimit, DeliveryWork, RoundStats, RunStats};

@@ -72,10 +72,32 @@ pub struct Incoming {
 /// reused across rounds), so the compute phase allocates nothing in steady
 /// state and can run over all nodes in parallel — each node writes only
 /// its own slot.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Retained capacity is bounded: the buffer tracks a rolling high-water
+/// mark of recent round sizes (decaying by a quarter per round toward the
+/// current size), and a [`Outbox::clear`] that finds the capacity above
+/// [`Outbox::RETAIN_FACTOR`] times that mark shrinks it back down. A
+/// single bursty round therefore cannot pin a burst-sized buffer forever,
+/// while constant-volume workloads never reallocate (capacity from
+/// doubling growth stays under the factor), preserving the steady-state
+/// zero-allocation invariant.
+#[derive(Debug, Clone, Default)]
 pub struct Outbox {
     msgs: Vec<Outgoing>,
+    /// Rolling high-water mark of per-round message counts.
+    high_water: usize,
 }
+
+/// Equality is over queued messages only; the capacity bookkeeping is
+/// not observable behavior (`Determinism::Verify` compares live outboxes
+/// against freshly allocated reference ones).
+impl PartialEq for Outbox {
+    fn eq(&self, other: &Self) -> bool {
+        self.msgs == other.msgs
+    }
+}
+
+impl Eq for Outbox {}
 
 impl Outbox {
     /// An empty outbox (the engine preallocates these; protocols normally
@@ -130,10 +152,42 @@ impl Outbox {
         &self.msgs
     }
 
+    /// Retained capacity is capped at this multiple of the rolling
+    /// high-water mark (with a floor of [`Outbox::RETAIN_FLOOR`] entries,
+    /// so tiny outboxes never thrash).
+    pub const RETAIN_FACTOR: usize = 4;
+
+    /// Minimum high-water mark used for the retention cap.
+    pub const RETAIN_FLOOR: usize = 8;
+
     /// Drops all queued messages (the engine does this before each
-    /// compute phase).
+    /// compute phase) and decays over-retained capacity.
     pub(crate) fn clear(&mut self) {
-        self.msgs.clear();
+        clear_with_decay(&mut self.msgs, &mut self.high_water);
+    }
+
+    /// Currently retained buffer capacity, in messages (for tests and
+    /// capacity diagnostics).
+    #[must_use]
+    pub fn retained_capacity(&self) -> usize {
+        self.msgs.capacity()
+    }
+}
+
+/// Shared retained-capacity policy for per-round recycled buffers
+/// (outboxes, router buckets): decay the rolling high-water mark by a
+/// quarter — but never below the round being discarded, so bursts are
+/// remembered, then forgotten geometrically — clear the buffer, and
+/// shrink capacity that sits above [`Outbox::RETAIN_FACTOR`] times the
+/// mark. Constant-volume rounds never shrink (doubling growth stays
+/// under the factor), preserving the steady-state zero-allocation
+/// invariant.
+pub(crate) fn clear_with_decay<T>(buf: &mut Vec<T>, high_water: &mut usize) {
+    *high_water = (*high_water - *high_water / 4).max(buf.len());
+    buf.clear();
+    let cap = Outbox::RETAIN_FACTOR * (*high_water).max(Outbox::RETAIN_FLOOR);
+    if buf.capacity() > cap {
+        buf.shrink_to(cap);
     }
 }
 
@@ -172,5 +226,50 @@ mod tests {
         let m = Outgoing::multicast(vec![3, 5], Bytes::from_static(b"zz"));
         assert_eq!(m.to, Recipient::Neighbors(vec![3, 5]));
         assert_eq!(m.payload.len(), 2);
+    }
+
+    #[test]
+    fn bursty_capacity_decays_toward_the_rolling_high_water_mark() {
+        let mut out = Outbox::new();
+        for _ in 0..1024 {
+            out.broadcast(Bytes::new());
+        }
+        out.clear();
+        // The burst is still remembered right after it happened.
+        assert!(out.retained_capacity() >= 512, "burst capacity kept hot");
+        // Dozens of small rounds later, the mark — and with it the
+        // retained capacity — has decayed to the steady volume's scale.
+        for _ in 0..64 {
+            out.broadcast(Bytes::new());
+            out.clear();
+        }
+        assert!(
+            out.retained_capacity() <= Outbox::RETAIN_FACTOR * Outbox::RETAIN_FLOOR,
+            "capacity {} still pinned after decay",
+            out.retained_capacity()
+        );
+        // Steady volume never shrinks (no realloc churn): the mark equals
+        // the round size, and doubling growth stays under the cap.
+        let cap = out.retained_capacity();
+        for _ in 0..32 {
+            out.broadcast(Bytes::new());
+            out.clear();
+            assert_eq!(out.retained_capacity(), cap);
+        }
+    }
+
+    #[test]
+    fn equality_ignores_capacity_bookkeeping() {
+        let mut bursty = Outbox::new();
+        for _ in 0..100 {
+            bursty.unicast(0, Bytes::new());
+        }
+        bursty.clear();
+        // Same (empty) message queue, different high-water history.
+        assert_eq!(bursty, Outbox::new());
+        bursty.unicast(1, Bytes::from_static(b"a"));
+        let mut fresh = Outbox::new();
+        fresh.unicast(1, Bytes::from_static(b"a"));
+        assert_eq!(bursty, fresh);
     }
 }

@@ -1,4 +1,5 @@
-//! Recipient-range sharding of the delivery phase.
+//! Recipient-range sharding of the delivery phase, with sender-side
+//! message routing.
 //!
 //! A [`ShardPlan`] partitions the vertex set into contiguous ranges. Each
 //! shard owns, exclusively:
@@ -12,20 +13,67 @@
 //!   its vertices. Edge accounting is *sender-owned*: the slot of the
 //!   directed edge `from -> to` lives in `from`'s CSR row, and because a
 //!   shard is a contiguous vertex range its slots form one contiguous
-//!   block of `0..2m` — sharding needs no counter merge at all.
+//!   block of `0..2m` — sharding needs no counter merge at all;
+//! - the **[`Router`]** of its vertex range: outgoing message references
+//!   bucketed by destination shard, written by the owning shard during
+//!   the account pass and read by every destination shard during
+//!   placement (after a phase barrier).
 //!
-//! This ownership split is what lets every phase of delivery run on all
-//! shards concurrently with no synchronization beyond a barrier between
-//! phases: accounting scans only the shard's own outboxes (sender side),
-//! while counting and scatter scan all outboxes but write only the shard's
-//! own inbox slice (recipient side). Only the per-shard [`RoundStats`] are
-//! merged at the end of a round.
+//! # Who writes which bucket, and when
+//!
+//! The routing index is built and consumed strictly phase-by-phase:
+//!
+//! 1. **Account (sender side).** Shard `k` — and only shard `k` — writes
+//!    `routers[k]`: while validating and CONGEST-charging each of its own
+//!    outgoing messages, it appends one [`RouteRef`] per destination shard
+//!    the message touches. Unicasts and multicast targets are resolved to
+//!    their (sender-owned) directed-edge slot and routed through a flat
+//!    O(1) vertex→shard table; broadcasts reuse the [`RouteIndex`]'s
+//!    precomputed per-vertex adjacency segmentation, one ref per
+//!    destination-shard segment rather than one per copy.
+//! 2. **Place (recipient side).** After the barrier, shard `j` reads
+//!    bucket `j` of *every* router — `routers[k].bucket(j)` for all `k` —
+//!    and nothing else. It never touches a bucket addressed to another
+//!    shard, so buckets are single-writer, then frozen, then
+//!    multi-reader; no lock is ever contended.
+//!
+//! Because shard `k`'s senders are scanned in local id order, bucket
+//! entries are ordered by (sender id, send order, target order), and
+//! concatenating buckets for `j` across `k = 0, 1, …` preserves global
+//! sender order — per-recipient delivery order stays bit-identical to the
+//! sequential single-buffer reference merge that `Determinism::Verify`
+//! cross-checks.
+//!
+//! # Delivery complexity
+//!
+//! With `S` shards, `M` queued messages, and `C` delivered copies
+//! (`C >= M`; a broadcast counts one copy per incident edge), the place
+//! phase used to rescan every outbox from every shard. Sender-side
+//! routing removes the cross-shard rescan entirely:
+//!
+//! | pass                      | rescan (PR 2)            | routed (now)      |
+//! |---------------------------|--------------------------|-------------------|
+//! | route (fused in account)  | —                        | `O(M + segments)` |
+//! | count                     | `O(S×M)` headers + `O(C)`| `O(refs) + O(C)`  |
+//! | scatter                   | `O(S×M)` headers + `O(C)`| `O(refs) + O(C)`  |
+//!
+//! where `refs <= M + C` in total across all buckets (a unicast or
+//! multicast target is one ref; a broadcast contributes at most
+//! `min(degree, S)` segment refs). Header work no longer carries a
+//! shard-count multiplier — the gating property for running shards on
+//! separate processes, where a cross-shard rescan would become a
+//! cross-process one (the per-`(sender, destination)` buckets are
+//! exactly the batches a transport would ship).
+//!
+//! All routing buffers (buckets, counters, the inbox) are recycled in
+//! place across rounds, so steady-state stepping stays allocation-free
+//! (pinned by `crates/sim/tests/steady_state_alloc.rs`).
 
 use std::sync::RwLock;
 
 use netdecomp_graph::{Graph, VertexId};
 
-use crate::{CongestLimit, Incoming, Outbox, Recipient, RoundStats, SimError};
+use crate::{CongestLimit, DeliveryWork, Incoming, Outbox, Recipient, RoundStats, SimError};
 
 /// First directed-edge slot of `v`'s CSR row (`2m` for `v == n`, so the
 /// expression is also valid as an exclusive upper bound).
@@ -117,6 +165,9 @@ impl ShardPlan {
 
     /// The shard owning vertex `v`.
     ///
+    /// This is a binary search over the boundaries; hot paths use the
+    /// flat O(1) table a [`RouteIndex`] precomputes instead.
+    ///
     /// # Panics
     ///
     /// Panics if `v` is at least the plan's vertex count.
@@ -126,6 +177,237 @@ impl ShardPlan {
         // Last boundary <= v (empty shards share a boundary; the owner is
         // the unique shard whose half-open range contains v).
         self.boundaries.partition_point(|&b| b <= v) - 1
+    }
+}
+
+/// A contiguous run of one vertex's adjacency whose targets all live in
+/// the same destination shard.
+///
+/// `Graph::slot_target` of each slot in [`RouteSegment::slots`] is a
+/// recipient, in adjacency order. Concatenating a vertex's segments in
+/// order reproduces its `Graph::neighbor_slots` range exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteSegment {
+    /// Destination shard owning every target of the run.
+    pub shard: usize,
+    /// The run's directed-edge slot range (within the sender's CSR row).
+    pub slots: std::ops::Range<usize>,
+}
+
+/// Compact stored form of a [`RouteSegment`].
+#[derive(Debug, Clone, Copy)]
+struct Seg {
+    shard: u32,
+    lo: u32,
+    hi: u32,
+}
+
+/// Precomputed routing tables for one `(graph, plan)` pair.
+///
+/// Built once per [`ShardPlan`] (not per round), this answers the two
+/// questions the account pass asks of every outgoing message in O(1) per
+/// message (unicast / multicast target) or O(segments) per broadcast:
+///
+/// - **Which shard owns vertex `v`?** A flat `n`-entry table, replacing a
+///   per-message binary search over the plan boundaries.
+/// - **How does `v`'s adjacency split by destination shard?** Adjacency is
+///   CSR-sorted by target id and shard ranges are contiguous, so each
+///   vertex's slot range splits into at most `min(degree, shards)`
+///   contiguous [`RouteSegment`]s with strictly increasing shard — found
+///   once here, not rediscovered per round per scan.
+///
+/// Slot positions are stored as `u32`: the flat per-slot counter arrays
+/// bound practical graphs far below 4 billion directed edges.
+#[derive(Debug, Clone)]
+pub struct RouteIndex {
+    /// Number of shards in the plan this index was built from.
+    shards: usize,
+    /// Owning shard of each vertex.
+    shard_of: Vec<u32>,
+    /// CSR offsets: vertex `v`'s segments are
+    /// `segs[seg_offsets[v]..seg_offsets[v + 1]]`.
+    seg_offsets: Vec<usize>,
+    /// All vertices' adjacency segments, concatenated in vertex order.
+    segs: Vec<Seg>,
+}
+
+impl RouteIndex {
+    /// Builds the routing tables for `graph` partitioned by `plan`.
+    ///
+    /// Runs in `O(n + m)` (`O(n)` for a single-shard plan, whose
+    /// segmentation is each vertex's whole row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's vertex count differs from the graph's, or if
+    /// the graph exceeds the `u32` slot-position bound (4 billion
+    /// directed edges) — misrouting from a silent wrap is never an
+    /// acceptable failure mode.
+    #[must_use]
+    pub fn new(graph: &Graph, plan: &ShardPlan) -> Self {
+        let n = graph.vertex_count();
+        assert_eq!(
+            *plan.boundaries().last().expect("non-empty boundaries"),
+            n,
+            "plan must cover the graph's vertex set"
+        );
+        assert!(
+            graph.directed_edge_count() <= u32::MAX as usize && n <= u32::MAX as usize,
+            "graph exceeds the u32 routing bound"
+        );
+        let mut seg_offsets = Vec::with_capacity(n + 1);
+        seg_offsets.push(0);
+        let mut segs = Vec::new();
+        if plan.count() == 1 {
+            // Single shard: every non-empty row is one whole-row segment —
+            // no per-neighbor shard scan needed.
+            for v in 0..n {
+                let slots = graph.neighbor_slots(v);
+                if !slots.is_empty() {
+                    segs.push(Seg {
+                        shard: 0,
+                        lo: slots.start as u32,
+                        hi: slots.end as u32,
+                    });
+                }
+                seg_offsets.push(segs.len());
+            }
+            return RouteIndex {
+                shards: 1,
+                shard_of: vec![0u32; n],
+                seg_offsets,
+                segs,
+            };
+        }
+        let mut shard_of = vec![0u32; n];
+        for k in 0..plan.count() {
+            for v in plan.range(k) {
+                shard_of[v] = k as u32;
+            }
+        }
+        for v in 0..n {
+            let base = graph.neighbor_slots(v).start;
+            let nb = graph.neighbors(v);
+            let mut i = 0;
+            while i < nb.len() {
+                let shard = shard_of[nb[i]];
+                let mut j = i + 1;
+                while j < nb.len() && shard_of[nb[j]] == shard {
+                    j += 1;
+                }
+                segs.push(Seg {
+                    shard,
+                    lo: (base + i) as u32,
+                    hi: (base + j) as u32,
+                });
+                i = j;
+            }
+            seg_offsets.push(segs.len());
+        }
+        RouteIndex {
+            shards: plan.count(),
+            shard_of,
+            seg_offsets,
+            segs,
+        }
+    }
+
+    /// Number of shards in the plan this index was built from.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning vertex `v` (flat table, O(1)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        self.shard_of[v] as usize
+    }
+
+    /// Vertex `v`'s adjacency segments, in adjacency (= ascending shard)
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn segments(&self, v: VertexId) -> impl Iterator<Item = RouteSegment> + '_ {
+        self.segs[self.seg_offsets[v]..self.seg_offsets[v + 1]]
+            .iter()
+            .map(|s| RouteSegment {
+                shard: s.shard as usize,
+                slots: s.lo as usize..s.hi as usize,
+            })
+    }
+
+    /// Raw segments of `v` (internal, allocation- and conversion-free).
+    fn raw_segments(&self, v: VertexId) -> &[Seg] {
+        &self.segs[self.seg_offsets[v]..self.seg_offsets[v + 1]]
+    }
+}
+
+/// One routed message reference: which sender, which outbox position, and
+/// the contiguous directed-edge slot range carrying the copies addressed
+/// to the destination shard.
+///
+/// `Graph::slot_target` of each slot in `lo..hi` is a recipient, in
+/// delivery order; a unicast or a single multicast target is a singleton
+/// range (its resolved edge slot), a broadcast ref covers one precomputed
+/// adjacency segment.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RouteRef {
+    /// Global sender id.
+    from: u32,
+    /// Position in the sender's outbox (for the payload lookup).
+    msg: u32,
+    /// First directed-edge slot of the routed copies.
+    lo: u32,
+    /// One past the last slot.
+    hi: u32,
+}
+
+/// Sender-side routing index of one shard: its outgoing message
+/// references, bucketed by destination shard.
+///
+/// Rebuilt every round by the owning shard's account pass (single
+/// writer), then read — after the phase barrier — by each destination
+/// shard's place pass (multi-reader, each touching only its own bucket).
+/// Bucket storage is recycled in place with the same bounded-retention
+/// policy as [`Outbox`]: steady-state rounds allocate nothing, and a
+/// bursty round cannot pin burst-sized buckets forever.
+#[derive(Debug, Default)]
+pub(crate) struct Router {
+    /// `buckets[j]`: refs for destination shard `j`, in (sender id, send
+    /// order, target order) — i.e. final delivery order.
+    buckets: Vec<Vec<RouteRef>>,
+    /// Per-bucket rolling high-water marks driving capacity decay.
+    high_water: Vec<usize>,
+}
+
+impl Router {
+    /// Clears all buckets (decaying over-retained capacity), resizing to
+    /// `shards` buckets if the plan changed.
+    fn reset(&mut self, shards: usize) {
+        if self.buckets.len() != shards {
+            self.buckets.resize_with(shards, Vec::new);
+            self.high_water.resize(shards, 0);
+        }
+        for (bucket, high_water) in self.buckets.iter_mut().zip(&mut self.high_water) {
+            crate::message::clear_with_decay(bucket, high_water);
+        }
+    }
+
+    /// Appends a ref to the bucket for `dest`.
+    fn push(&mut self, dest: u32, route: RouteRef) {
+        self.buckets[dest as usize].push(route);
+    }
+
+    /// The refs addressed to destination shard `dest`, in delivery order.
+    pub(crate) fn bucket(&self, dest: usize) -> &[RouteRef] {
+        &self.buckets[dest]
     }
 }
 
@@ -158,6 +440,9 @@ pub(crate) struct DeliveryShard {
     pub(crate) inbox: Vec<Incoming>,
     /// This shard's slice of the round's accounting (merged by the engine).
     pub(crate) stats: RoundStats,
+    /// Place-phase work counters for the last round (merged by the
+    /// engine's [`DeliveryWork`] accessor).
+    pub(crate) work: DeliveryWork,
     /// First error this shard's account pass hit, if any.
     pub(crate) error: Option<SimError>,
 }
@@ -176,6 +461,7 @@ impl DeliveryShard {
             offsets: vec![0; end - start + 1],
             inbox: Vec::new(),
             stats: RoundStats::default(),
+            work: DeliveryWork::default(),
             error: None,
         }
     }
@@ -195,9 +481,12 @@ impl DeliveryShard {
         &self.inbox[self.offsets[local]..self.offsets[local + 1]]
     }
 
-    /// **Account phase** (sender side): validates addressing and charges
-    /// CONGEST byte counters for every message sent *by* this shard's
-    /// vertices. `outboxes` is the shard's own outbox chunk.
+    /// **Account phase** (sender side): validates addressing, charges
+    /// CONGEST byte counters, *and builds the routing index* for every
+    /// message sent *by* this shard's vertices. `outboxes` is the shard's
+    /// own outbox chunk; `router` is the shard's own (exclusively owned)
+    /// router, whose buckets the destination shards consume during
+    /// placement.
     ///
     /// Returns `false` (with [`DeliveryShard::error`] set) on the first
     /// violation, mirroring the abort point of a sequential sender-order
@@ -205,9 +494,11 @@ impl DeliveryShard {
     pub(crate) fn account(
         &mut self,
         graph: &Graph,
+        routes: &RouteIndex,
         limit: CongestLimit,
         round: usize,
         outboxes: &[Outbox],
+        router: &mut Router,
     ) -> bool {
         // Sparse reset of last round's counters; also reached on the next
         // round after an aborted one, so partial charges never leak.
@@ -220,21 +511,40 @@ impl DeliveryShard {
             ..RoundStats::default()
         };
         self.error = None;
+        router.reset(routes.shard_count());
         for (i, out) in outboxes.iter().enumerate() {
             let from = self.start + i;
-            for msg in out.messages() {
+            for (m, msg) in out.messages().iter().enumerate() {
                 let len = msg.payload.len();
                 let sent = match &msg.to {
                     Recipient::Neighbor(to) => {
-                        self.charge_edge(graph, limit, round, from, *to, len)
+                        self.route_edge(graph, routes, router, limit, round, from, m, *to, len)
                     }
-                    Recipient::Neighbors(targets) => targets
-                        .iter()
-                        .try_for_each(|&to| self.charge_edge(graph, limit, round, from, to, len)),
-                    Recipient::AllNeighbors => graph.neighbor_slots(from).try_for_each(|slot| {
-                        let to = graph.slot_target(slot);
-                        self.charge_slot(limit, round, slot, from, to, len)
+                    Recipient::Neighbors(targets) => targets.iter().try_for_each(|&to| {
+                        self.route_edge(graph, routes, router, limit, round, from, m, to, len)
                     }),
+                    Recipient::AllNeighbors => graph
+                        .neighbor_slots(from)
+                        .try_for_each(|slot| {
+                            let to = graph.slot_target(slot);
+                            self.charge_slot(limit, round, slot, from, to, len)
+                        })
+                        .map(|()| {
+                            // One ref per precomputed destination-shard
+                            // segment — O(min(degree, shards)), not
+                            // O(degree), routing work per broadcast.
+                            for seg in routes.raw_segments(from) {
+                                router.push(
+                                    seg.shard,
+                                    RouteRef {
+                                        from: from as u32,
+                                        msg: m as u32,
+                                        lo: seg.lo,
+                                        hi: seg.hi,
+                                    },
+                                );
+                            }
+                        }),
                 };
                 if let Err(e) = sent {
                     self.error = Some(e);
@@ -245,20 +555,35 @@ impl DeliveryShard {
         true
     }
 
-    /// Resolves the (sender-owned) slot of `from -> to`, then charges it.
-    fn charge_edge(
+    /// Resolves the (sender-owned) slot of `from -> to`, charges it, and
+    /// routes the copy to `to`'s shard.
+    #[allow(clippy::too_many_arguments)]
+    fn route_edge(
         &mut self,
         graph: &Graph,
+        routes: &RouteIndex,
+        router: &mut Router,
         limit: CongestLimit,
         round: usize,
         from: VertexId,
+        msg: usize,
         to: VertexId,
         len: usize,
     ) -> Result<(), SimError> {
         let slot = graph
             .edge_slot(from, to)
             .ok_or(SimError::NotNeighbor { from, to })?;
-        self.charge_slot(limit, round, slot, from, to, len)
+        self.charge_slot(limit, round, slot, from, to, len)?;
+        router.push(
+            routes.shard_of[to],
+            RouteRef {
+                from: from as u32,
+                msg: msg as u32,
+                lo: slot as u32,
+                hi: slot as u32 + 1,
+            },
+        );
+        Ok(())
     }
 
     /// Charges one delivered message against a directed-edge slot.
@@ -293,62 +618,39 @@ impl DeliveryShard {
         Ok(())
     }
 
-    /// The sub-slice of `from`'s (sorted) adjacency that falls in this
-    /// shard's recipient range.
-    fn owned_targets<'g>(&self, graph: &'g Graph, from: VertexId, full: bool) -> &'g [VertexId] {
-        let nb = graph.neighbors(from);
-        if full {
-            return nb;
-        }
-        let s = nb.partition_point(|&v| v < self.start);
-        let e = nb.partition_point(|&v| v < self.end);
-        &nb[s..e]
-    }
-
     /// **Placement phase** (recipient side): bucket-sorts every message
     /// addressed *to* this shard's vertices into the shard's own inbox
-    /// slice. `bounds` are the plan boundaries and `chunks` the per-shard
-    /// outbox chunks, so chunk `k`'s first sender is `bounds[k]`; chunks
-    /// are read-locked one at a time (writers finished at the phase
-    /// barrier, so the locks are uncontended — and lock acquisition is
-    /// allocation-free, keeping steady-state rounds zero-alloc).
+    /// slice — by walking only the route-ref buckets addressed to this
+    /// shard (`me`), never scanning another shard's outbox headers.
     ///
-    /// Two scans in sender-id order (count, then scatter through cursors),
-    /// so per-recipient delivery order is (sender id, send order, adjacency
-    /// order for broadcasts) — identical to a global sequential merge.
+    /// `bounds` are the plan boundaries and `chunks` the per-shard outbox
+    /// chunks, so chunk `k`'s first sender is `bounds[k]`; chunks and
+    /// routers are read-locked one at a time (writers finished at the
+    /// phase barrier, so the locks are uncontended — and lock acquisition
+    /// is allocation-free, keeping steady-state rounds zero-alloc).
+    ///
+    /// Buckets are walked in sender-shard order (count pass for the local
+    /// CSR offsets, then scatter through cursors), so per-recipient
+    /// delivery order is (sender id, send order, target order for
+    /// multicasts, adjacency order for broadcasts) — identical to a
+    /// global sequential merge.
     pub(crate) fn place(
         &mut self,
         graph: &Graph,
+        me: usize,
         bounds: &[VertexId],
         chunks: &[RwLock<Vec<Outbox>>],
+        routers: &[RwLock<Router>],
     ) {
-        let (lo, hi) = (self.start, self.end);
-        let full = lo == 0 && hi == graph.vertex_count();
+        let lo = self.start;
         self.counts.fill(0);
-        for (k, chunk) in chunks.iter().enumerate() {
-            let outs = chunk.read().expect("no poisoned outbox chunk");
-            for (i, out) in outs.iter().enumerate() {
-                let from = bounds[k] + i;
-                for msg in out.messages() {
-                    match &msg.to {
-                        Recipient::Neighbor(to) => {
-                            if full || (lo..hi).contains(to) {
-                                self.counts[to - lo] += 1;
-                            }
-                        }
-                        Recipient::Neighbors(targets) => {
-                            for &to in targets {
-                                if full || (lo..hi).contains(&to) {
-                                    self.counts[to - lo] += 1;
-                                }
-                            }
-                        }
-                        Recipient::AllNeighbors => {
-                            for &to in self.owned_targets(graph, from, full) {
-                                self.counts[to - lo] += 1;
-                            }
-                        }
-                    }
+        self.work = DeliveryWork::default();
+        for router in routers {
+            let router = router.read().expect("no poisoned router");
+            for route in router.bucket(me) {
+                self.work.refs_scanned += 1;
+                for &to in graph.slot_targets(route.lo as usize..route.hi as usize) {
+                    self.counts[to - lo] += 1;
                 }
             }
         }
@@ -364,30 +666,16 @@ impl DeliveryShard {
         self.inbox.resize(total, Incoming::default());
         self.counts.copy_from_slice(&self.offsets[..len]);
 
-        for (k, chunk) in chunks.iter().enumerate() {
+        for (k, (router, chunk)) in routers.iter().zip(chunks).enumerate() {
+            let router = router.read().expect("no poisoned router");
             let outs = chunk.read().expect("no poisoned outbox chunk");
-            for (i, out) in outs.iter().enumerate() {
-                let from = bounds[k] + i;
-                for msg in out.messages() {
-                    match &msg.to {
-                        Recipient::Neighbor(to) => {
-                            if full || (lo..hi).contains(to) {
-                                self.deposit(*to, from, msg.payload.clone());
-                            }
-                        }
-                        Recipient::Neighbors(targets) => {
-                            for &to in targets {
-                                if full || (lo..hi).contains(&to) {
-                                    self.deposit(to, from, msg.payload.clone());
-                                }
-                            }
-                        }
-                        Recipient::AllNeighbors => {
-                            for &to in self.owned_targets(graph, from, full) {
-                                self.deposit(to, from, msg.payload.clone());
-                            }
-                        }
-                    }
+            let base = bounds[k];
+            for route in router.bucket(me) {
+                let from = route.from as usize;
+                let payload = &outs[from - base].messages()[route.msg as usize].payload;
+                self.work.copies_delivered += (route.hi - route.lo) as usize;
+                for &to in graph.slot_targets(route.lo as usize..route.hi as usize) {
+                    self.deposit(to, from, payload.clone());
                 }
             }
         }
@@ -413,6 +701,43 @@ mod tests {
                 r.clone().map(|v| g.degree(v) + 1).sum()
             })
             .collect()
+    }
+
+    /// The core segmentation invariants: every vertex's segments
+    /// concatenate to exactly its CSR slot range, carry strictly
+    /// increasing destination shards, and place every target in the shard
+    /// they claim; and the flat `shard_of` table agrees with the plan.
+    fn assert_route_index_is_consistent(g: &Graph, plan: &ShardPlan) {
+        let idx = RouteIndex::new(g, plan);
+        assert_eq!(idx.shard_count(), plan.count());
+        for v in 0..g.vertex_count() {
+            assert_eq!(idx.shard_of(v), plan.shard_of(v), "shard_of({v})");
+            let slots = g.neighbor_slots(v);
+            let mut next = slots.start;
+            let mut prev_shard = None;
+            for seg in idx.segments(v) {
+                assert_eq!(seg.slots.start, next, "gap in vertex {v}'s segments");
+                assert!(seg.slots.end > seg.slots.start, "empty segment");
+                assert!(
+                    prev_shard.is_none_or(|p| p < seg.shard),
+                    "vertex {v}: shards not strictly increasing"
+                );
+                for slot in seg.slots.clone() {
+                    let to = g.slot_target(slot);
+                    assert!(
+                        plan.range(seg.shard).contains(&to),
+                        "vertex {v}: target {to} outside shard {}",
+                        seg.shard
+                    );
+                }
+                next = seg.slots.end;
+                prev_shard = Some(seg.shard);
+            }
+            assert_eq!(
+                next, slots.end,
+                "vertex {v}'s segments do not cover its row"
+            );
+        }
     }
 
     #[test]
@@ -482,5 +807,99 @@ mod tests {
             covered += shard.edge_bytes.len();
         }
         assert_eq!(covered, g.directed_edge_count());
+    }
+
+    #[test]
+    fn route_segments_cover_adjacency_on_regular_graphs() {
+        let g = generators::grid2d(9, 7);
+        for s in [1, 2, 3, 7, 63] {
+            assert_route_index_is_consistent(&g, &ShardPlan::degree_balanced(&g, s));
+        }
+    }
+
+    #[test]
+    fn route_index_handles_empty_graph() {
+        let g = Graph::empty(0);
+        let plan = ShardPlan::degree_balanced(&g, 4);
+        let idx = RouteIndex::new(&g, &plan);
+        assert_eq!(idx.shard_count(), 1);
+        assert_route_index_is_consistent(&g, &plan);
+    }
+
+    #[test]
+    fn route_index_handles_more_shards_than_vertices() {
+        let g = generators::path(3);
+        let plan = ShardPlan::degree_balanced(&g, 64);
+        assert_eq!(plan.count(), 3);
+        assert_route_index_is_consistent(&g, &plan);
+        // Each path vertex's neighbors land in their own single-vertex
+        // shards: the middle vertex splits into two singleton segments.
+        let idx = RouteIndex::new(&g, &plan);
+        assert_eq!(idx.segments(1).count(), 2);
+    }
+
+    #[test]
+    fn route_index_handles_high_degree_hub() {
+        // A star's center adjacency spans every other shard; its segments
+        // must tile the full row, one per destination shard with leaves.
+        let g = generators::star(50);
+        for s in [2, 7, 8] {
+            let plan = ShardPlan::degree_balanced(&g, s);
+            assert_route_index_is_consistent(&g, &plan);
+            let idx = RouteIndex::new(&g, &plan);
+            let hub_segments: Vec<_> = idx.segments(0).collect();
+            let covered: usize = hub_segments.iter().map(|s| s.slots.len()).sum();
+            assert_eq!(covered, g.degree(0), "hub row fully covered");
+            // Leaves see a one-segment row pointing at the hub's shard.
+            assert_eq!(idx.segments(1).count(), 1);
+        }
+    }
+
+    #[test]
+    fn router_bucket_capacity_decays_after_a_burst() {
+        let route = RouteRef {
+            from: 0,
+            msg: 0,
+            lo: 0,
+            hi: 1,
+        };
+        let mut router = Router::default();
+        router.reset(2);
+        for _ in 0..1024 {
+            router.push(1, route);
+        }
+        router.reset(2);
+        // The burst is still remembered right after it happened...
+        assert!(router.buckets[1].capacity() >= 512);
+        // ...but dozens of small rounds later the retained capacity has
+        // decayed to the steady volume's scale (same policy as Outbox).
+        for _ in 0..64 {
+            router.push(1, route);
+            router.reset(2);
+        }
+        assert!(
+            router.buckets[1].capacity() <= 32,
+            "bucket capacity {} still pinned after decay",
+            router.buckets[1].capacity()
+        );
+        assert!(router.bucket(1).is_empty());
+    }
+
+    #[test]
+    fn route_index_handles_isolated_vertices() {
+        // Vertices 3 and 4 are isolated: no segments, but still owned by
+        // exactly one shard.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2)]).unwrap();
+        let plan = ShardPlan::degree_balanced(&g, 3);
+        assert_route_index_is_consistent(&g, &plan);
+        let idx = RouteIndex::new(&g, &plan);
+        for v in 3..5 {
+            assert_eq!(idx.segments(v).count(), 0, "isolated vertex {v}");
+            assert_eq!(idx.shard_of(v), plan.shard_of(v));
+        }
+        // Degree balance stays sane: no shard carries more than the whole
+        // weight, and all weight is accounted for.
+        let w = weights(&g, &plan);
+        assert_eq!(w.iter().sum::<usize>(), 2 * g.edge_count() + 5);
     }
 }

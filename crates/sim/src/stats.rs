@@ -17,6 +17,26 @@ impl CongestLimit {
     pub const STANDARD_WORDS: CongestLimit = CongestLimit::PerEdgeBytes(16);
 }
 
+/// Work counters from the most recent delivery (place) phase, summed
+/// over all shards by [`crate::Simulator::delivery_work`].
+///
+/// These measure the *mechanical* cost of routing, not the protocol's
+/// communication (that is [`RoundStats`]): with the sender-side routing
+/// index, `refs_scanned` is bounded by `messages + copies` at any shard
+/// count — each unicast or multicast target is one ref, each broadcast
+/// at most `min(degree, shards)` segment refs — where the pre-routing
+/// engine rescanned every outbox header from every shard
+/// (`O(shards × messages)`). The engine benches report these so the
+/// claim is visible in checked-in artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeliveryWork {
+    /// Route references examined by receiving shards during the count
+    /// pass (the per-message "header work").
+    pub refs_scanned: usize,
+    /// Message copies deposited into inboxes (one per recipient reached).
+    pub copies_delivered: usize,
+}
+
 /// Communication accounting for a single round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RoundStats {

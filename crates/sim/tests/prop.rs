@@ -161,7 +161,7 @@ proptest! {
         g in arb_graph(24),
         seed in 0u64..1_000,
         threads in 2usize..=8,
-        shard_pick in 0usize..5,
+        shard_pick in 0usize..6,
         limit_pick in 0usize..3,
     ) {
         let limit = match limit_pick {
@@ -169,10 +169,13 @@ proptest! {
             1 => CongestLimit::PerEdgeBytes(64),
             _ => CongestLimit::STANDARD_WORDS,
         };
-        // Below, at, and above the thread count, one shard per vertex, and
-        // `0` = the resolved default (NETDECOMP_SHARDS when set — which is
-        // how the CI matrix entry reaches this property — else threads).
-        let shards = [0, 1, 2, 7, g.vertex_count()][shard_pick];
+        // Below, at, and above the thread count, primes that divide
+        // nothing (7, 13 — 13 usually exceeds n/2 here, so many shards
+        // hold one or two vertices and routing segments get maximally
+        // fragmented), one shard per vertex, and `0` = the resolved
+        // default (NETDECOMP_SHARDS when set — which is how the CI matrix
+        // entries reach this property — else threads).
+        let shards = [0, 1, 2, 7, 13, g.vertex_count()][shard_pick];
         let rounds = g.vertex_count().min(12) + 2;
 
         let mut seq = Simulator::new(&g, |id, _| Mixer::new(id, seed)).with_limit(limit);

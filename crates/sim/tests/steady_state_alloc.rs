@@ -91,9 +91,59 @@ fn sharded_steady_state_rounds_do_not_allocate() {
     // Single worker thread (no per-round thread spawns — the vendored
     // rayon shim's scoped threads are the one remaining per-round
     // allocation under multi-threaded engines, see ROADMAP), but the full
-    // sharded delivery path with several shards.
+    // sharded delivery path — sender-side routing included — with several
+    // shards.
     assert_steady_state_is_allocation_free(Engine::Parallel {
         threads: 1,
         shards: 4,
     });
+}
+
+/// Unicast workload rotating through each node's neighbors: exercises the
+/// router's flat vertex→shard path with per-round-varying bucket sizes
+/// (the rotation cycles within the warmup, so every bucket's high-water
+/// mark is reached before measuring).
+#[derive(Debug, Clone)]
+struct SteadyUnicast {
+    payload: Bytes,
+    tick: usize,
+}
+
+impl Protocol for SteadyUnicast {
+    fn start(&mut self, ctx: &Ctx<'_>, out: &mut Outbox) {
+        out.unicast(ctx.neighbors()[0], self.payload.clone());
+    }
+
+    fn round(&mut self, ctx: &Ctx<'_>, _incoming: &[Incoming], out: &mut Outbox) {
+        self.tick += 1;
+        out.unicast(
+            ctx.neighbors()[self.tick % ctx.degree()],
+            self.payload.clone(),
+        );
+    }
+}
+
+#[test]
+fn sharded_unicast_steady_state_rounds_do_not_allocate() {
+    let g = generators::grid2d(12, 12);
+    let mut sim = Simulator::new(&g, |id, _| SteadyUnicast {
+        payload: Bytes::from(vec![id as u8; 8]),
+        tick: id,
+    })
+    .with_engine(Engine::Parallel {
+        threads: 1,
+        shards: 8,
+    });
+    for _ in 0..300 {
+        sim.step().expect("no limits configured");
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..100 {
+        sim.step().expect("no limits configured");
+    }
+    let during = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        during, 0,
+        "unicast steady-state rounds allocated {during} times"
+    );
 }
