@@ -548,6 +548,16 @@ mod tests {
                         threads: 2,
                         shards: 4,
                     },
+                    Engine::Framed {
+                        threads: 2,
+                        shards: 4,
+                        transport: netdecomp_sim::FrameTransport::Loopback,
+                    },
+                    Engine::Framed {
+                        threads: 1,
+                        shards: 3,
+                        transport: netdecomp_sim::FrameTransport::Channel,
+                    },
                 ] {
                     let (dist, comm) =
                         decompose_distributed(g, &params, seed, CongestLimit::Unlimited, engine)

@@ -16,17 +16,22 @@
 //!   round, routed message-by-message through the flat vertex→shard
 //!   table).
 //!
-//! Delivery variants pin `threads: 1` and sweep the shard count, which
-//! isolates the *sharding overhead* of delivery (on a single-CPU box
-//! `sharded_k` vs `sharded_1` is the no-regression check; multicore
-//! speedups need a multicore re-run, see ROADMAP). Each delivery variant
-//! also reports the place phase's measured work counters
-//! (`place_refs_per_round`, `place_copies_per_round`) so the
-//! header-work bound is visible in the checked-in JSON rather than only
-//! in prose: unicast refs stay exactly flat (= messages) across the
-//! shard sweep, and broadcast refs grow only with adjacency-segment
-//! fragmentation — bounded by `copies` (`min(degree, shards)` per
-//! broadcast), never by a `shards ×` rescan multiplier.
+//! Delivery variants pin `threads: 1` and sweep the shard count *and the
+//! delivery backend*, which isolates the per-stage overheads on a
+//! single-CPU box: `sharded_k` vs `sharded_1` prices recipient-range
+//! sharding, `framed_loopback_k` vs `sharded_k` prices the frame seam
+//! (bucket encode + checksum + decode + payload slicing), and
+//! `framed_channel_k` adds the per-shard mailbox hop (multicore speedups
+//! need a multicore re-run, see ROADMAP). Each delivery variant also
+//! reports the place phase's measured work counters
+//! (`place_refs_per_round`, `place_copies_per_round`, and for framed
+//! variants `frame_bytes_per_round` — the volume a process-per-shard
+//! transport would put on the wire) so the header-work bound is visible
+//! in the checked-in JSON rather than only in prose: unicast refs stay
+//! exactly flat (= messages) across the shard sweep, and broadcast refs
+//! grow only with adjacency-segment fragmentation — bounded by `copies`
+//! (`min(degree, shards)` per broadcast), never by a `shards ×` rescan
+//! multiplier.
 //!
 //! Results (with the machine's available parallelism) are written to the
 //! file named by `NETDECOMP_BENCH_JSON`; the checked-in
@@ -43,7 +48,8 @@ use netdecomp_bench::workloads::Family;
 use netdecomp_graph::Graph;
 use netdecomp_sim::wire::{WireReader, WireWriter};
 use netdecomp_sim::{
-    Codec, Ctx, Engine, Incoming, Outbox, Protocol, Simulator, Typed, TypedOutbox, TypedProtocol,
+    Codec, Ctx, Engine, FrameTransport, Incoming, Outbox, Protocol, Simulator, Typed, TypedOutbox,
+    TypedProtocol,
 };
 
 /// A carve-like wire entry: `(origin: u32, score: f64, dist: u16)`.
@@ -209,8 +215,13 @@ fn bench_graph(c: &mut Criterion, label: &str, g: &Graph) {
 }
 
 /// The delivery-bench engine sweep: `threads: 1` throughout, so the
-/// variants differ only in shard count.
-const DELIVERY_ENGINES: [(&str, Engine); 5] = [
+/// variants differ only in shard count and delivery backend. The
+/// `framed_*` entries run the same rounds through the frame seam —
+/// encode every bucket into a checksummed self-delimiting frame, ship it
+/// (in-memory loopback or mpsc channel), decode, and place from payload
+/// slices — so `framed_loopback_k` vs `sharded_k` prices the seam
+/// itself and `framed_channel_k` adds the mailbox hop.
+const DELIVERY_ENGINES: [(&str, Engine); 8] = [
     ("sequential", Engine::Sequential),
     (
         "sharded_1",
@@ -240,6 +251,30 @@ const DELIVERY_ENGINES: [(&str, Engine); 5] = [
             shards: 8,
         },
     ),
+    (
+        "framed_loopback_4",
+        Engine::Framed {
+            threads: 1,
+            shards: 4,
+            transport: FrameTransport::Loopback,
+        },
+    ),
+    (
+        "framed_loopback_8",
+        Engine::Framed {
+            threads: 1,
+            shards: 8,
+            transport: FrameTransport::Loopback,
+        },
+    ),
+    (
+        "framed_channel_4",
+        Engine::Framed {
+            threads: 1,
+            shards: 4,
+            transport: FrameTransport::Channel,
+        },
+    ),
 ];
 
 fn bench_delivery_workload<P, F>(c: &mut Criterion, group_name: &str, g: &Graph, make: F)
@@ -266,6 +301,9 @@ where
         let id = format!("{name}/{}", g.vertex_count());
         group.report_metric(&id, "place_refs_per_round", work.refs_scanned as f64);
         group.report_metric(&id, "place_copies_per_round", work.copies_delivered as f64);
+        if matches!(engine, Engine::Framed { .. }) {
+            group.report_metric(&id, "frame_bytes_per_round", work.frame_bytes as f64);
+        }
     }
     group.finish();
 }

@@ -5,6 +5,106 @@ use std::fmt;
 
 use netdecomp_graph::VertexId;
 
+/// Ways a transport frame can fail validation (see [`crate::frame`] for
+/// the wire layout these checks guard).
+///
+/// Every variant is a *typed* rejection: a truncated, stale-versioned, or
+/// bit-flipped frame surfaces as an error from the decode or place path,
+/// never as a panic or a silently misdelivered message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// Fewer bytes than the header — or the declared frame length —
+    /// requires.
+    Truncated {
+        /// Bytes the frame claims to need.
+        needed: usize,
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// The first bytes are not the `NDF` frame magic.
+    BadMagic,
+    /// Right magic, wrong format version.
+    VersionMismatch {
+        /// Version byte found in the frame.
+        found: u8,
+        /// Version this build speaks.
+        expected: u8,
+    },
+    /// The header checksum does not match the header and table bytes.
+    ChecksumMismatch {
+        /// Checksum the frame declares.
+        declared: u32,
+        /// Checksum computed over the received bytes.
+        computed: u32,
+    },
+    /// Structurally invalid: tables or payload entries overrun their
+    /// regions, a ref points past the payload table, or similar.
+    Malformed {
+        /// Which structural check failed.
+        detail: &'static str,
+    },
+    /// The frame's addressing words disagree with the link it arrived on.
+    Misrouted {
+        /// Shard the link says the frame is for / from.
+        expected: usize,
+        /// Shard the frame's header claims.
+        found: usize,
+    },
+    /// No frame arrived from this sender shard this round.
+    MissingFrame {
+        /// The sender shard whose frame is missing.
+        sender: usize,
+    },
+    /// A ref is inconsistent with the graph and plan: its slot range
+    /// delivers to vertices outside the receiving shard, its claimed
+    /// sender does not belong to the shard the frame came from, or the
+    /// slots are not the claimed sender's own CSR row — a correctly
+    /// checksummed but misrouted (or fabricated) entry.
+    ForeignSlots {
+        /// The ref's claimed sender vertex.
+        from: VertexId,
+        /// First slot of the offending range.
+        lo: usize,
+        /// One past the last slot.
+        hi: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated { needed, have } => {
+                write!(f, "frame truncated: {have} bytes of {needed}")
+            }
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::VersionMismatch { found, expected } => {
+                write!(f, "frame version {found} (this build speaks {expected})")
+            }
+            FrameError::ChecksumMismatch { declared, computed } => write!(
+                f,
+                "frame checksum mismatch: declared {declared:#010x}, computed {computed:#010x}"
+            ),
+            FrameError::Malformed { detail } => write!(f, "malformed frame: {detail}"),
+            FrameError::Misrouted { expected, found } => {
+                write!(
+                    f,
+                    "misrouted frame: header says shard {found}, link says {expected}"
+                )
+            }
+            FrameError::MissingFrame { sender } => {
+                write!(f, "no frame arrived from sender shard {sender}")
+            }
+            FrameError::ForeignSlots { from, lo, hi } => write!(
+                f,
+                "frame ref from vertex {from} covers slots {lo}..{hi} outside the receiving shard"
+            ),
+        }
+    }
+}
+
+impl Error for FrameError {}
+
 /// Errors surfaced by the simulation engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -45,6 +145,16 @@ pub enum SimError {
         /// First vertex whose outbox diverged.
         vertex: VertexId,
     },
+    /// A framed backend ([`crate::Engine::Framed`]) received a bucket
+    /// frame that failed validation during the place phase.
+    Frame {
+        /// Destination shard that rejected the frame.
+        shard: usize,
+        /// Round in which it happened.
+        round: usize,
+        /// The frame-level failure.
+        error: FrameError,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -69,6 +179,14 @@ impl fmt::Display for SimError {
             SimError::Nondeterminism { round, vertex } => write!(
                 f,
                 "parallel compute diverged from the sequential reference at round {round} (vertex {vertex})"
+            ),
+            SimError::Frame {
+                shard,
+                round,
+                error,
+            } => write!(
+                f,
+                "shard {shard} rejected a bucket frame at round {round}: {error}"
             ),
         }
     }
@@ -99,11 +217,32 @@ mod tests {
             vertex: 2,
         };
         assert!(e.to_string().contains("round 4"));
+        let e = SimError::Frame {
+            shard: 3,
+            round: 7,
+            error: FrameError::ChecksumMismatch {
+                declared: 1,
+                computed: 2,
+            },
+        };
+        assert!(e.to_string().contains("shard 3"));
+        assert!(e.to_string().contains("checksum mismatch"));
+        let e = FrameError::Truncated {
+            needed: 28,
+            have: 5,
+        };
+        assert!(e.to_string().contains("5 bytes of 28"));
+        let e = FrameError::VersionMismatch {
+            found: 9,
+            expected: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
     }
 
     #[test]
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimError>();
+        assert_send_sync::<FrameError>();
     }
 }

@@ -1,0 +1,832 @@
+//! The frame transport: self-delimiting bucket frames and the shard
+//! backends that ship them.
+//!
+//! With sender-side routing, a round's cross-shard traffic is already
+//! batched: shard `k`'s router holds one bucket of
+//! [`RouteRef`](crate::shard)s per destination shard, and the place phase
+//! consumes exactly those buckets. This module serializes each bucket —
+//! its refs *plus the payload bytes they reference* — into one
+//! **self-delimiting frame** per destination shard, the unit a
+//! process-per-shard transport ships. Once delivery reads frames instead
+//! of in-memory buckets, "shards stop sharing an address space" becomes a
+//! [`Transport`] swap, not an engine rewrite.
+//!
+//! # Frame layout
+//!
+//! All integers are little-endian `u32` unless noted. One frame carries
+//! one `(sender shard, destination shard)` bucket:
+//!
+//! ```text
+//! offset  bytes  field
+//! ------  -----  -----------------------------------------------------
+//!      0      3  magic  b"NDF"
+//!      3      1  format version (u8, currently 1)
+//!      4      4  frame length — total bytes, self-delimiting
+//!      8      4  sender shard
+//!     12      4  destination shard
+//!     16      4  R: ref count
+//!     20      4  P: payload count
+//!     24      4  FNV-1a checksum over bytes [0, 24) ++ [28, 28+16R+8P)
+//!     28    16R  ref table:     R x { from, payload index, lo, hi }
+//! 28+16R     8P  payload table: P x { offset, length }   (region-relative)
+//! 28+16R+8P   …  payload region (concatenated payload bytes)
+//! ```
+//!
+//! A ref's `lo..hi` is the contiguous directed-edge slot range carrying
+//! its copies (a unicast is a singleton, a broadcast ref one precomputed
+//! adjacency segment), exactly as in the in-memory bucket. Consecutive
+//! refs may share one payload-table entry — a multicast's copies are
+//! stored once — and decoding hands each recipient a zero-copy
+//! [`Bytes::slice`] view into the payload region. The checksum covers
+//! every header and table byte (not the payload region, whose bytes are
+//! re-read by recipients anyway), so a corrupted ref can never misroute a
+//! message silently: it fails decode with a typed [`FrameError`] instead.
+//!
+//! # Transports
+//!
+//! A [`Transport`] moves encoded frames between shards; the engine's
+//! framed backends ([`crate::Engine::Framed`]) never let one shard read
+//! another's outboxes or routers — frames are the *only* cross-shard
+//! channel during delivery. Two implementations ship:
+//!
+//! - [`LoopbackTransport`] — an in-memory slot matrix handing the encoded
+//!   [`Bytes`] to the destination by reference count. This prices the
+//!   seam itself (encode + checksum + decode) with zero I/O, and stays
+//!   allocation-free in steady state: senders recycle their frame
+//!   buffers through [`Bytes::try_into_mut`] on a two-round ring (a
+//!   frame's payload slices live in destination inboxes for one round,
+//!   so the round-before-last's buffer is reclaimable by the time it is
+//!   needed again).
+//! - [`ChannelTransport`] — each shard owns a persistent mpsc mailbox and
+//!   receives *only* encoded frames from it, simulating process-per-shard
+//!   isolation: no shared inbox, outbox, or router memory crosses a shard
+//!   boundary. (The mailboxes persist across rounds; making the worker
+//!   *threads* persistent too awaits the real rayon pool, the same caveat
+//!   as the shared-memory engine — see ROADMAP.) A socket transport for a
+//!   true multi-process backend would implement the same two methods.
+
+use std::ops::Range;
+use std::sync::{mpsc, Mutex};
+
+use bytes::{BufMut, Bytes, BytesMut};
+use netdecomp_graph::VertexId;
+
+use crate::error::FrameError;
+use crate::message::Outbox;
+use crate::shard::Router;
+
+/// Frame format version, embedded in every frame's fourth byte.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Magic prefix of every frame.
+const MAGIC: &[u8; 3] = b"NDF";
+
+/// Fixed header length in bytes (through the checksum word).
+const HEADER_LEN: usize = 28;
+
+/// Byte offset of the frame-length word.
+const LEN_OFFSET: usize = 4;
+
+/// Byte offset of the checksum word (the checksum skips these 4 bytes).
+const CHECKSUM_OFFSET: usize = 24;
+
+/// Bytes per ref-table entry.
+const REF_BYTES: usize = 16;
+
+/// Bytes per payload-table entry.
+const PAYLOAD_BYTES: usize = 8;
+
+/// Reads the little-endian `u32` at `off`.
+fn le32(data: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes"))
+}
+
+/// 32-bit FNV-1a over the two checksummed byte ranges (header without the
+/// checksum word, then the tables).
+fn checksum(head: &[u8], tables: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in head.iter().chain(tables) {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Which frame transport a framed engine ships buckets through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrameTransport {
+    /// In-memory slot matrix: frames change hands by reference count
+    /// (zero-copy, allocation-free in steady state). Prices the frame
+    /// seam itself.
+    #[default]
+    Loopback,
+    /// Per-shard mpsc mailboxes: a shard receives only encoded frames,
+    /// never touching another shard's memory — process-per-shard
+    /// semantics on threads.
+    Channel,
+}
+
+/// Moves one round's encoded bucket frames between shards.
+///
+/// Contract: during each round every sender shard calls [`Transport::send`]
+/// exactly once per destination shard (empty buckets ship header-only
+/// frames, so arrival counts are deterministic), all sends complete before
+/// any [`Transport::collect`] for that round begins (the engine
+/// barriers between the phases), and `collect` is called exactly once per
+/// destination per round.
+pub trait Transport: Send + Sync + std::fmt::Debug {
+    /// Ships one encoded frame from sender shard `from` to destination
+    /// shard `to`.
+    fn send(&self, from: usize, to: usize, frame: Bytes);
+
+    /// Collects the frames addressed to shard `to`: stores the frame from
+    /// sender shard `k` at `into[k]`. `into` has one slot per shard; slots
+    /// left `None` (a frame that never arrived) are surfaced by the place
+    /// phase as a [`FrameError::MissingFrame`]. An implementation may
+    /// either return immediately with whatever arrived (loopback) or
+    /// block until `into.len()` frames are in hand (channels) — under the
+    /// contract above both are equivalent, since every frame has already
+    /// been sent.
+    fn collect(&self, to: usize, into: &mut [Option<Bytes>]);
+}
+
+/// In-memory [`Transport`]: an `S x S` slot matrix, grouped by
+/// destination so a collect locks once.
+#[derive(Debug)]
+pub struct LoopbackTransport {
+    /// `slots[to][from]`, taken (moved out) by the destination's collect.
+    slots: Vec<Mutex<Vec<Option<Bytes>>>>,
+}
+
+impl LoopbackTransport {
+    /// A loopback fabric connecting `shards` shards.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        LoopbackTransport {
+            slots: (0..shards)
+                .map(|_| Mutex::new(vec![None; shards]))
+                .collect(),
+        }
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn send(&self, from: usize, to: usize, frame: Bytes) {
+        let mut row = self.slots[to].lock().expect("no poisoned loopback row");
+        row[from] = Some(frame);
+    }
+
+    fn collect(&self, to: usize, into: &mut [Option<Bytes>]) {
+        let mut row = self.slots[to].lock().expect("no poisoned loopback row");
+        for (slot, out) in row.iter_mut().zip(into.iter_mut()) {
+            *out = slot.take();
+        }
+    }
+}
+
+/// Message-passing [`Transport`]: one persistent mpsc mailbox per shard.
+#[derive(Debug)]
+pub struct ChannelTransport {
+    /// `senders[to]` feeds shard `to`'s mailbox (tagged with the sender).
+    senders: Vec<mpsc::Sender<(usize, Bytes)>>,
+    /// Each shard's mailbox; locked only by its owner during collect.
+    receivers: Vec<Mutex<mpsc::Receiver<(usize, Bytes)>>>,
+}
+
+impl ChannelTransport {
+    /// A channel fabric connecting `shards` shards.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        let mut senders = Vec::with_capacity(shards);
+        let mut receivers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            receivers.push(Mutex::new(rx));
+        }
+        ChannelTransport { senders, receivers }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&self, from: usize, to: usize, frame: Bytes) {
+        self.senders[to]
+            .send((from, frame))
+            .expect("mailbox receiver outlives the round");
+    }
+
+    /// Blocks until `into.len()` frames are in hand. Liveness leans on
+    /// the [`Transport`] contract (the engine barriers ship before
+    /// collect, one frame per sender) — a peer that under-delivers would
+    /// park this thread rather than produce a
+    /// [`FrameError::MissingFrame`], which for this backend can only
+    /// arise from a duplicated sender tag displacing another slot.
+    fn collect(&self, to: usize, into: &mut [Option<Bytes>]) {
+        let rx = self.receivers[to].lock().expect("no poisoned mailbox");
+        for _ in 0..into.len() {
+            let (from, frame) = rx.recv().expect("one frame per sender per round");
+            into[from] = Some(frame);
+        }
+    }
+}
+
+/// Incremental encoder for one frame: push routed entries, then assemble.
+///
+/// The builder's scratch tables are retained across frames (call
+/// [`FrameBuilder::begin`] to start the next one), so steady-state
+/// encoding allocates nothing once every table has reached its high-water
+/// capacity.
+#[derive(Debug, Default)]
+pub struct FrameBuilder {
+    sender: u32,
+    dest: u32,
+    /// Ref table scratch: `{from, payload index, lo, hi}`.
+    refs: Vec<[u32; 4]>,
+    /// Payload table scratch: `(offset, length)` into `payload`.
+    payloads: Vec<(u32, u32)>,
+    /// Payload region scratch.
+    payload: Vec<u8>,
+}
+
+impl FrameBuilder {
+    /// An empty builder (for shard `0 -> 0` until [`FrameBuilder::begin`]
+    /// retargets it).
+    #[must_use]
+    pub fn new() -> Self {
+        FrameBuilder::default()
+    }
+
+    /// Resets the builder for a new `sender -> dest` frame, keeping all
+    /// scratch capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either shard index exceeds the `u32` wire bound.
+    pub fn begin(&mut self, sender: usize, dest: usize) {
+        self.sender = u32::try_from(sender).expect("shard index fits the wire format");
+        self.dest = u32::try_from(dest).expect("shard index fits the wire format");
+        self.refs.clear();
+        self.payloads.clear();
+        self.payload.clear();
+    }
+
+    /// Appends one routed entry carrying a new payload: sender vertex
+    /// `from` delivers `payload` along the directed-edge slot range
+    /// `slots`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot range is decreasing or any position exceeds the
+    /// `u32` wire bound — a frame that cannot represent its bucket must
+    /// never be shipped silently truncated.
+    pub fn push(&mut self, from: VertexId, slots: Range<usize>, payload: &[u8]) {
+        let off = u32::try_from(self.payload.len()).expect("payload region fits the wire format");
+        let len = u32::try_from(payload.len()).expect("payload fits the wire format");
+        assert!(
+            off.checked_add(len).is_some(),
+            "payload region fits the wire format"
+        );
+        self.payload.extend_from_slice(payload);
+        self.payloads.push((off, len));
+        self.push_ref(from, slots);
+    }
+
+    /// Appends one routed entry sharing the most recently pushed payload
+    /// (a multicast's later copies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been pushed since [`FrameBuilder::begin`],
+    /// or on the same wire-bound violations as [`FrameBuilder::push`].
+    pub fn push_shared(&mut self, from: VertexId, slots: Range<usize>) {
+        assert!(!self.payloads.is_empty(), "push_shared needs a prior push");
+        self.push_ref(from, slots);
+    }
+
+    fn push_ref(&mut self, from: VertexId, slots: Range<usize>) {
+        assert!(slots.start <= slots.end, "slot range is decreasing");
+        let from = u32::try_from(from).expect("vertex id fits the wire format");
+        let lo = u32::try_from(slots.start).expect("slot position fits the wire format");
+        let hi = u32::try_from(slots.end).expect("slot position fits the wire format");
+        let payload = (self.payloads.len() - 1) as u32;
+        self.refs.push([from, payload, lo, hi]);
+    }
+
+    /// Entries pushed since [`FrameBuilder::begin`].
+    #[must_use]
+    pub fn ref_count(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Assembles the frame into `buf` (cleared first — pass a recycled
+    /// buffer to encode without allocating) and freezes it.
+    #[must_use]
+    pub fn finish_into(&mut self, mut buf: BytesMut) -> Bytes {
+        buf.clear();
+        buf.put_slice(MAGIC);
+        buf.put_u8(FRAME_VERSION);
+        buf.put_u32_le(0); // frame length, patched below
+        buf.put_u32_le(self.sender);
+        buf.put_u32_le(self.dest);
+        buf.put_u32_le(self.refs.len() as u32);
+        buf.put_u32_le(self.payloads.len() as u32);
+        buf.put_u32_le(0); // checksum, patched below
+        for r in &self.refs {
+            for w in r {
+                buf.put_u32_le(*w);
+            }
+        }
+        for &(off, len) in &self.payloads {
+            buf.put_u32_le(off);
+            buf.put_u32_le(len);
+        }
+        let tables_end = buf.len();
+        buf.put_slice(&self.payload);
+        let total = u32::try_from(buf.len()).expect("frame length fits the wire format");
+        buf[LEN_OFFSET..LEN_OFFSET + 4].copy_from_slice(&total.to_le_bytes());
+        let sum = checksum(&buf[..CHECKSUM_OFFSET], &buf[HEADER_LEN..tables_end]);
+        buf[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4].copy_from_slice(&sum.to_le_bytes());
+        buf.freeze()
+    }
+
+    /// Assembles the frame into a fresh buffer.
+    #[must_use]
+    pub fn finish(&mut self) -> Bytes {
+        self.finish_into(BytesMut::new())
+    }
+}
+
+/// One decoded ref-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRef {
+    /// Global sender vertex id.
+    pub from: u32,
+    /// Index into the frame's payload table.
+    pub payload: u32,
+    /// First directed-edge slot of the routed copies.
+    pub lo: u32,
+    /// One past the last slot.
+    pub hi: u32,
+}
+
+/// A validated, decoded frame: a zero-copy view over the encoded bytes.
+///
+/// Decoding checks the magic, version, declared length, header checksum,
+/// and every table bound up front, so the accessors below cannot read out
+/// of range; [`Frame::payload`] hands out [`Bytes::slice`] views of the
+/// payload region without copying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    bytes: Bytes,
+    sender: u32,
+    dest: u32,
+    ref_count: usize,
+    payload_count: usize,
+    /// Byte offset of the payload table.
+    payload_table: usize,
+    /// Byte offset of the payload region.
+    region: usize,
+}
+
+impl Frame {
+    /// Parses and validates one encoded frame.
+    ///
+    /// # Errors
+    ///
+    /// Every malformation maps to a typed [`FrameError`]: short or
+    /// overlong input, wrong magic or version, a checksum mismatch, or
+    /// tables/payload entries that overrun their regions.
+    pub fn decode(bytes: Bytes) -> Result<Frame, FrameError> {
+        let data = bytes.as_slice();
+        if data.len() < HEADER_LEN {
+            return Err(FrameError::Truncated {
+                needed: HEADER_LEN,
+                have: data.len(),
+            });
+        }
+        if &data[..3] != MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        if data[3] != FRAME_VERSION {
+            return Err(FrameError::VersionMismatch {
+                found: data[3],
+                expected: FRAME_VERSION,
+            });
+        }
+        let declared = le32(data, LEN_OFFSET) as usize;
+        if declared > data.len() {
+            return Err(FrameError::Truncated {
+                needed: declared,
+                have: data.len(),
+            });
+        }
+        if declared < data.len() {
+            return Err(FrameError::Malformed {
+                detail: "bytes trail the declared frame length",
+            });
+        }
+        let sender = le32(data, 8);
+        let dest = le32(data, 12);
+        let ref_count = le32(data, 16) as usize;
+        let payload_count = le32(data, 20) as usize;
+        let tables = (ref_count as u64) * (REF_BYTES as u64)
+            + (payload_count as u64) * (PAYLOAD_BYTES as u64);
+        let region = (HEADER_LEN as u64).saturating_add(tables);
+        if region > declared as u64 {
+            return Err(FrameError::Malformed {
+                detail: "tables overrun the frame",
+            });
+        }
+        let region = region as usize;
+        let declared_sum = le32(data, CHECKSUM_OFFSET);
+        let computed = checksum(&data[..CHECKSUM_OFFSET], &data[HEADER_LEN..region]);
+        if computed != declared_sum {
+            return Err(FrameError::ChecksumMismatch {
+                declared: declared_sum,
+                computed,
+            });
+        }
+        let payload_table = HEADER_LEN + ref_count * REF_BYTES;
+        let region_len = declared - region;
+        for i in 0..payload_count {
+            let off = le32(data, payload_table + PAYLOAD_BYTES * i) as usize;
+            let len = le32(data, payload_table + PAYLOAD_BYTES * i + 4) as usize;
+            if off + len > region_len {
+                return Err(FrameError::Malformed {
+                    detail: "payload entry overruns the payload region",
+                });
+            }
+        }
+        for i in 0..ref_count {
+            let base = HEADER_LEN + REF_BYTES * i;
+            if le32(data, base + 4) as usize >= payload_count {
+                return Err(FrameError::Malformed {
+                    detail: "ref points past the payload table",
+                });
+            }
+            if le32(data, base + 8) > le32(data, base + 12) {
+                return Err(FrameError::Malformed {
+                    detail: "ref slot range is decreasing",
+                });
+            }
+        }
+        Ok(Frame {
+            bytes,
+            sender,
+            dest,
+            ref_count,
+            payload_count,
+            payload_table,
+            region,
+        })
+    }
+
+    /// The shard that encoded this frame.
+    #[must_use]
+    pub fn sender_shard(&self) -> usize {
+        self.sender as usize
+    }
+
+    /// The shard this frame is addressed to.
+    #[must_use]
+    pub fn dest_shard(&self) -> usize {
+        self.dest as usize
+    }
+
+    /// Number of ref-table entries.
+    #[must_use]
+    pub fn ref_count(&self) -> usize {
+        self.ref_count
+    }
+
+    /// Number of payload-table entries.
+    #[must_use]
+    pub fn payload_count(&self) -> usize {
+        self.payload_count
+    }
+
+    /// Total encoded size in bytes.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The ref-table entries, in bucket (= delivery) order.
+    pub fn refs(&self) -> impl Iterator<Item = FrameRef> + '_ {
+        let data = self.bytes.as_slice();
+        (0..self.ref_count).map(move |i| {
+            let base = HEADER_LEN + REF_BYTES * i;
+            FrameRef {
+                from: le32(data, base),
+                payload: le32(data, base + 4),
+                lo: le32(data, base + 8),
+                hi: le32(data, base + 12),
+            }
+        })
+    }
+
+    /// A zero-copy view of payload `idx` (bounds-checked at decode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= payload_count()`.
+    #[must_use]
+    pub fn payload(&self, idx: u32) -> Bytes {
+        assert!(
+            (idx as usize) < self.payload_count,
+            "payload index in range"
+        );
+        let data = self.bytes.as_slice();
+        let entry = self.payload_table + PAYLOAD_BYTES * idx as usize;
+        let off = le32(data, entry) as usize;
+        let len = le32(data, entry + 4) as usize;
+        self.bytes.slice(self.region + off..self.region + off + len)
+    }
+}
+
+/// One shard's sender side of the frame seam: encodes every router bucket
+/// into a frame and ships it, recycling frame buffers on a two-round ring.
+///
+/// Why two rounds: a frame's payload slices sit in destination inboxes
+/// for exactly one round (placed in round `r`, consumed by round `r + 1`'s
+/// compute, overwritten by its place), so the buffer shipped in round
+/// `r - 2` is uniquely referenced again by round `r` and
+/// [`Bytes::try_into_mut`] reclaims it — steady-state framing allocates
+/// nothing. A protocol that retains payload views longer just makes the
+/// reclaim miss and fall back to a fresh buffer; correctness is
+/// unaffected.
+///
+/// Retained capacity is bounded with the same rolling-high-water policy
+/// as [`Outbox`] and the router buckets: a reclaimed buffer whose
+/// capacity sits above [`Outbox::RETAIN_FACTOR`] times the per-dest mark
+/// is dropped, so one bursty round cannot pin `2 x shards` burst-sized
+/// frame buffers per shard forever, while constant-volume rounds never
+/// shrink (doubling growth stays under the factor) and stay zero-alloc.
+#[derive(Debug, Default)]
+pub(crate) struct FrameEncoder {
+    builder: FrameBuilder,
+    /// `ring[dest][parity]`: this shard's retained handle to the frame it
+    /// shipped to `dest` two rounds ago (reclaim candidate).
+    ring: Vec<[Option<Bytes>; 2]>,
+    /// Rolling high-water mark of encoded frame bytes, per destination.
+    high_water: Vec<usize>,
+    parity: usize,
+}
+
+/// Floor of the frame-buffer retention mark, in bytes (a header-only
+/// frame is 28 bytes; tiny frames must never thrash).
+const FRAME_RETAIN_FLOOR: usize = 256;
+
+impl FrameEncoder {
+    pub(crate) fn new(shards: usize) -> Self {
+        FrameEncoder {
+            builder: FrameBuilder::new(),
+            ring: vec![[None, None]; shards],
+            high_water: vec![0; shards],
+            parity: 0,
+        }
+    }
+
+    /// Encodes shard `me`'s buckets — refs from `router`, payload bytes
+    /// from the shard's own `outboxes` chunk (whose first sender is
+    /// `base`) — and ships one frame per destination shard through
+    /// `transport`.
+    pub(crate) fn ship(
+        &mut self,
+        me: usize,
+        router: &Router,
+        outboxes: &[Outbox],
+        base: VertexId,
+        transport: &dyn Transport,
+    ) {
+        self.parity ^= 1;
+        for dest in 0..self.ring.len() {
+            let cap = Outbox::RETAIN_FACTOR * self.high_water[dest].max(FRAME_RETAIN_FLOOR);
+            let buf = match self.ring[dest][self.parity].take() {
+                Some(old) => match old.try_into_mut() {
+                    // Dropping an over-retained buffer (rather than
+                    // shrinking in place) keeps the shim's `BytesMut`
+                    // surface identical to the real crate's.
+                    Ok(buf) if buf.capacity() <= cap => buf,
+                    Ok(_) | Err(_) => BytesMut::new(),
+                },
+                None => BytesMut::new(),
+            };
+            self.builder.begin(me, dest);
+            let mut last: Option<(u32, u32)> = None;
+            for route in router.bucket(dest) {
+                let slots = route.lo as usize..route.hi as usize;
+                if last == Some((route.from, route.msg)) {
+                    self.builder.push_shared(route.from as usize, slots);
+                } else {
+                    let payload = &outboxes[route.from as usize - base].messages()
+                        [route.msg as usize]
+                        .payload;
+                    self.builder.push(route.from as usize, slots, payload);
+                    last = Some((route.from, route.msg));
+                }
+            }
+            let frame = self.builder.finish_into(buf);
+            let hw = &mut self.high_water[dest];
+            *hw = (*hw - *hw / 4).max(frame.len());
+            self.ring[dest][self.parity] = Some(frame.clone());
+            transport.send(me, dest, frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_frame_round_trips() {
+        let mut b = FrameBuilder::new();
+        b.begin(3, 5);
+        let frame = b.finish();
+        assert_eq!(frame.len(), HEADER_LEN);
+        let f = Frame::decode(frame).unwrap();
+        assert_eq!(f.sender_shard(), 3);
+        assert_eq!(f.dest_shard(), 5);
+        assert_eq!(f.ref_count(), 0);
+        assert_eq!(f.payload_count(), 0);
+        assert_eq!(f.refs().count(), 0);
+    }
+
+    #[test]
+    fn entries_round_trip_with_shared_payloads() {
+        let mut b = FrameBuilder::new();
+        b.begin(0, 1);
+        b.push(7, 40..41, b"alpha");
+        b.push_shared(7, 55..56); // same multicast payload, second target
+        b.push(9, 10..14, b"bee");
+        let f = Frame::decode(b.finish()).unwrap();
+        let refs: Vec<_> = f.refs().collect();
+        assert_eq!(refs.len(), 3);
+        assert_eq!(f.payload_count(), 2);
+        assert_eq!(refs[0].from, 7);
+        assert_eq!((refs[0].lo, refs[0].hi), (40, 41));
+        assert_eq!(refs[0].payload, refs[1].payload, "multicast shares bytes");
+        assert_eq!(f.payload(refs[1].payload).as_slice(), b"alpha");
+        assert_eq!(f.payload(refs[2].payload).as_slice(), b"bee");
+        assert_eq!((refs[2].lo, refs[2].hi), (10, 14));
+    }
+
+    #[test]
+    fn builder_scratch_is_reusable() {
+        let mut b = FrameBuilder::new();
+        b.begin(0, 0);
+        b.push(1, 2..3, b"first");
+        let one = b.finish();
+        b.begin(2, 4);
+        b.push(5, 6..7, b"second");
+        let two = Frame::decode(b.finish()).unwrap();
+        assert_eq!(two.sender_shard(), 2);
+        assert_eq!(two.ref_count(), 1);
+        assert_eq!(two.payload(0).as_slice(), b"second");
+        // The first frame is unaffected by the rebuild.
+        let one = Frame::decode(one).unwrap();
+        assert_eq!(one.payload(0).as_slice(), b"first");
+    }
+
+    #[test]
+    fn payload_views_share_the_frame_buffer() {
+        let mut b = FrameBuilder::new();
+        b.begin(0, 0);
+        b.push(0, 0..1, b"shared-zero-copy");
+        let encoded = b.finish();
+        let f = Frame::decode(encoded.clone()).unwrap();
+        let view = f.payload(0);
+        drop(f);
+        // The view keeps the frame alive; reclaiming must fail while it
+        // (and our handle) exist, and succeed once the views are gone.
+        let encoded = encoded.try_into_mut().expect_err("view still live");
+        drop(view);
+        assert!(encoded.try_into_mut().is_ok());
+    }
+
+    #[test]
+    fn loopback_moves_frames_once() {
+        let t = LoopbackTransport::new(2);
+        let mut b = FrameBuilder::new();
+        b.begin(1, 0);
+        let frame = b.finish();
+        t.send(1, 0, frame.clone());
+        let mut got = vec![None, None];
+        t.collect(0, &mut got);
+        assert!(got[0].is_none());
+        assert_eq!(got[1].as_ref().unwrap().as_slice(), frame.as_slice());
+        // A second collect finds the slots drained.
+        let mut again = vec![None, None];
+        t.collect(0, &mut again);
+        assert!(again.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn channel_collects_one_frame_per_sender() {
+        let t = ChannelTransport::new(3);
+        let mut b = FrameBuilder::new();
+        for from in 0..3 {
+            b.begin(from, 2);
+            b.push(from, from..from + 1, &[from as u8]);
+            t.send(from, 2, b.finish());
+        }
+        let mut got = vec![None, None, None];
+        t.collect(2, &mut got);
+        for (from, slot) in got.iter().enumerate() {
+            let f = Frame::decode(slot.clone().expect("frame arrived")).unwrap();
+            assert_eq!(f.sender_shard(), from);
+        }
+    }
+
+    #[test]
+    fn encoder_ships_one_valid_frame_per_destination_per_round() {
+        let t = LoopbackTransport::new(2);
+        let mut router = Router::default();
+        router.reset(2);
+        let mut enc = FrameEncoder::new(2);
+        for round in 0..6 {
+            enc.ship(0, &router, &[], 0, &t);
+            for dest in 0..2 {
+                let mut got = vec![None, None];
+                t.collect(dest, &mut got);
+                let frame = Frame::decode(got[0].take().expect("frame arrived")).unwrap();
+                assert_eq!(frame.sender_shard(), 0, "round {round} dest {dest}");
+                assert_eq!(frame.dest_shard(), dest, "round {round} dest {dest}");
+                assert_eq!(frame.ref_count(), 0);
+                assert!(got[1].is_none(), "no frame from a nonexistent sender");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_buffer_capacity_decays_after_a_burst() {
+        use crate::shard::RouteRef;
+
+        let t = LoopbackTransport::new(1);
+        let drain = |t: &LoopbackTransport| {
+            let mut got = vec![None];
+            t.collect(0, &mut got);
+        };
+        let mut router = Router::default();
+        router.reset(1);
+        router.push(
+            0,
+            RouteRef {
+                from: 0,
+                msg: 0,
+                lo: 0,
+                hi: 1,
+            },
+        );
+        let mut outbox = crate::Outbox::new();
+        outbox.unicast(0, Bytes::from(vec![7u8; 64 * 1024]));
+        let outboxes = [outbox];
+        let mut enc = FrameEncoder::new(1);
+        enc.ship(0, &router, &outboxes, 0, &t);
+        drain(&t);
+        assert!(enc.high_water[0] >= 64 * 1024, "burst mark recorded");
+        // Dozens of empty rounds later, the mark — and with it the
+        // retained buffer capacity the reclaim path will accept — has
+        // decayed back to the steady scale (same policy as Outbox).
+        router.reset(1);
+        for _ in 0..64 {
+            enc.ship(0, &router, &[], 0, &t);
+            drain(&t);
+        }
+        assert!(
+            enc.high_water[0] <= FRAME_RETAIN_FLOOR,
+            "mark {} still pinned after decay",
+            enc.high_water[0]
+        );
+    }
+
+    #[test]
+    fn recycle_ring_never_aliases_a_frame_a_receiver_still_holds() {
+        // A receiver that keeps a frame (or a payload view) alive across
+        // later rounds must see its bytes unchanged: the ring's reclaim
+        // goes through `Bytes::try_into_mut`, which refuses shared
+        // buffers, so the encoder falls back to a fresh buffer instead of
+        // rewriting one in place. Exercised far past the two-round parity
+        // window.
+        let t = LoopbackTransport::new(1);
+        let mut router = Router::default();
+        router.reset(1);
+        let mut enc = FrameEncoder::new(1);
+        enc.ship(0, &router, &[], 0, &t);
+        let mut got = vec![None];
+        t.collect(0, &mut got);
+        let held = got[0].take().unwrap();
+        let snapshot = held.as_slice().to_vec();
+        for _ in 0..6 {
+            enc.ship(0, &router, &[], 0, &t);
+            let mut later = vec![None];
+            t.collect(0, &mut later);
+            assert_eq!(
+                held.as_slice(),
+                &snapshot[..],
+                "a held frame was rewritten in place"
+            );
+        }
+    }
+}

@@ -42,16 +42,39 @@
 //! `O(shards × messages)` to `O(messages + copies)` refs, with no
 //! shard-count multiplier (the complexity table lives in the `shard`
 //! module docs; [`Simulator::delivery_work`] reports the measured
-//! [`DeliveryWork`] counters). It is also the seam for the
-//! staged process-per-shard backend: a per-`(sender, destination)` bucket
-//! is exactly the batch a transport would ship, so "read the remote
-//! bucket" is the only operation that changes when shards stop sharing an
-//! address space.
+//! [`DeliveryWork`] counters).
 //!
-//! Under [`Engine::Parallel`] all phases run on all shards concurrently
-//! inside a single scoped thread set per step (barriers between phases);
-//! only per-round [`RoundStats`] are merged. [`Engine::Sequential`] runs
-//! the same phases inline.
+//! # The frame seam
+//!
+//! A per-`(sender, destination)` bucket is exactly the batch a transport
+//! ships, and under [`Engine::Framed`] it *is* shipped: after the account
+//! phase each shard serializes every bucket — refs plus the payload bytes
+//! they reference — into one self-delimiting, checksummed frame per
+//! destination shard (layout in the [`frame`] module docs), and the place
+//! phase decodes frames instead of reading other shards' outboxes or
+//! routers. Delivery order, CONGEST accounting, and results are
+//! untouched; the only thing that changes between sharing an address
+//! space and not is which [`frame::Transport`] moves the bytes. Two
+//! transports ship: an in-memory loopback (zero-copy [`bytes::Bytes`]
+//! handoff, allocation-free in steady state — the seam itself costs only
+//! encode + checksum + decode) and per-shard channel mailboxes (a shard
+//! receives *only* encoded frames, the information boundary of a
+//! process-per-shard deployment); [`Simulator::with_transport`] plugs in
+//! any other [`Transport`] implementation (the socket backend's hook).
+//! A frame corrupted anywhere in its header or tables — everything that
+//! addresses, sizes, or routes messages — or truncated or misrouted
+//! surfaces as a typed [`SimError::Frame`]: never a panic, never a
+//! misdelivered or reordered message. (The payload region is not
+//! checksummed: payload-byte integrity is the transport medium's job,
+//! exactly as in the shared-memory path.) `NETDECOMP_BACKEND=framed`
+//! (or `channel`) reroutes every [`Engine::Parallel`] simulator through
+//! the seam, which is how CI sweeps the whole equivalence surface across
+//! it.
+//!
+//! Under [`Engine::Parallel`] and [`Engine::Framed`] all phases run on
+//! all shards concurrently inside a single scoped thread set per step
+//! (barriers between phases); only per-round [`RoundStats`] are merged.
+//! [`Engine::Sequential`] runs the same phases inline.
 //!
 //! # Determinism guarantee
 //!
@@ -115,6 +138,7 @@
 mod codec;
 mod engine;
 mod error;
+pub mod frame;
 mod message;
 mod seeding;
 mod shard;
@@ -123,7 +147,8 @@ pub mod wire;
 
 pub use codec::{Codec, Typed, TypedOutbox, TypedProtocol};
 pub use engine::{Ctx, Determinism, Engine, Protocol, Simulator};
-pub use error::SimError;
+pub use error::{FrameError, SimError};
+pub use frame::{FrameTransport, Transport};
 pub use message::{Incoming, Outbox, Outgoing, Recipient};
 pub use seeding::stream_rng;
 pub use shard::{RouteIndex, RouteSegment, ShardPlan};

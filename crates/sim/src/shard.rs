@@ -62,17 +62,35 @@
 //! `min(degree, S)` segment refs). Header work no longer carries a
 //! shard-count multiplier — the gating property for running shards on
 //! separate processes, where a cross-shard rescan would become a
-//! cross-process one (the per-`(sender, destination)` buckets are
-//! exactly the batches a transport would ship).
+//! cross-process one.
 //!
-//! All routing buffers (buckets, counters, the inbox) are recycled in
+//! # The frame seam
+//!
+//! A per-`(sender, destination)` bucket is exactly the batch a transport
+//! ships, and under the framed backends it is shipped: after account,
+//! each shard's [`crate::frame::FrameEncoder`] serializes every bucket —
+//! refs plus the payload bytes they reference, copied out of the shard's
+//! *own* outbox chunk — into one self-delimiting, checksummed frame per
+//! destination shard, and [`DeliveryShard::place_frames`] consumes
+//! decoded frames instead of reading other shards' outboxes or routers.
+//! The two placement paths walk identical refs in identical (sender
+//! shard, bucket) order, so delivery order — and therefore every result —
+//! is bit-identical across backends; `Determinism::Verify` cross-checks
+//! the framed paths against the same sequential reference merge.
+//!
+//! All routing buffers (buckets, counters, the inbox, frame buffers and
+//! gather/decode tables under the loopback transport) are recycled in
 //! place across rounds, so steady-state stepping stays allocation-free
-//! (pinned by `crates/sim/tests/steady_state_alloc.rs`).
+//! (pinned by `crates/sim/tests/steady_state_alloc.rs`; the channel
+//! transport's mailboxes allocate per send, bounded per round by the
+//! shard topology rather than traffic — pinned there too).
 
 use std::sync::RwLock;
 
 use netdecomp_graph::{Graph, VertexId};
 
+use crate::error::FrameError;
+use crate::frame::{Frame, Transport};
 use crate::{CongestLimit, DeliveryWork, Incoming, Outbox, Recipient, RoundStats, SimError};
 
 /// First directed-edge slot of `v`'s CSR row (`2m` for `v == n`, so the
@@ -360,13 +378,13 @@ impl RouteIndex {
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct RouteRef {
     /// Global sender id.
-    from: u32,
+    pub(crate) from: u32,
     /// Position in the sender's outbox (for the payload lookup).
-    msg: u32,
+    pub(crate) msg: u32,
     /// First directed-edge slot of the routed copies.
-    lo: u32,
+    pub(crate) lo: u32,
     /// One past the last slot.
-    hi: u32,
+    pub(crate) hi: u32,
 }
 
 /// Sender-side routing index of one shard: its outgoing message
@@ -390,7 +408,7 @@ pub(crate) struct Router {
 impl Router {
     /// Clears all buckets (decaying over-retained capacity), resizing to
     /// `shards` buckets if the plan changed.
-    fn reset(&mut self, shards: usize) {
+    pub(crate) fn reset(&mut self, shards: usize) {
         if self.buckets.len() != shards {
             self.buckets.resize_with(shards, Vec::new);
             self.high_water.resize(shards, 0);
@@ -401,7 +419,7 @@ impl Router {
     }
 
     /// Appends a ref to the bucket for `dest`.
-    fn push(&mut self, dest: u32, route: RouteRef) {
+    pub(crate) fn push(&mut self, dest: u32, route: RouteRef) {
         self.buckets[dest as usize].push(route);
     }
 
@@ -445,6 +463,12 @@ pub(crate) struct DeliveryShard {
     pub(crate) work: DeliveryWork,
     /// First error this shard's account pass hit, if any.
     pub(crate) error: Option<SimError>,
+    /// Framed backends: per-sender-shard frame slots filled by
+    /// [`Transport::collect`] each round (recycled in place).
+    gather: Vec<Option<bytes::Bytes>>,
+    /// Framed backends: this round's decoded frames, in sender-shard
+    /// order (cleared after scatter; recycled in place).
+    decoded: Vec<Frame>,
 }
 
 impl DeliveryShard {
@@ -463,6 +487,8 @@ impl DeliveryShard {
             stats: RoundStats::default(),
             work: DeliveryWork::default(),
             error: None,
+            gather: Vec::new(),
+            decoded: Vec::new(),
         }
     }
 
@@ -681,6 +707,143 @@ impl DeliveryShard {
         }
     }
 
+    /// **Placement phase, framed backends**: like [`DeliveryShard::place`],
+    /// but every bucket arrives as an encoded frame through `transport` —
+    /// this shard reads *no other shard's memory* (no outbox chunks, no
+    /// routers), exactly the information boundary of a process-per-shard
+    /// deployment. Frames are collected and decoded in sender-shard
+    /// order, so per-recipient delivery order is identical to the
+    /// shared-memory path and to the sequential reference merge.
+    ///
+    /// Every frame is validated before any copy is counted: structure and
+    /// checksum by [`Frame::decode`], link addressing against `(k, me)`,
+    /// each ref's claimed sender against the sending shard's vertex range
+    /// and its own CSR row (`bounds` are the plan boundaries), and every
+    /// delivered target against this shard's vertex bounds — a corrupted
+    /// or misrouted frame, or one fabricating a sender it does not own,
+    /// sets a typed [`SimError::Frame`] on this shard instead of
+    /// panicking or misdelivering.
+    pub(crate) fn place_frames(
+        &mut self,
+        graph: &Graph,
+        me: usize,
+        round: usize,
+        transport: &dyn Transport,
+        bounds: &[VertexId],
+    ) {
+        // The decoded-frame scratch is moved out so the count and scatter
+        // loops can borrow it alongside `self`'s tables; its capacity is
+        // kept across rounds either way.
+        let mut decoded = std::mem::take(&mut self.decoded);
+        let result = self.place_frames_inner(graph, me, round, transport, bounds, &mut decoded);
+        // Dropping the frame handles now releases the payload buffers for
+        // the sender-side recycle ring; inbox slices keep what's needed.
+        decoded.clear();
+        self.decoded = decoded;
+        if let Err(e) = result {
+            self.error = Some(e);
+        }
+    }
+
+    fn place_frames_inner(
+        &mut self,
+        graph: &Graph,
+        me: usize,
+        round: usize,
+        transport: &dyn Transport,
+        bounds: &[VertexId],
+        decoded: &mut Vec<Frame>,
+    ) -> Result<(), SimError> {
+        let fail = |error: FrameError| SimError::Frame {
+            shard: me,
+            round,
+            error,
+        };
+        let shard_count = bounds.len() - 1;
+        let (lo_v, hi_v) = (self.start, self.end);
+        self.counts.fill(0);
+        self.work = DeliveryWork::default();
+        self.gather.resize(shard_count, None);
+        transport.collect(me, &mut self.gather);
+        for k in 0..shard_count {
+            let bytes = self.gather[k]
+                .take()
+                .ok_or_else(|| fail(FrameError::MissingFrame { sender: k }))?;
+            self.work.frame_bytes += bytes.len();
+            let frame = Frame::decode(bytes).map_err(&fail)?;
+            if frame.sender_shard() != k {
+                return Err(fail(FrameError::Misrouted {
+                    expected: k,
+                    found: frame.sender_shard(),
+                }));
+            }
+            if frame.dest_shard() != me {
+                return Err(fail(FrameError::Misrouted {
+                    expected: me,
+                    found: frame.dest_shard(),
+                }));
+            }
+            decoded.push(frame);
+        }
+        // Count pass. The checksum already rules out transport corruption
+        // of the ref table; the checks here also rule out a well-formed
+        // frame that routes into foreign inboxes or fabricates a sender:
+        // the claimed sender must belong to the shard the frame came
+        // from, the slot range must lie within that sender's own CSR row,
+        // and every delivered target must be a vertex this shard owns.
+        let max_slot = graph.directed_edge_count();
+        for (k, frame) in decoded.iter().enumerate() {
+            for r in frame.refs() {
+                self.work.refs_scanned += 1;
+                let from = r.from as usize;
+                let (slot_lo, slot_hi) = (r.lo as usize, r.hi as usize);
+                let foreign = FrameError::ForeignSlots {
+                    from,
+                    lo: slot_lo,
+                    hi: slot_hi,
+                };
+                if slot_hi > max_slot || from < bounds[k] || from >= bounds[k + 1] {
+                    return Err(fail(foreign));
+                }
+                if slot_lo < slot_hi {
+                    let row = graph.neighbor_slots(from);
+                    if slot_lo < row.start || slot_hi > row.end {
+                        return Err(fail(foreign));
+                    }
+                }
+                for &to in graph.slot_targets(slot_lo..slot_hi) {
+                    if to < lo_v || to >= hi_v {
+                        return Err(fail(foreign));
+                    }
+                    self.counts[to - lo_v] += 1;
+                }
+            }
+        }
+
+        // Local prefix sums; the inbox is recycled in place exactly as in
+        // the shared-memory path.
+        self.offsets[0] = 0;
+        for i in 0..self.len() {
+            self.offsets[i + 1] = self.offsets[i] + self.counts[i];
+        }
+        let len = self.len();
+        let total = self.offsets[len];
+        self.inbox.resize(total, Incoming::default());
+        self.counts.copy_from_slice(&self.offsets[..len]);
+
+        // Scatter pass: payloads are zero-copy views into the frames.
+        for frame in decoded.iter() {
+            for r in frame.refs() {
+                let payload = frame.payload(r.payload);
+                self.work.copies_delivered += (r.hi - r.lo) as usize;
+                for &to in graph.slot_targets(r.lo as usize..r.hi as usize) {
+                    self.deposit(to, r.from as usize, payload.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Writes one message through the recipient's scatter cursor.
     fn deposit(&mut self, to: VertexId, from: VertexId, payload: bytes::Bytes) {
         let cursor = &mut self.counts[to - self.start];
@@ -883,6 +1046,114 @@ mod tests {
             router.buckets[1].capacity()
         );
         assert!(router.bucket(1).is_empty());
+    }
+
+    /// Corrupted, missing, and misrouted frames must set a typed
+    /// [`SimError::Frame`] on the receiving shard — never panic, never
+    /// deliver into the wrong inbox.
+    #[test]
+    fn bad_frames_surface_typed_errors_instead_of_panicking() {
+        use crate::frame::{FrameBuilder, LoopbackTransport, Transport};
+        use bytes::Bytes;
+
+        let g = generators::path(4); // adjacency 0:[1] 1:[0,2] 2:[1,3] 3:[2]
+        let frame_err = |shard: &DeliveryShard| match &shard.error {
+            Some(SimError::Frame { error, .. }) => *error,
+            other => panic!("expected a frame error, got {other:?}"),
+        };
+
+        // A bit flip in the ref table fails the header checksum.
+        let mut shard = DeliveryShard::new(&g, 0, 4);
+        let t = LoopbackTransport::new(1);
+        let mut b = FrameBuilder::new();
+        b.begin(0, 0);
+        b.push(0, g.neighbor_slots(0), b"x");
+        let good = b.finish();
+        let mut bad = good.as_slice().to_vec();
+        bad[28] ^= 0xff;
+        t.send(0, 0, Bytes::from(bad));
+        shard.place_frames(&g, 0, 0, &t, &[0, 4]);
+        assert!(matches!(
+            frame_err(&shard),
+            crate::FrameError::ChecksumMismatch { .. }
+        ));
+
+        // A frame that never arrives is a MissingFrame for its sender.
+        let t = LoopbackTransport::new(1);
+        shard.place_frames(&g, 0, 3, &t, &[0, 4]);
+        assert_eq!(
+            shard.error,
+            Some(SimError::Frame {
+                shard: 0,
+                round: 3,
+                error: crate::FrameError::MissingFrame { sender: 0 },
+            })
+        );
+
+        // A checksummed frame whose header claims another destination.
+        let t = LoopbackTransport::new(1);
+        b.begin(0, 5);
+        t.send(0, 0, b.finish());
+        shard.place_frames(&g, 0, 0, &t, &[0, 4]);
+        assert!(matches!(
+            frame_err(&shard),
+            crate::FrameError::Misrouted {
+                expected: 0,
+                found: 5
+            }
+        ));
+
+        // A well-formed frame routing into vertices this shard does not
+        // own (vertex 3's slot targets vertex 2, outside 0..2).
+        let mut shard = DeliveryShard::new(&g, 0, 2);
+        let t = LoopbackTransport::new(1);
+        b.begin(0, 0);
+        b.push(3, g.neighbor_slots(3), b"x");
+        t.send(0, 0, b.finish());
+        shard.place_frames(&g, 0, 0, &t, &[0, 4]);
+        assert!(matches!(
+            frame_err(&shard),
+            crate::FrameError::ForeignSlots { from: 3, .. }
+        ));
+
+        // A slot range past the graph's directed-edge count.
+        let t = LoopbackTransport::new(1);
+        b.begin(0, 0);
+        b.push(0, 900..901, b"x");
+        t.send(0, 0, b.finish());
+        shard.place_frames(&g, 0, 0, &t, &[0, 4]);
+        assert!(matches!(
+            frame_err(&shard),
+            crate::FrameError::ForeignSlots { lo: 900, .. }
+        ));
+
+        // A fabricated sender: the claimed vertex is not owned by the
+        // shard the frame came from (sender shard 0 covers only 0..2).
+        let mut shard = DeliveryShard::new(&g, 0, 2);
+        let t = LoopbackTransport::new(1);
+        b.begin(0, 0);
+        b.push(3, g.neighbor_slots(3), b"x");
+        t.send(0, 0, b.finish());
+        shard.place_frames(&g, 0, 0, &t, &[0, 2]);
+        assert!(matches!(
+            frame_err(&shard),
+            crate::FrameError::ForeignSlots { from: 3, .. }
+        ));
+
+        // A sender claiming another vertex's slots: vertex 0 shipping
+        // vertex 2's CSR row (whose targets 1 and 3 are otherwise valid)
+        // must be rejected by the row-ownership check, not delivered with
+        // a spoofed `from`.
+        let mut shard = DeliveryShard::new(&g, 0, 4);
+        let t = LoopbackTransport::new(1);
+        b.begin(0, 0);
+        b.push(0, g.neighbor_slots(2), b"x");
+        t.send(0, 0, b.finish());
+        shard.place_frames(&g, 0, 0, &t, &[0, 4]);
+        assert!(matches!(
+            frame_err(&shard),
+            crate::FrameError::ForeignSlots { from: 0, .. }
+        ));
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub struct DeliveryWork {
     pub refs_scanned: usize,
     /// Message copies deposited into inboxes (one per recipient reached).
     pub copies_delivered: usize,
+    /// Encoded bucket-frame bytes received this round, summed over
+    /// shards — the volume a process-per-shard transport would put on the
+    /// wire. Zero under the shared-memory backends; under
+    /// [`crate::Engine::Framed`] it is the measured frame overhead
+    /// (headers + ref and payload tables) plus one copy of every routed
+    /// payload, reported by the engine benches as `frame_bytes_per_round`.
+    pub frame_bytes: usize,
 }
 
 /// Communication accounting for a single round.

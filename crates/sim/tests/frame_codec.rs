@@ -1,0 +1,216 @@
+//! Frame codec robustness: encode -> decode is the identity over
+//! arbitrary bucket contents (empty buckets and multicast-heavy rounds
+//! included), and malformed frames — truncated, version-mismatched,
+//! checksum-corrupted — are rejected with typed [`FrameError`]s instead
+//! of panicking.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use netdecomp_sim::frame::{Frame, FrameBuilder};
+use netdecomp_sim::FrameError;
+
+/// One bucket entry for the roundtrip property: `share` reuses the
+/// previous entry's payload (a multicast's later copies), so shrunken
+/// cases still cover the payload-sharing path.
+#[derive(Debug, Clone)]
+struct Entry {
+    from: u32,
+    lo: u32,
+    width: u32,
+    payload: Vec<u8>,
+    share: bool,
+}
+
+fn arb_entry() -> impl Strategy<Value = Entry> {
+    (
+        (0u32..10_000, 0u32..100_000, 0u32..64),
+        proptest::collection::vec(0u8..=255, 0..48),
+        0u32..2,
+    )
+        .prop_map(|((from, lo, width), payload, share)| Entry {
+            from,
+            lo,
+            width,
+            payload,
+            share: share == 1,
+        })
+}
+
+/// Expected decoded view of one ref: `(from, lo, hi, payload bytes)`.
+type ExpectedRef = (u32, u32, u32, Vec<u8>);
+
+/// Encodes `entries` and returns the frame plus the expected decoded view
+/// per ref.
+fn encode(sender: usize, dest: usize, entries: &[Entry]) -> (Bytes, Vec<ExpectedRef>) {
+    let mut b = FrameBuilder::new();
+    b.begin(sender, dest);
+    let mut expected = Vec::new();
+    let mut last_payload: Option<Vec<u8>> = None;
+    for e in entries {
+        let slots = e.lo as usize..(e.lo + e.width) as usize;
+        match (&last_payload, e.share) {
+            (Some(prev), true) => {
+                b.push_shared(e.from as usize, slots);
+                expected.push((e.from, e.lo, e.lo + e.width, prev.clone()));
+            }
+            _ => {
+                b.push(e.from as usize, slots, &e.payload);
+                expected.push((e.from, e.lo, e.lo + e.width, e.payload.clone()));
+                last_payload = Some(e.payload.clone());
+            }
+        }
+    }
+    (b.finish(), expected)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// encode -> decode == identity: every ref comes back with its
+    /// sender, slot range, and payload bytes intact, in order.
+    #[test]
+    fn roundtrip_is_identity(
+        sender in 0usize..64,
+        dest in 0usize..64,
+        entries in proptest::collection::vec(arb_entry(), 0..24),
+    ) {
+        let (encoded, expected) = encode(sender, dest, &entries);
+        let frame = Frame::decode(encoded).expect("own encoding decodes");
+        prop_assert_eq!(frame.sender_shard(), sender);
+        prop_assert_eq!(frame.dest_shard(), dest);
+        prop_assert_eq!(frame.ref_count(), expected.len());
+        let refs: Vec<_> = frame.refs().collect();
+        for (r, (from, lo, hi, payload)) in refs.iter().zip(&expected) {
+            prop_assert_eq!(r.from, *from);
+            prop_assert_eq!(r.lo, *lo);
+            prop_assert_eq!(r.hi, *hi);
+            prop_assert_eq!(frame.payload(r.payload).as_slice(), &payload[..]);
+        }
+        // Shared payloads are stored once: consecutive share entries point
+        // at the same payload-table index.
+        for (i, e) in entries.iter().enumerate().skip(1) {
+            if e.share {
+                prop_assert_eq!(refs[i].payload, refs[i - 1].payload);
+            }
+        }
+        prop_assert!(frame.payload_count() <= frame.ref_count().max(1));
+    }
+
+    /// Every strict prefix of a frame is rejected as truncated — never a
+    /// panic, never a partial decode.
+    #[test]
+    fn truncation_is_rejected(
+        entries in proptest::collection::vec(arb_entry(), 0..12),
+        cut in 0.0f64..1.0,
+    ) {
+        let (encoded, _) = encode(1, 2, &entries);
+        let keep = ((encoded.len() as f64) * cut) as usize; // < len
+        let truncated = Bytes::from(encoded.as_slice()[..keep].to_vec());
+        match Frame::decode(truncated) {
+            Err(FrameError::Truncated { needed, have }) => {
+                prop_assert_eq!(have, keep);
+                prop_assert!(needed > have);
+            }
+            other => prop_assert!(false, "expected Truncated, got {:?}", other),
+        }
+    }
+
+    /// Any bit flip in the header or tables is caught — by the magic,
+    /// version, length, structural, or checksum check — before a single
+    /// copy could be misdelivered.
+    #[test]
+    fn header_and_table_corruption_is_rejected(
+        entries in proptest::collection::vec(arb_entry(), 0..12),
+        pos_pick in 0u32..u32::MAX,
+        bit in 0u8..8,
+    ) {
+        let (encoded, _) = encode(1, 2, &entries);
+        let frame = Frame::decode(encoded.clone()).expect("valid before corruption");
+        // Header + tables span everything before the payload region.
+        let protected = encoded.len() - frame_payload_region_len(&frame);
+        let pos = (pos_pick as usize) % protected;
+        let mut bad = encoded.as_slice().to_vec();
+        bad[pos] ^= 1 << bit;
+        prop_assert!(
+            Frame::decode(Bytes::from(bad)).is_err(),
+            "flip at {} escaped validation", pos
+        );
+    }
+}
+
+/// Total bytes of the payload region (the only checksummed-exempt part).
+fn frame_payload_region_len(frame: &Frame) -> usize {
+    (0..frame.payload_count())
+        .map(|i| frame.payload(i as u32).len())
+        .sum()
+}
+
+#[test]
+fn version_mismatch_is_reported_as_such() {
+    let mut b = FrameBuilder::new();
+    b.begin(0, 0);
+    b.push(4, 7..9, b"payload");
+    let encoded = b.finish();
+    let mut bad = encoded.as_slice().to_vec();
+    bad[3] = 9; // future format version
+    assert_eq!(
+        Frame::decode(Bytes::from(bad)),
+        Err(FrameError::VersionMismatch {
+            found: 9,
+            expected: netdecomp_sim::frame::FRAME_VERSION,
+        })
+    );
+}
+
+#[test]
+fn checksum_corruption_is_reported_as_such() {
+    let mut b = FrameBuilder::new();
+    b.begin(0, 0);
+    b.push(4, 7..9, b"payload");
+    let encoded = b.finish();
+    let mut bad = encoded.as_slice().to_vec();
+    bad[24] ^= 0x10; // the checksum word itself
+    assert!(matches!(
+        Frame::decode(Bytes::from(bad)),
+        Err(FrameError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut b = FrameBuilder::new();
+    b.begin(0, 0);
+    let mut bytes = b.finish().as_slice().to_vec();
+    bytes.push(0);
+    assert!(matches!(
+        Frame::decode(Bytes::from(bytes)),
+        Err(FrameError::Malformed { .. })
+    ));
+}
+
+#[test]
+fn empty_input_is_truncated_not_a_panic() {
+    assert_eq!(
+        Frame::decode(Bytes::new()),
+        Err(FrameError::Truncated {
+            needed: 28,
+            have: 0
+        })
+    );
+    assert_eq!(
+        Frame::decode(Bytes::from_static(b"NDF")),
+        Err(FrameError::Truncated {
+            needed: 28,
+            have: 3
+        })
+    );
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    assert_eq!(
+        Frame::decode(Bytes::from(vec![0u8; 28])),
+        Err(FrameError::BadMagic)
+    );
+}

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use netdecomp_graph::{bfs, Graph, GraphBuilder};
 use netdecomp_sim::{
-    CongestLimit, Ctx, Determinism, Engine, Incoming, Outbox, Protocol, Simulator,
+    CongestLimit, Ctx, Determinism, Engine, FrameTransport, Incoming, Outbox, Protocol, Simulator,
 };
 
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
@@ -114,7 +114,10 @@ impl Protocol for Mixer {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    // 48 cases keep each delivery backend (shared-memory, framed
+    // loopback, framed channel) at useful coverage in the equivalence
+    // property below.
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn flooding_equals_bfs_on_arbitrary_graphs(g in arb_graph(30), root_pick in 0usize..30) {
@@ -153,9 +156,10 @@ proptest! {
     }
 
     /// The tentpole guarantee: across random graphs, seeds, thread counts,
-    /// shard counts, and CONGEST limits, the sharded parallel engine —
-    /// delivery included — produces bit-identical node states and
-    /// `RunStats` to the sequential reference.
+    /// shard counts, delivery backends, and CONGEST limits, the sharded
+    /// parallel engine — delivery included, whether it reads in-memory
+    /// buckets or decoded transport frames — produces bit-identical node
+    /// states and `RunStats` to the sequential reference.
     #[test]
     fn parallel_engine_is_bit_identical_to_sequential(
         g in arb_graph(24),
@@ -163,6 +167,7 @@ proptest! {
         threads in 2usize..=8,
         shard_pick in 0usize..6,
         limit_pick in 0usize..3,
+        backend_pick in 0usize..3,
     ) {
         let limit = match limit_pick {
             0 => CongestLimit::Unlimited,
@@ -176,12 +181,27 @@ proptest! {
         // default (NETDECOMP_SHARDS when set — which is how the CI matrix
         // entries reach this property — else threads).
         let shards = [0, 1, 2, 7, 13, g.vertex_count()][shard_pick];
+        // Shared-memory delivery (or whatever NETDECOMP_BACKEND selects —
+        // the framed CI matrix entry reaches this property through the
+        // `Parallel` arm), framed loopback, and framed channels.
+        let engine = match backend_pick {
+            0 => Engine::Parallel { threads, shards },
+            _ => Engine::Framed {
+                threads,
+                shards,
+                transport: if backend_pick == 1 {
+                    FrameTransport::Loopback
+                } else {
+                    FrameTransport::Channel
+                },
+            },
+        };
         let rounds = g.vertex_count().min(12) + 2;
 
         let mut seq = Simulator::new(&g, |id, _| Mixer::new(id, seed)).with_limit(limit);
         let mut par = Simulator::new(&g, |id, _| Mixer::new(id, seed))
             .with_limit(limit)
-            .with_engine(Engine::Parallel { threads, shards });
+            .with_engine(engine);
 
         let a = seq.run_rounds(rounds);
         // Verified stepping doubles as a scheduling-independence check: it

@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use bytes::Bytes;
 use netdecomp_graph::generators;
-use netdecomp_sim::{Ctx, Engine, Incoming, Outbox, Protocol, Simulator};
+use netdecomp_sim::{Ctx, Engine, FrameTransport, Incoming, Outbox, Protocol, Simulator};
 
 /// System allocator that counts every allocation (including reallocs).
 struct CountingAlloc;
@@ -99,6 +99,19 @@ fn sharded_steady_state_rounds_do_not_allocate() {
     });
 }
 
+#[test]
+fn framed_loopback_steady_state_rounds_do_not_allocate() {
+    // The whole frame seam — encode (with checksum), loopback handoff,
+    // decode, zero-copy payload slicing — must recycle every buffer:
+    // builders keep their scratch, senders reclaim frame buffers through
+    // the two-round ring, and receivers reuse their gather/decode tables.
+    assert_steady_state_is_allocation_free(Engine::Framed {
+        threads: 1,
+        shards: 4,
+        transport: FrameTransport::Loopback,
+    });
+}
+
 /// Unicast workload rotating through each node's neighbors: exercises the
 /// router's flat vertex→shard path with per-round-varying bucket sizes
 /// (the rotation cycles within the warmup, so every bucket's high-water
@@ -123,17 +136,13 @@ impl Protocol for SteadyUnicast {
     }
 }
 
-#[test]
-fn sharded_unicast_steady_state_rounds_do_not_allocate() {
+fn assert_unicast_steady_state_is_allocation_free(engine: Engine) {
     let g = generators::grid2d(12, 12);
     let mut sim = Simulator::new(&g, |id, _| SteadyUnicast {
         payload: Bytes::from(vec![id as u8; 8]),
         tick: id,
     })
-    .with_engine(Engine::Parallel {
-        threads: 1,
-        shards: 8,
-    });
+    .with_engine(engine);
     for _ in 0..300 {
         sim.step().expect("no limits configured");
     }
@@ -144,6 +153,64 @@ fn sharded_unicast_steady_state_rounds_do_not_allocate() {
     let during = ALLOCATIONS.load(Ordering::SeqCst) - before;
     assert_eq!(
         during, 0,
-        "unicast steady-state rounds allocated {during} times"
+        "unicast steady-state rounds allocated {during} times under {engine:?}"
     );
+}
+
+#[test]
+fn sharded_unicast_steady_state_rounds_do_not_allocate() {
+    assert_unicast_steady_state_is_allocation_free(Engine::Parallel {
+        threads: 1,
+        shards: 8,
+    });
+}
+
+#[test]
+fn framed_loopback_unicast_steady_state_rounds_do_not_allocate() {
+    // Per-round-varying bucket (and therefore frame) sizes: the rotation
+    // cycles within the warmup, so every frame buffer's high-water size
+    // is reached before measuring.
+    assert_unicast_steady_state_is_allocation_free(Engine::Framed {
+        threads: 1,
+        shards: 8,
+        transport: FrameTransport::Loopback,
+    });
+}
+
+#[test]
+fn framed_channel_allocations_are_bounded_per_round() {
+    // The channel backend's mpsc mailboxes allocate queue nodes per send,
+    // so it cannot be zero-alloc — but its per-round allocation count
+    // must be bounded by the shard topology (shards^2 sends per round),
+    // NOT by traffic volume: frame buffers, builder scratch, and inbox
+    // slots are all still recycled.
+    const SHARDS: usize = 4;
+    let g = generators::grid2d(12, 12);
+    let mut sim = Simulator::new(&g, |id, _| SteadyBroadcast {
+        payload: Bytes::from(vec![id as u8; 8]),
+        heard: 0,
+    })
+    .with_engine(Engine::Framed {
+        threads: 1,
+        shards: SHARDS,
+        transport: FrameTransport::Channel,
+    });
+    for _ in 0..300 {
+        sim.step().expect("no limits configured");
+    }
+    const ROUNDS: usize = 100;
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..ROUNDS {
+        sim.step().expect("no limits configured");
+    }
+    let during = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    // Ceiling: a small constant per (sender, destination) pair per round.
+    // The grid workload delivers ~550 copies per round, so a leak that
+    // scaled with traffic would blow far past this.
+    let ceiling = ROUNDS * (4 * SHARDS * SHARDS);
+    assert!(
+        during <= ceiling,
+        "channel rounds allocated {during} times (ceiling {ceiling})"
+    );
+    assert!(sim.nodes().iter().all(|n| n.heard > 0));
 }

@@ -6,7 +6,7 @@
 use netdecomp::core::distributed::{decompose_distributed, DistributedConfig, Forwarding};
 use netdecomp::core::{basic, params::DecompositionParams};
 use netdecomp::graph::generators;
-use netdecomp::sim::{CongestLimit, Determinism, Engine};
+use netdecomp::sim::{CongestLimit, Determinism, Engine, FrameTransport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -162,6 +162,44 @@ fn parallel_engine_is_bit_identical_across_graphs_and_modes() {
                     "graph {i} seed {seed} {forwarding:?}: stats diverged"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn framed_backends_are_bit_identical_for_the_decomposition() {
+    // The full carving protocol through the frame seam: every bucket of
+    // every round is serialized into a checksummed frame, shipped by the
+    // loopback or channel transport, decoded, and verified round-by-round
+    // against the sequential reference merge.
+    let g = generators::grid2d(7, 8);
+    let p = DecompositionParams::new(3, 4.0).unwrap();
+    for seed in 0..2u64 {
+        let seq = decompose_distributed(&g, &p, seed, &DistributedConfig::default()).unwrap();
+        for transport in [FrameTransport::Loopback, FrameTransport::Channel] {
+            let framed = decompose_distributed(
+                &g,
+                &p,
+                seed,
+                &DistributedConfig {
+                    engine: Engine::Framed {
+                        threads: 2,
+                        shards: 5,
+                        transport,
+                    },
+                    determinism: Determinism::Verify,
+                    ..DistributedConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                seq.outcome, framed.outcome,
+                "seed {seed} {transport:?}: outcome diverged"
+            );
+            assert_eq!(
+                seq.comm, framed.comm,
+                "seed {seed} {transport:?}: stats diverged"
+            );
         }
     }
 }
