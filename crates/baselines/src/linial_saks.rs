@@ -271,8 +271,8 @@ impl Codec for LsCodec {
             .finish()
     }
 
-    fn decode(payload: &Bytes) -> Option<LsLabel> {
-        let mut r = WireReader::new(payload.clone());
+    fn decode(payload: &[u8]) -> Option<LsLabel> {
+        let mut r = WireReader::new(payload);
         let id = r.u32()? as VertexId;
         let radius = r.u16()? as usize;
         let dist = r.u16()? as usize;

@@ -48,7 +48,7 @@ use netdecomp_bench::workloads::Family;
 use netdecomp_graph::Graph;
 use netdecomp_sim::wire::{WireReader, WireWriter};
 use netdecomp_sim::{
-    Codec, Ctx, Engine, FrameTransport, Incoming, Outbox, Protocol, Simulator, Typed, TypedOutbox,
+    Codec, Ctx, Engine, FrameTransport, Inbox, Outbox, Protocol, Simulator, Typed, TypedOutbox,
     TypedProtocol,
 };
 
@@ -73,8 +73,8 @@ impl Codec for EntryCodec {
             .finish()
     }
 
-    fn decode(payload: &Bytes) -> Option<Entry> {
-        let mut r = WireReader::new(payload.clone());
+    fn decode(payload: &[u8]) -> Option<Entry> {
+        let mut r = WireReader::new(payload);
         let origin = r.u32()?;
         let score = r.f64()?;
         let dist = r.u16()?;
@@ -151,7 +151,7 @@ impl Protocol for Pulse {
         out.broadcast(self.payload.clone());
     }
 
-    fn round(&mut self, _ctx: &Ctx<'_>, _incoming: &[Incoming], out: &mut Outbox) {
+    fn round(&mut self, _ctx: &Ctx<'_>, _incoming: Inbox<'_>, out: &mut Outbox) {
         out.broadcast(self.payload.clone());
     }
 }
@@ -172,7 +172,7 @@ impl Protocol for Dart {
         }
     }
 
-    fn round(&mut self, ctx: &Ctx<'_>, _incoming: &[Incoming], out: &mut Outbox) {
+    fn round(&mut self, ctx: &Ctx<'_>, _incoming: Inbox<'_>, out: &mut Outbox) {
         self.tick += 1;
         if ctx.degree() > 0 {
             out.unicast(
@@ -294,6 +294,9 @@ where
         // and copies per round. Unicast refs stay flat at `messages`
         // across the shard sweep; broadcast refs are bounded by copies
         // (segment fragmentation), with no shards× rescan multiplier.
+        // Payload registrations track refs (per *message*), not copies —
+        // the slab-backed inbox's defining ratio — and the slot bytes are
+        // the entire per-copy memory traffic (8 bytes per copy).
         let mut probe = Simulator::new(g, |_, _| make()).with_engine(engine);
         probe.step().unwrap();
         probe.step().unwrap();
@@ -301,6 +304,16 @@ where
         let id = format!("{name}/{}", g.vertex_count());
         group.report_metric(&id, "place_refs_per_round", work.refs_scanned as f64);
         group.report_metric(&id, "place_copies_per_round", work.copies_delivered as f64);
+        group.report_metric(
+            &id,
+            "payload_registrations_per_round",
+            work.payload_registrations as f64,
+        );
+        group.report_metric(
+            &id,
+            "inbox_slot_bytes_per_round",
+            work.inbox_slot_bytes as f64,
+        );
         if matches!(engine, Engine::Framed { .. }) {
             group.report_metric(&id, "frame_bytes_per_round", work.frame_bytes as f64);
         }

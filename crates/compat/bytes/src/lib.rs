@@ -290,6 +290,18 @@ impl BytesMut {
         self.vec_mut().clear();
     }
 
+    /// Resizes to `new_len` bytes, filling any growth with `value` (as in
+    /// the real crate). Shrinking keeps the allocation.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.vec_mut().resize(new_len, value);
+    }
+
+    /// Reserves capacity for at least `additional` more bytes (as in the
+    /// real crate; a no-op when capacity already suffices).
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec_mut().reserve(additional);
+    }
+
     /// Converts into an immutable [`Bytes`] without copying: the backing
     /// buffer is moved, not reallocated.
     #[must_use]
@@ -530,6 +542,20 @@ mod tests {
         m[0..4].copy_from_slice(&7u32.to_le_bytes());
         let mut b = m.freeze();
         assert_eq!(b.get_u32_le(), 7);
+    }
+
+    #[test]
+    fn bytes_mut_resize_and_reserve_match_the_real_crate() {
+        let mut m = BytesMut::new();
+        m.reserve(64);
+        let cap = m.capacity();
+        assert!(cap >= 64);
+        m.put_u8(7);
+        m.resize(4, 0xee);
+        assert_eq!(&m[..], &[7, 0xee, 0xee, 0xee]);
+        m.resize(1, 0);
+        assert_eq!(&m[..], &[7]);
+        assert_eq!(m.capacity(), cap, "shrinking keeps the allocation");
     }
 
     #[test]

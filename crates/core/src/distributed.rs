@@ -118,8 +118,8 @@ impl Codec for EntryCodec {
             .finish()
     }
 
-    fn decode(payload: &Bytes) -> Option<Entry> {
-        let mut r = WireReader::new(payload.clone());
+    fn decode(payload: &[u8]) -> Option<Entry> {
+        let mut r = WireReader::new(payload);
         let origin = r.u32()? as VertexId;
         let shift = r.f64()?;
         let dist = r.u16()? as usize;

@@ -5,12 +5,14 @@
 //! while the engine keeps shipping [`bytes::Bytes`]. Each outgoing message
 //! is encoded exactly once — a broadcast hands every recipient a
 //! reference-counted view of the same encoding — and each incoming payload
-//! is decoded exactly once per recipient.
+//! is decoded exactly once per recipient, straight from the delivering
+//! shard's slab-backed [`Inbox`] view (a borrowed slice; no payload-handle
+//! clone, no reference-count traffic on the read path).
 
 use bytes::Bytes;
 use netdecomp_graph::VertexId;
 
-use crate::{Ctx, Incoming, Outbox, Protocol};
+use crate::{Ctx, Inbox, Outbox, Protocol};
 
 /// A bidirectional mapping between a message type and its wire bytes.
 ///
@@ -27,7 +29,11 @@ pub trait Codec {
     fn encode(msg: &Self::Msg) -> Bytes;
 
     /// Decodes a payload, or `None` if malformed/truncated.
-    fn decode(payload: &Bytes) -> Option<Self::Msg>;
+    ///
+    /// Takes a borrowed byte slice (pass a [`Bytes`] through deref): the
+    /// typed read path resolves payloads out of the delivery slab without
+    /// cloning a handle per recipient, and decoding must not either.
+    fn decode(payload: &[u8]) -> Option<Self::Msg>;
 }
 
 /// A protocol exchanging typed messages through a [`Codec`].
@@ -134,12 +140,12 @@ impl<T: TypedProtocol> Protocol for Typed<T> {
         self.inner.start(ctx, &mut typed);
     }
 
-    fn round(&mut self, ctx: &Ctx<'_>, incoming: &[Incoming], out: &mut Outbox) {
+    fn round(&mut self, ctx: &Ctx<'_>, incoming: Inbox<'_>, out: &mut Outbox) {
         self.decoded.clear();
         self.decoded.extend(incoming.iter().filter_map(|m| {
-            let msg = T::Codec::decode(&m.payload);
-            debug_assert!(msg.is_some(), "malformed payload from {}", m.from);
-            msg.map(|msg| (m.from, msg))
+            let msg = T::Codec::decode(m.payload());
+            debug_assert!(msg.is_some(), "malformed payload from {}", m.from());
+            msg.map(|msg| (m.from(), msg))
         }));
         let mut typed = TypedOutbox {
             raw: out,
@@ -176,8 +182,8 @@ mod tests {
             WireWriter::new().u32(msg.origin).u16(msg.hops).finish()
         }
 
-        fn decode(payload: &Bytes) -> Option<Hop> {
-            let mut r = WireReader::new(payload.clone());
+        fn decode(payload: &[u8]) -> Option<Hop> {
+            let mut r = WireReader::new(payload);
             let origin = r.u32()?;
             let hops = r.u16()?;
             r.is_exhausted().then_some(Hop { origin, hops })

@@ -61,9 +61,10 @@ use std::sync::{Condvar, Mutex, RwLock};
 use netdecomp_graph::{Graph, VertexId};
 
 use crate::frame::{ChannelTransport, FrameEncoder, FrameTransport, LoopbackTransport, Transport};
+use crate::message::InboxSlot;
 use crate::shard::{DeliveryShard, RouteIndex, Router, ShardPlan};
 use crate::{
-    CongestLimit, DeliveryWork, Incoming, Outbox, Recipient, RoundStats, RunStats, SimError,
+    CongestLimit, DeliveryWork, Inbox, Incoming, Outbox, Recipient, RoundStats, RunStats, SimError,
 };
 
 /// Read-only view a node gets of its place in the network.
@@ -111,7 +112,13 @@ pub trait Protocol {
 
     /// Called every round ≥ 1 with the messages delivered this round.
     /// Messages arrive ordered by sender id (ties: sender's send order).
-    fn round(&mut self, ctx: &Ctx<'_>, incoming: &[Incoming], out: &mut Outbox);
+    ///
+    /// `incoming` is a zero-copy [`Inbox`] view over the owning shard's
+    /// compact slot table and payload slab: iterating it touches no
+    /// reference counts, and a broadcast's recipients all read the same
+    /// slab entry. Call [`crate::IncomingRef::to_incoming`] when an owned
+    /// [`Incoming`] is genuinely needed.
+    fn round(&mut self, ctx: &Ctx<'_>, incoming: Inbox<'_>, out: &mut Outbox);
 
     /// `true` once this node has locally terminated. A halted node still
     /// receives messages (and may un-halt by returning messages again).
@@ -604,12 +611,21 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             .collect();
         // Vertices ascend across old shards, and each new shard's range is
         // contiguous, so a single in-order sweep rebuilds every local CSR.
+        // Pending payloads are re-registered per copy (not per message) in
+        // the receiving slab — resharding is a cold path, and the next
+        // round's placement rebuilds the exact per-message dedup.
         for shard in &old {
             for local in 0..shard.len() {
                 let v = shard.start() + local;
                 let new = &mut self.shards[plan.shard_of(v)];
-                new.inbox.extend_from_slice(shard.incoming(local));
-                let (base, filled) = (new.start(), new.inbox.len());
+                for m in shard.incoming(local).iter() {
+                    let payload = new.slab.register(m.payload().clone());
+                    new.slots.push(InboxSlot {
+                        from: m.from() as u32,
+                        payload,
+                    });
+                }
+                let (base, filled) = (new.start(), new.slots.len());
                 new.offsets[v - base + 1] = filled;
             }
         }
@@ -655,9 +671,27 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         for shard in &self.shards {
             work.refs_scanned += shard.work.refs_scanned;
             work.copies_delivered += shard.work.copies_delivered;
+            work.payload_registrations += shard.work.payload_registrations;
+            work.inbox_slot_bytes += shard.work.inbox_slot_bytes;
             work.frame_bytes += shard.work.frame_bytes;
         }
         work
+    }
+
+    /// The messages delivered to vertex `v` in the most recent round
+    /// (pending for its next compute), as a zero-copy [`Inbox`] view.
+    ///
+    /// Meant for drivers and tests that inspect delivery state between
+    /// steps; protocols receive the same view through
+    /// [`Protocol::round`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the graph.
+    #[must_use]
+    pub fn incoming(&self, v: VertexId) -> Inbox<'_> {
+        let shard = &self.shards[self.plan.shard_of(v)];
+        shard.incoming(v - shard.start())
     }
 
     /// The underlying graph.
@@ -693,7 +727,7 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// `true` when all nodes are halted and no message is in flight.
     #[must_use]
     pub fn is_quiescent(&self) -> bool {
-        self.nodes.iter().all(Protocol::is_halted) && self.shards.iter().all(|s| s.inbox.is_empty())
+        self.nodes.iter().all(Protocol::is_halted) && self.shards.iter().all(|s| s.slots.is_empty())
     }
 
     /// Surfaces the round's first error (lowest shard, i.e. lowest sender
@@ -1003,7 +1037,7 @@ impl<P: Protocol + Send + Clone> Simulator<'_, P> {
                 for shard in &self.shards {
                     for local in 0..shard.len() {
                         let v = shard.start() + local;
-                        if shard.incoming(local) != &data[offsets[v]..offsets[v + 1]] {
+                        if shard.incoming(local) != data[offsets[v]..offsets[v + 1]] {
                             return Err(SimError::Nondeterminism { round, vertex: v });
                         }
                     }
@@ -1088,7 +1122,7 @@ mod tests {
             }
         }
 
-        fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming], out: &mut Outbox) {
+        fn round(&mut self, _ctx: &Ctx<'_>, incoming: Inbox<'_>, out: &mut Outbox) {
             self.rounds_seen += 1;
             if self.dist.is_none() && !incoming.is_empty() {
                 self.dist = Some(self.rounds_seen);
@@ -1350,7 +1384,7 @@ mod tests {
         fn start(&mut self, _ctx: &Ctx<'_>, out: &mut Outbox) {
             out.broadcast(Bytes::from(vec![u8::from(self.cloned)]));
         }
-        fn round(&mut self, _: &Ctx<'_>, _: &[Incoming], _: &mut Outbox) {}
+        fn round(&mut self, _: &Ctx<'_>, _: Inbox<'_>, _: &mut Outbox) {}
     }
 
     #[test]
@@ -1402,7 +1436,7 @@ mod tests {
         fn start(&mut self, _ctx: &Ctx<'_>, out: &mut Outbox) {
             out.broadcast(Bytes::from(vec![0u8; self.payload]));
         }
-        fn round(&mut self, _ctx: &Ctx<'_>, _incoming: &[Incoming], _out: &mut Outbox) {}
+        fn round(&mut self, _ctx: &Ctx<'_>, _incoming: Inbox<'_>, _out: &mut Outbox) {}
         fn is_halted(&self) -> bool {
             true
         }
@@ -1459,7 +1493,7 @@ mod tests {
                 out.unicast(2, Bytes::new()); // 2 is not a neighbor of 0
             }
         }
-        fn round(&mut self, _ctx: &Ctx<'_>, _incoming: &[Incoming], _out: &mut Outbox) {}
+        fn round(&mut self, _ctx: &Ctx<'_>, _incoming: Inbox<'_>, _out: &mut Outbox) {}
     }
 
     #[test]
@@ -1481,7 +1515,7 @@ mod tests {
                     out.multicast(vec![1, 2], Bytes::new()); // 2 is not adjacent
                 }
             }
-            fn round(&mut self, _: &Ctx<'_>, _: &[Incoming], _: &mut Outbox) {}
+            fn round(&mut self, _: &Ctx<'_>, _: Inbox<'_>, _: &mut Outbox) {}
         }
         let g = generators::path(3);
         let mut sim = Simulator::new(&g, |_, _| BadMulticast);
@@ -1501,7 +1535,7 @@ mod tests {
                     out.unicast(1, Bytes::from(vec![0u8; 10]));
                 }
             }
-            fn round(&mut self, _: &Ctx<'_>, _: &[Incoming], _: &mut Outbox) {}
+            fn round(&mut self, _: &Ctx<'_>, _: Inbox<'_>, _: &mut Outbox) {}
             fn is_halted(&self) -> bool {
                 true
             }
@@ -1524,7 +1558,7 @@ mod tests {
                     out.multicast(vec![1, 1], Bytes::from(vec![0u8; 10]));
                 }
             }
-            fn round(&mut self, _: &Ctx<'_>, _: &[Incoming], _: &mut Outbox) {}
+            fn round(&mut self, _: &Ctx<'_>, _: Inbox<'_>, _: &mut Outbox) {}
             fn is_halted(&self) -> bool {
                 true
             }
@@ -1547,9 +1581,9 @@ mod tests {
             fn start(&mut self, ctx: &Ctx<'_>, out: &mut Outbox) {
                 out.broadcast(Bytes::from(vec![ctx.id as u8]));
             }
-            fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming], _out: &mut Outbox) {
-                for m in incoming {
-                    self.heard.push(m.from);
+            fn round(&mut self, _ctx: &Ctx<'_>, incoming: Inbox<'_>, _out: &mut Outbox) {
+                for m in incoming.iter() {
+                    self.heard.push(m.from());
                 }
             }
             fn is_halted(&self) -> bool {
@@ -1589,9 +1623,9 @@ mod tests {
                     out.multicast(vec![5, 2, 4], Bytes::from_static(b"m"));
                 }
             }
-            fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming], _out: &mut Outbox) {
-                for m in incoming {
-                    self.heard.push(m.from);
+            fn round(&mut self, _ctx: &Ctx<'_>, incoming: Inbox<'_>, _out: &mut Outbox) {
+                for m in incoming.iter() {
+                    self.heard.push(m.from());
                 }
             }
             fn is_halted(&self) -> bool {
@@ -1651,7 +1685,7 @@ mod tests {
                 assert!(ctx.id != self.0, "protocol bug at node {}", self.0);
                 out.broadcast(Bytes::from_static(b"x"));
             }
-            fn round(&mut self, _: &Ctx<'_>, _: &[Incoming], _: &mut Outbox) {}
+            fn round(&mut self, _: &Ctx<'_>, _: Inbox<'_>, _: &mut Outbox) {}
         }
         let g = generators::grid2d(6, 6);
         let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

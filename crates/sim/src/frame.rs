@@ -54,9 +54,9 @@
 //!   seam itself (encode + checksum + decode) with zero I/O, and stays
 //!   allocation-free in steady state: senders recycle their frame
 //!   buffers through [`Bytes::try_into_mut`] on a two-round ring (a
-//!   frame's payload slices live in destination inboxes for one round,
-//!   so the round-before-last's buffer is reclaimable by the time it is
-//!   needed again).
+//!   frame's payload slices live in destination payload slabs for one
+//!   round, so the round-before-last's buffer is reclaimable by the time
+//!   it is needed again).
 //! - [`ChannelTransport`] — each shard owns a persistent mpsc mailbox and
 //!   receives *only* encoded frames from it, simulating process-per-shard
 //!   isolation: no shared inbox, outbox, or router memory crosses a shard
@@ -73,7 +73,7 @@ use netdecomp_graph::VertexId;
 
 use crate::error::FrameError;
 use crate::message::Outbox;
-use crate::shard::Router;
+use crate::shard::{RouteRef, Router};
 
 /// Frame format version, embedded in every frame's fourth byte.
 pub const FRAME_VERSION: u8 = 1;
@@ -96,20 +96,28 @@ const REF_BYTES: usize = 16;
 /// Bytes per payload-table entry.
 const PAYLOAD_BYTES: usize = 8;
 
+/// FNV-1a offset basis (the running digest's initial state).
+const FNV_INIT: u32 = 0x811c_9dc5;
+
 /// Reads the little-endian `u32` at `off`.
 fn le32(data: &[u8], off: usize) -> u32 {
     u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes"))
 }
 
-/// 32-bit FNV-1a over the two checksummed byte ranges (header without the
-/// checksum word, then the tables).
-fn checksum(head: &[u8], tables: &[u8]) -> u32 {
-    let mut h: u32 = 0x811c_9dc5;
-    for &b in head.iter().chain(tables) {
+/// Folds `bytes` into a running 32-bit FNV-1a digest.
+fn fnv1a(mut h: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
         h ^= u32::from(b);
         h = h.wrapping_mul(0x0100_0193);
     }
     h
+}
+
+/// 32-bit FNV-1a over the two checksummed byte ranges (header without the
+/// checksum word, then the tables) — the decode-side verification;
+/// encoding folds the same digest incrementally as it writes.
+fn checksum(head: &[u8], tables: &[u8]) -> u32 {
+    fnv1a(fnv1a(FNV_INIT, head), tables)
 }
 
 /// Which frame transport a framed engine ships buckets through.
@@ -230,12 +238,128 @@ impl Transport for ChannelTransport {
     }
 }
 
+/// Encodes one router bucket into a frame in a **single pass**: the hot
+/// path behind [`FrameEncoder::ship`].
+///
+/// The bucket is fully known up front (unlike the incremental
+/// [`FrameBuilder`], which must stage payload bytes because table sizes
+/// are unknown until `finish`), so the frame is laid out exactly once: a
+/// cheap metadata pass over the refs sizes the frame, then every section
+/// — header, ref table, payload table, payload region — is appended
+/// straight to its final position in the output buffer (no staging, no
+/// pre-zeroing: each output byte is written exactly once). Payload bytes
+/// are copied exactly once (sender outbox → frame), and the FNV-1a
+/// header/table checksum is folded incrementally as each table entry is
+/// appended, never re-walking the buffer.
+///
+/// Payload sharing uses the same rule the place phase depends on: refs of
+/// one `(sender, message)` are consecutive within a bucket, so a
+/// consecutive-pair check is an exact dedup and consecutive sharing refs
+/// point at one payload-table entry (a multicast's copies ship one
+/// payload).
+///
+/// # Panics
+///
+/// Panics if the encoded frame would exceed the `u32` wire bound — a
+/// bucket that cannot be represented must never ship silently truncated.
+pub(crate) fn encode_bucket(
+    sender: usize,
+    dest: usize,
+    bucket: &[RouteRef],
+    outboxes: &[Outbox],
+    base: VertexId,
+    mut buf: BytesMut,
+) -> Bytes {
+    let payload_of =
+        |r: &RouteRef| &outboxes[r.from as usize - base].messages()[r.msg as usize].payload;
+    // Metadata pass: unique payload count and payload region length.
+    let mut payload_count = 0usize;
+    let mut region_len = 0usize;
+    let mut last: Option<(u32, u32)> = None;
+    for r in bucket {
+        if last != Some((r.from, r.msg)) {
+            payload_count += 1;
+            region_len += payload_of(r).len();
+            last = Some((r.from, r.msg));
+        }
+    }
+    let total = HEADER_LEN + REF_BYTES * bucket.len() + PAYLOAD_BYTES * payload_count + region_len;
+    let total32 = u32::try_from(total).expect("frame length fits the wire format");
+    // Every section is *appended* in layout order (never pre-zeroing the
+    // buffer — a recycled buffer's bytes are each written exactly once),
+    // and the digest is folded as each header and table byte is appended,
+    // so the only post-pass write is patching the 4-byte checksum word.
+    buf.clear();
+    buf.reserve(total);
+    buf.put_slice(MAGIC);
+    buf.put_u8(FRAME_VERSION);
+    buf.put_u32_le(total32);
+    buf.put_u32_le(u32::try_from(sender).expect("shard index fits the wire format"));
+    buf.put_u32_le(u32::try_from(dest).expect("shard index fits the wire format"));
+    buf.put_u32_le(bucket.len() as u32);
+    buf.put_u32_le(payload_count as u32);
+    buf.put_u32_le(0); // checksum, patched below (excluded from the digest)
+    let mut sum = fnv1a(FNV_INIT, &buf[..CHECKSUM_OFFSET]);
+    // Ref-table walk: assign payload indices by the consecutive dedup and
+    // fold each entry into the digest as it is appended.
+    let mut last: Option<(u32, u32)> = None;
+    let mut payload_idx = 0u32;
+    for r in bucket {
+        if last != Some((r.from, r.msg)) {
+            if last.is_some() {
+                payload_idx += 1;
+            }
+            last = Some((r.from, r.msg));
+        }
+        let mut entry = [0u8; REF_BYTES];
+        entry[0..4].copy_from_slice(&r.from.to_le_bytes());
+        entry[4..8].copy_from_slice(&payload_idx.to_le_bytes());
+        entry[8..12].copy_from_slice(&r.lo.to_le_bytes());
+        entry[12..16].copy_from_slice(&r.hi.to_le_bytes());
+        buf.put_slice(&entry);
+        sum = fnv1a(sum, &entry);
+    }
+    // Payload-table walk: one digest-folded entry per unique payload.
+    let mut last: Option<(u32, u32)> = None;
+    let mut cursor = 0usize;
+    for r in bucket {
+        if last != Some((r.from, r.msg)) {
+            let len = payload_of(r).len();
+            let mut entry = [0u8; PAYLOAD_BYTES];
+            entry[0..4].copy_from_slice(&(cursor as u32).to_le_bytes());
+            entry[4..8].copy_from_slice(&(len as u32).to_le_bytes());
+            buf.put_slice(&entry);
+            sum = fnv1a(sum, &entry);
+            cursor += len;
+            last = Some((r.from, r.msg));
+        }
+    }
+    // Payload region: each unique payload's bytes, copied exactly once,
+    // sender outbox → final frame position (the region is not
+    // checksummed — see the module docs).
+    let mut last: Option<(u32, u32)> = None;
+    for r in bucket {
+        if last != Some((r.from, r.msg)) {
+            buf.put_slice(payload_of(r).as_slice());
+            last = Some((r.from, r.msg));
+        }
+    }
+    debug_assert_eq!(buf.len(), total);
+    buf[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4].copy_from_slice(&sum.to_le_bytes());
+    buf.freeze()
+}
+
 /// Incremental encoder for one frame: push routed entries, then assemble.
 ///
-/// The builder's scratch tables are retained across frames (call
-/// [`FrameBuilder::begin`] to start the next one), so steady-state
-/// encoding allocates nothing once every table has reached its high-water
-/// capacity.
+/// This is the general-purpose path — tests, tools, and custom transports
+/// build arbitrary frames with it; the engine's hot path is the
+/// single-pass [`encode_bucket`], which knows its whole bucket up front
+/// and therefore never stages payload bytes. An incremental builder
+/// cannot avoid staging (table sizes are unknown until
+/// [`FrameBuilder::finish`]), but its scratch tables are retained across
+/// frames with the same decaying high-water capacity bound as [`Outbox`]:
+/// steady-state encoding allocates nothing, and one bursty frame cannot
+/// pin burst-sized staging buffers forever.
 #[derive(Debug, Default)]
 pub struct FrameBuilder {
     sender: u32,
@@ -246,6 +370,9 @@ pub struct FrameBuilder {
     payloads: Vec<(u32, u32)>,
     /// Payload region scratch.
     payload: Vec<u8>,
+    /// Rolling high-water marks driving the scratch capacity decay
+    /// (refs, payload table, payload region).
+    high_water: [usize; 3],
 }
 
 impl FrameBuilder {
@@ -256,8 +383,11 @@ impl FrameBuilder {
         FrameBuilder::default()
     }
 
-    /// Resets the builder for a new `sender -> dest` frame, keeping all
-    /// scratch capacity.
+    /// Resets the builder for a new `sender -> dest` frame. Scratch
+    /// capacity is kept across frames up to the decaying high-water bound
+    /// shared with [`Outbox`] and the router buckets, so steady encoding
+    /// never reallocates while one bursty frame cannot pin burst-sized
+    /// staging buffers forever.
     ///
     /// # Panics
     ///
@@ -265,9 +395,10 @@ impl FrameBuilder {
     pub fn begin(&mut self, sender: usize, dest: usize) {
         self.sender = u32::try_from(sender).expect("shard index fits the wire format");
         self.dest = u32::try_from(dest).expect("shard index fits the wire format");
-        self.refs.clear();
-        self.payloads.clear();
-        self.payload.clear();
+        let [refs_hw, payloads_hw, payload_hw] = &mut self.high_water;
+        crate::message::clear_with_decay(&mut self.refs, refs_hw);
+        crate::message::clear_with_decay(&mut self.payloads, payloads_hw);
+        crate::message::clear_with_decay(&mut self.payload, payload_hw);
     }
 
     /// Appends one routed entry carrying a new payload: sender vertex
@@ -438,37 +569,46 @@ impl Frame {
             });
         }
         let region = region as usize;
+        let payload_table = HEADER_LEN + ref_count * REF_BYTES;
+        let region_len = declared - region;
+        // Fused verification walk: the tables are read once, folding the
+        // FNV-1a digest and validating each entry in the same pass. A
+        // structural violation is only *recorded* here — the checksum
+        // verdict still takes precedence (a corrupted frame reports
+        // `ChecksumMismatch`, not whatever nonsense its flipped bits
+        // happen to spell), exactly as when the two passes were separate.
         let declared_sum = le32(data, CHECKSUM_OFFSET);
-        let computed = checksum(&data[..CHECKSUM_OFFSET], &data[HEADER_LEN..region]);
+        let mut computed = fnv1a(FNV_INIT, &data[..CHECKSUM_OFFSET]);
+        let mut malformed = None;
+        for entry in data[HEADER_LEN..payload_table].chunks_exact(REF_BYTES) {
+            computed = fnv1a(computed, entry);
+            if malformed.is_none() {
+                if le32(entry, 4) as usize >= payload_count {
+                    malformed = Some("ref points past the payload table");
+                } else if le32(entry, 8) > le32(entry, 12) {
+                    malformed = Some("ref slot range is decreasing");
+                }
+            }
+        }
+        for entry in data[payload_table..region].chunks_exact(PAYLOAD_BYTES) {
+            computed = fnv1a(computed, entry);
+            // Widen before adding: offset + length can exceed u32 (and
+            // usize, on 32-bit targets) without either field alone doing
+            // so, and a wrapped sum must not sneak past the bound.
+            if malformed.is_none()
+                && u64::from(le32(entry, 0)) + u64::from(le32(entry, 4)) > region_len as u64
+            {
+                malformed = Some("payload entry overruns the payload region");
+            }
+        }
         if computed != declared_sum {
             return Err(FrameError::ChecksumMismatch {
                 declared: declared_sum,
                 computed,
             });
         }
-        let payload_table = HEADER_LEN + ref_count * REF_BYTES;
-        let region_len = declared - region;
-        for i in 0..payload_count {
-            let off = le32(data, payload_table + PAYLOAD_BYTES * i) as usize;
-            let len = le32(data, payload_table + PAYLOAD_BYTES * i + 4) as usize;
-            if off + len > region_len {
-                return Err(FrameError::Malformed {
-                    detail: "payload entry overruns the payload region",
-                });
-            }
-        }
-        for i in 0..ref_count {
-            let base = HEADER_LEN + REF_BYTES * i;
-            if le32(data, base + 4) as usize >= payload_count {
-                return Err(FrameError::Malformed {
-                    detail: "ref points past the payload table",
-                });
-            }
-            if le32(data, base + 8) > le32(data, base + 12) {
-                return Err(FrameError::Malformed {
-                    detail: "ref slot range is decreasing",
-                });
-            }
+        if let Some(detail) = malformed {
+            return Err(FrameError::Malformed { detail });
         }
         Ok(Frame {
             bytes,
@@ -513,16 +653,14 @@ impl Frame {
 
     /// The ref-table entries, in bucket (= delivery) order.
     pub fn refs(&self) -> impl Iterator<Item = FrameRef> + '_ {
-        let data = self.bytes.as_slice();
-        (0..self.ref_count).map(move |i| {
-            let base = HEADER_LEN + REF_BYTES * i;
-            FrameRef {
-                from: le32(data, base),
-                payload: le32(data, base + 4),
-                lo: le32(data, base + 8),
-                hi: le32(data, base + 12),
-            }
-        })
+        self.bytes.as_slice()[HEADER_LEN..self.payload_table]
+            .chunks_exact(REF_BYTES)
+            .map(|entry| FrameRef {
+                from: le32(entry, 0),
+                payload: le32(entry, 4),
+                lo: le32(entry, 8),
+                hi: le32(entry, 12),
+            })
     }
 
     /// A zero-copy view of payload `idx` (bounds-checked at decode).
@@ -547,12 +685,13 @@ impl Frame {
 /// One shard's sender side of the frame seam: encodes every router bucket
 /// into a frame and ships it, recycling frame buffers on a two-round ring.
 ///
-/// Why two rounds: a frame's payload slices sit in destination inboxes
-/// for exactly one round (placed in round `r`, consumed by round `r + 1`'s
-/// compute, overwritten by its place), so the buffer shipped in round
-/// `r - 2` is uniquely referenced again by round `r` and
-/// [`Bytes::try_into_mut`] reclaims it — steady-state framing allocates
-/// nothing. A protocol that retains payload views longer just makes the
+/// Why two rounds: a frame's payload slices sit in destination payload
+/// slabs for exactly one round (registered in round `r`'s place, read by
+/// round `r + 1`'s compute, dropped wholesale by its place's slab reset),
+/// so the buffer shipped in round `r - 2` is uniquely referenced again by
+/// round `r` and [`Bytes::try_into_mut`] reclaims it — steady-state
+/// framing allocates nothing. A protocol that retains payload views
+/// longer (via [`crate::IncomingRef::to_incoming`]) just makes the
 /// reclaim miss and fall back to a fresh buffer; correctness is
 /// unaffected.
 ///
@@ -564,7 +703,6 @@ impl Frame {
 /// shrink (doubling growth stays under the factor) and stay zero-alloc.
 #[derive(Debug, Default)]
 pub(crate) struct FrameEncoder {
-    builder: FrameBuilder,
     /// `ring[dest][parity]`: this shard's retained handle to the frame it
     /// shipped to `dest` two rounds ago (reclaim candidate).
     ring: Vec<[Option<Bytes>; 2]>,
@@ -580,7 +718,6 @@ const FRAME_RETAIN_FLOOR: usize = 256;
 impl FrameEncoder {
     pub(crate) fn new(shards: usize) -> Self {
         FrameEncoder {
-            builder: FrameBuilder::new(),
             ring: vec![[None, None]; shards],
             high_water: vec![0; shards],
             parity: 0,
@@ -590,7 +727,9 @@ impl FrameEncoder {
     /// Encodes shard `me`'s buckets — refs from `router`, payload bytes
     /// from the shard's own `outboxes` chunk (whose first sender is
     /// `base`) — and ships one frame per destination shard through
-    /// `transport`.
+    /// `transport`. Each bucket goes through the single-pass
+    /// [`encode_bucket`]: payload bytes are copied exactly once, straight
+    /// to their final position in the (recycled) frame buffer.
     pub(crate) fn ship(
         &mut self,
         me: usize,
@@ -612,21 +751,7 @@ impl FrameEncoder {
                 },
                 None => BytesMut::new(),
             };
-            self.builder.begin(me, dest);
-            let mut last: Option<(u32, u32)> = None;
-            for route in router.bucket(dest) {
-                let slots = route.lo as usize..route.hi as usize;
-                if last == Some((route.from, route.msg)) {
-                    self.builder.push_shared(route.from as usize, slots);
-                } else {
-                    let payload = &outboxes[route.from as usize - base].messages()
-                        [route.msg as usize]
-                        .payload;
-                    self.builder.push(route.from as usize, slots, payload);
-                    last = Some((route.from, route.msg));
-                }
-            }
-            let frame = self.builder.finish_into(buf);
+            let frame = encode_bucket(me, dest, router.bucket(dest), outboxes, base, buf);
             let hw = &mut self.high_water[dest];
             *hw = (*hw - *hw / 4).max(frame.len());
             self.ring[dest][self.parity] = Some(frame.clone());
@@ -756,6 +881,143 @@ mod tests {
                 assert_eq!(frame.ref_count(), 0);
                 assert!(got[1].is_none(), "no frame from a nonexistent sender");
             }
+        }
+    }
+
+    /// The single-pass bucket encoder and the incremental builder are the
+    /// same wire format, byte for byte: same tables, same payload
+    /// sharing, same checksum — only the number of payload copies made to
+    /// produce them differs.
+    #[test]
+    fn single_pass_encode_matches_the_incremental_builder_bit_for_bit() {
+        use crate::shard::RouteRef;
+
+        // Sender 0: a broadcast-style segment ref. Sender 1: a multicast
+        // (two singleton refs sharing one payload) then a second message.
+        let mut out0 = Outbox::new();
+        out0.broadcast(Bytes::from(b"alpha".as_slice()));
+        let mut out1 = Outbox::new();
+        out1.multicast(vec![0, 2], Bytes::from(b"bee".as_slice()));
+        out1.unicast(2, Bytes::new());
+        let outboxes = [out0, out1];
+        let bucket = [
+            RouteRef {
+                from: 0,
+                msg: 0,
+                lo: 0,
+                hi: 3,
+            },
+            RouteRef {
+                from: 1,
+                msg: 0,
+                lo: 3,
+                hi: 4,
+            },
+            RouteRef {
+                from: 1,
+                msg: 0,
+                lo: 5,
+                hi: 6,
+            },
+            RouteRef {
+                from: 1,
+                msg: 1,
+                lo: 5,
+                hi: 6,
+            },
+        ];
+        let fast = encode_bucket(2, 5, &bucket, &outboxes, 0, BytesMut::new());
+
+        let mut b = FrameBuilder::new();
+        b.begin(2, 5);
+        let mut last = None;
+        for r in &bucket {
+            let slots = r.lo as usize..r.hi as usize;
+            if last == Some((r.from, r.msg)) {
+                b.push_shared(r.from as usize, slots);
+            } else {
+                let payload = &outboxes[r.from as usize].messages()[r.msg as usize].payload;
+                b.push(r.from as usize, slots, payload);
+                last = Some((r.from, r.msg));
+            }
+        }
+        let slow = b.finish();
+        assert_eq!(fast.as_slice(), slow.as_slice(), "wire formats diverged");
+        // And the result is a valid frame with the expected sharing.
+        let f = Frame::decode(fast).unwrap();
+        assert_eq!(f.ref_count(), 4);
+        assert_eq!(f.payload_count(), 3);
+        let refs: Vec<_> = f.refs().collect();
+        assert_eq!(refs[1].payload, refs[2].payload, "multicast shares bytes");
+        assert_eq!(f.payload(refs[0].payload).as_slice(), b"alpha");
+    }
+
+    /// Empty buckets encode to the same header-only frame either way.
+    #[test]
+    fn single_pass_encode_matches_builder_on_empty_buckets() {
+        let fast = encode_bucket(1, 3, &[], &[], 0, BytesMut::new());
+        let mut b = FrameBuilder::new();
+        b.begin(1, 3);
+        assert_eq!(fast.as_slice(), b.finish().as_slice());
+        assert_eq!(fast.len(), HEADER_LEN);
+    }
+
+    /// Satellite: the incremental builder's staging buffers follow the
+    /// same decaying high-water retention policy as `Outbox` — a bursty
+    /// frame's capacity is kept hot briefly, then released (mirrors
+    /// `bursty_capacity_decays_toward_the_rolling_high_water_mark`).
+    #[test]
+    fn builder_staging_capacity_decays_after_a_burst() {
+        let mut b = FrameBuilder::new();
+        b.begin(0, 0);
+        for i in 0..1024usize {
+            b.push(i, i..i + 1, &[0u8; 64]);
+        }
+        let _ = b.finish();
+        b.begin(0, 0);
+        // The burst is still remembered right after it happened...
+        assert!(b.refs.capacity() >= 512, "burst capacity kept hot");
+        assert!(b.payload.capacity() >= 32 * 1024);
+        // ...but dozens of small frames later every staging table has
+        // decayed back to the steady volume's scale.
+        for _ in 0..64 {
+            b.push(0, 0..1, b"x");
+            let _ = b.finish();
+            b.begin(0, 0);
+        }
+        assert!(
+            b.refs.capacity() <= Outbox::RETAIN_FACTOR * Outbox::RETAIN_FLOOR,
+            "ref staging capacity {} still pinned after decay",
+            b.refs.capacity()
+        );
+        assert!(
+            b.payloads.capacity() <= Outbox::RETAIN_FACTOR * Outbox::RETAIN_FLOOR,
+            "payload-table staging capacity {} still pinned after decay",
+            b.payloads.capacity()
+        );
+        assert!(
+            b.payload.capacity() <= Outbox::RETAIN_FACTOR * Outbox::RETAIN_FLOOR,
+            "payload-region staging capacity {} still pinned after decay",
+            b.payload.capacity()
+        );
+        // Steady volume never reallocates: the capacities are stable.
+        let caps = (
+            b.refs.capacity(),
+            b.payloads.capacity(),
+            b.payload.capacity(),
+        );
+        for _ in 0..32 {
+            b.push(0, 0..1, b"x");
+            let _ = b.finish();
+            b.begin(0, 0);
+            assert_eq!(
+                caps,
+                (
+                    b.refs.capacity(),
+                    b.payloads.capacity(),
+                    b.payload.capacity()
+                )
+            );
         }
     }
 

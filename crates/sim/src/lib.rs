@@ -35,14 +35,36 @@
 //!   buckets addressed to it — never another shard's outbox headers — and
 //!   bucket-sorts those copies into its own inbox slice (recycled in
 //!   place across rounds — steady-state stepping allocates nothing).
-//!   Payloads are reference-counted, so a broadcast is encoded once and
-//!   shared by all recipients (zero-copy).
 //!
 //! Sender-side routing is what drops delivery's header work from
 //! `O(shards × messages)` to `O(messages + copies)` refs, with no
 //! shard-count multiplier (the complexity table lives in the `shard`
 //! module docs; [`Simulator::delivery_work`] reports the measured
 //! [`DeliveryWork`] counters).
+//!
+//! # Slab-backed inboxes: delivery cost is per message, not per copy
+//!
+//! An inbox stores compact 8-byte `{from, payload id}` slots, not payload
+//! handles: placement registers each unique `(sender, message)` payload
+//! **once per shard per round** in the shard's [`PayloadSlab`] and then
+//! scatters plain slot writes, so a broadcast to ten thousand neighbors
+//! costs one payload registration and ten thousand cache-linear writes —
+//! zero reference-count traffic in the per-copy loop, under every
+//! backend. Protocols read the result through the [`Inbox`] view a
+//! [`Protocol::round`] receives: iteration yields borrowed
+//! [`IncomingRef`]s resolved through the slab, again without touching a
+//! reference count ([`IncomingRef::to_incoming`] materializes an owned
+//! [`Incoming`] when one is wanted).
+//!
+//! The **slab ownership rule** makes this sound: a shard's slab holds
+//! *read-only views of sender payloads* — reference-counted handles to
+//! outbox encodings under the in-memory backends, zero-copy slices of
+//! decoded frames under the framed ones — and senders never mutate a
+//! payload they have shipped. Slab entries live exactly one round
+//! (registered by placement, read by the next compute, dropped wholesale
+//! by the following placement), and slab, slot table, and offsets are all
+//! recycled in place, preserving the steady-state zero-allocation
+//! invariant. See the `shard` module docs for the full rule.
 //!
 //! # The frame seam
 //!
@@ -95,13 +117,15 @@
 //! Protocols may speak bytes directly ([`Protocol`]) or typed messages
 //! through a [`Codec`] ([`TypedProtocol`] wrapped in [`Typed`]): one
 //! encode per send — broadcasts included — and one decode per receipt,
-//! with malformed payloads dropped at the boundary.
+//! with malformed payloads dropped at the boundary. Decoding borrows the
+//! slab-resolved payload slice directly, so the typed read path is as
+//! handle-free as the raw one.
 //!
 //! # Example: flooding a token
 //!
 //! ```
 //! use netdecomp_graph::generators;
-//! use netdecomp_sim::{Ctx, Engine, Incoming, Outbox, Protocol, Simulator};
+//! use netdecomp_sim::{Ctx, Engine, Inbox, Outbox, Protocol, Simulator};
 //! use bytes::Bytes;
 //!
 //! struct Flood { seen: bool }
@@ -113,7 +137,7 @@
 //!             out.broadcast(Bytes::from_static(b"x"));
 //!         }
 //!     }
-//!     fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming], out: &mut Outbox) {
+//!     fn round(&mut self, _ctx: &Ctx<'_>, incoming: Inbox<'_>, out: &mut Outbox) {
 //!         if !incoming.is_empty() && !self.seen {
 //!             self.seen = true;
 //!             out.broadcast(Bytes::from_static(b"x"));
@@ -149,7 +173,9 @@ pub use codec::{Codec, Typed, TypedOutbox, TypedProtocol};
 pub use engine::{Ctx, Determinism, Engine, Protocol, Simulator};
 pub use error::{FrameError, SimError};
 pub use frame::{FrameTransport, Transport};
-pub use message::{Incoming, Outbox, Outgoing, Recipient};
+pub use message::{
+    Inbox, Incoming, IncomingRef, Outbox, Outgoing, PayloadId, PayloadSlab, Recipient,
+};
 pub use seeding::stream_rng;
 pub use shard::{RouteIndex, RouteSegment, ShardPlan};
 pub use stats::{CongestLimit, DeliveryWork, RoundStats, RunStats};

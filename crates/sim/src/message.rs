@@ -58,12 +58,197 @@ impl Outgoing {
 }
 
 /// A message as delivered to a node at the start of a round.
+///
+/// This is the *owned* form: the engine's inboxes store compact
+/// [`InboxSlot`]s resolved through a per-shard [`PayloadSlab`] instead
+/// (see [`Inbox`]), so `Incoming` appears only where an owned copy is
+/// genuinely wanted — the sequential reference merge `Determinism::Verify`
+/// cross-checks against, and callers of [`IncomingRef::to_incoming`].
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Incoming {
     /// The neighbor that sent it (previous round).
     pub from: VertexId,
     /// Encoded payload.
     pub payload: Bytes,
+}
+
+/// Index of a payload registered in a shard's [`PayloadSlab`] this round.
+pub type PayloadId = u32;
+
+/// One delivered copy, in the engine's compact inbox representation:
+/// eight bytes, no payload handle. The payload lives once per unique
+/// `(sender, message)` in the owning shard's [`PayloadSlab`]; scattering a
+/// slot is a plain write with zero reference-count traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct InboxSlot {
+    /// Global sender vertex id.
+    pub(crate) from: u32,
+    /// The payload's slab index.
+    pub(crate) payload: PayloadId,
+}
+
+/// A shard's per-round payload table: each unique `(sender, message)`
+/// payload delivered to the shard is registered here exactly once, and
+/// every [`InboxSlot`] copy refers to it by [`PayloadId`].
+///
+/// **Slab ownership rule:** the slab holds *read-only views* of sender
+/// payloads — a reference-counted handle to the sender's outbox encoding
+/// under the in-memory backends, a zero-copy slice of the decoded frame
+/// under the framed ones. Senders never mutate a payload after shipping
+/// it (outboxes are cleared, not edited, and frame buffers are reclaimed
+/// only once unreferenced), so a view stays valid for the round its
+/// recipients read it.
+///
+/// The table is recycled in place: [`PayloadSlab::reset`] drops last
+/// round's handles and keeps the capacity (bounded by the same decaying
+/// high-water policy as [`Outbox`]), so steady-state rounds register
+/// without allocating.
+#[derive(Debug, Default)]
+pub struct PayloadSlab {
+    payloads: Vec<Bytes>,
+    /// Rolling high-water mark of per-round registration counts.
+    high_water: usize,
+}
+
+impl PayloadSlab {
+    /// Drops last round's payload handles, keeping (bounded) capacity.
+    pub(crate) fn reset(&mut self) {
+        clear_with_decay(&mut self.payloads, &mut self.high_water);
+    }
+
+    /// Registers one payload and returns its id (the slot scatter writes).
+    pub(crate) fn register(&mut self, payload: Bytes) -> PayloadId {
+        let id = self.payloads.len() as PayloadId;
+        self.payloads.push(payload);
+        id
+    }
+
+    /// Payloads registered so far this round.
+    pub(crate) fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// The payload registered under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by this round's registrations.
+    #[must_use]
+    pub fn resolve(&self, id: PayloadId) -> &Bytes {
+        &self.payloads[id as usize]
+    }
+}
+
+/// The messages delivered to one node this round: a view over the owning
+/// shard's compact slot range, resolved through its [`PayloadSlab`].
+///
+/// Iteration yields [`IncomingRef`]s in delivery order (sender id, then
+/// send order, then target order). A broadcast's recipients all resolve
+/// to the *same* slab entry — reading is zero-copy and touches no
+/// reference counts; call [`IncomingRef::to_incoming`] for an owned
+/// [`Incoming`] when one is needed.
+#[derive(Debug, Clone, Copy)]
+pub struct Inbox<'a> {
+    slots: &'a [InboxSlot],
+    slab: &'a PayloadSlab,
+}
+
+impl<'a> Inbox<'a> {
+    /// Builds the view (engine-internal; protocols only consume it).
+    pub(crate) fn new(slots: &'a [InboxSlot], slab: &'a PayloadSlab) -> Self {
+        Inbox { slots, slab }
+    }
+
+    /// Number of messages delivered this round.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when nothing was delivered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The `i`-th delivered message, in delivery order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> IncomingRef<'a> {
+        let slot = self.slots[i];
+        IncomingRef {
+            from: slot.from,
+            payload: self.slab.resolve(slot.payload),
+        }
+    }
+
+    /// Iterates the delivered messages in delivery order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = IncomingRef<'a>> + '_ {
+        let slab = self.slab;
+        self.slots.iter().map(move |slot| IncomingRef {
+            from: slot.from,
+            payload: slab.resolve(slot.payload),
+        })
+    }
+
+    /// Materializes the view as owned [`Incoming`] messages (one payload
+    /// handle clone per copy — intended for tests and cold paths, not the
+    /// hot read path).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<Incoming> {
+        self.iter().map(|m| m.to_incoming()).collect()
+    }
+}
+
+/// Inbox views compare equal to the owned reference representation when
+/// every message matches in order, sender, and payload bytes (used by
+/// `Determinism::Verify` to cross-check sharded delivery against the
+/// sequential merge).
+impl PartialEq<[Incoming]> for Inbox<'_> {
+    fn eq(&self, other: &[Incoming]) -> bool {
+        self.len() == other.len()
+            && self
+                .iter()
+                .zip(other)
+                .all(|(a, b)| a.from() == b.from && *a.payload() == b.payload)
+    }
+}
+
+/// One delivered message, borrowed from the shard's slot table and
+/// payload slab — the [`Incoming`]-compatible accessor the compact
+/// representation is read through.
+#[derive(Debug, Clone, Copy)]
+pub struct IncomingRef<'a> {
+    from: u32,
+    payload: &'a Bytes,
+}
+
+impl<'a> IncomingRef<'a> {
+    /// The neighbor that sent the message (previous round).
+    #[must_use]
+    pub fn from(&self) -> VertexId {
+        self.from as VertexId
+    }
+
+    /// The encoded payload (a borrowed view; clone it for an owned
+    /// reference-counted handle).
+    #[must_use]
+    pub fn payload(&self) -> &'a Bytes {
+        self.payload
+    }
+
+    /// An owned [`Incoming`] (clones the payload handle — one refcount
+    /// bump, no byte copy).
+    #[must_use]
+    pub fn to_incoming(&self) -> Incoming {
+        Incoming {
+            from: self.from(),
+            payload: self.payload.clone(),
+        }
+    }
 }
 
 /// A node's per-round send buffer.
@@ -255,6 +440,76 @@ mod tests {
             out.broadcast(Bytes::new());
             out.clear();
             assert_eq!(out.retained_capacity(), cap);
+        }
+    }
+
+    #[test]
+    fn inbox_view_resolves_slots_through_the_slab() {
+        let mut slab = PayloadSlab::default();
+        let shared = slab.register(Bytes::from_static(b"broadcast"));
+        let solo = slab.register(Bytes::from_static(b"unicast"));
+        let slots = [
+            InboxSlot {
+                from: 3,
+                payload: shared,
+            },
+            InboxSlot {
+                from: 3,
+                payload: solo,
+            },
+            InboxSlot {
+                from: 9,
+                payload: shared,
+            },
+        ];
+        let inbox = Inbox::new(&slots, &slab);
+        assert_eq!(inbox.len(), 3);
+        assert!(!inbox.is_empty());
+        let collected: Vec<_> = inbox
+            .iter()
+            .map(|m| (m.from(), m.payload().clone()))
+            .collect();
+        assert_eq!(collected[0], (3, Bytes::from_static(b"broadcast")));
+        assert_eq!(collected[1], (3, Bytes::from_static(b"unicast")));
+        assert_eq!(collected[2], (9, Bytes::from_static(b"broadcast")));
+        assert_eq!(inbox.get(2).from(), 9);
+        // The owned materialization and the reference comparison agree.
+        let owned = inbox.to_vec();
+        assert_eq!(owned[1].payload.as_slice(), b"unicast");
+        assert!(inbox == *owned.as_slice());
+        let mut reordered = owned.clone();
+        reordered.swap(0, 2);
+        assert!(inbox != *reordered.as_slice(), "order must matter");
+    }
+
+    #[test]
+    fn slab_recycles_in_place_and_decays_after_a_burst() {
+        let mut slab = PayloadSlab::default();
+        for _ in 0..1024 {
+            slab.register(Bytes::new());
+        }
+        slab.reset();
+        assert_eq!(slab.len(), 0);
+        // The burst is remembered right after it happened, then decays to
+        // the steady volume's scale (same policy as Outbox).
+        assert!(slab.payloads.capacity() >= 512);
+        for _ in 0..64 {
+            slab.register(Bytes::new());
+            slab.reset();
+        }
+        assert!(
+            slab.payloads.capacity() <= Outbox::RETAIN_FACTOR * Outbox::RETAIN_FLOOR,
+            "slab capacity {} still pinned after decay",
+            slab.payloads.capacity()
+        );
+        // Steady volume registers without reallocating.
+        let cap = slab.payloads.capacity();
+        for round in 0..32 {
+            let id = slab.register(Bytes::from_static(b"p"));
+            assert_eq!(id, 0, "ids restart each round (round {round})");
+            assert_eq!(slab.resolve(id).as_slice(), b"p");
+            slab.reset();
+            assert_eq!(slab.payloads.capacity(), cap);
         }
     }
 

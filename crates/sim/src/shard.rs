@@ -5,9 +5,10 @@
 //! shard owns, exclusively:
 //!
 //! - the **inbox slice** of its vertices (a per-shard CSR: local offsets
-//!   plus a flat `Vec<Incoming>`), written only by the owning shard during
-//!   placement and read only by the owning shard during the next compute
-//!   phase;
+//!   plus a flat slot table of compact `{from, payload id}` pairs) and
+//!   the **payload slab** those slots resolve through, written only by
+//!   the owning shard during placement and read only by the owning shard
+//!   during the next compute phase;
 //! - the **per-recipient count/cursor table** backing the bucket sort;
 //! - the **per-edge CONGEST counters** of the directed-edge slots leaving
 //!   its vertices. Edge accounting is *sender-owned*: the slot of the
@@ -64,6 +65,31 @@
 //! separate processes, where a cross-shard rescan would become a
 //! cross-process one.
 //!
+//! The remaining `O(C)` scatter term is a *cache-linear 8-byte write* per
+//! copy, not a payload-handle operation: the inbox stores compact
+//! `{from: u32, payload: PayloadId}` slots, and each unique
+//! `(sender, message)` payload is registered **once per shard per round**
+//! in the shard's [`crate::PayloadSlab`]. Payload-handle traffic
+//! (reference-count bumps under the in-memory backends, zero-copy frame
+//! slices under the framed ones) is therefore proportional to *messages*,
+//! never to *copies* — a broadcast to ten thousand neighbors costs one
+//! slab registration and ten thousand plain slot writes.
+//!
+//! # The slab ownership rule
+//!
+//! A shard's slab holds **read-only views of sender payloads**; senders
+//! never mutate a shipped payload. Concretely: under the in-memory
+//! backends a slab entry is a reference-counted handle to the sender's
+//! own outbox encoding, which the sender only ever *clears* (next
+//! round's compute) — clearing drops the sender's handle but cannot
+//! touch the bytes while recipients still hold theirs. Under the framed
+//! backends a slab entry is a zero-copy slice of the decoded frame, and
+//! the sender-side recycle ring reclaims a frame buffer only once every
+//! such view has been dropped ([`bytes::Bytes::try_into_mut`] refuses
+//! shared buffers). Slab entries live exactly one round: registered by
+//! placement, read by the next compute phase, dropped wholesale by the
+//! following placement's [`crate::PayloadSlab::reset`].
+//!
 //! # The frame seam
 //!
 //! A per-`(sender, destination)` bucket is exactly the batch a transport
@@ -91,7 +117,10 @@ use netdecomp_graph::{Graph, VertexId};
 
 use crate::error::FrameError;
 use crate::frame::{Frame, Transport};
-use crate::{CongestLimit, DeliveryWork, Incoming, Outbox, Recipient, RoundStats, SimError};
+use crate::message::{InboxSlot, PayloadSlab};
+use crate::{
+    CongestLimit, DeliveryWork, Inbox, Outbox, PayloadId, Recipient, RoundStats, SimError,
+};
 
 /// First directed-edge slot of `v`'s CSR row (`2m` for `v == n`, so the
 /// expression is also valid as an exclusive upper bound).
@@ -433,9 +462,9 @@ impl Router {
 /// so all shards can run every delivery phase concurrently.
 ///
 /// Buffers are sized once (per [`ShardPlan`]) and recycled in place across
-/// rounds: the inbox is overwritten slot by slot by the scatter pass —
-/// payload handles are reference-counted, so an overwrite retires the old
-/// round's handle and installs the new one with no allocation — and only
+/// rounds: the slot table is overwritten 8 bytes at a time by the scatter
+/// pass (no payload handles live there — those sit once-per-message in
+/// the [`PayloadSlab`], reset wholesale each round), and every table only
 /// grows when a round delivers more messages than any round before it.
 #[derive(Debug)]
 pub(crate) struct DeliveryShard {
@@ -451,11 +480,17 @@ pub(crate) struct DeliveryShard {
     touched: Vec<usize>,
     /// Per-recipient counts, then scatter cursors (both local-indexed).
     counts: Vec<usize>,
-    /// Local CSR offsets into [`DeliveryShard::inbox`]: vertex `start + i`
-    /// receives `inbox[offsets[i]..offsets[i + 1]]`.
+    /// Local CSR offsets into [`DeliveryShard::slots`]: vertex `start + i`
+    /// receives `slots[offsets[i]..offsets[i + 1]]`.
     pub(crate) offsets: Vec<usize>,
-    /// Messages delivered to this shard's vertices, CSR-packed.
-    pub(crate) inbox: Vec<Incoming>,
+    /// Messages delivered to this shard's vertices, CSR-packed as compact
+    /// `{from, payload id}` slots resolved through
+    /// [`DeliveryShard::slab`].
+    pub(crate) slots: Vec<InboxSlot>,
+    /// This round's unique delivered payloads (one registration per
+    /// `(sender, message)` per round — see the module docs' slab
+    /// ownership rule).
+    pub(crate) slab: PayloadSlab,
     /// This shard's slice of the round's accounting (merged by the engine).
     pub(crate) stats: RoundStats,
     /// Place-phase work counters for the last round (merged by the
@@ -483,7 +518,8 @@ impl DeliveryShard {
             touched: Vec::new(),
             counts: vec![0; end - start],
             offsets: vec![0; end - start + 1],
-            inbox: Vec::new(),
+            slots: Vec::new(),
+            slab: PayloadSlab::default(),
             stats: RoundStats::default(),
             work: DeliveryWork::default(),
             error: None,
@@ -503,8 +539,11 @@ impl DeliveryShard {
     }
 
     /// Messages delivered to owned vertex `start + local` last round.
-    pub(crate) fn incoming(&self, local: usize) -> &[Incoming] {
-        &self.inbox[self.offsets[local]..self.offsets[local + 1]]
+    pub(crate) fn incoming(&self, local: usize) -> Inbox<'_> {
+        Inbox::new(
+            &self.slots[self.offsets[local]..self.offsets[local + 1]],
+            &self.slab,
+        )
     }
 
     /// **Account phase** (sender side): validates addressing, charges
@@ -681,30 +720,47 @@ impl DeliveryShard {
             }
         }
 
-        // Local prefix sums; the inbox is recycled in place (steady-state
-        // rounds reuse both the buffer and its slots, see the type docs).
+        // Local prefix sums; the slot table is recycled in place
+        // (steady-state rounds reuse both the buffer and its slots, see
+        // the type docs).
         self.offsets[0] = 0;
         for i in 0..self.len() {
             self.offsets[i + 1] = self.offsets[i] + self.counts[i];
         }
         let len = self.len();
         let total = self.offsets[len];
-        self.inbox.resize(total, Incoming::default());
+        self.slots.resize(total, InboxSlot::default());
+        self.work.inbox_slot_bytes = total * std::mem::size_of::<InboxSlot>();
         self.counts.copy_from_slice(&self.offsets[..len]);
 
+        // Scatter. Dropping last round's payload handles here (not one by
+        // one during overwrite) is what frees the scatter loop of all
+        // reference-count traffic: each unique (sender, message) payload
+        // is registered once — refs for one message are consecutive
+        // within a bucket, and sender ranges are disjoint across buckets,
+        // so a consecutive-pair check is an exact dedup — and every copy
+        // is a plain 8-byte slot write.
+        self.slab.reset();
+        let mut last: Option<(u32, u32)> = None;
+        let mut payload_id: PayloadId = 0;
         for (k, (router, chunk)) in routers.iter().zip(chunks).enumerate() {
             let router = router.read().expect("no poisoned router");
             let outs = chunk.read().expect("no poisoned outbox chunk");
             let base = bounds[k];
             for route in router.bucket(me) {
-                let from = route.from as usize;
-                let payload = &outs[from - base].messages()[route.msg as usize].payload;
+                if last != Some((route.from, route.msg)) {
+                    let payload =
+                        &outs[route.from as usize - base].messages()[route.msg as usize].payload;
+                    payload_id = self.slab.register(payload.clone());
+                    last = Some((route.from, route.msg));
+                }
                 self.work.copies_delivered += (route.hi - route.lo) as usize;
                 for &to in graph.slot_targets(route.lo as usize..route.hi as usize) {
-                    self.deposit(to, from, payload.clone());
+                    self.deposit(to, route.from, payload_id);
                 }
             }
         }
+        self.work.payload_registrations = self.slab.len();
     }
 
     /// **Placement phase, framed backends**: like [`DeliveryShard::place`],
@@ -737,7 +793,8 @@ impl DeliveryShard {
         let mut decoded = std::mem::take(&mut self.decoded);
         let result = self.place_frames_inner(graph, me, round, transport, bounds, &mut decoded);
         // Dropping the frame handles now releases the payload buffers for
-        // the sender-side recycle ring; inbox slices keep what's needed.
+        // the sender-side recycle ring; the slab's zero-copy views keep
+        // what's needed for one round.
         decoded.clear();
         self.decoded = decoded;
         if let Err(e) = result {
@@ -820,34 +877,48 @@ impl DeliveryShard {
             }
         }
 
-        // Local prefix sums; the inbox is recycled in place exactly as in
-        // the shared-memory path.
+        // Local prefix sums; the slot table is recycled in place exactly
+        // as in the shared-memory path.
         self.offsets[0] = 0;
         for i in 0..self.len() {
             self.offsets[i + 1] = self.offsets[i] + self.counts[i];
         }
         let len = self.len();
         let total = self.offsets[len];
-        self.inbox.resize(total, Incoming::default());
+        self.slots.resize(total, InboxSlot::default());
+        self.work.inbox_slot_bytes = total * std::mem::size_of::<InboxSlot>();
         self.counts.copy_from_slice(&self.offsets[..len]);
 
-        // Scatter pass: payloads are zero-copy views into the frames.
+        // Scatter pass. Each unique frame payload is registered in the
+        // slab once as a zero-copy view into the frame buffer (refs
+        // sharing a payload arrive consecutively from our own encoder; a
+        // foreign encoder that interleaves them merely registers
+        // duplicates), and every copy is a plain 8-byte slot write.
+        self.slab.reset();
         for frame in decoded.iter() {
+            let mut last: Option<u32> = None;
+            let mut payload_id: PayloadId = 0;
             for r in frame.refs() {
-                let payload = frame.payload(r.payload);
+                if last != Some(r.payload) {
+                    payload_id = self.slab.register(frame.payload(r.payload));
+                    last = Some(r.payload);
+                }
                 self.work.copies_delivered += (r.hi - r.lo) as usize;
                 for &to in graph.slot_targets(r.lo as usize..r.hi as usize) {
-                    self.deposit(to, r.from as usize, payload.clone());
+                    self.deposit(to, r.from, payload_id);
                 }
             }
         }
+        self.work.payload_registrations = self.slab.len();
         Ok(())
     }
 
-    /// Writes one message through the recipient's scatter cursor.
-    fn deposit(&mut self, to: VertexId, from: VertexId, payload: bytes::Bytes) {
+    /// Writes one compact slot through the recipient's scatter cursor —
+    /// the entire per-copy cost of delivery (no payload handle moves
+    /// here; the handle sits once in the slab).
+    fn deposit(&mut self, to: VertexId, from: u32, payload: PayloadId) {
         let cursor = &mut self.counts[to - self.start];
-        self.inbox[*cursor] = Incoming { from, payload };
+        self.slots[*cursor] = InboxSlot { from, payload };
         *cursor += 1;
     }
 }

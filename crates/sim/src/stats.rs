@@ -35,6 +35,17 @@ pub struct DeliveryWork {
     pub refs_scanned: usize,
     /// Message copies deposited into inboxes (one per recipient reached).
     pub copies_delivered: usize,
+    /// Payloads registered in receiving shards' slabs this round — one
+    /// per unique `(sender, message)` payload per destination shard, the
+    /// only place delivery touches a payload handle. With slab-backed
+    /// inboxes this tracks `refs_scanned` (per *message*), not
+    /// `copies_delivered` (per *copy*): a broadcast's payload is
+    /// registered once per destination shard and shared by every copy.
+    pub payload_registrations: usize,
+    /// Bytes of compact inbox-slot storage written by the scatter pass
+    /// this round (`copies × size_of::<InboxSlot>()` — the entire
+    /// per-copy memory traffic now that payload handles are per-message).
+    pub inbox_slot_bytes: usize,
     /// Encoded bucket-frame bytes received this round, summed over
     /// shards — the volume a process-per-shard transport would put on the
     /// wire. Zero under the shared-memory backends; under

@@ -5,7 +5,7 @@
 //! patterns. Keeping the encoding fixed-width makes the CONGEST byte
 //! accounting directly interpretable as "words".
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 /// Builder for a fixed-width binary payload.
 ///
@@ -15,7 +15,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 /// use netdecomp_sim::wire::{WireReader, WireWriter};
 ///
 /// let payload = WireWriter::new().u32(7).f64(2.5).finish();
-/// let mut r = WireReader::new(payload);
+/// let mut r = WireReader::new(&payload);
 /// assert_eq!(r.u32(), Some(7));
 /// assert_eq!(r.f64(), Some(2.5));
 /// assert!(r.is_exhausted());
@@ -71,42 +71,54 @@ impl WireWriter {
 ///
 /// Every accessor returns `None` once the payload is exhausted, so malformed
 /// (truncated) messages surface as decode failures rather than panics.
+///
+/// The reader *borrows* its input: decoding advances a slice, so wrapping
+/// a delivered payload costs nothing — no handle clone, no reference-count
+/// traffic — which is what keeps the typed read path's per-copy cost at
+/// zero alongside the engine's slab-backed inboxes.
 #[derive(Debug)]
-pub struct WireReader {
-    buf: Bytes,
+pub struct WireReader<'a> {
+    buf: &'a [u8],
 }
 
-impl WireReader {
-    /// Wraps a payload for reading.
+impl<'a> WireReader<'a> {
+    /// Wraps a payload for reading (accepts `&Bytes` through deref).
     #[must_use]
-    pub fn new(buf: Bytes) -> Self {
+    pub fn new(buf: &'a [u8]) -> Self {
         WireReader { buf }
+    }
+
+    /// Reads the next `N` bytes as a fixed-size array, if they remain.
+    fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+        let (head, rest) = self.buf.split_first_chunk::<N>()?;
+        self.buf = rest;
+        Some(*head)
     }
 
     /// Reads a `u16`, if enough bytes remain.
     pub fn u16(&mut self) -> Option<u16> {
-        (self.buf.remaining() >= 2).then(|| self.buf.get_u16_le())
+        self.take().map(u16::from_le_bytes)
     }
 
     /// Reads a `u32`, if enough bytes remain.
     pub fn u32(&mut self) -> Option<u32> {
-        (self.buf.remaining() >= 4).then(|| self.buf.get_u32_le())
+        self.take().map(u32::from_le_bytes)
     }
 
     /// Reads a `u64`, if enough bytes remain.
     pub fn u64(&mut self) -> Option<u64> {
-        (self.buf.remaining() >= 8).then(|| self.buf.get_u64_le())
+        self.take().map(u64::from_le_bytes)
     }
 
     /// Reads an `f64`, if enough bytes remain.
     pub fn f64(&mut self) -> Option<f64> {
-        (self.buf.remaining() >= 8).then(|| self.buf.get_f64_le())
+        self.u64().map(f64::from_bits)
     }
 
     /// `true` when every byte has been consumed.
     #[must_use]
     pub fn is_exhausted(&self) -> bool {
-        !self.buf.has_remaining()
+        self.buf.is_empty()
     }
 }
 
@@ -123,7 +135,7 @@ mod tests {
             .f64(-0.125)
             .finish();
         assert_eq!(payload.len(), 2 + 4 + 8 + 8);
-        let mut r = WireReader::new(payload);
+        let mut r = WireReader::new(&payload);
         assert_eq!(r.u16(), Some(65535));
         assert_eq!(r.u32(), Some(123_456));
         assert_eq!(r.u64(), Some(u64::MAX));
@@ -134,7 +146,7 @@ mod tests {
     #[test]
     fn truncated_reads_return_none() {
         let payload = WireWriter::new().u16(1).finish();
-        let mut r = WireReader::new(payload);
+        let mut r = WireReader::new(&payload);
         assert_eq!(r.u32(), None); // only 2 bytes available
         assert_eq!(r.u16(), Some(1));
         assert_eq!(r.u16(), None);
@@ -143,13 +155,13 @@ mod tests {
     #[test]
     fn nan_round_trips_bitwise() {
         let payload = WireWriter::new().f64(f64::NAN).finish();
-        let mut r = WireReader::new(payload);
+        let mut r = WireReader::new(&payload);
         assert!(r.f64().unwrap().is_nan());
     }
 
     #[test]
     fn empty_payload_is_exhausted() {
-        let r = WireReader::new(Bytes::new());
+        let r = WireReader::new(&[]);
         assert!(r.is_exhausted());
     }
 }

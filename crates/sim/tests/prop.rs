@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use netdecomp_graph::{bfs, Graph, GraphBuilder};
 use netdecomp_sim::{
-    CongestLimit, Ctx, Determinism, Engine, FrameTransport, Incoming, Outbox, Protocol, Simulator,
+    CongestLimit, Ctx, Determinism, Engine, FrameTransport, Inbox, Outbox, Protocol, Simulator,
 };
 
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
@@ -39,7 +39,7 @@ impl Protocol for Flood {
         }
     }
 
-    fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming], out: &mut Outbox) {
+    fn round(&mut self, _ctx: &Ctx<'_>, incoming: Inbox<'_>, out: &mut Outbox) {
         self.clock += 1;
         if self.dist.is_none() && !incoming.is_empty() {
             self.dist = Some(self.clock);
@@ -81,11 +81,17 @@ impl Protocol for Mixer {
         out.broadcast(Bytes::from(self.acc.to_le_bytes().to_vec()));
     }
 
-    fn round(&mut self, ctx: &Ctx<'_>, incoming: &[Incoming], out: &mut Outbox) {
-        for m in incoming {
+    fn round(&mut self, ctx: &Ctx<'_>, incoming: Inbox<'_>, out: &mut Outbox) {
+        for m in incoming.iter() {
             let mut word = [0u8; 8];
-            word.copy_from_slice(&m.payload[..8]);
-            self.acc ^= u64::from_le_bytes(word).rotate_left((m.from % 7) as u32);
+            word.copy_from_slice(&m.payload()[..8]);
+            // Rotate-then-xor makes the fold sensitive to delivery
+            // *order*, not just to the delivered multiset, so a backend
+            // that reordered an inbox could not sneak past the property.
+            self.acc = self
+                .acc
+                .rotate_left(5)
+                .wrapping_add(u64::from_le_bytes(word).rotate_left((m.from() % 7) as u32));
         }
         if self.budget > 0 && !incoming.is_empty() {
             self.budget -= 1;
@@ -212,6 +218,17 @@ proptest! {
             prop_assert_eq!(seq.nodes(), par.nodes(), "node states diverged");
             prop_assert_eq!(seq.stats(), par.stats(), "stats diverged");
             prop_assert_eq!(seq.is_quiescent(), par.is_quiescent());
+            // The inboxes themselves — not just protocol results — must
+            // match the sequential reference per vertex, message for
+            // message and in order, across the slab-backed representation
+            // of every backend (the slot/payload-id layout may differ per
+            // shard plan; the resolved view must not).
+            for v in 0..g.vertex_count() {
+                let resolve = |m: netdecomp_sim::IncomingRef<'_>| (m.from(), m.payload().to_vec());
+                let seq_inbox: Vec<_> = seq.incoming(v).iter().map(resolve).collect();
+                let par_inbox: Vec<_> = par.incoming(v).iter().map(resolve).collect();
+                prop_assert_eq!(seq_inbox, par_inbox, "vertex {} inbox diverged", v);
+            }
         }
     }
 }

@@ -1,14 +1,17 @@
-//! Steady-state rounds must not allocate: outboxes, per-shard inboxes,
-//! counters, and cursor tables are all recycled in place, and payload
-//! handles are reference-counted. This pins the "inbox slot reuse"
-//! guarantee with a counting global allocator rather than by inspection.
+//! Steady-state rounds must not allocate: outboxes, the per-shard
+//! slab-backed inboxes — the compact slot vector, the payload slab, and
+//! the payload-handle table it recycles — counters, and cursor tables are
+//! all reused in place. Registering a payload in a warm slab is a push
+//! within capacity; scattering a copy is a plain 8-byte slot write. This
+//! pins the "inbox slot reuse" guarantee with a counting global allocator
+//! rather than by inspection, for every delivery backend.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use bytes::Bytes;
 use netdecomp_graph::generators;
-use netdecomp_sim::{Ctx, Engine, FrameTransport, Incoming, Outbox, Protocol, Simulator};
+use netdecomp_sim::{Ctx, Engine, FrameTransport, Inbox, Outbox, Protocol, Simulator};
 
 /// System allocator that counts every allocation (including reallocs).
 struct CountingAlloc;
@@ -48,7 +51,7 @@ impl Protocol for SteadyBroadcast {
         out.broadcast(self.payload.clone());
     }
 
-    fn round(&mut self, _ctx: &Ctx<'_>, incoming: &[Incoming], out: &mut Outbox) {
+    fn round(&mut self, _ctx: &Ctx<'_>, incoming: Inbox<'_>, out: &mut Outbox) {
         self.heard += incoming.len();
         out.broadcast(self.payload.clone());
     }
@@ -79,6 +82,15 @@ fn assert_steady_state_is_allocation_free(engine: Engine) {
         "steady-state rounds allocated {during} times under {engine:?}"
     );
     assert!(sim.nodes().iter().all(|n| n.heard > 0));
+    // The slab registers payloads per *message*, never per copy: every
+    // broadcast lands one segment ref — and therefore one registration —
+    // per destination shard it touches, while each of the 2m copies is
+    // only an 8-byte slot write.
+    let work = sim.delivery_work();
+    assert_eq!(work.payload_registrations, work.refs_scanned);
+    assert_eq!(work.copies_delivered, 2 * g.edge_count());
+    assert!(work.payload_registrations < work.copies_delivered);
+    assert_eq!(work.inbox_slot_bytes, 8 * work.copies_delivered);
 }
 
 #[test]
@@ -127,7 +139,7 @@ impl Protocol for SteadyUnicast {
         out.unicast(ctx.neighbors()[0], self.payload.clone());
     }
 
-    fn round(&mut self, ctx: &Ctx<'_>, _incoming: &[Incoming], out: &mut Outbox) {
+    fn round(&mut self, ctx: &Ctx<'_>, _incoming: Inbox<'_>, out: &mut Outbox) {
         self.tick += 1;
         out.unicast(
             ctx.neighbors()[self.tick % ctx.degree()],
@@ -155,6 +167,14 @@ fn assert_unicast_steady_state_is_allocation_free(engine: Engine) {
         during, 0,
         "unicast steady-state rounds allocated {during} times under {engine:?}"
     );
+    // One unicast per node per round: refs, registrations, copies, and
+    // slots all sit at exactly n.
+    let work = sim.delivery_work();
+    let n = g.vertex_count();
+    assert_eq!(work.payload_registrations, n);
+    assert_eq!(work.refs_scanned, n);
+    assert_eq!(work.copies_delivered, n);
+    assert_eq!(work.inbox_slot_bytes, 8 * n);
 }
 
 #[test]
