@@ -38,6 +38,8 @@
 //! [`SimError::Frame`]. The `NETDECOMP_BACKEND` environment variable
 //! reroutes [`Engine::Parallel`] through the seam for CI sweeps.
 //!
+//! # Round schedules
+//!
 //! Under [`Engine::Parallel`] and [`Engine::Framed`] all phases run on
 //! all shards concurrently inside a **single**
 //! [`rayon::ThreadPool::broadcast`] per step, with a barrier between
@@ -45,6 +47,35 @@
 //! per-shard [`RoundStats`] are merged at the end. [`Engine::Sequential`]
 //! (and a parallelism of one) runs the same phases inline with zero spawn
 //! overhead.
+//!
+//! Framed engines default to the **overlapped** schedule, which fuses
+//! encode+ship into the compute/account pass so a shard's frames are on
+//! the transport while other shards are still computing, and the round
+//! needs one barrier instead of three:
+//!
+//! ```text
+//! non-overlapped (with_overlap(false)):
+//!   [compute all] ─barrier─ [account all] ─barrier─ [ship all] ─barrier─ [place all]
+//!
+//! overlapped (default):
+//!   per owned shard: [compute → account → ship]  ─barrier─  [place all]
+//!                     └ shard A ships while B computes ┘      └ ship barrier,
+//!                                                               now before place ┘
+//! ```
+//!
+//! The fusion is safe because every pre-place phase touches only the
+//! shard's own state (compute its own inboxes/outboxes, account its own
+//! edge counters and router, ship its own buckets): the only cross-shard
+//! hand-off is the transport itself, and the single barrier still
+//! guarantees every send lands before any collect. Delivery order — and
+//! therefore every result bit — is unchanged; [`Determinism::Verify`]
+//! still cross-checks each round against the sequential reference. On an
+//! account failure the fused pass *still ships* (the partial bucket holds
+//! only validated, charged refs), keeping the transport balanced at one
+//! frame per `(sender, dest)` pair, and after the barrier every shard
+//! drains its incoming frames undecoded instead of placing — so the
+//! error round leaves the same state as the non-overlapped abort. Toggle
+//! with [`Simulator::with_overlap`] or `NETDECOMP_FRAME_OVERLAP=0`.
 //!
 //! Because each shard scans senders in id order, per-recipient delivery
 //! order is (sender id, send order, adjacency order for broadcasts) —
@@ -60,7 +91,9 @@ use std::sync::{Condvar, Mutex, RwLock};
 
 use netdecomp_graph::{Graph, VertexId};
 
-use crate::frame::{ChannelTransport, FrameEncoder, FrameTransport, LoopbackTransport, Transport};
+use crate::frame::{
+    ChannelTransport, FrameConfig, FrameEncoder, FrameTransport, LoopbackTransport, Transport,
+};
 use crate::message::InboxSlot;
 use crate::shard::{DeliveryShard, RouteIndex, Router, ShardPlan};
 use crate::{
@@ -188,6 +221,19 @@ fn env_backend() -> Option<FrameTransport> {
         "channel" | "framed-channel" => Some(FrameTransport::Channel),
         _ => None,
     }
+}
+
+/// Whether framed engines fuse encode+ship into the compute/account pass
+/// (`NETDECOMP_FRAME_OVERLAP`): on unless set to `0` or `off`. Read at
+/// engine construction, overridable per simulator with
+/// [`Simulator::with_overlap`].
+fn env_overlap() -> bool {
+    std::env::var("NETDECOMP_FRAME_OVERLAP")
+        .map(|v| {
+            let v = v.trim();
+            v != "0" && !v.eq_ignore_ascii_case("off")
+        })
+        .unwrap_or(true)
 }
 
 impl Engine {
@@ -355,6 +401,11 @@ pub struct Simulator<'g, P> {
     transport: Option<Box<dyn Transport>>,
     /// `Some` when delivery runs through the frame seam.
     backend: Option<FrameTransport>,
+    /// Framed backends: the wire format the encoders write.
+    frame_config: FrameConfig,
+    /// Framed backends: fuse encode+ship into the compute/account pass
+    /// (one barrier per round) instead of running a dedicated ship phase.
+    overlap: bool,
     limit: CongestLimit,
     engine: Engine,
     /// Concurrent workers a step uses: `min(threads, shards)`.
@@ -513,6 +564,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             encoders: Vec::new(),
             transport: None,
             backend: None,
+            frame_config: FrameConfig::default(),
+            overlap: true,
             limit: CongestLimit::Unlimited,
             engine: Engine::Sequential,
             workers: 1,
@@ -555,10 +608,12 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 .expect("pool construction is infallible")
         });
         self.backend = backend;
+        self.frame_config = FrameConfig::from_env();
+        self.overlap = env_overlap();
         let count = self.plan.count();
         self.encoders = match backend {
             Some(_) => (0..count)
-                .map(|_| RwLock::new(FrameEncoder::new(count)))
+                .map(|_| RwLock::new(FrameEncoder::new(count, self.frame_config)))
                 .collect(),
             None => Vec::new(),
         };
@@ -589,6 +644,43 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             "with_transport requires an Engine::Framed configuration"
         );
         self.transport = Some(transport);
+        self
+    }
+
+    /// Pins the wire format a framed engine's encoders write (version,
+    /// payload coverage), overriding the environment-resolved default
+    /// ([`FrameConfig::from_env`]). Decoding always accepts every
+    /// supported version, so differently-configured peers interoperate.
+    /// Builder-style; call *after* [`Simulator::with_engine`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured engine is not framed — a frame config
+    /// with nothing encoded under it would be silently ignored otherwise.
+    #[must_use]
+    pub fn with_frame_config(mut self, config: FrameConfig) -> Self {
+        assert!(
+            self.backend.is_some(),
+            "with_frame_config requires an Engine::Framed configuration"
+        );
+        self.frame_config = config;
+        let count = self.plan.count();
+        self.encoders = (0..count)
+            .map(|_| RwLock::new(FrameEncoder::new(count, config)))
+            .collect();
+        self
+    }
+
+    /// Enables or disables the overlapped framed schedule (fused
+    /// compute/account/ship, one barrier per round — see the module docs'
+    /// round-schedule diagram), overriding `NETDECOMP_FRAME_OVERLAP`.
+    /// Consulted only by framed engines; delivery results are
+    /// bit-identical either way. Builder-style; call *after*
+    /// [`Simulator::with_engine`], which re-resolves the environment
+    /// default.
+    #[must_use]
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
         self
     }
 
@@ -674,6 +766,13 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             work.payload_registrations += shard.work.payload_registrations;
             work.inbox_slot_bytes += shard.work.inbox_slot_bytes;
             work.frame_bytes += shard.work.frame_bytes;
+            work.checksum_ns += shard.work.checksum_ns;
+        }
+        // Shipping is sender-side, so the overlap counter lives on the
+        // encoders (cumulative over the run, unlike the per-round place
+        // counters above — see its field docs).
+        for encoder in &self.encoders {
+            work.overlap_ships += encoder.read().expect("no poisoned encoder").overlap_ships();
         }
         work
     }
@@ -767,13 +866,56 @@ impl<P: Protocol + Send> Simulator<'_, P> {
     /// All phases inline on the calling thread, shard by shard.
     fn execute_round_inline(&mut self) {
         let graph = self.graph;
-        let (limit, round) = (self.limit, self.round);
+        let (started, limit, round) = (self.started, self.limit, self.round);
+        let bounds = self.plan.boundaries();
+        if self.backend.is_some() && self.overlap {
+            // Overlapped framed schedule: each shard's frames are encoded
+            // and shipped the moment its own compute and account finish,
+            // before any later shard has computed — the inline analogue of
+            // the single-barrier parallel schedule. See the module docs.
+            let transport = self
+                .transport
+                .as_deref()
+                .expect("framed backend built a transport");
+            let count = self.shards.len();
+            let mut ok = true;
+            let mut node_rest: &mut [P] = &mut self.nodes;
+            for (k, shard) in self.shards.iter_mut().enumerate() {
+                let (mine, rest) = node_rest.split_at_mut(shard.len());
+                node_rest = rest;
+                {
+                    let mut outs = self.outboxes[k].write().expect("no poisoned outbox chunk");
+                    compute_shard(graph, started, shard, mine, &mut outs);
+                }
+                let outs = self.outboxes[k].read().expect("no poisoned outbox chunk");
+                let mut router = self.routers[k].write().expect("no poisoned router");
+                if !shard.account(graph, &self.routes, limit, round, &outs, &mut router) {
+                    ok = false;
+                }
+                // Ship even when this (or an earlier) shard's account
+                // failed: partial buckets hold only refs that were charged
+                // before the violation, and the transport must see exactly
+                // one frame per link per round either way.
+                let mut enc = self.encoders[k].write().expect("no poisoned encoder");
+                enc.ship(k, &router, &outs, bounds[k], transport, true);
+            }
+            if ok {
+                for (j, shard) in self.shards.iter_mut().enumerate() {
+                    shard.place_frames(graph, j, round, transport, bounds);
+                }
+            } else {
+                for (j, shard) in self.shards.iter_mut().enumerate() {
+                    shard.drain_frames(j, transport, count);
+                }
+            }
+            return;
+        }
         let mut node_rest: &mut [P] = &mut self.nodes;
         for (k, shard) in self.shards.iter().enumerate() {
             let (mine, rest) = node_rest.split_at_mut(shard.len());
             node_rest = rest;
             let mut outs = self.outboxes[k].write().expect("no poisoned outbox chunk");
-            compute_shard(graph, self.started, shard, mine, &mut outs);
+            compute_shard(graph, started, shard, mine, &mut outs);
         }
         for (k, shard) in self.shards.iter_mut().enumerate() {
             let outs = self.outboxes[k].read().expect("no poisoned outbox chunk");
@@ -782,7 +924,6 @@ impl<P: Protocol + Send> Simulator<'_, P> {
                 return;
             }
         }
-        let bounds = self.plan.boundaries();
         if self.backend.is_some() {
             let transport = self
                 .transport
@@ -792,7 +933,7 @@ impl<P: Protocol + Send> Simulator<'_, P> {
                 let outs = self.outboxes[k].read().expect("no poisoned outbox chunk");
                 let router = self.routers[k].read().expect("no poisoned router");
                 let mut enc = encoder.write().expect("no poisoned encoder");
-                enc.ship(k, &router, &outs, bounds[k], transport);
+                enc.ship(k, &router, &outs, bounds[k], transport, false);
             }
             for (j, shard) in self.shards.iter_mut().enumerate() {
                 shard.place_frames(graph, j, round, transport, bounds);
@@ -809,6 +950,7 @@ impl<P: Protocol + Send> Simulator<'_, P> {
     fn execute_round_broadcast(&mut self) {
         let graph = self.graph;
         let (started, limit, round) = (self.started, self.limit, self.round);
+        let overlap = self.overlap;
         let bounds = self.plan.boundaries();
         let outboxes = &self.outboxes;
         let routers = &self.routers;
@@ -849,6 +991,62 @@ impl<P: Protocol + Send> Simulator<'_, P> {
         pool.broadcast(|ctx| {
             let _poison_guard = PoisonOnPanic(&barrier);
             let mut task = tasks[ctx.index()].lock().expect("no poisoned worker task");
+            if let (Some(transport), true) = (transport, overlap) {
+                // Overlapped framed schedule — one fused phase, one
+                // barrier. Compute, account, and ship all touch only the
+                // shard's own state (ship serializes the shard's own
+                // buckets), so no barrier is needed between them; the
+                // single barrier below is the ship barrier, ordering every
+                // send before any collect. See the module docs.
+                for slot in task.slots.iter_mut() {
+                    {
+                        let mut outs = outboxes[slot.index]
+                            .write()
+                            .expect("no poisoned outbox chunk");
+                        compute_shard(graph, started, slot.shard, slot.nodes, &mut outs);
+                    }
+                    let outs = outboxes[slot.index]
+                        .read()
+                        .expect("no poisoned outbox chunk");
+                    let mut router = routers[slot.index].write().expect("no poisoned router");
+                    if !slot
+                        .shard
+                        .account(graph, routes, limit, round, &outs, &mut router)
+                    {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    // Ship even when account failed: partial buckets hold
+                    // only refs charged before the violation, and the
+                    // transport must see exactly one frame per link per
+                    // round either way (no shard knows yet whether some
+                    // other shard's account will fail).
+                    let mut enc = encoders[slot.index].write().expect("no poisoned encoder");
+                    enc.ship(
+                        slot.index,
+                        &router,
+                        &outs,
+                        bounds[slot.index],
+                        transport,
+                        true,
+                    );
+                }
+                barrier.wait();
+                if abort.load(Ordering::Relaxed) {
+                    // Every frame was already shipped, so the aborting
+                    // round drains them (collect + drop, undecoded) to
+                    // keep the transport empty for whoever inspects the
+                    // simulator next.
+                    for slot in task.slots.iter_mut() {
+                        slot.shard.drain_frames(slot.index, transport, total);
+                    }
+                    return;
+                }
+                for slot in task.slots.iter_mut() {
+                    slot.shard
+                        .place_frames(graph, slot.index, round, transport, bounds);
+                }
+                return;
+            }
             // Phase 1 — compute: own nodes fill own outbox chunks.
             for slot in task.slots.iter_mut() {
                 let mut outs = outboxes[slot.index]
@@ -889,7 +1087,14 @@ impl<P: Protocol + Send> Simulator<'_, P> {
                         .expect("no poisoned outbox chunk");
                     let router = routers[slot.index].read().expect("no poisoned router");
                     let mut enc = encoders[slot.index].write().expect("no poisoned encoder");
-                    enc.ship(slot.index, &router, &outs, bounds[slot.index], transport);
+                    enc.ship(
+                        slot.index,
+                        &router,
+                        &outs,
+                        bounds[slot.index],
+                        transport,
+                        false,
+                    );
                 }
                 barrier.wait();
                 // Phase 4 (framed) — place: each shard decodes the frames
@@ -1258,6 +1463,38 @@ mod tests {
             work.copies_delivered,
             shared.delivery_work().copies_delivered
         );
+    }
+
+    #[test]
+    fn overlap_and_checksum_counters_report_the_framed_schedule() {
+        let g = generators::grid2d(4, 4);
+        let engine = Engine::Framed {
+            threads: 1,
+            shards: 4,
+            transport: FrameTransport::Loopback,
+        };
+        let mut overlapped = Simulator::new(&g, |_, _| FloodDist::fresh())
+            .with_engine(engine)
+            .with_overlap(true);
+        overlapped.step().unwrap();
+        overlapped.step().unwrap();
+        let work = overlapped.delivery_work();
+        // Every frame ships from the fused phase: shards² per round,
+        // cumulative over the run (unlike the per-round place counters).
+        assert_eq!(work.overlap_ships, 2 * 16, "two rounds of 4x4 frames");
+        // Decode-side validation time is measured under framed delivery.
+        assert!(work.checksum_ns > 0, "16 frames validated per round");
+        let mut separated = Simulator::new(&g, |_, _| FloodDist::fresh())
+            .with_engine(engine)
+            .with_overlap(false);
+        separated.step().unwrap();
+        separated.step().unwrap();
+        assert_eq!(
+            separated.delivery_work().overlap_ships,
+            0,
+            "phase-separated schedule never ships from the fused phase"
+        );
+        assert_eq!(overlapped.nodes(), separated.nodes(), "schedules diverged");
     }
 
     #[test]

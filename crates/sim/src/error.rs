@@ -24,12 +24,15 @@ pub enum FrameError {
     },
     /// The first bytes are not the `NDF` frame magic.
     BadMagic,
-    /// Right magic, wrong format version.
+    /// Right magic, but a format version outside the range this build
+    /// decodes.
     VersionMismatch {
         /// Version byte found in the frame.
         found: u8,
-        /// Version this build speaks.
-        expected: u8,
+        /// Oldest version this build still decodes.
+        min: u8,
+        /// Newest version this build decodes (and encodes by default).
+        max: u8,
     },
     /// The header checksum does not match the header and table bytes.
     ChecksumMismatch {
@@ -78,8 +81,11 @@ impl fmt::Display for FrameError {
                 write!(f, "frame truncated: {have} bytes of {needed}")
             }
             FrameError::BadMagic => write!(f, "bad frame magic"),
-            FrameError::VersionMismatch { found, expected } => {
-                write!(f, "frame version {found} (this build speaks {expected})")
+            FrameError::VersionMismatch { found, min, max } => {
+                write!(
+                    f,
+                    "frame version {found} (this build speaks v{min} through v{max})"
+                )
             }
             FrameError::ChecksumMismatch { declared, computed } => write!(
                 f,
@@ -234,9 +240,14 @@ mod tests {
         assert!(e.to_string().contains("5 bytes of 28"));
         let e = FrameError::VersionMismatch {
             found: 9,
-            expected: 1,
+            min: 1,
+            max: 2,
         };
         assert!(e.to_string().contains("version 9"));
+        assert!(
+            e.to_string().contains("v1 through v2"),
+            "the message must name the accepted range, got: {e}"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! of in-memory buckets, "shards stop sharing an address space" becomes a
 //! [`Transport`] swap, not an engine rewrite.
 //!
-//! # Frame layout
+//! # Frame layout (format v2)
 //!
 //! All integers are little-endian `u32` unless noted. One frame carries
 //! one `(sender shard, destination shard)` bucket:
@@ -20,16 +20,19 @@
 //! offset  bytes  field
 //! ------  -----  -----------------------------------------------------
 //!      0      3  magic  b"NDF"
-//!      3      1  format version (u8, currently 1)
+//!      3      1  format version (u8: 2; decoders also accept 1)
 //!      4      4  frame length — total bytes, self-delimiting
 //!      8      4  sender shard
 //!     12      4  destination shard
 //!     16      4  R: ref count
 //!     20      4  P: payload count
-//!     24      4  FNV-1a checksum over bytes [0, 24) ++ [28, 28+16R+8P)
-//!     28    16R  ref table:     R x { from, payload index, lo, hi }
-//! 28+16R     8P  payload table: P x { offset, length }   (region-relative)
-//! 28+16R+8P   …  payload region (concatenated payload bytes)
+//!     24      4  4-lane digest over bytes [0, 24) ++ [28, 32)
+//!                ++ [32, 32+16R+8P) (++ the payload region, iff flagged)
+//!     28      4  flags (bit 0: digest also covers the payload region;
+//!                unknown bits reject the frame)
+//!     32    16R  ref table:     R x { from, payload index, lo, hi }
+//! 32+16R     8P  payload table: P x { offset, length }   (region-relative)
+//! 32+16R+8P   …  payload region (concatenated payload bytes)
 //! ```
 //!
 //! A ref's `lo..hi` is the contiguous directed-edge slot range carrying
@@ -37,10 +40,40 @@
 //! adjacency segment), exactly as in the in-memory bucket. Consecutive
 //! refs may share one payload-table entry — a multicast's copies are
 //! stored once — and decoding hands each recipient a zero-copy
-//! [`Bytes::slice`] view into the payload region. The checksum covers
-//! every header and table byte (not the payload region, whose bytes are
-//! re-read by recipients anyway), so a corrupted ref can never misroute a
-//! message silently: it fails decode with a typed [`FrameError`] instead.
+//! [`Bytes::slice`] view into the payload region.
+//!
+//! # The word-parallel digest (and the v1 one it replaced)
+//!
+//! Every covered section is a whole number of `u32` words (the header is
+//! 24 + 4 bytes, a ref entry 16, a payload entry 8), so v2 checksums
+//! *words*, not bytes: word `i` of the covered stream folds into lane
+//! `i mod 4` of four independent FNV-1a-style lane states
+//! (`lane = (lane ^ word) * FNV_PRIME`, lane `j` seeded with
+//! `FNV_INIT + j * 0x9E37_79B9`), and `finish` folds the four lanes into
+//! one `u32` with the same multiply chain. Four independent multiply
+//! chains break v1's byte-serial data dependency — the ~4 cycles/byte
+//! FNV floor that PR 5 measured dominating framed delivery — while every
+//! fold stays bijective per lane, so **any single-bit flip in a covered
+//! word still changes the digest** (see the frame_codec proptests).
+//!
+//! By default the digest covers every header and table byte but not the
+//! payload region (whose bytes recipients re-read anyway, and which
+//! in-process transports hand over intact): a corrupted ref can never
+//! misroute a message silently — it fails decode with a typed
+//! [`FrameError`] instead. For transports that do not protect payload
+//! bytes themselves (UDP-style sockets), flag bit 0 extends coverage to
+//! the payload region, zero-padded to a word boundary
+//! ([`FrameConfig::cover_payload`]).
+//!
+//! # Version negotiation
+//!
+//! Encoders write format v2 unless pinned to v1 (`NETDECOMP_FRAME_VERSION=1`
+//! or [`FrameConfig`]; v1 frames are 28-byte-header, byte-serial-FNV, and
+//! bit-exact with what pre-v2 builds shipped). Decoders dispatch on the
+//! version byte and accept both formats, so mixed-version peers
+//! interoperate during a rollout; anything outside
+//! [`FRAME_VERSION_MIN`]`..=`[`FRAME_VERSION`] is rejected with
+//! [`FrameError::VersionMismatch`] carrying the accepted range.
 //!
 //! # Transports
 //!
@@ -73,22 +106,40 @@ use netdecomp_graph::VertexId;
 
 use crate::error::FrameError;
 use crate::message::Outbox;
-use crate::shard::{RouteRef, Router};
+use crate::shard::{BucketTally, RouteRef, Router};
 
-/// Frame format version, embedded in every frame's fourth byte.
-pub const FRAME_VERSION: u8 = 1;
+/// Newest frame format version: what encoders write by default.
+pub const FRAME_VERSION: u8 = 2;
+
+/// Oldest frame format version decoders still accept (the byte-serial
+/// FNV-1a format pre-v2 builds shipped, kept bit-exact).
+pub const FRAME_VERSION_MIN: u8 = 1;
 
 /// Magic prefix of every frame.
 const MAGIC: &[u8; 3] = b"NDF";
 
-/// Fixed header length in bytes (through the checksum word).
-const HEADER_LEN: usize = 28;
+/// v1 header length in bytes (through the checksum word) — also the
+/// minimum bytes needed to read any frame's fixed fields.
+const HEADER_LEN_V1: usize = 28;
+
+/// v2 header length in bytes (through the flags word).
+const HEADER_LEN_V2: usize = 32;
 
 /// Byte offset of the frame-length word.
 const LEN_OFFSET: usize = 4;
 
-/// Byte offset of the checksum word (the checksum skips these 4 bytes).
+/// Byte offset of the checksum word (the digest skips these 4 bytes).
 const CHECKSUM_OFFSET: usize = 24;
+
+/// Byte offset of the v2 flags word.
+const FLAGS_OFFSET: usize = 28;
+
+/// v2 flag bit 0: the digest also covers the payload region.
+const FLAG_COVER_PAYLOAD: u32 = 1;
+
+/// All v2 flag bits this build understands; any other set bit rejects
+/// the frame as malformed (after the digest verdict).
+const FLAGS_KNOWN: u32 = FLAG_COVER_PAYLOAD;
 
 /// Bytes per ref-table entry.
 const REF_BYTES: usize = 16;
@@ -99,25 +150,332 @@ const PAYLOAD_BYTES: usize = 8;
 /// FNV-1a offset basis (the running digest's initial state).
 const FNV_INIT: u32 = 0x811c_9dc5;
 
+/// FNV-1a 32-bit prime, the multiplier of every fold step.
+const FNV_PRIME: u32 = 0x0100_0193;
+
+/// Golden-ratio stride separating the four lane seeds, so no two lanes
+/// start in the same state.
+const LANE_SEED_STRIDE: u32 = 0x9E37_79B9;
+
+/// Header length of a given (accepted) format version.
+fn header_len(version: u8) -> usize {
+    if version >= 2 {
+        HEADER_LEN_V2
+    } else {
+        HEADER_LEN_V1
+    }
+}
+
 /// Reads the little-endian `u32` at `off`.
 fn le32(data: &[u8], off: usize) -> u32 {
     u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes"))
 }
 
-/// Folds `bytes` into a running 32-bit FNV-1a digest.
+/// Folds `bytes` into a running 32-bit FNV-1a digest (the v1 checksum).
 fn fnv1a(mut h: u32, bytes: &[u8]) -> u32 {
     for &b in bytes {
         h ^= u32::from(b);
-        h = h.wrapping_mul(0x0100_0193);
+        h = h.wrapping_mul(FNV_PRIME);
     }
     h
 }
 
-/// 32-bit FNV-1a over the two checksummed byte ranges (header without the
-/// checksum word, then the tables) — the decode-side verification;
+/// 32-bit FNV-1a over the two v1-checksummed byte ranges (header without
+/// the checksum word, then the tables) — the decode-side verification;
 /// encoding folds the same digest incrementally as it writes.
 fn checksum(head: &[u8], tables: &[u8]) -> u32 {
     fnv1a(fnv1a(FNV_INIT, head), tables)
+}
+
+/// The v2 word-parallel digest: four independent FNV-1a-style lanes
+/// striped across the little-endian `u32` words of the covered stream.
+///
+/// Word `i` (counted across *all* `update` calls) folds into lane
+/// `i mod 4` as `lane = (lane ^ word) * FNV_PRIME`; since every covered
+/// frame section is a whole number of words, the stripe position is part
+/// of the format. Each fold is bijective on its lane (XOR, then multiply
+/// by an odd constant, both invertible mod 2^32), and [`LaneDigest::finish`]
+/// folds the four lanes with the same chain — so flipping any single bit
+/// of any covered word always changes the final digest. Four independent
+/// multiply chains give the superscalar core ~4 folds in flight where the
+/// byte-serial v1 digest sustained one.
+#[derive(Debug, Clone, Copy)]
+struct LaneDigest {
+    lanes: [u32; 4],
+    /// Words folded so far — the stripe cursor.
+    idx: usize,
+}
+
+impl LaneDigest {
+    fn new() -> Self {
+        let mut lanes = [0u32; 4];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            *lane = FNV_INIT.wrapping_add((i as u32).wrapping_mul(LANE_SEED_STRIDE));
+        }
+        LaneDigest { lanes, idx: 0 }
+    }
+
+    #[inline]
+    fn fold_word(&mut self, word: u32) {
+        let lane = &mut self.lanes[self.idx & 3];
+        *lane = (*lane ^ word).wrapping_mul(FNV_PRIME);
+        self.idx += 1;
+    }
+
+    /// Folds a word-aligned byte run (`bytes.len() % 4 == 0` — every
+    /// covered frame section satisfies this by construction).
+    ///
+    /// Callers fold whole contiguous *regions*, not per-entry slices: the
+    /// peel below runs at most three serial folds per call, after which
+    /// the block loop keeps all four multiply chains in flight for the
+    /// rest of the region. (Per-entry calls would re-enter the peel on
+    /// every misaligned entry and degrade to the serial digest — the
+    /// split-invariance of the result is what makes the granularity a
+    /// pure performance choice.)
+    fn update(&mut self, bytes: &[u8]) {
+        debug_assert_eq!(bytes.len() % 4, 0, "lane digest input is word-aligned");
+        let mut off = 0;
+        // Peel single words until the stripe cursor hits a lane-0
+        // boundary, so the block loop below touches each lane once.
+        while self.idx & 3 != 0 && off + 4 <= bytes.len() {
+            self.fold_word(le32(bytes, off));
+            off += 4;
+        }
+        // Main loop: 16 bytes per iteration, four *independent* lane
+        // folds — no dependency between them, which is the whole point.
+        let mut blocks = bytes[off..].chunks_exact(16);
+        for block in &mut blocks {
+            self.lanes[0] = (self.lanes[0] ^ le32(block, 0)).wrapping_mul(FNV_PRIME);
+            self.lanes[1] = (self.lanes[1] ^ le32(block, 4)).wrapping_mul(FNV_PRIME);
+            self.lanes[2] = (self.lanes[2] ^ le32(block, 8)).wrapping_mul(FNV_PRIME);
+            self.lanes[3] = (self.lanes[3] ^ le32(block, 12)).wrapping_mul(FNV_PRIME);
+            self.idx += 4;
+        }
+        for word in blocks.remainder().chunks_exact(4) {
+            self.fold_word(le32(word, 0));
+        }
+    }
+
+    /// Rotates the lane array so the *next* word folds into slot 0 of the
+    /// returned copy — the loop bodies below get compile-time lane
+    /// indices (registers, not an array indexed by a running cursor)
+    /// regardless of the stripe phase. [`LaneDigest::unrotate`] writes
+    /// the copy back.
+    fn rotate(&self) -> [u32; 4] {
+        let p = self.idx & 3;
+        [
+            self.lanes[p],
+            self.lanes[(p + 1) & 3],
+            self.lanes[(p + 2) & 3],
+            self.lanes[(p + 3) & 3],
+        ]
+    }
+
+    /// Writes back lanes taken out by [`LaneDigest::rotate`]. The stripe
+    /// cursor must not have moved in between (the fused walks below
+    /// advance it only after restoring).
+    fn unrotate(&mut self, rotated: [u32; 4]) {
+        let p = self.idx & 3;
+        for (j, lane) in rotated.into_iter().enumerate() {
+            self.lanes[(p + j) & 3] = lane;
+        }
+    }
+
+    /// Fused decode walk over a ref table: folds every entry into the
+    /// digest **and** accumulates the structural verdicts — `(ref points
+    /// past a payload table of `payload_count`, slot range decreasing)` —
+    /// in the same pass, so validation costs no second sweep of the
+    /// table. Digest-equivalent to `update(table)` (pinned by the wire
+    /// vectors and the split-invariance test).
+    fn fold_ref_table(&mut self, table: &[u8], payload_count: usize) -> (bool, bool) {
+        debug_assert_eq!(table.len() % REF_BYTES, 0, "whole 16-byte entries");
+        let mut lanes = self.rotate();
+        let (mut past, mut decreasing) = (false, false);
+        for entry in table.chunks_exact(REF_BYTES) {
+            let (w0, w1) = (le32(entry, 0), le32(entry, 4));
+            let (w2, w3) = (le32(entry, 8), le32(entry, 12));
+            lanes[0] = (lanes[0] ^ w0).wrapping_mul(FNV_PRIME);
+            lanes[1] = (lanes[1] ^ w1).wrapping_mul(FNV_PRIME);
+            lanes[2] = (lanes[2] ^ w2).wrapping_mul(FNV_PRIME);
+            lanes[3] = (lanes[3] ^ w3).wrapping_mul(FNV_PRIME);
+            past |= w1 as usize >= payload_count;
+            decreasing |= w2 > w3;
+        }
+        self.unrotate(lanes);
+        self.idx += table.len() / 4;
+        (past, decreasing)
+    }
+
+    /// Fused decode walk over a payload table: folds every `(offset,
+    /// length)` entry into the digest while checking that it stays inside
+    /// a payload region of `region_len` bytes (widened sums — the pair
+    /// can overflow `u32` without either field doing so). Two entries per
+    /// iteration keep all four lanes in flight; digest-equivalent to
+    /// `update(table)`.
+    fn fold_payload_table(&mut self, table: &[u8], region_len: u64) -> bool {
+        debug_assert_eq!(table.len() % PAYLOAD_BYTES, 0, "whole 8-byte entries");
+        let mut lanes = self.rotate();
+        let mut overrun = false;
+        let mut pairs = table.chunks_exact(2 * PAYLOAD_BYTES);
+        for pair in &mut pairs {
+            let (w0, w1) = (le32(pair, 0), le32(pair, 4));
+            let (w2, w3) = (le32(pair, 8), le32(pair, 12));
+            lanes[0] = (lanes[0] ^ w0).wrapping_mul(FNV_PRIME);
+            lanes[1] = (lanes[1] ^ w1).wrapping_mul(FNV_PRIME);
+            lanes[2] = (lanes[2] ^ w2).wrapping_mul(FNV_PRIME);
+            lanes[3] = (lanes[3] ^ w3).wrapping_mul(FNV_PRIME);
+            overrun |= u64::from(w0) + u64::from(w1) > region_len;
+            overrun |= u64::from(w2) + u64::from(w3) > region_len;
+        }
+        let tail = pairs.remainder();
+        self.unrotate(lanes);
+        self.idx += (table.len() - tail.len()) / 4;
+        if !tail.is_empty() {
+            let (w0, w1) = (le32(tail, 0), le32(tail, 4));
+            self.fold_word(w0);
+            self.fold_word(w1);
+            overrun |= u64::from(w0) + u64::from(w1) > region_len;
+        }
+        overrun
+    }
+
+    /// Folds a region of arbitrary length, zero-padding its tail to a
+    /// word boundary (the payload region under [`FLAG_COVER_PAYLOAD`]).
+    fn update_padded(&mut self, bytes: &[u8]) {
+        let whole = bytes.len() & !3;
+        self.update(&bytes[..whole]);
+        let tail = &bytes[whole..];
+        if !tail.is_empty() {
+            let mut word = [0u8; 4];
+            word[..tail.len()].copy_from_slice(tail);
+            self.fold_word(u32::from_le_bytes(word));
+        }
+    }
+
+    /// Folds the four lanes into the wire checksum word.
+    fn finish(&self) -> u32 {
+        let mut h = FNV_INIT;
+        for lane in self.lanes {
+            h = (h ^ lane).wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+}
+
+/// The version-dispatched running digest behind the single-pass encoder
+/// and the fused decode walk: v1 frames fold the byte-serial FNV-1a
+/// (bit-exact with pre-v2 builds), v2 frames the 4-lane [`LaneDigest`].
+#[derive(Debug, Clone, Copy)]
+enum RunningDigest {
+    Serial(u32),
+    Lanes(LaneDigest),
+}
+
+impl RunningDigest {
+    /// Seeds the digest for `version` and folds the already-written
+    /// header: bytes `[0, 24)`, then — on v2 — the flags word (skipping
+    /// the zeroed checksum word between them, which is never covered).
+    fn begin(version: u8, header: &[u8]) -> Self {
+        if version >= 2 {
+            let mut d = LaneDigest::new();
+            d.update(&header[..CHECKSUM_OFFSET]);
+            d.update(&header[FLAGS_OFFSET..HEADER_LEN_V2]);
+            RunningDigest::Lanes(d)
+        } else {
+            RunningDigest::Serial(fnv1a(FNV_INIT, &header[..CHECKSUM_OFFSET]))
+        }
+    }
+
+    /// Folds one word-aligned table entry.
+    #[inline]
+    fn update(&mut self, bytes: &[u8]) {
+        match self {
+            RunningDigest::Serial(h) => *h = fnv1a(*h, bytes),
+            RunningDigest::Lanes(d) => d.update(bytes),
+        }
+    }
+
+    /// Folds the payload region (v2 with [`FLAG_COVER_PAYLOAD`] only —
+    /// v1 never covers it).
+    fn update_region(&mut self, bytes: &[u8]) {
+        match self {
+            RunningDigest::Serial(_) => unreachable!("v1 never covers the payload region"),
+            RunningDigest::Lanes(d) => d.update_padded(bytes),
+        }
+    }
+
+    fn finish(&self) -> u32 {
+        match self {
+            RunningDigest::Serial(h) => *h,
+            RunningDigest::Lanes(d) => d.finish(),
+        }
+    }
+}
+
+/// How a framed engine encodes its frames: the wire format version and
+/// whether the v2 digest also covers the payload region.
+///
+/// The decode side is not configurable — every decoder accepts all of
+/// [`FRAME_VERSION_MIN`]`..=`[`FRAME_VERSION`] — so peers encoding
+/// different versions interoperate; this only selects what *this* side
+/// writes. Resolved from the environment by default (see
+/// [`FrameConfig::from_env`]), pinned explicitly via
+/// [`crate::Simulator::with_frame_config`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameConfig {
+    /// Wire format version to encode, in
+    /// [`FRAME_VERSION_MIN`]`..=`[`FRAME_VERSION`].
+    pub version: u8,
+    /// Extend the v2 digest over the payload region (flag bit 0), for
+    /// transports that do not protect payload bytes themselves. Ignored
+    /// (and never set on the wire) when `version` is 1.
+    pub cover_payload: bool,
+}
+
+impl Default for FrameConfig {
+    /// The newest format, tables-only coverage.
+    fn default() -> Self {
+        FrameConfig {
+            version: FRAME_VERSION,
+            cover_payload: false,
+        }
+    }
+}
+
+impl FrameConfig {
+    /// Resolves the encoding config from the environment:
+    /// `NETDECOMP_FRAME_VERSION` selects the format version (out-of-range
+    /// or unparsable values fall back to [`FRAME_VERSION`]), and any
+    /// `NETDECOMP_FRAME_COVER_PAYLOAD` value other than empty, `0`, or
+    /// `off` enables payload coverage (v2 only). Read per call — never
+    /// cached — so tests and benches can sweep versions in one process.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let version = std::env::var("NETDECOMP_FRAME_VERSION")
+            .ok()
+            .and_then(|v| v.trim().parse::<u8>().ok())
+            .filter(|v| (FRAME_VERSION_MIN..=FRAME_VERSION).contains(v))
+            .unwrap_or(FRAME_VERSION);
+        let cover = std::env::var("NETDECOMP_FRAME_COVER_PAYLOAD")
+            .map(|v| {
+                let v = v.trim();
+                !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("off")
+            })
+            .unwrap_or(false);
+        FrameConfig {
+            version,
+            cover_payload: cover && version >= 2,
+        }
+    }
+
+    /// The flags word this config writes (0 on v1, which has none).
+    fn flags(self) -> u32 {
+        if self.version >= 2 && self.cover_payload {
+            FLAG_COVER_PAYLOAD
+        } else {
+            0
+        }
+    }
 }
 
 /// Which frame transport a framed engine ships buckets through.
@@ -243,14 +601,16 @@ impl Transport for ChannelTransport {
 ///
 /// The bucket is fully known up front (unlike the incremental
 /// [`FrameBuilder`], which must stage payload bytes because table sizes
-/// are unknown until `finish`), so the frame is laid out exactly once: a
-/// cheap metadata pass over the refs sizes the frame, then every section
-/// — header, ref table, payload table, payload region — is appended
-/// straight to its final position in the output buffer (no staging, no
-/// pre-zeroing: each output byte is written exactly once). Payload bytes
-/// are copied exactly once (sender outbox → frame), and the FNV-1a
-/// header/table checksum is folded incrementally as each table entry is
-/// appended, never re-walking the buffer.
+/// are unknown until `finish`), and its payload-section sizes arrive
+/// pre-tallied (`tally`, maintained ref by ref as the account pass routed
+/// the bucket), so the frame is laid out exactly once: the tally sizes
+/// the frame, then one walk over the refs writes the ref table, the
+/// payload table, and the payload region straight to their final
+/// positions (no staging, no re-walk). Payload bytes are copied exactly
+/// once (sender outbox → frame), and the checksum is folded in one
+/// contiguous pass over the just-written tables — still hot in cache —
+/// so the v2 digest's four lanes run at full block speed instead of
+/// re-entering the stripe peel on every 16-byte entry.
 ///
 /// Payload sharing uses the same rule the place phase depends on: refs of
 /// one `(sender, message)` are consecutive within a bucket, so a
@@ -262,89 +622,102 @@ impl Transport for ChannelTransport {
 ///
 /// Panics if the encoded frame would exceed the `u32` wire bound — a
 /// bucket that cannot be represented must never ship silently truncated.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn encode_bucket(
     sender: usize,
     dest: usize,
     bucket: &[RouteRef],
+    tally: BucketTally,
     outboxes: &[Outbox],
     base: VertexId,
+    config: FrameConfig,
     mut buf: BytesMut,
 ) -> Bytes {
     let payload_of =
         |r: &RouteRef| &outboxes[r.from as usize - base].messages()[r.msg as usize].payload;
-    // Metadata pass: unique payload count and payload region length.
-    let mut payload_count = 0usize;
-    let mut region_len = 0usize;
-    let mut last: Option<(u32, u32)> = None;
-    for r in bucket {
-        if last != Some((r.from, r.msg)) {
-            payload_count += 1;
-            region_len += payload_of(r).len();
-            last = Some((r.from, r.msg));
-        }
-    }
-    let total = HEADER_LEN + REF_BYTES * bucket.len() + PAYLOAD_BYTES * payload_count + region_len;
+    debug_assert_eq!(
+        (tally.payload_count, tally.region_len),
+        {
+            let t = BucketTally::of(bucket, |r| payload_of(r).len());
+            (t.payload_count, t.region_len)
+        },
+        "router tally out of sync with the bucket"
+    );
+    let (payload_count, region_len) = (tally.payload_count, tally.region_len);
+    let head = header_len(config.version);
+    let payload_table = head + REF_BYTES * bucket.len();
+    let region_start = payload_table + PAYLOAD_BYTES * payload_count;
+    let total = region_start + region_len;
     let total32 = u32::try_from(total).expect("frame length fits the wire format");
-    // Every section is *appended* in layout order (never pre-zeroing the
-    // buffer — a recycled buffer's bytes are each written exactly once),
-    // and the digest is folded as each header and table byte is appended,
-    // so the only post-pass write is patching the 4-byte checksum word.
-    buf.clear();
-    buf.reserve(total);
-    buf.put_slice(MAGIC);
-    buf.put_u8(FRAME_VERSION);
-    buf.put_u32_le(total32);
-    buf.put_u32_le(u32::try_from(sender).expect("shard index fits the wire format"));
-    buf.put_u32_le(u32::try_from(dest).expect("shard index fits the wire format"));
-    buf.put_u32_le(bucket.len() as u32);
-    buf.put_u32_le(payload_count as u32);
-    buf.put_u32_le(0); // checksum, patched below (excluded from the digest)
-    let mut sum = fnv1a(FNV_INIT, &buf[..CHECKSUM_OFFSET]);
-    // Ref-table walk: assign payload indices by the consecutive dedup and
-    // fold each entry into the digest as it is appended.
+    // Size the buffer without a memset: every byte of `0..total` is
+    // written below (the checksum word last, patched after the digest),
+    // so zero-filling would be pure waste — `resize` only zero-fills
+    // bytes past the recycled buffer's previous length, and steady-state
+    // rounds (same frame size as two rounds ago) touch nothing here.
+    buf.resize(total, 0);
+    let data = &mut buf[..];
+    data[..3].copy_from_slice(MAGIC);
+    data[3] = config.version;
+    data[4..8].copy_from_slice(&total32.to_le_bytes());
+    let sender32 = u32::try_from(sender).expect("shard index fits the wire format");
+    let dest32 = u32::try_from(dest).expect("shard index fits the wire format");
+    data[8..12].copy_from_slice(&sender32.to_le_bytes());
+    data[12..16].copy_from_slice(&dest32.to_le_bytes());
+    data[16..20].copy_from_slice(&(bucket.len() as u32).to_le_bytes());
+    data[20..24].copy_from_slice(&(payload_count as u32).to_le_bytes());
+    data[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4].fill(0); // patched below
+    let flags = config.flags();
+    if config.version >= 2 {
+        data[FLAGS_OFFSET..FLAGS_OFFSET + 4].copy_from_slice(&flags.to_le_bytes());
+    }
+    // Body walk: both tables and the payload region are written in ONE
+    // pass over the bucket, through three disjoint cursors into the
+    // pre-sized buffer (the tally fixed every section boundary): direct
+    // bounds-checked-once `chunks_exact_mut` stores the compiler
+    // unrolls, instead of a walk per section with a capacity-checking
+    // `put_slice` per entry.
+    let (tables, region) = data[head..].split_at_mut(region_start - head);
+    let (ref_table, pay_table) = tables.split_at_mut(payload_table - head);
+    let mut refs = ref_table.chunks_exact_mut(REF_BYTES);
+    let mut pays = pay_table.chunks_exact_mut(PAYLOAD_BYTES);
     let mut last: Option<(u32, u32)> = None;
     let mut payload_idx = 0u32;
+    let mut cursor = 0usize;
     for r in bucket {
         if last != Some((r.from, r.msg)) {
             if last.is_some() {
                 payload_idx += 1;
             }
+            // Payload bytes are copied exactly once, sender outbox →
+            // final frame position (covered by the digest only under the
+            // v2 payload-coverage flag — see the module docs).
+            let payload = payload_of(r).as_slice();
+            let entry = pays
+                .next()
+                .expect("payload table sized by the metadata pass");
+            entry[0..4].copy_from_slice(&(cursor as u32).to_le_bytes());
+            entry[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+            region[cursor..cursor + payload.len()].copy_from_slice(payload);
+            cursor += payload.len();
             last = Some((r.from, r.msg));
         }
-        let mut entry = [0u8; REF_BYTES];
+        let entry = refs.next().expect("ref table sized to the bucket");
         entry[0..4].copy_from_slice(&r.from.to_le_bytes());
         entry[4..8].copy_from_slice(&payload_idx.to_le_bytes());
         entry[8..12].copy_from_slice(&r.lo.to_le_bytes());
         entry[12..16].copy_from_slice(&r.hi.to_le_bytes());
-        buf.put_slice(&entry);
-        sum = fnv1a(sum, &entry);
     }
-    // Payload-table walk: one digest-folded entry per unique payload.
-    let mut last: Option<(u32, u32)> = None;
-    let mut cursor = 0usize;
-    for r in bucket {
-        if last != Some((r.from, r.msg)) {
-            let len = payload_of(r).len();
-            let mut entry = [0u8; PAYLOAD_BYTES];
-            entry[0..4].copy_from_slice(&(cursor as u32).to_le_bytes());
-            entry[4..8].copy_from_slice(&(len as u32).to_le_bytes());
-            buf.put_slice(&entry);
-            sum = fnv1a(sum, &entry);
-            cursor += len;
-            last = Some((r.from, r.msg));
-        }
+    debug_assert_eq!(cursor, region_len);
+    // Digest the header and the finished tables in one contiguous fold
+    // each — the tables were just written (still cache-warm), and one
+    // region-sized `update` keeps the v2 lanes at full block speed. The
+    // only post-digest write is patching the 4-byte checksum word.
+    let mut sum = RunningDigest::begin(config.version, &buf[..head]);
+    sum.update(&buf[head..region_start]);
+    if flags & FLAG_COVER_PAYLOAD != 0 {
+        sum.update_region(&buf[region_start..]);
     }
-    // Payload region: each unique payload's bytes, copied exactly once,
-    // sender outbox → final frame position (the region is not
-    // checksummed — see the module docs).
-    let mut last: Option<(u32, u32)> = None;
-    for r in bucket {
-        if last != Some((r.from, r.msg)) {
-            buf.put_slice(payload_of(r).as_slice());
-            last = Some((r.from, r.msg));
-        }
-    }
-    debug_assert_eq!(buf.len(), total);
+    let sum = sum.finish();
     buf[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4].copy_from_slice(&sum.to_le_bytes());
     buf.freeze()
 }
@@ -360,10 +733,12 @@ pub(crate) fn encode_bucket(
 /// frames with the same decaying high-water capacity bound as [`Outbox`]:
 /// steady-state encoding allocates nothing, and one bursty frame cannot
 /// pin burst-sized staging buffers forever.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FrameBuilder {
     sender: u32,
     dest: u32,
+    /// Wire format the next [`FrameBuilder::finish_into`] writes.
+    config: FrameConfig,
     /// Ref table scratch: `{from, payload index, lo, hi}`.
     refs: Vec<[u32; 4]>,
     /// Payload table scratch: `(offset, length)` into `payload`.
@@ -375,12 +750,35 @@ pub struct FrameBuilder {
     high_water: [usize; 3],
 }
 
+impl Default for FrameBuilder {
+    fn default() -> Self {
+        FrameBuilder::new()
+    }
+}
+
 impl FrameBuilder {
     /// An empty builder (for shard `0 -> 0` until [`FrameBuilder::begin`]
-    /// retargets it).
+    /// retargets it), encoding the environment-resolved format
+    /// ([`FrameConfig::from_env`]).
     #[must_use]
     pub fn new() -> Self {
-        FrameBuilder::default()
+        FrameBuilder {
+            sender: 0,
+            dest: 0,
+            config: FrameConfig::from_env(),
+            refs: Vec::new(),
+            payloads: Vec::new(),
+            payload: Vec::new(),
+            high_water: [0; 3],
+        }
+    }
+
+    /// Pins the wire format this builder encodes (overriding the
+    /// environment-resolved default).
+    #[must_use]
+    pub fn with_config(mut self, config: FrameConfig) -> Self {
+        self.config = config;
+        self
     }
 
     /// Resets the builder for a new `sender -> dest` frame. Scratch
@@ -453,15 +851,20 @@ impl FrameBuilder {
     /// buffer to encode without allocating) and freezes it.
     #[must_use]
     pub fn finish_into(&mut self, mut buf: BytesMut) -> Bytes {
+        let head = header_len(self.config.version);
+        let flags = self.config.flags();
         buf.clear();
         buf.put_slice(MAGIC);
-        buf.put_u8(FRAME_VERSION);
+        buf.put_u8(self.config.version);
         buf.put_u32_le(0); // frame length, patched below
         buf.put_u32_le(self.sender);
         buf.put_u32_le(self.dest);
         buf.put_u32_le(self.refs.len() as u32);
         buf.put_u32_le(self.payloads.len() as u32);
         buf.put_u32_le(0); // checksum, patched below
+        if self.config.version >= 2 {
+            buf.put_u32_le(flags);
+        }
         for r in &self.refs {
             for w in r {
                 buf.put_u32_le(*w);
@@ -475,7 +878,16 @@ impl FrameBuilder {
         buf.put_slice(&self.payload);
         let total = u32::try_from(buf.len()).expect("frame length fits the wire format");
         buf[LEN_OFFSET..LEN_OFFSET + 4].copy_from_slice(&total.to_le_bytes());
-        let sum = checksum(&buf[..CHECKSUM_OFFSET], &buf[HEADER_LEN..tables_end]);
+        let sum = if self.config.version >= 2 {
+            let mut d = RunningDigest::begin(self.config.version, &buf[..head]);
+            d.update(&buf[head..tables_end]);
+            if flags & FLAG_COVER_PAYLOAD != 0 {
+                d.update_region(&buf[tables_end..]);
+            }
+            d.finish()
+        } else {
+            checksum(&buf[..CHECKSUM_OFFSET], &buf[head..tables_end])
+        };
         buf[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4].copy_from_slice(&sum.to_le_bytes());
         buf.freeze()
     }
@@ -511,8 +923,14 @@ pub struct Frame {
     bytes: Bytes,
     sender: u32,
     dest: u32,
+    /// Wire format version this frame was encoded in.
+    version: u8,
+    /// The v2 flags word (0 for v1 frames, which have none).
+    flags: u32,
     ref_count: usize,
     payload_count: usize,
+    /// Byte offset of the ref table (the header length of `version`).
+    tables: usize,
     /// Byte offset of the payload table.
     payload_table: usize,
     /// Byte offset of the payload region.
@@ -520,28 +938,42 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// Parses and validates one encoded frame.
+    /// Parses and validates one encoded frame, dispatching on the version
+    /// byte: v2 frames verify the word-parallel 4-lane digest (and, if
+    /// flagged, its payload-region extension), v1 frames the byte-serial
+    /// FNV-1a checksum, bit-exact with pre-v2 builds.
     ///
     /// # Errors
     ///
     /// Every malformation maps to a typed [`FrameError`]: short or
-    /// overlong input, wrong magic or version, a checksum mismatch, or
-    /// tables/payload entries that overrun their regions.
+    /// overlong input, wrong magic, a version outside
+    /// [`FRAME_VERSION_MIN`]`..=`[`FRAME_VERSION`], a checksum mismatch,
+    /// unknown flag bits, or tables/payload entries that overrun their
+    /// regions.
     pub fn decode(bytes: Bytes) -> Result<Frame, FrameError> {
         let data = bytes.as_slice();
-        if data.len() < HEADER_LEN {
+        if data.len() < HEADER_LEN_V1 {
             return Err(FrameError::Truncated {
-                needed: HEADER_LEN,
+                needed: HEADER_LEN_V1,
                 have: data.len(),
             });
         }
         if &data[..3] != MAGIC {
             return Err(FrameError::BadMagic);
         }
-        if data[3] != FRAME_VERSION {
+        let version = data[3];
+        if !(FRAME_VERSION_MIN..=FRAME_VERSION).contains(&version) {
             return Err(FrameError::VersionMismatch {
-                found: data[3],
-                expected: FRAME_VERSION,
+                found: version,
+                min: FRAME_VERSION_MIN,
+                max: FRAME_VERSION,
+            });
+        }
+        let head = header_len(version);
+        if data.len() < head {
+            return Err(FrameError::Truncated {
+                needed: head,
+                have: data.len(),
             });
         }
         let declared = le32(data, LEN_OFFSET) as usize;
@@ -560,47 +992,73 @@ impl Frame {
         let dest = le32(data, 12);
         let ref_count = le32(data, 16) as usize;
         let payload_count = le32(data, 20) as usize;
+        let flags = if version >= 2 {
+            le32(data, FLAGS_OFFSET)
+        } else {
+            0
+        };
         let tables = (ref_count as u64) * (REF_BYTES as u64)
             + (payload_count as u64) * (PAYLOAD_BYTES as u64);
-        let region = (HEADER_LEN as u64).saturating_add(tables);
+        let region = (head as u64).saturating_add(tables);
         if region > declared as u64 {
             return Err(FrameError::Malformed {
                 detail: "tables overrun the frame",
             });
         }
         let region = region as usize;
-        let payload_table = HEADER_LEN + ref_count * REF_BYTES;
+        let payload_table = head + ref_count * REF_BYTES;
         let region_len = declared - region;
-        // Fused verification walk: the tables are read once, folding the
-        // FNV-1a digest and validating each entry in the same pass. A
-        // structural violation is only *recorded* here — the checksum
-        // verdict still takes precedence (a corrupted frame reports
+        // Verification: digest and structural validation share one pass
+        // over the tables. The v2 lane digest's fused walks fold each
+        // entry and check it in the same loop iteration; the v1 serial
+        // digest streams the region, then separate branchless walks
+        // accumulate the structural verdicts (no per-entry "already
+        // failed?" test — that would serialize loops the compiler
+        // otherwise vectorizes). Either way a structural violation
+        // (unknown flag bits included) is only *recorded* — the checksum
+        // verdict takes precedence (a corrupted frame reports
         // `ChecksumMismatch`, not whatever nonsense its flipped bits
-        // happen to spell), exactly as when the two passes were separate.
+        // happen to spell).
         let declared_sum = le32(data, CHECKSUM_OFFSET);
-        let mut computed = fnv1a(FNV_INIT, &data[..CHECKSUM_OFFSET]);
-        let mut malformed = None;
-        for entry in data[HEADER_LEN..payload_table].chunks_exact(REF_BYTES) {
-            computed = fnv1a(computed, entry);
-            if malformed.is_none() {
-                if le32(entry, 4) as usize >= payload_count {
-                    malformed = Some("ref points past the payload table");
-                } else if le32(entry, 8) > le32(entry, 12) {
-                    malformed = Some("ref slot range is decreasing");
-                }
+        let (computed, ref_past, ref_decreasing, payload_overrun) = if version >= 2 {
+            let mut d = LaneDigest::new();
+            d.update(&data[..CHECKSUM_OFFSET]);
+            d.update(&data[FLAGS_OFFSET..HEADER_LEN_V2]);
+            let (past, decreasing) = d.fold_ref_table(&data[head..payload_table], payload_count);
+            let overrun = d.fold_payload_table(&data[payload_table..region], region_len as u64);
+            if flags & FLAG_COVER_PAYLOAD != 0 {
+                d.update_padded(&data[region..declared]);
             }
-        }
-        for entry in data[payload_table..region].chunks_exact(PAYLOAD_BYTES) {
-            computed = fnv1a(computed, entry);
-            // Widen before adding: offset + length can exceed u32 (and
-            // usize, on 32-bit targets) without either field alone doing
-            // so, and a wrapped sum must not sneak past the bound.
-            if malformed.is_none()
-                && u64::from(le32(entry, 0)) + u64::from(le32(entry, 4)) > region_len as u64
-            {
-                malformed = Some("payload entry overruns the payload region");
+            (d.finish(), past, decreasing, overrun)
+        } else {
+            let computed = checksum(&data[..CHECKSUM_OFFSET], &data[head..region]);
+            let (mut past, mut decreasing) = (false, false);
+            for entry in data[head..payload_table].chunks_exact(REF_BYTES) {
+                past |= le32(entry, 4) as usize >= payload_count;
+                decreasing |= le32(entry, 8) > le32(entry, 12);
             }
-        }
+            let mut overrun = false;
+            for entry in data[payload_table..region].chunks_exact(PAYLOAD_BYTES) {
+                // Widen before adding: offset + length can exceed u32
+                // (and usize, on 32-bit targets) without either field
+                // alone doing so, and a wrapped sum must not sneak past
+                // the bound.
+                overrun |=
+                    u64::from(le32(entry, 0)) + u64::from(le32(entry, 4)) > region_len as u64;
+            }
+            (computed, past, decreasing, overrun)
+        };
+        let malformed = if flags & !FLAGS_KNOWN != 0 {
+            Some("unknown frame flags")
+        } else if ref_past {
+            Some("ref points past the payload table")
+        } else if ref_decreasing {
+            Some("ref slot range is decreasing")
+        } else if payload_overrun {
+            Some("payload entry overruns the payload region")
+        } else {
+            None
+        };
         if computed != declared_sum {
             return Err(FrameError::ChecksumMismatch {
                 declared: declared_sum,
@@ -614,11 +1072,36 @@ impl Frame {
             bytes,
             sender,
             dest,
+            version,
+            flags,
             ref_count,
             payload_count,
+            tables: head,
             payload_table,
             region,
         })
+    }
+
+    /// [`Frame::decode`], timing the validation: returns the frame and
+    /// the nanoseconds the decode (dominated by the checksum verification
+    /// walk) took, feeding [`crate::DeliveryWork::checksum_ns`].
+    pub(crate) fn decode_timed(bytes: Bytes) -> Result<(Frame, u64), FrameError> {
+        let start = std::time::Instant::now();
+        let frame = Frame::decode(bytes)?;
+        Ok((frame, start.elapsed().as_nanos() as u64))
+    }
+
+    /// The wire format version this frame was encoded in.
+    #[must_use]
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Whether this frame's digest also covered the payload region (v2
+    /// frames with flag bit 0; always `false` for v1).
+    #[must_use]
+    pub fn covers_payload(&self) -> bool {
+        self.flags & FLAG_COVER_PAYLOAD != 0
     }
 
     /// The shard that encoded this frame.
@@ -653,7 +1136,7 @@ impl Frame {
 
     /// The ref-table entries, in bucket (= delivery) order.
     pub fn refs(&self) -> impl Iterator<Item = FrameRef> + '_ {
-        self.bytes.as_slice()[HEADER_LEN..self.payload_table]
+        self.bytes.as_slice()[self.tables..self.payload_table]
             .chunks_exact(REF_BYTES)
             .map(|entry| FrameRef {
                 from: le32(entry, 0),
@@ -709,19 +1192,31 @@ pub(crate) struct FrameEncoder {
     /// Rolling high-water mark of encoded frame bytes, per destination.
     high_water: Vec<usize>,
     parity: usize,
+    /// Wire format this encoder writes.
+    config: FrameConfig,
+    /// Frames shipped from inside the fused compute/account/ship phase
+    /// (the overlapped schedule) rather than from a dedicated ship phase.
+    overlap_ships: usize,
 }
 
 /// Floor of the frame-buffer retention mark, in bytes (a header-only
-/// frame is 28 bytes; tiny frames must never thrash).
+/// frame is 28–32 bytes; tiny frames must never thrash).
 const FRAME_RETAIN_FLOOR: usize = 256;
 
 impl FrameEncoder {
-    pub(crate) fn new(shards: usize) -> Self {
+    pub(crate) fn new(shards: usize, config: FrameConfig) -> Self {
         FrameEncoder {
             ring: vec![[None, None]; shards],
             high_water: vec![0; shards],
             parity: 0,
+            config,
+            overlap_ships: 0,
         }
+    }
+
+    /// Frames this encoder shipped from the fused (overlapped) phase.
+    pub(crate) fn overlap_ships(&self) -> usize {
+        self.overlap_ships
     }
 
     /// Encodes shard `me`'s buckets — refs from `router`, payload bytes
@@ -730,6 +1225,8 @@ impl FrameEncoder {
     /// `transport`. Each bucket goes through the single-pass
     /// [`encode_bucket`]: payload bytes are copied exactly once, straight
     /// to their final position in the (recycled) frame buffer.
+    /// `overlapped` marks (for [`crate::DeliveryWork`]) whether this call
+    /// ran inside the fused compute/account/ship phase.
     pub(crate) fn ship(
         &mut self,
         me: usize,
@@ -737,8 +1234,12 @@ impl FrameEncoder {
         outboxes: &[Outbox],
         base: VertexId,
         transport: &dyn Transport,
+        overlapped: bool,
     ) {
         self.parity ^= 1;
+        if overlapped {
+            self.overlap_ships += self.ring.len();
+        }
         for dest in 0..self.ring.len() {
             let cap = Outbox::RETAIN_FACTOR * self.high_water[dest].max(FRAME_RETAIN_FLOOR);
             let buf = match self.ring[dest][self.parity].take() {
@@ -751,7 +1252,16 @@ impl FrameEncoder {
                 },
                 None => BytesMut::new(),
             };
-            let frame = encode_bucket(me, dest, router.bucket(dest), outboxes, base, buf);
+            let frame = encode_bucket(
+                me,
+                dest,
+                router.bucket(dest),
+                router.tally(dest),
+                outboxes,
+                base,
+                self.config,
+                buf,
+            );
             let hw = &mut self.high_water[dest];
             *hw = (*hw - *hw / 4).max(frame.len());
             self.ring[dest][self.parity] = Some(frame.clone());
@@ -764,18 +1274,126 @@ impl FrameEncoder {
 mod tests {
     use super::*;
 
+    /// Encoding configs the tests sweep: v1, v2, and v2 with payload
+    /// coverage.
+    fn all_configs() -> [FrameConfig; 3] {
+        [
+            FrameConfig {
+                version: 1,
+                cover_payload: false,
+            },
+            FrameConfig {
+                version: 2,
+                cover_payload: false,
+            },
+            FrameConfig {
+                version: 2,
+                cover_payload: true,
+            },
+        ]
+    }
+
     #[test]
-    fn empty_frame_round_trips() {
-        let mut b = FrameBuilder::new();
-        b.begin(3, 5);
-        let frame = b.finish();
-        assert_eq!(frame.len(), HEADER_LEN);
-        let f = Frame::decode(frame).unwrap();
-        assert_eq!(f.sender_shard(), 3);
-        assert_eq!(f.dest_shard(), 5);
-        assert_eq!(f.ref_count(), 0);
-        assert_eq!(f.payload_count(), 0);
-        assert_eq!(f.refs().count(), 0);
+    fn empty_frame_round_trips_in_every_format() {
+        for config in all_configs() {
+            let mut b = FrameBuilder::new().with_config(config);
+            b.begin(3, 5);
+            let frame = b.finish();
+            assert_eq!(frame.len(), header_len(config.version));
+            let f = Frame::decode(frame).unwrap();
+            assert_eq!(f.version(), config.version);
+            assert_eq!(f.covers_payload(), config.cover_payload);
+            assert_eq!(f.sender_shard(), 3);
+            assert_eq!(f.dest_shard(), 5);
+            assert_eq!(f.ref_count(), 0);
+            assert_eq!(f.payload_count(), 0);
+            assert_eq!(f.refs().count(), 0);
+        }
+    }
+
+    /// The lane digest is independent of how the covered stream is split
+    /// across `update` calls — the invariant the incremental encoder
+    /// leans on.
+    #[test]
+    fn lane_digest_is_split_invariant() {
+        let words: Vec<u8> = (0u8..96).collect();
+        let mut whole = LaneDigest::new();
+        whole.update(&words);
+        for cut in (0..=words.len()).step_by(4) {
+            let mut split = LaneDigest::new();
+            split.update(&words[..cut]);
+            split.update(&words[cut..]);
+            assert_eq!(split.finish(), whole.finish(), "cut at {cut}");
+        }
+        // Padded tails behave like explicit zero padding.
+        let mut padded = LaneDigest::new();
+        padded.update_padded(&words[..93]);
+        let mut explicit = LaneDigest::new();
+        let mut zeroed = words[..93].to_vec();
+        zeroed.extend_from_slice(&[0, 0, 0]);
+        explicit.update(&zeroed);
+        assert_eq!(padded.finish(), explicit.finish());
+    }
+
+    /// Payload coverage actually covers: flipping a payload byte fails a
+    /// covered frame's decode and sails through an uncovered one.
+    #[test]
+    fn payload_coverage_flag_extends_the_digest() {
+        for cover in [false, true] {
+            let mut b = FrameBuilder::new().with_config(FrameConfig {
+                version: 2,
+                cover_payload: cover,
+            });
+            b.begin(0, 1);
+            b.push(7, 3..4, b"fragile bytes");
+            let encoded = b.finish();
+            let f = Frame::decode(encoded.clone()).unwrap();
+            assert_eq!(f.covers_payload(), cover);
+            let mut bad = encoded.as_slice().to_vec();
+            let last = bad.len() - 1;
+            bad[last] ^= 0x40; // a payload-region byte (the padded tail)
+            let verdict = Frame::decode(Bytes::from(bad));
+            if cover {
+                assert!(
+                    matches!(verdict, Err(FrameError::ChecksumMismatch { .. })),
+                    "covered payload corruption escaped: {verdict:?}"
+                );
+            } else {
+                assert!(verdict.is_ok(), "uncovered payload rejected: {verdict:?}");
+            }
+        }
+    }
+
+    /// An unknown flag bit rejects the frame — but only after the digest
+    /// verdict, so random corruption of the flags word still reads as a
+    /// checksum failure.
+    #[test]
+    fn unknown_flag_bits_are_rejected() {
+        let mut b = FrameBuilder::new().with_config(FrameConfig {
+            version: 2,
+            cover_payload: false,
+        });
+        b.begin(0, 1);
+        let encoded = b.finish();
+        let mut bad = encoded.as_slice().to_vec();
+        bad[FLAGS_OFFSET] |= 0x02; // an undefined flag, digest not fixed up
+        assert!(matches!(
+            Frame::decode(Bytes::from(bad.clone())),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+        // With the digest recomputed over the bogus flag, the structural
+        // rejection surfaces.
+        let mut d = LaneDigest::new();
+        d.update(&bad[..CHECKSUM_OFFSET]);
+        d.update(&bad[FLAGS_OFFSET..HEADER_LEN_V2]);
+        let sum = d.finish();
+        bad[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            Frame::decode(Bytes::from(bad)),
+            Err(FrameError::Malformed {
+                detail: "unknown frame flags"
+            })
+        );
     }
 
     #[test]
@@ -869,9 +1487,9 @@ mod tests {
         let t = LoopbackTransport::new(2);
         let mut router = Router::default();
         router.reset(2);
-        let mut enc = FrameEncoder::new(2);
+        let mut enc = FrameEncoder::new(2, FrameConfig::default());
         for round in 0..6 {
-            enc.ship(0, &router, &[], 0, &t);
+            enc.ship(0, &router, &[], 0, &t, false);
             for dest in 0..2 {
                 let mut got = vec![None, None];
                 t.collect(dest, &mut got);
@@ -885,9 +1503,9 @@ mod tests {
     }
 
     /// The single-pass bucket encoder and the incremental builder are the
-    /// same wire format, byte for byte: same tables, same payload
-    /// sharing, same checksum — only the number of payload copies made to
-    /// produce them differs.
+    /// same wire format, byte for byte — in every version/flag combination:
+    /// same tables, same payload sharing, same checksum — only the number
+    /// of payload copies made to produce them differs.
     #[test]
     fn single_pass_encode_matches_the_incremental_builder_bit_for_bit() {
         use crate::shard::RouteRef;
@@ -926,40 +1544,63 @@ mod tests {
                 hi: 6,
             },
         ];
-        let fast = encode_bucket(2, 5, &bucket, &outboxes, 0, BytesMut::new());
+        let tally = BucketTally::of(&bucket, |r| {
+            outboxes[r.from as usize].messages()[r.msg as usize]
+                .payload
+                .len()
+        });
+        for config in all_configs() {
+            let fast = encode_bucket(2, 5, &bucket, tally, &outboxes, 0, config, BytesMut::new());
 
-        let mut b = FrameBuilder::new();
-        b.begin(2, 5);
-        let mut last = None;
-        for r in &bucket {
-            let slots = r.lo as usize..r.hi as usize;
-            if last == Some((r.from, r.msg)) {
-                b.push_shared(r.from as usize, slots);
-            } else {
-                let payload = &outboxes[r.from as usize].messages()[r.msg as usize].payload;
-                b.push(r.from as usize, slots, payload);
-                last = Some((r.from, r.msg));
+            let mut b = FrameBuilder::new().with_config(config);
+            b.begin(2, 5);
+            let mut last = None;
+            for r in &bucket {
+                let slots = r.lo as usize..r.hi as usize;
+                if last == Some((r.from, r.msg)) {
+                    b.push_shared(r.from as usize, slots);
+                } else {
+                    let payload = &outboxes[r.from as usize].messages()[r.msg as usize].payload;
+                    b.push(r.from as usize, slots, payload);
+                    last = Some((r.from, r.msg));
+                }
             }
+            let slow = b.finish();
+            assert_eq!(
+                fast.as_slice(),
+                slow.as_slice(),
+                "wire formats diverged under {config:?}"
+            );
+            // And the result is a valid frame with the expected sharing.
+            let f = Frame::decode(fast).unwrap();
+            assert_eq!(f.version(), config.version);
+            assert_eq!(f.ref_count(), 4);
+            assert_eq!(f.payload_count(), 3);
+            let refs: Vec<_> = f.refs().collect();
+            assert_eq!(refs[1].payload, refs[2].payload, "multicast shares bytes");
+            assert_eq!(f.payload(refs[0].payload).as_slice(), b"alpha");
         }
-        let slow = b.finish();
-        assert_eq!(fast.as_slice(), slow.as_slice(), "wire formats diverged");
-        // And the result is a valid frame with the expected sharing.
-        let f = Frame::decode(fast).unwrap();
-        assert_eq!(f.ref_count(), 4);
-        assert_eq!(f.payload_count(), 3);
-        let refs: Vec<_> = f.refs().collect();
-        assert_eq!(refs[1].payload, refs[2].payload, "multicast shares bytes");
-        assert_eq!(f.payload(refs[0].payload).as_slice(), b"alpha");
     }
 
     /// Empty buckets encode to the same header-only frame either way.
     #[test]
     fn single_pass_encode_matches_builder_on_empty_buckets() {
-        let fast = encode_bucket(1, 3, &[], &[], 0, BytesMut::new());
-        let mut b = FrameBuilder::new();
-        b.begin(1, 3);
-        assert_eq!(fast.as_slice(), b.finish().as_slice());
-        assert_eq!(fast.len(), HEADER_LEN);
+        for config in all_configs() {
+            let fast = encode_bucket(
+                1,
+                3,
+                &[],
+                BucketTally::default(),
+                &[],
+                0,
+                config,
+                BytesMut::new(),
+            );
+            let mut b = FrameBuilder::new().with_config(config);
+            b.begin(1, 3);
+            assert_eq!(fast.as_slice(), b.finish().as_slice());
+            assert_eq!(fast.len(), header_len(config.version));
+        }
     }
 
     /// Satellite: the incremental builder's staging buffers follow the
@@ -1040,12 +1681,13 @@ mod tests {
                 lo: 0,
                 hi: 1,
             },
+            64 * 1024,
         );
         let mut outbox = crate::Outbox::new();
         outbox.unicast(0, Bytes::from(vec![7u8; 64 * 1024]));
         let outboxes = [outbox];
-        let mut enc = FrameEncoder::new(1);
-        enc.ship(0, &router, &outboxes, 0, &t);
+        let mut enc = FrameEncoder::new(1, FrameConfig::default());
+        enc.ship(0, &router, &outboxes, 0, &t, false);
         drain(&t);
         assert!(enc.high_water[0] >= 64 * 1024, "burst mark recorded");
         // Dozens of empty rounds later, the mark — and with it the
@@ -1053,7 +1695,7 @@ mod tests {
         // decayed back to the steady scale (same policy as Outbox).
         router.reset(1);
         for _ in 0..64 {
-            enc.ship(0, &router, &[], 0, &t);
+            enc.ship(0, &router, &[], 0, &t, false);
             drain(&t);
         }
         assert!(
@@ -1074,14 +1716,14 @@ mod tests {
         let t = LoopbackTransport::new(1);
         let mut router = Router::default();
         router.reset(1);
-        let mut enc = FrameEncoder::new(1);
-        enc.ship(0, &router, &[], 0, &t);
+        let mut enc = FrameEncoder::new(1, FrameConfig::default());
+        enc.ship(0, &router, &[], 0, &t, false);
         let mut got = vec![None];
         t.collect(0, &mut got);
         let held = got[0].take().unwrap();
         let snapshot = held.as_slice().to_vec();
         for _ in 0..6 {
-            enc.ship(0, &router, &[], 0, &t);
+            enc.ship(0, &router, &[], 0, &t, false);
             let mut later = vec![None];
             t.collect(0, &mut later);
             assert_eq!(

@@ -86,17 +86,34 @@
 //! A frame corrupted anywhere in its header or tables — everything that
 //! addresses, sizes, or routes messages — or truncated or misrouted
 //! surfaces as a typed [`SimError::Frame`]: never a panic, never a
-//! misdelivered or reordered message. (The payload region is not
-//! checksummed: payload-byte integrity is the transport medium's job,
-//! exactly as in the shared-memory path.) `NETDECOMP_BACKEND=framed`
-//! (or `channel`) reroutes every [`Engine::Parallel`] simulator through
-//! the seam, which is how CI sweeps the whole equivalence surface across
-//! it.
+//! misdelivered or reordered message. (By default the payload region is
+//! not checksummed — payload-byte integrity is the transport medium's
+//! job, exactly as in the shared-memory path — but the v2 format's
+//! coverage flag extends the digest over it for transports that want the
+//! frame self-verifying end to end; see [`frame::FrameConfig`].)
+//!
+//! Two wire-format versions ship: v1's byte-serial FNV-1a digest and
+//! v2's word-parallel four-lane digest (~4 folds in flight instead of
+//! one — the dominant per-round cost of the seam). Encoders write v2 by
+//! default; every decoder accepts both, so mixed-version peers
+//! interoperate. [`frame::FrameConfig`] (or `NETDECOMP_FRAME_VERSION` /
+//! `NETDECOMP_FRAME_COVER_PAYLOAD`) pins what gets written, and CI runs
+//! the full framed equivalence suite with the encoder pinned to v1.
+//! `NETDECOMP_BACKEND=framed` (or `channel`) reroutes every
+//! [`Engine::Parallel`] simulator through the seam, which is how CI
+//! sweeps the whole equivalence surface across it.
 //!
 //! Under [`Engine::Parallel`] and [`Engine::Framed`] all phases run on
 //! all shards concurrently inside a single scoped thread set per step
 //! (barriers between phases); only per-round [`RoundStats`] are merged.
-//! [`Engine::Sequential`] runs the same phases inline.
+//! [`Engine::Sequential`] runs the same phases inline. Framed engines
+//! additionally *overlap* encode and ship with compute by default: each
+//! shard's frames go out the moment its own compute and account finish —
+//! fused into one phase with a single barrier where the phase-separated
+//! schedule needs three — because shipping touches only sender-owned
+//! state. Delivery is bit-identical either way (the `engine` module docs
+//! diagram both schedules); `NETDECOMP_FRAME_OVERLAP=0` or
+//! [`Simulator::with_overlap`] restores the phase-separated schedule.
 //!
 //! # Determinism guarantee
 //!
@@ -172,7 +189,7 @@ pub mod wire;
 pub use codec::{Codec, Typed, TypedOutbox, TypedProtocol};
 pub use engine::{Ctx, Determinism, Engine, Protocol, Simulator};
 pub use error::{FrameError, SimError};
-pub use frame::{FrameTransport, Transport};
+pub use frame::{FrameConfig, FrameTransport, Transport};
 pub use message::{
     Inbox, Incoming, IncomingRef, Outbox, Outgoing, PayloadId, PayloadSlab, Recipient,
 };

@@ -432,6 +432,44 @@ pub(crate) struct Router {
     buckets: Vec<Vec<RouteRef>>,
     /// Per-bucket rolling high-water marks driving capacity decay.
     high_water: Vec<usize>,
+    /// `tallies[j]`: running payload-section sizes of bucket `j`,
+    /// maintained ref by ref as the account pass routes — this is what
+    /// lets the frame encoder size a whole frame without re-walking the
+    /// bucket (the tally compare is in-cache here; a rewalk at encode
+    /// time costs a pass over the bucket plus a random outbox lookup per
+    /// unique payload).
+    tallies: Vec<BucketTally>,
+}
+
+/// Per-bucket payload-section tally: how many *unique* payloads the
+/// bucket's refs name (refs of one message are pushed consecutively, so a
+/// consecutive-pair compare is an exact dedup — the same invariant the
+/// frame encoder and the placement slab lean on) and their total length.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BucketTally {
+    /// Unique payloads named by the bucket (= frame payload-table rows).
+    pub(crate) payload_count: usize,
+    /// Total bytes of those payloads (= frame payload-region length).
+    pub(crate) region_len: usize,
+    /// Last `(from, msg)` pushed, for the consecutive dedup.
+    last: Option<(u32, u32)>,
+}
+
+impl BucketTally {
+    /// Recomputes a finished bucket's tally from scratch — the reference
+    /// the incremental bookkeeping is checked against (tests and debug
+    /// assertions; the hot path never re-walks).
+    pub(crate) fn of(bucket: &[RouteRef], mut len_of: impl FnMut(&RouteRef) -> usize) -> Self {
+        let mut tally = BucketTally::default();
+        for r in bucket {
+            if tally.last != Some((r.from, r.msg)) {
+                tally.payload_count += 1;
+                tally.region_len += len_of(r);
+                tally.last = Some((r.from, r.msg));
+            }
+        }
+        tally
+    }
 }
 
 impl Router {
@@ -442,19 +480,34 @@ impl Router {
             self.buckets.resize_with(shards, Vec::new);
             self.high_water.resize(shards, 0);
         }
+        self.tallies.clear();
+        self.tallies.resize(shards, BucketTally::default());
         for (bucket, high_water) in self.buckets.iter_mut().zip(&mut self.high_water) {
             crate::message::clear_with_decay(bucket, high_water);
         }
     }
 
-    /// Appends a ref to the bucket for `dest`.
-    pub(crate) fn push(&mut self, dest: u32, route: RouteRef) {
+    /// Appends a ref to the bucket for `dest`; `len` is the payload's
+    /// length, folded into the bucket's tally when the ref names a new
+    /// `(from, msg)`.
+    pub(crate) fn push(&mut self, dest: u32, route: RouteRef, len: usize) {
+        let tally = &mut self.tallies[dest as usize];
+        if tally.last != Some((route.from, route.msg)) {
+            tally.payload_count += 1;
+            tally.region_len += len;
+            tally.last = Some((route.from, route.msg));
+        }
         self.buckets[dest as usize].push(route);
     }
 
     /// The refs addressed to destination shard `dest`, in delivery order.
     pub(crate) fn bucket(&self, dest: usize) -> &[RouteRef] {
         &self.buckets[dest]
+    }
+
+    /// The payload-section tally of bucket `dest`.
+    pub(crate) fn tally(&self, dest: usize) -> BucketTally {
+        self.tallies[dest]
     }
 }
 
@@ -607,6 +660,7 @@ impl DeliveryShard {
                                         lo: seg.lo,
                                         hi: seg.hi,
                                     },
+                                    len,
                                 );
                             }
                         }),
@@ -647,6 +701,7 @@ impl DeliveryShard {
                 lo: slot as u32,
                 hi: slot as u32 + 1,
             },
+            len,
         );
         Ok(())
     }
@@ -802,6 +857,27 @@ impl DeliveryShard {
         }
     }
 
+    /// Error path of the overlapped schedule: collects (and drops) the
+    /// round's incoming frames without placing them, keeping the
+    /// transport empty for the next round. The fused
+    /// compute/account/ship phase ships every frame before any shard
+    /// knows whether the round aborted, so an aborting round must still
+    /// balance the transport's one-frame-per-link contract. Inboxes keep
+    /// the previous round's content, exactly as when the non-overlapped
+    /// schedule aborts before shipping.
+    pub(crate) fn drain_frames(
+        &mut self,
+        me: usize,
+        transport: &dyn Transport,
+        shard_count: usize,
+    ) {
+        self.gather.resize(shard_count, None);
+        transport.collect(me, &mut self.gather);
+        for slot in self.gather.iter_mut() {
+            *slot = None;
+        }
+    }
+
     fn place_frames_inner(
         &mut self,
         graph: &Graph,
@@ -817,7 +893,7 @@ impl DeliveryShard {
             error,
         };
         let shard_count = bounds.len() - 1;
-        let (lo_v, hi_v) = (self.start, self.end);
+        let lo_v = self.start;
         self.counts.fill(0);
         self.work = DeliveryWork::default();
         self.gather.resize(shard_count, None);
@@ -827,7 +903,8 @@ impl DeliveryShard {
                 .take()
                 .ok_or_else(|| fail(FrameError::MissingFrame { sender: k }))?;
             self.work.frame_bytes += bytes.len();
-            let frame = Frame::decode(bytes).map_err(&fail)?;
+            let (frame, ns) = Frame::decode_timed(bytes).map_err(&fail)?;
+            self.work.checksum_ns += ns;
             if frame.sender_shard() != k {
                 return Err(fail(FrameError::Misrouted {
                     expected: k,
@@ -850,8 +927,9 @@ impl DeliveryShard {
         // and every delivered target must be a vertex this shard owns.
         let max_slot = graph.directed_edge_count();
         for (k, frame) in decoded.iter().enumerate() {
+            self.work.refs_scanned += frame.ref_count();
+            let (sender_lo, sender_hi) = (bounds[k], bounds[k + 1]);
             for r in frame.refs() {
-                self.work.refs_scanned += 1;
                 let from = r.from as usize;
                 let (slot_lo, slot_hi) = (r.lo as usize, r.hi as usize);
                 let foreign = FrameError::ForeignSlots {
@@ -859,7 +937,7 @@ impl DeliveryShard {
                     lo: slot_lo,
                     hi: slot_hi,
                 };
-                if slot_hi > max_slot || from < bounds[k] || from >= bounds[k + 1] {
+                if slot_hi > max_slot || from < sender_lo || from >= sender_hi {
                     return Err(fail(foreign));
                 }
                 if slot_lo < slot_hi {
@@ -869,10 +947,14 @@ impl DeliveryShard {
                     }
                 }
                 for &to in graph.slot_targets(slot_lo..slot_hi) {
-                    if to < lo_v || to >= hi_v {
-                        return Err(fail(foreign));
+                    // One bounds check per copy: the count table is
+                    // exactly this shard's vertex range, so `get_mut` of
+                    // the wrapping-shifted id *is* the ownership test
+                    // (`to < lo_v` wraps to a huge index and misses too).
+                    match self.counts.get_mut(to.wrapping_sub(lo_v)) {
+                        Some(count) => *count += 1,
+                        None => return Err(fail(foreign)),
                     }
-                    self.counts[to - lo_v] += 1;
                 }
             }
         }
@@ -1100,7 +1182,7 @@ mod tests {
         let mut router = Router::default();
         router.reset(2);
         for _ in 0..1024 {
-            router.push(1, route);
+            router.push(1, route, 0);
         }
         router.reset(2);
         // The burst is still remembered right after it happened...
@@ -1108,7 +1190,7 @@ mod tests {
         // ...but dozens of small rounds later the retained capacity has
         // decayed to the steady volume's scale (same policy as Outbox).
         for _ in 0..64 {
-            router.push(1, route);
+            router.push(1, route, 0);
             router.reset(2);
         }
         assert!(

@@ -53,6 +53,21 @@ pub struct DeliveryWork {
     /// (headers + ref and payload tables) plus one copy of every routed
     /// payload, reported by the engine benches as `frame_bytes_per_round`.
     pub frame_bytes: usize,
+    /// Nanoseconds receiving shards spent validating incoming frames this
+    /// round (header parse + the fused checksum/structure walk — the cost
+    /// the v2 word-parallel digest attacks), summed over shards. Zero
+    /// under the shared-memory backends; reported by the engine benches
+    /// as `checksum_ns_per_round`. Wall-clock time, so never compared
+    /// across backends for equality — only the structural counters are.
+    pub checksum_ns: u64,
+    /// Frames shipped from inside the fused compute/account/ship phase of
+    /// the overlapped framed schedule (cumulative over the run). Zero when
+    /// the overlap is disabled (`NETDECOMP_FRAME_OVERLAP=0` or
+    /// [`crate::Simulator::with_overlap`]) and under shared-memory
+    /// backends, `shards²` per round when it is on: every frame then
+    /// ships before the round's single barrier instead of from a
+    /// dedicated post-account ship phase.
+    pub overlap_ships: usize,
 }
 
 /// Communication accounting for a single round.

@@ -1,14 +1,36 @@
 //! Frame codec robustness: encode -> decode is the identity over
 //! arbitrary bucket contents (empty buckets and multicast-heavy rounds
-//! included), and malformed frames — truncated, version-mismatched,
-//! checksum-corrupted — are rejected with typed [`FrameError`]s instead
-//! of panicking.
+//! included) in *every* wire format this build encodes — v1 byte-serial,
+//! v2 word-parallel, v2 with payload coverage — and malformed frames —
+//! truncated, version-mismatched, checksum-corrupted — are rejected with
+//! typed [`FrameError`]s instead of panicking. The v2 digest is pinned
+//! against an independent per-lane serial reference and against
+//! hard-coded byte vectors, so an accidental format change fails loudly
+//! here before it strands persisted frames.
 
 use bytes::Bytes;
 use proptest::prelude::*;
 
-use netdecomp_sim::frame::{Frame, FrameBuilder};
+use netdecomp_sim::frame::{Frame, FrameBuilder, FrameConfig, FRAME_VERSION, FRAME_VERSION_MIN};
 use netdecomp_sim::FrameError;
+
+/// The three encode configurations this build can produce.
+fn all_configs() -> [FrameConfig; 3] {
+    [
+        FrameConfig {
+            version: 1,
+            cover_payload: false,
+        },
+        FrameConfig {
+            version: 2,
+            cover_payload: false,
+        },
+        FrameConfig {
+            version: 2,
+            cover_payload: true,
+        },
+    ]
+}
 
 /// One bucket entry for the roundtrip property: `share` reuses the
 /// previous entry's payload (a multicast's later copies), so shrunken
@@ -40,10 +62,15 @@ fn arb_entry() -> impl Strategy<Value = Entry> {
 /// Expected decoded view of one ref: `(from, lo, hi, payload bytes)`.
 type ExpectedRef = (u32, u32, u32, Vec<u8>);
 
-/// Encodes `entries` and returns the frame plus the expected decoded view
-/// per ref.
-fn encode(sender: usize, dest: usize, entries: &[Entry]) -> (Bytes, Vec<ExpectedRef>) {
-    let mut b = FrameBuilder::new();
+/// Encodes `entries` under `config` and returns the frame plus the
+/// expected decoded view per ref.
+fn encode_with(
+    config: FrameConfig,
+    sender: usize,
+    dest: usize,
+    entries: &[Entry],
+) -> (Bytes, Vec<ExpectedRef>) {
+    let mut b = FrameBuilder::new().with_config(config);
     b.begin(sender, dest);
     let mut expected = Vec::new();
     let mut last_payload: Option<Vec<u8>> = None;
@@ -64,19 +91,82 @@ fn encode(sender: usize, dest: usize, entries: &[Entry]) -> (Bytes, Vec<Expected
     (b.finish(), expected)
 }
 
+/// Header length of an encoded frame (32 for v2, 28 for v1).
+fn header_len(encoded: &Bytes) -> usize {
+    if encoded.as_slice()[3] >= 2 {
+        32
+    } else {
+        28
+    }
+}
+
+/// The byte ranges a frame's digest covers, concatenated: header without
+/// the checksum word (plus the v2 flags word), then the tables, then —
+/// under payload coverage — the payload region. This re-derives the
+/// covered stream from the wire bytes alone, independent of the codec.
+fn covered_stream(encoded: &Bytes, frame: &Frame) -> Vec<u8> {
+    let data = encoded.as_slice();
+    let head = header_len(encoded);
+    // Table sizes are part of the pinned format: 16 bytes per ref entry,
+    // 8 per payload entry.
+    let tables = frame.ref_count() * 16 + frame.payload_count() * 8;
+    let mut stream = Vec::new();
+    stream.extend_from_slice(&data[..24]);
+    stream.extend_from_slice(&data[28..head]);
+    stream.extend_from_slice(&data[head..head + tables]);
+    if frame.covers_payload() {
+        stream.extend_from_slice(&data[head + tables..]);
+        while stream.len() % 4 != 0 {
+            stream.push(0); // the codec zero-pads the payload tail word
+        }
+    }
+    stream
+}
+
+/// Independent per-lane serial reference of the v2 digest: word `i` of
+/// the covered stream folds into lane `i mod 4`, one word at a time (no
+/// unrolled blocks — this deliberately mirrors the *specification*, not
+/// the implementation's peel/block/tail structure).
+fn reference_lane_digest(stream: &[u8]) -> u32 {
+    assert_eq!(stream.len() % 4, 0, "covered stream is word-aligned");
+    const INIT: u32 = 0x811c_9dc5;
+    const PRIME: u32 = 0x0100_0193;
+    const STRIDE: u32 = 0x9E37_79B9;
+    let mut lanes = [0u32; 4];
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        *lane = INIT.wrapping_add((i as u32).wrapping_mul(STRIDE));
+    }
+    for (i, word) in stream.chunks_exact(4).enumerate() {
+        let w = u32::from_le_bytes(word.try_into().expect("4 bytes"));
+        let lane = &mut lanes[i % 4];
+        *lane = (*lane ^ w).wrapping_mul(PRIME);
+    }
+    let mut h = INIT;
+    for lane in lanes {
+        h = (h ^ lane).wrapping_mul(PRIME);
+    }
+    h
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// encode -> decode == identity: every ref comes back with its
-    /// sender, slot range, and payload bytes intact, in order.
+    /// encode -> decode == identity in every wire format: every ref comes
+    /// back with its sender, slot range, and payload bytes intact, in
+    /// order, and the decoded frame reports the version and coverage it
+    /// was encoded with.
     #[test]
     fn roundtrip_is_identity(
         sender in 0usize..64,
         dest in 0usize..64,
         entries in proptest::collection::vec(arb_entry(), 0..24),
+        config_pick in 0usize..3,
     ) {
-        let (encoded, expected) = encode(sender, dest, &entries);
+        let config = all_configs()[config_pick];
+        let (encoded, expected) = encode_with(config, sender, dest, &entries);
         let frame = Frame::decode(encoded).expect("own encoding decodes");
+        prop_assert_eq!(frame.version(), config.version);
+        prop_assert_eq!(frame.covers_payload(), config.cover_payload);
         prop_assert_eq!(frame.sender_shard(), sender);
         prop_assert_eq!(frame.dest_shard(), dest);
         prop_assert_eq!(frame.ref_count(), expected.len());
@@ -97,14 +187,65 @@ proptest! {
         prop_assert!(frame.payload_count() <= frame.ref_count().max(1));
     }
 
+    /// The wire checksum of every v2 frame equals the independent
+    /// per-lane serial reference over the covered stream — pinning lane
+    /// striping, seeds, zero-padding, and the final lane fold against the
+    /// unrolled implementation.
+    #[test]
+    fn lane_digest_matches_per_lane_serial_reference(
+        sender in 0usize..64,
+        dest in 0usize..64,
+        entries in proptest::collection::vec(arb_entry(), 0..24),
+        cover in 0u32..2,
+    ) {
+        let config = FrameConfig { version: 2, cover_payload: cover == 1 };
+        let (encoded, _) = encode_with(config, sender, dest, &entries);
+        let frame = Frame::decode(encoded.clone()).expect("own encoding decodes");
+        let declared = u32::from_le_bytes(
+            encoded.as_slice()[24..28].try_into().expect("4 bytes"),
+        );
+        let stream = covered_stream(&encoded, &frame);
+        prop_assert_eq!(declared, reference_lane_digest(&stream));
+    }
+
+    /// Flipping any single bit of any covered word — every position in
+    /// all four lanes — changes the v2 digest: every fold is bijective on
+    /// its lane, so no flip can cancel. With payload coverage on, the
+    /// covered region is the entire frame.
+    #[test]
+    fn lane_digest_detects_single_bit_flips_in_every_lane_position(
+        entries in proptest::collection::vec(arb_entry(), 0..12),
+        pos_pick in 0u32..u32::MAX,
+        bit in 0u8..8,
+    ) {
+        let config = FrameConfig { version: 2, cover_payload: true };
+        let (encoded, _) = encode_with(config, 1, 2, &entries);
+        // Skip the checksum word itself — the one uncovered span.
+        // (Flipping it is caught as a mismatch too, but by the other side
+        // of the comparison.)
+        let pos = match (pos_pick as usize) % (encoded.len() - 4) {
+            p if p >= 24 => p + 4,
+            p => p,
+        };
+        let mut bad = encoded.as_slice().to_vec();
+        bad[pos] ^= 1 << bit;
+        prop_assert!(
+            Frame::decode(Bytes::from(bad)).is_err(),
+            "covered flip at byte {} (lane {}) escaped validation",
+            pos,
+            (pos / 4) % 4
+        );
+    }
+
     /// Every strict prefix of a frame is rejected as truncated — never a
-    /// panic, never a partial decode.
+    /// panic, never a partial decode — in every wire format.
     #[test]
     fn truncation_is_rejected(
         entries in proptest::collection::vec(arb_entry(), 0..12),
         cut in 0.0f64..1.0,
+        config_pick in 0usize..3,
     ) {
-        let (encoded, _) = encode(1, 2, &entries);
+        let (encoded, _) = encode_with(all_configs()[config_pick], 1, 2, &entries);
         let keep = ((encoded.len() as f64) * cut) as usize; // < len
         let truncated = Bytes::from(encoded.as_slice()[..keep].to_vec());
         match Frame::decode(truncated) {
@@ -118,14 +259,15 @@ proptest! {
 
     /// Any bit flip in the header or tables is caught — by the magic,
     /// version, length, structural, or checksum check — before a single
-    /// copy could be misdelivered.
+    /// copy could be misdelivered, in every wire format.
     #[test]
     fn header_and_table_corruption_is_rejected(
         entries in proptest::collection::vec(arb_entry(), 0..12),
         pos_pick in 0u32..u32::MAX,
         bit in 0u8..8,
+        config_pick in 0usize..3,
     ) {
-        let (encoded, _) = encode(1, 2, &entries);
+        let (encoded, _) = encode_with(all_configs()[config_pick], 1, 2, &entries);
         let frame = Frame::decode(encoded.clone()).expect("valid before corruption");
         // Header + tables span everything before the payload region.
         let protected = encoded.len() - frame_payload_region_len(&frame);
@@ -139,58 +281,101 @@ proptest! {
     }
 }
 
-/// Total bytes of the payload region (the only checksummed-exempt part).
+/// Total bytes of the payload region (exempt from the digest unless the
+/// frame was encoded with payload coverage).
 fn frame_payload_region_len(frame: &Frame) -> usize {
     (0..frame.payload_count())
         .map(|i| frame.payload(i as u32).len())
         .sum()
 }
 
+/// A fixed single-ref bucket used by the deterministic tests below.
+fn fixed_frame(config: FrameConfig) -> Bytes {
+    let mut b = FrameBuilder::new().with_config(config);
+    b.begin(1, 2);
+    b.push(4, 7..9, b"netdecomp");
+    b.finish()
+}
+
+/// One decoder accepts every format this build (and the previous one)
+/// encodes: the cross-decode matrix over {v1, v2, v2+cover}.
+#[test]
+fn every_encode_config_decodes_with_the_same_decoder() {
+    for config in all_configs() {
+        let encoded = fixed_frame(config);
+        let frame = Frame::decode(encoded.clone())
+            .unwrap_or_else(|e| panic!("config {config:?} failed to decode: {e}"));
+        assert_eq!(frame.version(), config.version);
+        assert_eq!(frame.covers_payload(), config.cover_payload);
+        assert_eq!(frame.sender_shard(), 1);
+        assert_eq!(frame.dest_shard(), 2);
+        assert_eq!(frame.ref_count(), 1);
+        let r = frame.refs().next().expect("one ref");
+        assert_eq!((r.from, r.lo, r.hi), (4, 7, 9));
+        assert_eq!(frame.payload(r.payload).as_slice(), b"netdecomp");
+        // v1 and v2 carry the same logical content at different header
+        // lengths: 28 + tables + payload vs 32 + tables + payload.
+        let expected_len = header_len(&encoded) + 16 + 8 + b"netdecomp".len();
+        assert_eq!(encoded.len(), expected_len);
+    }
+}
+
+/// Versions outside `FRAME_VERSION_MIN..=FRAME_VERSION` — older than v1
+/// or newer than v2 — are rejected with the accepted range, whose
+/// message names both ends (see also the display test in `error.rs`).
 #[test]
 fn version_mismatch_is_reported_as_such() {
-    let mut b = FrameBuilder::new();
-    b.begin(0, 0);
-    b.push(4, 7..9, b"payload");
-    let encoded = b.finish();
-    let mut bad = encoded.as_slice().to_vec();
-    bad[3] = 9; // future format version
-    assert_eq!(
-        Frame::decode(Bytes::from(bad)),
-        Err(FrameError::VersionMismatch {
-            found: 9,
-            expected: netdecomp_sim::frame::FRAME_VERSION,
-        })
-    );
+    for found in [0u8, 9] {
+        let encoded = fixed_frame(FrameConfig::default());
+        let mut bad = encoded.as_slice().to_vec();
+        bad[3] = found;
+        let err = Frame::decode(Bytes::from(bad)).expect_err("out-of-range version");
+        assert_eq!(
+            err,
+            FrameError::VersionMismatch {
+                found,
+                min: FRAME_VERSION_MIN,
+                max: FRAME_VERSION,
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains(&format!("version {found}")), "got: {msg}");
+        assert!(msg.contains("v1 through v2"), "got: {msg}");
+    }
 }
 
 #[test]
 fn checksum_corruption_is_reported_as_such() {
-    let mut b = FrameBuilder::new();
-    b.begin(0, 0);
-    b.push(4, 7..9, b"payload");
-    let encoded = b.finish();
-    let mut bad = encoded.as_slice().to_vec();
-    bad[24] ^= 0x10; // the checksum word itself
-    assert!(matches!(
-        Frame::decode(Bytes::from(bad)),
-        Err(FrameError::ChecksumMismatch { .. })
-    ));
+    for config in all_configs() {
+        let encoded = fixed_frame(config);
+        let mut bad = encoded.as_slice().to_vec();
+        bad[24] ^= 0x10; // the checksum word itself
+        assert!(matches!(
+            Frame::decode(Bytes::from(bad)),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+    }
 }
 
 #[test]
 fn trailing_bytes_are_rejected() {
-    let mut b = FrameBuilder::new();
-    b.begin(0, 0);
-    let mut bytes = b.finish().as_slice().to_vec();
-    bytes.push(0);
-    assert!(matches!(
-        Frame::decode(Bytes::from(bytes)),
-        Err(FrameError::Malformed { .. })
-    ));
+    for config in all_configs() {
+        let mut b = FrameBuilder::new().with_config(config);
+        b.begin(0, 0);
+        let mut bytes = b.finish().as_slice().to_vec();
+        bytes.push(0);
+        assert!(matches!(
+            Frame::decode(Bytes::from(bytes)),
+            Err(FrameError::Malformed { .. })
+        ));
+    }
 }
 
 #[test]
 fn empty_input_is_truncated_not_a_panic() {
+    // The fixed fields shared by both versions fit in 28 bytes, so that
+    // is the minimum before a frame's version (and thus its true header
+    // length) can even be read.
     assert_eq!(
         Frame::decode(Bytes::new()),
         Err(FrameError::Truncated {
@@ -214,3 +399,37 @@ fn wrong_magic_is_rejected() {
         Err(FrameError::BadMagic)
     );
 }
+
+/// Pinned wire-format vectors: the exact bytes both formats produce for
+/// the fixed bucket above. A failure here means the wire format changed
+/// — which requires a version bump, not a test update.
+#[test]
+fn wire_format_vectors_are_pinned() {
+    let v1 = fixed_frame(FrameConfig {
+        version: 1,
+        cover_payload: false,
+    });
+    let v2 = fixed_frame(FrameConfig {
+        version: 2,
+        cover_payload: false,
+    });
+    let v2c = fixed_frame(FrameConfig {
+        version: 2,
+        cover_payload: true,
+    });
+    assert_eq!(hex(&v1), V1_VECTOR);
+    assert_eq!(hex(&v2), V2_VECTOR);
+    assert_eq!(hex(&v2c), V2_COVER_VECTOR);
+}
+
+fn hex(bytes: &Bytes) -> String {
+    bytes
+        .as_slice()
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect()
+}
+
+const V1_VECTOR: &str = "4e4446013d0000000100000002000000010000000100000063565cce0400000000000000070000000900000000000000090000006e65746465636f6d70";
+const V2_VECTOR: &str = "4e4446024100000001000000020000000100000001000000caf0a5be000000000400000000000000070000000900000000000000090000006e65746465636f6d70";
+const V2_COVER_VECTOR: &str = "4e44460241000000010000000200000001000000010000004033bc3e010000000400000000000000070000000900000000000000090000006e65746465636f6d70";

@@ -174,6 +174,7 @@ proptest! {
         shard_pick in 0usize..6,
         limit_pick in 0usize..3,
         backend_pick in 0usize..3,
+        overlap in 0u32..2,
     ) {
         let limit = match limit_pick {
             0 => CongestLimit::Unlimited,
@@ -205,9 +206,14 @@ proptest! {
         let rounds = g.vertex_count().min(12) + 2;
 
         let mut seq = Simulator::new(&g, |id, _| Mixer::new(id, seed)).with_limit(limit);
+        // The overlapped (fused compute/account/ship, one barrier) and
+        // phase-separated framed schedules must be indistinguishable;
+        // `with_overlap` is a no-op for shared-memory backends, so the
+        // sweep costs the `Parallel` arm nothing.
         let mut par = Simulator::new(&g, |id, _| Mixer::new(id, seed))
             .with_limit(limit)
-            .with_engine(engine);
+            .with_engine(engine)
+            .with_overlap(overlap == 1);
 
         let a = seq.run_rounds(rounds);
         // Verified stepping doubles as a scheduling-independence check: it

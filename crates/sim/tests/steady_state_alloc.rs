@@ -59,14 +59,18 @@ impl Protocol for SteadyBroadcast {
 
 /// Warm the simulator past every buffer's high-water mark (including the
 /// engine's amortized per-round stats vector), then require a window of
-/// further rounds to allocate nothing at all.
-fn assert_steady_state_is_allocation_free(engine: Engine) {
+/// further rounds to allocate nothing at all. `overlap` pins the framed
+/// round schedule (fused single-barrier vs phase-separated) explicitly,
+/// so both stay zero-alloc regardless of the environment default; it is
+/// a no-op for shared-memory engines.
+fn assert_steady_state_is_allocation_free(engine: Engine, overlap: bool) {
     let g = generators::grid2d(12, 12);
     let mut sim = Simulator::new(&g, |id, _| SteadyBroadcast {
         payload: Bytes::from(vec![id as u8; 8]),
         heard: 0,
     })
-    .with_engine(engine);
+    .with_engine(engine)
+    .with_overlap(overlap);
     // 300 rounds leave the per-round stats vector with capacity >= 512,
     // so the 100 measured rounds cannot trigger its amortized growth.
     for _ in 0..300 {
@@ -95,7 +99,7 @@ fn assert_steady_state_is_allocation_free(engine: Engine) {
 
 #[test]
 fn sequential_steady_state_rounds_do_not_allocate() {
-    assert_steady_state_is_allocation_free(Engine::Sequential);
+    assert_steady_state_is_allocation_free(Engine::Sequential, true);
 }
 
 #[test]
@@ -105,23 +109,45 @@ fn sharded_steady_state_rounds_do_not_allocate() {
     // allocation under multi-threaded engines, see ROADMAP), but the full
     // sharded delivery path — sender-side routing included — with several
     // shards.
-    assert_steady_state_is_allocation_free(Engine::Parallel {
-        threads: 1,
-        shards: 4,
-    });
+    assert_steady_state_is_allocation_free(
+        Engine::Parallel {
+            threads: 1,
+            shards: 4,
+        },
+        true,
+    );
 }
 
 #[test]
-fn framed_loopback_steady_state_rounds_do_not_allocate() {
+fn framed_loopback_overlapped_steady_state_rounds_do_not_allocate() {
     // The whole frame seam — encode (with checksum), loopback handoff,
     // decode, zero-copy payload slicing — must recycle every buffer:
     // builders keep their scratch, senders reclaim frame buffers through
     // the two-round ring, and receivers reuse their gather/decode tables.
-    assert_steady_state_is_allocation_free(Engine::Framed {
-        threads: 1,
-        shards: 4,
-        transport: FrameTransport::Loopback,
-    });
+    // Under the (default) overlapped schedule, shipping from inside the
+    // fused compute phase must not add so much as a counter allocation.
+    assert_steady_state_is_allocation_free(
+        Engine::Framed {
+            threads: 1,
+            shards: 4,
+            transport: FrameTransport::Loopback,
+        },
+        true,
+    );
+}
+
+#[test]
+fn framed_loopback_phase_separated_steady_state_rounds_do_not_allocate() {
+    // Same guarantee with the overlap disabled (the pre-v2 schedule,
+    // still selectable via NETDECOMP_FRAME_OVERLAP=0).
+    assert_steady_state_is_allocation_free(
+        Engine::Framed {
+            threads: 1,
+            shards: 4,
+            transport: FrameTransport::Loopback,
+        },
+        false,
+    );
 }
 
 /// Unicast workload rotating through each node's neighbors: exercises the
@@ -148,13 +174,14 @@ impl Protocol for SteadyUnicast {
     }
 }
 
-fn assert_unicast_steady_state_is_allocation_free(engine: Engine) {
+fn assert_unicast_steady_state_is_allocation_free(engine: Engine, overlap: bool) {
     let g = generators::grid2d(12, 12);
     let mut sim = Simulator::new(&g, |id, _| SteadyUnicast {
         payload: Bytes::from(vec![id as u8; 8]),
         tick: id,
     })
-    .with_engine(engine);
+    .with_engine(engine)
+    .with_overlap(overlap);
     for _ in 0..300 {
         sim.step().expect("no limits configured");
     }
@@ -179,22 +206,30 @@ fn assert_unicast_steady_state_is_allocation_free(engine: Engine) {
 
 #[test]
 fn sharded_unicast_steady_state_rounds_do_not_allocate() {
-    assert_unicast_steady_state_is_allocation_free(Engine::Parallel {
-        threads: 1,
-        shards: 8,
-    });
+    assert_unicast_steady_state_is_allocation_free(
+        Engine::Parallel {
+            threads: 1,
+            shards: 8,
+        },
+        true,
+    );
 }
 
 #[test]
 fn framed_loopback_unicast_steady_state_rounds_do_not_allocate() {
     // Per-round-varying bucket (and therefore frame) sizes: the rotation
     // cycles within the warmup, so every frame buffer's high-water size
-    // is reached before measuring.
-    assert_unicast_steady_state_is_allocation_free(Engine::Framed {
-        threads: 1,
-        shards: 8,
-        transport: FrameTransport::Loopback,
-    });
+    // is reached before measuring — under both round schedules.
+    for overlap in [true, false] {
+        assert_unicast_steady_state_is_allocation_free(
+            Engine::Framed {
+                threads: 1,
+                shards: 8,
+                transport: FrameTransport::Loopback,
+            },
+            overlap,
+        );
+    }
 }
 
 #[test]
