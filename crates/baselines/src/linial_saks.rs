@@ -22,7 +22,8 @@ use netdecomp_core::{DecompError, NetworkDecomposition};
 use netdecomp_graph::{bfs, Graph, Partition, VertexId, VertexSet};
 use netdecomp_sim::wire::{WireReader, WireWriter};
 use netdecomp_sim::{
-    Codec, CongestLimit, Ctx, Engine, RunStats, Simulator, Typed, TypedOutbox, TypedProtocol,
+    Codec, CongestLimit, Ctx, Engine, RunStats, Simulator, TransportFactory, Typed, TypedOutbox,
+    TypedProtocol,
 };
 use serde::Serialize;
 
@@ -345,6 +346,30 @@ pub fn decompose_distributed(
     limit: CongestLimit,
     engine: Engine,
 ) -> Result<(LinialSaksOutcome, RunStats), DecompError> {
+    decompose_distributed_with_transport(graph, params, seed, limit, engine, None)
+}
+
+/// [`decompose_distributed`] with a custom delivery transport: when
+/// `transport` is set and `engine` is [`Engine::Framed`], every phase's
+/// simulator ships its frames through `factory.build(shard_count)` —
+/// the hook that runs the baseline over sockets or a fault-injecting
+/// fabric. Ignored for non-framed engines (nothing would be routed
+/// through it). Outcomes stay bit-identical to the in-process backends
+/// for any transport that delivers faithfully.
+///
+/// # Errors
+///
+/// [`DecompError::Simulation`] if `limit` is violated or the transport
+/// fails (timeout, disconnect, corruption — a typed
+/// [`netdecomp_sim::SimError`], never a hang).
+pub fn decompose_distributed_with_transport(
+    graph: &Graph,
+    params: &LinialSaksParams,
+    seed: u64,
+    limit: CongestLimit,
+    engine: Engine,
+    transport: Option<&TransportFactory>,
+) -> Result<(LinialSaksOutcome, RunStats), DecompError> {
     let n = graph.vertex_count();
     let mut alive = VertexSet::full(n);
     let mut partition = Partition::new(n);
@@ -369,6 +394,12 @@ pub fn decompose_distributed(
         })
         .with_limit(limit)
         .with_engine(engine);
+        if let Some(factory) = transport {
+            if matches!(engine, Engine::Framed { .. }) {
+                let shards = sim.shard_plan().count();
+                sim = sim.with_transport(factory.build(shards));
+            }
+        }
         // Radii are at most k-1, so k engine steps deliver everything.
         comm.merge(&sim.run_rounds(params.k())?);
 

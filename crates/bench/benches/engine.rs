@@ -231,7 +231,7 @@ fn bench_graph(c: &mut Criterion, label: &str, g: &Graph) {
 /// `checksum_ns_per_round` rows report its decode side directly).
 /// `None` in the third column leaves the frame config at the default
 /// (the newest format); it must be `None` for non-framed engines.
-const DELIVERY_ENGINES: [(&str, Engine, Option<FrameConfig>); 10] = [
+const DELIVERY_ENGINES: [(&str, Engine, Option<FrameConfig>); 11] = [
     ("sequential", Engine::Sequential, None),
     (
         "sharded_1",
@@ -316,6 +316,19 @@ const DELIVERY_ENGINES: [(&str, Engine, Option<FrameConfig>); 10] = [
             cover_payload: false,
         }),
     ),
+    (
+        // The same rounds over real Unix-domain sockets through the hub:
+        // `framed_socket_4` vs `framed_channel_4` prices crossing a true
+        // kernel boundary (syscalls + copies) over the in-process
+        // mailbox hop.
+        "framed_socket_4",
+        Engine::Framed {
+            threads: 1,
+            shards: 4,
+            transport: FrameTransport::Socket,
+        },
+        None,
+    ),
 ];
 
 fn bench_delivery_workload<P, F>(c: &mut Criterion, group_name: &str, g: &Graph, make: F)
@@ -367,6 +380,18 @@ where
             // checksum/structure walk) for the variant's pinned wire
             // format — the v1 vs v2 rows price the word-parallel digest.
             group.report_metric(&id, "checksum_ns_per_round", work.checksum_ns as f64);
+            // Transport health (cumulative over the probe run): retries
+            // and injected drops are zero on a healthy in-process run
+            // (nonzero rows flag a flaky fabric); collect_wait is the
+            // receive-side blocking time and prices the socket hop
+            // against the in-memory backends.
+            group.report_metric(&id, "frames_retried", work.frames_retried as f64);
+            group.report_metric(
+                &id,
+                "frames_dropped_injected",
+                work.frames_dropped_injected as f64,
+            );
+            group.report_metric(&id, "collect_wait_ns", work.collect_wait_ns as f64);
         }
     }
     group.finish();

@@ -22,8 +22,8 @@ use bytes::Bytes;
 use netdecomp_graph::{Graph, VertexId, VertexSet};
 use netdecomp_sim::wire::{WireReader, WireWriter};
 use netdecomp_sim::{
-    Codec, CongestLimit, Ctx, Determinism, Engine, RunStats, Simulator, Typed, TypedOutbox,
-    TypedProtocol,
+    Codec, CongestLimit, Ctx, Determinism, Engine, RunStats, Simulator, TransportFactory, Typed,
+    TypedOutbox, TypedProtocol,
 };
 
 use crate::carve::{CarveDecision, PhaseResult};
@@ -45,7 +45,7 @@ pub enum Forwarding {
 }
 
 /// Configuration of a distributed run.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DistributedConfig {
     /// Relaying discipline.
     pub forwarding: Forwarding,
@@ -60,6 +60,13 @@ pub struct DistributedConfig {
     /// Whether the simulator cross-checks parallel rounds against a
     /// sequential reference ([`Determinism::Verify`]).
     pub determinism: Determinism,
+    /// Custom delivery transport for framed engines — the hook that runs
+    /// the decomposition over sockets or a fault-injecting fabric. When
+    /// set and `engine` is [`Engine::Framed`], every phase's simulator
+    /// routes its frames through `factory.build(shard_count)` instead of
+    /// the engine's built-in backend; ignored for non-framed engines
+    /// (nothing would be routed through it).
+    pub transport: Option<TransportFactory>,
 }
 
 /// A decomposition produced by message passing, with its communication bill.
@@ -413,6 +420,12 @@ fn run_one_phase(
     })
     .with_limit(config.congest_limit)
     .with_engine(config.engine);
+    if let Some(factory) = &config.transport {
+        if matches!(config.engine, Engine::Framed { .. }) {
+            let shards = sim.shard_plan().count();
+            sim = sim.with_transport(factory.build(shards));
+        }
+    }
     let stats = sim.run_rounds_with(cap + 1, config.determinism)?;
     let decisions = sim
         .nodes()

@@ -115,7 +115,13 @@ pub struct Ctx<'a> {
     graph: &'a Graph,
 }
 
-impl Ctx<'_> {
+impl<'a> Ctx<'a> {
+    /// Node context for drivers outside this module (the single-shard
+    /// [`crate::transport::worker`] builds nodes for its vertex range).
+    pub(crate) fn new(id: VertexId, n: usize, graph: &'a Graph) -> Ctx<'a> {
+        Ctx { id, n, graph }
+    }
+
     /// The ids of this node's neighbors.
     #[must_use]
     pub fn neighbors(&self) -> &[VertexId] {
@@ -210,6 +216,7 @@ fn env_shards() -> Option<usize> {
 /// Delivery backend requested through the environment
 /// (`NETDECOMP_BACKEND`): `framed` / `loopback` select the framed
 /// loopback transport, `channel` / `framed-channel` the channel
+/// transport, `socket` / `framed-socket` / `unix` the real-socket
 /// transport; anything else (or unset) keeps shared-memory delivery.
 /// Consulted only by [`Engine::Parallel`], so CI can sweep every
 /// `Parallel`-built simulator through the frame seam without code
@@ -219,6 +226,7 @@ fn env_backend() -> Option<FrameTransport> {
     match raw.trim().to_ascii_lowercase().as_str() {
         "framed" | "loopback" | "framed-loopback" => Some(FrameTransport::Loopback),
         "channel" | "framed-channel" => Some(FrameTransport::Channel),
+        "socket" | "framed-socket" | "unix" => Some(FrameTransport::Socket),
         _ => None,
     }
 }
@@ -421,7 +429,9 @@ pub struct Simulator<'g, P> {
 
 /// Runs the compute phase for one shard's vertex range: each node consumes
 /// its slice of the shard-owned inbox and refills its preallocated outbox.
-fn compute_shard<P: Protocol>(
+/// (Also the compute phase of the single-shard
+/// [`crate::transport::worker`] driver.)
+pub(crate) fn compute_shard<P: Protocol>(
     graph: &Graph,
     started: bool,
     shard: &DeliveryShard,
@@ -622,6 +632,9 @@ impl<'g, P: Protocol> Simulator<'g, P> {
                 Box::new(LoopbackTransport::new(count)) as Box<dyn Transport>
             }
             FrameTransport::Channel => Box::new(ChannelTransport::new(count)) as Box<dyn Transport>,
+            FrameTransport::Socket => {
+                Box::new(crate::transport::SocketTransport::unix_mesh(count)) as Box<dyn Transport>
+            }
         });
         self
     }
@@ -773,6 +786,14 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         // counters above — see its field docs).
         for encoder in &self.encoders {
             work.overlap_ships += encoder.read().expect("no poisoned encoder").overlap_ships();
+        }
+        // Transport health is cumulative over the run too: retries,
+        // injected faults, and time blocked in collect.
+        if let Some(transport) = &self.transport {
+            let health = transport.health();
+            work.frames_retried += health.frames_retried;
+            work.frames_dropped_injected += health.frames_dropped_injected;
+            work.collect_wait_ns += health.collect_wait_ns;
         }
         work
     }
@@ -1363,7 +1384,11 @@ mod tests {
                     from_bfs,
                     "threads {threads} shards {shards}"
                 );
-                for transport in [FrameTransport::Loopback, FrameTransport::Channel] {
+                for transport in [
+                    FrameTransport::Loopback,
+                    FrameTransport::Channel,
+                    FrameTransport::Socket,
+                ] {
                     assert_eq!(
                         flood(
                             &g,
@@ -1401,7 +1426,11 @@ mod tests {
         let g = generators::grid2d(7, 9);
         let mut seq = Simulator::new(&g, |_, _| FloodDist::fresh());
         let a = seq.run_rounds(20).unwrap();
-        for transport in [FrameTransport::Loopback, FrameTransport::Channel] {
+        for transport in [
+            FrameTransport::Loopback,
+            FrameTransport::Channel,
+            FrameTransport::Socket,
+        ] {
             for (threads, shards) in [(1, 1), (1, 5), (3, 5), (4, 2)] {
                 let mut par =
                     Simulator::new(&g, |_, _| FloodDist::fresh()).with_engine(Engine::Framed {
@@ -1419,7 +1448,11 @@ mod tests {
 
     #[test]
     fn framed_verified_stepping_accepts_deterministic_protocols() {
-        for transport in [FrameTransport::Loopback, FrameTransport::Channel] {
+        for transport in [
+            FrameTransport::Loopback,
+            FrameTransport::Channel,
+            FrameTransport::Socket,
+        ] {
             let g = generators::grid2d(5, 5);
             let mut sim =
                 Simulator::new(&g, |_, _| FloodDist::fresh()).with_engine(Engine::Framed {
@@ -1514,8 +1547,12 @@ mod tests {
                 self.carried.fetch_add(1, Ordering::Relaxed);
                 self.inner.send(from, to, frame);
             }
-            fn collect(&self, to: usize, into: &mut [Option<bytes::Bytes>]) {
-                self.inner.collect(to, into);
+            fn collect(
+                &self,
+                to: usize,
+                into: &mut [Option<bytes::Bytes>],
+            ) -> Result<(), crate::error::TransportError> {
+                self.inner.collect(to, into)
             }
         }
 
@@ -1577,7 +1614,11 @@ mod tests {
             .with_limit(CongestLimit::PerEdgeBytes(8))
             .step()
             .unwrap_err();
-        for transport in [FrameTransport::Loopback, FrameTransport::Channel] {
+        for transport in [
+            FrameTransport::Loopback,
+            FrameTransport::Channel,
+            FrameTransport::Socket,
+        ] {
             let framed_err = Simulator::new(&g, |_, _| Shout { payload: 9 })
                 .with_limit(CongestLimit::PerEdgeBytes(8))
                 .with_engine(Engine::Framed {

@@ -111,6 +111,90 @@ impl fmt::Display for FrameError {
 
 impl Error for FrameError {}
 
+/// Why a transport gave up on the link to a peer shard.
+///
+/// Every blocking point in the socket and channel backends carries a
+/// deadline (`NETDECOMP_FRAME_TIMEOUT_MS`, see [`crate::transport`]), so
+/// a wedged, dead, or misbehaving peer always degrades into one of these
+/// typed causes — never into an indefinite hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransportCause {
+    /// The deadline elapsed before the peer's frame — or the round
+    /// barrier acknowledgement — arrived.
+    Timeout {
+        /// Milliseconds waited before giving up.
+        waited_ms: u64,
+    },
+    /// The peer's connection closed (EOF): the process died, or shut the
+    /// link down mid-round.
+    Disconnected,
+    /// The connect-time handshake failed: the peer identified as an
+    /// unexpected shard, spoke an unsupported frame version, or loaded a
+    /// different graph (digest mismatch).
+    Handshake {
+        /// What the handshake disagreed about.
+        detail: String,
+    },
+    /// An OS-level I/O failure on the link (including a desynchronized
+    /// byte stream, where framing can no longer be trusted).
+    Io {
+        /// The underlying error, rendered.
+        detail: String,
+    },
+    /// A peer reported its own failure through an `Error` control frame;
+    /// the original [`SimError`] is carried as rendered text here (the
+    /// worker drivers surface the structured error directly).
+    Remote {
+        /// The peer's error, rendered.
+        message: String,
+    },
+}
+
+impl fmt::Display for TransportCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportCause::Timeout { waited_ms } => {
+                write!(f, "timed out after {waited_ms} ms")
+            }
+            TransportCause::Disconnected => write!(f, "peer disconnected"),
+            TransportCause::Handshake { detail } => write!(f, "handshake failed: {detail}"),
+            TransportCause::Io { detail } => write!(f, "i/o failure: {detail}"),
+            TransportCause::Remote { message } => write!(f, "peer reported an error: {message}"),
+        }
+    }
+}
+
+/// A transport-level failure: the link to one peer shard broke, timed
+/// out, or refused the handshake.
+///
+/// Surfaced by [`crate::frame::Transport::collect`] and threaded through
+/// the engine as [`SimError::Transport`], so a dead or wedged shard is
+/// always a typed error within the configured deadline — never a hang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportError {
+    /// The peer shard the failure concerns.
+    pub shard: usize,
+    /// The round in which the failure surfaced (as counted by whoever
+    /// observed it — the engine overwrites this with its authoritative
+    /// round number when wrapping into [`SimError::Transport`]).
+    pub round: usize,
+    /// What went wrong on the link.
+    pub cause: TransportCause,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transport failure on the link to shard {} at round {}: {}",
+            self.shard, self.round, self.cause
+        )
+    }
+}
+
+impl Error for TransportError {}
+
 /// Errors surfaced by the simulation engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -161,6 +245,10 @@ pub enum SimError {
         /// The frame-level failure.
         error: FrameError,
     },
+    /// A transport backend lost the link to a peer shard: timeout,
+    /// disconnect, failed handshake, I/O failure, or a peer-reported
+    /// error (see [`TransportError`]).
+    Transport(TransportError),
 }
 
 impl fmt::Display for SimError {
@@ -194,7 +282,14 @@ impl fmt::Display for SimError {
                 f,
                 "shard {shard} rejected a bucket frame at round {round}: {error}"
             ),
+            SimError::Transport(error) => write!(f, "{error}"),
         }
+    }
+}
+
+impl From<TransportError> for SimError {
+    fn from(error: TransportError) -> Self {
+        SimError::Transport(error)
     }
 }
 
@@ -248,6 +343,26 @@ mod tests {
             e.to_string().contains("v1 through v2"),
             "the message must name the accepted range, got: {e}"
         );
+        let e = SimError::Transport(TransportError {
+            shard: 2,
+            round: 5,
+            cause: TransportCause::Timeout { waited_ms: 750 },
+        });
+        assert!(e.to_string().contains("shard 2"));
+        assert!(e.to_string().contains("round 5"));
+        assert!(e.to_string().contains("750 ms"));
+        let e = TransportError {
+            shard: 1,
+            round: 0,
+            cause: TransportCause::Handshake {
+                detail: "graph digest mismatch".into(),
+            },
+        };
+        assert!(e.to_string().contains("graph digest mismatch"));
+        let e = TransportCause::Remote {
+            message: "protocol did not quiesce within 3 rounds".into(),
+        };
+        assert!(e.to_string().contains("peer reported"));
     }
 
     #[test]
@@ -255,5 +370,6 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimError>();
         assert_send_sync::<FrameError>();
+        assert_send_sync::<TransportError>();
     }
 }

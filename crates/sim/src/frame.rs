@@ -95,16 +95,64 @@
 //!   isolation: no shared inbox, outbox, or router memory crosses a shard
 //!   boundary. (The mailboxes persist across rounds; making the worker
 //!   *threads* persistent too awaits the real rayon pool, the same caveat
-//!   as the shared-memory engine — see ROADMAP.) A socket transport for a
-//!   true multi-process backend would implement the same two methods.
+//!   as the shared-memory engine — see ROADMAP.)
+//! - [`crate::transport::SocketTransport`] — frames cross real OS
+//!   sockets (Unix domain by default, TCP behind the same code path)
+//!   through a hub that relays by destination shard; the same client
+//!   code drives in-process shards and separate worker processes (see
+//!   [`crate::transport::launcher`]).
+//!
+//! # Wire protocol: control frames, handshake, timeouts
+//!
+//! Data frames (above) are one half of the wire protocol; the socket
+//! backend adds **control frames** so round synchronization and error
+//! propagation no longer depend on shared memory. Control frames carry
+//! the magic `b"NDC"` (data frames: `b"NDF"`), a kind byte where data
+//! frames carry their version byte, the same self-delimiting total
+//! length at offset 4, and a FNV-1a checksum:
+//!
+//! - `Hello { shard, frame_version, graph_digest }` — sent once per
+//!   connection (and again after a reconnect). The hub rejects a
+//!   duplicate shard id, an unsupported frame version, or a graph
+//!   digest that disagrees with the other workers': every worker must
+//!   have loaded the same graph.
+//! - `RoundBarrier { round }` — each shard sends one after shipping its
+//!   round; the hub broadcasts one back when all shards have, which
+//!   doubles as the "all frames relayed" signal.
+//! - `Error { origin, SimError }` — a shard's typed failure, relayed to
+//!   every peer so the whole fabric stops with the *same* error instead
+//!   of each shard timing out separately.
+//! - `Shutdown` — orderly end of run.
+//!
+//! Every blocking point has a deadline (`NETDECOMP_FRAME_TIMEOUT_MS`,
+//! default 5000 — see [`crate::transport::frame_timeout`]), so a wedged
+//! or dead peer is always a typed error, never a hang:
+//!
+//! | fault                              | what the user sees                                         |
+//! |------------------------------------|------------------------------------------------------------|
+//! | peer process killed / link closed  | `SimError::Transport` with `TransportCause::Disconnected` (hub-relayed `Error` beats the local timeout) |
+//! | peer wedged (misses its barrier)   | `SimError::Transport` with `TransportCause::Timeout`       |
+//! | frame dropped or delayed in flight | `SimError::Frame` with `FrameError::MissingFrame` (timeout-bounded) |
+//! | frame corrupted in flight          | `SimError::Frame` with `FrameError::ChecksumMismatch`      |
+//! | frame duplicated / reordered       | `SimError::Frame` with `FrameError::Misrouted` (header disagrees with the link) |
+//! | handshake mismatch (shard, version, graph digest) | `SimError::Transport` with `TransportCause::Handshake` |
+//! | byte-stream desync (framing lost)  | `SimError::Transport` with `TransportCause::Io`            |
+//!
+//! The deterministic seeded
+//! [`crate::transport::FaultInjectingTransport`] wrapper exercises the
+//! middle rows on any backend in tests; the
+//! [`crate::transport::launcher`] kill tests exercise the first two with
+//! real processes.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
+use std::time::Instant;
 
 use bytes::{BufMut, Bytes, BytesMut};
 use netdecomp_graph::VertexId;
 
-use crate::error::FrameError;
+use crate::error::{FrameError, TransportError};
 use crate::message::Outbox;
 use crate::shard::{BucketTally, RouteRef, Router};
 
@@ -115,8 +163,9 @@ pub const FRAME_VERSION: u8 = 2;
 /// FNV-1a format pre-v2 builds shipped, kept bit-exact).
 pub const FRAME_VERSION_MIN: u8 = 1;
 
-/// Magic prefix of every frame.
-const MAGIC: &[u8; 3] = b"NDF";
+/// Magic prefix of every data frame (control frames use `b"NDC"` — see
+/// [`crate::transport::control`]).
+pub(crate) const MAGIC: &[u8; 3] = b"NDF";
 
 /// v1 header length in bytes (through the checksum word) — also the
 /// minimum bytes needed to read any frame's fixed fields.
@@ -125,8 +174,9 @@ const HEADER_LEN_V1: usize = 28;
 /// v2 header length in bytes (through the flags word).
 const HEADER_LEN_V2: usize = 32;
 
-/// Byte offset of the frame-length word.
-const LEN_OFFSET: usize = 4;
+/// Byte offset of the frame-length word (shared by data and control
+/// frames — the stream reader peels both with one code path).
+pub(crate) const LEN_OFFSET: usize = 4;
 
 /// Byte offset of the checksum word (the digest skips these 4 bytes).
 const CHECKSUM_OFFSET: usize = 24;
@@ -148,7 +198,7 @@ const REF_BYTES: usize = 16;
 const PAYLOAD_BYTES: usize = 8;
 
 /// FNV-1a offset basis (the running digest's initial state).
-const FNV_INIT: u32 = 0x811c_9dc5;
+pub(crate) const FNV_INIT: u32 = 0x811c_9dc5;
 
 /// FNV-1a 32-bit prime, the multiplier of every fold step.
 const FNV_PRIME: u32 = 0x0100_0193;
@@ -171,8 +221,10 @@ fn le32(data: &[u8], off: usize) -> u32 {
     u32::from_le_bytes(data[off..off + 4].try_into().expect("4 bytes"))
 }
 
-/// Folds `bytes` into a running 32-bit FNV-1a digest (the v1 checksum).
-fn fnv1a(mut h: u32, bytes: &[u8]) -> u32 {
+/// Folds `bytes` into a running 32-bit FNV-1a digest (the v1 checksum;
+/// also the control-frame checksum — control frames are tiny, so the
+/// byte-serial fold costs nothing).
+pub(crate) fn fnv1a(mut h: u32, bytes: &[u8]) -> u32 {
     for &b in bytes {
         h ^= u32::from(b);
         h = h.wrapping_mul(FNV_PRIME);
@@ -490,6 +542,39 @@ pub enum FrameTransport {
     /// never touching another shard's memory — process-per-shard
     /// semantics on threads.
     Channel,
+    /// Real OS sockets (Unix domain): frames leave the address space and
+    /// cross a kernel socket pair through a relay hub — the same client
+    /// and hub code the process-per-shard
+    /// [`crate::transport::launcher`] runs, exercised in-process. See
+    /// [`crate::transport::SocketTransport`].
+    Socket,
+}
+
+/// Cumulative transport-level health counters, merged into
+/// [`crate::DeliveryWork`] by [`crate::Simulator::delivery_work`] and
+/// reported as bench metric rows. All counters cover the transport's
+/// whole lifetime (a run), not one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportHealth {
+    /// Retries performed: reconnect attempts and frame re-sends.
+    pub frames_retried: usize,
+    /// Frames deliberately discarded or withheld by a fault-injection
+    /// wrapper (always zero on production backends).
+    pub frames_dropped_injected: usize,
+    /// Nanoseconds spent blocked inside [`Transport::collect`] waiting
+    /// for peer frames.
+    pub collect_wait_ns: u64,
+}
+
+impl TransportHealth {
+    /// Adds another health report into this one (saturating).
+    pub fn absorb(&mut self, other: TransportHealth) {
+        self.frames_retried = self.frames_retried.saturating_add(other.frames_retried);
+        self.frames_dropped_injected = self
+            .frames_dropped_injected
+            .saturating_add(other.frames_dropped_injected);
+        self.collect_wait_ns = self.collect_wait_ns.saturating_add(other.collect_wait_ns);
+    }
 }
 
 /// Moves one round's encoded bucket frames between shards.
@@ -509,11 +594,26 @@ pub trait Transport: Send + Sync + std::fmt::Debug {
     /// sender shard `k` at `into[k]`. `into` has one slot per shard; slots
     /// left `None` (a frame that never arrived) are surfaced by the place
     /// phase as a [`FrameError::MissingFrame`]. An implementation may
-    /// either return immediately with whatever arrived (loopback) or
-    /// block until `into.len()` frames are in hand (channels) — under the
-    /// contract above both are equivalent, since every frame has already
-    /// been sent.
-    fn collect(&self, to: usize, into: &mut [Option<Bytes>]);
+    /// return immediately with whatever arrived (loopback) or block — but
+    /// never unboundedly: backends that wait must give up after a
+    /// deadline (see [`crate::transport::frame_timeout`]), either
+    /// returning `Ok` with the missing slots still `None` (surfaced as
+    /// `MissingFrame`) or, when they know *why* the link failed, a typed
+    /// [`TransportError`] (surfaced as [`crate::SimError::Transport`]
+    /// with the engine's round number patched in).
+    ///
+    /// # Errors
+    ///
+    /// A [`TransportError`] reports a broken link: timeout, disconnect,
+    /// failed handshake, I/O failure, or a peer-relayed error.
+    fn collect(&self, to: usize, into: &mut [Option<Bytes>]) -> Result<(), TransportError>;
+
+    /// Cumulative health counters (retries, injected faults, collect
+    /// wait). The default reports zeros — in-memory backends have no
+    /// links to retry and never wait measurably.
+    fn health(&self) -> TransportHealth {
+        TransportHealth::default()
+    }
 }
 
 /// In-memory [`Transport`]: an `S x S` slot matrix, grouped by
@@ -542,11 +642,12 @@ impl Transport for LoopbackTransport {
         row[from] = Some(frame);
     }
 
-    fn collect(&self, to: usize, into: &mut [Option<Bytes>]) {
+    fn collect(&self, to: usize, into: &mut [Option<Bytes>]) -> Result<(), TransportError> {
         let mut row = self.slots[to].lock().expect("no poisoned loopback row");
         for (slot, out) in row.iter_mut().zip(into.iter_mut()) {
             *out = slot.take();
         }
+        Ok(())
     }
 }
 
@@ -557,12 +658,25 @@ pub struct ChannelTransport {
     senders: Vec<mpsc::Sender<(usize, Bytes)>>,
     /// Each shard's mailbox; locked only by its owner during collect.
     receivers: Vec<Mutex<mpsc::Receiver<(usize, Bytes)>>>,
+    /// How long one collect may wait for its frames before giving up and
+    /// surfacing the gap as [`FrameError::MissingFrame`].
+    timeout: std::time::Duration,
+    /// Cumulative nanoseconds collects spent blocked waiting.
+    collect_wait_ns: AtomicU64,
 }
 
 impl ChannelTransport {
-    /// A channel fabric connecting `shards` shards.
+    /// A channel fabric connecting `shards` shards, with the
+    /// environment-resolved collect deadline
+    /// ([`crate::transport::frame_timeout`]).
     #[must_use]
     pub fn new(shards: usize) -> Self {
+        Self::with_timeout(shards, crate::transport::frame_timeout())
+    }
+
+    /// A channel fabric with an explicit collect deadline.
+    #[must_use]
+    pub fn with_timeout(shards: usize, timeout: std::time::Duration) -> Self {
         let mut senders = Vec::with_capacity(shards);
         let mut receivers = Vec::with_capacity(shards);
         for _ in 0..shards {
@@ -570,7 +684,12 @@ impl ChannelTransport {
             senders.push(tx);
             receivers.push(Mutex::new(rx));
         }
-        ChannelTransport { senders, receivers }
+        ChannelTransport {
+            senders,
+            receivers,
+            timeout,
+            collect_wait_ns: AtomicU64::new(0),
+        }
     }
 }
 
@@ -581,17 +700,49 @@ impl Transport for ChannelTransport {
             .expect("mailbox receiver outlives the round");
     }
 
-    /// Blocks until `into.len()` frames are in hand. Liveness leans on
-    /// the [`Transport`] contract (the engine barriers ship before
-    /// collect, one frame per sender) — a peer that under-delivers would
-    /// park this thread rather than produce a
-    /// [`FrameError::MissingFrame`], which for this backend can only
-    /// arise from a duplicated sender tag displacing another slot.
-    fn collect(&self, to: usize, into: &mut [Option<Bytes>]) {
+    /// Waits — **boundedly** — until one frame per sender is in hand.
+    /// Under the [`Transport`] contract (the engine barriers ship before
+    /// collect, one frame per sender) the deadline is never reached; a
+    /// sender shard that dies mid-round, under-delivers, or duplicates a
+    /// sender tag leaves its slot `None` when the deadline expires, and
+    /// the place phase surfaces that as a typed
+    /// [`FrameError::MissingFrame`] instead of parking this thread
+    /// forever. A frame from a sender whose slot is already full (a
+    /// duplicate) is dropped without displacing anyone.
+    fn collect(&self, to: usize, into: &mut [Option<Bytes>]) -> Result<(), TransportError> {
         let rx = self.receivers[to].lock().expect("no poisoned mailbox");
-        for _ in 0..into.len() {
-            let (from, frame) = rx.recv().expect("one frame per sender per round");
-            into[from] = Some(frame);
+        let start = Instant::now();
+        let deadline = start + self.timeout;
+        let mut filled = into.iter().filter(|slot| slot.is_some()).count();
+        while filled < into.len() {
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            match rx.recv_timeout(remaining) {
+                Ok((from, frame)) => {
+                    if let Some(slot @ None) = into.get_mut(from) {
+                        *slot = Some(frame);
+                        filled += 1;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout | mpsc::RecvTimeoutError::Disconnected) => {
+                    break
+                }
+            }
+        }
+        self.collect_wait_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn health(&self) -> TransportHealth {
+        TransportHealth {
+            collect_wait_ns: self.collect_wait_ns.load(Ordering::Relaxed),
+            ..TransportHealth::default()
         }
     }
 }
@@ -1456,12 +1607,12 @@ mod tests {
         let frame = b.finish();
         t.send(1, 0, frame.clone());
         let mut got = vec![None, None];
-        t.collect(0, &mut got);
+        t.collect(0, &mut got).unwrap();
         assert!(got[0].is_none());
         assert_eq!(got[1].as_ref().unwrap().as_slice(), frame.as_slice());
         // A second collect finds the slots drained.
         let mut again = vec![None, None];
-        t.collect(0, &mut again);
+        t.collect(0, &mut again).unwrap();
         assert!(again.iter().all(Option::is_none));
     }
 
@@ -1475,11 +1626,62 @@ mod tests {
             t.send(from, 2, b.finish());
         }
         let mut got = vec![None, None, None];
-        t.collect(2, &mut got);
+        t.collect(2, &mut got).unwrap();
         for (from, slot) in got.iter().enumerate() {
             let f = Frame::decode(slot.clone().expect("frame arrived")).unwrap();
             assert_eq!(f.sender_shard(), from);
         }
+    }
+
+    /// The satellite fix: a sender shard that dies mid-round (here: one
+    /// that simply never ships) leaves its slot `None` after the bounded
+    /// wait instead of parking the collecting thread forever. The place
+    /// phase turns that `None` into [`FrameError::MissingFrame`].
+    #[test]
+    fn channel_collect_times_out_instead_of_hanging() {
+        let t = ChannelTransport::with_timeout(3, std::time::Duration::from_millis(50));
+        let mut b = FrameBuilder::new();
+        b.begin(0, 2);
+        t.send(0, 2, b.finish());
+        // Sender shard 1 "died": nothing ever arrives from it.
+        let start = Instant::now();
+        let mut got = vec![None, None, None];
+        t.collect(2, &mut got).unwrap();
+        assert!(got[0].is_some(), "the live sender's frame still arrives");
+        assert!(got[1].is_none(), "the dead sender's slot stays empty");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "collect must give up at the deadline"
+        );
+        assert!(
+            t.health().collect_wait_ns > 0,
+            "the bounded wait is measured"
+        );
+    }
+
+    /// A duplicated sender tag must not displace another sender's frame;
+    /// the duplicate is dropped and the remaining senders still land.
+    #[test]
+    fn channel_collect_drops_duplicates_without_displacing() {
+        let t = ChannelTransport::with_timeout(2, std::time::Duration::from_millis(50));
+        let mut b = FrameBuilder::new();
+        b.begin(0, 0);
+        b.push(9, 0..1, b"first");
+        let first = b.finish();
+        b.begin(0, 0);
+        b.push(9, 0..1, b"duplicate");
+        t.send(0, 0, first.clone());
+        t.send(0, 0, b.finish());
+        b.begin(1, 0);
+        t.send(1, 0, b.finish());
+        let mut got = vec![None, None];
+        t.collect(0, &mut got).unwrap();
+        assert_eq!(
+            got[0].as_ref().unwrap().as_slice(),
+            first.as_slice(),
+            "the first frame from a sender wins"
+        );
+        assert!(got[1].is_some(), "other senders are not displaced");
     }
 
     #[test]
@@ -1492,7 +1694,7 @@ mod tests {
             enc.ship(0, &router, &[], 0, &t, false);
             for dest in 0..2 {
                 let mut got = vec![None, None];
-                t.collect(dest, &mut got);
+                t.collect(dest, &mut got).unwrap();
                 let frame = Frame::decode(got[0].take().expect("frame arrived")).unwrap();
                 assert_eq!(frame.sender_shard(), 0, "round {round} dest {dest}");
                 assert_eq!(frame.dest_shard(), dest, "round {round} dest {dest}");
@@ -1669,7 +1871,7 @@ mod tests {
         let t = LoopbackTransport::new(1);
         let drain = |t: &LoopbackTransport| {
             let mut got = vec![None];
-            t.collect(0, &mut got);
+            t.collect(0, &mut got).unwrap();
         };
         let mut router = Router::default();
         router.reset(1);
@@ -1719,13 +1921,13 @@ mod tests {
         let mut enc = FrameEncoder::new(1, FrameConfig::default());
         enc.ship(0, &router, &[], 0, &t, false);
         let mut got = vec![None];
-        t.collect(0, &mut got);
+        t.collect(0, &mut got).unwrap();
         let held = got[0].take().unwrap();
         let snapshot = held.as_slice().to_vec();
         for _ in 0..6 {
             enc.ship(0, &router, &[], 0, &t, false);
             let mut later = vec![None];
-            t.collect(0, &mut later);
+            t.collect(0, &mut later).unwrap();
             assert_eq!(
                 held.as_slice(),
                 &snapshot[..],

@@ -82,7 +82,22 @@
 //! encode + checksum + decode) and per-shard channel mailboxes (a shard
 //! receives *only* encoded frames, the information boundary of a
 //! process-per-shard deployment); [`Simulator::with_transport`] plugs in
-//! any other [`Transport`] implementation (the socket backend's hook).
+//! any other [`Transport`] implementation.
+//!
+//! The [`transport`] module takes the seam across real process
+//! boundaries: [`SocketTransport`] moves the same frames over
+//! Unix-domain or TCP streams through a routing hub
+//! (`NETDECOMP_BACKEND=socket`), [`transport::launcher`] puts one OS
+//! process on each shard with [`transport::run_worker`] driving the
+//! identical phase code inside each, and [`FaultInjectingTransport`]
+//! deterministically drops, corrupts, delays, duplicates, or reorders
+//! frames over any backend. Every blocking point in that stack carries a
+//! deadline ([`frame_timeout`], `NETDECOMP_FRAME_TIMEOUT_MS`), so a
+//! wedged or dead shard degrades into a typed [`SimError::Transport`]
+//! with the offending shard, round, and [`TransportCause`] attached —
+//! never a hang. The control-frame wire protocol (handshake, round
+//! barriers, error broadcast) is documented in [`transport::control`],
+//! the failure-mode table in [`frame`].
 //! A frame corrupted anywhere in its header or tables — everything that
 //! addresses, sizes, or routes messages — or truncated or misrouted
 //! surfaces as a typed [`SimError::Frame`]: never a panic, never a
@@ -184,15 +199,20 @@ mod message;
 mod seeding;
 mod shard;
 mod stats;
+pub mod transport;
 pub mod wire;
 
 pub use codec::{Codec, Typed, TypedOutbox, TypedProtocol};
 pub use engine::{Ctx, Determinism, Engine, Protocol, Simulator};
-pub use error::{FrameError, SimError};
-pub use frame::{FrameConfig, FrameTransport, Transport};
+pub use error::{FrameError, SimError, TransportCause, TransportError};
+pub use frame::{FrameConfig, FrameTransport, Transport, TransportHealth};
 pub use message::{
     Inbox, Incoming, IncomingRef, Outbox, Outgoing, PayloadId, PayloadSlab, Recipient,
 };
 pub use seeding::stream_rng;
 pub use shard::{RouteIndex, RouteSegment, ShardPlan};
 pub use stats::{CongestLimit, DeliveryWork, RoundStats, RunStats};
+pub use transport::{
+    frame_timeout, graph_digest, FaultInjectingTransport, FaultPlan, HubAddr, HubClient,
+    SocketTransport, TransportFactory,
+};

@@ -872,7 +872,10 @@ impl DeliveryShard {
         shard_count: usize,
     ) {
         self.gather.resize(shard_count, None);
-        transport.collect(me, &mut self.gather);
+        // A transport failure while draining an already-aborting round is
+        // moot — the round's real error is being reported; the drain only
+        // best-effort balances the link.
+        let _ = transport.collect(me, &mut self.gather);
         for slot in self.gather.iter_mut() {
             *slot = None;
         }
@@ -897,7 +900,14 @@ impl DeliveryShard {
         self.counts.fill(0);
         self.work = DeliveryWork::default();
         self.gather.resize(shard_count, None);
-        transport.collect(me, &mut self.gather);
+        transport
+            .collect(me, &mut self.gather)
+            .map_err(|mut transport_error| {
+                // The engine's round number is authoritative; transports
+                // report their own internal counter.
+                transport_error.round = round;
+                SimError::Transport(transport_error)
+            })?;
         for k in 0..shard_count {
             let bytes = self.gather[k]
                 .take()

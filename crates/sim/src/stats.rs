@@ -68,6 +68,27 @@ pub struct DeliveryWork {
     /// ships before the round's single barrier instead of from a
     /// dedicated post-account ship phase.
     pub overlap_ships: usize,
+    /// Transport-level retries (cumulative over the run): reconnect
+    /// attempts and frame re-sends performed by backends that own a real
+    /// link, e.g. the socket backend's one-shot
+    /// reconnect-with-handshake. Zero on the shared-memory backends.
+    /// Reported by the engine benches as `frames_retried`.
+    pub frames_retried: usize,
+    /// Frames deliberately discarded or withheld by a
+    /// [`crate::transport::FaultInjectingTransport`] wrapper (cumulative
+    /// over the run): drop and delay faults both count here, since both
+    /// withhold a frame from the round that expected it. Always zero
+    /// outside fault-injection runs — a nonzero value in a production
+    /// log means a fault harness is still wired in.
+    pub frames_dropped_injected: usize,
+    /// Nanoseconds shards spent blocked inside
+    /// [`crate::frame::Transport::collect`] waiting for peer frames
+    /// (cumulative over the run). Zero on the loopback backend (frames
+    /// are already in shared slots); on the channel and socket backends
+    /// it is the measured synchronization + wire latency, reported by
+    /// the engine benches as `collect_wait_ns`. Wall-clock time, so
+    /// never compared across backends for equality.
+    pub collect_wait_ns: u64,
 }
 
 /// Communication accounting for a single round.

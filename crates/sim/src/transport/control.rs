@@ -1,0 +1,622 @@
+//! Control frames: the non-data half of the wire protocol.
+//!
+//! Data frames (magic `b"NDF"`, see [`crate::frame`]) carry bucket
+//! payloads; **control frames** (magic `b"NDC"`) carry everything a
+//! process-per-shard deployment previously did through shared memory:
+//! the connect-time handshake, round barriers, typed error propagation,
+//! and orderly shutdown. Both frame families are self-delimiting with
+//! the total length at byte offset 4, so one stream reader peels either
+//! kind without knowing which is coming.
+//!
+//! # Control frame layout
+//!
+//! All integers little-endian:
+//!
+//! ```text
+//! offset  bytes  field
+//! ------  -----  ---------------------------------------------
+//!      0      3  magic  b"NDC"
+//!      3      1  kind   (1 Hello, 2 RoundBarrier, 3 Error, 4 Shutdown)
+//!      4      4  total frame length (self-delimiting)
+//!      8      4  FNV-1a checksum over bytes [0, 8) ++ [12, len)
+//!     12      …  kind-specific payload
+//! ```
+//!
+//! Payloads:
+//!
+//! - `Hello { shard: u32, frame_version: u32, graph_digest: u64 }` —
+//!   sent by a client right after connecting (and after a reconnect);
+//!   echoed by the hub as the handshake acknowledgement.
+//! - `RoundBarrier { round: u64 }` — sent by each shard after shipping
+//!   a round's data frames; broadcast back by the hub once all shards
+//!   have, releasing everyone's collect.
+//! - `Error { origin: u32, error: SimError }` — a shard's (or the
+//!   hub's) typed failure, binary-encoded; relayed to every peer.
+//! - `Shutdown { origin: u32 }` — orderly end of run.
+//!
+//! [`SimError`] crosses the wire through a small tagged binary codec
+//! ([`encode_sim_error`] / [`decode_sim_error`]). The only lossy corner
+//! is [`FrameError::Malformed`]'s `&'static str` detail: the decoder
+//! restores it by matching the closed set of detail strings this build
+//! emits ([`MALFORMED_DETAILS`]); an unknown detail (a newer peer)
+//! falls back to [`MALFORMED_DETAIL_FALLBACK`] rather than failing.
+
+use bytes::Bytes;
+
+use crate::error::{FrameError, SimError, TransportCause, TransportError};
+use crate::frame::{fnv1a, FNV_INIT};
+
+/// Magic prefix of every control frame.
+pub(crate) const CONTROL_MAGIC: &[u8; 3] = b"NDC";
+
+/// Fixed bytes before a control frame's payload.
+pub(crate) const CONTROL_HEADER_LEN: usize = 12;
+
+/// Largest control or data frame the stream reader will accept, a
+/// desync guard: a corrupted length word must not trigger a
+/// multi-gigabyte allocation or an endless read.
+pub(crate) const MAX_WIRE_FRAME: usize = 1 << 30;
+
+const KIND_HELLO: u8 = 1;
+const KIND_ROUND_BARRIER: u8 = 2;
+const KIND_ERROR: u8 = 3;
+const KIND_SHUTDOWN: u8 = 4;
+
+/// The known [`FrameError::Malformed`] detail strings, used to restore
+/// the `&'static str` when an error crosses the wire.
+pub(crate) const MALFORMED_DETAILS: &[&str] = &[
+    "bytes trail the declared frame length",
+    "tables overrun the frame",
+    "unknown frame flags",
+    "ref points past the payload table",
+    "ref slot range is decreasing",
+    "payload entry overruns the payload region",
+];
+
+/// What a malformed-frame detail decodes to when the sender's string is
+/// not in this build's table (a peer from a different build).
+pub(crate) const MALFORMED_DETAIL_FALLBACK: &str =
+    "malformed frame (remote detail not in this build's table)";
+
+/// One parsed control frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlFrame {
+    /// Connect-time handshake: who is connecting and what world it
+    /// loaded.
+    Hello {
+        /// The connecting shard's index.
+        shard: u32,
+        /// The newest data-frame format version the shard encodes.
+        frame_version: u32,
+        /// Digest of the graph the shard loaded (see
+        /// [`crate::transport::graph_digest`]); every shard of a run
+        /// must agree.
+        graph_digest: u64,
+    },
+    /// A shard finished shipping `round` (client → hub), or every shard
+    /// did and collects may proceed (hub → clients).
+    RoundBarrier {
+        /// The round the barrier closes.
+        round: u64,
+    },
+    /// A typed failure, relayed so the whole fabric stops with the same
+    /// error.
+    Error {
+        /// Shard that failed (or `u32::MAX` for the hub itself).
+        origin: u32,
+        /// The failure.
+        error: SimError,
+    },
+    /// Orderly end of run.
+    Shutdown {
+        /// Shard that finished (or `u32::MAX` for the hub).
+        origin: u32,
+    },
+}
+
+impl ControlFrame {
+    /// Serializes this control frame (checksummed, self-delimiting).
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut payload = Vec::new();
+        let kind = match self {
+            ControlFrame::Hello {
+                shard,
+                frame_version,
+                graph_digest,
+            } => {
+                payload.extend_from_slice(&shard.to_le_bytes());
+                payload.extend_from_slice(&frame_version.to_le_bytes());
+                payload.extend_from_slice(&graph_digest.to_le_bytes());
+                KIND_HELLO
+            }
+            ControlFrame::RoundBarrier { round } => {
+                payload.extend_from_slice(&round.to_le_bytes());
+                KIND_ROUND_BARRIER
+            }
+            ControlFrame::Error { origin, error } => {
+                payload.extend_from_slice(&origin.to_le_bytes());
+                encode_sim_error(error, &mut payload);
+                KIND_ERROR
+            }
+            ControlFrame::Shutdown { origin } => {
+                payload.extend_from_slice(&origin.to_le_bytes());
+                KIND_SHUTDOWN
+            }
+        };
+        let total = CONTROL_HEADER_LEN + payload.len();
+        let mut buf = Vec::with_capacity(total);
+        buf.extend_from_slice(CONTROL_MAGIC);
+        buf.push(kind);
+        buf.extend_from_slice(&(total as u32).to_le_bytes());
+        buf.extend_from_slice(&[0; 4]); // checksum, patched below
+        buf.extend_from_slice(&payload);
+        let sum = fnv1a(fnv1a(FNV_INIT, &buf[..8]), &buf[CONTROL_HEADER_LEN..]);
+        buf[8..12].copy_from_slice(&sum.to_le_bytes());
+        Bytes::from(buf)
+    }
+
+    /// Parses and validates one control frame (full bytes, magic
+    /// included).
+    ///
+    /// # Errors
+    ///
+    /// Typed [`FrameError`]s, reusing the data-frame vocabulary: bad
+    /// magic, truncation, checksum mismatch, unknown kind or a payload
+    /// of the wrong shape (`Malformed`).
+    pub fn decode(bytes: &[u8]) -> Result<ControlFrame, FrameError> {
+        if bytes.len() < CONTROL_HEADER_LEN {
+            return Err(FrameError::Truncated {
+                needed: CONTROL_HEADER_LEN,
+                have: bytes.len(),
+            });
+        }
+        if &bytes[..3] != CONTROL_MAGIC {
+            return Err(FrameError::BadMagic);
+        }
+        let declared = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+        if declared > bytes.len() {
+            return Err(FrameError::Truncated {
+                needed: declared,
+                have: bytes.len(),
+            });
+        }
+        if declared < bytes.len() {
+            return Err(FrameError::Malformed {
+                detail: "bytes trail the declared frame length",
+            });
+        }
+        let declared_sum = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let computed = fnv1a(fnv1a(FNV_INIT, &bytes[..8]), &bytes[CONTROL_HEADER_LEN..]);
+        if computed != declared_sum {
+            return Err(FrameError::ChecksumMismatch {
+                declared: declared_sum,
+                computed,
+            });
+        }
+        let mut r = Reader {
+            data: &bytes[CONTROL_HEADER_LEN..],
+        };
+        let malformed = FrameError::Malformed {
+            detail: "control payload has the wrong shape",
+        };
+        let frame = match bytes[3] {
+            KIND_HELLO => ControlFrame::Hello {
+                shard: r.u32().ok_or(malformed)?,
+                frame_version: r.u32().ok_or(malformed)?,
+                graph_digest: r.u64().ok_or(malformed)?,
+            },
+            KIND_ROUND_BARRIER => ControlFrame::RoundBarrier {
+                round: r.u64().ok_or(malformed)?,
+            },
+            KIND_ERROR => ControlFrame::Error {
+                origin: r.u32().ok_or(malformed)?,
+                error: decode_sim_error(&mut r).ok_or(malformed)?,
+            },
+            KIND_SHUTDOWN => ControlFrame::Shutdown {
+                origin: r.u32().ok_or(malformed)?,
+            },
+            _ => {
+                return Err(FrameError::Malformed {
+                    detail: "unknown control frame kind",
+                })
+            }
+        };
+        if !r.data.is_empty() {
+            return Err(FrameError::Malformed {
+                detail: "bytes trail the control payload",
+            });
+        }
+        Ok(frame)
+    }
+}
+
+/// Cursor over a control payload.
+struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl Reader<'_> {
+    fn bytes(&mut self, n: usize) -> Option<&[u8]> {
+        if self.data.len() < n {
+            return None;
+        }
+        let (head, rest) = self.data.split_at(n);
+        self.data = rest;
+        Some(head)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.bytes(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.bytes(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.bytes(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn usize64(&mut self) -> Option<usize> {
+        self.u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let raw = self.bytes(len)?;
+        String::from_utf8(raw.to_vec()).ok()
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Binary-encodes a [`SimError`] into `out` (appended).
+pub(crate) fn encode_sim_error(error: &SimError, out: &mut Vec<u8>) {
+    match error {
+        SimError::NotNeighbor { from, to } => {
+            out.push(1);
+            put_usize(out, *from);
+            put_usize(out, *to);
+        }
+        SimError::CongestViolation {
+            from,
+            to,
+            bytes,
+            limit,
+            round,
+        } => {
+            out.push(2);
+            put_usize(out, *from);
+            put_usize(out, *to);
+            put_usize(out, *bytes);
+            put_usize(out, *limit);
+            put_usize(out, *round);
+        }
+        SimError::RoundLimitExceeded { limit } => {
+            out.push(3);
+            put_usize(out, *limit);
+        }
+        SimError::Nondeterminism { round, vertex } => {
+            out.push(4);
+            put_usize(out, *round);
+            put_usize(out, *vertex);
+        }
+        SimError::Frame {
+            shard,
+            round,
+            error,
+        } => {
+            out.push(5);
+            put_usize(out, *shard);
+            put_usize(out, *round);
+            encode_frame_error(error, out);
+        }
+        SimError::Transport(TransportError {
+            shard,
+            round,
+            cause,
+        }) => {
+            out.push(6);
+            put_usize(out, *shard);
+            put_usize(out, *round);
+            encode_cause(cause, out);
+        }
+    }
+}
+
+fn encode_frame_error(error: &FrameError, out: &mut Vec<u8>) {
+    match error {
+        FrameError::Truncated { needed, have } => {
+            out.push(1);
+            put_usize(out, *needed);
+            put_usize(out, *have);
+        }
+        FrameError::BadMagic => out.push(2),
+        FrameError::VersionMismatch { found, min, max } => {
+            out.push(3);
+            out.extend_from_slice(&[*found, *min, *max]);
+        }
+        FrameError::ChecksumMismatch { declared, computed } => {
+            out.push(4);
+            out.extend_from_slice(&declared.to_le_bytes());
+            out.extend_from_slice(&computed.to_le_bytes());
+        }
+        FrameError::Malformed { detail } => {
+            out.push(5);
+            put_string(out, detail);
+        }
+        FrameError::Misrouted { expected, found } => {
+            out.push(6);
+            put_usize(out, *expected);
+            put_usize(out, *found);
+        }
+        FrameError::MissingFrame { sender } => {
+            out.push(7);
+            put_usize(out, *sender);
+        }
+        FrameError::ForeignSlots { from, lo, hi } => {
+            out.push(8);
+            put_usize(out, *from);
+            put_usize(out, *lo);
+            put_usize(out, *hi);
+        }
+    }
+}
+
+fn encode_cause(cause: &TransportCause, out: &mut Vec<u8>) {
+    match cause {
+        TransportCause::Timeout { waited_ms } => {
+            out.push(1);
+            put_u64(out, *waited_ms);
+        }
+        TransportCause::Disconnected => out.push(2),
+        TransportCause::Handshake { detail } => {
+            out.push(3);
+            put_string(out, detail);
+        }
+        TransportCause::Io { detail } => {
+            out.push(4);
+            put_string(out, detail);
+        }
+        TransportCause::Remote { message } => {
+            out.push(5);
+            put_string(out, message);
+        }
+    }
+}
+
+fn decode_sim_error(r: &mut Reader<'_>) -> Option<SimError> {
+    Some(match r.u8()? {
+        1 => SimError::NotNeighbor {
+            from: r.usize64()?,
+            to: r.usize64()?,
+        },
+        2 => SimError::CongestViolation {
+            from: r.usize64()?,
+            to: r.usize64()?,
+            bytes: r.usize64()?,
+            limit: r.usize64()?,
+            round: r.usize64()?,
+        },
+        3 => SimError::RoundLimitExceeded {
+            limit: r.usize64()?,
+        },
+        4 => SimError::Nondeterminism {
+            round: r.usize64()?,
+            vertex: r.usize64()?,
+        },
+        5 => SimError::Frame {
+            shard: r.usize64()?,
+            round: r.usize64()?,
+            error: decode_frame_error(r)?,
+        },
+        6 => SimError::Transport(TransportError {
+            shard: r.usize64()?,
+            round: r.usize64()?,
+            cause: decode_cause(r)?,
+        }),
+        _ => return None,
+    })
+}
+
+fn decode_frame_error(r: &mut Reader<'_>) -> Option<FrameError> {
+    Some(match r.u8()? {
+        1 => FrameError::Truncated {
+            needed: r.usize64()?,
+            have: r.usize64()?,
+        },
+        2 => FrameError::BadMagic,
+        3 => FrameError::VersionMismatch {
+            found: r.u8()?,
+            min: r.u8()?,
+            max: r.u8()?,
+        },
+        4 => FrameError::ChecksumMismatch {
+            declared: r.u32()?,
+            computed: r.u32()?,
+        },
+        5 => {
+            let detail = r.string()?;
+            FrameError::Malformed {
+                detail: MALFORMED_DETAILS
+                    .iter()
+                    .find(|known| ***known == detail)
+                    .copied()
+                    .unwrap_or(MALFORMED_DETAIL_FALLBACK),
+            }
+        }
+        6 => FrameError::Misrouted {
+            expected: r.usize64()?,
+            found: r.usize64()?,
+        },
+        7 => FrameError::MissingFrame {
+            sender: r.usize64()?,
+        },
+        8 => FrameError::ForeignSlots {
+            from: r.usize64()?,
+            lo: r.usize64()?,
+            hi: r.usize64()?,
+        },
+        _ => return None,
+    })
+}
+
+fn decode_cause(r: &mut Reader<'_>) -> Option<TransportCause> {
+    Some(match r.u8()? {
+        1 => TransportCause::Timeout {
+            waited_ms: r.u64()?,
+        },
+        2 => TransportCause::Disconnected,
+        3 => TransportCause::Handshake {
+            detail: r.string()?,
+        },
+        4 => TransportCause::Io {
+            detail: r.string()?,
+        },
+        5 => TransportCause::Remote {
+            message: r.string()?,
+        },
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_errors() -> Vec<SimError> {
+        vec![
+            SimError::NotNeighbor { from: 3, to: 9 },
+            SimError::CongestViolation {
+                from: 0,
+                to: 1,
+                bytes: 64,
+                limit: 16,
+                round: 3,
+            },
+            SimError::RoundLimitExceeded { limit: 40 },
+            SimError::Nondeterminism {
+                round: 4,
+                vertex: 2,
+            },
+            SimError::Frame {
+                shard: 3,
+                round: 7,
+                error: FrameError::ChecksumMismatch {
+                    declared: 1,
+                    computed: 2,
+                },
+            },
+            SimError::Frame {
+                shard: 0,
+                round: 0,
+                error: FrameError::Malformed {
+                    detail: "tables overrun the frame",
+                },
+            },
+            SimError::Frame {
+                shard: 1,
+                round: 2,
+                error: FrameError::ForeignSlots {
+                    from: 11,
+                    lo: 4,
+                    hi: 9,
+                },
+            },
+            SimError::Transport(TransportError {
+                shard: 2,
+                round: 5,
+                cause: TransportCause::Timeout { waited_ms: 750 },
+            }),
+            SimError::Transport(TransportError {
+                shard: 1,
+                round: 0,
+                cause: TransportCause::Handshake {
+                    detail: "graph digest mismatch".into(),
+                },
+            }),
+        ]
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        let mut frames = vec![
+            ControlFrame::Hello {
+                shard: 3,
+                frame_version: 2,
+                graph_digest: 0xdead_beef_cafe_f00d,
+            },
+            ControlFrame::RoundBarrier { round: 41 },
+            ControlFrame::Shutdown { origin: 7 },
+        ];
+        for error in sample_errors() {
+            frames.push(ControlFrame::Error { origin: 1, error });
+        }
+        for frame in frames {
+            let encoded = frame.encode();
+            let decoded = ControlFrame::decode(encoded.as_slice()).unwrap();
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn every_malformed_detail_survives_the_wire() {
+        for &detail in MALFORMED_DETAILS {
+            let error = SimError::Frame {
+                shard: 0,
+                round: 1,
+                error: FrameError::Malformed { detail },
+            };
+            let encoded = ControlFrame::Error {
+                origin: 0,
+                error: error.clone(),
+            }
+            .encode();
+            let ControlFrame::Error { error: back, .. } =
+                ControlFrame::decode(encoded.as_slice()).unwrap()
+            else {
+                panic!("wrong kind");
+            };
+            assert_eq!(back, error, "detail {detail:?}");
+        }
+    }
+
+    #[test]
+    fn corruption_is_a_typed_rejection() {
+        let encoded = ControlFrame::RoundBarrier { round: 9 }.encode();
+        for i in 0..encoded.len() {
+            let mut bad = encoded.as_slice().to_vec();
+            bad[i] ^= 0x20;
+            let verdict = ControlFrame::decode(&bad);
+            assert!(
+                verdict.is_err(),
+                "flipping byte {i} went unnoticed: {verdict:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn data_frame_magic_is_rejected_here() {
+        let mut b = crate::frame::FrameBuilder::new();
+        b.begin(0, 1);
+        let data = b.finish();
+        assert_eq!(
+            ControlFrame::decode(data.as_slice()),
+            Err(FrameError::BadMagic)
+        );
+    }
+}

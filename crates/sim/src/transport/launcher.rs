@@ -1,0 +1,322 @@
+//! Process-per-shard orchestration: bind a hub, spawn workers, reap
+//! them with a deadline.
+//!
+//! The launcher owns the lifecycle the ISSUE's robustness contract
+//! hinges on: **no child outcome can wedge the parent**. The hub
+//! notices a dead or silent worker within the fabric timeout and halts
+//! with a typed error; the launcher waits out at most its own deadline,
+//! kills whatever is still running, reaps every child, and returns the
+//! most structured error available — the fabric's first
+//! [`SimError`] if one was broadcast, a synthesized
+//! [`SimError::Transport`] otherwise.
+//!
+//! The launcher does not know how to start a worker — the caller
+//! supplies a spawn closure mapping `(shard, hub address)` to a
+//! [`Child`]. The `netdecomp` binary's worker mode reads the
+//! environment variables named by the `ENV_*` constants here.
+
+use std::io;
+use std::process::Child;
+use std::time::{Duration, Instant};
+
+use crate::error::{SimError, TransportCause, TransportError};
+
+use super::socket::Hub;
+use super::HubAddr;
+
+/// Environment variable carrying a worker's shard index.
+pub const ENV_SHARD: &str = "NETDECOMP_WORKER_SHARD";
+/// Environment variable carrying the fabric's shard count.
+pub const ENV_SHARDS: &str = "NETDECOMP_WORKER_SHARDS";
+/// Environment variable carrying the hub address
+/// (`unix:<path>` or `tcp:<addr>`, the [`HubAddr`] string form).
+pub const ENV_ADDR: &str = "NETDECOMP_WORKER_ADDR";
+/// Environment variable carrying the round budget.
+pub const ENV_ROUNDS: &str = "NETDECOMP_WORKER_ROUNDS";
+
+/// A hub socket path in the system temp directory, unique to this
+/// process and call.
+#[must_use]
+pub fn temp_hub_addr() -> HubAddr {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    HubAddr::Unix(
+        std::env::temp_dir().join(format!("netdecomp-hub-{}-{n}.sock", std::process::id())),
+    )
+}
+
+/// Everything a launch needs beyond the spawn closure.
+#[derive(Debug, Clone)]
+pub struct LaunchOptions {
+    /// Worker (= shard) count.
+    pub shards: usize,
+    /// The fabric timeout handed to the hub (per blocking point).
+    pub timeout: Duration,
+    /// Overall deadline for the whole run; stragglers are killed when it
+    /// passes. Must comfortably exceed `timeout` plus the expected run
+    /// time.
+    pub deadline: Duration,
+    /// Graph digest every worker must present ([`super::graph_digest`]);
+    /// `None` accepts whatever the first worker presents and holds the
+    /// rest to it.
+    pub graph_digest: Option<u64>,
+    /// Hub address to bind; `None` picks [`temp_hub_addr`].
+    pub addr: Option<HubAddr>,
+}
+
+impl LaunchOptions {
+    /// Defaults: fabric timeout from [`super::frame_timeout`], overall
+    /// deadline six times that, temp-path Unix hub, digest unpinned.
+    #[must_use]
+    pub fn new(shards: usize) -> LaunchOptions {
+        let timeout = super::frame_timeout();
+        LaunchOptions {
+            shards,
+            timeout,
+            deadline: timeout * 6,
+            graph_digest: None,
+            addr: None,
+        }
+    }
+}
+
+/// How one worker process ended.
+#[derive(Debug)]
+pub struct WorkerExit {
+    /// The worker's shard index.
+    pub shard: usize,
+    /// Exit code; `None` when the worker died to a signal (including the
+    /// launcher's own deadline kill).
+    pub code: Option<i32>,
+    /// Captured stdout (empty unless the spawn closure piped it).
+    pub stdout: Vec<u8>,
+    /// Captured stderr (empty unless the spawn closure piped it).
+    pub stderr: Vec<u8>,
+}
+
+/// The outcome of a fully-successful launch.
+#[derive(Debug)]
+pub struct LaunchReport {
+    /// Per-worker exits, indexed by shard.
+    pub exits: Vec<WorkerExit>,
+}
+
+/// Binds the hub, spawns one worker per shard, and reaps the run.
+///
+/// The listener is bound *before* any worker starts, so a worker that
+/// connects immediately queues in the accept backlog rather than
+/// racing. Spawn order is shard order; a spawn failure kills the
+/// already-started workers and returns immediately.
+///
+/// # Errors
+///
+/// - the fabric's first broadcast [`SimError`], when the hub halted on
+///   one (a worker crashed, timed out, desynced, or reported a protocol
+///   violation);
+/// - [`TransportCause::Timeout`] when the fabric was still not halted at
+///   the deadline;
+/// - [`TransportCause::Io`] when the hub could not bind, a worker could
+///   not be spawned, or a worker exited nonzero without reporting
+///   anything.
+pub fn launch(
+    options: &LaunchOptions,
+    mut spawn: impl FnMut(usize, &HubAddr) -> io::Result<Child>,
+) -> Result<LaunchReport, SimError> {
+    let requested = options.addr.clone().unwrap_or_else(temp_hub_addr);
+    let synthesized = |shard: usize, cause: TransportCause| {
+        SimError::Transport(TransportError {
+            shard,
+            round: 0,
+            cause,
+        })
+    };
+    let (mut hub, addr) = Hub::listen(
+        &requested,
+        options.shards,
+        options.timeout,
+        options.graph_digest,
+    )
+    .map_err(|e| {
+        synthesized(
+            0,
+            TransportCause::Io {
+                detail: format!("hub bind on {requested} failed: {e}"),
+            },
+        )
+    })?;
+    let mut children: Vec<(usize, Child)> = Vec::with_capacity(options.shards);
+    for shard in 0..options.shards {
+        match spawn(shard, &addr) {
+            Ok(child) => children.push((shard, child)),
+            Err(e) => {
+                for (_, child) in &mut children {
+                    let _ = child.kill();
+                }
+                for (_, child) in &mut children {
+                    let _ = child.wait();
+                }
+                hub.stop_and_join();
+                return Err(synthesized(
+                    shard,
+                    TransportCause::Io {
+                        detail: format!("spawning worker {shard} failed: {e}"),
+                    },
+                ));
+            }
+        }
+    }
+    let started = Instant::now();
+    let halted = hub.wait_halted(options.deadline);
+    let fabric_error = hub.first_error();
+    // Grace window: halted workers exit on their own; give them one
+    // fabric timeout before the kill.
+    let grace_end = Instant::now() + options.timeout;
+    loop {
+        let all_exited = children
+            .iter_mut()
+            .all(|(_, child)| matches!(child.try_wait(), Ok(Some(_))));
+        if all_exited || Instant::now() >= grace_end {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    for (_, child) in &mut children {
+        if !matches!(child.try_wait(), Ok(Some(_))) {
+            let _ = child.kill();
+        }
+    }
+    let mut exits = Vec::with_capacity(children.len());
+    for (shard, child) in children {
+        match child.wait_with_output() {
+            Ok(output) => exits.push(WorkerExit {
+                shard,
+                code: output.status.code(),
+                stdout: output.stdout,
+                stderr: output.stderr,
+            }),
+            Err(_) => exits.push(WorkerExit {
+                shard,
+                code: None,
+                stdout: Vec::new(),
+                stderr: Vec::new(),
+            }),
+        }
+    }
+    hub.stop_and_join();
+    if let Some(error) = fabric_error {
+        return Err(error);
+    }
+    if !halted {
+        return Err(synthesized(
+            first_bad_exit(&exits).unwrap_or(0),
+            TransportCause::Timeout {
+                waited_ms: started.elapsed().as_millis() as u64,
+            },
+        ));
+    }
+    if let Some(shard) = first_bad_exit(&exits) {
+        let exit = &exits[shard];
+        return Err(synthesized(
+            shard,
+            TransportCause::Io {
+                detail: match exit.code {
+                    Some(code) => format!("worker {shard} exited with status {code}"),
+                    None => format!("worker {shard} was killed by a signal"),
+                },
+            },
+        ));
+    }
+    Ok(LaunchReport { exits })
+}
+
+fn first_bad_exit(exits: &[WorkerExit]) -> Option<usize> {
+    exits.iter().position(|e| e.code != Some(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::process::{Command, Stdio};
+
+    fn quick_options(shards: usize) -> LaunchOptions {
+        LaunchOptions {
+            shards,
+            timeout: Duration::from_millis(200),
+            deadline: Duration::from_millis(600),
+            graph_digest: None,
+            addr: None,
+        }
+    }
+
+    #[test]
+    fn workers_that_never_connect_hit_the_deadline_typed() {
+        // `sleep` stands in for a worker that wedges before connecting.
+        let started = Instant::now();
+        let error = launch(&quick_options(2), |_, _| {
+            Command::new("sleep")
+                .arg("30")
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+        })
+        .unwrap_err();
+        assert!(
+            matches!(
+                &error,
+                SimError::Transport(TransportError {
+                    cause: TransportCause::Timeout { .. },
+                    ..
+                })
+            ),
+            "got {error:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "the deadline must bound the whole launch, took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn a_spawn_failure_aborts_the_launch_typed() {
+        let error = launch(&quick_options(2), |shard, _| {
+            if shard == 1 {
+                Err(io::Error::new(io::ErrorKind::NotFound, "no such worker"))
+            } else {
+                Command::new("sleep")
+                    .arg("30")
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::null())
+                    .spawn()
+            }
+        })
+        .unwrap_err();
+        let SimError::Transport(TransportError { shard, cause, .. }) = &error else {
+            panic!("got {error:?}");
+        };
+        assert_eq!(*shard, 1);
+        assert!(matches!(cause, TransportCause::Io { .. }), "{error}");
+    }
+
+    #[test]
+    fn nonzero_worker_exits_surface_when_nothing_was_reported() {
+        // Workers that exit immediately without ever connecting: the
+        // fabric never halts, the deadline fires, and the error is
+        // typed (the bad exit is visible in the detail chain via the
+        // fabric timeout).
+        let error = launch(&quick_options(1), |_, _| {
+            Command::new("false")
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+        })
+        .unwrap_err();
+        assert!(matches!(error, SimError::Transport(_)), "got {error:?}");
+    }
+
+    #[test]
+    fn temp_addresses_are_unique() {
+        assert_ne!(temp_hub_addr(), temp_hub_addr());
+    }
+}

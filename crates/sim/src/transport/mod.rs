@@ -1,0 +1,182 @@
+//! Transports that cross process boundaries, and the harnesses that
+//! abuse them.
+//!
+//! The shared-memory backends ([`crate::frame::LoopbackTransport`],
+//! [`crate::frame::ChannelTransport`]) prove the framed engine against
+//! the simplest possible delivery fabric. This module provides the rest
+//! of the story:
+//!
+//! - [`SocketTransport`] — data and control frames over Unix-domain (or
+//!   TCP) byte streams through a hub process, the same
+//!   [`crate::frame::Transport`] seam the in-memory backends implement,
+//!   bit-identical results included.
+//! - [`launcher`] — one OS process per shard: bind a hub socket, spawn
+//!   workers, and reap them with a deadline, so a crashed worker is a
+//!   typed [`crate::SimError::Transport`] at the launcher, never a
+//!   zombie pipeline.
+//! - [`run_worker`] — the single-shard driver a worker process runs:
+//!   loads the graph, executes its shard's compute/account/ship/place
+//!   loop against a [`HubClient`], and reports errors through `Error`
+//!   control frames before exiting.
+//! - [`FaultInjectingTransport`] — a deterministic, seeded wrapper over
+//!   any backend that drops, corrupts, delays, duplicates, or reorders
+//!   frames so tests can prove every failure is a typed error.
+//!
+//! # Timeouts
+//!
+//! Every blocking point — connect, handshake, per-round collect, hub
+//! relay writes, worker reaping — carries a deadline derived from
+//! [`frame_timeout`] (`NETDECOMP_FRAME_TIMEOUT_MS`, default 5000 ms). A
+//! wedged or dead peer therefore degrades into a typed
+//! [`crate::TransportError`] within a small multiple of that window;
+//! there is no code path that waits forever.
+//!
+//! The full wire protocol — frame layouts, the handshake, and the
+//! failure-mode table — is documented in [`crate::frame`] (formats) and
+//! [`control`] (control frames).
+
+pub mod control;
+mod fault;
+pub mod launcher;
+mod socket;
+mod worker;
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use netdecomp_graph::Graph;
+
+use crate::frame::Transport;
+
+pub use fault::{FaultInjectingTransport, FaultPlan};
+pub use socket::{HubAddr, HubClient, SocketTransport};
+pub use worker::{run_worker, WorkerConfig, WorkerReport};
+
+/// The deadline every transport blocking point inherits by default.
+///
+/// Reads `NETDECOMP_FRAME_TIMEOUT_MS` (whole milliseconds, > 0) on every
+/// call and falls back to 5000 ms when unset or unparsable, so tests and
+/// deployments can tighten or relax the fabric's patience without code
+/// changes.
+#[must_use]
+pub fn frame_timeout() -> Duration {
+    let ms = std::env::var("NETDECOMP_FRAME_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(5_000);
+    Duration::from_millis(ms)
+}
+
+const DIGEST_INIT: u64 = 0xcbf2_9ce4_8422_2325;
+const DIGEST_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv64(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(DIGEST_PRIME);
+    }
+    h
+}
+
+/// Digest of a graph's topology, exchanged in the `Hello` handshake.
+///
+/// Every worker of a distributed run loads the graph independently; two
+/// workers that disagree on `n`, `m`, or any adjacency row would shard
+/// and route messages inconsistently and produce garbage that no
+/// per-frame check could attribute. The hub therefore refuses the
+/// mismatch at connect time as a typed
+/// [`crate::TransportCause::Handshake`] instead.
+#[must_use]
+pub fn graph_digest(graph: &Graph) -> u64 {
+    let mut h = DIGEST_INIT;
+    h = fnv64(h, &(graph.vertex_count() as u64).to_le_bytes());
+    h = fnv64(h, &(graph.edge_count() as u64).to_le_bytes());
+    for v in 0..graph.vertex_count() {
+        let row = graph.neighbors(v);
+        h = fnv64(h, &(row.len() as u64).to_le_bytes());
+        for &to in row {
+            h = fnv64(h, &(to as u64).to_le_bytes());
+        }
+    }
+    h
+}
+
+/// A recipe for building a [`Transport`] per run, carried through
+/// configuration structs that must stay `Clone + Debug`.
+///
+/// The engine owns its transport for the length of one `Simulator`, but
+/// multi-phase algorithms (the carve protocol, Linial–Saks) build a
+/// fresh simulator per phase — so configuration carries a *factory*
+/// (shard count in, boxed transport out) rather than a single
+/// pre-built instance.
+#[derive(Clone)]
+pub struct TransportFactory(Arc<dyn Fn(usize) -> Box<dyn Transport> + Send + Sync>);
+
+impl TransportFactory {
+    /// Wraps a `shards -> transport` constructor.
+    pub fn new(make: impl Fn(usize) -> Box<dyn Transport> + Send + Sync + 'static) -> Self {
+        TransportFactory(Arc::new(make))
+    }
+
+    /// Builds one transport instance for a run over `shards` shards.
+    #[must_use]
+    pub fn build(&self, shards: usize) -> Box<dyn Transport> {
+        (self.0)(shards)
+    }
+}
+
+impl fmt::Debug for TransportFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TransportFactory").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netdecomp_graph::GraphBuilder;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n.saturating_sub(1) {
+            b.add_edge(v, v + 1).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn default_timeout_is_five_seconds() {
+        // The suite does not set NETDECOMP_FRAME_TIMEOUT_MS globally; if a
+        // specific CI job does, the override is the intended behavior.
+        if std::env::var("NETDECOMP_FRAME_TIMEOUT_MS").is_err() {
+            assert_eq!(frame_timeout(), Duration::from_millis(5_000));
+        }
+    }
+
+    #[test]
+    fn digest_separates_topologies() {
+        let a = graph_digest(&path_graph(5));
+        let b = graph_digest(&path_graph(6));
+        let mut builder = GraphBuilder::new(5);
+        builder.add_edge(0, 1).unwrap();
+        builder.add_edge(1, 2).unwrap();
+        builder.add_edge(2, 3).unwrap();
+        builder.add_edge(0, 4).unwrap();
+        let c = graph_digest(&builder.build());
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, graph_digest(&path_graph(5)), "digest must be stable");
+    }
+
+    #[test]
+    fn factory_builds_and_debugs() {
+        let factory =
+            TransportFactory::new(|shards| Box::new(crate::frame::ChannelTransport::new(shards)));
+        let t = factory.build(3);
+        t.send(0, 1, bytes::Bytes::from_static(b"x"));
+        let format = format!("{factory:?}");
+        assert!(format.contains("TransportFactory"));
+        let _clone = factory.clone();
+    }
+}

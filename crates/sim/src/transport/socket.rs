@@ -1,0 +1,2011 @@
+//! The socket transport: data and control frames over real byte
+//! streams, behind the same [`Transport`] seam the shared-memory
+//! backends implement.
+//!
+//! # Topology: a hub and `shards` spokes
+//!
+//! Rather than a full mesh of `shards²` connections, every shard holds
+//! one full-duplex stream to a **hub**. The hub routes data frames by
+//! the destination word in their header, aggregates `RoundBarrier`
+//! control frames (broadcasting the acknowledgement once all shards
+//! have shipped a round), relays `Error` frames to every peer, and
+//! enforces the `Hello` handshake. The same hub code serves both
+//! deployments:
+//!
+//! - **in-process** ([`SocketTransport::unix_mesh`] /
+//!   [`SocketTransport::tcp_mesh`]): the engine's framed backend over
+//!   real sockets, used by the bit-exact equivalence sweep;
+//! - **process-per-shard** ([`super::launcher`]): the hub listens on a
+//!   Unix or TCP address, worker processes connect and run
+//!   [`super::run_worker`].
+//!
+//! # Why the hub never deadlocks
+//!
+//! The hub runs one *reader* and one *writer* thread per connection,
+//! decoupled by unbounded per-destination queues. Readers only parse
+//! and enqueue — they never block on a slow destination — so a shard
+//! that has not collected yet cannot stall frames addressed to a shard
+//! that is collecting. Writers block only on their own destination and
+//! carry write timeouts, so a wedged peer costs one typed error, not a
+//! stuck hub. The barrier acknowledgement for round `r` is enqueued
+//! under the barrier lock *after* every reader has enqueued its round-r
+//! data frames, so a client that has seen the ack and still misses a
+//! frame knows the frame is genuinely absent (`MissingFrame`), not
+//! merely late.
+//!
+//! # Failure handling
+//!
+//! Every blocking point carries a deadline ([`super::frame_timeout`]).
+//! A dead connection gets one grace window for a
+//! reconnect-with-handshake before the hub declares the shard gone and
+//! broadcasts a typed `Error` to every peer; a client whose link dies
+//! mid-run performs the same one-shot reconnect before giving up. All
+//! terminal outcomes are [`TransportError`]s — see the failure-mode
+//! table in [`crate::frame`].
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use crate::error::{FrameError, SimError, TransportCause, TransportError};
+use crate::frame::{
+    Transport, TransportHealth, FRAME_VERSION, FRAME_VERSION_MIN, LEN_OFFSET, MAGIC,
+};
+
+use super::control::{ControlFrame, CONTROL_MAGIC, MAX_WIRE_FRAME};
+
+/// Idle-poll granularity of hub reader threads: how quickly a blocked
+/// reader notices a hub-wide halt. Purely an exit-latency knob — data
+/// readiness wakes a read immediately regardless.
+const READ_TICK: Duration = Duration::from_millis(200);
+
+/// Smallest well-formed data frame (a v1 header); anything shorter with
+/// the data magic means the stream is desynchronized.
+const MIN_DATA_FRAME: usize = 28;
+
+/// `u32::MAX` as an origin marks the hub itself (not any shard).
+const HUB_ORIGIN: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------
+// Streams and addresses
+// ---------------------------------------------------------------------
+
+/// One full-duplex byte stream, Unix-domain or TCP behind the same code
+/// path.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    /// A Unix-domain socket (the default: no ports, no firewalls).
+    Unix(UnixStream),
+    /// A TCP socket (loopback in tests; any address in principle).
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(t),
+            Stream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_write_timeout(t),
+            Stream::Tcp(s) => s.set_write_timeout(t),
+        }
+    }
+
+    fn shutdown_both(&self) {
+        let _ = match self {
+            Stream::Unix(s) => s.shutdown(NetShutdown::Both),
+            Stream::Tcp(s) => s.shutdown(NetShutdown::Both),
+        };
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Where a hub listens — printable/parsable so a launcher can hand it
+/// to worker processes through an environment variable
+/// (`NETDECOMP_WORKER_ADDR`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HubAddr {
+    /// `unix:<path>` — a Unix-domain socket path.
+    Unix(PathBuf),
+    /// `tcp:<addr>` — a TCP socket address, e.g. `tcp:127.0.0.1:4000`.
+    Tcp(SocketAddr),
+}
+
+impl HubAddr {
+    fn connect(&self, timeout: Duration) -> io::Result<Stream> {
+        match self {
+            HubAddr::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            HubAddr::Tcp(addr) => TcpStream::connect_timeout(addr, timeout).map(Stream::Tcp),
+        }
+    }
+}
+
+impl fmt::Display for HubAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HubAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+            HubAddr::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+impl FromStr for HubAddr {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            return Ok(HubAddr::Unix(PathBuf::from(path)));
+        }
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            return addr
+                .parse()
+                .map(HubAddr::Tcp)
+                .map_err(|e| format!("bad tcp hub address {addr:?}: {e}"));
+        }
+        Err(format!(
+            "hub address {s:?} must start with \"unix:\" or \"tcp:\""
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stream framing: one reader for both frame families
+// ---------------------------------------------------------------------
+
+/// One frame peeled off a stream: bucket data or a control message.
+#[derive(Debug)]
+enum Wire {
+    Data(Bytes),
+    Control(ControlFrame),
+}
+
+/// Why a stream read stopped without producing a frame.
+#[derive(Debug)]
+enum ReadEnd {
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// The read timeout elapsed with zero bytes consumed — a poll tick;
+    /// the stream is still framed and usable.
+    Tick,
+    /// The read timeout elapsed mid-frame: bytes are stranded and the
+    /// stream can no longer be trusted to be at a frame boundary.
+    Stalled,
+    /// An OS-level read failure.
+    Io(String),
+    /// The bytes are not a frame (bad magic, implausible length, or a
+    /// control frame that failed validation): desynchronized.
+    Desync(String),
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Fills `buf` completely. `started` says whether earlier bytes of the
+/// same frame were already consumed (turning a timeout from a clean
+/// tick into a mid-frame stall).
+fn read_fully(stream: &mut Stream, buf: &mut [u8], mut started: bool) -> Result<(), ReadEnd> {
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(if started || got > 0 {
+                    ReadEnd::Desync("connection closed mid-frame".into())
+                } else {
+                    ReadEnd::Eof
+                })
+            }
+            Ok(n) => {
+                got += n;
+                started = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                return Err(if started || got > 0 {
+                    ReadEnd::Stalled
+                } else {
+                    ReadEnd::Tick
+                })
+            }
+            Err(e) => return Err(ReadEnd::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// Reads exactly one self-delimiting frame (data `NDF` or control `NDC`)
+/// from the stream, using whatever read timeout is currently set.
+fn read_wire_frame(stream: &mut Stream) -> Result<Wire, ReadEnd> {
+    let mut head = [0u8; 8];
+    read_fully(stream, &mut head, false)?;
+    let is_data = &head[..3] == MAGIC.as_slice();
+    if !is_data && &head[..3] != CONTROL_MAGIC.as_slice() {
+        return Err(ReadEnd::Desync("unknown frame magic".into()));
+    }
+    let total = u32::from_le_bytes(
+        head[LEN_OFFSET..LEN_OFFSET + 4]
+            .try_into()
+            .expect("4 bytes"),
+    ) as usize;
+    let floor = if is_data { MIN_DATA_FRAME } else { head.len() };
+    if total < floor || total > MAX_WIRE_FRAME {
+        return Err(ReadEnd::Desync(format!("implausible frame length {total}")));
+    }
+    let mut buf = vec![0u8; total];
+    buf[..head.len()].copy_from_slice(&head);
+    let split = head.len();
+    read_fully(stream, &mut buf[split..], true)?;
+    if is_data {
+        Ok(Wire::Data(Bytes::from(buf)))
+    } else {
+        match ControlFrame::decode(&buf) {
+            Ok(frame) => Ok(Wire::Control(frame)),
+            Err(e) => Err(ReadEnd::Desync(format!("control frame rejected: {e}"))),
+        }
+    }
+}
+
+/// `(sender, dest)` shard words of a data frame (header offsets 8 and
+/// 12). Only called on frames [`read_wire_frame`] already length-checked.
+fn data_addressing(frame: &Bytes) -> (usize, usize) {
+    let b = frame.as_slice();
+    (
+        u32::from_le_bytes(b[8..12].try_into().expect("4 bytes")) as usize,
+        u32::from_le_bytes(b[12..16].try_into().expect("4 bytes")) as usize,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------
+
+/// Client side of the connect-time handshake: send `Hello`, await the
+/// hub's echo (or its typed rejection).
+fn handshake(
+    stream: &mut Stream,
+    shard: usize,
+    graph_digest: u64,
+    timeout: Duration,
+) -> Result<(), TransportCause> {
+    let io_cause = |e: &io::Error| TransportCause::Io {
+        detail: e.to_string(),
+    };
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| io_cause(&e))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| io_cause(&e))?;
+    let hello = ControlFrame::Hello {
+        shard: shard as u32,
+        frame_version: u32::from(FRAME_VERSION),
+        graph_digest,
+    };
+    stream
+        .write_all(hello.encode().as_slice())
+        .and_then(|()| stream.flush())
+        .map_err(|e| io_cause(&e))?;
+    match read_wire_frame(stream) {
+        Ok(Wire::Control(ControlFrame::Hello { .. })) => Ok(()),
+        Ok(Wire::Control(ControlFrame::Error { error, .. })) => Err(match error {
+            SimError::Transport(TransportError { cause, .. }) => cause,
+            other => TransportCause::Remote {
+                message: other.to_string(),
+            },
+        }),
+        Ok(_) => Err(TransportCause::Handshake {
+            detail: "unexpected reply to hello".into(),
+        }),
+        Err(ReadEnd::Eof | ReadEnd::Desync(_)) => Err(TransportCause::Handshake {
+            detail: "connection closed before the hello acknowledgement".into(),
+        }),
+        Err(ReadEnd::Tick | ReadEnd::Stalled) => Err(TransportCause::Timeout {
+            waited_ms: timeout.as_millis() as u64,
+        }),
+        Err(ReadEnd::Io(detail)) => Err(TransportCause::Io { detail }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hub
+// ---------------------------------------------------------------------
+
+/// A unit of outgoing work for a hub writer thread.
+enum Item {
+    /// Pre-encoded frame bytes (data or control), written verbatim.
+    Frame(Bytes),
+    /// Flush, close the connection, and exit.
+    Exit,
+}
+
+/// Replaceable halves of one shard's connection. `epoch` counts
+/// registrations; a reader or writer whose stream died waits here for a
+/// higher epoch (a reconnect) before declaring the shard gone.
+#[derive(Debug, Default)]
+struct ConnState {
+    epoch: u64,
+    fresh_read: Option<Stream>,
+    fresh_write: Option<Stream>,
+    /// A retained clone used only to `shutdown()` the connection from
+    /// the hub owner during teardown.
+    current: Option<Stream>,
+}
+
+#[derive(Debug, Default)]
+struct ConnSlot {
+    state: Mutex<ConnState>,
+    changed: Condvar,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    round: u64,
+    arrived: Vec<bool>,
+    count: usize,
+}
+
+struct HubShared {
+    shards: usize,
+    timeout: Duration,
+    /// Per-destination outgoing queues (unbounded — see the module docs
+    /// for why this is the deadlock-freedom keystone).
+    queues: Vec<mpsc::Sender<Item>>,
+    conns: Vec<ConnSlot>,
+    barrier: Mutex<BarrierState>,
+    done: Mutex<Vec<bool>>,
+    /// First failure wins; later failures are echoes of the teardown.
+    fatal: Mutex<Option<SimError>>,
+    /// An `Error` or final `Shutdown` broadcast has begun.
+    halting: AtomicBool,
+    /// The hub owner is tearing the fabric down locally.
+    stopping: AtomicBool,
+    /// Graph digest every worker must present. Fixed by the launcher or
+    /// by the first `Hello`.
+    digest: Mutex<Option<u64>>,
+}
+
+impl fmt::Debug for HubShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HubShared")
+            .field("shards", &self.shards)
+            .field("halting", &self.halting.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl HubShared {
+    fn new(
+        shards: usize,
+        timeout: Duration,
+        digest: Option<u64>,
+    ) -> (Arc<Self>, Vec<mpsc::Receiver<Item>>) {
+        let mut queues = Vec::with_capacity(shards);
+        let mut receivers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel();
+            queues.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(HubShared {
+            shards,
+            timeout,
+            queues,
+            conns: (0..shards).map(|_| ConnSlot::default()).collect(),
+            barrier: Mutex::new(BarrierState {
+                round: 0,
+                arrived: vec![false; shards],
+                count: 0,
+            }),
+            done: Mutex::new(vec![false; shards]),
+            fatal: Mutex::new(None),
+            halting: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            digest: Mutex::new(digest),
+        });
+        (shared, receivers)
+    }
+
+    fn enqueue_all(&self, bytes: &Bytes) {
+        for q in &self.queues {
+            let _ = q.send(Item::Frame(bytes.clone()));
+        }
+    }
+
+    fn finish_queues(&self) {
+        for q in &self.queues {
+            let _ = q.send(Item::Exit);
+        }
+    }
+
+    fn current_round(&self) -> u64 {
+        self.barrier.lock().expect("no poisoned barrier").round
+    }
+
+    /// Records the first fatal error and broadcasts `Error` + `Shutdown`
+    /// to every spoke, then releases the writers. Idempotent: echoes of
+    /// an ongoing teardown are dropped.
+    fn declare_fatal(&self, origin: u32, error: SimError) {
+        {
+            let mut slot = self.fatal.lock().expect("no poisoned fatal slot");
+            if slot.is_some() {
+                return;
+            }
+            *slot = Some(error.clone());
+        }
+        self.halting.store(true, Ordering::SeqCst);
+        self.enqueue_all(&ControlFrame::Error { origin, error }.encode());
+        self.enqueue_all(&ControlFrame::Shutdown { origin }.encode());
+        self.finish_queues();
+        self.wake_waiters();
+    }
+
+    fn mark_done(&self, shard: usize) {
+        let mut done = self.done.lock().expect("no poisoned done flags");
+        if done[shard] {
+            return;
+        }
+        done[shard] = true;
+        if done.iter().all(|&d| d) {
+            self.halting.store(true, Ordering::SeqCst);
+            self.enqueue_all(&ControlFrame::Shutdown { origin: HUB_ORIGIN }.encode());
+            self.finish_queues();
+            self.wake_waiters();
+        }
+    }
+
+    fn is_done(&self, shard: usize) -> bool {
+        self.done.lock().expect("no poisoned done flags")[shard]
+    }
+
+    fn halted(&self) -> bool {
+        self.halting.load(Ordering::SeqCst) || self.stopping.load(Ordering::SeqCst)
+    }
+
+    fn wake_waiters(&self) {
+        for slot in &self.conns {
+            // Touch the mutex so sleepers cannot miss the notify.
+            drop(slot.state.lock().expect("no poisoned conn slot"));
+            slot.changed.notify_all();
+        }
+    }
+
+    /// One shard's round barrier arrived. When the round is complete the
+    /// acknowledgement is enqueued to every destination *under the
+    /// barrier lock*, which orders it after every reader's enqueues of
+    /// that round's data frames.
+    fn on_barrier(&self, from: usize, round: u64) -> Result<(), SimError> {
+        let mut b = self.barrier.lock().expect("no poisoned barrier");
+        if round != b.round || b.arrived[from] {
+            return Err(SimError::Transport(TransportError {
+                shard: from,
+                round: b.round as usize,
+                cause: TransportCause::Io {
+                    detail: format!(
+                        "barrier desync: shard {from} closed round {round} while the fabric is in round {}",
+                        b.round
+                    ),
+                },
+            }));
+        }
+        b.arrived[from] = true;
+        b.count += 1;
+        if b.count == self.shards {
+            let ack = ControlFrame::RoundBarrier { round }.encode();
+            b.round += 1;
+            b.count = 0;
+            b.arrived.fill(false);
+            self.enqueue_all(&ack);
+        }
+        Ok(())
+    }
+
+    /// Installs (or replaces, on reconnect) shard `shard`'s connection
+    /// and wakes any reader/writer waiting out a dead stream.
+    fn register_conn(&self, shard: usize, stream: Stream) -> io::Result<()> {
+        let _ = stream.set_read_timeout(Some(READ_TICK));
+        let _ = stream.set_write_timeout(Some(self.timeout));
+        let read = stream.try_clone()?;
+        let keep = stream.try_clone()?;
+        let slot = &self.conns[shard];
+        let mut state = slot.state.lock().expect("no poisoned conn slot");
+        if let Some(old) = state.current.take() {
+            old.shutdown_both();
+        }
+        state.epoch += 1;
+        state.fresh_read = Some(read);
+        state.fresh_write = Some(stream);
+        state.current = Some(keep);
+        drop(state);
+        slot.changed.notify_all();
+        Ok(())
+    }
+
+    /// Validates a `Hello` against the fabric's expectations. Returns a
+    /// handshake failure detail on mismatch.
+    fn vet_hello(&self, conn: usize, hello: &ControlFrame) -> Result<(), String> {
+        let ControlFrame::Hello {
+            shard,
+            frame_version,
+            graph_digest,
+        } = hello
+        else {
+            return Err("first frame was not a hello".into());
+        };
+        if *shard as usize != conn {
+            return Err(format!(
+                "peer identified as shard {shard}, expected shard {conn}"
+            ));
+        }
+        let min = u32::from(FRAME_VERSION_MIN);
+        let max = u32::from(FRAME_VERSION);
+        if !(min..=max).contains(frame_version) {
+            return Err(format!(
+                "peer encodes frame version {frame_version}, this hub decodes v{min} through v{max}"
+            ));
+        }
+        let mut expected = self.digest.lock().expect("no poisoned digest");
+        match *expected {
+            Some(want) if want != *graph_digest => Err(format!(
+                "graph digest mismatch: peer loaded {graph_digest:#018x}, fabric expects {want:#018x}"
+            )),
+            Some(_) => Ok(()),
+            None => {
+                *expected = Some(*graph_digest);
+                Ok(())
+            }
+        }
+    }
+
+    /// Takes the fresh read half installed by [`Self::register_conn`].
+    fn take_fresh_read(&self, conn: usize) -> Option<(Stream, u64)> {
+        let mut state = self.conns[conn]
+            .state
+            .lock()
+            .expect("no poisoned conn slot");
+        state.fresh_read.take().map(|s| (s, state.epoch))
+    }
+
+    /// Waits up to the fabric timeout for a reconnect to supply a newer
+    /// stream half than `epoch`. `read` picks which half.
+    fn await_replacement(&self, conn: usize, epoch: u64, read: bool) -> Option<(Stream, u64)> {
+        let slot = &self.conns[conn];
+        let deadline = Instant::now() + self.timeout;
+        let mut state = slot.state.lock().expect("no poisoned conn slot");
+        loop {
+            if self.stopping.load(Ordering::SeqCst) {
+                return None;
+            }
+            if state.epoch > epoch {
+                let half = if read {
+                    state.fresh_read.take()
+                } else {
+                    state.fresh_write.take()
+                };
+                if let Some(s) = half {
+                    return Some((s, state.epoch));
+                }
+                // The matching half was already claimed by a newer
+                // thread; this stale waiter bows out.
+                return None;
+            }
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())?;
+            let (next, _timed_out) = slot
+                .changed
+                .wait_timeout(state, remaining)
+                .expect("no poisoned conn slot");
+            state = next;
+        }
+    }
+}
+
+/// The hub's `Hello` acknowledgement. Written *directly* to a freshly
+/// vetted stream by the vetting thread — never through the per-shard
+/// queue, which may already hold data frames from fast peers that would
+/// otherwise overtake the acknowledgement.
+fn hello_ack(shared: &HubShared, conn: usize) -> Bytes {
+    ControlFrame::Hello {
+        shard: conn as u32,
+        frame_version: u32::from(FRAME_VERSION),
+        graph_digest: shared
+            .digest
+            .lock()
+            .expect("no poisoned digest")
+            .unwrap_or(0),
+    }
+    .encode()
+}
+
+/// Pairs-mode connection driver: handshake on the raw hub-side stream,
+/// then register it (releasing the writer) and relay. Registration
+/// *after* the acknowledgement write is what guarantees the client sees
+/// the acknowledgement before any queued traffic.
+fn run_pairs_conn(shared: &Arc<HubShared>, conn: usize, mut stream: Stream) {
+    let _ = stream.set_read_timeout(Some(shared.timeout));
+    let _ = stream.set_write_timeout(Some(shared.timeout));
+    let fail = |detail: String| {
+        shared.declare_fatal(
+            conn as u32,
+            SimError::Transport(TransportError {
+                shard: conn,
+                round: 0,
+                cause: TransportCause::Handshake { detail },
+            }),
+        );
+    };
+    let hello = match read_wire_frame(&mut stream) {
+        Ok(Wire::Control(hello @ ControlFrame::Hello { .. })) => hello,
+        Ok(_) => return fail("first frame was not a hello".into()),
+        Err(ReadEnd::Tick | ReadEnd::Stalled) => {
+            return fail("no hello within the handshake deadline".into())
+        }
+        Err(_) => return fail("connection lost during the handshake".into()),
+    };
+    if let Err(detail) = shared.vet_hello(conn, &hello) {
+        return fail(detail);
+    }
+    let ack = hello_ack(shared, conn);
+    if stream
+        .write_all(ack.as_slice())
+        .and_then(|()| stream.flush())
+        .is_err()
+    {
+        return fail("hello acknowledgement write failed".into());
+    }
+    if shared.register_conn(conn, stream).is_err() {
+        return fail("connection registration failed".into());
+    }
+    run_reader(shared, conn);
+}
+
+/// Relay loop for one shard's incoming stream (handshake already done by
+/// [`run_pairs_conn`] or the accept thread; the stream arrives via
+/// [`HubShared::register_conn`]).
+fn run_reader(shared: &Arc<HubShared>, conn: usize) {
+    let Some((mut stream, mut epoch)) = shared.take_fresh_read(conn) else {
+        return;
+    };
+    loop {
+        if shared.halted() {
+            return;
+        }
+        match read_wire_frame(&mut stream) {
+            Ok(Wire::Data(frame)) => {
+                let (sender, dest) = data_addressing(&frame);
+                if sender != conn {
+                    shared.declare_fatal(
+                        conn as u32,
+                        SimError::Frame {
+                            shard: conn,
+                            round: shared.current_round() as usize,
+                            error: FrameError::Misrouted {
+                                expected: conn,
+                                found: sender,
+                            },
+                        },
+                    );
+                    return;
+                }
+                if dest >= shared.shards {
+                    shared.declare_fatal(
+                        conn as u32,
+                        SimError::Transport(TransportError {
+                            shard: conn,
+                            round: shared.current_round() as usize,
+                            cause: TransportCause::Io {
+                                detail: format!("frame addressed to nonexistent shard {dest}"),
+                            },
+                        }),
+                    );
+                    return;
+                }
+                let _ = shared.queues[dest].send(Item::Frame(frame));
+            }
+            Ok(Wire::Control(ControlFrame::RoundBarrier { round })) => {
+                if let Err(error) = shared.on_barrier(conn, round) {
+                    shared.declare_fatal(conn as u32, error);
+                    return;
+                }
+            }
+            Ok(Wire::Control(ControlFrame::Error { origin, error })) => {
+                shared.declare_fatal(origin, error);
+                return;
+            }
+            Ok(Wire::Control(ControlFrame::Shutdown { .. })) => {
+                shared.mark_done(conn);
+                return;
+            }
+            Ok(Wire::Control(ControlFrame::Hello { .. })) => {
+                shared.declare_fatal(
+                    conn as u32,
+                    SimError::Transport(TransportError {
+                        shard: conn,
+                        round: shared.current_round() as usize,
+                        cause: TransportCause::Io {
+                            detail: "unexpected hello mid-stream".into(),
+                        },
+                    }),
+                );
+                return;
+            }
+            Err(ReadEnd::Tick) => {}
+            Err(ReadEnd::Eof | ReadEnd::Io(_)) => {
+                if shared.is_done(conn) || shared.halted() {
+                    return;
+                }
+                // Grace window: a reconnect may replace this stream.
+                if let Some((fresh, e)) = shared.await_replacement(conn, epoch, true) {
+                    stream = fresh;
+                    epoch = e;
+                    continue;
+                }
+                if !shared.halted() {
+                    shared.declare_fatal(
+                        conn as u32,
+                        SimError::Transport(TransportError {
+                            shard: conn,
+                            round: shared.current_round() as usize,
+                            cause: TransportCause::Disconnected,
+                        }),
+                    );
+                }
+                return;
+            }
+            Err(ReadEnd::Stalled) => {
+                shared.declare_fatal(
+                    conn as u32,
+                    SimError::Transport(TransportError {
+                        shard: conn,
+                        round: shared.current_round() as usize,
+                        cause: TransportCause::Io {
+                            detail: "stream stalled mid-frame".into(),
+                        },
+                    }),
+                );
+                return;
+            }
+            Err(ReadEnd::Desync(detail)) => {
+                shared.declare_fatal(
+                    conn as u32,
+                    SimError::Transport(TransportError {
+                        shard: conn,
+                        round: shared.current_round() as usize,
+                        cause: TransportCause::Io { detail },
+                    }),
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Write loop for one shard's outgoing stream: drains the shard's queue,
+/// surviving one stream replacement per frame, declaring the shard gone
+/// (typed, fabric-wide) when a write can neither complete nor be
+/// retried.
+fn run_writer(shared: &Arc<HubShared>, conn: usize, rx: &mpsc::Receiver<Item>) {
+    let mut stream: Option<Stream> = None;
+    let mut epoch = 0u64;
+    let mut dead = false;
+    loop {
+        let item = match rx.recv() {
+            Ok(item) => item,
+            Err(_) => return,
+        };
+        let bytes = match item {
+            Item::Exit => {
+                if let Some(s) = &mut stream {
+                    let _ = s.flush();
+                    s.shutdown_both();
+                }
+                return;
+            }
+            Item::Frame(bytes) => bytes,
+        };
+        if dead {
+            continue; // drain so the queue cannot grow without bound
+        }
+        let mut attempts = 0;
+        loop {
+            if stream.is_none() {
+                match shared.await_replacement(conn, epoch, false) {
+                    Some((s, e)) => {
+                        stream = Some(s);
+                        epoch = e;
+                    }
+                    None => {
+                        dead = true;
+                        if !shared.halted() {
+                            shared.declare_fatal(
+                                conn as u32,
+                                SimError::Transport(TransportError {
+                                    shard: conn,
+                                    round: shared.current_round() as usize,
+                                    cause: TransportCause::Disconnected,
+                                }),
+                            );
+                        }
+                        break;
+                    }
+                }
+            }
+            let s = stream.as_mut().expect("stream was just installed");
+            match s.write_all(bytes.as_slice()).and_then(|()| s.flush()) {
+                Ok(()) => break,
+                Err(error) => {
+                    stream = None;
+                    attempts += 1;
+                    if attempts >= 2 {
+                        dead = true;
+                        if !shared.halted() {
+                            shared.declare_fatal(
+                                conn as u32,
+                                SimError::Transport(TransportError {
+                                    shard: conn,
+                                    round: shared.current_round() as usize,
+                                    cause: TransportCause::Io {
+                                        detail: format!("write to shard {conn} failed: {error}"),
+                                    },
+                                }),
+                            );
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The routing core shared by the in-process mesh and the
+/// process-per-shard launcher. Owns the relay threads; joined (with all
+/// blocking bounded) by [`Hub::stop_and_join`].
+#[derive(Debug)]
+pub(crate) struct Hub {
+    shared: Arc<HubShared>,
+    threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    unix_path: Option<PathBuf>,
+}
+
+impl Hub {
+    /// In-process fabric over `UnixStream::pair()`s — no listener, no
+    /// filesystem, no reconnect. Returns the hub and the client-side
+    /// stream of each shard.
+    fn new_pairs(shards: usize, timeout: Duration) -> io::Result<(Hub, Vec<Stream>)> {
+        let (shared, receivers) = HubShared::new(shards, timeout, None);
+        let threads = Arc::new(Mutex::new(Vec::new()));
+        let mut client_halves = Vec::with_capacity(shards);
+        {
+            let mut handles = threads.lock().expect("no poisoned thread list");
+            for (conn, rx) in receivers.into_iter().enumerate() {
+                let hub_shared = Arc::clone(&shared);
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("hub-writer-{conn}"))
+                        .spawn(move || run_writer(&hub_shared, conn, &rx))
+                        .expect("spawn hub writer"),
+                );
+            }
+            for conn in 0..shards {
+                let (client, hub_side) = UnixStream::pair()?;
+                client_halves.push(Stream::Unix(client));
+                let hub_shared = Arc::clone(&shared);
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("hub-reader-{conn}"))
+                        .spawn(move || run_pairs_conn(&hub_shared, conn, Stream::Unix(hub_side)))
+                        .expect("spawn hub reader"),
+                );
+            }
+        }
+        Ok((
+            Hub {
+                shared,
+                threads,
+                unix_path: None,
+            },
+            client_halves,
+        ))
+    }
+
+    /// Listening fabric for independent clients (worker processes, or
+    /// in-process TCP tests). The accept loop handshakes each
+    /// connection, installs it by shard id — replacing a dead
+    /// connection on reconnect — and keeps accepting until the fabric
+    /// halts.
+    pub(crate) fn listen(
+        addr: &HubAddr,
+        shards: usize,
+        timeout: Duration,
+        expected_digest: Option<u64>,
+    ) -> io::Result<(Hub, HubAddr)> {
+        let (listener, bound) = match addr {
+            HubAddr::Unix(path) => (
+                Listener::Unix(UnixListener::bind(path)?),
+                HubAddr::Unix(path.clone()),
+            ),
+            HubAddr::Tcp(req) => {
+                let l = TcpListener::bind(req)?;
+                let actual = l.local_addr()?;
+                (Listener::Tcp(l), HubAddr::Tcp(actual))
+            }
+        };
+        listener.set_nonblocking(true)?;
+        let (shared, receivers) = HubShared::new(shards, timeout, expected_digest);
+        let threads = Arc::new(Mutex::new(Vec::new()));
+        {
+            let mut handles = threads.lock().expect("no poisoned thread list");
+            for (conn, rx) in receivers.into_iter().enumerate() {
+                let hub_shared = Arc::clone(&shared);
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("hub-writer-{conn}"))
+                        .spawn(move || run_writer(&hub_shared, conn, &rx))
+                        .expect("spawn hub writer"),
+                );
+            }
+            let accept_shared = Arc::clone(&shared);
+            let accept_threads = Arc::clone(&threads);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("hub-accept".into())
+                    .spawn(move || run_accept(&accept_shared, &accept_threads, &listener))
+                    .expect("spawn hub accept loop"),
+            );
+        }
+        let unix_path = match &bound {
+            HubAddr::Unix(path) => Some(path.clone()),
+            HubAddr::Tcp(_) => None,
+        };
+        Ok((
+            Hub {
+                shared,
+                threads,
+                unix_path,
+            },
+            bound,
+        ))
+    }
+
+    /// The first fatal error the fabric recorded, if any.
+    pub(crate) fn first_error(&self) -> Option<SimError> {
+        self.shared
+            .fatal
+            .lock()
+            .expect("no poisoned fatal slot")
+            .clone()
+    }
+
+    /// Waits (polling) until the fabric halts — all shards shut down
+    /// orderly, or a fatal error was broadcast — or `limit` elapses.
+    /// Returns whether it halted.
+    pub(crate) fn wait_halted(&self, limit: Duration) -> bool {
+        let deadline = Instant::now() + limit;
+        while !self.shared.halting.load(Ordering::SeqCst) {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        true
+    }
+
+    /// Tears the fabric down: closes every connection, releases every
+    /// thread (all blocking in the hub is tick- or timeout-bounded), and
+    /// joins them. Safe to call on an already-halted hub.
+    pub(crate) fn stop_and_join(&mut self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        self.shared.finish_queues();
+        for slot in &self.shared.conns {
+            let state = slot.state.lock().expect("no poisoned conn slot");
+            if let Some(s) = &state.current {
+                s.shutdown_both();
+            }
+        }
+        self.shared.wake_waiters();
+        let handles = std::mem::take(&mut *self.threads.lock().expect("no poisoned thread list"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Kills shard `shard`'s current connection (fault-injection tests).
+    /// Waits for the registration if the accept thread has not finished
+    /// it yet — the client learns the handshake result slightly before
+    /// the hub records the connection.
+    #[cfg(test)]
+    fn sever(&self, shard: usize) {
+        for _ in 0..1000 {
+            {
+                let state = self.shared.conns[shard]
+                    .state
+                    .lock()
+                    .expect("no poisoned conn slot");
+                if let Some(s) = &state.current {
+                    s.shutdown_both();
+                    return;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("no connection to sever for shard {shard}");
+    }
+}
+
+impl Drop for Hub {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[derive(Debug)]
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+}
+
+/// Accept loop of a listening hub: handshake, register (initial connect
+/// or reconnect-replacement), spawn the reader on first registration.
+fn run_accept(
+    shared: &Arc<HubShared>,
+    threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    listener: &Listener,
+) {
+    while !shared.halted() {
+        let mut stream = match listener.accept() {
+            Ok(s) => s,
+            Err(e) if is_timeout(&e) => {
+                std::thread::sleep(Duration::from_millis(25));
+                continue;
+            }
+            Err(_) => return,
+        };
+        let _ = stream.set_read_timeout(Some(shared.timeout));
+        let _ = stream.set_write_timeout(Some(shared.timeout));
+        let hello = match read_wire_frame(&mut stream) {
+            Ok(Wire::Control(hello @ ControlFrame::Hello { .. })) => hello,
+            _ => {
+                // Not a worker (or it died mid-hello): refuse quietly.
+                stream.shutdown_both();
+                continue;
+            }
+        };
+        let ControlFrame::Hello { shard, .. } = &hello else {
+            unreachable!("matched as hello above");
+        };
+        let conn = *shard as usize;
+        if conn >= shared.shards {
+            let refusal = refusal_frame(
+                conn,
+                format!("shard {conn} outside the fabric's 0..{}", shared.shards),
+            );
+            let _ = stream.write_all(refusal.as_slice());
+            stream.shutdown_both();
+            continue;
+        }
+        if let Err(detail) = shared.vet_hello(conn, &hello) {
+            // Tell the connector why, then refuse fabric-wide: a worker
+            // that loaded the wrong graph poisons the whole run.
+            let refusal = refusal_frame(conn, detail.clone());
+            let _ = stream.write_all(refusal.as_slice());
+            stream.shutdown_both();
+            shared.declare_fatal(
+                conn as u32,
+                SimError::Transport(TransportError {
+                    shard: conn,
+                    round: 0,
+                    cause: TransportCause::Handshake { detail },
+                }),
+            );
+            continue;
+        }
+        // Acknowledge directly on the fresh stream, *before*
+        // registration hands it to the writer: queued traffic from fast
+        // peers must never overtake the acknowledgement.
+        let ack = hello_ack(shared, conn);
+        if stream
+            .write_all(ack.as_slice())
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            stream.shutdown_both();
+            continue;
+        }
+        let first_registration = {
+            let state = shared.conns[conn]
+                .state
+                .lock()
+                .expect("no poisoned conn slot");
+            state.epoch == 0
+        };
+        if shared.register_conn(conn, stream).is_err() {
+            continue;
+        }
+        if first_registration {
+            let hub_shared = Arc::clone(shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("hub-reader-{conn}"))
+                .spawn(move || run_reader(&hub_shared, conn))
+                .expect("spawn hub reader");
+            threads
+                .lock()
+                .expect("no poisoned thread list")
+                .push(handle);
+        }
+    }
+}
+
+fn refusal_frame(shard: usize, detail: String) -> Bytes {
+    ControlFrame::Error {
+        origin: HUB_ORIGIN,
+        error: SimError::Transport(TransportError {
+            shard,
+            round: 0,
+            cause: TransportCause::Handshake { detail },
+        }),
+    }
+    .encode()
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// One shard's endpoint of the socket fabric: sends this shard's frames
+/// (auto-closing each round with a `RoundBarrier` after `shards` sends),
+/// and collects the round's incoming frames with a deadline.
+///
+/// Used in-process by [`SocketTransport`] and directly by
+/// [`super::run_worker`] in worker processes. All blocking is bounded by
+/// the configured timeout; every terminal failure is sticky and typed.
+#[derive(Debug)]
+pub struct HubClient {
+    shard: usize,
+    shards: usize,
+    timeout: Duration,
+    graph_digest: u64,
+    link: Mutex<Stream>,
+    /// Redial target; `None` in pairs mode (no reconnect possible).
+    addr: Option<HubAddr>,
+    /// One-shot reconnect budget.
+    reconnected: AtomicBool,
+    sends_this_round: AtomicUsize,
+    barrier_round: AtomicU64,
+    collect_round: AtomicU64,
+    /// Data frames that arrived ahead of their round (a fast peer can
+    /// legally run one round ahead of this shard's collect).
+    pending: Mutex<VecDeque<Bytes>>,
+    /// The structured error a peer reported via an `Error` frame.
+    remote: Mutex<Option<SimError>>,
+    /// First local transport failure; sticky — every later send is a
+    /// no-op and every later collect returns it again.
+    fatal: Mutex<Option<TransportError>>,
+    frames_retried: AtomicUsize,
+    collect_wait_ns: AtomicU64,
+}
+
+impl HubClient {
+    /// Dials a listening hub and performs the `Hello` handshake.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`TransportError`] when the dial, the handshake exchange,
+    /// or the hub's validation fails (cause
+    /// [`TransportCause::Handshake`] for rejections, `Io`/`Timeout` for
+    /// link trouble).
+    pub fn connect(
+        addr: &HubAddr,
+        shard: usize,
+        shards: usize,
+        graph_digest: u64,
+        timeout: Duration,
+    ) -> Result<HubClient, TransportError> {
+        let fail = |cause| TransportError {
+            shard,
+            round: 0,
+            cause,
+        };
+        let mut stream = addr.connect(timeout).map_err(|e| {
+            fail(TransportCause::Io {
+                detail: format!("connect to {addr} failed: {e}"),
+            })
+        })?;
+        handshake(&mut stream, shard, graph_digest, timeout).map_err(fail)?;
+        Ok(Self::from_parts(
+            stream,
+            Some(addr.clone()),
+            shard,
+            shards,
+            graph_digest,
+            timeout,
+        ))
+    }
+
+    /// Wraps a pre-connected stream (pairs mode) and performs the
+    /// handshake on it.
+    fn from_stream(
+        mut stream: Stream,
+        shard: usize,
+        shards: usize,
+        timeout: Duration,
+    ) -> Result<HubClient, TransportError> {
+        handshake(&mut stream, shard, 0, timeout).map_err(|cause| TransportError {
+            shard,
+            round: 0,
+            cause,
+        })?;
+        Ok(Self::from_parts(stream, None, shard, shards, 0, timeout))
+    }
+
+    fn from_parts(
+        stream: Stream,
+        addr: Option<HubAddr>,
+        shard: usize,
+        shards: usize,
+        graph_digest: u64,
+        timeout: Duration,
+    ) -> HubClient {
+        HubClient {
+            shard,
+            shards,
+            timeout,
+            graph_digest,
+            link: Mutex::new(stream),
+            addr,
+            reconnected: AtomicBool::new(false),
+            sends_this_round: AtomicUsize::new(0),
+            barrier_round: AtomicU64::new(0),
+            collect_round: AtomicU64::new(0),
+            pending: Mutex::new(VecDeque::new()),
+            remote: Mutex::new(None),
+            fatal: Mutex::new(None),
+            frames_retried: AtomicUsize::new(0),
+            collect_wait_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// This client's shard index.
+    #[must_use]
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Shard count of the fabric.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The structured error a peer reported, if any — richer than the
+    /// rendered [`TransportCause::Remote`] the collect error carries.
+    #[must_use]
+    pub fn remote_error(&self) -> Option<SimError> {
+        self.remote.lock().expect("no poisoned remote slot").clone()
+    }
+
+    /// Transport health counters accumulated so far.
+    #[must_use]
+    pub fn health(&self) -> TransportHealth {
+        TransportHealth {
+            frames_retried: self.frames_retried.load(Ordering::Relaxed),
+            frames_dropped_injected: 0,
+            collect_wait_ns: self.collect_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One-shot reconnect-with-handshake. Consumes the budget even on
+    /// failure; counts into `frames_retried` on success.
+    fn reconnect(&self, link: &mut Stream, first_detail: &str) -> Result<(), TransportCause> {
+        let Some(addr) = &self.addr else {
+            return Err(TransportCause::Io {
+                detail: format!("{first_detail} (no hub address to reconnect to)"),
+            });
+        };
+        if self.reconnected.swap(true, Ordering::SeqCst) {
+            return Err(TransportCause::Io {
+                detail: format!("{first_detail} (reconnect already spent)"),
+            });
+        }
+        let mut fresh = addr.connect(self.timeout).map_err(|e| TransportCause::Io {
+            detail: format!("{first_detail}; reconnect failed: {e}"),
+        })?;
+        handshake(&mut fresh, self.shard, self.graph_digest, self.timeout)?;
+        self.frames_retried.fetch_add(1, Ordering::Relaxed);
+        *link = fresh;
+        Ok(())
+    }
+
+    fn write_with_retry(&self, link: &mut Stream, bytes: &[u8]) -> Result<(), TransportCause> {
+        match link.write_all(bytes).and_then(|()| link.flush()) {
+            Ok(()) => Ok(()),
+            Err(first) => {
+                self.reconnect(link, &first.to_string())?;
+                self.frames_retried.fetch_add(1, Ordering::Relaxed);
+                link.write_all(bytes)
+                    .and_then(|()| link.flush())
+                    .map_err(|e| TransportCause::Io {
+                        detail: format!("retried write failed: {e}"),
+                    })
+            }
+        }
+    }
+
+    fn set_fatal(&self, error: TransportError) {
+        let mut slot = self.fatal.lock().expect("no poisoned fatal slot");
+        if slot.is_none() {
+            *slot = Some(error);
+        }
+    }
+
+    fn taken_fatal(&self) -> Option<TransportError> {
+        self.fatal.lock().expect("no poisoned fatal slot").clone()
+    }
+
+    /// Ships one data frame to `to`. The `shards`-th send of a round
+    /// automatically closes the round with a `RoundBarrier`. Write
+    /// failures consume the one-shot reconnect, then become sticky: the
+    /// next [`HubClient::collect`] surfaces them typed.
+    pub fn send(&self, to: usize, frame: Bytes) {
+        debug_assert!(to < self.shards, "destination shard out of range");
+        if self.taken_fatal().is_some() {
+            return;
+        }
+        let mut link = self.link.lock().expect("no poisoned link");
+        let round = self.barrier_round.load(Ordering::Relaxed);
+        if let Err(cause) = self.write_with_retry(&mut link, frame.as_slice()) {
+            self.set_fatal(TransportError {
+                shard: self.shard,
+                round: round as usize,
+                cause,
+            });
+            return;
+        }
+        let sent = self.sends_this_round.fetch_add(1, Ordering::Relaxed) + 1;
+        if sent == self.shards {
+            self.sends_this_round.store(0, Ordering::Relaxed);
+            self.barrier_round.store(round + 1, Ordering::Relaxed);
+            let barrier = ControlFrame::RoundBarrier { round }.encode();
+            if let Err(cause) = self.write_with_retry(&mut link, barrier.as_slice()) {
+                self.set_fatal(TransportError {
+                    shard: self.shard,
+                    round: round as usize,
+                    cause,
+                });
+            }
+        }
+    }
+
+    /// Reports this shard's own failure to the fabric (best effort) so
+    /// peers stop with the structured error instead of a timeout.
+    pub fn report_error(&self, error: &SimError) {
+        let frame = ControlFrame::Error {
+            origin: self.shard as u32,
+            error: error.clone(),
+        }
+        .encode();
+        let mut link = self.link.lock().expect("no poisoned link");
+        let _ = link.write_all(frame.as_slice()).and_then(|()| link.flush());
+    }
+
+    /// Announces orderly completion (best effort).
+    pub fn send_shutdown(&self) {
+        let frame = ControlFrame::Shutdown {
+            origin: self.shard as u32,
+        }
+        .encode();
+        let mut link = self.link.lock().expect("no poisoned link");
+        let _ = link.write_all(frame.as_slice()).and_then(|()| link.flush());
+    }
+
+    fn blame_shard(&self, into: &[Option<Bytes>]) -> usize {
+        into.iter().position(Option::is_none).unwrap_or(self.shard)
+    }
+
+    /// Collects one round: blocks until every sender's slot is filled
+    /// *and* the hub's barrier acknowledgement for this round arrived,
+    /// or the deadline passes.
+    ///
+    /// Deadline expiry with the acknowledgement in hand returns `Ok`
+    /// with the gaps left `None` — the hub provably relayed everything
+    /// it got, so the engine's place phase reports the precise
+    /// [`FrameError::MissingFrame`]. Expiry without the acknowledgement
+    /// is a typed [`TransportCause::Timeout`].
+    ///
+    /// # Errors
+    ///
+    /// A [`TransportError`] on timeout, disconnect (after the one-shot
+    /// reconnect), desync, or when a peer's `Error` frame arrives (the
+    /// structured original stays available via
+    /// [`HubClient::remote_error`]). All failures are sticky.
+    pub fn collect(&self, into: &mut [Option<Bytes>]) -> Result<(), TransportError> {
+        let round = self.collect_round.load(Ordering::Relaxed) as usize;
+        if let Some(error) = self.taken_fatal() {
+            return Err(error);
+        }
+        let start = Instant::now();
+        let deadline = start + self.timeout;
+        let mut link = self.link.lock().expect("no poisoned link");
+        {
+            let mut pending = self.pending.lock().expect("no poisoned pending queue");
+            let mut keep = VecDeque::new();
+            while let Some(frame) = pending.pop_front() {
+                if !file_slot(into, &frame) {
+                    keep.push_back(frame);
+                }
+            }
+            *pending = keep;
+        }
+        let mut got_ack = false;
+        let result = loop {
+            if got_ack && into.iter().all(Option::is_some) {
+                break Ok(());
+            }
+            let Some(remaining) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                break if got_ack {
+                    // Barrier seen: anything still missing was never
+                    // shipped; place reports it as MissingFrame.
+                    Ok(())
+                } else {
+                    Err(TransportError {
+                        shard: self.blame_shard(into),
+                        round,
+                        cause: TransportCause::Timeout {
+                            waited_ms: start.elapsed().as_millis() as u64,
+                        },
+                    })
+                };
+            };
+            let _ = link.set_read_timeout(Some(remaining));
+            match read_wire_frame(&mut link) {
+                Ok(Wire::Data(frame)) => {
+                    if !file_slot(into, &frame) {
+                        // Already have this sender's frame this round:
+                        // a fast peer running one round ahead.
+                        self.pending
+                            .lock()
+                            .expect("no poisoned pending queue")
+                            .push_back(frame);
+                    }
+                }
+                Ok(Wire::Control(ControlFrame::RoundBarrier { round: acked })) => {
+                    match acked.cmp(&(round as u64)) {
+                        std::cmp::Ordering::Equal => got_ack = true,
+                        // A stale ack can replay after a reconnect.
+                        std::cmp::Ordering::Less => {}
+                        std::cmp::Ordering::Greater => {
+                            break Err(TransportError {
+                                shard: self.shard,
+                                round,
+                                cause: TransportCause::Io {
+                                    detail: format!(
+                                        "barrier acknowledgement for round {acked} while collecting round {round}"
+                                    ),
+                                },
+                            });
+                        }
+                    }
+                }
+                Ok(Wire::Control(ControlFrame::Error { origin, error })) => {
+                    *self.remote.lock().expect("no poisoned remote slot") = Some(error.clone());
+                    break Err(match error {
+                        SimError::Transport(e) => e,
+                        other => TransportError {
+                            shard: origin as usize,
+                            round,
+                            cause: TransportCause::Remote {
+                                message: other.to_string(),
+                            },
+                        },
+                    });
+                }
+                Ok(Wire::Control(ControlFrame::Shutdown { origin })) => {
+                    break Err(TransportError {
+                        shard: if origin == HUB_ORIGIN {
+                            self.blame_shard(into)
+                        } else {
+                            origin as usize
+                        },
+                        round,
+                        cause: TransportCause::Disconnected,
+                    });
+                }
+                Ok(Wire::Control(ControlFrame::Hello { .. })) => {
+                    break Err(TransportError {
+                        shard: self.shard,
+                        round,
+                        cause: TransportCause::Io {
+                            detail: "unexpected hello mid-stream".into(),
+                        },
+                    });
+                }
+                Err(ReadEnd::Tick | ReadEnd::Stalled) => {
+                    // Deadline recheck happens at the loop head.
+                }
+                Err(ReadEnd::Eof) => {
+                    if let Err(cause) = self.reconnect(&mut link, "hub closed the connection") {
+                        break Err(TransportError {
+                            shard: self.blame_shard(into),
+                            round,
+                            cause: match cause {
+                                TransportCause::Io { .. } => TransportCause::Disconnected,
+                                other => other,
+                            },
+                        });
+                    }
+                }
+                Err(ReadEnd::Io(detail)) => {
+                    if let Err(cause) = self.reconnect(&mut link, &detail) {
+                        break Err(TransportError {
+                            shard: self.blame_shard(into),
+                            round,
+                            cause,
+                        });
+                    }
+                }
+                Err(ReadEnd::Desync(detail)) => {
+                    break Err(TransportError {
+                        shard: self.shard,
+                        round,
+                        cause: TransportCause::Io { detail },
+                    });
+                }
+            }
+        };
+        self.collect_wait_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        match result {
+            Ok(()) => {
+                self.collect_round.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(error) => {
+                self.set_fatal(error.clone());
+                Err(error)
+            }
+        }
+    }
+}
+
+/// Files a data frame into its sender's slot; `false` if the slot is
+/// already taken (a frame from a future round) or the sender is out of
+/// range.
+fn file_slot(into: &mut [Option<Bytes>], frame: &Bytes) -> bool {
+    let (sender, _dest) = data_addressing(frame);
+    match into.get_mut(sender) {
+        Some(slot @ None) => {
+            *slot = Some(frame.clone());
+            true
+        }
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// SocketTransport
+// ---------------------------------------------------------------------
+
+/// [`Transport`] over real sockets: `shards` [`HubClient`] spokes around
+/// an in-process [`Hub`]. Selected by `NETDECOMP_BACKEND=socket`;
+/// produces bit-identical results to the loopback and channel backends.
+#[derive(Debug)]
+pub struct SocketTransport {
+    clients: Vec<HubClient>,
+    hub: Option<Hub>,
+}
+
+impl SocketTransport {
+    /// Unix-domain fabric over socketpairs (no filesystem footprint).
+    /// Timeout from [`super::frame_timeout`].
+    ///
+    /// # Panics
+    ///
+    /// If the OS refuses socketpair or thread resources at construction
+    /// (runtime failures are all typed errors, never panics).
+    #[must_use]
+    pub fn unix_mesh(shards: usize) -> SocketTransport {
+        Self::unix_mesh_with_timeout(shards, super::frame_timeout())
+    }
+
+    /// [`SocketTransport::unix_mesh`] with an explicit deadline, for
+    /// tests that exercise timeout paths quickly.
+    ///
+    /// # Panics
+    ///
+    /// As [`SocketTransport::unix_mesh`].
+    #[must_use]
+    pub fn unix_mesh_with_timeout(shards: usize, timeout: Duration) -> SocketTransport {
+        let shards = shards.max(1);
+        let (hub, halves) = Hub::new_pairs(shards, timeout).expect("unix socketpair fabric");
+        let clients = halves
+            .into_iter()
+            .enumerate()
+            .map(|(shard, stream)| {
+                HubClient::from_stream(stream, shard, shards, timeout)
+                    .expect("in-process handshake")
+            })
+            .collect();
+        SocketTransport {
+            clients,
+            hub: Some(hub),
+        }
+    }
+
+    /// This shard's fabric endpoint, for drivers that talk to one shard
+    /// directly (e.g. [`super::run_worker`]) or inspect a shard's
+    /// [`HubClient::remote_error`] after a failed run.
+    #[must_use]
+    pub fn client(&self, shard: usize) -> &HubClient {
+        &self.clients[shard]
+    }
+
+    /// TCP loopback fabric through a real listener — the same
+    /// accept/handshake path worker processes use.
+    ///
+    /// # Panics
+    ///
+    /// If binding the loopback listener or connecting to it fails at
+    /// construction.
+    #[must_use]
+    pub fn tcp_mesh(shards: usize) -> SocketTransport {
+        Self::tcp_mesh_with_timeout(shards, super::frame_timeout())
+    }
+
+    /// [`SocketTransport::tcp_mesh`] with an explicit deadline.
+    ///
+    /// # Panics
+    ///
+    /// As [`SocketTransport::tcp_mesh`].
+    #[must_use]
+    pub fn tcp_mesh_with_timeout(shards: usize, timeout: Duration) -> SocketTransport {
+        let shards = shards.max(1);
+        let request = HubAddr::Tcp(SocketAddr::from(([127, 0, 0, 1], 0)));
+        let (hub, addr) =
+            Hub::listen(&request, shards, timeout, None).expect("loopback tcp fabric");
+        let clients = (0..shards)
+            .map(|shard| {
+                HubClient::connect(&addr, shard, shards, 0, timeout)
+                    .expect("loopback tcp handshake")
+            })
+            .collect();
+        SocketTransport {
+            clients,
+            hub: Some(hub),
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn send(&self, from: usize, to: usize, frame: Bytes) {
+        self.clients[from].send(to, frame);
+    }
+
+    fn collect(&self, to: usize, into: &mut [Option<Bytes>]) -> Result<(), TransportError> {
+        self.clients[to].collect(into)
+    }
+
+    fn health(&self) -> TransportHealth {
+        let mut health = TransportHealth::default();
+        for client in &self.clients {
+            health.absorb(client.health());
+        }
+        health
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        for client in &self.clients {
+            client.send_shutdown();
+        }
+        if let Some(mut hub) = self.hub.take() {
+            hub.stop_and_join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameBuilder;
+
+    const FAST: Duration = Duration::from_millis(300);
+
+    /// A minimal valid data frame from `sender` to `dest`, tagged with
+    /// one payload byte so tests can tell frames apart.
+    fn data_frame(sender: usize, dest: usize, tag: u8) -> Bytes {
+        let mut b = FrameBuilder::new();
+        b.begin(sender, dest);
+        b.push(0, 0..1, &[tag]);
+        b.finish()
+    }
+
+    fn collect_all(mesh: &SocketTransport, shards: usize) -> Vec<Vec<Option<Bytes>>> {
+        (0..shards)
+            .map(|to| {
+                let mut slots = vec![None; shards];
+                mesh.collect(to, &mut slots).unwrap();
+                slots
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unix_mesh_routes_a_full_round() {
+        let shards = 3;
+        let mesh = SocketTransport::unix_mesh_with_timeout(shards, Duration::from_secs(5));
+        for from in 0..shards {
+            for to in 0..shards {
+                mesh.send(from, to, data_frame(from, to, (from * shards + to) as u8));
+            }
+        }
+        let got = collect_all(&mesh, shards);
+        for (to, slots) in got.iter().enumerate() {
+            for (from, slot) in slots.iter().enumerate() {
+                let frame = slot.as_ref().expect("frame must arrive");
+                assert_eq!(
+                    frame.as_slice(),
+                    data_frame(from, to, (from * shards + to) as u8).as_slice()
+                );
+            }
+        }
+        assert!(mesh.health().collect_wait_ns > 0);
+        assert_eq!(mesh.health().frames_retried, 0);
+    }
+
+    #[test]
+    fn tcp_mesh_routes_a_full_round() {
+        let shards = 2;
+        let mesh = SocketTransport::tcp_mesh_with_timeout(shards, Duration::from_secs(5));
+        for from in 0..shards {
+            for to in 0..shards {
+                mesh.send(from, to, data_frame(from, to, 7));
+            }
+        }
+        let got = collect_all(&mesh, shards);
+        assert!(got.iter().flatten().all(Option::is_some));
+    }
+
+    #[test]
+    fn a_round_ahead_peer_is_buffered_not_lost() {
+        let shards = 2;
+        let mesh = SocketTransport::unix_mesh_with_timeout(shards, Duration::from_secs(5));
+        // Round 0: both shards ship.
+        for from in 0..shards {
+            for to in 0..shards {
+                mesh.send(from, to, data_frame(from, to, 10 + from as u8));
+            }
+        }
+        // Shard 0 collects round 0 and immediately ships round 1 while
+        // shard 1 has not collected round 0 yet.
+        let mut slots = vec![None; shards];
+        mesh.collect(0, &mut slots).unwrap();
+        for to in 0..shards {
+            mesh.send(0, to, data_frame(0, to, 20));
+        }
+        // Shard 1 now collects round 0 — it must see round 0's frames,
+        // with shard 0's round-1 frame parked, not misfiled.
+        let mut slots = vec![None; shards];
+        mesh.collect(1, &mut slots).unwrap();
+        assert_eq!(
+            slots[0].as_ref().unwrap().as_slice(),
+            data_frame(0, 1, 10).as_slice()
+        );
+        assert_eq!(
+            slots[1].as_ref().unwrap().as_slice(),
+            data_frame(1, 1, 11).as_slice()
+        );
+        // Round 1 completes once shard 1 ships it.
+        for to in 0..shards {
+            mesh.send(1, to, data_frame(1, to, 21));
+        }
+        let got = collect_all(&mesh, shards);
+        for (to, slots) in got.iter().enumerate() {
+            assert_eq!(
+                slots[0].as_ref().unwrap().as_slice(),
+                data_frame(0, to, 20).as_slice()
+            );
+            assert_eq!(
+                slots[1].as_ref().unwrap().as_slice(),
+                data_frame(1, to, 21).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn missing_barrier_times_out_typed() {
+        let shards = 2;
+        let mesh = SocketTransport::unix_mesh_with_timeout(shards, FAST);
+        // Shard 0 ships its whole round; shard 1 never does.
+        for to in 0..shards {
+            mesh.send(0, to, data_frame(0, to, 1));
+        }
+        let started = Instant::now();
+        let mut slots = vec![None; shards];
+        let error = mesh.collect(0, &mut slots).unwrap_err();
+        assert!(
+            matches!(error.cause, TransportCause::Timeout { .. }),
+            "{error}"
+        );
+        assert_eq!(error.shard, 1, "the silent peer gets the blame");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "timeout must be prompt, took {:?}",
+            started.elapsed()
+        );
+        // And the failure is sticky.
+        let again = mesh.collect(0, &mut vec![None; shards]).unwrap_err();
+        assert_eq!(again.shard, 1);
+    }
+
+    #[test]
+    fn dead_peer_becomes_a_typed_disconnect_for_everyone() {
+        let shards = 2;
+        let (hub, mut halves) = Hub::new_pairs(shards, FAST).unwrap();
+        let c1_stream = halves.pop().unwrap();
+        let c0 = HubClient::from_stream(halves.pop().unwrap(), 0, shards, FAST).unwrap();
+        let c1 = HubClient::from_stream(c1_stream, 1, shards, FAST).unwrap();
+        drop(c1); // shard 1 "dies": its socket closes
+        let started = Instant::now();
+        let mut slots = vec![None; shards];
+        let error = c0.collect(&mut slots).unwrap_err();
+        assert!(
+            matches!(error.cause, TransportCause::Disconnected)
+                || matches!(error.cause, TransportCause::Timeout { .. }),
+            "want disconnect/timeout, got {error}"
+        );
+        assert!(started.elapsed() < Duration::from_secs(10));
+        drop(hub);
+    }
+
+    #[test]
+    fn peer_error_reports_surface_structured() {
+        let shards = 2;
+        let mesh = SocketTransport::unix_mesh_with_timeout(shards, Duration::from_secs(5));
+        let reported = SimError::RoundLimitExceeded { limit: 3 };
+        mesh.clients[0].report_error(&reported);
+        let mut slots = vec![None; shards];
+        let error = mesh.clients[1].collect(&mut slots).unwrap_err();
+        assert_eq!(error.shard, 0);
+        assert!(
+            matches!(error.cause, TransportCause::Remote { .. }),
+            "{error}"
+        );
+        assert_eq!(mesh.clients[1].remote_error(), Some(reported));
+    }
+
+    #[test]
+    fn handshake_rejects_wrong_digest() {
+        let request = HubAddr::Unix(test_socket_path("digest"));
+        let (hub, addr) = Hub::listen(&request, 1, FAST, Some(42)).unwrap();
+        let error = HubClient::connect(&addr, 0, 1, 7, FAST).unwrap_err();
+        assert!(
+            matches!(error.cause, TransportCause::Handshake { .. }),
+            "want handshake rejection, got {error}"
+        );
+        drop(hub);
+    }
+
+    #[test]
+    fn handshake_rejects_foreign_shard_ids() {
+        let request = HubAddr::Unix(test_socket_path("shardid"));
+        let (hub, addr) = Hub::listen(&request, 2, FAST, None).unwrap();
+        let error = HubClient::connect(&addr, 9, 2, 0, FAST).unwrap_err();
+        assert!(
+            matches!(error.cause, TransportCause::Handshake { .. }),
+            "{error}"
+        );
+        drop(hub);
+    }
+
+    #[test]
+    fn severed_link_reconnects_once_and_delivers() {
+        let request = HubAddr::Unix(test_socket_path("reconnect"));
+        let (hub, addr) = Hub::listen(&request, 1, Duration::from_secs(5), None).unwrap();
+        let client = HubClient::connect(&addr, 0, 1, 0, Duration::from_secs(5)).unwrap();
+        hub.sever(0);
+        // Give the kernel a beat to surface the close on the client side.
+        std::thread::sleep(Duration::from_millis(50));
+        client.send(0, data_frame(0, 0, 9));
+        let mut slots = vec![None; 1];
+        client.collect(&mut slots).unwrap();
+        assert_eq!(
+            slots[0].as_ref().unwrap().as_slice(),
+            data_frame(0, 0, 9).as_slice()
+        );
+        assert!(
+            client.health().frames_retried > 0,
+            "reconnect must be counted"
+        );
+        drop(hub);
+    }
+
+    #[test]
+    fn hub_addr_round_trips_through_strings() {
+        let unix = HubAddr::Unix(PathBuf::from("/tmp/x.sock"));
+        assert_eq!(unix.to_string().parse::<HubAddr>().unwrap(), unix);
+        let tcp = HubAddr::Tcp(SocketAddr::from(([127, 0, 0, 1], 4040)));
+        assert_eq!(tcp.to_string().parse::<HubAddr>().unwrap(), tcp);
+        assert!("garbage".parse::<HubAddr>().is_err());
+        assert!("tcp:not-an-addr".parse::<HubAddr>().is_err());
+    }
+
+    fn test_socket_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "netdecomp-test-{}-{tag}-{n}.sock",
+            std::process::id()
+        ))
+    }
+}

@@ -1,0 +1,360 @@
+//! The single-shard round driver a worker process runs.
+//!
+//! A distributed run puts one OS process on each shard. Every worker
+//! loads the graph independently, computes the same
+//! [`ShardPlan::degree_balanced`] partition, and drives only its own
+//! vertex range through the engine's compute → account → ship → place
+//! phases, with a [`HubClient`] as the delivery fabric. The phase code
+//! is the *same* code the in-process engine runs
+//! ([`crate::transport::worker`] calls into the engine's shard
+//! machinery, not a reimplementation), which is what makes the
+//! process-per-shard deployment bit-identical to the shared-memory
+//! backends.
+//!
+//! Failure contract: a local violation (CONGEST overrun, frame decode
+//! failure) is reported to the fabric as an `Error` control frame before
+//! the worker exits, so peers stop on the structured error instead of a
+//! timeout; a peer or link failure arrives as a typed
+//! [`SimError::Transport`] out of the collect path. Either way
+//! [`run_worker`] returns the error — it never hangs and never panics on
+//! runtime failures.
+
+use bytes::Bytes;
+use netdecomp_graph::{Graph, VertexId};
+
+use crate::engine::{compute_shard, Ctx, Protocol};
+use crate::frame::{FrameConfig, FrameEncoder, Transport};
+use crate::shard::{DeliveryShard, RouteIndex, Router, ShardPlan};
+use crate::{CongestLimit, Outbox, RunStats, SimError, TransportCause, TransportError};
+
+use super::HubClient;
+
+/// What one worker needs to know to drive its shard.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// This worker's shard index.
+    pub shard: usize,
+    /// Total shard (= worker) count of the run.
+    pub shards: usize,
+    /// Number of rounds to execute.
+    pub rounds: usize,
+    /// CONGEST byte budget, enforced identically to the in-process
+    /// engine.
+    pub limit: CongestLimit,
+}
+
+/// What a worker hands back after its run.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerReport {
+    /// Rounds fully committed before return.
+    pub rounds_run: usize,
+    /// This shard's accumulated message statistics (the launcher can sum
+    /// reports across workers; per-round message counts partition over
+    /// sender shards).
+    pub stats: RunStats,
+}
+
+/// Adapts a [`HubClient`] (one shard's fabric endpoint) to the
+/// [`Transport`] seam the engine's shard machinery expects.
+#[derive(Debug)]
+struct ClientTransport<'a> {
+    client: &'a HubClient,
+}
+
+impl Transport for ClientTransport<'_> {
+    fn send(&self, from: usize, to: usize, frame: Bytes) {
+        debug_assert_eq!(
+            from,
+            self.client.shard(),
+            "a worker ships only its own frames"
+        );
+        self.client.send(to, frame);
+    }
+
+    fn collect(&self, _to: usize, into: &mut [Option<Bytes>]) -> Result<(), TransportError> {
+        self.client.collect(into)
+    }
+}
+
+/// Runs `config.rounds` rounds of protocol `P` for one shard of the
+/// fabric, returning the report and the shard's final node states (in
+/// vertex-id order over the shard's range).
+///
+/// `make_node` sees exactly what [`crate::Simulator::new`]'s closure
+/// sees, so the same constructor drives both deployments.
+///
+/// # Errors
+///
+/// The first [`SimError`] the round loop hits: this shard's own CONGEST
+/// or frame violation (reported to peers before returning), a peer's
+/// structured error relayed by the hub, or a typed
+/// [`SimError::Transport`] when the fabric times out, disconnects, or
+/// desyncs.
+pub fn run_worker<P, F>(
+    graph: &Graph,
+    client: &HubClient,
+    config: &WorkerConfig,
+    mut make_node: F,
+) -> Result<(WorkerReport, Vec<P>), SimError>
+where
+    P: Protocol,
+    F: FnMut(VertexId, &Ctx<'_>) -> P,
+{
+    let plan = ShardPlan::degree_balanced(graph, config.shards);
+    if plan.count() != config.shards || config.shard >= config.shards {
+        // The plan clamps to the vertex count; a fabric larger than the
+        // graph (or a shard index outside it) cannot agree on a
+        // partition, and every worker must fail the same typed way.
+        return Err(SimError::Transport(TransportError {
+            shard: config.shard,
+            round: 0,
+            cause: TransportCause::Handshake {
+                detail: format!(
+                    "no {}-shard plan over {} vertices (plan has {} shards)",
+                    config.shards,
+                    graph.vertex_count(),
+                    plan.count()
+                ),
+            },
+        }));
+    }
+    let me = config.shard;
+    let n = graph.vertex_count();
+    let routes = RouteIndex::new(graph, &plan);
+    let bounds = plan.boundaries().to_vec();
+    let range = plan.range(me);
+    let mut shard = DeliveryShard::new(graph, range.start, range.end);
+    let mut nodes: Vec<P> = range
+        .clone()
+        .map(|id| make_node(id, &Ctx::new(id, n, graph)))
+        .collect();
+    let mut outboxes = vec![Outbox::new(); nodes.len()];
+    let mut router = Router::default();
+    let mut encoder = FrameEncoder::new(config.shards, FrameConfig::from_env());
+    let transport = ClientTransport { client };
+    let mut report = WorkerReport::default();
+
+    let fail = |client: &HubClient, local: SimError| {
+        // A structured peer error beats our local rendering of it; a
+        // local diagnosis (CONGEST, decode, even a collect timeout) is
+        // news the fabric should halt on — report it best-effort (the
+        // hub keeps the first error, so echoes are harmless).
+        match client.remote_error() {
+            Some(remote) => {
+                client.send_shutdown();
+                remote
+            }
+            None => {
+                client.report_error(&local);
+                client.send_shutdown();
+                local
+            }
+        }
+    };
+
+    for round in 0..config.rounds {
+        if let Some(error) = client.remote_error() {
+            client.send_shutdown();
+            return Err(error);
+        }
+        compute_shard(graph, round > 0, &shard, &mut nodes, &mut outboxes);
+        let ok = shard.account(graph, &routes, config.limit, round, &outboxes, &mut router);
+        // Ship even when accounting failed: peers expect exactly one
+        // frame per link per round (partial buckets hold only refs
+        // charged before the violation), and the `Error` broadcast that
+        // follows is what actually stops them.
+        encoder.ship(me, &router, &outboxes, bounds[me], &transport, false);
+        if !ok {
+            let error = shard.error.take().expect("failed account sets the error");
+            return Err(fail(client, error));
+        }
+        shard.place_frames(graph, me, round, &transport, &bounds);
+        if let Some(error) = shard.error.take() {
+            return Err(fail(client, error));
+        }
+        report.stats.absorb(shard.stats);
+        report.rounds_run += 1;
+    }
+    client.send_shutdown();
+    Ok((report, nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{graph_digest, HubAddr};
+    use crate::{Inbox, Simulator};
+    use netdecomp_graph::GraphBuilder;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    /// Max-id flooding: every node ends with the maximum vertex id of
+    /// its connected component. Deterministic, messages every round.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct MaxFlood {
+        best: u64,
+    }
+
+    impl Protocol for MaxFlood {
+        fn start(&mut self, _ctx: &Ctx<'_>, out: &mut Outbox) {
+            out.broadcast(Bytes::from(self.best.to_le_bytes().to_vec()));
+        }
+
+        fn round(&mut self, _ctx: &Ctx<'_>, incoming: Inbox<'_>, out: &mut Outbox) {
+            let mut grew = false;
+            for msg in incoming.iter() {
+                let heard = u64::from_le_bytes(
+                    msg.payload().as_slice().try_into().expect("8-byte payload"),
+                );
+                if heard > self.best {
+                    self.best = heard;
+                    grew = true;
+                }
+            }
+            if grew {
+                out.broadcast(Bytes::from(self.best.to_le_bytes().to_vec()));
+            }
+        }
+    }
+
+    fn ladder(n: usize) -> netdecomp_graph::Graph {
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n {
+            b.add_edge(v - 1, v).unwrap();
+            if v >= 2 {
+                b.add_edge(v - 2, v).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    fn unix_addr(tag: &str) -> HubAddr {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        HubAddr::Unix(std::env::temp_dir().join(format!(
+            "netdecomp-worker-{}-{tag}-{n}.sock",
+            std::process::id()
+        )))
+    }
+
+    #[test]
+    fn distributed_workers_match_the_sequential_engine() {
+        let graph = ladder(23);
+        let shards = 3;
+        let rounds = 12;
+        let digest = graph_digest(&graph);
+        let timeout = Duration::from_secs(10);
+        let (hub, addr) = crate::transport::socket::Hub::listen(
+            &unix_addr("equiv"),
+            shards,
+            timeout,
+            Some(digest),
+        )
+        .unwrap();
+        let distributed: Vec<MaxFlood> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|k| {
+                    let graph = &graph;
+                    let addr = addr.clone();
+                    scope.spawn(move || {
+                        let client = HubClient::connect(&addr, k, shards, digest, timeout).unwrap();
+                        let config = WorkerConfig {
+                            shard: k,
+                            shards,
+                            rounds,
+                            limit: CongestLimit::Unlimited,
+                        };
+                        run_worker(graph, &client, &config, |id, _ctx| MaxFlood {
+                            best: id as u64,
+                        })
+                        .unwrap()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap().1)
+                .collect()
+        });
+        drop(hub);
+        let mut reference = Simulator::new(&graph, |id, _ctx| MaxFlood { best: id as u64 });
+        reference.run_rounds(rounds).unwrap();
+        // Shard ranges are contiguous and ascending, so concatenation is
+        // already vertex-id order.
+        assert_eq!(distributed.len(), graph.vertex_count());
+        assert_eq!(&distributed[..], reference.nodes(), "deployments diverged");
+    }
+
+    #[test]
+    fn a_worker_that_dies_mid_run_fails_peers_typed() {
+        let graph = ladder(12);
+        let shards = 2;
+        let digest = graph_digest(&graph);
+        let timeout = Duration::from_millis(600);
+        let (hub, addr) = crate::transport::socket::Hub::listen(
+            &unix_addr("death"),
+            shards,
+            timeout,
+            Some(digest),
+        )
+        .unwrap();
+        let error = std::thread::scope(|scope| {
+            let survivor = {
+                let graph = &graph;
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let client = HubClient::connect(&addr, 0, shards, digest, timeout).unwrap();
+                    let config = WorkerConfig {
+                        shard: 0,
+                        shards,
+                        rounds: 50,
+                        limit: CongestLimit::Unlimited,
+                    };
+                    run_worker(graph, &client, &config, |id, _ctx| MaxFlood {
+                        best: id as u64,
+                    })
+                    .unwrap_err()
+                })
+            };
+            // Shard 1 handshakes, then "crashes": the connection drops
+            // without a shutdown frame.
+            let casualty = HubClient::connect(&addr, 1, shards, digest, timeout).unwrap();
+            drop(casualty);
+            survivor.join().unwrap()
+        });
+        assert!(
+            matches!(error, SimError::Transport(_)),
+            "want a typed transport error, got {error:?}"
+        );
+        drop(hub);
+    }
+
+    #[test]
+    fn an_oversized_fabric_is_a_typed_refusal() {
+        let graph = ladder(3);
+        let mesh = crate::transport::SocketTransport::unix_mesh_with_timeout(
+            1,
+            Duration::from_millis(200),
+        );
+        let config = WorkerConfig {
+            shard: 0,
+            shards: 64,
+            rounds: 1,
+            limit: CongestLimit::Unlimited,
+        };
+        let error = run_worker(&graph, mesh.client(0), &config, |id, _ctx| MaxFlood {
+            best: id as u64,
+        })
+        .unwrap_err();
+        assert!(
+            matches!(
+                &error,
+                SimError::Transport(TransportError {
+                    cause: TransportCause::Handshake { .. },
+                    ..
+                })
+            ),
+            "got {error:?}"
+        );
+    }
+}

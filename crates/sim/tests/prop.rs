@@ -121,8 +121,8 @@ impl Protocol for Mixer {
 
 proptest! {
     // 48 cases keep each delivery backend (shared-memory, framed
-    // loopback, framed channel) at useful coverage in the equivalence
-    // property below.
+    // loopback, framed channel, framed socket) at useful coverage in the
+    // equivalence property below.
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
@@ -173,7 +173,7 @@ proptest! {
         threads in 2usize..=8,
         shard_pick in 0usize..6,
         limit_pick in 0usize..3,
-        backend_pick in 0usize..3,
+        backend_pick in 0usize..4,
         overlap in 0u32..2,
     ) {
         let limit = match limit_pick {
@@ -190,16 +190,17 @@ proptest! {
         let shards = [0, 1, 2, 7, 13, g.vertex_count()][shard_pick];
         // Shared-memory delivery (or whatever NETDECOMP_BACKEND selects —
         // the framed CI matrix entry reaches this property through the
-        // `Parallel` arm), framed loopback, and framed channels.
+        // `Parallel` arm), framed loopback, framed channels, and the
+        // socket fabric (real Unix-domain streams through the hub).
         let engine = match backend_pick {
             0 => Engine::Parallel { threads, shards },
             _ => Engine::Framed {
                 threads,
                 shards,
-                transport: if backend_pick == 1 {
-                    FrameTransport::Loopback
-                } else {
-                    FrameTransport::Channel
+                transport: match backend_pick {
+                    1 => FrameTransport::Loopback,
+                    2 => FrameTransport::Channel,
+                    _ => FrameTransport::Socket,
                 },
             },
         };

@@ -3,18 +3,37 @@
 //! ```text
 //! netdecomp <file|-> [--algo basic|staged|high-radius|ls93] [--k K] [--c C]
 //!           [--lambda L] [--seed S] [--assignment]
+//! netdecomp <file> --distributed N [--rounds R]
+//! netdecomp <file> --worker            # spawned by --distributed
 //! ```
 //!
 //! The input format is the crate's edge-list text (`n m` header then one
 //! `u v` pair per line, `#` comments allowed); `-` reads stdin. Prints the
 //! verification report; with `--assignment`, also one `vertex cluster
 //! color` triple per line.
+//!
+//! `--distributed N` exercises the process-per-shard fabric: it binds a
+//! socket hub, re-launches this binary `N` times in `--worker` mode (one
+//! OS process per shard, connected only by the hub socket), runs a
+//! max-id flood over the graph, and cross-checks every worker's final
+//! shard states against the in-process sequential engine. A worker finds
+//! its shard, fabric size, hub address, and round budget in the
+//! environment variables named by [`launcher`]'s `ENV_*` constants; a
+//! worker whose shard index equals `NETDECOMP_WORKER_ABORT` connects and
+//! then dies without a word — the fault hook the robustness tests use to
+//! prove a killed shard surfaces as a typed error, never a hang.
 
 use std::io::Read as _;
 
+use bytes::Bytes;
 use netdecomp::baselines::linial_saks;
 use netdecomp::core::{basic, high_radius, params, staged, verify, NetworkDecomposition};
 use netdecomp::graph::{io, Graph};
+use netdecomp::sim::transport::{launcher, run_worker, WorkerConfig};
+use netdecomp::sim::{
+    frame_timeout, graph_digest, CongestLimit, Ctx, HubAddr, HubClient, Inbox, Outbox, Protocol,
+    ShardPlan, Simulator,
+};
 
 struct Options {
     input: String,
@@ -24,12 +43,16 @@ struct Options {
     lambda: usize,
     seed: u64,
     assignment: bool,
+    worker: bool,
+    distributed: usize,
+    rounds: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: netdecomp <file|-> [--algo basic|staged|high-radius|ls93] \
-         [--k K] [--c C] [--lambda L] [--seed S] [--assignment]"
+         [--k K] [--c C] [--lambda L] [--seed S] [--assignment]\n\
+         \x20      netdecomp <file> --distributed N [--rounds R]"
     );
     std::process::exit(2)
 }
@@ -43,6 +66,9 @@ fn parse_args() -> Options {
         lambda: 3,
         seed: 0,
         assignment: false,
+        worker: false,
+        distributed: 0,
+        rounds: 16,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -53,6 +79,9 @@ fn parse_args() -> Options {
             "--lambda" => opts.lambda = parse_or_usage(args.next()),
             "--seed" => opts.seed = parse_or_usage(args.next()),
             "--assignment" => opts.assignment = true,
+            "--worker" => opts.worker = true,
+            "--distributed" => opts.distributed = parse_or_usage(args.next()),
+            "--rounds" => opts.rounds = parse_or_usage(args.next()),
             "--help" | "-h" => usage(),
             other if opts.input.is_empty() && !other.starts_with("--") => {
                 opts.input = other.to_string();
@@ -81,9 +110,162 @@ fn read_graph(path: &str) -> Result<Graph, Box<dyn std::error::Error>> {
     Ok(io::from_edge_list(&text)?)
 }
 
+/// Max-id flood: every node converges to the maximum vertex id of its
+/// connected component. Deterministic and chatty — enough to exercise
+/// every shard link of the fabric every round.
+#[derive(Debug, Clone, PartialEq)]
+struct Flood {
+    best: u64,
+}
+
+impl Protocol for Flood {
+    fn start(&mut self, _ctx: &Ctx<'_>, out: &mut Outbox) {
+        out.broadcast(Bytes::from(self.best.to_le_bytes().to_vec()));
+    }
+
+    fn round(&mut self, _ctx: &Ctx<'_>, incoming: Inbox<'_>, out: &mut Outbox) {
+        let mut grew = false;
+        for msg in incoming.iter() {
+            let bytes: [u8; 8] = match msg.payload().as_slice().try_into() {
+                Ok(b) => b,
+                Err(_) => continue,
+            };
+            let heard = u64::from_le_bytes(bytes);
+            if heard > self.best {
+                self.best = heard;
+                grew = true;
+            }
+        }
+        if grew {
+            out.broadcast(Bytes::from(self.best.to_le_bytes().to_vec()));
+        }
+    }
+}
+
+/// FNV-1a over the flood states of `nodes`, the worker's one-line proof
+/// of what it computed (the parent recomputes it sequentially).
+fn flood_digest(nodes: &[Flood]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for node in nodes {
+        for byte in node.best.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn env_number(name: &str) -> Result<usize, Box<dyn std::error::Error>> {
+    Ok(std::env::var(name)
+        .map_err(|_| format!("worker mode needs {name}"))?
+        .parse::<usize>()
+        .map_err(|_| format!("{name} must be a number"))?)
+}
+
+/// `--worker`: one shard of a `--distributed` run, configured entirely
+/// through the launcher's environment variables. Prints
+/// `worker <shard> digest <hex>` on success.
+fn worker_main(graph: &Graph) -> Result<(), Box<dyn std::error::Error>> {
+    let shard = env_number(launcher::ENV_SHARD)?;
+    let shards = env_number(launcher::ENV_SHARDS)?;
+    let rounds = env_number(launcher::ENV_ROUNDS)?;
+    let addr: HubAddr = std::env::var(launcher::ENV_ADDR)
+        .map_err(|_| format!("worker mode needs {}", launcher::ENV_ADDR))?
+        .parse()?;
+    let client = HubClient::connect(&addr, shard, shards, graph_digest(graph), frame_timeout())?;
+    if std::env::var("NETDECOMP_WORKER_ABORT").ok() == Some(shard.to_string()) {
+        // Fault hook: die after the handshake without a shutdown frame,
+        // exactly like a crashed worker. Peers must get a typed error.
+        std::process::exit(42);
+    }
+    let config = WorkerConfig {
+        shard,
+        shards,
+        rounds,
+        limit: CongestLimit::Unlimited,
+    };
+    let (report, nodes) = run_worker(graph, &client, &config, |id, _ctx| Flood {
+        best: id as u64,
+    })?;
+    println!("worker {shard} digest {:016x}", flood_digest(&nodes));
+    eprintln!(
+        "worker {shard}: {} rounds, {} messages",
+        report.rounds_run, report.stats.total_messages
+    );
+    Ok(())
+}
+
+/// `--distributed N`: launch one `--worker` process per shard against a
+/// temp-socket hub, then cross-check every worker's digest against the
+/// in-process sequential engine.
+fn distributed_main(opts: &Options, graph: &Graph) -> Result<(), Box<dyn std::error::Error>> {
+    if opts.input == "-" {
+        return Err("--distributed needs a graph file workers can re-read (not stdin)".into());
+    }
+    let shards = opts.distributed;
+    let input = std::fs::canonicalize(&opts.input)?;
+    let mut options = launcher::LaunchOptions::new(shards);
+    options.graph_digest = Some(graph_digest(graph));
+    let exe = std::env::current_exe()?;
+    let report = launcher::launch(&options, |shard, addr| {
+        std::process::Command::new(&exe)
+            .arg(&input)
+            .arg("--worker")
+            .env(launcher::ENV_SHARD, shard.to_string())
+            .env(launcher::ENV_SHARDS, shards.to_string())
+            .env(launcher::ENV_ROUNDS, opts.rounds.to_string())
+            .env(launcher::ENV_ADDR, addr.to_string())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+    })?;
+
+    // Reference run: the same flood on the in-process sequential engine,
+    // digested per worker shard range.
+    let mut reference = Simulator::new(graph, |id, _ctx| Flood { best: id as u64 });
+    reference.run_rounds(opts.rounds)?;
+    let plan = ShardPlan::degree_balanced(graph, shards);
+    let mut all_match = true;
+    for exit in &report.exits {
+        let range = plan.range(exit.shard);
+        let expected = flood_digest(&reference.nodes()[range]);
+        let stdout = String::from_utf8_lossy(&exit.stdout);
+        let printed = stdout
+            .lines()
+            .find_map(|line| line.strip_prefix(&format!("worker {} digest ", exit.shard)))
+            .and_then(|hex| u64::from_str_radix(hex.trim(), 16).ok());
+        let matched = printed == Some(expected);
+        all_match &= matched;
+        println!(
+            "worker {}: exit {:?} digest {} (expected {expected:016x})",
+            exit.shard,
+            exit.code,
+            printed.map_or("missing".into(), |d| format!("{d:016x}")),
+        );
+        if !matched {
+            eprintln!("{}", String::from_utf8_lossy(&exit.stderr));
+        }
+    }
+    println!(
+        "distributed: {shards} workers over {} vertices, rounds={}, matches sequential: {all_match}",
+        graph.vertex_count(),
+        opts.rounds
+    );
+    if !all_match {
+        return Err("distributed run diverged from the sequential engine".into());
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = parse_args();
     let graph = read_graph(&opts.input)?;
+    if opts.worker {
+        return worker_main(&graph);
+    }
+    if opts.distributed > 0 {
+        return distributed_main(&opts, &graph);
+    }
     let n = graph.vertex_count();
     let k = if opts.k == 0 {
         ((n.max(2) as f64).ln().ceil() as usize).max(2)

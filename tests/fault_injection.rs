@@ -1,0 +1,199 @@
+//! The robustness contract across the whole stack: an unreliable
+//! delivery fabric — dropping, corrupting, delaying frames, or running
+//! over real sockets — either delivers faithfully (bit-identical
+//! outcomes) or fails with a typed error in bounded time. Never a hang,
+//! never a panic, never a silently wrong decomposition.
+//!
+//! The fault layer is [`FaultInjectingTransport`], seeded and
+//! deterministic, plugged into the Elkin–Neiman carve protocol and the
+//! Linial–Saks baseline through their `transport` hooks.
+
+use std::time::{Duration, Instant};
+
+use netdecomp::baselines::linial_saks;
+use netdecomp::core::distributed::{decompose_distributed, DistributedConfig};
+use netdecomp::core::params::DecompositionParams;
+use netdecomp::core::DecompError;
+use netdecomp::graph::generators;
+use netdecomp::sim::frame::ChannelTransport;
+use netdecomp::sim::{
+    CongestLimit, Engine, FaultInjectingTransport, FaultPlan, FrameTransport, SocketTransport,
+    TransportFactory,
+};
+
+/// Every test must finish far inside this bound — the point of the
+/// typed-error contract is that faults cost at most one fabric timeout
+/// (default 5 s), not a wedged CI job.
+const BOUND: Duration = Duration::from_secs(60);
+
+fn framed(shards: usize) -> Engine {
+    Engine::Framed {
+        threads: shards,
+        shards,
+        transport: FrameTransport::Channel,
+    }
+}
+
+fn faulty_channels(plan: FaultPlan) -> TransportFactory {
+    TransportFactory::new(move |shards| {
+        Box::new(FaultInjectingTransport::new(
+            ChannelTransport::new(shards),
+            shards,
+            plan,
+        ))
+    })
+}
+
+#[test]
+fn a_quiet_fault_layer_keeps_the_carve_bit_identical() {
+    let g = generators::grid2d(8, 8);
+    let p = DecompositionParams::new(3, 4.0).unwrap();
+    for seed in 0..2u64 {
+        let reference = decompose_distributed(&g, &p, seed, &DistributedConfig::default()).unwrap();
+        let faulted = decompose_distributed(
+            &g,
+            &p,
+            seed,
+            &DistributedConfig {
+                engine: framed(3),
+                transport: Some(faulty_channels(FaultPlan::quiet(7))),
+                ..DistributedConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            reference.outcome.decomposition(),
+            faulted.outcome.decomposition(),
+            "seed {seed}: a pass-through fault layer changed the outcome"
+        );
+        assert_eq!(reference.comm, faulted.comm, "seed {seed}");
+    }
+}
+
+#[test]
+fn the_carve_protocol_runs_over_sockets_bit_identical() {
+    let g = generators::caveman(5, 5).unwrap();
+    let p = DecompositionParams::new(3, 4.0).unwrap();
+    let seed = 11;
+    let reference = decompose_distributed(&g, &p, seed, &DistributedConfig::default()).unwrap();
+    let socketed = decompose_distributed(
+        &g,
+        &p,
+        seed,
+        &DistributedConfig {
+            engine: Engine::Framed {
+                threads: 3,
+                shards: 3,
+                transport: FrameTransport::Socket,
+            },
+            transport: Some(TransportFactory::new(|shards| {
+                Box::new(SocketTransport::unix_mesh(shards))
+            })),
+            ..DistributedConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        reference.outcome.decomposition(),
+        socketed.outcome.decomposition(),
+        "the socket fabric changed the outcome"
+    );
+    assert_eq!(reference.comm, socketed.comm);
+}
+
+#[test]
+fn dropped_frames_fail_the_carve_typed_within_the_bound() {
+    let g = generators::grid2d(8, 8);
+    let p = DecompositionParams::new(3, 4.0).unwrap();
+    let started = Instant::now();
+    let error = decompose_distributed(
+        &g,
+        &p,
+        5,
+        &DistributedConfig {
+            engine: framed(3),
+            transport: Some(faulty_channels(FaultPlan::drops(13, 500))),
+            ..DistributedConfig::default()
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(&error, DecompError::Simulation { .. }),
+        "want a typed simulation failure, got {error:?}"
+    );
+    assert!(
+        started.elapsed() < BOUND,
+        "a dropped frame must fail fast, took {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn corrupted_frames_fail_the_carve_typed_within_the_bound() {
+    let g = generators::grid2d(8, 8);
+    let p = DecompositionParams::new(3, 4.0).unwrap();
+    let started = Instant::now();
+    let error = decompose_distributed(
+        &g,
+        &p,
+        5,
+        &DistributedConfig {
+            engine: framed(3),
+            transport: Some(faulty_channels(FaultPlan::corruption(29, 500))),
+            ..DistributedConfig::default()
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(&error, DecompError::Simulation { .. }),
+        "want a typed simulation failure, got {error:?}"
+    );
+    assert!(started.elapsed() < BOUND, "took {:?}", started.elapsed());
+}
+
+#[test]
+fn a_quiet_fault_layer_keeps_linial_saks_bit_identical() {
+    let g = generators::caveman(4, 5).unwrap();
+    let p = linial_saks::LinialSaksParams::new(3, 4.0).unwrap();
+    let seed = 3;
+    let (reference, ref_comm) =
+        linial_saks::decompose_distributed(&g, &p, seed, CongestLimit::Unlimited, framed(3))
+            .unwrap();
+    let factory = faulty_channels(FaultPlan::quiet(17));
+    let (faulted, faulted_comm) = linial_saks::decompose_distributed_with_transport(
+        &g,
+        &p,
+        seed,
+        CongestLimit::Unlimited,
+        framed(3),
+        Some(&factory),
+    )
+    .unwrap();
+    assert_eq!(
+        reference.decomposition, faulted.decomposition,
+        "a pass-through fault layer changed the baseline outcome"
+    );
+    assert_eq!(ref_comm, faulted_comm);
+}
+
+#[test]
+fn dropped_frames_fail_linial_saks_typed_within_the_bound() {
+    let g = generators::grid2d(7, 7);
+    let p = linial_saks::LinialSaksParams::new(3, 4.0).unwrap();
+    let factory = faulty_channels(FaultPlan::drops(41, 500));
+    let started = Instant::now();
+    let error = linial_saks::decompose_distributed_with_transport(
+        &g,
+        &p,
+        9,
+        CongestLimit::Unlimited,
+        framed(3),
+        Some(&factory),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(&error, DecompError::Simulation { .. }),
+        "want a typed simulation failure, got {error:?}"
+    );
+    assert!(started.elapsed() < BOUND, "took {:?}", started.elapsed());
+}
