@@ -794,6 +794,9 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             work.frames_retried += health.frames_retried;
             work.frames_dropped_injected += health.frames_dropped_injected;
             work.collect_wait_ns += health.collect_wait_ns;
+            work.workers_restarted += health.workers_restarted;
+            work.rounds_replayed += health.rounds_replayed;
+            work.heartbeats_missed += health.heartbeats_missed;
         }
         work
     }

@@ -564,6 +564,15 @@ pub struct TransportHealth {
     /// Nanoseconds spent blocked inside [`Transport::collect`] waiting
     /// for peer frames.
     pub collect_wait_ns: u64,
+    /// Worker re-admissions on the socket fabric: restarted worker
+    /// processes plus surviving-client link reconnects (each one is an
+    /// epoch bump past a shard's first registration).
+    pub workers_restarted: usize,
+    /// Rounds fast-forwarded to reconnecting shards from the hub's
+    /// per-destination replay logs.
+    pub rounds_replayed: usize,
+    /// Heartbeats a supervisor judged overdue before intervening.
+    pub heartbeats_missed: usize,
 }
 
 impl TransportHealth {
@@ -574,6 +583,13 @@ impl TransportHealth {
             .frames_dropped_injected
             .saturating_add(other.frames_dropped_injected);
         self.collect_wait_ns = self.collect_wait_ns.saturating_add(other.collect_wait_ns);
+        self.workers_restarted = self
+            .workers_restarted
+            .saturating_add(other.workers_restarted);
+        self.rounds_replayed = self.rounds_replayed.saturating_add(other.rounds_replayed);
+        self.heartbeats_missed = self
+            .heartbeats_missed
+            .saturating_add(other.heartbeats_missed);
     }
 }
 

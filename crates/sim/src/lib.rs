@@ -95,9 +95,18 @@
 //! deadline ([`frame_timeout`], `NETDECOMP_FRAME_TIMEOUT_MS`), so a
 //! wedged or dead shard degrades into a typed [`SimError::Transport`]
 //! with the offending shard, round, and [`TransportCause`] attached —
-//! never a hang. The control-frame wire protocol (handshake, round
-//! barriers, error broadcast) is documented in [`transport::control`],
-//! the failure-mode table in [`frame`].
+//! never a hang. The fabric is additionally *self-healing* under
+//! [`transport::launcher::supervise`]: the hub keeps a bounded
+//! per-destination replay log ([`replay_window`],
+//! `NETDECOMP_REPLAY_WINDOW`), so a crashed or wedged worker is killed,
+//! relaunched with backoff, re-admitted via handshake resume, and
+//! fast-forwarded through the rounds it missed — the run still
+//! completes bit-identically, and only an exhausted restart budget
+//! surfaces as the typed error naming the lost shard. The control-frame
+//! wire protocol (handshake, round barriers, heartbeats, stats, error
+//! broadcast) is documented in [`transport::control`]; the
+//! failure-mode × recovery-action matrix lives in the [`transport`]
+//! module docs, the frame-level failure table in [`frame`].
 //! A frame corrupted anywhere in its header or tables — everything that
 //! addresses, sizes, or routes messages — or truncated or misrouted
 //! surfaces as a typed [`SimError::Frame`]: never a panic, never a
@@ -213,6 +222,6 @@ pub use seeding::stream_rng;
 pub use shard::{RouteIndex, RouteSegment, ShardPlan};
 pub use stats::{CongestLimit, DeliveryWork, RoundStats, RunStats};
 pub use transport::{
-    frame_timeout, graph_digest, FaultInjectingTransport, FaultPlan, HubAddr, HubClient,
-    SocketTransport, TransportFactory,
+    frame_timeout, graph_digest, replay_window, FaultInjectingTransport, FaultPlan, HubAddr,
+    HubClient, LinkPartition, SocketTransport, TransportFactory, WorkerStats,
 };

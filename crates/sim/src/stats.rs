@@ -89,6 +89,17 @@ pub struct DeliveryWork {
     /// the engine benches as `collect_wait_ns`. Wall-clock time, so
     /// never compared across backends for equality.
     pub collect_wait_ns: u64,
+    /// Worker re-admissions on the socket fabric (cumulative over the
+    /// run): restarted worker processes plus surviving-client link
+    /// reconnects. Zero on the shared-memory backends and on failure-free
+    /// socket runs.
+    pub workers_restarted: usize,
+    /// Rounds the socket hub fast-forwarded to reconnecting shards from
+    /// its per-destination replay logs (cumulative over the run).
+    pub rounds_replayed: usize,
+    /// Heartbeats a supervisor judged overdue before intervening
+    /// (cumulative over the run). Nonzero only under supervision.
+    pub heartbeats_missed: usize,
 }
 
 /// Communication accounting for a single round.

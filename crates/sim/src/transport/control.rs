@@ -16,7 +16,8 @@
 //! offset  bytes  field
 //! ------  -----  ---------------------------------------------
 //!      0      3  magic  b"NDC"
-//!      3      1  kind   (1 Hello, 2 RoundBarrier, 3 Error, 4 Shutdown)
+//!      3      1  kind   (1 Hello, 2 RoundBarrier, 3 Error, 4 Shutdown,
+//!                        5 Heartbeat, 6 Stats)
 //!      4      4  total frame length (self-delimiting)
 //!      8      4  FNV-1a checksum over bytes [0, 8) ++ [12, len)
 //!     12      …  kind-specific payload
@@ -24,15 +25,31 @@
 //!
 //! Payloads:
 //!
-//! - `Hello { shard: u32, frame_version: u32, graph_digest: u64 }` —
-//!   sent by a client right after connecting (and after a reconnect);
-//!   echoed by the hub as the handshake acknowledgement.
+//! - `Hello { shard: u32, frame_version: u32, graph_digest: u64,
+//!   resume_round: u64, next_ship_round: u64 }` — sent by a client right
+//!   after connecting (and after a reconnect); echoed by the hub as the
+//!   handshake acknowledgement. `resume_round` asks the hub to replay
+//!   this shard's inbound traffic from that round (0 for a freshly
+//!   restarted worker, the in-progress collect round for a surviving
+//!   client whose link was severed); `next_ship_round` declares the
+//!   round this client will ship next, so the hub can discard the
+//!   deterministic re-sends of already-relayed rounds.
 //! - `RoundBarrier { round: u64 }` — sent by each shard after shipping
 //!   a round's data frames; broadcast back by the hub once all shards
 //!   have, releasing everyone's collect.
 //! - `Error { origin: u32, error: SimError }` — a shard's (or the
 //!   hub's) typed failure, binary-encoded; relayed to every peer.
 //! - `Shutdown { origin: u32 }` — orderly end of run.
+//! - `Heartbeat { shard: u32, round: u64 }` — periodic liveness beacon
+//!   a worker's pacer thread writes between data frames; the hub
+//!   records the arrival time and reported round so a supervisor can
+//!   tell a wedged worker from a slow one.
+//! - `Stats { shard: u32, rounds_run: u64, result_digest: u64,
+//!   stats: RunStats }` — a worker's end-of-run accounting, streamed
+//!   through the fabric (sent *before* `Shutdown`, so the hub's reader
+//!   is still alive) instead of being scraped out of stdout; carries
+//!   the full per-round breakdown so the launcher can merge reports
+//!   with [`crate::RunStats::merge`].
 //!
 //! [`SimError`] crosses the wire through a small tagged binary codec
 //! ([`encode_sim_error`] / [`decode_sim_error`]). The only lossy corner
@@ -45,6 +62,7 @@ use bytes::Bytes;
 
 use crate::error::{FrameError, SimError, TransportCause, TransportError};
 use crate::frame::{fnv1a, FNV_INIT};
+use crate::stats::{RoundStats, RunStats};
 
 /// Magic prefix of every control frame.
 pub(crate) const CONTROL_MAGIC: &[u8; 3] = b"NDC";
@@ -61,6 +79,8 @@ const KIND_HELLO: u8 = 1;
 const KIND_ROUND_BARRIER: u8 = 2;
 const KIND_ERROR: u8 = 3;
 const KIND_SHUTDOWN: u8 = 4;
+const KIND_HEARTBEAT: u8 = 5;
+const KIND_STATS: u8 = 6;
 
 /// The known [`FrameError::Malformed`] detail strings, used to restore
 /// the `&'static str` when an error crosses the wire.
@@ -92,6 +112,17 @@ pub enum ControlFrame {
         /// [`crate::transport::graph_digest`]); every shard of a run
         /// must agree.
         graph_digest: u64,
+        /// First round of inbound traffic the hub should replay on this
+        /// connection: 0 for a fresh process (first connect or a
+        /// supervised restart, which recomputes every round), the
+        /// in-flight collect round for a surviving client that lost
+        /// only its link.
+        resume_round: u64,
+        /// The round this client will ship next. A restarted worker
+        /// deterministically re-ships rounds the hub already relayed;
+        /// the hub uses this to count those re-sends as echoes instead
+        /// of double-delivering them to peers.
+        next_ship_round: u64,
     },
     /// A shard finished shipping `round` (client → hub), or every shard
     /// did and collects may proceed (hub → clients).
@@ -112,6 +143,27 @@ pub enum ControlFrame {
         /// Shard that finished (or `u32::MAX` for the hub).
         origin: u32,
     },
+    /// Periodic liveness beacon from a worker's pacer thread; the hub
+    /// records arrival time and round for the supervisor.
+    Heartbeat {
+        /// Shard that is beating.
+        shard: u32,
+        /// The round the shard is currently shipping or collecting.
+        round: u64,
+    },
+    /// A worker's end-of-run accounting, sent just before `Shutdown`.
+    Stats {
+        /// Shard reporting.
+        shard: u32,
+        /// Rounds the shard fully committed.
+        rounds_run: u64,
+        /// Protocol-level digest of the shard's final node states (the
+        /// launcher cross-checks it against a reference run); semantics
+        /// are up to the protocol driver, 0 when unused.
+        result_digest: u64,
+        /// The shard's accumulated message statistics.
+        stats: RunStats,
+    },
 }
 
 impl ControlFrame {
@@ -124,10 +176,14 @@ impl ControlFrame {
                 shard,
                 frame_version,
                 graph_digest,
+                resume_round,
+                next_ship_round,
             } => {
                 payload.extend_from_slice(&shard.to_le_bytes());
                 payload.extend_from_slice(&frame_version.to_le_bytes());
                 payload.extend_from_slice(&graph_digest.to_le_bytes());
+                payload.extend_from_slice(&resume_round.to_le_bytes());
+                payload.extend_from_slice(&next_ship_round.to_le_bytes());
                 KIND_HELLO
             }
             ControlFrame::RoundBarrier { round } => {
@@ -142,6 +198,23 @@ impl ControlFrame {
             ControlFrame::Shutdown { origin } => {
                 payload.extend_from_slice(&origin.to_le_bytes());
                 KIND_SHUTDOWN
+            }
+            ControlFrame::Heartbeat { shard, round } => {
+                payload.extend_from_slice(&shard.to_le_bytes());
+                payload.extend_from_slice(&round.to_le_bytes());
+                KIND_HEARTBEAT
+            }
+            ControlFrame::Stats {
+                shard,
+                rounds_run,
+                result_digest,
+                stats,
+            } => {
+                payload.extend_from_slice(&shard.to_le_bytes());
+                payload.extend_from_slice(&rounds_run.to_le_bytes());
+                payload.extend_from_slice(&result_digest.to_le_bytes());
+                encode_run_stats(stats, &mut payload);
+                KIND_STATS
             }
         };
         let total = CONTROL_HEADER_LEN + payload.len();
@@ -205,6 +278,8 @@ impl ControlFrame {
                 shard: r.u32().ok_or(malformed)?,
                 frame_version: r.u32().ok_or(malformed)?,
                 graph_digest: r.u64().ok_or(malformed)?,
+                resume_round: r.u64().ok_or(malformed)?,
+                next_ship_round: r.u64().ok_or(malformed)?,
             },
             KIND_ROUND_BARRIER => ControlFrame::RoundBarrier {
                 round: r.u64().ok_or(malformed)?,
@@ -215,6 +290,16 @@ impl ControlFrame {
             },
             KIND_SHUTDOWN => ControlFrame::Shutdown {
                 origin: r.u32().ok_or(malformed)?,
+            },
+            KIND_HEARTBEAT => ControlFrame::Heartbeat {
+                shard: r.u32().ok_or(malformed)?,
+                round: r.u64().ok_or(malformed)?,
+            },
+            KIND_STATS => ControlFrame::Stats {
+                shard: r.u32().ok_or(malformed)?,
+                rounds_run: r.u64().ok_or(malformed)?,
+                result_digest: r.u64().ok_or(malformed)?,
+                stats: decode_run_stats(&mut r).ok_or(malformed)?,
             },
             _ => {
                 return Err(FrameError::Malformed {
@@ -282,6 +367,47 @@ fn put_usize(out: &mut Vec<u8>, v: usize) {
 fn put_string(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
+}
+
+fn encode_run_stats(stats: &RunStats, out: &mut Vec<u8>) {
+    put_usize(out, stats.rounds);
+    put_usize(out, stats.total_messages);
+    put_usize(out, stats.total_bytes);
+    put_usize(out, stats.max_edge_bytes);
+    put_usize(out, stats.per_round.len());
+    for r in &stats.per_round {
+        put_usize(out, r.round);
+        put_usize(out, r.messages);
+        put_usize(out, r.bytes);
+        put_usize(out, r.max_edge_bytes);
+    }
+}
+
+fn decode_run_stats(r: &mut Reader<'_>) -> Option<RunStats> {
+    let mut stats = RunStats {
+        rounds: r.usize64()?,
+        total_messages: r.usize64()?,
+        total_bytes: r.usize64()?,
+        max_edge_bytes: r.usize64()?,
+        per_round: Vec::new(),
+    };
+    let entries = r.usize64()?;
+    // The frame length (≤ MAX_WIRE_FRAME) already bounds the entry
+    // count; reject counts the remaining payload cannot hold so a
+    // corrupt count cannot trigger a huge reservation.
+    if entries > r.data.len() / 32 {
+        return None;
+    }
+    stats.per_round.reserve(entries);
+    for _ in 0..entries {
+        stats.per_round.push(RoundStats {
+            round: r.usize64()?,
+            messages: r.usize64()?,
+            bytes: r.usize64()?,
+            max_edge_bytes: r.usize64()?,
+        });
+    }
+    Some(stats)
 }
 
 /// Binary-encodes a [`SimError`] into `out` (appended).
@@ -554,14 +680,42 @@ mod tests {
 
     #[test]
     fn control_frames_round_trip() {
+        let mut sample_stats = RunStats::default();
+        sample_stats.absorb(RoundStats {
+            round: 0,
+            messages: 12,
+            bytes: 96,
+            max_edge_bytes: 8,
+        });
+        sample_stats.absorb(RoundStats {
+            round: 1,
+            messages: 3,
+            bytes: 24,
+            max_edge_bytes: 8,
+        });
         let mut frames = vec![
             ControlFrame::Hello {
                 shard: 3,
                 frame_version: 2,
                 graph_digest: 0xdead_beef_cafe_f00d,
+                resume_round: 17,
+                next_ship_round: 18,
             },
             ControlFrame::RoundBarrier { round: 41 },
             ControlFrame::Shutdown { origin: 7 },
+            ControlFrame::Heartbeat { shard: 2, round: 9 },
+            ControlFrame::Stats {
+                shard: 1,
+                rounds_run: 2,
+                result_digest: 0x1234_5678_9abc_def0,
+                stats: sample_stats,
+            },
+            ControlFrame::Stats {
+                shard: 0,
+                rounds_run: 0,
+                result_digest: 0,
+                stats: RunStats::default(),
+            },
         ];
         for error in sample_errors() {
             frames.push(ControlFrame::Error { origin: 1, error });
@@ -607,6 +761,32 @@ mod tests {
                 "flipping byte {i} went unnoticed: {verdict:?}"
             );
         }
+    }
+
+    #[test]
+    fn an_absurd_stats_entry_count_is_rejected_not_allocated() {
+        // A validly-checksummed frame whose per-round entry count far
+        // exceeds what the payload can hold must fail typed instead of
+        // reserving gigabytes.
+        let encoded = ControlFrame::Stats {
+            shard: 0,
+            rounds_run: 1,
+            result_digest: 0,
+            stats: RunStats::default(),
+        }
+        .encode();
+        let mut bad = encoded.as_slice().to_vec();
+        // Payload layout: shard u32, rounds_run u64, result_digest u64,
+        // rounds u64, total_messages u64, total_bytes u64,
+        // max_edge_bytes u64, entry count u64.
+        let count_at = CONTROL_HEADER_LEN + 4 + 8 + 8 + 4 * 8;
+        bad[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let sum = fnv1a(fnv1a(FNV_INIT, &bad[..8]), &bad[CONTROL_HEADER_LEN..]);
+        bad[8..12].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            ControlFrame::decode(&bad),
+            Err(FrameError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -49,6 +49,38 @@ pub struct FaultPlan {
     /// Chance this frame swaps slots with a neighbor (surfaces as
     /// `Misrouted`).
     pub reorder_per_mille: u16,
+    /// Deterministic one-way link outage: every frame on the configured
+    /// `from -> to` edge is withheld for a fixed window of rounds, then
+    /// the link heals. Unlike the probabilistic faults this is a
+    /// *scheduled* event — the chaos soak uses it to prove a k-round
+    /// partition either heals inside the recovery window (bit-identical
+    /// result) or surfaces as a typed `MissingFrame`/timeout.
+    pub partition: Option<LinkPartition>,
+}
+
+/// A scheduled one-way link outage (see [`FaultPlan::partition`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkPartition {
+    /// Sender side of the severed edge.
+    pub from: usize,
+    /// Receiver side of the severed edge.
+    pub to: usize,
+    /// First round (0-based, per-destination collect count) the edge is
+    /// down.
+    pub start_round: usize,
+    /// How many consecutive rounds the edge stays down.
+    pub rounds: usize,
+}
+
+impl LinkPartition {
+    /// Whether this partition severs `(round, from, to)`.
+    #[must_use]
+    pub fn severs(&self, round: usize, from: usize, to: usize) -> bool {
+        from == self.from
+            && to == self.to
+            && round >= self.start_round
+            && round < self.start_round + self.rounds
+    }
 }
 
 impl FaultPlan {
@@ -63,6 +95,16 @@ impl FaultPlan {
             delay_per_mille: 0,
             duplicate_per_mille: 0,
             reorder_per_mille: 0,
+            partition: None,
+        }
+    }
+
+    /// A plan whose only fault is a scheduled one-way link outage.
+    #[must_use]
+    pub fn partitioned(seed: u64, partition: LinkPartition) -> FaultPlan {
+        FaultPlan {
+            partition: Some(partition),
+            ..FaultPlan::quiet(seed)
         }
     }
 
@@ -85,8 +127,9 @@ impl FaultPlan {
     }
 }
 
-/// splitmix64 — tiny, seedable, and plenty for coin flips.
-fn mix(mut z: u64) -> u64 {
+/// splitmix64 — tiny, seedable, and plenty for coin flips (and for the
+/// supervisor's deterministic restart jitter).
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -156,6 +199,15 @@ impl<T: Transport> Transport for FaultInjectingTransport<T> {
             let Some(frame) = into[from].clone() else {
                 continue;
             };
+            if self
+                .plan
+                .partition
+                .is_some_and(|p| p.severs(round, from, to))
+            {
+                into[from] = None;
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
             if self.fires(self.plan.drop_per_mille, round, from, to, 0xD209) {
                 into[from] = None;
                 self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -205,9 +257,8 @@ impl<T: Transport> Transport for FaultInjectingTransport<T> {
     fn health(&self) -> TransportHealth {
         let mut health = self.inner.health();
         health.absorb(TransportHealth {
-            frames_retried: 0,
             frames_dropped_injected: self.dropped.load(Ordering::Relaxed),
-            collect_wait_ns: 0,
+            ..TransportHealth::default()
         });
         health
     }
@@ -327,6 +378,38 @@ mod tests {
             frame(0, 0, 1).as_slice(),
             "the delayed round-0 frame is redelivered"
         );
+    }
+
+    #[test]
+    fn a_partitioned_link_drops_exactly_its_window_then_heals() {
+        let shards = 2;
+        let t = FaultInjectingTransport::new(
+            ChannelTransport::new(shards),
+            shards,
+            FaultPlan::partitioned(
+                0,
+                LinkPartition {
+                    from: 1,
+                    to: 0,
+                    start_round: 1,
+                    rounds: 2,
+                },
+            ),
+        );
+        for round in 0..4u8 {
+            let got = run_round(&t, shards, round);
+            let cut = (1..=2).contains(&round);
+            assert_eq!(
+                got[0][1].is_none(),
+                cut,
+                "round {round}: 1->0 must be {}",
+                if cut { "cut" } else { "alive" }
+            );
+            // Every other edge is untouched throughout.
+            assert!(got[0][0].is_some());
+            assert!(got[1].iter().all(Option::is_some));
+        }
+        assert_eq!(t.health().frames_dropped_injected, 2);
     }
 
     #[test]

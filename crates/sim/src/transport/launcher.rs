@@ -14,6 +14,14 @@
 //! supplies a spawn closure mapping `(shard, hub address)` to a
 //! [`Child`]. The `netdecomp` binary's worker mode reads the
 //! environment variables named by the `ENV_*` constants here.
+//!
+//! [`launch`] is the one-shot lifecycle: any worker failure ends the
+//! run with a typed error. [`supervise`] is the self-healing lifecycle:
+//! a crashed or wedged worker is killed (if needed), relaunched with
+//! exponential backoff and deterministic jitter up to a restart budget,
+//! and re-admitted by the hub's replay log so the run still completes
+//! bit-identically; only an exhausted budget or an unrecoverable
+//! protocol error surfaces to the caller.
 
 use std::io;
 use std::process::Child;
@@ -21,8 +29,9 @@ use std::time::{Duration, Instant};
 
 use crate::error::{SimError, TransportCause, TransportError};
 
-use super::socket::Hub;
-use super::HubAddr;
+use super::fault::mix;
+use super::socket::{Hub, HubOptions, EVICTED_DETAIL_PREFIX};
+use super::{HubAddr, WorkerStats};
 
 /// Environment variable carrying a worker's shard index.
 pub const ENV_SHARD: &str = "NETDECOMP_WORKER_SHARD";
@@ -33,6 +42,18 @@ pub const ENV_SHARDS: &str = "NETDECOMP_WORKER_SHARDS";
 pub const ENV_ADDR: &str = "NETDECOMP_WORKER_ADDR";
 /// Environment variable carrying the round budget.
 pub const ENV_ROUNDS: &str = "NETDECOMP_WORKER_ROUNDS";
+/// Environment variable carrying the fabric timeout in whole
+/// milliseconds — the same knob [`super::frame_timeout`] reads. A
+/// launcher that was itself invoked with `--timeout-ms` propagates the
+/// value to its workers through this variable so both ends of every
+/// link agree on the deadline.
+pub const ENV_TIMEOUT: &str = "NETDECOMP_FRAME_TIMEOUT_MS";
+/// Environment variable carrying the worker heartbeat interval in whole
+/// milliseconds (0 or unset: no heartbeats).
+pub const ENV_HEARTBEAT: &str = "NETDECOMP_HEARTBEAT_MS";
+/// Environment variable carrying the hub replay window in rounds — the
+/// same knob [`super::replay_window`] reads.
+pub const ENV_REPLAY_WINDOW: &str = "NETDECOMP_REPLAY_WINDOW";
 
 /// A hub socket path in the system temp directory, unique to this
 /// process and call.
@@ -232,6 +253,434 @@ pub fn launch(
 
 fn first_bad_exit(exits: &[WorkerExit]) -> Option<usize> {
     exits.iter().position(|e| e.code != Some(0))
+}
+
+/// Everything a supervised launch needs beyond the spawn closure.
+#[derive(Debug, Clone)]
+pub struct SuperviseOptions {
+    /// Worker (= shard) count.
+    pub shards: usize,
+    /// The fabric timeout handed to the hub (per blocking point).
+    pub timeout: Duration,
+    /// Overall wall-clock budget for the whole supervised run,
+    /// restarts included. When it passes, everything is killed and the
+    /// caller gets a typed timeout naming the least-advanced shard.
+    pub deadline: Duration,
+    /// Graph digest every worker must present; `None` accepts the first
+    /// worker's and holds the rest to it.
+    pub graph_digest: Option<u64>,
+    /// Hub address to bind; `None` picks [`temp_hub_addr`].
+    pub addr: Option<HubAddr>,
+    /// Restart budget **per shard**: how many relaunches a single shard
+    /// may consume before the supervisor declares it lost. Also bounds
+    /// whole-run restarts (the evicted-replay-window fallback).
+    pub max_restarts: usize,
+    /// Base restart delay; attempt `n` waits `backoff × 2^(n-1)` plus
+    /// deterministic jitter.
+    pub backoff: Duration,
+    /// Seed for the restart jitter, so a supervised chaos run is
+    /// reproducible end to end.
+    pub backoff_seed: u64,
+    /// Expected worker heartbeat interval. A stalled fabric whose prime
+    /// suspect has not beaten for longer than this counts a missed
+    /// heartbeat before the kill. Zero disables the bookkeeping.
+    pub heartbeat: Duration,
+    /// How long the global barrier round may sit still (with live,
+    /// unfinished workers) before the supervisor declares a wedge and
+    /// kills the least-advanced shard. Must exceed the longest honest
+    /// round, including replay after a restart — but stay well *under*
+    /// the fabric timeout: surviving peers wait out at most one timeout
+    /// per collect, and the whole kill + relaunch + re-run must land
+    /// inside their patience or the wedge degrades into a typed timeout
+    /// instead of healing.
+    pub stall: Duration,
+    /// Chaos hook: SIGKILL this shard the first time its committed (or
+    /// heartbeat-reported) round reaches the given value. Exercises the
+    /// crash-recovery path from the outside, no worker cooperation
+    /// needed. Fires at most once per supervised run, and is sampled at
+    /// the supervision tick — a run faster than the tick can finish
+    /// before the kill lands, so pair it with slowed rounds when the
+    /// kill must happen.
+    pub kill_at: Option<(usize, u64)>,
+    /// Rounds of replay history the hub retains (see
+    /// [`super::replay_window`]).
+    pub replay_window: u64,
+}
+
+impl SuperviseOptions {
+    /// Defaults: fabric timeout from [`super::frame_timeout`], deadline
+    /// twelve times that (restarts need headroom), three restarts per
+    /// shard, 50 ms base backoff, stall window of a third of a timeout
+    /// (at least 250 ms), no chaos kill.
+    #[must_use]
+    pub fn new(shards: usize) -> SuperviseOptions {
+        let timeout = super::frame_timeout();
+        SuperviseOptions {
+            shards,
+            timeout,
+            deadline: timeout * 12,
+            graph_digest: None,
+            addr: None,
+            max_restarts: 3,
+            backoff: Duration::from_millis(50),
+            backoff_seed: 0,
+            heartbeat: Duration::from_millis(100),
+            stall: (timeout / 3).max(Duration::from_millis(250)),
+            kill_at: None,
+            replay_window: super::replay_window(),
+        }
+    }
+}
+
+/// The outcome of a fully-successful supervised run.
+#[derive(Debug)]
+pub struct SuperviseReport {
+    /// Per-shard end-of-run reports streamed to the hub as `Stats`
+    /// control frames (replacing stdout parsing). `None` for a shard
+    /// whose final frame never arrived.
+    pub worker_stats: Vec<Option<WorkerStats>>,
+    /// Per-shard relaunch counts (initial spawns not included).
+    pub restarts: Vec<usize>,
+    /// Whole-run restarts taken because a resume fell below the replay
+    /// window.
+    pub full_run_restarts: usize,
+    /// Hub-side re-admissions (process restarts + link reconnects).
+    pub workers_restarted: usize,
+    /// Rounds replayed to reconnecting shards from the hub's logs.
+    pub rounds_replayed: usize,
+    /// Heartbeats judged overdue before a supervisor intervention.
+    pub heartbeats_missed: usize,
+}
+
+/// One supervised shard's lifecycle state.
+enum Slot {
+    Running(Child),
+    /// Exited 0 but the hub has not yet seen its `Shutdown` — give the
+    /// in-flight frame one settle window before calling it a crash.
+    Settling(Instant),
+    /// Relaunch scheduled (backoff + jitter).
+    Backoff(Instant),
+    Finished,
+    Lost,
+}
+
+/// The poll cadence of the supervision loop.
+const SUPERVISE_TICK: Duration = Duration::from_millis(10);
+
+/// Binds the hub, spawns one worker per shard, and keeps the run alive
+/// through worker crashes and wedges.
+///
+/// The spawn closure receives `(shard, hub address, attempt)` where
+/// `attempt` is 0 for the initial spawn and counts up across restarts
+/// (cumulative across whole-run restarts, so a chaos hook armed only
+/// for attempt 0 stays disarmed on every relaunch). Restarted workers
+/// are plain re-spawns: a worker re-runs deterministically from round
+/// 0, re-handshakes, and the hub echo-discards re-shipped rounds while
+/// replaying the inbound history the worker missed.
+///
+/// Do not pipe worker stdout/stderr through the spawn closure unless
+/// something drains them — the supervisor only reaps exit statuses, so
+/// a filled pipe would wedge the child (and then be killed as one).
+///
+/// # Errors
+///
+/// - the fabric's first broadcast [`SimError`] — including the typed
+///   `Transport` error naming the shard whose restart budget ran out;
+/// - [`TransportCause::Timeout`] naming the least-advanced shard when
+///   the overall deadline passes first.
+pub fn supervise(
+    options: &SuperviseOptions,
+    mut spawn: impl FnMut(usize, &HubAddr, usize) -> io::Result<Child>,
+) -> Result<SuperviseReport, SimError> {
+    let started = Instant::now();
+    let mut attempts = vec![0usize; options.shards];
+    let mut full_run_restarts = 0usize;
+    let mut kill_at_armed = options.kill_at;
+    loop {
+        let outcome = supervise_one_hub(
+            options,
+            &mut spawn,
+            started,
+            &mut attempts,
+            &mut kill_at_armed,
+        )?;
+        match outcome {
+            HubOutcome::Done(mut report) => {
+                report.full_run_restarts = full_run_restarts;
+                return Ok(report);
+            }
+            HubOutcome::RestartRun => {
+                full_run_restarts += 1;
+                if full_run_restarts > options.max_restarts.max(1) {
+                    return Err(SimError::Transport(TransportError {
+                        shard: 0,
+                        round: 0,
+                        cause: TransportCause::Io {
+                            detail: format!(
+                                "whole-run restart budget exhausted after {full_run_restarts} \
+                                 attempts (replay window repeatedly evicted)"
+                            ),
+                        },
+                    }));
+                }
+                for a in &mut attempts {
+                    *a += 1;
+                }
+            }
+        }
+    }
+}
+
+/// What one hub generation ended with.
+enum HubOutcome {
+    Done(SuperviseReport),
+    /// A resume fell below the replay window: every committed round is
+    /// still deterministic, so re-run the whole thing from round 0.
+    RestartRun,
+}
+
+#[allow(clippy::too_many_lines)]
+fn supervise_one_hub(
+    options: &SuperviseOptions,
+    spawn: &mut impl FnMut(usize, &HubAddr, usize) -> io::Result<Child>,
+    started: Instant,
+    attempts: &mut [usize],
+    kill_at_armed: &mut Option<(usize, u64)>,
+) -> Result<HubOutcome, SimError> {
+    let requested = options.addr.clone().unwrap_or_else(temp_hub_addr);
+    let synthesized = |shard: usize, cause: TransportCause| {
+        SimError::Transport(TransportError {
+            shard,
+            round: 0,
+            cause,
+        })
+    };
+    let mut hub_options = HubOptions::new(options.shards, options.timeout);
+    hub_options.digest = options.graph_digest;
+    hub_options.replay_window = options.replay_window;
+    // A dead connection waits for its replacement for up to the whole
+    // run budget — the deadline kill below is the real bound, and a
+    // shorter grace would race the backoff schedule.
+    hub_options.grace = options.deadline;
+    let (mut hub, addr) = Hub::listen_with(&requested, hub_options).map_err(|e| {
+        synthesized(
+            0,
+            TransportCause::Io {
+                detail: format!("hub bind on {requested} failed: {e}"),
+            },
+        )
+    })?;
+    let settle = options.timeout.min(Duration::from_millis(300));
+    let restarts_at_entry: Vec<usize> = attempts.to_vec();
+    let mut slots: Vec<Slot> = Vec::with_capacity(options.shards);
+    let kill_everything = |slots: &mut Vec<Slot>| {
+        for slot in slots.iter_mut() {
+            if let Slot::Running(child) = slot {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    };
+    for (shard, &attempt) in attempts.iter().enumerate().take(options.shards) {
+        match spawn(shard, &addr, attempt) {
+            Ok(child) => slots.push(Slot::Running(child)),
+            Err(e) => {
+                kill_everything(&mut slots);
+                hub.stop_and_join();
+                return Err(synthesized(
+                    shard,
+                    TransportCause::Io {
+                        detail: format!("spawning worker {shard} failed: {e}"),
+                    },
+                ));
+            }
+        }
+    }
+    let mut last_progress = (hub.barrier_round(), 0usize, 0u64);
+    let mut last_progress_at = Instant::now();
+    loop {
+        if hub.wait_halted(SUPERVISE_TICK) {
+            break;
+        }
+        if started.elapsed() >= options.deadline {
+            let committed = hub.committed_rounds();
+            let done = hub.done_flags();
+            let suspect = (0..options.shards)
+                .filter(|&s| !done.get(s).copied().unwrap_or(false))
+                .min_by_key(|&s| committed.get(s).copied().unwrap_or(0))
+                .unwrap_or(0);
+            kill_everything(&mut slots);
+            let error = hub.first_error().unwrap_or_else(|| {
+                synthesized(
+                    suspect,
+                    TransportCause::Timeout {
+                        waited_ms: started.elapsed().as_millis() as u64,
+                    },
+                )
+            });
+            hub.stop_and_join();
+            return Err(error);
+        }
+        let done = hub.done_flags();
+        let now = Instant::now();
+        for shard in 0..options.shards {
+            let shard_done = done.get(shard).copied().unwrap_or(false);
+            let next = match &mut slots[shard] {
+                Slot::Running(child) => match child.try_wait() {
+                    Ok(Some(status)) if status.success() && shard_done => Some(Slot::Finished),
+                    Ok(Some(status)) if status.success() => Some(Slot::Settling(now + settle)),
+                    Ok(Some(_)) => Some(schedule_restart(options, &hub, attempts, shard)),
+                    Ok(None) => None,
+                    Err(_) => Some(schedule_restart(options, &hub, attempts, shard)),
+                },
+                Slot::Settling(_) if shard_done => Some(Slot::Finished),
+                Slot::Settling(deadline) if now >= *deadline => {
+                    Some(schedule_restart(options, &hub, attempts, shard))
+                }
+                Slot::Backoff(due) if now >= *due => match spawn(shard, &addr, attempts[shard]) {
+                    Ok(child) => Some(Slot::Running(child)),
+                    Err(e) => {
+                        hub.declare_lost(shard, format!("relaunching worker {shard} failed: {e}"));
+                        Some(Slot::Lost)
+                    }
+                },
+                _ => None,
+            };
+            if let Some(next) = next {
+                slots[shard] = next;
+            }
+        }
+        // Chaos: external SIGKILL once the victim reaches its round.
+        if let Some((victim, at_round)) = *kill_at_armed {
+            let committed = hub.committed_rounds();
+            let beat_round = hub
+                .beat_ages()
+                .get(victim)
+                .copied()
+                .flatten()
+                .map_or(0, |(_, round)| round);
+            let reached =
+                committed.get(victim).copied().unwrap_or(0) >= at_round || beat_round >= at_round;
+            if reached {
+                if let Some(Slot::Running(child)) = slots.get_mut(victim) {
+                    let _ = child.kill();
+                    *kill_at_armed = None;
+                }
+            }
+        }
+        // Wedge detection: no global progress of any kind for a full
+        // stall window means somebody is alive but stuck. Kill the
+        // least-advanced unfinished shard; the crash path restarts it.
+        let committed = hub.committed_rounds();
+        let progress = (
+            hub.barrier_round(),
+            done.iter().filter(|&&d| d).count(),
+            committed.iter().sum::<u64>(),
+        );
+        if progress != last_progress {
+            last_progress = progress;
+            last_progress_at = now;
+        } else if now.duration_since(last_progress_at) >= options.stall {
+            let victim = (0..options.shards)
+                .filter(|&s| {
+                    !done.get(s).copied().unwrap_or(false) && matches!(slots[s], Slot::Running(_))
+                })
+                .min_by_key(|&s| committed.get(s).copied().unwrap_or(0));
+            if let Some(victim) = victim {
+                let beat_stale = !options.heartbeat.is_zero()
+                    && hub
+                        .beat_ages()
+                        .get(victim)
+                        .copied()
+                        .flatten()
+                        .is_none_or(|(age, _)| age > options.heartbeat * 2);
+                if beat_stale {
+                    hub.note_missed_heartbeat();
+                }
+                if let Slot::Running(child) = &mut slots[victim] {
+                    let _ = child.kill();
+                }
+            }
+            last_progress_at = now;
+        }
+    }
+    // Halted: orderly completion or a broadcast fatal. Give workers one
+    // fabric timeout to exit on their own, then kill stragglers.
+    let fabric_error = hub.first_error();
+    let grace_end = Instant::now() + options.timeout;
+    loop {
+        let all_exited = slots.iter_mut().all(|slot| match slot {
+            Slot::Running(child) => matches!(child.try_wait(), Ok(Some(_))),
+            _ => true,
+        });
+        if all_exited || Instant::now() >= grace_end {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    kill_everything(&mut slots);
+    let worker_stats = hub.worker_stats();
+    let (workers_restarted, rounds_replayed, heartbeats_missed) = hub.recovery_counters();
+    hub.stop_and_join();
+    if let Some(error) = fabric_error {
+        // The hub usually halts on the evicted-window refusal before the
+        // in-loop check sees it; either path answers with a whole-run
+        // restart rather than the error.
+        if let SimError::Transport(TransportError {
+            cause: TransportCause::Handshake { detail },
+            ..
+        }) = &error
+        {
+            if detail.starts_with(EVICTED_DETAIL_PREFIX) {
+                return Ok(HubOutcome::RestartRun);
+            }
+        }
+        return Err(error);
+    }
+    Ok(HubOutcome::Done(SuperviseReport {
+        worker_stats,
+        restarts: attempts
+            .iter()
+            .zip(restarts_at_entry)
+            .map(|(&total, entry)| total - entry)
+            .collect(),
+        full_run_restarts: 0,
+        workers_restarted,
+        rounds_replayed,
+        heartbeats_missed,
+    }))
+}
+
+/// Books one more restart for `shard`: `Backoff` with exponential
+/// delay and deterministic jitter, or `Lost` (with the typed fabric
+/// error) when the budget is spent.
+fn schedule_restart(
+    options: &SuperviseOptions,
+    hub: &Hub,
+    attempts: &mut [usize],
+    shard: usize,
+) -> Slot {
+    attempts[shard] += 1;
+    let nth = attempts[shard];
+    if nth > options.max_restarts {
+        hub.declare_lost(
+            shard,
+            format!(
+                "worker {shard} crashed and its restart budget ({}) is exhausted",
+                options.max_restarts
+            ),
+        );
+        return Slot::Lost;
+    }
+    let base_ms = options.backoff.as_millis() as u64;
+    let exp = base_ms.saturating_mul(1u64 << (nth.min(16) - 1));
+    let jitter_span = base_ms / 2 + 1;
+    let jitter = mix(options
+        .backoff_seed
+        .wrapping_add((shard as u64) << 32)
+        .wrapping_add(nth as u64))
+        % jitter_span;
+    Slot::Backoff(Instant::now() + Duration::from_millis(exp + jitter))
 }
 
 #[cfg(test)]

@@ -31,6 +31,22 @@
 //! [`crate::TransportError`] within a small multiple of that window;
 //! there is no code path that waits forever.
 //!
+//! # Failure modes × recovery actions
+//!
+//! What the self-healing fabric does for each failure, who notices,
+//! and what the caller ultimately observes:
+//!
+//! | Failure | Detected by | Signal | Recovery | Caller sees |
+//! |---|---|---|---|---|
+//! | Worker process crashes (incl. SIGKILL mid-frame) | Hub reader (EOF / close mid-frame) + supervisor exit reaping | stream close; `wait()` status | Supervisor relaunches (backoff + jitter, ≤ `max_restarts`); worker re-runs deterministically, re-handshakes with `Hello{resume_round}`, hub replays from the [`replay`] log and treats re-shipped rounds as echoes | Nothing — run completes bit-identically; `workers_restarted`/`rounds_replayed` counters tick |
+//! | Worker wedges (alive, no progress) | Supervisor: global barrier stall + least-committed victim selection; heartbeat age feeds `heartbeats_missed` | `Heartbeat` control frames + barrier round | Supervisor kills the wedged process, then the crash path above applies | Nothing, or a typed timeout if the stall outlives the collect deadline |
+//! | Link drops but both ends live | Client read/write error | socket error | Client's one-shot reconnect-with-handshake; hub replays the collect round | Nothing; `frames_retried` ticks |
+//! | Reconnect resumes below the replay window | Hub admission | handshake refusal whose detail starts with the evicted-window prefix | Supervisor restarts the *whole* run from round 0 (deterministic ⇒ still bit-identical) | Nothing, or the typed handshake error when unsupervised |
+//! | Restart budget exhausted | Supervisor | — | None — supervisor calls the hub's `declare_lost` | Typed [`crate::SimError::Transport`] naming the lost shard |
+//! | Wrong graph / frame version / shard id | Hub handshake vetting | `Error` control frame | None (config error, retrying cannot help) | Typed [`crate::TransportCause::Handshake`] |
+//! | Corrupt or truncated frame | Receiver's decoder | checksum/structure validation | None (content desync is never retried — re-reading the same bytes cannot fix them) | Typed [`crate::SimError::Frame`] |
+//! | Peer reports its own failure | Everyone | `Error` control frame relayed hub-wide | None — orderly teardown | The originating shard's typed error |
+//!
 //! The full wire protocol — frame layouts, the handshake, and the
 //! failure-mode table — is documented in [`crate::frame`] (formats) and
 //! [`control`] (control frames).
@@ -38,6 +54,7 @@
 pub mod control;
 mod fault;
 pub mod launcher;
+mod replay;
 mod socket;
 mod worker;
 
@@ -49,9 +66,9 @@ use netdecomp_graph::Graph;
 
 use crate::frame::Transport;
 
-pub use fault::{FaultInjectingTransport, FaultPlan};
-pub use socket::{HubAddr, HubClient, SocketTransport};
-pub use worker::{run_worker, WorkerConfig, WorkerReport};
+pub use fault::{FaultInjectingTransport, FaultPlan, LinkPartition};
+pub use socket::{HubAddr, HubClient, SocketTransport, WorkerStats};
+pub use worker::{run_worker, run_worker_reporting, WorkerConfig, WorkerReport};
 
 /// The deadline every transport blocking point inherits by default.
 ///
@@ -67,6 +84,23 @@ pub fn frame_timeout() -> Duration {
         .filter(|&v| v > 0)
         .unwrap_or(5_000);
     Duration::from_millis(ms)
+}
+
+/// How many committed rounds of per-destination delivery history the
+/// hub retains for crash recovery.
+///
+/// Reads `NETDECOMP_REPLAY_WINDOW` (whole rounds, > 0) on every call and
+/// falls back to 1024. A reconnect asking to resume below the window is
+/// refused with a typed handshake error; a supervisor answers that by
+/// restarting the whole (deterministic) run. Window 1 is the minimum —
+/// the in-flight round must always be replayable.
+#[must_use]
+pub fn replay_window() -> u64 {
+    std::env::var("NETDECOMP_REPLAY_WINDOW")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(1024)
 }
 
 const DIGEST_INIT: u64 = 0xcbf2_9ce4_8422_2325;

@@ -33,15 +33,35 @@
 //! frame knows the frame is genuinely absent (`MissingFrame`), not
 //! merely late.
 //!
-//! # Failure handling
+//! # Failure handling and recovery
 //!
 //! Every blocking point carries a deadline ([`super::frame_timeout`]).
-//! A dead connection gets one grace window for a
-//! reconnect-with-handshake before the hub declares the shard gone and
-//! broadcasts a typed `Error` to every peer; a client whose link dies
-//! mid-run performs the same one-shot reconnect before giving up. All
-//! terminal outcomes are [`TransportError`]s — see the failure-mode
-//! table in [`crate::frame`].
+//! A dead connection gets a grace window (the supervision grace, at
+//! least the frame timeout) for a reconnect-with-handshake before the
+//! hub declares the shard gone and broadcasts a typed `Error` to every
+//! peer; a client whose link dies mid-run performs a one-shot reconnect
+//! before giving up. All terminal outcomes are [`TransportError`]s —
+//! see the failure-mode table in [`crate::transport`].
+//!
+//! # Deterministic crash recovery
+//!
+//! Each shard's connection slot supports an **N-epoch lifecycle**: any
+//! number of re-registrations, each atomically swapping in a fresh
+//! stream and a fresh writer queue. The hub keeps, per *sender*, the
+//! rounds it has globally committed (`committed`), the barrier count of
+//! the sender's current connection (`ship_round`, reset by each
+//! re-handshake's `next_ship_round`), and a per-destination bitmap of
+//! the partially-shipped round — together these make relay
+//! exactly-once: a restarted worker deterministically re-ships rounds
+//! 0..k and the hub counts them as echoes instead of double-delivering.
+//! Per *destination*, a bounded [`super::replay::ReplayLog`] remembers
+//! every relayed data frame and barrier ack; a `Hello{resume_round}`
+//! re-handshake replays the suffix the client lost directly on the
+//! fresh stream, before the writer takes over, so replayed traffic can
+//! never be overtaken by live traffic. A resume below the log's
+//! retention floor is refused with a typed handshake error whose detail
+//! starts with [`EVICTED_DETAIL_PREFIX`] — the supervisor's cue to
+//! restart the entire (deterministic) run.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -61,8 +81,16 @@ use crate::error::{FrameError, SimError, TransportCause, TransportError};
 use crate::frame::{
     Transport, TransportHealth, FRAME_VERSION, FRAME_VERSION_MIN, LEN_OFFSET, MAGIC,
 };
+use crate::stats::RunStats;
 
 use super::control::{ControlFrame, CONTROL_MAGIC, MAX_WIRE_FRAME};
+use super::replay::{ReplayLog, Snapshot};
+
+/// Detail prefix of the typed handshake refusal the hub issues when a
+/// reconnect asks to resume below the replay log's retention floor. A
+/// supervisor seeing this restarts the whole run from round 0 (the run
+/// is deterministic, so the result is still bit-identical).
+pub(crate) const EVICTED_DETAIL_PREFIX: &str = "replay window evicted";
 
 /// Idle-poll granularity of hub reader threads: how quickly a blocked
 /// reader notices a hub-wide halt. Purely an exit-latency knob — data
@@ -215,6 +243,10 @@ enum ReadEnd {
     /// The read timeout elapsed mid-frame: bytes are stranded and the
     /// stream can no longer be trusted to be at a frame boundary.
     Stalled,
+    /// The peer closed (or was killed) mid-frame. Unlike a content
+    /// desync, the stream itself is gone — recoverable by reconnect,
+    /// exactly like [`ReadEnd::Eof`]; a SIGKILL mid-ship lands here.
+    ClosedMidFrame,
     /// An OS-level read failure.
     Io(String),
     /// The bytes are not a frame (bad magic, implausible length, or a
@@ -238,7 +270,7 @@ fn read_fully(stream: &mut Stream, buf: &mut [u8], mut started: bool) -> Result<
         match stream.read(&mut buf[got..]) {
             Ok(0) => {
                 return Err(if started || got > 0 {
-                    ReadEnd::Desync("connection closed mid-frame".into())
+                    ReadEnd::ClosedMidFrame
                 } else {
                     ReadEnd::Eof
                 })
@@ -307,12 +339,15 @@ fn data_addressing(frame: &Bytes) -> (usize, usize) {
 // Handshake
 // ---------------------------------------------------------------------
 
-/// Client side of the connect-time handshake: send `Hello`, await the
-/// hub's echo (or its typed rejection).
+/// Client side of the connect-time handshake: send `Hello` (with the
+/// resume coordinates — both zero on a first connect), await the hub's
+/// echo (or its typed rejection).
 fn handshake(
     stream: &mut Stream,
     shard: usize,
     graph_digest: u64,
+    resume_round: u64,
+    next_ship_round: u64,
     timeout: Duration,
 ) -> Result<(), TransportCause> {
     let io_cause = |e: &io::Error| TransportCause::Io {
@@ -328,6 +363,8 @@ fn handshake(
         shard: shard as u32,
         frame_version: u32::from(FRAME_VERSION),
         graph_digest,
+        resume_round,
+        next_ship_round,
     };
     stream
         .write_all(hello.encode().as_slice())
@@ -344,9 +381,11 @@ fn handshake(
         Ok(_) => Err(TransportCause::Handshake {
             detail: "unexpected reply to hello".into(),
         }),
-        Err(ReadEnd::Eof | ReadEnd::Desync(_)) => Err(TransportCause::Handshake {
-            detail: "connection closed before the hello acknowledgement".into(),
-        }),
+        Err(ReadEnd::Eof | ReadEnd::ClosedMidFrame | ReadEnd::Desync(_)) => {
+            Err(TransportCause::Handshake {
+                detail: "connection closed before the hello acknowledgement".into(),
+            })
+        }
         Err(ReadEnd::Tick | ReadEnd::Stalled) => Err(TransportCause::Timeout {
             waited_ms: timeout.as_millis() as u64,
         }),
@@ -368,12 +407,16 @@ enum Item {
 
 /// Replaceable halves of one shard's connection. `epoch` counts
 /// registrations; a reader or writer whose stream died waits here for a
-/// higher epoch (a reconnect) before declaring the shard gone.
+/// higher epoch (a reconnect) before declaring the shard gone. The
+/// lifecycle supports any number of epochs: every registration installs
+/// a fresh read half, a fresh write half, and the receiver of the fresh
+/// writer queue swapped in by [`HubShared::prepare_resume`].
 #[derive(Debug, Default)]
 struct ConnState {
     epoch: u64,
     fresh_read: Option<Stream>,
     fresh_write: Option<Stream>,
+    fresh_rx: Option<mpsc::Receiver<Item>>,
     /// A retained clone used only to `shutdown()` the connection from
     /// the hub owner during teardown.
     current: Option<Stream>,
@@ -392,12 +435,96 @@ struct BarrierState {
     count: usize,
 }
 
+/// Per-sender relay accounting: what makes relay exactly-once across
+/// worker restarts.
+#[derive(Debug)]
+struct SenderState {
+    /// Round barriers seen on this sender's *current* connection (reset
+    /// to the re-handshake's `next_ship_round` on re-admission): the
+    /// round its next data frame belongs to. Invariant:
+    /// `ship_round <= committed`.
+    ship_round: u64,
+    /// Rounds of this sender globally committed by the barrier
+    /// (monotone across epochs). Frames of rounds below this are
+    /// deterministic re-sends from a restarted worker — discarded.
+    committed: u64,
+    /// Destinations already relayed in the in-flight round `committed`;
+    /// cleared when that round's live barrier lands. Deduplicates both
+    /// a restarted worker's partial re-ship and a surviving client's
+    /// ambiguous post-reconnect retry.
+    sent_to: Vec<bool>,
+}
+
+/// Everything the relay path touches under one lock: the outgoing
+/// queues (swappable per re-admission), per-sender exactly-once state,
+/// and per-destination replay logs. Lock order: `barrier` before
+/// `relay`; never call out (beyond unbounded `mpsc::send`) while held.
+struct RelayState {
+    /// Per-destination outgoing queues (unbounded — see the module docs
+    /// for why this is the deadlock-freedom keystone). Re-admitting a
+    /// shard replaces its sender; the writer notices its receiver
+    /// disconnect and picks up the fresh pair.
+    queues: Vec<mpsc::Sender<Item>>,
+    senders: Vec<SenderState>,
+    logs: Vec<ReplayLog>,
+}
+
+/// What a hub needs to know beyond the address it listens on.
+#[derive(Debug, Clone)]
+pub(crate) struct HubOptions {
+    /// Shard (= spoke) count.
+    pub(crate) shards: usize,
+    /// Per-blocking-point deadline (reads, writes, client collects).
+    pub(crate) timeout: Duration,
+    /// How long a dead connection may wait for a replacement before the
+    /// shard is declared gone. A supervisor that restarts workers sets
+    /// this to cover detection + backoff + relaunch + replay; without
+    /// supervision it equals `timeout`.
+    pub(crate) grace: Duration,
+    /// Graph digest every worker must present (`None`: fixed by the
+    /// first hello).
+    pub(crate) digest: Option<u64>,
+    /// Rounds of per-destination replay history to retain.
+    pub(crate) replay_window: u64,
+}
+
+impl HubOptions {
+    pub(crate) fn new(shards: usize, timeout: Duration) -> HubOptions {
+        HubOptions {
+            shards,
+            timeout,
+            grace: timeout,
+            digest: None,
+            replay_window: super::replay_window(),
+        }
+    }
+}
+
+/// A worker's end-of-run report, received as a `Stats` control frame.
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    /// Rounds the worker fully committed.
+    pub rounds_run: u64,
+    /// Protocol-level digest of the worker's final state (0 if unused).
+    pub result_digest: u64,
+    /// The worker's accumulated message statistics.
+    pub stats: RunStats,
+}
+
+/// Result of vetting a reconnect's resume coordinates: the replay
+/// stream to write on the fresh connection plus the receiver of the
+/// freshly-swapped writer queue.
+struct Admission {
+    replay: Vec<Bytes>,
+    replay_rounds: u64,
+    rx: mpsc::Receiver<Item>,
+}
+
 struct HubShared {
     shards: usize,
     timeout: Duration,
-    /// Per-destination outgoing queues (unbounded — see the module docs
-    /// for why this is the deadlock-freedom keystone).
-    queues: Vec<mpsc::Sender<Item>>,
+    grace: Duration,
+    relay: Mutex<RelayState>,
     conns: Vec<ConnSlot>,
     barrier: Mutex<BarrierState>,
     done: Mutex<Vec<bool>>,
@@ -410,6 +537,19 @@ struct HubShared {
     /// Graph digest every worker must present. Fixed by the launcher or
     /// by the first `Hello`.
     digest: Mutex<Option<u64>>,
+    /// Last `Heartbeat` (arrival instant, reported round) per shard;
+    /// barrier arrivals refresh the instant too, so the age measures
+    /// "time since this worker last proved liveness".
+    beats: Mutex<Vec<Option<(Instant, u64)>>>,
+    /// Per-shard end-of-run `Stats` reports.
+    stats_slots: Mutex<Vec<Option<WorkerStats>>>,
+    /// Re-registrations (epoch bumps past the first) — restarted
+    /// workers plus surviving-client link reconnects.
+    workers_restarted: AtomicUsize,
+    /// Rounds fast-forwarded to reconnecting clients from replay logs.
+    rounds_replayed: AtomicUsize,
+    /// Heartbeats a supervisor judged overdue before killing a worker.
+    heartbeats_missed: AtomicUsize,
 }
 
 impl fmt::Debug for HubShared {
@@ -422,11 +562,8 @@ impl fmt::Debug for HubShared {
 }
 
 impl HubShared {
-    fn new(
-        shards: usize,
-        timeout: Duration,
-        digest: Option<u64>,
-    ) -> (Arc<Self>, Vec<mpsc::Receiver<Item>>) {
+    fn new(options: &HubOptions) -> (Arc<Self>, Vec<mpsc::Receiver<Item>>) {
+        let shards = options.shards;
         let mut queues = Vec::with_capacity(shards);
         let mut receivers = Vec::with_capacity(shards);
         for _ in 0..shards {
@@ -436,8 +573,21 @@ impl HubShared {
         }
         let shared = Arc::new(HubShared {
             shards,
-            timeout,
-            queues,
+            timeout: options.timeout,
+            grace: options.grace.max(options.timeout),
+            relay: Mutex::new(RelayState {
+                queues,
+                senders: (0..shards)
+                    .map(|_| SenderState {
+                        ship_round: 0,
+                        committed: 0,
+                        sent_to: vec![false; shards],
+                    })
+                    .collect(),
+                logs: (0..shards)
+                    .map(|_| ReplayLog::new(options.replay_window))
+                    .collect(),
+            }),
             conns: (0..shards).map(|_| ConnSlot::default()).collect(),
             barrier: Mutex::new(BarrierState {
                 round: 0,
@@ -448,21 +598,56 @@ impl HubShared {
             fatal: Mutex::new(None),
             halting: AtomicBool::new(false),
             stopping: AtomicBool::new(false),
-            digest: Mutex::new(digest),
+            digest: Mutex::new(options.digest),
+            beats: Mutex::new(vec![None; shards]),
+            stats_slots: Mutex::new((0..shards).map(|_| None).collect()),
+            workers_restarted: AtomicUsize::new(0),
+            rounds_replayed: AtomicUsize::new(0),
+            heartbeats_missed: AtomicUsize::new(0),
         });
         (shared, receivers)
     }
 
     fn enqueue_all(&self, bytes: &Bytes) {
-        for q in &self.queues {
+        let relay = self.relay.lock().expect("no poisoned relay state");
+        for q in &relay.queues {
             let _ = q.send(Item::Frame(bytes.clone()));
         }
     }
 
     fn finish_queues(&self) {
-        for q in &self.queues {
+        let relay = self.relay.lock().expect("no poisoned relay state");
+        for q in &relay.queues {
             let _ = q.send(Item::Exit);
         }
+    }
+
+    /// Relays one data frame from `from` to `dest` with exactly-once
+    /// semantics across sender restarts, logging it for replay.
+    fn relay_data(&self, from: usize, dest: usize, frame: Bytes) {
+        let mut relay = self.relay.lock().expect("no poisoned relay state");
+        let relay = &mut *relay;
+        let s = &mut relay.senders[from];
+        let round = s.ship_round;
+        if round < s.committed {
+            // A restarted worker deterministically re-shipping a round
+            // the fabric already committed: a pure echo.
+            return;
+        }
+        if s.sent_to[dest] {
+            // Duplicate within the in-flight round (partial re-ship
+            // after a crash, or an ambiguous post-reconnect retry).
+            return;
+        }
+        s.sent_to[dest] = true;
+        relay.logs[dest].record(round, frame.clone());
+        let _ = relay.queues[dest].send(Item::Frame(frame));
+    }
+
+    /// Records a worker's liveness proof (heartbeat or barrier
+    /// arrival).
+    fn note_beat(&self, shard: usize, round: u64) {
+        self.beats.lock().expect("no poisoned beats")[shard] = Some((Instant::now(), round));
     }
 
     fn current_round(&self) -> u64 {
@@ -521,9 +706,27 @@ impl HubShared {
     /// acknowledgement is enqueued to every destination *under the
     /// barrier lock*, which orders it after every reader's enqueues of
     /// that round's data frames.
+    ///
+    /// Re-admission rules: a barrier strictly below the sender's
+    /// connection-local `ship_round` is a duplicate retry (ignored); a
+    /// barrier at `ship_round` but below `committed` is a restarted
+    /// worker's echo (advances `ship_round` only); a barrier at
+    /// `ship_round == committed` is live and goes through the global
+    /// barrier as always.
     fn on_barrier(&self, from: usize, round: u64) -> Result<(), SimError> {
+        self.note_beat(from, round);
         let mut b = self.barrier.lock().expect("no poisoned barrier");
-        if round != b.round || b.arrived[from] {
+        let mut relay = self.relay.lock().expect("no poisoned relay state");
+        let relay = &mut *relay;
+        let s = &mut relay.senders[from];
+        if round < s.ship_round {
+            return Ok(());
+        }
+        if round == s.ship_round && round < s.committed {
+            s.ship_round = round + 1;
+            return Ok(());
+        }
+        if round != b.round || round != s.ship_round || b.arrived[from] {
             return Err(SimError::Transport(TransportError {
                 shard: from,
                 round: b.round as usize,
@@ -537,19 +740,75 @@ impl HubShared {
         }
         b.arrived[from] = true;
         b.count += 1;
+        s.ship_round = round + 1;
+        s.committed = round + 1;
+        s.sent_to.fill(false);
         if b.count == self.shards {
             let ack = ControlFrame::RoundBarrier { round }.encode();
             b.round += 1;
             b.count = 0;
             b.arrived.fill(false);
-            self.enqueue_all(&ack);
+            for dest in 0..self.shards {
+                relay.logs[dest].record(round, ack.clone());
+                let _ = relay.queues[dest].send(Item::Frame(ack.clone()));
+            }
+            for log in &mut relay.logs {
+                log.evict_committed(b.round);
+            }
         }
         Ok(())
     }
 
+    /// Vets a (re)connect's resume coordinates and atomically swaps in a
+    /// fresh writer queue for `conn`: snapshots the replay suffix the
+    /// client asked for, resets the sender's connection-local ship
+    /// round, and replaces the queue so no stale live frame can precede
+    /// the replay on the fresh stream. The caller writes the snapshot
+    /// directly, then registers the connection (which hands the stream
+    /// and the fresh receiver to the writer).
+    fn prepare_resume(
+        &self,
+        conn: usize,
+        resume_round: u64,
+        next_ship_round: u64,
+    ) -> Result<Admission, String> {
+        let mut relay = self.relay.lock().expect("no poisoned relay state");
+        let relay = &mut *relay;
+        let committed = relay.senders[conn].committed;
+        if next_ship_round > committed {
+            return Err(format!(
+                "shard {conn} claims it will ship round {next_ship_round} but only {committed} of its rounds are committed"
+            ));
+        }
+        let (replay, replay_rounds) = match relay.logs[conn].snapshot_from(resume_round) {
+            Snapshot::Entries { frames, rounds } => (frames, rounds),
+            Snapshot::Evicted { floor } => {
+                return Err(format!(
+                    "{EVICTED_DETAIL_PREFIX}: shard {conn} asked to resume at round \
+                     {resume_round} but the oldest retained round is {floor}"
+                ));
+            }
+        };
+        relay.senders[conn].ship_round = next_ship_round;
+        let (tx, rx) = mpsc::channel();
+        relay.queues[conn] = tx;
+        Ok(Admission {
+            replay,
+            replay_rounds,
+            rx,
+        })
+    }
+
     /// Installs (or replaces, on reconnect) shard `shard`'s connection
-    /// and wakes any reader/writer waiting out a dead stream.
-    fn register_conn(&self, shard: usize, stream: Stream) -> io::Result<()> {
+    /// and wakes any reader/writer waiting out a dead stream. `rx` is
+    /// the receiver of the queue [`HubShared::prepare_resume`] swapped
+    /// in for this epoch.
+    fn register_conn(
+        &self,
+        shard: usize,
+        stream: Stream,
+        rx: mpsc::Receiver<Item>,
+    ) -> io::Result<()> {
         let _ = stream.set_read_timeout(Some(READ_TICK));
         let _ = stream.set_write_timeout(Some(self.timeout));
         let read = stream.try_clone()?;
@@ -562,6 +821,7 @@ impl HubShared {
         state.epoch += 1;
         state.fresh_read = Some(read);
         state.fresh_write = Some(stream);
+        state.fresh_rx = Some(rx);
         state.current = Some(keep);
         drop(state);
         slot.changed.notify_all();
@@ -575,6 +835,7 @@ impl HubShared {
             shard,
             frame_version,
             graph_digest,
+            ..
         } = hello
         else {
             return Err("first frame was not a hello".into());
@@ -613,27 +874,55 @@ impl HubShared {
         state.fresh_read.take().map(|s| (s, state.epoch))
     }
 
-    /// Waits up to the fabric timeout for a reconnect to supply a newer
-    /// stream half than `epoch`. `read` picks which half.
-    fn await_replacement(&self, conn: usize, epoch: u64, read: bool) -> Option<(Stream, u64)> {
+    /// Waits up to the supervision grace window for a reconnect to
+    /// supply a newer read half than `epoch`.
+    fn await_read_replacement(&self, conn: usize, epoch: u64) -> Option<(Stream, u64)> {
         let slot = &self.conns[conn];
-        let deadline = Instant::now() + self.timeout;
+        let deadline = Instant::now() + self.grace;
         let mut state = slot.state.lock().expect("no poisoned conn slot");
         loop {
             if self.stopping.load(Ordering::SeqCst) {
                 return None;
             }
             if state.epoch > epoch {
-                let half = if read {
-                    state.fresh_read.take()
-                } else {
-                    state.fresh_write.take()
-                };
-                if let Some(s) = half {
+                if let Some(s) = state.fresh_read.take() {
                     return Some((s, state.epoch));
                 }
                 // The matching half was already claimed by a newer
                 // thread; this stale waiter bows out.
+                return None;
+            }
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())?;
+            let (next, _timed_out) = slot
+                .changed
+                .wait_timeout(state, remaining)
+                .expect("no poisoned conn slot");
+            state = next;
+        }
+    }
+
+    /// Waits up to the supervision grace window for a registration newer
+    /// than `epoch` to supply the writer a fresh write half *and* the
+    /// receiver of the freshly-swapped queue (they travel together: a
+    /// stream is only ever paired with its own epoch's queue).
+    fn await_write_replacement(
+        &self,
+        conn: usize,
+        epoch: u64,
+    ) -> Option<(Stream, mpsc::Receiver<Item>, u64)> {
+        let slot = &self.conns[conn];
+        let deadline = Instant::now() + self.grace;
+        let mut state = slot.state.lock().expect("no poisoned conn slot");
+        loop {
+            if self.stopping.load(Ordering::SeqCst) {
+                return None;
+            }
+            if state.epoch > epoch {
+                if let (Some(s), Some(rx)) = (state.fresh_write.take(), state.fresh_rx.take()) {
+                    return Some((s, rx, state.epoch));
+                }
                 return None;
             }
             let remaining = deadline
@@ -661,14 +950,99 @@ fn hello_ack(shared: &HubShared, conn: usize) -> Bytes {
             .lock()
             .expect("no poisoned digest")
             .unwrap_or(0),
+        resume_round: 0,
+        next_ship_round: 0,
     }
     .encode()
 }
 
+/// The resume coordinates carried by a vetted `Hello`.
+fn hello_resume(hello: &ControlFrame) -> (u64, u64) {
+    match hello {
+        ControlFrame::Hello {
+            resume_round,
+            next_ship_round,
+            ..
+        } => (*resume_round, *next_ship_round),
+        _ => unreachable!("caller matched this frame as a hello"),
+    }
+}
+
+/// Why an admission failed: a protocol-level refusal (the claim was
+/// invalid or fell below the replay floor — fabric-fatal) versus the
+/// fresh link dying mid-admission (quietly retriable: the peer can just
+/// reconnect again).
+enum AdmitError {
+    Refused(String),
+    Link(String),
+}
+
+/// Admits a vetted connection: swaps in a fresh writer queue, writes the
+/// acknowledgement and the replay suffix *directly* on the stream (so
+/// neither can be overtaken by queued live traffic), then registers the
+/// stream + queue pair, releasing the shard's reader and writer into the
+/// new epoch.
+fn admit_conn(
+    shared: &Arc<HubShared>,
+    conn: usize,
+    hello: &ControlFrame,
+    mut stream: Stream,
+) -> Result<(), AdmitError> {
+    let (resume_round, next_ship_round) = hello_resume(hello);
+    let admission = match shared.prepare_resume(conn, resume_round, next_ship_round) {
+        Ok(admission) => admission,
+        Err(detail) => {
+            // Tell the connector why before hanging up.
+            let refusal = refusal_frame(conn, detail.clone());
+            let _ = stream
+                .write_all(refusal.as_slice())
+                .and_then(|()| stream.flush());
+            stream.shutdown_both();
+            return Err(AdmitError::Refused(detail));
+        }
+    };
+    let ack = hello_ack(shared, conn);
+    stream
+        .write_all(ack.as_slice())
+        .and_then(|()| stream.flush())
+        .map_err(|e| AdmitError::Link(format!("hello acknowledgement write failed: {e}")))?;
+    for frame in &admission.replay {
+        stream
+            .write_all(frame.as_slice())
+            .map_err(|e| AdmitError::Link(format!("replay write failed: {e}")))?;
+    }
+    stream
+        .flush()
+        .map_err(|e| AdmitError::Link(format!("replay flush failed: {e}")))?;
+    let rejoin = {
+        let state = shared.conns[conn]
+            .state
+            .lock()
+            .expect("no poisoned conn slot");
+        state.epoch > 0
+    };
+    if rejoin {
+        shared.workers_restarted.fetch_add(1, Ordering::Relaxed);
+        // Only re-admissions count as recovery: a *first* admission can
+        // also replay (a fast peer's frames recorded before this shard
+        // registered get re-sent from the log across the queue swap),
+        // but that is ordinary startup skew, not a heal.
+        if admission.replay_rounds > 0 {
+            shared
+                .rounds_replayed
+                .fetch_add(admission.replay_rounds as usize, Ordering::Relaxed);
+        }
+    }
+    shared
+        .register_conn(conn, stream, admission.rx)
+        .map_err(|e| AdmitError::Link(format!("connection registration failed: {e}")))?;
+    Ok(())
+}
+
 /// Pairs-mode connection driver: handshake on the raw hub-side stream,
-/// then register it (releasing the writer) and relay. Registration
-/// *after* the acknowledgement write is what guarantees the client sees
-/// the acknowledgement before any queued traffic.
+/// then admit it (releasing the writer) and relay. Admission *after*
+/// the acknowledgement write is what guarantees the client sees the
+/// acknowledgement before any queued traffic.
 fn run_pairs_conn(shared: &Arc<HubShared>, conn: usize, mut stream: Stream) {
     let _ = stream.set_read_timeout(Some(shared.timeout));
     let _ = stream.set_write_timeout(Some(shared.timeout));
@@ -693,16 +1067,10 @@ fn run_pairs_conn(shared: &Arc<HubShared>, conn: usize, mut stream: Stream) {
     if let Err(detail) = shared.vet_hello(conn, &hello) {
         return fail(detail);
     }
-    let ack = hello_ack(shared, conn);
-    if stream
-        .write_all(ack.as_slice())
-        .and_then(|()| stream.flush())
-        .is_err()
+    if let Err(AdmitError::Refused(detail) | AdmitError::Link(detail)) =
+        admit_conn(shared, conn, &hello, stream)
     {
-        return fail("hello acknowledgement write failed".into());
-    }
-    if shared.register_conn(conn, stream).is_err() {
-        return fail("connection registration failed".into());
+        return fail(detail);
     }
     run_reader(shared, conn);
 }
@@ -748,13 +1116,28 @@ fn run_reader(shared: &Arc<HubShared>, conn: usize) {
                     );
                     return;
                 }
-                let _ = shared.queues[dest].send(Item::Frame(frame));
+                shared.relay_data(conn, dest, frame);
             }
             Ok(Wire::Control(ControlFrame::RoundBarrier { round })) => {
                 if let Err(error) = shared.on_barrier(conn, round) {
                     shared.declare_fatal(conn as u32, error);
                     return;
                 }
+            }
+            Ok(Wire::Control(ControlFrame::Heartbeat { round, .. })) => {
+                shared.note_beat(conn, round);
+            }
+            Ok(Wire::Control(ControlFrame::Stats {
+                rounds_run,
+                result_digest,
+                stats,
+                ..
+            })) => {
+                shared.stats_slots.lock().expect("no poisoned stats")[conn] = Some(WorkerStats {
+                    rounds_run,
+                    result_digest,
+                    stats,
+                });
             }
             Ok(Wire::Control(ControlFrame::Error { origin, error })) => {
                 shared.declare_fatal(origin, error);
@@ -778,12 +1161,15 @@ fn run_reader(shared: &Arc<HubShared>, conn: usize) {
                 return;
             }
             Err(ReadEnd::Tick) => {}
-            Err(ReadEnd::Eof | ReadEnd::Io(_)) => {
+            Err(ReadEnd::Eof | ReadEnd::ClosedMidFrame | ReadEnd::Io(_)) => {
                 if shared.is_done(conn) || shared.halted() {
                     return;
                 }
-                // Grace window: a reconnect may replace this stream.
-                if let Some((fresh, e)) = shared.await_replacement(conn, epoch, true) {
+                // Grace window: a reconnect may replace this stream. A
+                // close mid-frame (SIGKILL mid-ship) is recoverable too:
+                // the fresh stream starts at a frame boundary and the
+                // relay's exactly-once accounting absorbs the re-ship.
+                if let Some((fresh, e)) = shared.await_read_replacement(conn, epoch) {
                     stream = fresh;
                     epoch = e;
                     continue;
@@ -828,78 +1214,68 @@ fn run_reader(shared: &Arc<HubShared>, conn: usize) {
     }
 }
 
-/// Write loop for one shard's outgoing stream: drains the shard's queue,
-/// surviving one stream replacement per frame, declaring the shard gone
-/// (typed, fabric-wide) when a write can neither complete nor be
-/// retried.
-fn run_writer(shared: &Arc<HubShared>, conn: usize, rx: &mpsc::Receiver<Item>) {
+/// Write loop for one shard's outgoing stream.
+///
+/// The writer starts with no stream at all: every admission — including
+/// the first — swaps the shard's queue and hands the writer a `(stream,
+/// queue receiver)` pair for the new epoch. When its receiver
+/// disconnects (the queue was swapped for a newer epoch) the writer
+/// waits out the grace window for the replacement pair. Frames that
+/// cannot be written — no stream yet, or a mid-epoch write failure —
+/// are *dropped*, never retained across epochs: every data frame and
+/// barrier ack is in the destination's replay log, so the next
+/// admission re-delivers them in order, and retaining a stale copy
+/// would double-deliver. (Un-logged `Error`/`Shutdown` broadcasts can
+/// be lost in this narrow window; the client then ends on its own
+/// bounded timeout instead — still typed, never a hang.)
+///
+/// Declaring the shard gone is the *reader's* job (it owns the grace
+/// deadline); the writer just bows out quietly when no replacement
+/// comes.
+fn run_writer(shared: &Arc<HubShared>, conn: usize, rx: mpsc::Receiver<Item>) {
+    let mut rx = rx;
     let mut stream: Option<Stream> = None;
     let mut epoch = 0u64;
-    let mut dead = false;
     loop {
-        let item = match rx.recv() {
-            Ok(item) => item,
-            Err(_) => return,
-        };
-        let bytes = match item {
-            Item::Exit => {
+        match rx.recv_timeout(READ_TICK) {
+            Ok(Item::Exit) => {
                 if let Some(s) = &mut stream {
                     let _ = s.flush();
                     s.shutdown_both();
                 }
                 return;
             }
-            Item::Frame(bytes) => bytes,
-        };
-        if dead {
-            continue; // drain so the queue cannot grow without bound
-        }
-        let mut attempts = 0;
-        loop {
-            if stream.is_none() {
-                match shared.await_replacement(conn, epoch, false) {
-                    Some((s, e)) => {
-                        stream = Some(s);
-                        epoch = e;
-                    }
-                    None => {
-                        dead = true;
-                        if !shared.halted() {
-                            shared.declare_fatal(
-                                conn as u32,
-                                SimError::Transport(TransportError {
-                                    shard: conn,
-                                    round: shared.current_round() as usize,
-                                    cause: TransportCause::Disconnected,
-                                }),
-                            );
-                        }
-                        break;
-                    }
+            Ok(Item::Frame(bytes)) => {
+                let Some(s) = stream.as_mut() else {
+                    continue; // no stream this epoch: replay covers it
+                };
+                if s.write_all(bytes.as_slice())
+                    .and_then(|()| s.flush())
+                    .is_err()
+                {
+                    // The stream died mid-epoch. Drop the frame (the
+                    // replay log has it) and keep draining; a reconnect
+                    // swaps the queue, which lands us in the
+                    // disconnected arm below.
+                    stream = None;
                 }
             }
-            let s = stream.as_mut().expect("stream was just installed");
-            match s.write_all(bytes.as_slice()).and_then(|()| s.flush()) {
-                Ok(()) => break,
-                Err(error) => {
-                    stream = None;
-                    attempts += 1;
-                    if attempts >= 2 {
-                        dead = true;
-                        if !shared.halted() {
-                            shared.declare_fatal(
-                                conn as u32,
-                                SimError::Transport(TransportError {
-                                    shard: conn,
-                                    round: shared.current_round() as usize,
-                                    cause: TransportCause::Io {
-                                        detail: format!("write to shard {conn} failed: {error}"),
-                                    },
-                                }),
-                            );
-                        }
-                        break;
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    if let Some(s) = &mut stream {
+                        let _ = s.flush();
                     }
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                match shared.await_write_replacement(conn, epoch) {
+                    Some((s, fresh_rx, e)) => {
+                        stream = Some(s);
+                        rx = fresh_rx;
+                        epoch = e;
+                    }
+                    None => return,
                 }
             }
         }
@@ -921,7 +1297,7 @@ impl Hub {
     /// filesystem, no reconnect. Returns the hub and the client-side
     /// stream of each shard.
     fn new_pairs(shards: usize, timeout: Duration) -> io::Result<(Hub, Vec<Stream>)> {
-        let (shared, receivers) = HubShared::new(shards, timeout, None);
+        let (shared, receivers) = HubShared::new(&HubOptions::new(shards, timeout));
         let threads = Arc::new(Mutex::new(Vec::new()));
         let mut client_halves = Vec::with_capacity(shards);
         {
@@ -931,7 +1307,7 @@ impl Hub {
                 handles.push(
                     std::thread::Builder::new()
                         .name(format!("hub-writer-{conn}"))
-                        .spawn(move || run_writer(&hub_shared, conn, &rx))
+                        .spawn(move || run_writer(&hub_shared, conn, rx))
                         .expect("spawn hub writer"),
                 );
             }
@@ -968,6 +1344,14 @@ impl Hub {
         timeout: Duration,
         expected_digest: Option<u64>,
     ) -> io::Result<(Hub, HubAddr)> {
+        let mut options = HubOptions::new(shards, timeout);
+        options.digest = expected_digest;
+        Self::listen_with(addr, options)
+    }
+
+    /// [`Hub::listen`] with full [`HubOptions`] control (supervision
+    /// grace, replay window).
+    pub(crate) fn listen_with(addr: &HubAddr, options: HubOptions) -> io::Result<(Hub, HubAddr)> {
         let (listener, bound) = match addr {
             HubAddr::Unix(path) => (
                 Listener::Unix(UnixListener::bind(path)?),
@@ -980,7 +1364,7 @@ impl Hub {
             }
         };
         listener.set_nonblocking(true)?;
-        let (shared, receivers) = HubShared::new(shards, timeout, expected_digest);
+        let (shared, receivers) = HubShared::new(&options);
         let threads = Arc::new(Mutex::new(Vec::new()));
         {
             let mut handles = threads.lock().expect("no poisoned thread list");
@@ -989,7 +1373,7 @@ impl Hub {
                 handles.push(
                     std::thread::Builder::new()
                         .name(format!("hub-writer-{conn}"))
-                        .spawn(move || run_writer(&hub_shared, conn, &rx))
+                        .spawn(move || run_writer(&hub_shared, conn, rx))
                         .expect("spawn hub writer"),
                 );
             }
@@ -1023,6 +1407,77 @@ impl Hub {
             .lock()
             .expect("no poisoned fatal slot")
             .clone()
+    }
+
+    /// The fabric's current barrier round (rounds fully committed by
+    /// every shard). A supervisor watches this for global stalls.
+    pub(crate) fn barrier_round(&self) -> u64 {
+        self.shared.current_round()
+    }
+
+    /// Per-shard committed round counts — how far each shard's inputs
+    /// have been durably folded into the barrier. The least-advanced
+    /// not-yet-done shard is the prime wedge suspect.
+    pub(crate) fn committed_rounds(&self) -> Vec<u64> {
+        let relay = self.shared.relay.lock().expect("no poisoned relay state");
+        relay.senders.iter().map(|s| s.committed).collect()
+    }
+
+    /// Per-shard liveness: `(age of last proof, round it reported)`.
+    /// Heartbeats and barrier arrivals both refresh it.
+    pub(crate) fn beat_ages(&self) -> Vec<Option<(Duration, u64)>> {
+        let beats = self.shared.beats.lock().expect("no poisoned beats");
+        beats
+            .iter()
+            .map(|b| b.map(|(at, round)| (at.elapsed(), round)))
+            .collect()
+    }
+
+    /// Which shards have announced orderly completion.
+    pub(crate) fn done_flags(&self) -> Vec<bool> {
+        self.shared
+            .done
+            .lock()
+            .expect("no poisoned done flags")
+            .clone()
+    }
+
+    /// Per-shard end-of-run reports received as `Stats` frames.
+    pub(crate) fn worker_stats(&self) -> Vec<Option<WorkerStats>> {
+        self.shared
+            .stats_slots
+            .lock()
+            .expect("no poisoned stats")
+            .clone()
+    }
+
+    /// `(workers_restarted, rounds_replayed, heartbeats_missed)` so far.
+    pub(crate) fn recovery_counters(&self) -> (usize, usize, usize) {
+        (
+            self.shared.workers_restarted.load(Ordering::Relaxed),
+            self.shared.rounds_replayed.load(Ordering::Relaxed),
+            self.shared.heartbeats_missed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// A supervisor judged a heartbeat overdue (before acting on it).
+    pub(crate) fn note_missed_heartbeat(&self) {
+        self.shared
+            .heartbeats_missed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A supervisor exhausted its restart budget for `shard`: end the
+    /// run with a typed error naming it, releasing every peer.
+    pub(crate) fn declare_lost(&self, shard: usize, detail: String) {
+        self.shared.declare_fatal(
+            shard as u32,
+            SimError::Transport(TransportError {
+                shard,
+                round: self.shared.current_round() as usize,
+                cause: TransportCause::Io { detail },
+            }),
+        );
     }
 
     /// Waits (polling) until the fabric halts — all shards shut down
@@ -1167,18 +1622,6 @@ fn run_accept(
             );
             continue;
         }
-        // Acknowledge directly on the fresh stream, *before*
-        // registration hands it to the writer: queued traffic from fast
-        // peers must never overtake the acknowledgement.
-        let ack = hello_ack(shared, conn);
-        if stream
-            .write_all(ack.as_slice())
-            .and_then(|()| stream.flush())
-            .is_err()
-        {
-            stream.shutdown_both();
-            continue;
-        }
         let first_registration = {
             let state = shared.conns[conn]
                 .state
@@ -1186,8 +1629,32 @@ fn run_accept(
                 .expect("no poisoned conn slot");
             state.epoch == 0
         };
-        if shared.register_conn(conn, stream).is_err() {
-            continue;
+        // Acknowledgement and replay are written directly on the fresh
+        // stream, *before* registration hands it to the writer: queued
+        // traffic from fast peers must never overtake either.
+        match admit_conn(shared, conn, &hello, stream) {
+            Ok(()) => {}
+            Err(AdmitError::Refused(detail)) => {
+                // An invalid resume claim (or one below the replay
+                // floor) poisons the run the same way a wrong graph
+                // does: refuse fabric-wide, typed. A supervisor
+                // recognizes the replay-floor case by its
+                // [`EVICTED_DETAIL_PREFIX`] and restarts the whole
+                // (deterministic) run instead.
+                shared.declare_fatal(
+                    conn as u32,
+                    SimError::Transport(TransportError {
+                        shard: conn,
+                        round: shared.current_round() as usize,
+                        cause: TransportCause::Handshake { detail },
+                    }),
+                );
+                continue;
+            }
+            Err(AdmitError::Link(_)) => {
+                // The peer died mid-admission; it may simply try again.
+                continue;
+            }
         }
         if first_registration {
             let hub_shared = Arc::clone(shared);
@@ -1232,14 +1699,22 @@ pub struct HubClient {
     shards: usize,
     timeout: Duration,
     graph_digest: u64,
-    link: Mutex<Stream>,
+    /// Shared with the heartbeat pacer thread: *all* writes to the hub
+    /// go through this one mutex, because interleaving two writers'
+    /// partial writes on one stream would desynchronize the framing.
+    link: Arc<Mutex<Stream>>,
     /// Redial target; `None` in pairs mode (no reconnect possible).
     addr: Option<HubAddr>,
     /// One-shot reconnect budget.
     reconnected: AtomicBool,
     sends_this_round: AtomicUsize,
-    barrier_round: AtomicU64,
+    /// Shared with the pacer so heartbeats report the round being
+    /// shipped.
+    barrier_round: Arc<AtomicU64>,
     collect_round: AtomicU64,
+    /// The running heartbeat pacer, if [`HubClient::start_heartbeats`]
+    /// was called; stopped and joined on drop.
+    pacer: Mutex<Option<Pacer>>,
     /// Data frames that arrived ahead of their round (a fast peer can
     /// legally run one round ahead of this shard's collect).
     pending: Mutex<VecDeque<Bytes>>,
@@ -1250,6 +1725,13 @@ pub struct HubClient {
     fatal: Mutex<Option<TransportError>>,
     frames_retried: AtomicUsize,
     collect_wait_ns: AtomicU64,
+}
+
+/// A running heartbeat pacer thread and its stop flag.
+#[derive(Debug)]
+struct Pacer {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
 }
 
 impl HubClient {
@@ -1278,7 +1760,7 @@ impl HubClient {
                 detail: format!("connect to {addr} failed: {e}"),
             })
         })?;
-        handshake(&mut stream, shard, graph_digest, timeout).map_err(fail)?;
+        handshake(&mut stream, shard, graph_digest, 0, 0, timeout).map_err(fail)?;
         Ok(Self::from_parts(
             stream,
             Some(addr.clone()),
@@ -1297,7 +1779,7 @@ impl HubClient {
         shards: usize,
         timeout: Duration,
     ) -> Result<HubClient, TransportError> {
-        handshake(&mut stream, shard, 0, timeout).map_err(|cause| TransportError {
+        handshake(&mut stream, shard, 0, 0, 0, timeout).map_err(|cause| TransportError {
             shard,
             round: 0,
             cause,
@@ -1318,12 +1800,13 @@ impl HubClient {
             shards,
             timeout,
             graph_digest,
-            link: Mutex::new(stream),
+            link: Arc::new(Mutex::new(stream)),
             addr,
             reconnected: AtomicBool::new(false),
             sends_this_round: AtomicUsize::new(0),
-            barrier_round: AtomicU64::new(0),
+            barrier_round: Arc::new(AtomicU64::new(0)),
             collect_round: AtomicU64::new(0),
+            pacer: Mutex::new(None),
             pending: Mutex::new(VecDeque::new()),
             remote: Mutex::new(None),
             fatal: Mutex::new(None),
@@ -1356,13 +1839,21 @@ impl HubClient {
     pub fn health(&self) -> TransportHealth {
         TransportHealth {
             frames_retried: self.frames_retried.load(Ordering::Relaxed),
-            frames_dropped_injected: 0,
             collect_wait_ns: self.collect_wait_ns.load(Ordering::Relaxed),
+            ..TransportHealth::default()
         }
     }
 
     /// One-shot reconnect-with-handshake. Consumes the budget even on
     /// failure; counts into `frames_retried` on success.
+    ///
+    /// The re-handshake carries this client's resume coordinates: the
+    /// round it is collecting (the hub replays everything it delivered
+    /// from that round on) and the round its next data frame belongs
+    /// to (resetting the hub's connection-local barrier count). The
+    /// pending buffer is cleared — every frame it held is in the hub's
+    /// replay window and will be re-delivered in order, and keeping
+    /// stale copies would double-file them.
     fn reconnect(&self, link: &mut Stream, first_detail: &str) -> Result<(), TransportCause> {
         let Some(addr) = &self.addr else {
             return Err(TransportCause::Io {
@@ -1377,10 +1868,88 @@ impl HubClient {
         let mut fresh = addr.connect(self.timeout).map_err(|e| TransportCause::Io {
             detail: format!("{first_detail}; reconnect failed: {e}"),
         })?;
-        handshake(&mut fresh, self.shard, self.graph_digest, self.timeout)?;
+        let resume = self.collect_round.load(Ordering::SeqCst);
+        let next_ship = self.barrier_round.load(Ordering::SeqCst);
+        handshake(
+            &mut fresh,
+            self.shard,
+            self.graph_digest,
+            resume,
+            next_ship,
+            self.timeout,
+        )?;
+        self.pending
+            .lock()
+            .expect("no poisoned pending queue")
+            .clear();
         self.frames_retried.fetch_add(1, Ordering::Relaxed);
         *link = fresh;
         Ok(())
+    }
+
+    /// Starts a background pacer that writes a `Heartbeat` control
+    /// frame roughly every `interval`, sharing the link mutex with the
+    /// regular traffic (it *skips* a beat rather than queue behind a
+    /// long collect — the hub treats barrier arrivals as liveness proof
+    /// too, so a busy client never looks dead for being busy).
+    /// Idempotent: a second call replaces the previous pacer.
+    pub fn start_heartbeats(&self, interval: Duration) {
+        let interval = interval.max(Duration::from_millis(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let link = Arc::clone(&self.link);
+        let round = Arc::clone(&self.barrier_round);
+        let shard = self.shard as u32;
+        let tick = interval.min(Duration::from_millis(50));
+        let pacer_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("heartbeat-{shard}"))
+            .spawn(move || {
+                let mut last = Instant::now();
+                while !pacer_stop.load(Ordering::SeqCst) {
+                    if last.elapsed() >= interval {
+                        // try_lock: never block behind a collect.
+                        if let Ok(mut link) = link.try_lock() {
+                            let beat = ControlFrame::Heartbeat {
+                                shard,
+                                round: round.load(Ordering::SeqCst),
+                            }
+                            .encode();
+                            let _ = link.write_all(beat.as_slice()).and_then(|()| link.flush());
+                            last = Instant::now();
+                        }
+                    }
+                    std::thread::sleep(tick);
+                }
+            })
+            .expect("spawn heartbeat pacer");
+        let mut slot = self.pacer.lock().expect("no poisoned pacer slot");
+        if let Some(old) = slot.replace(Pacer { stop, handle }) {
+            old.stop.store(true, Ordering::SeqCst);
+            let _ = old.handle.join();
+        }
+    }
+
+    /// Stops the heartbeat pacer, if one is running.
+    pub fn stop_heartbeats(&self) {
+        let pacer = self.pacer.lock().expect("no poisoned pacer slot").take();
+        if let Some(pacer) = pacer {
+            pacer.stop.store(true, Ordering::SeqCst);
+            let _ = pacer.handle.join();
+        }
+    }
+
+    /// Streams this worker's end-of-run report to the hub (best
+    /// effort), replacing stdout parsing in distributed mode.
+    pub fn send_stats(&self, rounds_run: u64, result_digest: u64, stats: &RunStats) {
+        let frame = ControlFrame::Stats {
+            shard: self.shard as u32,
+            rounds_run,
+            result_digest,
+            stats: stats.clone(),
+        }
+        .encode();
+        let mut link = self.link.lock().expect("no poisoned link");
+        let _ = link.write_all(frame.as_slice()).and_then(|()| link.flush());
     }
 
     fn write_with_retry(&self, link: &mut Stream, bytes: &[u8]) -> Result<(), TransportCause> {
@@ -1589,10 +2158,13 @@ impl HubClient {
                         },
                     });
                 }
+                Ok(Wire::Control(ControlFrame::Heartbeat { .. } | ControlFrame::Stats { .. })) => {
+                    // Worker-to-hub frames; a hub never sends them.
+                }
                 Err(ReadEnd::Tick | ReadEnd::Stalled) => {
                     // Deadline recheck happens at the loop head.
                 }
-                Err(ReadEnd::Eof) => {
+                Err(ReadEnd::Eof | ReadEnd::ClosedMidFrame) => {
                     if let Err(cause) = self.reconnect(&mut link, "hub closed the connection") {
                         break Err(TransportError {
                             shard: self.blame_shard(into),
@@ -1603,6 +2175,11 @@ impl HubClient {
                             },
                         });
                     }
+                    // The hub will replay this round from scratch:
+                    // restart the collect so re-delivered frames file
+                    // cleanly instead of double-filing.
+                    into.iter_mut().for_each(|slot| *slot = None);
+                    got_ack = false;
                 }
                 Err(ReadEnd::Io(detail)) => {
                     if let Err(cause) = self.reconnect(&mut link, &detail) {
@@ -1612,6 +2189,8 @@ impl HubClient {
                             cause,
                         });
                     }
+                    into.iter_mut().for_each(|slot| *slot = None);
+                    got_ack = false;
                 }
                 Err(ReadEnd::Desync(detail)) => {
                     break Err(TransportError {
@@ -1634,6 +2213,12 @@ impl HubClient {
                 Err(error)
             }
         }
+    }
+}
+
+impl Drop for HubClient {
+    fn drop(&mut self) {
+        self.stop_heartbeats();
     }
 }
 
@@ -1758,6 +2343,12 @@ impl Transport for SocketTransport {
         let mut health = TransportHealth::default();
         for client in &self.clients {
             health.absorb(client.health());
+        }
+        if let Some(hub) = &self.hub {
+            let (restarted, replayed, missed) = hub.recovery_counters();
+            health.workers_restarted += restarted;
+            health.rounds_replayed += replayed;
+            health.heartbeats_missed += missed;
         }
         health
     }
@@ -1987,6 +2578,126 @@ mod tests {
             client.health().frames_retried > 0,
             "reconnect must be counted"
         );
+        drop(hub);
+    }
+
+    #[test]
+    fn a_severed_links_readmission_bumps_the_epoch_and_counts() {
+        // Surviving-client reconnect: the write to the severed link
+        // fails, the client re-handshakes, and the hub re-admits it as
+        // a new epoch — visible in the recovery counters.
+        let request = HubAddr::Unix(test_socket_path("epochcount"));
+        let (hub, addr) = Hub::listen(&request, 1, Duration::from_secs(5), None).unwrap();
+        let client = HubClient::connect(&addr, 0, 1, 0, Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            hub.recovery_counters().0,
+            0,
+            "first admission is not a restart"
+        );
+        hub.sever(0);
+        std::thread::sleep(Duration::from_millis(50));
+        client.send(0, data_frame(0, 0, 9));
+        let mut slots = vec![None; 1];
+        client.collect(&mut slots).unwrap();
+        assert_eq!(
+            slots[0].as_ref().unwrap().as_slice(),
+            data_frame(0, 0, 9).as_slice()
+        );
+        let (restarted, _, _) = hub.recovery_counters();
+        assert_eq!(restarted, 1, "the re-admission must be counted");
+        assert!(client.health().frames_retried >= 1);
+        drop(hub);
+    }
+
+    #[test]
+    fn a_restarted_worker_is_replayed_and_its_resends_echo_discarded() {
+        // Process-level recovery, in miniature: run two rounds, "crash"
+        // (drop the client), and bring up a replacement that — like a
+        // deterministically re-run worker — resumes from round 0 and
+        // re-ships everything. The hub must replay the committed rounds
+        // at admission (written on the fresh stream strictly before
+        // registration, so live traffic cannot overtake them), discard
+        // the re-sent data as echoes, and then accept new rounds live.
+        let request = HubAddr::Unix(test_socket_path("restartreplay"));
+        let (hub, addr) = Hub::listen(&request, 1, Duration::from_secs(5), None).unwrap();
+        let client = HubClient::connect(&addr, 0, 1, 0, Duration::from_secs(5)).unwrap();
+        for round in 0..2u8 {
+            client.send(0, data_frame(0, 0, round));
+            let mut slots = vec![None; 1];
+            client.collect(&mut slots).unwrap();
+        }
+        drop(client); // the worker process dies
+        let replacement = HubClient::connect(&addr, 0, 1, 0, Duration::from_secs(5)).unwrap();
+        for round in 0..3u8 {
+            // Rounds 0 and 1 are re-runs: data echo-discarded, barrier
+            // echo-acked, content served from the replay log. Round 2
+            // is new and must go through live.
+            replacement.send(0, data_frame(0, 0, round));
+            let mut slots = vec![None; 1];
+            replacement.collect(&mut slots).unwrap();
+            assert_eq!(
+                slots[0].as_ref().unwrap().as_slice(),
+                data_frame(0, 0, round).as_slice(),
+                "round {round} after the restart"
+            );
+        }
+        let (restarted, replayed, _) = hub.recovery_counters();
+        assert_eq!(restarted, 1, "one re-admission");
+        assert_eq!(replayed, 2, "both committed rounds must be replayed");
+        drop(hub);
+    }
+
+    #[test]
+    fn heartbeats_refresh_the_hubs_liveness_view() {
+        let request = HubAddr::Unix(test_socket_path("beats"));
+        let (hub, addr) = Hub::listen(&request, 1, Duration::from_secs(5), None).unwrap();
+        let client = HubClient::connect(&addr, 0, 1, 0, Duration::from_secs(5)).unwrap();
+        assert!(hub.beat_ages()[0].is_none(), "no proof of life yet");
+        client.start_heartbeats(Duration::from_millis(10));
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while hub.beat_ages()[0].is_none() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let (age, round) = hub.beat_ages()[0].expect("heartbeat must register");
+        assert!(age < Duration::from_secs(1));
+        assert_eq!(round, 0, "no barrier passed yet");
+        client.stop_heartbeats();
+        drop(hub);
+    }
+
+    #[test]
+    fn stats_frames_land_in_the_hubs_slots() {
+        let request = HubAddr::Unix(test_socket_path("stats"));
+        let (hub, addr) = Hub::listen(&request, 1, Duration::from_secs(5), None).unwrap();
+        let client = HubClient::connect(&addr, 0, 1, 0, Duration::from_secs(5)).unwrap();
+        let mut stats = RunStats::default();
+        stats.absorb(crate::stats::RoundStats {
+            round: 0,
+            messages: 7,
+            bytes: 56,
+            max_edge_bytes: 8,
+        });
+        client.send_stats(3, 0xfeed_beef, &stats);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while hub.worker_stats()[0].is_none() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let got = hub.worker_stats()[0].clone().expect("stats must arrive");
+        assert_eq!(got.rounds_run, 3);
+        assert_eq!(got.result_digest, 0xfeed_beef);
+        assert_eq!(got.stats.total_messages, 7);
+        drop(hub);
+    }
+
+    #[test]
+    fn a_lost_shard_declaration_is_a_typed_error_for_peers() {
+        let request = HubAddr::Unix(test_socket_path("lost"));
+        let (hub, addr) = Hub::listen(&request, 2, FAST, None).unwrap();
+        let c0 = HubClient::connect(&addr, 0, 2, 0, FAST).unwrap();
+        let _c1 = HubClient::connect(&addr, 1, 2, 0, FAST).unwrap();
+        hub.declare_lost(1, "restart budget exhausted".into());
+        let error = c0.collect(&mut vec![None; 2]).unwrap_err();
+        assert_eq!(error.shard, 1, "the lost shard gets the blame");
         drop(hub);
     }
 

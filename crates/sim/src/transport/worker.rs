@@ -94,11 +94,37 @@ pub fn run_worker<P, F>(
     graph: &Graph,
     client: &HubClient,
     config: &WorkerConfig,
-    mut make_node: F,
+    make_node: F,
 ) -> Result<(WorkerReport, Vec<P>), SimError>
 where
     P: Protocol,
     F: FnMut(VertexId, &Ctx<'_>) -> P,
+{
+    run_worker_reporting(graph, client, config, make_node, |_| 0)
+}
+
+/// [`run_worker`] plus end-of-run reporting: on success the worker
+/// streams its [`RunStats`] and a caller-computed result digest to the
+/// hub as a `Stats` control frame *before* the `Shutdown` frame (the
+/// hub stops reading this connection at `Shutdown`, so order matters).
+/// The launcher merges the reports instead of parsing worker stdout,
+/// and the digest lets it cross-check that restarted workers converged
+/// on the same result.
+///
+/// # Errors
+///
+/// As [`run_worker`].
+pub fn run_worker_reporting<P, F, D>(
+    graph: &Graph,
+    client: &HubClient,
+    config: &WorkerConfig,
+    mut make_node: F,
+    digest_of: D,
+) -> Result<(WorkerReport, Vec<P>), SimError>
+where
+    P: Protocol,
+    F: FnMut(VertexId, &Ctx<'_>) -> P,
+    D: FnOnce(&[P]) -> u64,
 {
     let plan = ShardPlan::degree_balanced(graph, config.shards);
     if plan.count() != config.shards || config.shard >= config.shards {
@@ -175,6 +201,7 @@ where
         report.stats.absorb(shard.stats);
         report.rounds_run += 1;
     }
+    client.send_stats(report.rounds_run as u64, digest_of(&nodes), &report.stats);
     client.send_shutdown();
     Ok((report, nodes))
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! netdecomp <file|-> [--algo basic|staged|high-radius|ls93] [--k K] [--c C]
 //!           [--lambda L] [--seed S] [--assignment]
-//! netdecomp <file> --distributed N [--rounds R]
+//! netdecomp <file> --distributed N [--rounds R] [--max-restarts M]
+//!           [--heartbeat-ms H] [--timeout-ms T] [--hub-addr ADDR]
 //! netdecomp <file> --worker            # spawned by --distributed
 //! ```
 //!
@@ -16,23 +17,41 @@
 //! socket hub, re-launches this binary `N` times in `--worker` mode (one
 //! OS process per shard, connected only by the hub socket), runs a
 //! max-id flood over the graph, and cross-checks every worker's final
-//! shard states against the in-process sequential engine. A worker finds
-//! its shard, fabric size, hub address, and round budget in the
-//! environment variables named by [`launcher`]'s `ENV_*` constants; a
-//! worker whose shard index equals `NETDECOMP_WORKER_ABORT` connects and
-//! then dies without a word — the fault hook the robustness tests use to
-//! prove a killed shard surfaces as a typed error, never a hang.
+//! shard states against the in-process sequential engine. The run is
+//! *supervised*: each worker heartbeats (`--heartbeat-ms`, propagated
+//! through the environment), a crashed or wedged worker is relaunched up
+//! to `--max-restarts` times, and the hub's replay log fast-forwards the
+//! replacement — only an exhausted budget is an error. Worker results
+//! arrive as `Stats` control frames over the fabric itself, not by
+//! parsing worker stdout. `--timeout-ms` pins the fabric timeout for
+//! this invocation and every worker it spawns; `--hub-addr` (or
+//! `NETDECOMP_HUB_ADDR`) binds the hub somewhere specific — `unix:PATH`,
+//! `tcp:HOST:PORT`, or bare `HOST:PORT` (TCP) — instead of the default
+//! loopback temp socket.
+//!
+//! A worker finds its shard, fabric size, hub address, and round budget
+//! in the environment variables named by [`launcher`]'s `ENV_*`
+//! constants. Chaos hooks for the soak harness, armed only on a worker's
+//! first launch (restarts run clean): `NETDECOMP_WORKER_ABORT=<shard>`
+//! connects then dies wordlessly on *every* launch (the budget-exhaustion
+//! hook); `NETDECOMP_CHAOS_CRASH=<shard>:<round>` exits 137 when that
+//! shard computes that round; `NETDECOMP_CHAOS_WEDGE=<shard>:<round>`
+//! sleeps forever there (the supervisor must stall-detect and kill it);
+//! `NETDECOMP_CHAOS_KILL=<shard>:<round>` has the *supervisor* SIGKILL
+//! the shard from outside when it reaches that round;
+//! `NETDECOMP_CHAOS_SLOW_MS=<ms>` slows every round of every worker.
 
 use std::io::Read as _;
+use std::time::Duration;
 
 use bytes::Bytes;
 use netdecomp::baselines::linial_saks;
 use netdecomp::core::{basic, high_radius, params, staged, verify, NetworkDecomposition};
 use netdecomp::graph::{io, Graph};
-use netdecomp::sim::transport::{launcher, run_worker, WorkerConfig};
+use netdecomp::sim::transport::{launcher, run_worker_reporting, WorkerConfig};
 use netdecomp::sim::{
-    frame_timeout, graph_digest, CongestLimit, Ctx, HubAddr, HubClient, Inbox, Outbox, Protocol,
-    ShardPlan, Simulator,
+    frame_timeout, graph_digest, replay_window, CongestLimit, Ctx, HubAddr, HubClient, Inbox,
+    Outbox, Protocol, RunStats, ShardPlan, Simulator,
 };
 
 struct Options {
@@ -46,13 +65,18 @@ struct Options {
     worker: bool,
     distributed: usize,
     rounds: usize,
+    max_restarts: usize,
+    heartbeat_ms: u64,
+    timeout_ms: Option<u64>,
+    hub_addr: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: netdecomp <file|-> [--algo basic|staged|high-radius|ls93] \
          [--k K] [--c C] [--lambda L] [--seed S] [--assignment]\n\
-         \x20      netdecomp <file> --distributed N [--rounds R]"
+         \x20      netdecomp <file> --distributed N [--rounds R] [--max-restarts M]\n\
+         \x20                [--heartbeat-ms H] [--timeout-ms T] [--hub-addr ADDR]"
     );
     std::process::exit(2)
 }
@@ -69,6 +93,10 @@ fn parse_args() -> Options {
         worker: false,
         distributed: 0,
         rounds: 16,
+        max_restarts: 3,
+        heartbeat_ms: 50,
+        timeout_ms: None,
+        hub_addr: std::env::var("NETDECOMP_HUB_ADDR").ok(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -82,6 +110,10 @@ fn parse_args() -> Options {
             "--worker" => opts.worker = true,
             "--distributed" => opts.distributed = parse_or_usage(args.next()),
             "--rounds" => opts.rounds = parse_or_usage(args.next()),
+            "--max-restarts" => opts.max_restarts = parse_or_usage(args.next()),
+            "--heartbeat-ms" => opts.heartbeat_ms = parse_or_usage(args.next()),
+            "--timeout-ms" => opts.timeout_ms = Some(parse_or_usage(args.next())),
+            "--hub-addr" => opts.hub_addr = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other if opts.input.is_empty() && !other.starts_with("--") => {
                 opts.input = other.to_string();
@@ -93,6 +125,14 @@ fn parse_args() -> Options {
         usage();
     }
     opts
+}
+
+/// `--hub-addr` / `NETDECOMP_HUB_ADDR` accepts the canonical
+/// `unix:PATH` / `tcp:HOST:PORT` forms, plus bare `HOST:PORT` as TCP
+/// shorthand (the form most users will reach for on a real network).
+fn parse_hub_addr(raw: &str) -> Result<HubAddr, String> {
+    raw.parse::<HubAddr>()
+        .or_else(|first| format!("tcp:{raw}").parse::<HubAddr>().map_err(|_| first))
 }
 
 fn parse_or_usage<T: std::str::FromStr>(raw: Option<String>) -> T {
@@ -142,17 +182,99 @@ impl Protocol for Flood {
     }
 }
 
-/// FNV-1a over the flood states of `nodes`, the worker's one-line proof
-/// of what it computed (the parent recomputes it sequentially).
-fn flood_digest(nodes: &[Flood]) -> u64 {
+/// FNV-1a over a shard's flood states, the worker's one-frame proof of
+/// what it computed (the parent recomputes it sequentially).
+fn digest_bests(bests: impl Iterator<Item = u64>) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for node in nodes {
-        for byte in node.best.to_le_bytes() {
+    for best in bests {
+        for byte in best.to_le_bytes() {
             h ^= u64::from(byte);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
     h
+}
+
+fn flood_digest(nodes: &[Flood]) -> u64 {
+    digest_bests(nodes.iter().map(|n| n.best))
+}
+
+/// Per-shard chaos schedule parsed from the `NETDECOMP_CHAOS_*` hooks.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChaosPlan {
+    crash_at: Option<u64>,
+    wedge_at: Option<u64>,
+    slow_ms: u64,
+}
+
+/// Parses a `"<shard>:<round>"` hook, returning the round if it names
+/// this shard.
+fn chaos_round(var: &str, shard: usize) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let (s, r) = raw.split_once(':')?;
+    if s.trim().parse::<usize>().ok()? != shard {
+        return None;
+    }
+    r.trim().parse::<u64>().ok()
+}
+
+impl ChaosPlan {
+    fn from_env(shard: usize) -> ChaosPlan {
+        ChaosPlan {
+            crash_at: chaos_round("NETDECOMP_CHAOS_CRASH", shard),
+            wedge_at: chaos_round("NETDECOMP_CHAOS_WEDGE", shard),
+            slow_ms: std::env::var("NETDECOMP_CHAOS_SLOW_MS")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// [`Flood`] plus the worker-side chaos hooks. Exactly one node per
+/// worker — the carrier, the first one built — counts rounds and fires
+/// the schedule, so a crash or wedge happens once per shard, mid-compute
+/// of a deterministic round (after earlier rounds committed, before this
+/// round ships — the worst spot for the replay log).
+struct ChaosFlood {
+    inner: Flood,
+    carrier: bool,
+    round: u64,
+    plan: ChaosPlan,
+}
+
+impl ChaosFlood {
+    fn chaos(&self, round: u64) {
+        if !self.carrier {
+            return;
+        }
+        if self.plan.slow_ms > 0 {
+            std::thread::sleep(Duration::from_millis(self.plan.slow_ms));
+        }
+        if self.plan.wedge_at == Some(round) {
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        if self.plan.crash_at == Some(round) {
+            // SIGKILL-grade: no shutdown frame, no unwinding, the exit
+            // code a kill -9 reaps as.
+            std::process::exit(137);
+        }
+    }
+}
+
+impl Protocol for ChaosFlood {
+    fn start(&mut self, ctx: &Ctx<'_>, out: &mut Outbox) {
+        self.chaos(0);
+        self.inner.start(ctx, out);
+    }
+
+    fn round(&mut self, ctx: &Ctx<'_>, incoming: Inbox<'_>, out: &mut Outbox) {
+        self.round += 1;
+        self.chaos(self.round);
+        self.inner.round(ctx, incoming, out);
+    }
 }
 
 fn env_number(name: &str) -> Result<usize, Box<dyn std::error::Error>> {
@@ -163,8 +285,9 @@ fn env_number(name: &str) -> Result<usize, Box<dyn std::error::Error>> {
 }
 
 /// `--worker`: one shard of a `--distributed` run, configured entirely
-/// through the launcher's environment variables. Prints
-/// `worker <shard> digest <hex>` on success.
+/// through the launcher's environment variables. Streams its round
+/// count, result digest, and [`RunStats`] to the hub as a `Stats` frame
+/// before the shutdown (stdout is only a human-readable echo).
 fn worker_main(graph: &Graph) -> Result<(), Box<dyn std::error::Error>> {
     let shard = env_number(launcher::ENV_SHARD)?;
     let shards = env_number(launcher::ENV_SHARDS)?;
@@ -178,16 +301,37 @@ fn worker_main(graph: &Graph) -> Result<(), Box<dyn std::error::Error>> {
         // exactly like a crashed worker. Peers must get a typed error.
         std::process::exit(42);
     }
+    let heartbeat_ms: u64 = std::env::var(launcher::ENV_HEARTBEAT)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+    if heartbeat_ms > 0 {
+        client.start_heartbeats(Duration::from_millis(heartbeat_ms));
+    }
     let config = WorkerConfig {
         shard,
         shards,
         rounds,
         limit: CongestLimit::Unlimited,
     };
-    let (report, nodes) = run_worker(graph, &client, &config, |id, _ctx| Flood {
-        best: id as u64,
-    })?;
-    println!("worker {shard} digest {:016x}", flood_digest(&nodes));
+    let plan = ChaosPlan::from_env(shard);
+    let mut first = true;
+    let (report, nodes) = run_worker_reporting(
+        graph,
+        &client,
+        &config,
+        |id, _ctx| ChaosFlood {
+            inner: Flood { best: id as u64 },
+            carrier: std::mem::take(&mut first),
+            round: 0,
+            plan,
+        },
+        |nodes| digest_bests(nodes.iter().map(|n| n.inner.best)),
+    )?;
+    println!(
+        "worker {shard} digest {:016x}",
+        digest_bests(nodes.iter().map(|n| n.inner.best))
+    );
     eprintln!(
         "worker {shard}: {} rounds, {} messages",
         report.rounds_run, report.stats.total_messages
@@ -195,8 +339,9 @@ fn worker_main(graph: &Graph) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// `--distributed N`: launch one `--worker` process per shard against a
-/// temp-socket hub, then cross-check every worker's digest against the
+/// `--distributed N`: supervise one `--worker` process per shard against
+/// a socket hub — crashed or wedged workers are relaunched and replayed
+/// — then cross-check every worker's `Stats`-frame digest against the
 /// in-process sequential engine.
 fn distributed_main(opts: &Options, graph: &Graph) -> Result<(), Box<dyn std::error::Error>> {
     if opts.input == "-" {
@@ -204,20 +349,47 @@ fn distributed_main(opts: &Options, graph: &Graph) -> Result<(), Box<dyn std::er
     }
     let shards = opts.distributed;
     let input = std::fs::canonicalize(&opts.input)?;
-    let mut options = launcher::LaunchOptions::new(shards);
+    let mut options = launcher::SuperviseOptions::new(shards);
     options.graph_digest = Some(graph_digest(graph));
+    options.max_restarts = opts.max_restarts;
+    options.heartbeat = Duration::from_millis(opts.heartbeat_ms.max(1));
+    options.backoff_seed = opts.seed;
+    if let Some(raw) = &opts.hub_addr {
+        options.addr = Some(parse_hub_addr(raw)?);
+    }
+    if let Some((shard, round)) = std::env::var("NETDECOMP_CHAOS_KILL").ok().and_then(|raw| {
+        let (s, r) = raw.split_once(':')?;
+        Some((s.trim().parse().ok()?, r.trim().parse().ok()?))
+    }) {
+        options.kill_at = Some((shard, round));
+    }
     let exe = std::env::current_exe()?;
-    let report = launcher::launch(&options, |shard, addr| {
-        std::process::Command::new(&exe)
-            .arg(&input)
+    let report = launcher::supervise(&options, |shard, addr, attempt| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg(&input)
             .arg("--worker")
             .env(launcher::ENV_SHARD, shard.to_string())
             .env(launcher::ENV_SHARDS, shards.to_string())
             .env(launcher::ENV_ROUNDS, opts.rounds.to_string())
             .env(launcher::ENV_ADDR, addr.to_string())
-            .stdout(std::process::Stdio::piped())
-            .stderr(std::process::Stdio::piped())
-            .spawn()
+            .env(
+                launcher::ENV_TIMEOUT,
+                frame_timeout().as_millis().to_string(),
+            )
+            .env(launcher::ENV_HEARTBEAT, opts.heartbeat_ms.to_string())
+            .env(launcher::ENV_REPLAY_WINDOW, replay_window().to_string())
+            // Results travel as Stats frames; nobody drains worker pipes
+            // under supervision, so don't create any.
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null());
+        if attempt > 0 {
+            // One-shot chaos: a relaunched worker runs clean, so the
+            // crash/wedge it is recovering from cannot recur forever.
+            for hook in ["NETDECOMP_CHAOS_CRASH", "NETDECOMP_CHAOS_WEDGE"] {
+                cmd.env_remove(hook);
+            }
+        }
+        cmd.spawn()
     })?;
 
     // Reference run: the same flood on the in-process sequential engine,
@@ -226,30 +398,35 @@ fn distributed_main(opts: &Options, graph: &Graph) -> Result<(), Box<dyn std::er
     reference.run_rounds(opts.rounds)?;
     let plan = ShardPlan::degree_balanced(graph, shards);
     let mut all_match = true;
-    for exit in &report.exits {
-        let range = plan.range(exit.shard);
-        let expected = flood_digest(&reference.nodes()[range]);
-        let stdout = String::from_utf8_lossy(&exit.stdout);
-        let printed = stdout
-            .lines()
-            .find_map(|line| line.strip_prefix(&format!("worker {} digest ", exit.shard)))
-            .and_then(|hex| u64::from_str_radix(hex.trim(), 16).ok());
-        let matched = printed == Some(expected);
+    let mut merged = RunStats::default();
+    for shard in 0..shards {
+        let expected = flood_digest(&reference.nodes()[plan.range(shard)]);
+        let received = report.worker_stats.get(shard).and_then(Option::as_ref);
+        let matched = received.is_some_and(|ws| ws.result_digest == expected);
         all_match &= matched;
-        println!(
-            "worker {}: exit {:?} digest {} (expected {expected:016x})",
-            exit.shard,
-            exit.code,
-            printed.map_or("missing".into(), |d| format!("{d:016x}")),
-        );
-        if !matched {
-            eprintln!("{}", String::from_utf8_lossy(&exit.stderr));
+        if let Some(ws) = received {
+            merged.merge(&ws.stats);
         }
+        println!(
+            "worker {shard}: rounds {} digest {} (expected {expected:016x}) restarts {}",
+            received.map_or(0, |ws| ws.rounds_run),
+            received.map_or("missing".into(), |ws| format!("{:016x}", ws.result_digest)),
+            report.restarts.get(shard).copied().unwrap_or(0),
+        );
     }
     println!(
-        "distributed: {shards} workers over {} vertices, rounds={}, matches sequential: {all_match}",
+        "recovery: readmissions={} rounds_replayed={} heartbeats_missed={} full_run_restarts={}",
+        report.workers_restarted,
+        report.rounds_replayed,
+        report.heartbeats_missed,
+        report.full_run_restarts
+    );
+    println!(
+        "distributed: {shards} workers over {} vertices, rounds={}, {} messages, \
+         matches sequential: {all_match}",
         graph.vertex_count(),
-        opts.rounds
+        opts.rounds,
+        merged.total_messages
     );
     if !all_match {
         return Err("distributed run diverged from the sequential engine".into());
@@ -259,6 +436,14 @@ fn distributed_main(opts: &Options, graph: &Graph) -> Result<(), Box<dyn std::er
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = parse_args();
+    if let Some(ms) = opts.timeout_ms {
+        if ms == 0 {
+            return Err("--timeout-ms must be positive".into());
+        }
+        // Pin the fabric timeout for this invocation; the supervisor's
+        // spawn closure forwards it to every worker via ENV_TIMEOUT.
+        std::env::set_var("NETDECOMP_FRAME_TIMEOUT_MS", ms.to_string());
+    }
     let graph = read_graph(&opts.input)?;
     if opts.worker {
         return worker_main(&graph);

@@ -1,0 +1,224 @@
+//! Chaos soak for the self-healing distributed fabric: crash, wedge,
+//! and kill real worker processes at seeded rounds and require that
+//! every supervised run either completes **bit-identically** to the
+//! sequential engine or fails with a typed error naming the culprit
+//! shard — and that it does either within a wall-clock budget. Hangs
+//! are the one outcome these tests never accept.
+//!
+//! The binary's chaos hooks (`NETDECOMP_CHAOS_*`, documented in
+//! `src/bin/netdecomp.rs`) inject the faults; the sweep width is
+//! controlled by `NETDECOMP_CHAOS_SEEDS` (default 8, the CI setting).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_netdecomp");
+const SHARDS: usize = 3;
+const ROUNDS: usize = 12;
+
+/// Per-run wall-clock budget: detection + backoff + relaunch + re-run
+/// all fit well inside this on any machine CI uses.
+const RUN_BUDGET: Duration = Duration::from_secs(30);
+
+/// Writes a small connected graph (a 2-strip ladder) as edge-list text
+/// into the cargo-managed temp dir and returns its path.
+fn ladder_file(name: &str, n: usize) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}-{}.txt", std::process::id()));
+    let mut edges = Vec::new();
+    for v in 1..n {
+        edges.push((v - 1, v));
+        if v >= 2 {
+            edges.push((v - 2, v));
+        }
+    }
+    let mut file = std::fs::File::create(&path).unwrap();
+    writeln!(file, "{n} {}", edges.len()).unwrap();
+    for (u, v) in edges {
+        writeln!(file, "{u} {v}").unwrap();
+    }
+    path
+}
+
+/// Runs one supervised distributed invocation under the wall-clock
+/// budget, with extra env pairs applied, and returns its output.
+fn supervised_run(graph: &PathBuf, env: &[(&str, String)]) -> (Output, Duration) {
+    let mut command = Command::new(BIN);
+    command
+        .arg(graph)
+        .args(["--distributed", &SHARDS.to_string()])
+        .args(["--rounds", &ROUNDS.to_string()]);
+    for (key, value) in env {
+        command.env(key, value);
+    }
+    let started = Instant::now();
+    let output = command.output().unwrap();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < RUN_BUDGET,
+        "a chaos run must never hang: took {elapsed:?} (budget {RUN_BUDGET:?})\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (output, elapsed)
+}
+
+fn assert_healed(output: &Output, label: &str) {
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "[{label}] the supervised run must heal and succeed:\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(
+        stdout.contains("matches sequential: true"),
+        "[{label}] the healed run must be bit-identical to the sequential engine:\n{stdout}"
+    );
+}
+
+/// Extracts `key=<number>` from the binary's `recovery:` summary line.
+fn recovery_counter(output: &Output, key: &str) -> u64 {
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let line = stdout
+        .lines()
+        .find(|line| line.starts_with("recovery:"))
+        .unwrap_or_else(|| panic!("no recovery line in:\n{stdout}"));
+    let needle = format!("{key}=");
+    let tail = line
+        .split_whitespace()
+        .find_map(|field| field.strip_prefix(&needle))
+        .unwrap_or_else(|| panic!("no `{key}=` field in: {line}"));
+    tail.parse().unwrap()
+}
+
+/// A splitmix-style scramble so the seeded crash schedule covers
+/// different shard/round combinations without any test-side state.
+fn scramble(seed: u64) -> u64 {
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^ (x >> 27)
+}
+
+/// How many seeds the sweep covers: `NETDECOMP_CHAOS_SEEDS` (the CI
+/// chaos matrix sets 8), defaulting to 8.
+fn sweep_width() -> u64 {
+    std::env::var("NETDECOMP_CHAOS_SEEDS")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(8)
+}
+
+#[test]
+fn a_worker_crash_at_any_seeded_round_heals_bit_identically() {
+    // The headline soak: sweep seeds, each picking a shard and a round
+    // at which that worker's process dies mid-compute (exit 137, the
+    // SIGKILL status). Every run must be supervised back to a
+    // bit-identical completion.
+    let graph = ladder_file("soak-crash", 36);
+    for seed in 0..sweep_width() {
+        let mixed = scramble(seed);
+        let shard = (mixed % SHARDS as u64) as usize;
+        let round = 1 + (mixed >> 8) % (ROUNDS as u64 - 2);
+        let (output, elapsed) = supervised_run(
+            &graph,
+            &[
+                ("NETDECOMP_CHAOS_CRASH", format!("{shard}:{round}")),
+                ("NETDECOMP_FRAME_TIMEOUT_MS", "2000".into()),
+            ],
+        );
+        let label = format!("seed {seed}: crash {shard}:{round}");
+        assert_healed(&output, &label);
+        assert!(
+            recovery_counter(&output, "readmissions") >= 1,
+            "[{label}] the crash must actually have been healed (took {elapsed:?}):\n{}",
+            String::from_utf8_lossy(&output.stdout)
+        );
+    }
+}
+
+#[test]
+fn a_wedged_worker_is_killed_and_the_run_recovers() {
+    // Shard 2 stops making progress (infinite sleep) at round 4: the
+    // supervisor's stall detector must SIGKILL and relaunch it before
+    // the surviving peers' collect deadline expires.
+    let graph = ladder_file("soak-wedge", 30);
+    let (output, _) = supervised_run(
+        &graph,
+        &[
+            ("NETDECOMP_CHAOS_WEDGE", "2:4".into()),
+            ("NETDECOMP_FRAME_TIMEOUT_MS", "2000".into()),
+        ],
+    );
+    assert_healed(&output, "wedge 2:4");
+    assert!(recovery_counter(&output, "readmissions") >= 1);
+}
+
+#[test]
+fn an_external_sigkill_mid_run_heals_bit_identically() {
+    // The supervisor itself delivers SIGKILL to shard 0 once it has
+    // committed round 5 — a true `kill -9`, not a cooperative exit.
+    // Rounds are slowed so the tick-sampled kill lands mid-run.
+    let graph = ladder_file("soak-kill", 30);
+    let (output, _) = supervised_run(
+        &graph,
+        &[
+            ("NETDECOMP_CHAOS_KILL", "0:5".into()),
+            ("NETDECOMP_CHAOS_SLOW_MS", "30".into()),
+            ("NETDECOMP_FRAME_TIMEOUT_MS", "4000".into()),
+        ],
+    );
+    assert_healed(&output, "kill 0:5");
+    assert!(recovery_counter(&output, "readmissions") >= 1);
+}
+
+#[test]
+fn an_exhausted_restart_budget_is_a_typed_error_naming_the_shard() {
+    // Worker 2 dies on every launch (the abort hook stays armed across
+    // restarts), so the budget runs out: the run must fail with a typed
+    // TransportError naming shard 2 — within the deadline, not a hang.
+    let graph = ladder_file("soak-budget", 30);
+    let (output, elapsed) = supervised_run(
+        &graph,
+        &[
+            ("NETDECOMP_WORKER_ABORT", "2".into()),
+            ("NETDECOMP_FRAME_TIMEOUT_MS", "1000".into()),
+        ],
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        !output.status.success(),
+        "an unhealable worker must fail the run (took {elapsed:?})"
+    );
+    assert!(
+        stderr.contains("TransportError") && stderr.contains("shard: 2"),
+        "the failure must be typed and name the culprit shard:\n{stderr}"
+    );
+}
+
+#[test]
+fn a_crash_outside_the_replay_window_restarts_the_whole_run() {
+    // With the replay log clamped to 2 rounds, a crash at round 9 needs
+    // history the hub has evicted. Per-worker recovery is refused and
+    // the supervisor falls back to restarting the entire run — which
+    // (chaos disarmed on re-attempts) then completes bit-identically.
+    let graph = ladder_file("soak-evicted", 30);
+    let (output, _) = supervised_run(
+        &graph,
+        &[
+            ("NETDECOMP_CHAOS_CRASH", "1:9".into()),
+            ("NETDECOMP_REPLAY_WINDOW", "2".into()),
+            ("NETDECOMP_FRAME_TIMEOUT_MS", "2000".into()),
+        ],
+    );
+    assert_healed(&output, "evicted-window crash 1:9");
+    assert!(
+        recovery_counter(&output, "full_run_restarts") >= 1,
+        "recovery must have gone through the whole-run fallback:\n{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+}
