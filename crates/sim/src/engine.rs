@@ -380,6 +380,21 @@ struct WorkerTask<'a, P> {
     slots: Vec<ShardSlot<'a, P>>,
 }
 
+/// Waits at `barrier`, measuring the blocked time once per worker and
+/// attributing it to every shard the worker drives (a worker arrives at
+/// a barrier once, however many shards it owns). Reads no clock at all
+/// when tracing is off.
+fn timed_barrier_wait<P>(barrier: &PhaseBarrier, task: &mut WorkerTask<'_, P>) {
+    let t = task.slots.first().and_then(|s| s.shard.trace.begin());
+    barrier.wait();
+    if let Some(t) = t {
+        let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        for slot in task.slots.iter_mut() {
+            slot.shard.trace.note_barrier_ns(ns);
+        }
+    }
+}
+
 /// Synchronous simulator executing one [`Protocol`] instance per vertex.
 ///
 /// See the crate-level documentation for a complete example.
@@ -697,6 +712,23 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         self
     }
 
+    /// Enables flight-recorder tracing with a ring of `window` rounds per
+    /// shard (or disables it with `window == 0`), overriding the
+    /// `NETDECOMP_TRACE` / `NETDECOMP_TRACE_WINDOW` environment defaults
+    /// every shard resolves at construction. The rings are preallocated
+    /// here, so steady-state stepping stays allocation-free with tracing
+    /// on; recording never touches delivery, so results stay
+    /// bit-identical ([`Determinism::Verify`] passes traced). Snapshot
+    /// with [`Simulator::flight_traces`]. Builder-style; call *after*
+    /// [`Simulator::with_engine`], which rebuilds the shards.
+    #[must_use]
+    pub fn with_trace(mut self, window: usize) -> Self {
+        for shard in &mut self.shards {
+            shard.trace = crate::trace::TraceRing::new(window);
+        }
+        self
+    }
+
     /// Re-partitions all per-shard state under `plan`, preserving pending
     /// (undelivered) messages and outbox buffers.
     fn reshard(&mut self, plan: ShardPlan) {
@@ -774,31 +806,58 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     pub fn delivery_work(&self) -> DeliveryWork {
         let mut work = DeliveryWork::default();
         for shard in &self.shards {
-            work.refs_scanned += shard.work.refs_scanned;
-            work.copies_delivered += shard.work.copies_delivered;
-            work.payload_registrations += shard.work.payload_registrations;
-            work.inbox_slot_bytes += shard.work.inbox_slot_bytes;
-            work.frame_bytes += shard.work.frame_bytes;
-            work.checksum_ns += shard.work.checksum_ns;
+            // The per-shard counters hold only place-phase fields; absorb
+            // saturates every one, so a long soak run pins instead of
+            // wrapping.
+            work.absorb(&shard.work);
         }
         // Shipping is sender-side, so the overlap counter lives on the
         // encoders (cumulative over the run, unlike the per-round place
         // counters above — see its field docs).
         for encoder in &self.encoders {
-            work.overlap_ships += encoder.read().expect("no poisoned encoder").overlap_ships();
+            work.overlap_ships = work
+                .overlap_ships
+                .saturating_add(encoder.read().expect("no poisoned encoder").overlap_ships());
         }
         // Transport health is cumulative over the run too: retries,
         // injected faults, and time blocked in collect.
         if let Some(transport) = &self.transport {
             let health = transport.health();
-            work.frames_retried += health.frames_retried;
-            work.frames_dropped_injected += health.frames_dropped_injected;
-            work.collect_wait_ns += health.collect_wait_ns;
-            work.workers_restarted += health.workers_restarted;
-            work.rounds_replayed += health.rounds_replayed;
-            work.heartbeats_missed += health.heartbeats_missed;
+            work.frames_retried = work.frames_retried.saturating_add(health.frames_retried);
+            work.frames_dropped_injected = work
+                .frames_dropped_injected
+                .saturating_add(health.frames_dropped_injected);
+            work.collect_wait_ns = work.collect_wait_ns.saturating_add(health.collect_wait_ns);
+            work.workers_restarted = work
+                .workers_restarted
+                .saturating_add(health.workers_restarted);
+            work.rounds_replayed = work.rounds_replayed.saturating_add(health.rounds_replayed);
+            work.heartbeats_missed = work
+                .heartbeats_missed
+                .saturating_add(health.heartbeats_missed);
         }
         work
+    }
+
+    /// Whether any shard is recording flight-recorder round traces.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.shards.iter().any(|s| s.trace.enabled())
+    }
+
+    /// Chronological snapshots of every shard's flight-recorder ring —
+    /// the last-K [`crate::RoundTrace`] records per shard. Empty unless
+    /// tracing is on ([`Simulator::with_trace`] or `NETDECOMP_TRACE=1`
+    /// at construction). Allocates; a cold-path call for postmortem
+    /// dumps, never made from the round loop.
+    #[must_use]
+    pub fn flight_traces(&self) -> Vec<(usize, Vec<crate::RoundTrace>)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.trace.enabled())
+            .map(|(k, s)| (k, s.trace.snapshot()))
+            .collect()
     }
 
     /// The messages delivered to vertex `v` in the most recent round
@@ -857,6 +916,17 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     /// id — matching a sequential sender-order scan) or commits the round
     /// by merging all per-shard stats.
     fn finish_round(&mut self) -> Result<RoundStats, SimError> {
+        // Commit this round's trace records *before* the error check, so
+        // a failing round's partial phase timings are already in the ring
+        // when a flight recorder dumps it. No-op (and allocation-free)
+        // with tracing off; frame bytes / checksum time come from the
+        // per-round place counters reset at the top of placement.
+        let round = self.round as u64;
+        for shard in &mut self.shards {
+            let frame_bytes = shard.work.frame_bytes as u64;
+            let checksum_ns = shard.work.checksum_ns;
+            shard.trace.commit(round, frame_bytes, checksum_ns, 0);
+        }
         if let Some(e) = self.shards.iter().find_map(|s| s.error.clone()) {
             return Err(e);
         }
@@ -865,8 +935,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
             ..RoundStats::default()
         };
         for shard in &self.shards {
-            merged.messages += shard.stats.messages;
-            merged.bytes += shard.stats.bytes;
+            merged.messages = merged.messages.saturating_add(shard.stats.messages);
+            merged.bytes = merged.bytes.saturating_add(shard.stats.bytes);
             merged.max_edge_bytes = merged.max_edge_bytes.max(shard.stats.max_edge_bytes);
         }
         self.round += 1;
@@ -907,25 +977,33 @@ impl<P: Protocol + Send> Simulator<'_, P> {
             for (k, shard) in self.shards.iter_mut().enumerate() {
                 let (mine, rest) = node_rest.split_at_mut(shard.len());
                 node_rest = rest;
+                let t = shard.trace.begin();
                 {
                     let mut outs = self.outboxes[k].write().expect("no poisoned outbox chunk");
                     compute_shard(graph, started, shard, mine, &mut outs);
                 }
+                shard.trace.note_compute(t);
                 let outs = self.outboxes[k].read().expect("no poisoned outbox chunk");
                 let mut router = self.routers[k].write().expect("no poisoned router");
+                let t = shard.trace.begin();
                 if !shard.account(graph, &self.routes, limit, round, &outs, &mut router) {
                     ok = false;
                 }
+                shard.trace.note_account(t);
                 // Ship even when this (or an earlier) shard's account
                 // failed: partial buckets hold only refs that were charged
                 // before the violation, and the transport must see exactly
                 // one frame per link per round either way.
+                let t = shard.trace.begin();
                 let mut enc = self.encoders[k].write().expect("no poisoned encoder");
                 enc.ship(k, &router, &outs, bounds[k], transport, true);
+                shard.trace.note_ship(t);
             }
             if ok {
                 for (j, shard) in self.shards.iter_mut().enumerate() {
+                    let t = shard.trace.begin();
                     shard.place_frames(graph, j, round, transport, bounds);
+                    shard.trace.note_place(t);
                 }
             } else {
                 for (j, shard) in self.shards.iter_mut().enumerate() {
@@ -935,16 +1013,23 @@ impl<P: Protocol + Send> Simulator<'_, P> {
             return;
         }
         let mut node_rest: &mut [P] = &mut self.nodes;
-        for (k, shard) in self.shards.iter().enumerate() {
+        for (k, shard) in self.shards.iter_mut().enumerate() {
             let (mine, rest) = node_rest.split_at_mut(shard.len());
             node_rest = rest;
-            let mut outs = self.outboxes[k].write().expect("no poisoned outbox chunk");
-            compute_shard(graph, started, shard, mine, &mut outs);
+            let t = shard.trace.begin();
+            {
+                let mut outs = self.outboxes[k].write().expect("no poisoned outbox chunk");
+                compute_shard(graph, started, shard, mine, &mut outs);
+            }
+            shard.trace.note_compute(t);
         }
         for (k, shard) in self.shards.iter_mut().enumerate() {
             let outs = self.outboxes[k].read().expect("no poisoned outbox chunk");
             let mut router = self.routers[k].write().expect("no poisoned router");
-            if !shard.account(graph, &self.routes, limit, round, &outs, &mut router) {
+            let t = shard.trace.begin();
+            let ok = shard.account(graph, &self.routes, limit, round, &outs, &mut router);
+            shard.trace.note_account(t);
+            if !ok {
                 return;
             }
         }
@@ -956,15 +1041,21 @@ impl<P: Protocol + Send> Simulator<'_, P> {
             for (k, encoder) in self.encoders.iter().enumerate() {
                 let outs = self.outboxes[k].read().expect("no poisoned outbox chunk");
                 let router = self.routers[k].read().expect("no poisoned router");
+                let t = self.shards[k].trace.begin();
                 let mut enc = encoder.write().expect("no poisoned encoder");
                 enc.ship(k, &router, &outs, bounds[k], transport, false);
+                self.shards[k].trace.note_ship(t);
             }
             for (j, shard) in self.shards.iter_mut().enumerate() {
+                let t = shard.trace.begin();
                 shard.place_frames(graph, j, round, transport, bounds);
+                shard.trace.note_place(t);
             }
         } else {
             for (k, shard) in self.shards.iter_mut().enumerate() {
+                let t = shard.trace.begin();
                 shard.place(graph, k, bounds, &self.outboxes, &self.routers);
+                shard.trace.note_place(t);
             }
         }
     }
@@ -1023,27 +1114,32 @@ impl<P: Protocol + Send> Simulator<'_, P> {
                 // single barrier below is the ship barrier, ordering every
                 // send before any collect. See the module docs.
                 for slot in task.slots.iter_mut() {
+                    let t = slot.shard.trace.begin();
                     {
                         let mut outs = outboxes[slot.index]
                             .write()
                             .expect("no poisoned outbox chunk");
                         compute_shard(graph, started, slot.shard, slot.nodes, &mut outs);
                     }
+                    slot.shard.trace.note_compute(t);
                     let outs = outboxes[slot.index]
                         .read()
                         .expect("no poisoned outbox chunk");
                     let mut router = routers[slot.index].write().expect("no poisoned router");
+                    let t = slot.shard.trace.begin();
                     if !slot
                         .shard
                         .account(graph, routes, limit, round, &outs, &mut router)
                     {
                         abort.store(true, Ordering::Relaxed);
                     }
+                    slot.shard.trace.note_account(t);
                     // Ship even when account failed: partial buckets hold
                     // only refs charged before the violation, and the
                     // transport must see exactly one frame per link per
                     // round either way (no shard knows yet whether some
                     // other shard's account will fail).
+                    let t = slot.shard.trace.begin();
                     let mut enc = encoders[slot.index].write().expect("no poisoned encoder");
                     enc.ship(
                         slot.index,
@@ -1053,8 +1149,9 @@ impl<P: Protocol + Send> Simulator<'_, P> {
                         transport,
                         true,
                     );
+                    slot.shard.trace.note_ship(t);
                 }
-                barrier.wait();
+                timed_barrier_wait(&barrier, &mut task);
                 if abort.load(Ordering::Relaxed) {
                     // Every frame was already shipped, so the aborting
                     // round drains them (collect + drop, undecoded) to
@@ -1066,19 +1163,24 @@ impl<P: Protocol + Send> Simulator<'_, P> {
                     return;
                 }
                 for slot in task.slots.iter_mut() {
+                    let t = slot.shard.trace.begin();
                     slot.shard
                         .place_frames(graph, slot.index, round, transport, bounds);
+                    slot.shard.trace.note_place(t);
                 }
                 return;
             }
             // Phase 1 — compute: own nodes fill own outbox chunks.
             for slot in task.slots.iter_mut() {
+                let t = slot.shard.trace.begin();
                 let mut outs = outboxes[slot.index]
                     .write()
                     .expect("no poisoned outbox chunk");
                 compute_shard(graph, started, slot.shard, slot.nodes, &mut outs);
+                drop(outs);
+                slot.shard.trace.note_compute(t);
             }
-            barrier.wait();
+            timed_barrier_wait(&barrier, &mut task);
             // Phase 2 — account: own outboxes charge own edge counters
             // and fill the shard's own router buckets.
             for slot in task.slots.iter_mut() {
@@ -1086,14 +1188,16 @@ impl<P: Protocol + Send> Simulator<'_, P> {
                     .read()
                     .expect("no poisoned outbox chunk");
                 let mut router = routers[slot.index].write().expect("no poisoned router");
+                let t = slot.shard.trace.begin();
                 if !slot
                     .shard
                     .account(graph, routes, limit, round, &outs, &mut router)
                 {
                     abort.store(true, Ordering::Relaxed);
                 }
+                slot.shard.trace.note_account(t);
             }
-            barrier.wait();
+            timed_barrier_wait(&barrier, &mut task);
             // Every worker observes the same flag after the barrier, so all
             // of them skip placement together (no one left waiting). Under
             // a framed backend this also means *no* frame is shipped, so
@@ -1110,6 +1214,7 @@ impl<P: Protocol + Send> Simulator<'_, P> {
                         .read()
                         .expect("no poisoned outbox chunk");
                     let router = routers[slot.index].read().expect("no poisoned router");
+                    let t = slot.shard.trace.begin();
                     let mut enc = encoders[slot.index].write().expect("no poisoned encoder");
                     enc.ship(
                         slot.index,
@@ -1119,22 +1224,27 @@ impl<P: Protocol + Send> Simulator<'_, P> {
                         transport,
                         false,
                     );
+                    slot.shard.trace.note_ship(t);
                 }
-                barrier.wait();
+                timed_barrier_wait(&barrier, &mut task);
                 // Phase 4 (framed) — place: each shard decodes the frames
                 // addressed to it and scatters into its own inbox slice,
                 // touching no other shard's memory.
                 for slot in task.slots.iter_mut() {
+                    let t = slot.shard.trace.begin();
                     slot.shard
                         .place_frames(graph, slot.index, round, transport, bounds);
+                    slot.shard.trace.note_place(t);
                 }
             } else {
                 // Phase 3 — place: each shard consumes the route-ref
                 // buckets addressed to it and scatters into its own inbox
                 // slice.
                 for slot in task.slots.iter_mut() {
+                    let t = slot.shard.trace.begin();
                     slot.shard
                         .place(graph, slot.index, bounds, outboxes, routers);
+                    slot.shard.trace.note_place(t);
                 }
             }
         });

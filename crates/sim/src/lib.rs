@@ -139,6 +139,29 @@
 //! diagram both schedules); `NETDECOMP_FRAME_OVERLAP=0` or
 //! [`Simulator::with_overlap`] restores the phase-separated schedule.
 //!
+//! # Observability
+//!
+//! The [`trace`] module is the stack's flight recorder and metrics
+//! plane. With tracing on (`NETDECOMP_TRACE=1`, a `NETDECOMP_TRACE_OUT`
+//! dump path, or [`Simulator::with_trace`]), every shard keeps a
+//! preallocated ring of the last *K* [`RoundTrace`] records
+//! (`NETDECOMP_TRACE_WINDOW`, default 64): per-phase
+//! compute/account/ship/place/barrier-wait nanoseconds plus the round's
+//! frame bytes, checksum nanoseconds, and restart generation. Recording
+//! is an in-place overwrite of preallocated slots, so the steady-state
+//! zero-allocation invariant holds with tracing enabled, and timing
+//! never influences delivery, so [`Determinism::Verify`] stays
+//! bit-identical on every backend. [`Simulator::flight_traces`]
+//! snapshots the rings; on the socket fabric workers stream each
+//! committed record to the hub over a dedicated `Trace` control frame,
+//! and [`transport::launcher::supervise`] merges the streams with its
+//! own restart/chaos/stall annotations into one [`FlightRecorder`]
+//! timeline, dumped as JSONL (`netdecomp --trace-out file.jsonl`; the
+//! line schema is in the [`trace`] module docs). [`MetricsRegistry`]
+//! rounds out the plane with dependency-free counters, gauges, and
+//! log-bucket [`Histogram`]s fed from [`RunStats`], [`DeliveryWork`],
+//! and [`TransportHealth`] — all accumulation saturating.
+//!
 //! # Determinism guarantee
 //!
 //! Each shard scans senders in id order, so per-recipient delivery order
@@ -208,6 +231,7 @@ mod message;
 mod seeding;
 mod shard;
 mod stats;
+pub mod trace;
 pub mod transport;
 pub mod wire;
 
@@ -221,6 +245,10 @@ pub use message::{
 pub use seeding::stream_rng;
 pub use shard::{RouteIndex, RouteSegment, ShardPlan};
 pub use stats::{CongestLimit, DeliveryWork, RoundStats, RunStats};
+pub use trace::{
+    trace_enabled, trace_out, trace_window, FlightRecorder, Histogram, MetricsRegistry, RoundTrace,
+    TraceEvent, TraceRing,
+};
 pub use transport::{
     frame_timeout, graph_digest, replay_window, FaultInjectingTransport, FaultPlan, HubAddr,
     HubClient, LinkPartition, SocketTransport, TransportFactory, WorkerStats,

@@ -549,6 +549,10 @@ pub(crate) struct DeliveryShard {
     /// Place-phase work counters for the last round (merged by the
     /// engine's [`DeliveryWork`] accessor).
     pub(crate) work: DeliveryWork,
+    /// Flight-recorder ring of the last-K rounds' per-phase timings
+    /// (disabled — zero-capacity — unless tracing is on; written only
+    /// by whichever driver owns this shard's round loop).
+    pub(crate) trace: crate::trace::TraceRing,
     /// First error this shard's account pass hit, if any.
     pub(crate) error: Option<SimError>,
     /// Framed backends: per-sender-shard frame slots filled by
@@ -575,6 +579,7 @@ impl DeliveryShard {
             slab: PayloadSlab::default(),
             stats: RoundStats::default(),
             work: DeliveryWork::default(),
+            trace: crate::trace::TraceRing::from_env(),
             error: None,
             gather: Vec::new(),
             decoded: Vec::new(),

@@ -102,6 +102,37 @@ pub struct DeliveryWork {
     pub heartbeats_missed: usize,
 }
 
+impl DeliveryWork {
+    /// Adds another shard's (or run's) counters into this one. Every
+    /// field saturates instead of overflowing, so a long soak run pins
+    /// at the numeric maximum rather than wrapping into a silently
+    /// wrong small number — the same contract as [`RunStats::absorb`]
+    /// and [`crate::TransportHealth::absorb`].
+    pub fn absorb(&mut self, other: &DeliveryWork) {
+        self.refs_scanned = self.refs_scanned.saturating_add(other.refs_scanned);
+        self.copies_delivered = self.copies_delivered.saturating_add(other.copies_delivered);
+        self.payload_registrations = self
+            .payload_registrations
+            .saturating_add(other.payload_registrations);
+        self.inbox_slot_bytes = self.inbox_slot_bytes.saturating_add(other.inbox_slot_bytes);
+        self.frame_bytes = self.frame_bytes.saturating_add(other.frame_bytes);
+        self.checksum_ns = self.checksum_ns.saturating_add(other.checksum_ns);
+        self.overlap_ships = self.overlap_ships.saturating_add(other.overlap_ships);
+        self.frames_retried = self.frames_retried.saturating_add(other.frames_retried);
+        self.frames_dropped_injected = self
+            .frames_dropped_injected
+            .saturating_add(other.frames_dropped_injected);
+        self.collect_wait_ns = self.collect_wait_ns.saturating_add(other.collect_wait_ns);
+        self.workers_restarted = self
+            .workers_restarted
+            .saturating_add(other.workers_restarted);
+        self.rounds_replayed = self.rounds_replayed.saturating_add(other.rounds_replayed);
+        self.heartbeats_missed = self
+            .heartbeats_missed
+            .saturating_add(other.heartbeats_missed);
+    }
+}
+
 /// Communication accounting for a single round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RoundStats {
@@ -221,6 +252,48 @@ mod tests {
         run.merge(&other);
         assert_eq!(run.total_messages, usize::MAX);
         assert_eq!(run.rounds, 3);
+    }
+
+    #[test]
+    fn delivery_work_absorb_saturates_every_field() {
+        let near_max = DeliveryWork {
+            refs_scanned: usize::MAX - 1,
+            copies_delivered: usize::MAX - 1,
+            payload_registrations: usize::MAX - 1,
+            inbox_slot_bytes: usize::MAX - 1,
+            frame_bytes: usize::MAX - 1,
+            checksum_ns: u64::MAX - 1,
+            overlap_ships: usize::MAX - 1,
+            frames_retried: usize::MAX - 1,
+            frames_dropped_injected: usize::MAX - 1,
+            collect_wait_ns: u64::MAX - 1,
+            workers_restarted: usize::MAX - 1,
+            rounds_replayed: usize::MAX - 1,
+            heartbeats_missed: usize::MAX - 1,
+        };
+        let mut sum = near_max;
+        sum.absorb(&near_max);
+        assert_eq!(sum.refs_scanned, usize::MAX);
+        assert_eq!(sum.copies_delivered, usize::MAX);
+        assert_eq!(sum.payload_registrations, usize::MAX);
+        assert_eq!(sum.inbox_slot_bytes, usize::MAX);
+        assert_eq!(sum.frame_bytes, usize::MAX);
+        assert_eq!(sum.checksum_ns, u64::MAX);
+        assert_eq!(sum.overlap_ships, usize::MAX);
+        assert_eq!(sum.frames_retried, usize::MAX);
+        assert_eq!(sum.frames_dropped_injected, usize::MAX);
+        assert_eq!(sum.collect_wait_ns, u64::MAX);
+        assert_eq!(sum.workers_restarted, usize::MAX);
+        assert_eq!(sum.rounds_replayed, usize::MAX);
+        assert_eq!(sum.heartbeats_missed, usize::MAX);
+        let mut small = DeliveryWork::default();
+        small.absorb(&DeliveryWork {
+            refs_scanned: 2,
+            copies_delivered: 3,
+            ..DeliveryWork::default()
+        });
+        assert_eq!(small.refs_scanned, 2);
+        assert_eq!(small.copies_delivered, 3);
     }
 
     #[test]

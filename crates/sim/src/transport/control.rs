@@ -17,7 +17,7 @@
 //! ------  -----  ---------------------------------------------
 //!      0      3  magic  b"NDC"
 //!      3      1  kind   (1 Hello, 2 RoundBarrier, 3 Error, 4 Shutdown,
-//!                        5 Heartbeat, 6 Stats)
+//!                        5 Heartbeat, 6 Stats, 7 Trace)
 //!      4      4  total frame length (self-delimiting)
 //!      8      4  FNV-1a checksum over bytes [0, 8) ++ [12, len)
 //!     12      …  kind-specific payload
@@ -50,6 +50,11 @@
 //!   is still alive) instead of being scraped out of stdout; carries
 //!   the full per-round breakdown so the launcher can merge reports
 //!   with [`crate::RunStats::merge`].
+//! - `Trace { shard: u32, records }` — flight-recorder round records
+//!   ([`crate::RoundTrace`], nine `u64`s each, preceded by a `u64`
+//!   count) streamed by a traced worker as rounds commit; the hub keeps
+//!   the last-K per shard so a supervisor's postmortem dump covers a
+//!   worker that died mid-run. Sent only under `NETDECOMP_TRACE=1`.
 //!
 //! [`SimError`] crosses the wire through a small tagged binary codec
 //! ([`encode_sim_error`] / [`decode_sim_error`]). The only lossy corner
@@ -63,6 +68,7 @@ use bytes::Bytes;
 use crate::error::{FrameError, SimError, TransportCause, TransportError};
 use crate::frame::{fnv1a, FNV_INIT};
 use crate::stats::{RoundStats, RunStats};
+use crate::trace::RoundTrace;
 
 /// Magic prefix of every control frame.
 pub(crate) const CONTROL_MAGIC: &[u8; 3] = b"NDC";
@@ -81,6 +87,10 @@ const KIND_ERROR: u8 = 3;
 const KIND_SHUTDOWN: u8 = 4;
 const KIND_HEARTBEAT: u8 = 5;
 const KIND_STATS: u8 = 6;
+const KIND_TRACE: u8 = 7;
+
+/// Encoded size of one [`RoundTrace`] record: nine `u64` fields.
+const TRACE_RECORD_LEN: usize = 72;
 
 /// The known [`FrameError::Malformed`] detail strings, used to restore
 /// the `&'static str` when an error crosses the wire.
@@ -164,6 +174,14 @@ pub enum ControlFrame {
         /// The shard's accumulated message statistics.
         stats: RunStats,
     },
+    /// Flight-recorder round records streamed by a traced worker (one
+    /// per committed round in steady state; a burst after a reconnect).
+    Trace {
+        /// Shard reporting.
+        shard: u32,
+        /// The records, oldest first.
+        records: Vec<RoundTrace>,
+    },
 }
 
 impl ControlFrame {
@@ -215,6 +233,22 @@ impl ControlFrame {
                 payload.extend_from_slice(&result_digest.to_le_bytes());
                 encode_run_stats(stats, &mut payload);
                 KIND_STATS
+            }
+            ControlFrame::Trace { shard, records } => {
+                payload.extend_from_slice(&shard.to_le_bytes());
+                put_usize(&mut payload, records.len());
+                for record in records {
+                    put_u64(&mut payload, record.round);
+                    put_u64(&mut payload, record.compute_ns);
+                    put_u64(&mut payload, record.account_ns);
+                    put_u64(&mut payload, record.ship_ns);
+                    put_u64(&mut payload, record.place_ns);
+                    put_u64(&mut payload, record.barrier_wait_ns);
+                    put_u64(&mut payload, record.frame_bytes);
+                    put_u64(&mut payload, record.checksum_ns);
+                    put_u64(&mut payload, record.restarts_seen);
+                }
+                KIND_TRACE
             }
         };
         let total = CONTROL_HEADER_LEN + payload.len();
@@ -300,6 +334,10 @@ impl ControlFrame {
                 rounds_run: r.u64().ok_or(malformed)?,
                 result_digest: r.u64().ok_or(malformed)?,
                 stats: decode_run_stats(&mut r).ok_or(malformed)?,
+            },
+            KIND_TRACE => ControlFrame::Trace {
+                shard: r.u32().ok_or(malformed)?,
+                records: decode_trace_records(&mut r).ok_or(malformed)?,
             },
             _ => {
                 return Err(FrameError::Malformed {
@@ -408,6 +446,30 @@ fn decode_run_stats(r: &mut Reader<'_>) -> Option<RunStats> {
         });
     }
     Some(stats)
+}
+
+fn decode_trace_records(r: &mut Reader<'_>) -> Option<Vec<RoundTrace>> {
+    let entries = r.usize64()?;
+    // Same allocation guard as the stats decoder: a corrupt count the
+    // remaining payload cannot hold is rejected, not reserved.
+    if entries > r.data.len() / TRACE_RECORD_LEN {
+        return None;
+    }
+    let mut records = Vec::with_capacity(entries);
+    for _ in 0..entries {
+        records.push(RoundTrace {
+            round: r.u64()?,
+            compute_ns: r.u64()?,
+            account_ns: r.u64()?,
+            ship_ns: r.u64()?,
+            place_ns: r.u64()?,
+            barrier_wait_ns: r.u64()?,
+            frame_bytes: r.u64()?,
+            checksum_ns: r.u64()?,
+            restarts_seen: r.u64()?,
+        });
+    }
+    Some(records)
 }
 
 /// Binary-encodes a [`SimError`] into `out` (appended).
@@ -716,6 +778,30 @@ mod tests {
                 result_digest: 0,
                 stats: RunStats::default(),
             },
+            ControlFrame::Trace {
+                shard: 2,
+                records: vec![
+                    RoundTrace {
+                        round: 7,
+                        compute_ns: 1200,
+                        account_ns: 310,
+                        ship_ns: 450,
+                        place_ns: 980,
+                        barrier_wait_ns: 150,
+                        frame_bytes: 4096,
+                        checksum_ns: 210,
+                        restarts_seen: 1,
+                    },
+                    RoundTrace {
+                        round: 8,
+                        ..RoundTrace::default()
+                    },
+                ],
+            },
+            ControlFrame::Trace {
+                shard: 0,
+                records: Vec::new(),
+            },
         ];
         for error in sample_errors() {
             frames.push(ControlFrame::Error { origin: 1, error });
@@ -780,6 +866,25 @@ mod tests {
         // rounds u64, total_messages u64, total_bytes u64,
         // max_edge_bytes u64, entry count u64.
         let count_at = CONTROL_HEADER_LEN + 4 + 8 + 8 + 4 * 8;
+        bad[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let sum = fnv1a(fnv1a(FNV_INIT, &bad[..8]), &bad[CONTROL_HEADER_LEN..]);
+        bad[8..12].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            ControlFrame::decode(&bad),
+            Err(FrameError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn an_absurd_trace_record_count_is_rejected_not_allocated() {
+        let encoded = ControlFrame::Trace {
+            shard: 0,
+            records: Vec::new(),
+        }
+        .encode();
+        let mut bad = encoded.as_slice().to_vec();
+        // Payload layout: shard u32, then the record count u64.
+        let count_at = CONTROL_HEADER_LEN + 4;
         bad[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         let sum = fnv1a(fnv1a(FNV_INIT, &bad[..8]), &bad[CONTROL_HEADER_LEN..]);
         bad[8..12].copy_from_slice(&sum.to_le_bytes());

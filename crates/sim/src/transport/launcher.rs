@@ -24,10 +24,12 @@
 //! protocol error surfaces to the caller.
 
 use std::io;
+use std::path::PathBuf;
 use std::process::Child;
 use std::time::{Duration, Instant};
 
 use crate::error::{SimError, TransportCause, TransportError};
+use crate::trace::FlightRecorder;
 
 use super::fault::mix;
 use super::socket::{Hub, HubOptions, EVICTED_DETAIL_PREFIX};
@@ -54,6 +56,13 @@ pub const ENV_HEARTBEAT: &str = "NETDECOMP_HEARTBEAT_MS";
 /// Environment variable carrying the hub replay window in rounds — the
 /// same knob [`super::replay_window`] reads.
 pub const ENV_REPLAY_WINDOW: &str = "NETDECOMP_REPLAY_WINDOW";
+/// Environment variable carrying a worker's restart generation: 0 on
+/// the initial spawn, the supervisor's attempt count on a relaunch. A
+/// traced worker stamps the value into every [`crate::RoundTrace`] it
+/// records (`restarts_seen`), so a postmortem can tell which process
+/// generation produced a round. Read by
+/// [`crate::trace::worker_attempt`].
+pub const ENV_ATTEMPT: &str = "NETDECOMP_WORKER_ATTEMPT";
 
 /// A hub socket path in the system temp directory, unique to this
 /// process and call.
@@ -305,6 +314,12 @@ pub struct SuperviseOptions {
     /// Rounds of replay history the hub retains (see
     /// [`super::replay_window`]).
     pub replay_window: u64,
+    /// Where to write the flight-recorder JSONL dump (worker ring
+    /// snapshots merged with the supervisor's restart / chaos / stall
+    /// annotations — schema in the [`crate::trace`] module docs).
+    /// Written on *every* outcome, healed or fatal; `None` disables the
+    /// recorder. Defaults to `NETDECOMP_TRACE_OUT`.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl SuperviseOptions {
@@ -328,6 +343,7 @@ impl SuperviseOptions {
             stall: (timeout / 3).max(Duration::from_millis(250)),
             kill_at: None,
             replay_window: super::replay_window(),
+            trace_out: crate::trace::trace_out(),
         }
     }
 }
@@ -392,6 +408,35 @@ pub fn supervise(
     options: &SuperviseOptions,
     mut spawn: impl FnMut(usize, &HubAddr, usize) -> io::Result<Child>,
 ) -> Result<SuperviseReport, SimError> {
+    let mut recorder = options.trace_out.as_ref().map(|_| FlightRecorder::new());
+    let result = supervise_loop(options, &mut spawn, &mut recorder);
+    if let (Some(recorder), Some(path)) = (&mut recorder, &options.trace_out) {
+        match &result {
+            Ok(report) => recorder.event(
+                None,
+                0,
+                "halt",
+                format!(
+                    "run complete: restarts={:?} full_run_restarts={} rounds_replayed={}",
+                    report.restarts, report.full_run_restarts, report.rounds_replayed
+                ),
+            ),
+            Err(error) => recorder.event(None, 0, "fatal", error.to_string()),
+        }
+        // The dump is best-effort postmortem evidence; an unwritable
+        // path must not turn a healed run into a failed one.
+        let _ = recorder.dump_to(path);
+    }
+    result
+}
+
+/// The supervision loop proper: one hub generation per iteration,
+/// re-entered on a whole-run restart.
+fn supervise_loop(
+    options: &SuperviseOptions,
+    spawn: &mut impl FnMut(usize, &HubAddr, usize) -> io::Result<Child>,
+    recorder: &mut Option<FlightRecorder>,
+) -> Result<SuperviseReport, SimError> {
     let started = Instant::now();
     let mut attempts = vec![0usize; options.shards];
     let mut full_run_restarts = 0usize;
@@ -399,10 +444,11 @@ pub fn supervise(
     loop {
         let outcome = supervise_one_hub(
             options,
-            &mut spawn,
+            spawn,
             started,
             &mut attempts,
             &mut kill_at_armed,
+            recorder,
         )?;
         match outcome {
             HubOutcome::Done(mut report) => {
@@ -411,6 +457,17 @@ pub fn supervise(
             }
             HubOutcome::RestartRun => {
                 full_run_restarts += 1;
+                if let Some(r) = recorder {
+                    r.event(
+                        None,
+                        0,
+                        "run_restart",
+                        format!(
+                            "whole-run restart #{full_run_restarts}: resume fell below the \
+                             replay window"
+                        ),
+                    );
+                }
                 if full_run_restarts > options.max_restarts.max(1) {
                     return Err(SimError::Transport(TransportError {
                         shard: 0,
@@ -439,6 +496,17 @@ enum HubOutcome {
     RestartRun,
 }
 
+/// Drains the hub's per-shard trace streams into the recorder —
+/// called before every hub teardown, so the last-K rounds a crashed
+/// worker streamed survive into the dump.
+fn absorb_worker_traces(recorder: &mut Option<FlightRecorder>, hub: &Hub) {
+    if let Some(r) = recorder {
+        for (shard, records) in hub.worker_traces().into_iter().enumerate() {
+            r.absorb_ring(shard, records);
+        }
+    }
+}
+
 #[allow(clippy::too_many_lines)]
 fn supervise_one_hub(
     options: &SuperviseOptions,
@@ -446,6 +514,7 @@ fn supervise_one_hub(
     started: Instant,
     attempts: &mut [usize],
     kill_at_armed: &mut Option<(usize, u64)>,
+    recorder: &mut Option<FlightRecorder>,
 ) -> Result<HubOutcome, SimError> {
     let requested = options.addr.clone().unwrap_or_else(temp_hub_addr);
     let synthesized = |shard: usize, cause: TransportCause| {
@@ -518,6 +587,18 @@ fn supervise_one_hub(
                     },
                 )
             });
+            if let Some(r) = recorder {
+                r.event(
+                    Some(suspect),
+                    committed.get(suspect).copied().unwrap_or(0),
+                    "deadline",
+                    format!(
+                        "overall deadline passed after {} ms; least-advanced shard killed",
+                        started.elapsed().as_millis()
+                    ),
+                );
+            }
+            absorb_worker_traces(recorder, &hub);
             hub.stop_and_join();
             return Err(error);
         }
@@ -529,13 +610,13 @@ fn supervise_one_hub(
                 Slot::Running(child) => match child.try_wait() {
                     Ok(Some(status)) if status.success() && shard_done => Some(Slot::Finished),
                     Ok(Some(status)) if status.success() => Some(Slot::Settling(now + settle)),
-                    Ok(Some(_)) => Some(schedule_restart(options, &hub, attempts, shard)),
+                    Ok(Some(_)) => Some(schedule_restart(options, &hub, attempts, shard, recorder)),
                     Ok(None) => None,
-                    Err(_) => Some(schedule_restart(options, &hub, attempts, shard)),
+                    Err(_) => Some(schedule_restart(options, &hub, attempts, shard, recorder)),
                 },
                 Slot::Settling(_) if shard_done => Some(Slot::Finished),
                 Slot::Settling(deadline) if now >= *deadline => {
-                    Some(schedule_restart(options, &hub, attempts, shard))
+                    Some(schedule_restart(options, &hub, attempts, shard, recorder))
                 }
                 Slot::Backoff(due) if now >= *due => match spawn(shard, &addr, attempts[shard]) {
                     Ok(child) => Some(Slot::Running(child)),
@@ -565,6 +646,14 @@ fn supervise_one_hub(
                 if let Some(Slot::Running(child)) = slots.get_mut(victim) {
                     let _ = child.kill();
                     *kill_at_armed = None;
+                    if let Some(r) = recorder {
+                        r.event(
+                            Some(victim),
+                            committed.get(victim).copied().unwrap_or(0),
+                            "chaos_kill",
+                            format!("SIGKILL armed for round {at_round} delivered"),
+                        );
+                    }
                 }
             }
         }
@@ -599,6 +688,25 @@ fn supervise_one_hub(
                 }
                 if let Slot::Running(child) = &mut slots[victim] {
                     let _ = child.kill();
+                    if let Some(r) = recorder {
+                        let age_ms = hub
+                            .beat_ages()
+                            .get(victim)
+                            .copied()
+                            .flatten()
+                            .map(|(age, _)| age.as_millis());
+                        r.event(
+                            Some(victim),
+                            committed.get(victim).copied().unwrap_or(0),
+                            "stall_kill",
+                            format!(
+                                "no fabric progress for {} ms; beat_age_ms={} beat_stale={}",
+                                options.stall.as_millis(),
+                                age_ms.map_or_else(|| "none".into(), |ms| ms.to_string()),
+                                beat_stale,
+                            ),
+                        );
+                    }
                 }
             }
             last_progress_at = now;
@@ -621,6 +729,7 @@ fn supervise_one_hub(
     kill_everything(&mut slots);
     let worker_stats = hub.worker_stats();
     let (workers_restarted, rounds_replayed, heartbeats_missed) = hub.recovery_counters();
+    absorb_worker_traces(recorder, &hub);
     hub.stop_and_join();
     if let Some(error) = fabric_error {
         // The hub usually halts on the evicted-window refusal before the
@@ -653,15 +762,27 @@ fn supervise_one_hub(
 
 /// Books one more restart for `shard`: `Backoff` with exponential
 /// delay and deterministic jitter, or `Lost` (with the typed fabric
-/// error) when the budget is spent.
+/// error) when the budget is spent. Either decision is annotated onto
+/// the flight-recorder timeline with the evidence it rested on — the
+/// shard's committed round, last heartbeat age, and the fabric's replay
+/// count so far.
 fn schedule_restart(
     options: &SuperviseOptions,
     hub: &Hub,
     attempts: &mut [usize],
     shard: usize,
+    recorder: &mut Option<FlightRecorder>,
 ) -> Slot {
     attempts[shard] += 1;
     let nth = attempts[shard];
+    let committed = hub.committed_rounds().get(shard).copied().unwrap_or(0);
+    let beat_age_ms = hub
+        .beat_ages()
+        .get(shard)
+        .copied()
+        .flatten()
+        .map(|(age, _)| age.as_millis());
+    let (_, rounds_replayed, _) = hub.recovery_counters();
     if nth > options.max_restarts {
         hub.declare_lost(
             shard,
@@ -670,6 +791,17 @@ fn schedule_restart(
                 options.max_restarts
             ),
         );
+        if let Some(r) = recorder {
+            r.event(
+                Some(shard),
+                committed,
+                "lost",
+                format!(
+                    "restart budget ({}) exhausted at committed round {committed}",
+                    options.max_restarts
+                ),
+            );
+        }
         return Slot::Lost;
     }
     let base_ms = options.backoff.as_millis() as u64;
@@ -680,6 +812,19 @@ fn schedule_restart(
         .wrapping_add((shard as u64) << 32)
         .wrapping_add(nth as u64))
         % jitter_span;
+    if let Some(r) = recorder {
+        r.event(
+            Some(shard),
+            committed,
+            "restart",
+            format!(
+                "worker {shard} down at committed round {committed}: attempt={nth} \
+                 backoff_ms={} beat_age_ms={} rounds_replayed={rounds_replayed}",
+                exp + jitter,
+                beat_age_ms.map_or_else(|| "none".into(), |ms| ms.to_string()),
+            ),
+        );
+    }
     Slot::Backoff(Instant::now() + Duration::from_millis(exp + jitter))
 }
 

@@ -47,6 +47,39 @@
 //! | Corrupt or truncated frame | Receiver's decoder | checksum/structure validation | None (content desync is never retried — re-reading the same bytes cannot fix them) | Typed [`crate::SimError::Frame`] |
 //! | Peer reports its own failure | Everyone | `Error` control frame relayed hub-wide | None — orderly teardown | The originating shard's typed error |
 //!
+//! # Observability
+//!
+//! The distributed fabric carries its own trace plane (see
+//! [`crate::trace`] for the in-process half):
+//!
+//! - **`Trace` control frames.** When tracing is enabled
+//!   (`NETDECOMP_TRACE=1` or `NETDECOMP_TRACE_OUT=<path>`; workers
+//!   inherit the environment, so enabling it at the launcher enables it
+//!   everywhere), each worker commits a [`crate::RoundTrace`] per round
+//!   — per-phase compute/account/ship/place nanos, frame bytes,
+//!   checksum time, and the restart generation it is running as
+//!   (`NETDECOMP_WORKER_ATTEMPT`) — and streams it to the hub as a
+//!   `Trace` control frame *before* advancing to the next round.
+//! - **Hub timeline merge.** The hub keeps the last
+//!   `NETDECOMP_TRACE_WINDOW` (default 64) records per shard in memory.
+//!   Because the records were streamed eagerly, a worker killed with
+//!   SIGKILL still leaves its recent history behind on the hub side.
+//! - **Supervisor annotations.** The supervisor folds those per-shard
+//!   rings into a [`crate::FlightRecorder`] and annotates the timeline
+//!   with its own decisions: restart events (attempt number, backoff
+//!   with jitter, heartbeat age, replay count), chaos and stall kills,
+//!   whole-run restarts, lost shards, deadline breaches, and the final
+//!   halt or fatal outcome.
+//! - **Dump.** When `NETDECOMP_TRACE_OUT` is set (or `netdecomp
+//!   --trace-out` is passed), the recorder writes everything as JSONL —
+//!   `{"type":"round",...}` lines per traced round and
+//!   `{"type":"event",...}` lines per supervisor decision — both on
+//!   clean completion and on any fatal error, so the flight recording
+//!   survives exactly the runs you need it for.
+//!
+//! Tracing never changes results: `Determinism::Verify` remains
+//! bit-identical with the trace plane enabled on every backend.
+//!
 //! The full wire protocol — frame layouts, the handshake, and the
 //! failure-mode table — is documented in [`crate::frame`] (formats) and
 //! [`control`] (control frames).

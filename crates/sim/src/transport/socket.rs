@@ -82,6 +82,7 @@ use crate::frame::{
     Transport, TransportHealth, FRAME_VERSION, FRAME_VERSION_MIN, LEN_OFFSET, MAGIC,
 };
 use crate::stats::RunStats;
+use crate::trace::RoundTrace;
 
 use super::control::{ControlFrame, CONTROL_MAGIC, MAX_WIRE_FRAME};
 use super::replay::{ReplayLog, Snapshot};
@@ -543,6 +544,13 @@ struct HubShared {
     beats: Mutex<Vec<Option<(Instant, u64)>>>,
     /// Per-shard end-of-run `Stats` reports.
     stats_slots: Mutex<Vec<Option<WorkerStats>>>,
+    /// Per-shard flight-recorder round records streamed as `Trace`
+    /// frames, capped at the trace window — the hub-side copy of each
+    /// worker's ring, which is what survives the worker's death.
+    traces: Mutex<Vec<VecDeque<RoundTrace>>>,
+    /// Cap on each shard's hub-side trace deque
+    /// ([`crate::trace::trace_window`] at bind time).
+    trace_window: usize,
     /// Re-registrations (epoch bumps past the first) — restarted
     /// workers plus surviving-client link reconnects.
     workers_restarted: AtomicUsize,
@@ -601,6 +609,8 @@ impl HubShared {
             digest: Mutex::new(options.digest),
             beats: Mutex::new(vec![None; shards]),
             stats_slots: Mutex::new((0..shards).map(|_| None).collect()),
+            traces: Mutex::new((0..shards).map(|_| VecDeque::new()).collect()),
+            trace_window: crate::trace::trace_window(),
             workers_restarted: AtomicUsize::new(0),
             rounds_replayed: AtomicUsize::new(0),
             heartbeats_missed: AtomicUsize::new(0),
@@ -1139,6 +1149,16 @@ fn run_reader(shared: &Arc<HubShared>, conn: usize) {
                     stats,
                 });
             }
+            Ok(Wire::Control(ControlFrame::Trace { records, .. })) => {
+                let mut traces = shared.traces.lock().expect("no poisoned traces");
+                let ring = &mut traces[conn];
+                for record in records {
+                    if ring.len() == shared.trace_window {
+                        ring.pop_front();
+                    }
+                    ring.push_back(record);
+                }
+            }
             Ok(Wire::Control(ControlFrame::Error { origin, error })) => {
                 shared.declare_fatal(origin, error);
                 return;
@@ -1449,6 +1469,15 @@ impl Hub {
             .lock()
             .expect("no poisoned stats")
             .clone()
+    }
+
+    /// Per-shard flight-recorder records streamed as `Trace` frames
+    /// (chronological, capped at the trace window). Empty vectors for
+    /// untraced runs. This is the hub's copy of each worker's ring, so
+    /// it covers workers that are already dead.
+    pub(crate) fn worker_traces(&self) -> Vec<Vec<RoundTrace>> {
+        let traces = self.shared.traces.lock().expect("no poisoned traces");
+        traces.iter().map(|d| d.iter().copied().collect()).collect()
     }
 
     /// `(workers_restarted, rounds_replayed, heartbeats_missed)` so far.
@@ -1952,6 +1981,22 @@ impl HubClient {
         let _ = link.write_all(frame.as_slice()).and_then(|()| link.flush());
     }
 
+    /// Streams flight-recorder round records to the hub (best effort —
+    /// a lost trace frame must never fail a run). The hub keeps the
+    /// last-K per shard, so the records survive this process's death.
+    pub fn send_trace(&self, records: &[RoundTrace]) {
+        if records.is_empty() {
+            return;
+        }
+        let frame = ControlFrame::Trace {
+            shard: self.shard as u32,
+            records: records.to_vec(),
+        }
+        .encode();
+        let mut link = self.link.lock().expect("no poisoned link");
+        let _ = link.write_all(frame.as_slice()).and_then(|()| link.flush());
+    }
+
     fn write_with_retry(&self, link: &mut Stream, bytes: &[u8]) -> Result<(), TransportCause> {
         match link.write_all(bytes).and_then(|()| link.flush()) {
             Ok(()) => Ok(()),
@@ -2158,7 +2203,11 @@ impl HubClient {
                         },
                     });
                 }
-                Ok(Wire::Control(ControlFrame::Heartbeat { .. } | ControlFrame::Stats { .. })) => {
+                Ok(Wire::Control(
+                    ControlFrame::Heartbeat { .. }
+                    | ControlFrame::Stats { .. }
+                    | ControlFrame::Trace { .. },
+                )) => {
                     // Worker-to-hub frames; a hub never sends them.
                 }
                 Err(ReadEnd::Tick | ReadEnd::Stalled) => {

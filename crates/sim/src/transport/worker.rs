@@ -159,6 +159,9 @@ where
     let mut encoder = FrameEncoder::new(config.shards, FrameConfig::from_env());
     let transport = ClientTransport { client };
     let mut report = WorkerReport::default();
+    // Restart generation for the trace plane: 0 on a first launch, the
+    // supervisor's attempt count on a relaunch (via `ENV_ATTEMPT`).
+    let attempt = crate::trace::worker_attempt();
 
     let fail = |client: &HubClient, local: SimError| {
         // A structured peer error beats our local rendering of it; a
@@ -183,20 +186,41 @@ where
             client.send_shutdown();
             return Err(error);
         }
+        let t = shard.trace.begin();
         compute_shard(graph, round > 0, &shard, &mut nodes, &mut outboxes);
+        shard.trace.note_compute(t);
+        let t = shard.trace.begin();
         let ok = shard.account(graph, &routes, config.limit, round, &outboxes, &mut router);
+        shard.trace.note_account(t);
         // Ship even when accounting failed: peers expect exactly one
         // frame per link per round (partial buckets hold only refs
         // charged before the violation), and the `Error` broadcast that
         // follows is what actually stops them.
+        let t = shard.trace.begin();
         encoder.ship(me, &router, &outboxes, bounds[me], &transport, false);
+        shard.trace.note_ship(t);
         if !ok {
             let error = shard.error.take().expect("failed account sets the error");
             return Err(fail(client, error));
         }
+        let t = shard.trace.begin();
         shard.place_frames(graph, me, round, &transport, &bounds);
+        shard.trace.note_place(t);
         if let Some(error) = shard.error.take() {
             return Err(fail(client, error));
+        }
+        if shard.trace.enabled() {
+            // Commit the round and stream it to the hub immediately —
+            // the hub-side copy is what survives a SIGKILL between this
+            // round and the next.
+            let frame_bytes = shard.work.frame_bytes as u64;
+            let checksum_ns = shard.work.checksum_ns;
+            shard
+                .trace
+                .commit(round as u64, frame_bytes, checksum_ns, attempt);
+            if let Some(last) = shard.trace.last() {
+                client.send_trace(std::slice::from_ref(last));
+            }
         }
         report.stats.absorb(shard.stats);
         report.rounds_run += 1;

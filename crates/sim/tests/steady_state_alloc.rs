@@ -150,6 +150,58 @@ fn framed_loopback_phase_separated_steady_state_rounds_do_not_allocate() {
     );
 }
 
+#[test]
+fn traced_framed_steady_state_rounds_do_not_allocate() {
+    // The trace plane must be free in steady state too: rings are
+    // preallocated at construction and commits overwrite slots in place,
+    // so enabling per-round phase timing adds clock reads but not a
+    // single allocation per round.
+    const WINDOW: usize = 32;
+    let g = generators::grid2d(12, 12);
+    let mut sim = Simulator::new(&g, |id, _| SteadyBroadcast {
+        payload: Bytes::from(vec![id as u8; 8]),
+        heard: 0,
+    })
+    .with_engine(Engine::Framed {
+        threads: 1,
+        shards: 4,
+        transport: FrameTransport::Loopback,
+    })
+    .with_overlap(true)
+    .with_trace(WINDOW);
+    assert!(sim.trace_enabled());
+    for _ in 0..300 {
+        sim.step().expect("no limits configured");
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..100 {
+        sim.step().expect("no limits configured");
+    }
+    let during = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        during, 0,
+        "traced steady-state rounds allocated {during} times"
+    );
+    // Snapshotting allocates, so inspect the rings only after the
+    // measured window: every shard retains its last WINDOW rounds with
+    // nonzero phase timings.
+    let traces = sim.flight_traces();
+    assert_eq!(traces.len(), 4, "every shard ring must be enabled");
+    for (shard, records) in traces {
+        assert_eq!(records.len(), WINDOW, "shard {shard} ring must be full");
+        let last = records.last().expect("ring is full");
+        assert_eq!(last.round, 399, "shard {shard} must hold the last round");
+        assert!(
+            records.iter().all(|r| r.busy_ns() > 0),
+            "shard {shard} records must carry phase timings"
+        );
+        assert!(
+            records.windows(2).all(|w| w[0].round + 1 == w[1].round),
+            "shard {shard} records must be chronological"
+        );
+    }
+}
+
 /// Unicast workload rotating through each node's neighbors: exercises the
 /// router's flat vertex→shard path with per-round-varying bucket sizes
 /// (the rotation cycles within the warmup, so every bucket's high-water

@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! netdecomp <file|-> [--algo basic|staged|high-radius|ls93] [--k K] [--c C]
-//!           [--lambda L] [--seed S] [--assignment]
+//!           [--lambda L] [--seed S] [--assignment] [--json]
 //! netdecomp <file> --distributed N [--rounds R] [--max-restarts M]
 //!           [--heartbeat-ms H] [--timeout-ms T] [--hub-addr ADDR]
+//!           [--json] [--trace-out FILE]
 //! netdecomp <file> --worker            # spawned by --distributed
 //! ```
 //!
@@ -40,6 +41,13 @@
 //! `NETDECOMP_CHAOS_KILL=<shard>:<round>` has the *supervisor* SIGKILL
 //! the shard from outside when it reaches that round;
 //! `NETDECOMP_CHAOS_SLOW_MS=<ms>` slows every round of every worker.
+//!
+//! Observability: `--trace-out FILE` enables the trace plane
+//! (`NETDECOMP_TRACE=1` + `NETDECOMP_TRACE_OUT`, inherited by every
+//! worker) and has the supervisor dump a flight-recorder JSONL timeline
+//! — per-round per-shard phase timings plus restart/kill/halt decisions
+//! — to FILE on completion or failure. `--json` replaces the prose
+//! summary with one machine-readable JSON object on stdout.
 
 use std::io::Read as _;
 use std::time::Duration;
@@ -69,14 +77,17 @@ struct Options {
     heartbeat_ms: u64,
     timeout_ms: Option<u64>,
     hub_addr: Option<String>,
+    json: bool,
+    trace_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: netdecomp <file|-> [--algo basic|staged|high-radius|ls93] \
-         [--k K] [--c C] [--lambda L] [--seed S] [--assignment]\n\
+         [--k K] [--c C] [--lambda L] [--seed S] [--assignment] [--json]\n\
          \x20      netdecomp <file> --distributed N [--rounds R] [--max-restarts M]\n\
-         \x20                [--heartbeat-ms H] [--timeout-ms T] [--hub-addr ADDR]"
+         \x20                [--heartbeat-ms H] [--timeout-ms T] [--hub-addr ADDR]\n\
+         \x20                [--json] [--trace-out FILE]"
     );
     std::process::exit(2)
 }
@@ -97,6 +108,8 @@ fn parse_args() -> Options {
         heartbeat_ms: 50,
         timeout_ms: None,
         hub_addr: std::env::var("NETDECOMP_HUB_ADDR").ok(),
+        json: false,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -114,6 +127,8 @@ fn parse_args() -> Options {
             "--heartbeat-ms" => opts.heartbeat_ms = parse_or_usage(args.next()),
             "--timeout-ms" => opts.timeout_ms = Some(parse_or_usage(args.next())),
             "--hub-addr" => opts.hub_addr = Some(args.next().unwrap_or_else(|| usage())),
+            "--json" => opts.json = true,
+            "--trace-out" => opts.trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other if opts.input.is_empty() && !other.starts_with("--") => {
                 opts.input = other.to_string();
@@ -137,6 +152,25 @@ fn parse_hub_addr(raw: &str) -> Result<HubAddr, String> {
 
 fn parse_or_usage<T: std::str::FromStr>(raw: Option<String>) -> T {
     raw.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+}
+
+/// Minimal JSON string escaping for `--json` output (no serializer dep).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn read_graph(path: &str) -> Result<Graph, Box<dyn std::error::Error>> {
@@ -378,6 +412,9 @@ fn distributed_main(opts: &Options, graph: &Graph) -> Result<(), Box<dyn std::er
             )
             .env(launcher::ENV_HEARTBEAT, opts.heartbeat_ms.to_string())
             .env(launcher::ENV_REPLAY_WINDOW, replay_window().to_string())
+            // Trace plane: the relaunch generation each worker stamps
+            // into its RoundTrace records.
+            .env(launcher::ENV_ATTEMPT, attempt.to_string())
             // Results travel as Stats frames; nobody drains worker pipes
             // under supervision, so don't create any.
             .stdout(std::process::Stdio::null())
@@ -399,6 +436,7 @@ fn distributed_main(opts: &Options, graph: &Graph) -> Result<(), Box<dyn std::er
     let plan = ShardPlan::degree_balanced(graph, shards);
     let mut all_match = true;
     let mut merged = RunStats::default();
+    let mut workers_json = Vec::with_capacity(shards);
     for shard in 0..shards {
         let expected = flood_digest(&reference.nodes()[plan.range(shard)]);
         let received = report.worker_stats.get(shard).and_then(Option::as_ref);
@@ -407,27 +445,66 @@ fn distributed_main(opts: &Options, graph: &Graph) -> Result<(), Box<dyn std::er
         if let Some(ws) = received {
             merged.merge(&ws.stats);
         }
-        println!(
-            "worker {shard}: rounds {} digest {} (expected {expected:016x}) restarts {}",
-            received.map_or(0, |ws| ws.rounds_run),
-            received.map_or("missing".into(), |ws| format!("{:016x}", ws.result_digest)),
-            report.restarts.get(shard).copied().unwrap_or(0),
-        );
+        let restarts = report.restarts.get(shard).copied().unwrap_or(0);
+        if opts.json {
+            workers_json.push(format!(
+                "{{\"shard\":{shard},\"rounds_run\":{},\"digest\":{},\
+                 \"expected_digest\":\"{expected:016x}\",\"matched\":{matched},\
+                 \"restarts\":{restarts}}}",
+                received.map_or(0, |ws| ws.rounds_run),
+                received.map_or("null".into(), |ws| format!("\"{:016x}\"", ws.result_digest)),
+            ));
+        } else {
+            println!(
+                "worker {shard}: rounds {} digest {} (expected {expected:016x}) restarts {restarts}",
+                received.map_or(0, |ws| ws.rounds_run),
+                received.map_or("missing".into(), |ws| format!("{:016x}", ws.result_digest)),
+            );
+        }
     }
-    println!(
-        "recovery: readmissions={} rounds_replayed={} heartbeats_missed={} full_run_restarts={}",
-        report.workers_restarted,
-        report.rounds_replayed,
-        report.heartbeats_missed,
-        report.full_run_restarts
-    );
-    println!(
-        "distributed: {shards} workers over {} vertices, rounds={}, {} messages, \
-         matches sequential: {all_match}",
-        graph.vertex_count(),
-        opts.rounds,
-        merged.total_messages
-    );
+    if opts.json {
+        // One machine-readable object on stdout; the prose above is the
+        // default precisely because existing harnesses grep for it.
+        println!(
+            "{{\"type\":\"distributed_summary\",\"shards\":{shards},\"vertices\":{},\
+             \"rounds\":{},\"matches_sequential\":{all_match},\"workers\":[{}],\
+             \"recovery\":{{\"workers_restarted\":{},\"rounds_replayed\":{},\
+             \"heartbeats_missed\":{},\"full_run_restarts\":{}}},\
+             \"stats\":{{\"rounds\":{},\"total_messages\":{},\"total_bytes\":{},\
+             \"max_edge_bytes\":{}}},\"trace_out\":{}}}",
+            graph.vertex_count(),
+            opts.rounds,
+            workers_json.join(","),
+            report.workers_restarted,
+            report.rounds_replayed,
+            report.heartbeats_missed,
+            report.full_run_restarts,
+            merged.rounds,
+            merged.total_messages,
+            merged.total_bytes,
+            merged.max_edge_bytes,
+            netdecomp::sim::trace_out()
+                .map_or("null".into(), |p| json_str(&p.display().to_string())),
+        );
+    } else {
+        println!(
+            "recovery: readmissions={} rounds_replayed={} heartbeats_missed={} full_run_restarts={}",
+            report.workers_restarted,
+            report.rounds_replayed,
+            report.heartbeats_missed,
+            report.full_run_restarts
+        );
+        println!(
+            "distributed: {shards} workers over {} vertices, rounds={}, {} messages, \
+             matches sequential: {all_match}",
+            graph.vertex_count(),
+            opts.rounds,
+            merged.total_messages
+        );
+        if let Some(path) = netdecomp::sim::trace_out() {
+            println!("flight recorder: {}", path.display());
+        }
+    }
     if !all_match {
         return Err("distributed run diverged from the sequential engine".into());
     }
@@ -443,6 +520,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Pin the fabric timeout for this invocation; the supervisor's
         // spawn closure forwards it to every worker via ENV_TIMEOUT.
         std::env::set_var("NETDECOMP_FRAME_TIMEOUT_MS", ms.to_string());
+    }
+    if let Some(path) = &opts.trace_out {
+        // Enable the trace plane for this process and (via inherited
+        // environment) every worker it spawns; the supervisor dumps the
+        // flight recording here on completion or failure.
+        std::env::set_var("NETDECOMP_TRACE_OUT", path);
+        std::env::set_var("NETDECOMP_TRACE", "1");
     }
     let graph = read_graph(&opts.input)?;
     if opts.worker {
@@ -509,6 +593,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let report = verify::verify(&graph, &decomposition)?;
+    if opts.json {
+        println!(
+            "{{\"type\":\"verify_report\",\"algorithm\":{},\"n\":{n},\"m\":{},\
+             \"clusters\":{},\"colors\":{},\"complete\":{},\"clusters_connected\":{},\
+             \"max_strong_diameter\":{},\"max_weak_diameter\":{},\
+             \"supergraph_properly_colored\":{}}}",
+            json_str(&label),
+            graph.edge_count(),
+            report.cluster_count,
+            report.color_count,
+            report.complete,
+            report.clusters_connected,
+            report
+                .max_strong_diameter
+                .map_or("null".into(), |d| d.to_string()),
+            report
+                .max_weak_diameter
+                .map_or("null".into(), |d| d.to_string()),
+            report.supergraph_properly_colored
+        );
+        if opts.assignment {
+            for v in 0..n {
+                let c = decomposition.cluster_of(v);
+                let b = decomposition.block_of(v);
+                println!(
+                    "{{\"type\":\"assignment\",\"vertex\":{v},\"cluster\":{},\"color\":{}}}",
+                    c.map_or("null".into(), |x| x.to_string()),
+                    b.map_or("null".into(), |x| x.to_string())
+                );
+            }
+        }
+        return Ok(());
+    }
     println!("algorithm: {label}");
     println!("graph: n={} m={}", n, graph.edge_count());
     println!(

@@ -177,6 +177,54 @@ fn an_external_sigkill_mid_run_heals_bit_identically() {
 }
 
 #[test]
+fn a_crash_leaves_a_flight_recorder_dump_naming_the_dead_shard() {
+    // Same crash as the headline soak, but with the trace plane on: the
+    // supervisor must leave a JSONL flight recording behind that holds
+    // the crashed shard's streamed per-phase round traces (which
+    // survived the SIGKILL on the hub side) AND its own restart
+    // decision naming that shard.
+    let graph = ladder_file("soak-recorder", 36);
+    let dump = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("soak-recorder-{}.jsonl", std::process::id()));
+    let (output, _) = supervised_run(
+        &graph,
+        &[
+            ("NETDECOMP_CHAOS_CRASH", "1:5".into()),
+            ("NETDECOMP_FRAME_TIMEOUT_MS", "2000".into()),
+            ("NETDECOMP_TRACE", "1".into()),
+            ("NETDECOMP_TRACE_OUT", dump.display().to_string()),
+        ],
+    );
+    assert_healed(&output, "recorder crash 1:5");
+    assert!(recovery_counter(&output, "readmissions") >= 1);
+    let recording = std::fs::read_to_string(&dump)
+        .unwrap_or_else(|e| panic!("the flight recording {} must exist: {e}", dump.display()));
+    assert!(
+        recording
+            .lines()
+            .any(|line| line.contains("\"type\":\"round\"")
+                && line.contains("\"shard\":1")
+                && line.contains("\"compute_ns\"")),
+        "the dump must hold shard 1's per-phase round traces:\n{recording}"
+    );
+    assert!(
+        recording
+            .lines()
+            .any(|line| line.contains("\"type\":\"event\"")
+                && line.contains("\"kind\":\"restart\"")
+                && line.contains("\"shard\":1")),
+        "the dump must hold the supervisor's restart decision for shard 1:\n{recording}"
+    );
+    assert!(
+        recording
+            .lines()
+            .any(|line| line.contains("\"kind\":\"halt\"")),
+        "a healed run must close the timeline with a halt event:\n{recording}"
+    );
+    let _ = std::fs::remove_file(&dump);
+}
+
+#[test]
 fn an_exhausted_restart_budget_is_a_typed_error_naming_the_shard() {
     // Worker 2 dies on every launch (the abort hook stays armed across
     // restarts), so the budget runs out: the run must fail with a typed
