@@ -22,8 +22,8 @@ use netdecomp_core::{DecompError, NetworkDecomposition};
 use netdecomp_graph::{bfs, Graph, Partition, VertexId, VertexSet};
 use netdecomp_sim::wire::{WireReader, WireWriter};
 use netdecomp_sim::{
-    Codec, CongestLimit, Ctx, Engine, RunStats, Simulator, TransportFactory, Typed, TypedOutbox,
-    TypedProtocol,
+    Codec, CongestLimit, Ctx, Engine, RunStats, Simulator, Snapshot, TransportFactory, Typed,
+    TypedOutbox, TypedProtocol,
 };
 use serde::Serialize;
 
@@ -282,6 +282,56 @@ impl Codec for LsCodec {
             r: radius,
             dist,
         })
+    }
+}
+
+/// Round-boundary serialization for checkpoint/restore: `alive` and the
+/// label frontier (in kept order — `offer`'s retain/push order is part
+/// of the state); `radius` is construction-time configuration a seeded
+/// rebuild re-derives bit-identically.
+impl Snapshot for LsNode {
+    fn save_state(&self) -> Bytes {
+        let mut w = WireWriter::new()
+            .u16(u16::from(self.alive))
+            .u32(self.known.len() as u32);
+        for label in &self.known {
+            w = w
+                .u32(label.id as u32)
+                .u16(label.r as u16)
+                .u16(label.dist as u16);
+        }
+        w.finish()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = WireReader::new(bytes);
+        let Some(alive) = r.u16() else {
+            return false;
+        };
+        let Some(count) = r.u32() else {
+            return false;
+        };
+        // Each label consumes 8 bytes; an absurd count can't be genuine.
+        if count as usize > bytes.len() / 8 {
+            return false;
+        }
+        let mut known = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let (Some(id), Some(radius), Some(dist)) = (r.u32(), r.u16(), r.u16()) else {
+                return false;
+            };
+            known.push(LsLabel {
+                id: id as VertexId,
+                r: radius as usize,
+                dist: dist as usize,
+            });
+        }
+        if !r.is_exhausted() {
+            return false;
+        }
+        self.alive = alive != 0;
+        self.known = known;
+        true
     }
 }
 

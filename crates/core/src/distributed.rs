@@ -22,8 +22,8 @@ use bytes::Bytes;
 use netdecomp_graph::{Graph, VertexId, VertexSet};
 use netdecomp_sim::wire::{WireReader, WireWriter};
 use netdecomp_sim::{
-    Codec, CongestLimit, Ctx, Determinism, Engine, RunStats, Simulator, TransportFactory, Typed,
-    TypedOutbox, TypedProtocol,
+    Codec, CongestLimit, Ctx, Determinism, Engine, RunStats, Simulator, Snapshot, TransportFactory,
+    Typed, TypedOutbox, TypedProtocol,
 };
 
 use crate::carve::{CarveDecision, PhaseResult};
@@ -229,6 +229,56 @@ impl CarveNode {
             m2,
             joined: best.value() - m2 > 1.0,
         }
+    }
+}
+
+/// Round-boundary serialization for checkpoint/restore: only the
+/// mutable phase state travels (`alive` and the known-entry list, in
+/// kept order); `r`, `cap`, and `mode` are construction-time
+/// configuration a seeded rebuild re-derives bit-identically.
+impl Snapshot for CarveNode {
+    fn save_state(&self) -> Bytes {
+        let mut w = WireWriter::new()
+            .u16(u16::from(self.alive))
+            .u32(self.known.len() as u32);
+        for entry in &self.known {
+            w = w
+                .u32(entry.origin as u32)
+                .f64(entry.r)
+                .u16(entry.dist as u16);
+        }
+        w.finish()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = WireReader::new(bytes);
+        let Some(alive) = r.u16() else {
+            return false;
+        };
+        let Some(count) = r.u32() else {
+            return false;
+        };
+        // Each entry consumes 14 bytes; an absurd count can't be genuine.
+        if count as usize > bytes.len() / 14 {
+            return false;
+        }
+        let mut known = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let (Some(origin), Some(shift), Some(dist)) = (r.u32(), r.f64(), r.u16()) else {
+                return false;
+            };
+            known.push(Entry {
+                origin: origin as VertexId,
+                r: shift,
+                dist: dist as usize,
+            });
+        }
+        if !r.is_exhausted() {
+            return false;
+        }
+        self.alive = alive != 0;
+        self.known = known;
+        true
     }
 }
 

@@ -159,6 +159,21 @@ impl<T: TypedProtocol> Protocol for Typed<T> {
     }
 }
 
+/// Blanket checkpoint plumbing: a typed protocol that can snapshot its
+/// own state makes the whole [`Typed`] wrapper snapshot-capable for
+/// free. The decode scratch buffer is per-round transient (cleared at
+/// the top of every [`Protocol::round`]), so the inner state is the
+/// wrapper's entire checkpointable state.
+impl<T: TypedProtocol + crate::Snapshot> crate::Snapshot for Typed<T> {
+    fn save_state(&self) -> Bytes {
+        self.inner.save_state()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        self.inner.load_state(bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -89,6 +89,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, RwLock};
 
+use bytes::Bytes;
 use netdecomp_graph::{Graph, VertexId};
 
 use crate::frame::{
@@ -164,6 +165,33 @@ pub trait Protocol {
     fn is_halted(&self) -> bool {
         false
     }
+}
+
+/// Checkpointable per-node state: the seam the deterministic
+/// checkpoint/restore plane rides on.
+///
+/// A protocol opts in by serializing its *mutable* state — everything
+/// `start`/`round` can change — through the same wire primitives its
+/// messages use ([`crate::WireWriter`] / [`crate::WireReader`]).
+/// Configuration fixed at construction (caps, modes, ids) need not be
+/// saved: restore always runs on a node freshly built by the same
+/// `make_node` closure, so [`Snapshot::load_state`] only overlays the
+/// evolving fields.
+///
+/// The contract mirrors the engine's determinism invariant: for any
+/// node, `load_state(save_state())` must reproduce a state that behaves
+/// bit-identically from that round on. `load_state` must treat its
+/// input as untrusted bytes (checkpoint files are validated by digest,
+/// but defense in depth is cheap) and return `false` rather than panic
+/// on malformed input.
+pub trait Snapshot {
+    /// Serializes this node's mutable state.
+    fn save_state(&self) -> Bytes;
+
+    /// Overlays previously saved state onto this freshly built node.
+    /// Returns `false` (leaving the node in an unspecified but safe
+    /// state) when the bytes are malformed.
+    fn load_state(&mut self, bytes: &[u8]) -> bool;
 }
 
 /// How rounds are scheduled across threads and shards.
@@ -912,6 +940,17 @@ impl<'g, P: Protocol> Simulator<'g, P> {
         self.nodes.iter().all(Protocol::is_halted) && self.shards.iter().all(|s| s.slots.is_empty())
     }
 
+    /// Repositions the round cursor after restoring checkpointed shard
+    /// state ([`Simulator::restore_shard`]): the next step runs `round`
+    /// exactly as the original run did — `start` for round 0, `round`
+    /// consuming the restored inbox otherwise. Call between rounds
+    /// only; a round boundary is the consistent cut checkpoints are
+    /// taken at.
+    pub fn resume_at(&mut self, round: usize) {
+        self.round = round;
+        self.started = round > 0;
+    }
+
     /// Surfaces the round's first error (lowest shard, i.e. lowest sender
     /// id — matching a sequential sender-order scan) or commits the round
     /// by merging all per-shard stats.
@@ -1428,6 +1467,58 @@ impl<P: Protocol + Send + Clone> Simulator<'_, P> {
             Determinism::Trust => self.run_to_quiescence(max_rounds),
             Determinism::Verify => self.run_quiescence_loop(max_rounds, |s| s.step_verified()),
         }
+    }
+}
+
+/// The engine-level checkpoint API, available once the protocol opts
+/// into the [`Snapshot`] seam. A round boundary (between `step`s) is
+/// already a consistent cut: every delivery of the previous round has
+/// been placed, nothing of the next has run — so one payload per shard,
+/// plus the round cursor, is a complete resumable image of the run.
+impl<P: Protocol + Snapshot> Simulator<'_, P> {
+    /// Serializes shard `k`'s complete round-boundary state — every
+    /// owned node's [`Snapshot`] state, the pending inbox the next
+    /// compute will consume, the sparse per-edge CONGEST counters, and
+    /// the accumulated [`RunStats`] — as an opaque checkpoint payload
+    /// (the same bytes a socket worker writes inside a
+    /// [`crate::Checkpoint`] file).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a shard of the current plan.
+    #[must_use]
+    pub fn snapshot_shard(&self, k: usize) -> Vec<u8> {
+        let range = self.plan.range(k);
+        crate::checkpoint::encode_worker_payload(
+            &self.nodes[range.start..range.end],
+            &self.shards[k],
+            &self.stats,
+        )
+    }
+
+    /// Overlays a [`Simulator::snapshot_shard`] payload onto shard `k`:
+    /// node states are restored through [`Snapshot::load_state`], the
+    /// pending inbox and CONGEST counters rebuilt, and the simulator's
+    /// accumulated stats replaced by the checkpointed accumulation
+    /// (snapshots of the same boundary carry identical stats, so
+    /// restoring several shards is idempotent on them). Follow with
+    /// [`Simulator::resume_at`] to reposition the round cursor.
+    ///
+    /// Returns `false` — leaving the shard in an unspecified but safe
+    /// state — when the payload is malformed or shaped for a different
+    /// plan; callers then rebuild from round 0 instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a shard of the current plan.
+    pub fn restore_shard(&mut self, k: usize, payload: &[u8]) -> bool {
+        let range = self.plan.range(k);
+        crate::checkpoint::decode_worker_payload(
+            payload,
+            &mut self.nodes[range.start..range.end],
+            &mut self.shards[k],
+            &mut self.stats,
+        )
     }
 }
 
@@ -2145,5 +2236,75 @@ mod tests {
         assert_eq!(sim.engine(), engine);
         // Shards clamp to the vertex count.
         assert_eq!(sim.shard_plan().count(), 2);
+    }
+
+    impl Snapshot for FloodDist {
+        fn save_state(&self) -> Bytes {
+            let mut out = Vec::with_capacity(17);
+            out.push(u8::from(self.dist.is_some()));
+            out.extend_from_slice(&(self.dist.unwrap_or(0) as u64).to_le_bytes());
+            out.extend_from_slice(&(self.rounds_seen as u64).to_le_bytes());
+            Bytes::from(out)
+        }
+
+        fn load_state(&mut self, bytes: &[u8]) -> bool {
+            if bytes.len() != 17 {
+                return false;
+            }
+            let word = |at: usize| {
+                u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes")) as usize
+            };
+            self.dist = (bytes[0] != 0).then(|| word(1));
+            self.rounds_seen = word(9);
+            true
+        }
+    }
+
+    /// The tentpole invariant end to end, in process: snapshot every
+    /// shard mid-run, rebuild a fresh simulator, restore + reposition,
+    /// and the resumed run must finish bit-identically to the
+    /// uninterrupted one.
+    #[test]
+    fn a_checkpoint_round_trip_resumes_bit_identically() {
+        let g = generators::grid2d(5, 5);
+        let engine = Engine::Parallel {
+            threads: 2,
+            shards: 3,
+        };
+        let cut = 3;
+        let tail = 6;
+
+        let mut full = Simulator::new(&g, |_, _| FloodDist::fresh()).with_engine(engine);
+        full.run_rounds(cut).unwrap();
+        let shards = full.shard_plan().count();
+        let payloads: Vec<Vec<u8>> = (0..shards).map(|k| full.snapshot_shard(k)).collect();
+        full.run_rounds(tail).unwrap();
+
+        let mut resumed = Simulator::new(&g, |_, _| FloodDist::fresh()).with_engine(engine);
+        for (k, payload) in payloads.iter().enumerate() {
+            assert!(resumed.restore_shard(k, payload), "shard {k} restore");
+        }
+        resumed.resume_at(cut);
+        resumed.run_rounds(tail).unwrap();
+
+        assert_eq!(resumed.nodes(), full.nodes(), "resumed run diverged");
+        assert_eq!(resumed.rounds_executed(), full.rounds_executed());
+    }
+
+    /// A corrupted payload is refused (`false`) instead of trusted or
+    /// panicking, for any prefix truncation or byte flip.
+    #[test]
+    fn a_mangled_snapshot_payload_is_refused() {
+        let g = generators::path(6);
+        let mut sim = Simulator::new(&g, |_, _| FloodDist::fresh());
+        sim.run_rounds(2).unwrap();
+        let good = sim.snapshot_shard(0);
+        assert!(sim.restore_shard(0, &good), "pristine payload restores");
+        for cut in [0, 1, good.len() / 2, good.len().saturating_sub(1)] {
+            assert!(!sim.restore_shard(0, &good[..cut]), "truncation at {cut}");
+        }
+        let mut flipped = good.clone();
+        flipped[0] ^= 0xff;
+        assert!(!sim.restore_shard(0, &flipped), "flipped node count");
     }
 }

@@ -252,14 +252,14 @@ fn checksum(head: &[u8], tables: &[u8]) -> u32 {
 /// multiply chains give the superscalar core ~4 folds in flight where the
 /// byte-serial v1 digest sustained one.
 #[derive(Debug, Clone, Copy)]
-struct LaneDigest {
+pub(crate) struct LaneDigest {
     lanes: [u32; 4],
     /// Words folded so far — the stripe cursor.
     idx: usize,
 }
 
 impl LaneDigest {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         let mut lanes = [0u32; 4];
         for (i, lane) in lanes.iter_mut().enumerate() {
             *lane = FNV_INIT.wrapping_add((i as u32).wrapping_mul(LANE_SEED_STRIDE));
@@ -393,7 +393,7 @@ impl LaneDigest {
 
     /// Folds a region of arbitrary length, zero-padding its tail to a
     /// word boundary (the payload region under [`FLAG_COVER_PAYLOAD`]).
-    fn update_padded(&mut self, bytes: &[u8]) {
+    pub(crate) fn update_padded(&mut self, bytes: &[u8]) {
         let whole = bytes.len() & !3;
         self.update(&bytes[..whole]);
         let tail = &bytes[whole..];
@@ -405,7 +405,7 @@ impl LaneDigest {
     }
 
     /// Folds the four lanes into the wire checksum word.
-    fn finish(&self) -> u32 {
+    pub(crate) fn finish(&self) -> u32 {
         let mut h = FNV_INIT;
         for lane in self.lanes {
             h = (h ^ lane).wrapping_mul(FNV_PRIME);

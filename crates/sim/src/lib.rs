@@ -102,8 +102,28 @@
 //! relaunched with backoff, re-admitted via handshake resume, and
 //! fast-forwarded through the rounds it missed — the run still
 //! completes bit-identically, and only an exhausted restart budget
-//! surfaces as the typed error naming the lost shard. The control-frame
-//! wire protocol (handshake, round barriers, heartbeats, stats, error
+//! surfaces as the typed error naming the lost shard. Those relay
+//! queues are themselves bounded (`NETDECOMP_HUB_QUEUE_CAP`): a
+//! consumer that stops draining turns into a typed error naming the
+//! slow shard, never unbounded hub memory.
+//!
+//! Crashes *older than the replay window* recover in O(interval)
+//! rather than O(run length) through the [`checkpoint`] subsystem:
+//! with `NETDECOMP_CHECKPOINT_INTERVAL=k` (and an optional
+//! `NETDECOMP_CHECKPOINT_DIR`), every worker serializes its protocol
+//! state (the [`Snapshot`] seam), inbox, CONGEST counters, and
+//! accumulated stats at each `k`-round barrier — a barrier is already a
+//! consistent cut — into a checksummed, versioned on-disk file
+//! (magic-tagged header + lane digest, written via atomic
+//! write-then-rename). A relaunched worker loads its newest *valid*
+//! checkpoint — torn or corrupt files fail the digest, are skipped
+//! with a typed `checkpoint_reject` flight-recorder event, and fall
+//! back to the previous checkpoint or round 0, never trusted — and
+//! re-handshakes at the checkpoint round, so the hub's replay log only
+//! ever needs to span one interval. Only with checkpointing off does a
+//! beyond-the-window crash fall back to restarting the whole
+//! (deterministic) run from round 0. The control-frame wire protocol
+//! (handshake, round barriers, heartbeats, stats, worker events, error
 //! broadcast) is documented in [`transport::control`]; the
 //! failure-mode × recovery-action matrix lives in the [`transport`]
 //! module docs, the frame-level failure table in [`frame`].
@@ -223,6 +243,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 mod codec;
 mod engine;
 mod error;
@@ -235,8 +256,11 @@ pub mod trace;
 pub mod transport;
 pub mod wire;
 
+pub use checkpoint::{
+    checkpoint_path, load_newest_checkpoint, write_checkpoint, Checkpoint, RejectedCheckpoint,
+};
 pub use codec::{Codec, Typed, TypedOutbox, TypedProtocol};
-pub use engine::{Ctx, Determinism, Engine, Protocol, Simulator};
+pub use engine::{Ctx, Determinism, Engine, Protocol, Simulator, Snapshot};
 pub use error::{FrameError, SimError, TransportCause, TransportError};
 pub use frame::{FrameConfig, FrameTransport, Transport, TransportHealth};
 pub use message::{

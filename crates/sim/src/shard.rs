@@ -604,6 +604,86 @@ impl DeliveryShard {
         )
     }
 
+    /// **Checkpoint seam** (save side): serializes the pending inbox —
+    /// the deliveries the next compute phase will consume — plus the
+    /// sparse per-edge CONGEST counters into `out`. Together with every
+    /// node's [`crate::Snapshot`] state this makes a round boundary a
+    /// complete, restorable cut: nothing else in the shard survives a
+    /// round (counts/offsets/slots/slab are rebuilt by every placement).
+    pub(crate) fn save_delivery(&self, out: &mut Vec<u8>) {
+        crate::checkpoint::put_u64(out, self.len() as u64);
+        for local in 0..self.len() {
+            let inbox = self.incoming(local);
+            crate::checkpoint::put_u64(out, inbox.len() as u64);
+            for m in inbox.iter() {
+                crate::checkpoint::put_u64(out, m.from() as u64);
+                crate::checkpoint::put_bytes(out, m.payload());
+            }
+        }
+        crate::checkpoint::put_u64(out, self.touched.len() as u64);
+        for &local in &self.touched {
+            crate::checkpoint::put_u64(out, local as u64);
+            crate::checkpoint::put_u64(out, self.edge_bytes[local] as u64);
+        }
+    }
+
+    /// **Checkpoint seam** (restore side): rebuilds the pending inbox
+    /// and CONGEST counters from a [`DeliveryShard::save_delivery`]
+    /// section, re-registering each payload in this shard's slab (the
+    /// reshard idiom — a cold path, so per-copy registration is fine).
+    /// Returns `false` on any malformed input; the shard is then in an
+    /// unspecified but safe state and the caller falls back to round 0.
+    pub(crate) fn restore_delivery(&mut self, r: &mut crate::checkpoint::ByteReader<'_>) -> bool {
+        let Some(vertices) = r.u64() else {
+            return false;
+        };
+        if vertices as usize != self.len() {
+            return false;
+        }
+        self.slots.clear();
+        self.slab.reset();
+        self.offsets[0] = 0;
+        for local in 0..self.len() {
+            let Some(count) = r.u64() else {
+                return false;
+            };
+            for _ in 0..count {
+                let (Some(from), Some(payload)) = (r.u64(), r.bytes()) else {
+                    return false;
+                };
+                let Ok(from) = u32::try_from(from) else {
+                    return false;
+                };
+                let payload = self.slab.register(bytes::Bytes::from(payload.to_vec()));
+                self.slots.push(InboxSlot { from, payload });
+            }
+            self.offsets[local + 1] = self.slots.len();
+        }
+        // Sparse-reset whatever charges this (freshly built or reused)
+        // shard held, then overlay the checkpointed counters.
+        for &local in &self.touched {
+            self.edge_bytes[local] = 0;
+        }
+        self.touched.clear();
+        let Some(touched) = r.u64() else {
+            return false;
+        };
+        for _ in 0..touched {
+            let (Some(local), Some(bytes)) = (r.u64(), r.u64()) else {
+                return false;
+            };
+            let Ok(local) = usize::try_from(local) else {
+                return false;
+            };
+            if local >= self.edge_bytes.len() {
+                return false;
+            }
+            self.edge_bytes[local] = bytes as usize;
+            self.touched.push(local);
+        }
+        true
+    }
+
     /// **Account phase** (sender side): validates addressing, charges
     /// CONGEST byte counters, *and builds the routing index* for every
     /// message sent *by* this shard's vertices. `outboxes` is the shard's

@@ -17,7 +17,7 @@
 //! ------  -----  ---------------------------------------------
 //!      0      3  magic  b"NDC"
 //!      3      1  kind   (1 Hello, 2 RoundBarrier, 3 Error, 4 Shutdown,
-//!                        5 Heartbeat, 6 Stats, 7 Trace)
+//!                        5 Heartbeat, 6 Stats, 7 Trace, 8 Event)
 //!      4      4  total frame length (self-delimiting)
 //!      8      4  FNV-1a checksum over bytes [0, 8) ++ [12, len)
 //!     12      …  kind-specific payload
@@ -55,6 +55,11 @@
 //!   count) streamed by a traced worker as rounds commit; the hub keeps
 //!   the last-K per shard so a supervisor's postmortem dump covers a
 //!   worker that died mid-run. Sent only under `NETDECOMP_TRACE=1`.
+//! - `Event { shard: u32, round: u64, code: u8, detail }` — a
+//!   worker-side flight-recorder annotation (checkpoint writes, loads,
+//!   and rejections — the [`EVENT_CHECKPOINT_WRITE`] code family),
+//!   relayed best-effort like `Trace` so the supervisor's postmortem
+//!   timeline covers decisions made inside worker processes.
 //!
 //! [`SimError`] crosses the wire through a small tagged binary codec
 //! ([`encode_sim_error`] / [`decode_sim_error`]). The only lossy corner
@@ -88,6 +93,7 @@ const KIND_SHUTDOWN: u8 = 4;
 const KIND_HEARTBEAT: u8 = 5;
 const KIND_STATS: u8 = 6;
 const KIND_TRACE: u8 = 7;
+const KIND_EVENT: u8 = 8;
 
 /// Encoded size of one [`RoundTrace`] record: nine `u64` fields.
 const TRACE_RECORD_LEN: usize = 72;
@@ -182,7 +188,31 @@ pub enum ControlFrame {
         /// The records, oldest first.
         records: Vec<RoundTrace>,
     },
+    /// A worker-side flight-recorder annotation (checkpoint writes,
+    /// loads, and rejections), relayed so the supervisor's postmortem
+    /// timeline covers decisions made inside worker processes. Sent
+    /// best-effort, like `Trace`.
+    Event {
+        /// Shard reporting.
+        shard: u32,
+        /// The round the event is about.
+        round: u64,
+        /// Event class (an [`EVENT_CHECKPOINT_WRITE`]-family code; the
+        /// hub maps unknown codes to a generic kind rather than
+        /// refusing the frame).
+        code: u8,
+        /// Free-form detail for the JSONL record.
+        detail: String,
+    },
 }
+
+/// [`ControlFrame::Event`] class: a checkpoint file was written.
+pub const EVENT_CHECKPOINT_WRITE: u8 = 1;
+/// [`ControlFrame::Event`] class: a checkpoint was loaded for resume.
+pub const EVENT_CHECKPOINT_LOAD: u8 = 2;
+/// [`ControlFrame::Event`] class: a checkpoint file failed validation
+/// and was skipped.
+pub const EVENT_CHECKPOINT_REJECT: u8 = 3;
 
 impl ControlFrame {
     /// Serializes this control frame (checksummed, self-delimiting).
@@ -249,6 +279,18 @@ impl ControlFrame {
                     put_u64(&mut payload, record.restarts_seen);
                 }
                 KIND_TRACE
+            }
+            ControlFrame::Event {
+                shard,
+                round,
+                code,
+                detail,
+            } => {
+                payload.extend_from_slice(&shard.to_le_bytes());
+                payload.extend_from_slice(&round.to_le_bytes());
+                payload.push(*code);
+                put_string(&mut payload, detail);
+                KIND_EVENT
             }
         };
         let total = CONTROL_HEADER_LEN + payload.len();
@@ -338,6 +380,12 @@ impl ControlFrame {
             KIND_TRACE => ControlFrame::Trace {
                 shard: r.u32().ok_or(malformed)?,
                 records: decode_trace_records(&mut r).ok_or(malformed)?,
+            },
+            KIND_EVENT => ControlFrame::Event {
+                shard: r.u32().ok_or(malformed)?,
+                round: r.u64().ok_or(malformed)?,
+                code: r.u8().ok_or(malformed)?,
+                detail: r.string().ok_or(malformed)?,
             },
             _ => {
                 return Err(FrameError::Malformed {
@@ -801,6 +849,18 @@ mod tests {
             ControlFrame::Trace {
                 shard: 0,
                 records: Vec::new(),
+            },
+            ControlFrame::Event {
+                shard: 1,
+                round: 9,
+                code: EVENT_CHECKPOINT_REJECT,
+                detail: "digest mismatch: ckpt-s1-r00000009.ndk".into(),
+            },
+            ControlFrame::Event {
+                shard: 0,
+                round: 0,
+                code: 200,
+                detail: String::new(),
             },
         ];
         for error in sample_errors() {

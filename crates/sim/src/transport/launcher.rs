@@ -63,6 +63,16 @@ pub const ENV_REPLAY_WINDOW: &str = "NETDECOMP_REPLAY_WINDOW";
 /// generation produced a round. Read by
 /// [`crate::trace::worker_attempt`].
 pub const ENV_ATTEMPT: &str = "NETDECOMP_WORKER_ATTEMPT";
+/// Environment variable carrying the checkpoint directory workers write
+/// their periodic state snapshots into (and load them back from on a
+/// restart). Unset or empty: no checkpointing. Read by
+/// [`super::checkpoint_dir`].
+pub const ENV_CHECKPOINT_DIR: &str = "NETDECOMP_CHECKPOINT_DIR";
+/// Environment variable carrying the checkpoint interval in rounds —
+/// every multiple of it, a worker writes a checkpoint at the barrier.
+/// 0 or unset disables checkpointing. Read by
+/// [`super::checkpoint_interval`].
+pub const ENV_CHECKPOINT_INTERVAL: &str = "NETDECOMP_CHECKPOINT_INTERVAL";
 
 /// A hub socket path in the system temp directory, unique to this
 /// process and call.
@@ -366,6 +376,10 @@ pub struct SuperviseReport {
     pub rounds_replayed: usize,
     /// Heartbeats judged overdue before a supervisor intervention.
     pub heartbeats_missed: usize,
+    /// Workers that resumed from an on-disk checkpoint instead of
+    /// re-running from round 0 (their `checkpoint_load` event reached
+    /// the hub).
+    pub checkpoint_restores: usize,
 }
 
 /// One supervised shard's lifecycle state.
@@ -496,14 +510,35 @@ enum HubOutcome {
     RestartRun,
 }
 
-/// Drains the hub's per-shard trace streams into the recorder —
-/// called before every hub teardown, so the last-K rounds a crashed
-/// worker streamed survive into the dump.
+/// Drains the hub's per-shard trace streams and buffered worker
+/// lifecycle events into the recorder — called before every hub
+/// teardown, so the last-K rounds and the checkpoint write/load/reject
+/// reports a crashed worker streamed survive into the dump.
 fn absorb_worker_traces(recorder: &mut Option<FlightRecorder>, hub: &Hub) {
     if let Some(r) = recorder {
         for (shard, records) in hub.worker_traces().into_iter().enumerate() {
             r.absorb_ring(shard, records);
         }
+        for event in hub.take_worker_events() {
+            r.event(
+                Some(event.shard as usize),
+                event.round,
+                worker_event_kind(event.code),
+                event.detail,
+            );
+        }
+    }
+}
+
+/// Maps a worker event code to the flight-recorder kind string it is
+/// rendered under in the JSONL dump.
+fn worker_event_kind(code: u8) -> &'static str {
+    use super::control::{EVENT_CHECKPOINT_LOAD, EVENT_CHECKPOINT_REJECT, EVENT_CHECKPOINT_WRITE};
+    match code {
+        EVENT_CHECKPOINT_WRITE => "checkpoint_write",
+        EVENT_CHECKPOINT_LOAD => "checkpoint_load",
+        EVENT_CHECKPOINT_REJECT => "checkpoint_reject",
+        _ => "worker_event",
     }
 }
 
@@ -728,7 +763,8 @@ fn supervise_one_hub(
     }
     kill_everything(&mut slots);
     let worker_stats = hub.worker_stats();
-    let (workers_restarted, rounds_replayed, heartbeats_missed) = hub.recovery_counters();
+    let (workers_restarted, rounds_replayed, heartbeats_missed, checkpoint_restores) =
+        hub.recovery_counters();
     absorb_worker_traces(recorder, &hub);
     hub.stop_and_join();
     if let Some(error) = fabric_error {
@@ -757,6 +793,7 @@ fn supervise_one_hub(
         workers_restarted,
         rounds_replayed,
         heartbeats_missed,
+        checkpoint_restores,
     }))
 }
 
@@ -782,7 +819,7 @@ fn schedule_restart(
         .copied()
         .flatten()
         .map(|(age, _)| age.as_millis());
-    let (_, rounds_replayed, _) = hub.recovery_counters();
+    let (_, rounds_replayed, _, _) = hub.recovery_counters();
     if nth > options.max_restarts {
         hub.declare_lost(
             shard,

@@ -39,13 +39,32 @@
 //! | Failure | Detected by | Signal | Recovery | Caller sees |
 //! |---|---|---|---|---|
 //! | Worker process crashes (incl. SIGKILL mid-frame) | Hub reader (EOF / close mid-frame) + supervisor exit reaping | stream close; `wait()` status | Supervisor relaunches (backoff + jitter, ≤ `max_restarts`); worker re-runs deterministically, re-handshakes with `Hello{resume_round}`, hub replays from the [`replay`] log and treats re-shipped rounds as echoes | Nothing — run completes bit-identically; `workers_restarted`/`rounds_replayed` counters tick |
+//! | Worker crashes with checkpointing on (`NETDECOMP_CHECKPOINT_INTERVAL` > 0) | As above | As above | Relaunched worker loads its newest valid checkpoint from `NETDECOMP_CHECKPOINT_DIR` and re-handshakes at the checkpoint round, so recovery re-runs at most one interval plus the in-flight rounds instead of the whole history | Nothing; `checkpoint_restores` ticks and a `checkpoint_load` event lands in the flight record |
 //! | Worker wedges (alive, no progress) | Supervisor: global barrier stall + least-committed victim selection; heartbeat age feeds `heartbeats_missed` | `Heartbeat` control frames + barrier round | Supervisor kills the wedged process, then the crash path above applies | Nothing, or a typed timeout if the stall outlives the collect deadline |
 //! | Link drops but both ends live | Client read/write error | socket error | Client's one-shot reconnect-with-handshake; hub replays the collect round | Nothing; `frames_retried` ticks |
-//! | Reconnect resumes below the replay window | Hub admission | handshake refusal whose detail starts with the evicted-window prefix | Supervisor restarts the *whole* run from round 0 (deterministic ⇒ still bit-identical) | Nothing, or the typed handshake error when unsupervised |
+//! | Reconnect resumes below the replay window | Hub admission | handshake refusal whose detail starts with the evicted-window prefix | Supervisor restarts the *whole* run from round 0 (deterministic ⇒ still bit-identical) — with checkpointing at an interval ≤ the window, a checkpoint resume always lands inside the window first, so this is the fallback, not the only deep-history path | Nothing, or the typed handshake error when unsupervised |
+//! | Checkpoint file torn or corrupted (crash mid-write, bit rot) | Worker's checkpoint loader | trailing [`crate::checkpoint`] digest / header validation | File is *skipped, never trusted*: the loader falls back to the previous retained checkpoint, then to a fresh round-0 run | Nothing; a `checkpoint_reject` event with the typed reason lands in the flight record |
+//! | Checkpoint is stale (fabric restarted from round 0 behind it) | Hub admission | handshake refusal with the stale-resume prefix | Worker redials as a fresh join from round 0 and discards the restored state; the refusal is per-connection, never fabric-fatal | Nothing |
+//! | Destination never drains its hub queue (slow or absent consumer) | Hub relay (`NETDECOMP_HUB_QUEUE_CAP`, default 256 MiB) | per-destination queued-bytes accounting | None — unbounded buffering would trade a deadlock for an OOM | Typed [`crate::SimError::Transport`] naming the slow/absent destination shard |
 //! | Restart budget exhausted | Supervisor | — | None — supervisor calls the hub's `declare_lost` | Typed [`crate::SimError::Transport`] naming the lost shard |
 //! | Wrong graph / frame version / shard id | Hub handshake vetting | `Error` control frame | None (config error, retrying cannot help) | Typed [`crate::TransportCause::Handshake`] |
 //! | Corrupt or truncated frame | Receiver's decoder | checksum/structure validation | None (content desync is never retried — re-reading the same bytes cannot fix them) | Typed [`crate::SimError::Frame`] |
 //! | Peer reports its own failure | Everyone | `Error` control frame relayed hub-wide | None — orderly teardown | The originating shard's typed error |
+//!
+//! # Checkpoint/restore
+//!
+//! With `NETDECOMP_CHECKPOINT_INTERVAL=k` (rounds) and a directory in
+//! `NETDECOMP_CHECKPOINT_DIR`, every worker serializes its shard —
+//! protocol state through the [`crate::Snapshot`] seam, the delivered
+//! inbox of the checkpoint cut, per-edge CONGEST counters, and
+//! accumulated run statistics — into an atomically-renamed, checksummed
+//! file every `k` committed rounds (format in [`crate::checkpoint`]).
+//! A relaunched worker loads the newest checkpoint that validates,
+//! resumes at its round, and re-handshakes with
+//! `Hello{resume_round = checkpoint round}`; choosing `k` no larger
+//! than the replay window guarantees the hub can always serve the
+//! missing suffix, so recovery costs `O(interval)` re-execution instead
+//! of `O(run length)`.
 //!
 //! # Observability
 //!
@@ -100,8 +119,11 @@ use netdecomp_graph::Graph;
 use crate::frame::Transport;
 
 pub use fault::{FaultInjectingTransport, FaultPlan, LinkPartition};
-pub use socket::{HubAddr, HubClient, SocketTransport, WorkerStats};
-pub use worker::{run_worker, run_worker_reporting, WorkerConfig, WorkerReport};
+pub use socket::{HubAddr, HubClient, SocketTransport, WorkerEvent, WorkerStats};
+pub use worker::{
+    run_worker, run_worker_checkpointed, run_worker_reporting, CheckpointPlan, WorkerConfig,
+    WorkerReport,
+};
 
 /// The deadline every transport blocking point inherits by default.
 ///
@@ -134,6 +156,36 @@ pub fn replay_window() -> u64 {
         .and_then(|v| v.trim().parse::<u64>().ok())
         .filter(|&v| v > 0)
         .unwrap_or(1024)
+}
+
+/// The checkpoint interval in committed rounds; 0 disables
+/// checkpointing.
+///
+/// Reads [`launcher::ENV_CHECKPOINT_INTERVAL`] on every call. For the
+/// hub to be guaranteed able to serve a checkpoint resume, keep the
+/// interval at or below [`replay_window`]: a crash at round `k` resumes
+/// at the latest checkpoint round `c ≥ k − interval`, and the log
+/// retains rounds down to roughly `k − window`.
+#[must_use]
+pub fn checkpoint_interval() -> u64 {
+    std::env::var(launcher::ENV_CHECKPOINT_INTERVAL)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+/// The directory workers write checkpoints into, if one is configured.
+///
+/// Reads [`launcher::ENV_CHECKPOINT_DIR`] on every call; unset or empty
+/// means no directory (and the `netdecomp` supervisor provisions a
+/// temporary one when an interval is set without a directory).
+#[must_use]
+pub fn checkpoint_dir() -> Option<std::path::PathBuf> {
+    std::env::var(launcher::ENV_CHECKPOINT_DIR)
+        .ok()
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+        .map(std::path::PathBuf::from)
 }
 
 const DIGEST_INIT: u64 = 0xcbf2_9ce4_8422_2325;

@@ -194,6 +194,32 @@ mod tests {
         assert_eq!(log.floor(), 6);
     }
 
+    /// The exact eviction-boundary edges a resume can land on: at the
+    /// retained floor (full replay), one below it (typed refusal, never
+    /// a silent partial replay), and at `floor + window` (past every
+    /// retained entry — a valid *empty* resume, not an eviction).
+    #[test]
+    fn resume_boundaries_pin_the_off_by_one_edges() {
+        let window = 3;
+        let mut log = ReplayLog::new(window);
+        for round in 0..10u64 {
+            log.record(round, frame(round as u8));
+        }
+        log.evict_committed(10);
+        let floor = log.floor();
+        assert_eq!(floor, 10 - window, "floor = next_round - window");
+        let (frames, rounds) = must_entries(log.snapshot_from(floor));
+        assert_eq!(frames, vec![frame(7), frame(8), frame(9)]);
+        assert_eq!(rounds, window, "the floor resume replays the whole window");
+        match log.snapshot_from(floor - 1) {
+            Snapshot::Evicted { floor: named } => assert_eq!(named, floor),
+            Snapshot::Entries { .. } => panic!("floor - 1 must be refused, not partially served"),
+        }
+        let (frames, rounds) = must_entries(log.snapshot_from(floor + window));
+        assert!(frames.is_empty(), "past the newest entry nothing replays");
+        assert_eq!(rounds, 0);
+    }
+
     #[test]
     fn zero_window_is_clamped_to_one() {
         let mut log = ReplayLog::new(0);

@@ -93,6 +93,38 @@ use super::replay::{ReplayLog, Snapshot};
 /// is deterministic, so the result is still bit-identical).
 pub(crate) const EVICTED_DETAIL_PREFIX: &str = "replay window evicted";
 
+/// Detail prefix of the typed handshake refusal the hub issues when a
+/// fresh worker asks to resume at a round the fabric has not committed
+/// yet — a checkpoint from an older fabric generation, presented after
+/// a whole-run restart. Unlike [`EVICTED_DETAIL_PREFIX`] this is *not*
+/// fabric-fatal: the accept loop refuses just that connection, and the
+/// connector redials as a fresh join from round 0.
+pub(crate) const STALE_RESUME_DETAIL_PREFIX: &str = "stale resume";
+
+/// Environment override (bytes) for [`hub_queue_cap`].
+pub(crate) const ENV_HUB_QUEUE_CAP: &str = "NETDECOMP_HUB_QUEUE_CAP";
+
+/// Default per-destination relay queue cap: 256 MiB of queued frames.
+const DEFAULT_HUB_QUEUE_CAP: usize = 256 * 1024 * 1024;
+
+/// Byte budget each per-destination relay queue may hold before the
+/// hub declares the destination wedged. The queues stay *unbounded*
+/// channels (blocking a reader on a slow destination is the deadlock
+/// the hub exists to prevent); the cap turns runaway accumulation —
+/// a consumer that is too slow or never connected — into a typed
+/// error naming the culprit instead of unbounded memory growth.
+fn hub_queue_cap() -> usize {
+    std::env::var(ENV_HUB_QUEUE_CAP)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(DEFAULT_HUB_QUEUE_CAP)
+}
+
+/// Cap on the hub-side buffer of worker lifecycle events (checkpoint
+/// writes, loads, rejections) awaiting a supervisor's drain.
+const EVENT_BUFFER_CAP: usize = 1024;
+
 /// Idle-poll granularity of hub reader threads: how quickly a blocked
 /// reader notices a hub-wide halt. Purely an exit-latency knob — data
 /// readiness wakes a read immediately regardless.
@@ -417,7 +449,7 @@ struct ConnState {
     epoch: u64,
     fresh_read: Option<Stream>,
     fresh_write: Option<Stream>,
-    fresh_rx: Option<mpsc::Receiver<Item>>,
+    fresh_rx: Option<(mpsc::Receiver<Item>, Arc<AtomicUsize>)>,
     /// A retained clone used only to `shutdown()` the connection from
     /// the hub owner during teardown.
     current: Option<Stream>,
@@ -466,6 +498,13 @@ struct RelayState {
     /// shard replaces its sender; the writer notices its receiver
     /// disconnect and picks up the fresh pair.
     queues: Vec<mpsc::Sender<Item>>,
+    /// Bytes currently queued per destination, paired with the queue of
+    /// the same epoch (swapped together by [`HubShared::prepare_resume`];
+    /// the writer decrements through its own epoch's handle). Every
+    /// enqueue of an [`Item::Frame`] counts here, so the depth measures
+    /// genuine queue occupancy, and [`HubShared::relay_data`] checks it
+    /// against the [`hub_queue_cap`].
+    depths: Vec<Arc<AtomicUsize>>,
     senders: Vec<SenderState>,
     logs: Vec<ReplayLog>,
 }
@@ -487,6 +526,9 @@ pub(crate) struct HubOptions {
     pub(crate) digest: Option<u64>,
     /// Rounds of per-destination replay history to retain.
     pub(crate) replay_window: u64,
+    /// Byte cap per destination relay queue ([`hub_queue_cap`] unless a
+    /// test overrides it).
+    pub(crate) queue_cap: usize,
 }
 
 impl HubOptions {
@@ -497,8 +539,25 @@ impl HubOptions {
             grace: timeout,
             digest: None,
             replay_window: super::replay_window(),
+            queue_cap: hub_queue_cap(),
         }
     }
+}
+
+/// A worker lifecycle event received as an `Event` control frame:
+/// checkpoint writes, loads, and rejections a supervisor folds into
+/// its flight recorder (see `super::control::EVENT_CHECKPOINT_WRITE`
+/// and friends).
+#[derive(Debug, Clone)]
+pub struct WorkerEvent {
+    /// The reporting shard.
+    pub shard: u32,
+    /// The round the event belongs to.
+    pub round: u64,
+    /// Event code (an `EVENT_*` constant; unknown codes pass through).
+    pub code: u8,
+    /// Human-readable detail — a checkpoint path, a rejection reason.
+    pub detail: String,
 }
 
 /// A worker's end-of-run report, received as a `Stats` control frame.
@@ -519,6 +578,7 @@ struct Admission {
     replay: Vec<Bytes>,
     replay_rounds: u64,
     rx: mpsc::Receiver<Item>,
+    depth: Arc<AtomicUsize>,
 }
 
 struct HubShared {
@@ -551,6 +611,12 @@ struct HubShared {
     /// Cap on each shard's hub-side trace deque
     /// ([`crate::trace::trace_window`] at bind time).
     trace_window: usize,
+    /// Worker lifecycle events awaiting a supervisor's drain, oldest
+    /// first, capped at [`EVENT_BUFFER_CAP`].
+    events: Mutex<VecDeque<WorkerEvent>>,
+    /// Per-destination relay queue byte budget ([`hub_queue_cap`] at
+    /// construction, overridable per hub for tests).
+    queue_cap: usize,
     /// Re-registrations (epoch bumps past the first) — restarted
     /// workers plus surviving-client link reconnects.
     workers_restarted: AtomicUsize,
@@ -558,6 +624,10 @@ struct HubShared {
     rounds_replayed: AtomicUsize,
     /// Heartbeats a supervisor judged overdue before killing a worker.
     heartbeats_missed: AtomicUsize,
+    /// Workers that resumed from an on-disk checkpoint (counted when
+    /// their `EVENT_CHECKPOINT_LOAD` report arrives — the worker only
+    /// sends it after a checkpoint actually restored).
+    checkpoint_restores: AtomicUsize,
 }
 
 impl fmt::Debug for HubShared {
@@ -570,14 +640,18 @@ impl fmt::Debug for HubShared {
 }
 
 impl HubShared {
-    fn new(options: &HubOptions) -> (Arc<Self>, Vec<mpsc::Receiver<Item>>) {
+    #[allow(clippy::type_complexity)]
+    fn new(options: &HubOptions) -> (Arc<Self>, Vec<(mpsc::Receiver<Item>, Arc<AtomicUsize>)>) {
         let shards = options.shards;
         let mut queues = Vec::with_capacity(shards);
+        let mut depths = Vec::with_capacity(shards);
         let mut receivers = Vec::with_capacity(shards);
         for _ in 0..shards {
             let (tx, rx) = mpsc::channel();
+            let depth = Arc::new(AtomicUsize::new(0));
             queues.push(tx);
-            receivers.push(rx);
+            depths.push(Arc::clone(&depth));
+            receivers.push((rx, depth));
         }
         let shared = Arc::new(HubShared {
             shards,
@@ -585,6 +659,7 @@ impl HubShared {
             grace: options.grace.max(options.timeout),
             relay: Mutex::new(RelayState {
                 queues,
+                depths,
                 senders: (0..shards)
                     .map(|_| SenderState {
                         ship_round: 0,
@@ -611,16 +686,20 @@ impl HubShared {
             stats_slots: Mutex::new((0..shards).map(|_| None).collect()),
             traces: Mutex::new((0..shards).map(|_| VecDeque::new()).collect()),
             trace_window: crate::trace::trace_window(),
+            events: Mutex::new(VecDeque::new()),
+            queue_cap: options.queue_cap,
             workers_restarted: AtomicUsize::new(0),
             rounds_replayed: AtomicUsize::new(0),
             heartbeats_missed: AtomicUsize::new(0),
+            checkpoint_restores: AtomicUsize::new(0),
         });
         (shared, receivers)
     }
 
     fn enqueue_all(&self, bytes: &Bytes) {
         let relay = self.relay.lock().expect("no poisoned relay state");
-        for q in &relay.queues {
+        for (q, depth) in relay.queues.iter().zip(&relay.depths) {
+            depth.fetch_add(bytes.len(), Ordering::Relaxed);
             let _ = q.send(Item::Frame(bytes.clone()));
         }
     }
@@ -634,7 +713,15 @@ impl HubShared {
 
     /// Relays one data frame from `from` to `dest` with exactly-once
     /// semantics across sender restarts, logging it for replay.
-    fn relay_data(&self, from: usize, dest: usize, frame: Bytes) {
+    ///
+    /// # Errors
+    ///
+    /// A typed error naming `dest` when its queue has accumulated more
+    /// than the [`hub_queue_cap`] byte budget — a destination that is
+    /// too slow (or never connected) to drain what peers ship it. The
+    /// *caller* must turn this into [`HubShared::declare_fatal`]: the
+    /// teardown broadcast re-takes the relay lock held here.
+    fn relay_data(&self, from: usize, dest: usize, frame: Bytes) -> Result<(), SimError> {
         let mut relay = self.relay.lock().expect("no poisoned relay state");
         let relay = &mut *relay;
         let s = &mut relay.senders[from];
@@ -642,16 +729,32 @@ impl HubShared {
         if round < s.committed {
             // A restarted worker deterministically re-shipping a round
             // the fabric already committed: a pure echo.
-            return;
+            return Ok(());
         }
         if s.sent_to[dest] {
             // Duplicate within the in-flight round (partial re-ship
             // after a crash, or an ambiguous post-reconnect retry).
-            return;
+            return Ok(());
         }
         s.sent_to[dest] = true;
         relay.logs[dest].record(round, frame.clone());
+        let queued = relay.depths[dest].fetch_add(frame.len(), Ordering::Relaxed) + frame.len();
         let _ = relay.queues[dest].send(Item::Frame(frame));
+        if queued > self.queue_cap {
+            return Err(SimError::Transport(TransportError {
+                shard: dest,
+                round: round as usize,
+                cause: TransportCause::Io {
+                    detail: format!(
+                        "hub relay queue for shard {dest} holds {queued} bytes, over the \
+                         {ENV_HUB_QUEUE_CAP} cap of {} — the destination is too slow to \
+                         drain its frames or never connected",
+                        self.queue_cap
+                    ),
+                },
+            }));
+        }
+        Ok(())
     }
 
     /// Records a worker's liveness proof (heartbeat or barrier
@@ -760,6 +863,7 @@ impl HubShared {
             b.arrived.fill(false);
             for dest in 0..self.shards {
                 relay.logs[dest].record(round, ack.clone());
+                relay.depths[dest].fetch_add(ack.len(), Ordering::Relaxed);
                 let _ = relay.queues[dest].send(Item::Frame(ack.clone()));
             }
             for log in &mut relay.logs {
@@ -787,7 +891,8 @@ impl HubShared {
         let committed = relay.senders[conn].committed;
         if next_ship_round > committed {
             return Err(format!(
-                "shard {conn} claims it will ship round {next_ship_round} but only {committed} of its rounds are committed"
+                "{STALE_RESUME_DETAIL_PREFIX}: shard {conn} claims it will ship round \
+                 {next_ship_round} but only {committed} of its rounds are committed"
             ));
         }
         let (replay, replay_rounds) = match relay.logs[conn].snapshot_from(resume_round) {
@@ -801,11 +906,14 @@ impl HubShared {
         };
         relay.senders[conn].ship_round = next_ship_round;
         let (tx, rx) = mpsc::channel();
+        let depth = Arc::new(AtomicUsize::new(0));
         relay.queues[conn] = tx;
+        relay.depths[conn] = Arc::clone(&depth);
         Ok(Admission {
             replay,
             replay_rounds,
             rx,
+            depth,
         })
     }
 
@@ -818,6 +926,7 @@ impl HubShared {
         shard: usize,
         stream: Stream,
         rx: mpsc::Receiver<Item>,
+        depth: Arc<AtomicUsize>,
     ) -> io::Result<()> {
         let _ = stream.set_read_timeout(Some(READ_TICK));
         let _ = stream.set_write_timeout(Some(self.timeout));
@@ -831,7 +940,7 @@ impl HubShared {
         state.epoch += 1;
         state.fresh_read = Some(read);
         state.fresh_write = Some(stream);
-        state.fresh_rx = Some(rx);
+        state.fresh_rx = Some((rx, depth));
         state.current = Some(keep);
         drop(state);
         slot.changed.notify_all();
@@ -917,11 +1026,12 @@ impl HubShared {
     /// than `epoch` to supply the writer a fresh write half *and* the
     /// receiver of the freshly-swapped queue (they travel together: a
     /// stream is only ever paired with its own epoch's queue).
+    #[allow(clippy::type_complexity)]
     fn await_write_replacement(
         &self,
         conn: usize,
         epoch: u64,
-    ) -> Option<(Stream, mpsc::Receiver<Item>, u64)> {
+    ) -> Option<(Stream, mpsc::Receiver<Item>, Arc<AtomicUsize>, u64)> {
         let slot = &self.conns[conn];
         let deadline = Instant::now() + self.grace;
         let mut state = slot.state.lock().expect("no poisoned conn slot");
@@ -930,8 +1040,10 @@ impl HubShared {
                 return None;
             }
             if state.epoch > epoch {
-                if let (Some(s), Some(rx)) = (state.fresh_write.take(), state.fresh_rx.take()) {
-                    return Some((s, rx, state.epoch));
+                if let (Some(s), Some((rx, depth))) =
+                    (state.fresh_write.take(), state.fresh_rx.take())
+                {
+                    return Some((s, rx, depth, state.epoch));
                 }
                 return None;
             }
@@ -1044,7 +1156,7 @@ fn admit_conn(
         }
     }
     shared
-        .register_conn(conn, stream, admission.rx)
+        .register_conn(conn, stream, admission.rx, admission.depth)
         .map_err(|e| AdmitError::Link(format!("connection registration failed: {e}")))?;
     Ok(())
 }
@@ -1126,7 +1238,12 @@ fn run_reader(shared: &Arc<HubShared>, conn: usize) {
                     );
                     return;
                 }
-                shared.relay_data(conn, dest, frame);
+                if let Err(error) = shared.relay_data(conn, dest, frame) {
+                    // Queue cap breach: declared fatal *here*, outside
+                    // the relay lock the breach was detected under.
+                    shared.declare_fatal(conn as u32, error);
+                    return;
+                }
             }
             Ok(Wire::Control(ControlFrame::RoundBarrier { round })) => {
                 if let Err(error) = shared.on_barrier(conn, round) {
@@ -1158,6 +1275,26 @@ fn run_reader(shared: &Arc<HubShared>, conn: usize) {
                     }
                     ring.push_back(record);
                 }
+            }
+            Ok(Wire::Control(ControlFrame::Event {
+                shard,
+                round,
+                code,
+                detail,
+            })) => {
+                if code == super::control::EVENT_CHECKPOINT_LOAD {
+                    shared.checkpoint_restores.fetch_add(1, Ordering::Relaxed);
+                }
+                let mut events = shared.events.lock().expect("no poisoned events");
+                if events.len() == EVENT_BUFFER_CAP {
+                    events.pop_front();
+                }
+                events.push_back(WorkerEvent {
+                    shard,
+                    round,
+                    code,
+                    detail,
+                });
             }
             Ok(Wire::Control(ControlFrame::Error { origin, error })) => {
                 shared.declare_fatal(origin, error);
@@ -1252,8 +1389,14 @@ fn run_reader(shared: &Arc<HubShared>, conn: usize) {
 /// Declaring the shard gone is the *reader's* job (it owns the grace
 /// deadline); the writer just bows out quietly when no replacement
 /// comes.
-fn run_writer(shared: &Arc<HubShared>, conn: usize, rx: mpsc::Receiver<Item>) {
+fn run_writer(
+    shared: &Arc<HubShared>,
+    conn: usize,
+    rx: mpsc::Receiver<Item>,
+    depth: Arc<AtomicUsize>,
+) {
     let mut rx = rx;
+    let mut depth = depth;
     let mut stream: Option<Stream> = None;
     let mut epoch = 0u64;
     loop {
@@ -1266,6 +1409,9 @@ fn run_writer(shared: &Arc<HubShared>, conn: usize, rx: mpsc::Receiver<Item>) {
                 return;
             }
             Ok(Item::Frame(bytes)) => {
+                // Dequeued: off the books whether or not the write
+                // lands (a failed write drops the frame too).
+                depth.fetch_sub(bytes.len(), Ordering::Relaxed);
                 let Some(s) = stream.as_mut() else {
                     continue; // no stream this epoch: replay covers it
                 };
@@ -1290,9 +1436,10 @@ fn run_writer(shared: &Arc<HubShared>, conn: usize, rx: mpsc::Receiver<Item>) {
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
                 match shared.await_write_replacement(conn, epoch) {
-                    Some((s, fresh_rx, e)) => {
+                    Some((s, fresh_rx, fresh_depth, e)) => {
                         stream = Some(s);
                         rx = fresh_rx;
+                        depth = fresh_depth;
                         epoch = e;
                     }
                     None => return,
@@ -1322,12 +1469,12 @@ impl Hub {
         let mut client_halves = Vec::with_capacity(shards);
         {
             let mut handles = threads.lock().expect("no poisoned thread list");
-            for (conn, rx) in receivers.into_iter().enumerate() {
+            for (conn, (rx, depth)) in receivers.into_iter().enumerate() {
                 let hub_shared = Arc::clone(&shared);
                 handles.push(
                     std::thread::Builder::new()
                         .name(format!("hub-writer-{conn}"))
-                        .spawn(move || run_writer(&hub_shared, conn, rx))
+                        .spawn(move || run_writer(&hub_shared, conn, rx, depth))
                         .expect("spawn hub writer"),
                 );
             }
@@ -1388,12 +1535,12 @@ impl Hub {
         let threads = Arc::new(Mutex::new(Vec::new()));
         {
             let mut handles = threads.lock().expect("no poisoned thread list");
-            for (conn, rx) in receivers.into_iter().enumerate() {
+            for (conn, (rx, depth)) in receivers.into_iter().enumerate() {
                 let hub_shared = Arc::clone(&shared);
                 handles.push(
                     std::thread::Builder::new()
                         .name(format!("hub-writer-{conn}"))
-                        .spawn(move || run_writer(&hub_shared, conn, rx))
+                        .spawn(move || run_writer(&hub_shared, conn, rx, depth))
                         .expect("spawn hub writer"),
                 );
             }
@@ -1480,13 +1627,27 @@ impl Hub {
         traces.iter().map(|d| d.iter().copied().collect()).collect()
     }
 
-    /// `(workers_restarted, rounds_replayed, heartbeats_missed)` so far.
-    pub(crate) fn recovery_counters(&self) -> (usize, usize, usize) {
+    /// `(workers_restarted, rounds_replayed, heartbeats_missed,
+    /// checkpoint_restores)` so far.
+    pub(crate) fn recovery_counters(&self) -> (usize, usize, usize, usize) {
         (
             self.shared.workers_restarted.load(Ordering::Relaxed),
             self.shared.rounds_replayed.load(Ordering::Relaxed),
             self.shared.heartbeats_missed.load(Ordering::Relaxed),
+            self.shared.checkpoint_restores.load(Ordering::Relaxed),
         )
+    }
+
+    /// Drains the buffered worker lifecycle events (checkpoint writes,
+    /// loads, rejections) in arrival order. The hub-side buffer is what
+    /// survives a worker's death, exactly like the trace rings.
+    pub(crate) fn take_worker_events(&self) -> Vec<WorkerEvent> {
+        self.shared
+            .events
+            .lock()
+            .expect("no poisoned events")
+            .drain(..)
+            .collect()
     }
 
     /// A supervisor judged a heartbeat overdue (before acting on it).
@@ -1664,12 +1825,18 @@ fn run_accept(
         match admit_conn(shared, conn, &hello, stream) {
             Ok(()) => {}
             Err(AdmitError::Refused(detail)) => {
-                // An invalid resume claim (or one below the replay
-                // floor) poisons the run the same way a wrong graph
-                // does: refuse fabric-wide, typed. A supervisor
-                // recognizes the replay-floor case by its
-                // [`EVICTED_DETAIL_PREFIX`] and restarts the whole
-                // (deterministic) run instead.
+                if detail.starts_with(STALE_RESUME_DETAIL_PREFIX) {
+                    // A checkpoint from a previous fabric generation
+                    // (whole-run restart): the refusal frame is already
+                    // written, the worker redials from round 0. Not a
+                    // poisoned fabric — keep accepting.
+                    continue;
+                }
+                // A resume below the replay floor poisons the run the
+                // same way a wrong graph does: refuse fabric-wide,
+                // typed. A supervisor recognizes the replay-floor case
+                // by its [`EVICTED_DETAIL_PREFIX`] and restarts the
+                // whole (deterministic) run instead.
                 shared.declare_fatal(
                     conn as u32,
                     SimError::Transport(TransportError {
@@ -1798,6 +1965,73 @@ impl HubClient {
             graph_digest,
             timeout,
         ))
+    }
+
+    /// Dials a hub asking to resume at `resume_round` (a checkpoint's
+    /// barrier round): the hub replays every inbound frame from that
+    /// round on and treats re-shipped earlier rounds as echoes. When
+    /// the hub refuses the claim as *stale* — a fresh fabric after a
+    /// whole-run restart has committed fewer rounds than the checkpoint
+    /// covers — the client transparently redials as a fresh join from
+    /// round 0. Returns the client plus the granted resume round (`0`
+    /// after the stale fallback: the caller must then discard its
+    /// restored state and start clean).
+    ///
+    /// # Errors
+    ///
+    /// As [`HubClient::connect`]; stale-resume refusals are handled
+    /// internally, every other refusal surfaces typed.
+    pub fn connect_resuming(
+        addr: &HubAddr,
+        shard: usize,
+        shards: usize,
+        graph_digest: u64,
+        timeout: Duration,
+        resume_round: u64,
+    ) -> Result<(HubClient, u64), TransportError> {
+        let fail = |cause| TransportError {
+            shard,
+            round: 0,
+            cause,
+        };
+        let dial = |detail: &str| {
+            addr.connect(timeout).map_err(|e| {
+                fail(TransportCause::Io {
+                    detail: format!("{detail} {addr} failed: {e}"),
+                })
+            })
+        };
+        let mut stream = dial("connect to")?;
+        let granted = match handshake(
+            &mut stream,
+            shard,
+            graph_digest,
+            resume_round,
+            resume_round,
+            timeout,
+        ) {
+            Ok(()) => resume_round,
+            Err(TransportCause::Handshake { detail })
+                if detail.starts_with(STALE_RESUME_DETAIL_PREFIX) =>
+            {
+                // The hub hung up with the refusal; redial fresh.
+                stream = dial("reconnect to")?;
+                handshake(&mut stream, shard, graph_digest, 0, 0, timeout).map_err(fail)?;
+                0
+            }
+            Err(cause) => return Err(fail(cause)),
+        };
+        let client = Self::from_parts(
+            stream,
+            Some(addr.clone()),
+            shard,
+            shards,
+            graph_digest,
+            timeout,
+        );
+        client.barrier_round.store(granted, Ordering::SeqCst);
+        client.collect_round.store(granted, Ordering::SeqCst);
+        Ok((client, granted))
     }
 
     /// Wraps a pre-connected stream (pairs mode) and performs the
@@ -1991,6 +2225,20 @@ impl HubClient {
         let frame = ControlFrame::Trace {
             shard: self.shard as u32,
             records: records.to_vec(),
+        }
+        .encode();
+        let mut link = self.link.lock().expect("no poisoned link");
+        let _ = link.write_all(frame.as_slice()).and_then(|()| link.flush());
+    }
+
+    /// Streams one lifecycle event (checkpoint write/load/rejection) to
+    /// the hub, best effort — a lost event must never fail a run.
+    pub fn send_event(&self, round: u64, code: u8, detail: String) {
+        let frame = ControlFrame::Event {
+            shard: self.shard as u32,
+            round,
+            code,
+            detail,
         }
         .encode();
         let mut link = self.link.lock().expect("no poisoned link");
@@ -2206,7 +2454,8 @@ impl HubClient {
                 Ok(Wire::Control(
                     ControlFrame::Heartbeat { .. }
                     | ControlFrame::Stats { .. }
-                    | ControlFrame::Trace { .. },
+                    | ControlFrame::Trace { .. }
+                    | ControlFrame::Event { .. },
                 )) => {
                     // Worker-to-hub frames; a hub never sends them.
                 }
@@ -2394,7 +2643,7 @@ impl Transport for SocketTransport {
             health.absorb(client.health());
         }
         if let Some(hub) = &self.hub {
-            let (restarted, replayed, missed) = hub.recovery_counters();
+            let (restarted, replayed, missed, _) = hub.recovery_counters();
             health.workers_restarted += restarted;
             health.rounds_replayed += replayed;
             health.heartbeats_missed += missed;
@@ -2652,7 +2901,7 @@ mod tests {
             slots[0].as_ref().unwrap().as_slice(),
             data_frame(0, 0, 9).as_slice()
         );
-        let (restarted, _, _) = hub.recovery_counters();
+        let (restarted, _, _, _) = hub.recovery_counters();
         assert_eq!(restarted, 1, "the re-admission must be counted");
         assert!(client.health().frames_retried >= 1);
         drop(hub);
@@ -2690,7 +2939,7 @@ mod tests {
                 "round {round} after the restart"
             );
         }
-        let (restarted, replayed, _) = hub.recovery_counters();
+        let (restarted, replayed, _, _) = hub.recovery_counters();
         assert_eq!(restarted, 1, "one re-admission");
         assert_eq!(replayed, 2, "both committed rounds must be replayed");
         drop(hub);
@@ -2758,6 +3007,127 @@ mod tests {
         assert_eq!(tcp.to_string().parse::<HubAddr>().unwrap(), tcp);
         assert!("garbage".parse::<HubAddr>().is_err());
         assert!("tcp:not-an-addr".parse::<HubAddr>().is_err());
+    }
+
+    #[test]
+    fn an_undrained_relay_queue_breaches_the_cap_typed() {
+        // A destination whose writer never drains (too slow, or its
+        // worker never connected) accumulates relayed frames round
+        // after round. The cap must turn that silent growth into a
+        // typed fabric error naming the consumer — never an unbounded
+        // allocation. Driven against the relay state directly: rounds
+        // are committed by calling the barrier path for both shards, as
+        // the readers would, while nobody drains shard 1's queue.
+        let mut options = HubOptions::new(2, FAST);
+        options.queue_cap = 1024;
+        let (shared, receivers) = HubShared::new(&options);
+        let frame = data_frame(0, 1, 7);
+        let mut breach = None;
+        for round in 0..10_000u64 {
+            match shared.relay_data(0, 1, frame.clone()) {
+                Ok(()) => {
+                    // Commit the round so the next ship is not deduped
+                    // as an in-round duplicate or an echo.
+                    shared.on_barrier(0, round).unwrap();
+                    shared.on_barrier(1, round).unwrap();
+                }
+                Err(error) => {
+                    breach = Some(error);
+                    break;
+                }
+            }
+        }
+        match breach.expect("the cap must trip before 10k undrained rounds") {
+            SimError::Transport(TransportError {
+                shard,
+                cause: TransportCause::Io { detail },
+                ..
+            }) => {
+                assert_eq!(shard, 1, "the undrained destination gets the blame");
+                assert!(detail.contains(ENV_HUB_QUEUE_CAP), "{detail}");
+                assert!(detail.contains("shard 1"), "names the consumer: {detail}");
+            }
+            other => panic!("want a typed Io cap breach, got {other:?}"),
+        }
+        drop(receivers);
+    }
+
+    #[test]
+    fn a_checkpoint_resume_is_granted_and_skips_replayed_history() {
+        // The tentpole's O(interval) recovery, in miniature: three
+        // committed rounds, a crash, and a replacement that — unlike the
+        // from-scratch restart — presents a checkpoint at the committed
+        // frontier. The hub must grant the round and replay *nothing*.
+        let request = HubAddr::Unix(test_socket_path("resumeckpt"));
+        let (hub, addr) = Hub::listen(&request, 1, Duration::from_secs(5), None).unwrap();
+        let client = HubClient::connect(&addr, 0, 1, 0, Duration::from_secs(5)).unwrap();
+        for round in 0..3u8 {
+            client.send(0, data_frame(0, 0, round));
+            client.collect(&mut vec![None; 1]).unwrap();
+        }
+        drop(client); // the worker process dies
+        let (replacement, granted) =
+            HubClient::connect_resuming(&addr, 0, 1, 0, Duration::from_secs(5), 3).unwrap();
+        assert_eq!(granted, 3, "the hub honors the checkpoint round");
+        replacement.send(0, data_frame(0, 0, 33));
+        let mut slots = vec![None; 1];
+        replacement.collect(&mut slots).unwrap();
+        assert_eq!(
+            slots[0].as_ref().unwrap().as_slice(),
+            data_frame(0, 0, 33).as_slice(),
+            "the first collected frame is round 3's, not replayed history"
+        );
+        let (_, replayed, _, _) = hub.recovery_counters();
+        assert_eq!(replayed, 0, "nothing below the checkpoint round replays");
+        drop(hub);
+    }
+
+    #[test]
+    fn a_stale_resume_claim_falls_back_to_a_fresh_join() {
+        // A fresh hub (whole-run restart) has committed nothing; a
+        // worker clutching a checkpoint from the previous incarnation
+        // claims round 5. The refusal must stay connection-local — the
+        // client transparently downgrades to a round-0 join and the
+        // fabric keeps running.
+        let request = HubAddr::Unix(test_socket_path("staleresume"));
+        let (hub, addr) = Hub::listen(&request, 1, Duration::from_secs(5), None).unwrap();
+        let (client, granted) =
+            HubClient::connect_resuming(&addr, 0, 1, 0, Duration::from_secs(5), 5).unwrap();
+        assert_eq!(
+            granted, 0,
+            "the stale claim is refused, the join downgraded"
+        );
+        client.send(0, data_frame(0, 0, 7));
+        let mut slots = vec![None; 1];
+        client.collect(&mut slots).unwrap();
+        assert_eq!(
+            slots[0].as_ref().unwrap().as_slice(),
+            data_frame(0, 0, 7).as_slice()
+        );
+        drop(hub);
+    }
+
+    #[test]
+    fn worker_events_are_buffered_and_restores_counted() {
+        use crate::transport::control::{EVENT_CHECKPOINT_LOAD, EVENT_CHECKPOINT_REJECT};
+        let request = HubAddr::Unix(test_socket_path("events"));
+        let (hub, addr) = Hub::listen(&request, 1, Duration::from_secs(5), None).unwrap();
+        let client = HubClient::connect(&addr, 0, 1, 0, Duration::from_secs(5)).unwrap();
+        client.send_event(0, EVENT_CHECKPOINT_REJECT, "torn file".into());
+        client.send_event(3, EVENT_CHECKPOINT_LOAD, "resumed at round 3".into());
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut events = Vec::new();
+        while events.len() < 2 && Instant::now() < deadline {
+            events.extend(hub.take_worker_events());
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(events.len(), 2, "both events must buffer");
+        assert_eq!(events[0].code, EVENT_CHECKPOINT_REJECT);
+        assert_eq!(events[0].detail, "torn file");
+        assert_eq!(events[1].round, 3);
+        let (_, _, _, restores) = hub.recovery_counters();
+        assert_eq!(restores, 1, "only the load event counts as a restore");
+        drop(hub);
     }
 
     fn test_socket_path(tag: &str) -> PathBuf {

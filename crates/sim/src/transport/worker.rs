@@ -19,14 +19,21 @@
 //! [`run_worker`] returns the error — it never hangs and never panics on
 //! runtime failures.
 
+use std::path::PathBuf;
+
 use bytes::Bytes;
 use netdecomp_graph::{Graph, VertexId};
 
-use crate::engine::{compute_shard, Ctx, Protocol};
+use crate::checkpoint::{
+    decode_worker_payload, encode_worker_payload, load_newest_checkpoint, write_checkpoint,
+    Checkpoint,
+};
+use crate::engine::{compute_shard, Ctx, Protocol, Snapshot};
 use crate::frame::{FrameConfig, FrameEncoder, Transport};
 use crate::shard::{DeliveryShard, RouteIndex, Router, ShardPlan};
 use crate::{CongestLimit, Outbox, RunStats, SimError, TransportCause, TransportError};
 
+use super::control::{EVENT_CHECKPOINT_LOAD, EVENT_CHECKPOINT_REJECT, EVENT_CHECKPOINT_WRITE};
 use super::HubClient;
 
 /// What one worker needs to know to drive its shard.
@@ -52,6 +59,118 @@ pub struct WorkerReport {
     /// reports across workers; per-round message counts partition over
     /// sender shards).
     pub stats: RunStats,
+}
+
+/// A worker's checkpoint configuration plus whatever it recovered from
+/// disk *before* dialing the hub.
+///
+/// The resume round rides in the `Hello` frame, so the newest valid
+/// checkpoint must be loaded before the handshake — build the plan
+/// first, pass [`CheckpointPlan::resume_round`] to
+/// [`HubClient::connect_resuming`], [`reconcile`](Self::reconcile) the
+/// granted round, then hand the plan to [`run_worker_checkpointed`].
+/// Flight-recorder events staged while offline (one per rejected file,
+/// one for the winning load) are flushed to the hub right after the
+/// round loop connects.
+#[derive(Debug, Default)]
+pub struct CheckpointPlan {
+    /// Where checkpoints live; `None` disables both restore and writes.
+    dir: Option<PathBuf>,
+    /// Write a checkpoint every this many committed rounds (0 = never).
+    interval: u64,
+    /// The graph fingerprint stamped into every checkpoint header.
+    graph_digest: u64,
+    /// The newest on-disk checkpoint that survived validation, if any.
+    loaded: Option<Checkpoint>,
+    /// `(round, code, detail)` events staged for the flight recorder.
+    pending: Vec<(u64, u8, String)>,
+}
+
+impl CheckpointPlan {
+    /// Builds the plan from the launcher environment
+    /// (`NETDECOMP_CHECKPOINT_DIR` / `NETDECOMP_CHECKPOINT_INTERVAL`).
+    /// Disabled (a no-op plan) unless both are set and the interval is
+    /// positive. Only a *relaunched* worker (`ENV_ATTEMPT` > 0) scans
+    /// for checkpoints: a first launch is a fresh run, and any files
+    /// already in the directory are leftovers it must not resume from.
+    pub fn from_env(shard: usize, shards: usize, graph_digest: u64, rounds: usize) -> Self {
+        let interval = super::checkpoint_interval();
+        let dir = super::checkpoint_dir();
+        let mut plan = CheckpointPlan {
+            dir,
+            interval,
+            graph_digest,
+            loaded: None,
+            pending: Vec::new(),
+        };
+        if plan.interval == 0 {
+            plan.dir = None;
+            return plan;
+        }
+        let Some(dir) = plan.dir.as_deref() else {
+            return plan;
+        };
+        if crate::trace::worker_attempt() == 0 {
+            return plan;
+        }
+        let (loaded, rejected) =
+            load_newest_checkpoint(dir, shard, shards, graph_digest, rounds as u64);
+        for reject in rejected {
+            plan.pending.push((
+                0,
+                EVENT_CHECKPOINT_REJECT,
+                format!("{}: {}", reject.path.display(), reject.reason),
+            ));
+        }
+        if let Some(ckpt) = &loaded {
+            plan.pending.push((
+                ckpt.round,
+                EVENT_CHECKPOINT_LOAD,
+                format!(
+                    "{}: resuming at round {}",
+                    crate::checkpoint::checkpoint_path(dir, shard, ckpt.round).display(),
+                    ckpt.round
+                ),
+            ));
+        }
+        plan.loaded = loaded;
+        plan
+    }
+
+    /// The round this plan can resume from: the loaded checkpoint's cut,
+    /// or 0 when starting fresh. Pass it to
+    /// [`HubClient::connect_resuming`].
+    pub fn resume_round(&self) -> u64 {
+        self.loaded.as_ref().map_or(0, |c| c.round)
+    }
+
+    /// Reconciles the plan with the round the hub actually granted. A
+    /// grant below the checkpoint round means the hub refused the resume
+    /// (a fresh hub after a whole-run restart knows nothing of our
+    /// history — the checkpoint is stale) and admitted us at `granted`
+    /// instead; the restored state is discarded and the refusal staged
+    /// for the flight recorder. Determinism makes the discard safe: the
+    /// re-run recomputes bit-identical state.
+    pub fn reconcile(&mut self, granted: u64) {
+        let claimed = self.resume_round();
+        if granted >= claimed {
+            return;
+        }
+        self.loaded = None;
+        self.pending.push((
+            granted,
+            EVENT_CHECKPOINT_REJECT,
+            format!(
+                "stale resume: hub granted round {granted}, not the checkpoint's \
+                 round {claimed} — restarting from the granted round"
+            ),
+        ));
+    }
+
+    /// Whether the round loop should write checkpoints.
+    fn writes(&self) -> bool {
+        self.interval > 0 && self.dir.is_some()
+    }
 }
 
 /// Adapts a [`HubClient`] (one shard's fabric endpoint) to the
@@ -118,13 +237,158 @@ pub fn run_worker_reporting<P, F, D>(
     graph: &Graph,
     client: &HubClient,
     config: &WorkerConfig,
-    mut make_node: F,
+    make_node: F,
     digest_of: D,
 ) -> Result<(WorkerReport, Vec<P>), SimError>
 where
     P: Protocol,
     F: FnMut(VertexId, &Ctx<'_>) -> P,
     D: FnOnce(&[P]) -> u64,
+{
+    drive_worker(
+        graph,
+        client,
+        config,
+        make_node,
+        digest_of,
+        |_, _, _, _| Ok(0),
+        |_, _, _, _| (),
+    )
+}
+
+/// [`run_worker_reporting`] with deterministic checkpoint/restore: every
+/// `plan` interval rounds the worker writes its full round-boundary
+/// state (node snapshots, pending inbox, CONGEST counters, accumulated
+/// stats) to an atomically-renamed checkpoint file, and a relaunched
+/// worker whose plan recovered a checkpoint starts the round loop at the
+/// checkpoint round instead of round 0 — crash recovery costs one
+/// interval plus the replay window, not the whole run.
+///
+/// The caller must have dialed with
+/// [`HubClient::connect_resuming`]`(…, plan.resume_round())` and
+/// [`reconcile`](CheckpointPlan::reconcile)d the granted round: the hub
+/// only replays frames from the round the handshake claimed, so loop
+/// start and handshake round must agree.
+///
+/// # Errors
+///
+/// As [`run_worker`], plus a typed handshake error if the recovered
+/// checkpoint's payload does not overlay this worker's shard (a digest
+/// collision or a `Snapshot` impl that changed between builds — the
+/// handshake already promised the checkpoint round, so running from 0
+/// instead would desync the fabric).
+pub fn run_worker_checkpointed<P, F, D>(
+    graph: &Graph,
+    client: &HubClient,
+    config: &WorkerConfig,
+    plan: CheckpointPlan,
+    make_node: F,
+    digest_of: D,
+) -> Result<(WorkerReport, Vec<P>), SimError>
+where
+    P: Protocol + Snapshot,
+    F: FnMut(VertexId, &Ctx<'_>) -> P,
+    D: FnOnce(&[P]) -> u64,
+{
+    let writes = plan.writes();
+    let CheckpointPlan {
+        dir,
+        interval,
+        graph_digest,
+        mut loaded,
+        mut pending,
+    } = plan;
+    let me = config.shard;
+    let shards = config.shards;
+    drive_worker(
+        graph,
+        client,
+        config,
+        make_node,
+        digest_of,
+        |client: &HubClient,
+         nodes: &mut [P],
+         shard: &mut DeliveryShard,
+         report: &mut WorkerReport| {
+            // The fabric is up: flush the events staged while offline.
+            for (round, code, detail) in pending.drain(..) {
+                client.send_event(round, code, detail);
+            }
+            let Some(ckpt) = loaded.take() else {
+                return Ok(0);
+            };
+            if !decode_worker_payload(&ckpt.payload, nodes, shard, &mut report.stats) {
+                return Err(SimError::Transport(TransportError {
+                    shard: me,
+                    round: ckpt.round as usize,
+                    cause: TransportCause::Handshake {
+                        detail: format!(
+                            "checkpoint for round {} passed its digest but does not \
+                             overlay shard {me}'s state (mismatched build?)",
+                            ckpt.round
+                        ),
+                    },
+                }));
+            }
+            let start = ckpt.round as usize;
+            report.rounds_run = start;
+            Ok(start)
+        },
+        |client: &HubClient, nodes: &[P], shard: &DeliveryShard, report: &WorkerReport| {
+            if !writes || !(report.rounds_run as u64).is_multiple_of(interval) {
+                return;
+            }
+            let dir = dir.as_deref().expect("writes() checked dir");
+            let round = report.rounds_run as u64;
+            let ckpt = Checkpoint {
+                shard: me,
+                shards,
+                round,
+                graph_digest,
+                payload: encode_worker_payload(nodes, shard, &report.stats),
+            };
+            // Best-effort, like stats and traces: a full disk must not
+            // kill a healthy run, but the flight record names it.
+            match write_checkpoint(dir, &ckpt) {
+                Ok(path) => {
+                    client.send_event(round, EVENT_CHECKPOINT_WRITE, path.display().to_string());
+                }
+                Err(error) => {
+                    client.send_event(round, EVENT_CHECKPOINT_WRITE, format!("failed: {error}"));
+                }
+            }
+        },
+    )
+}
+
+/// The shared round loop behind [`run_worker_reporting`] and
+/// [`run_worker_checkpointed`]. `prologue` runs once after the shard
+/// state is built and returns the round to start from (restoring state
+/// and setting `report.rounds_run` if it resumes); `after_round` runs
+/// at every round boundary — `report.rounds_run` rounds are committed,
+/// `shard` holds the next round's pending inbox — which is exactly the
+/// consistent cut a checkpoint captures.
+#[allow(clippy::too_many_arguments)]
+fn drive_worker<P, F, D, R, A>(
+    graph: &Graph,
+    client: &HubClient,
+    config: &WorkerConfig,
+    mut make_node: F,
+    digest_of: D,
+    prologue: R,
+    mut after_round: A,
+) -> Result<(WorkerReport, Vec<P>), SimError>
+where
+    P: Protocol,
+    F: FnMut(VertexId, &Ctx<'_>) -> P,
+    D: FnOnce(&[P]) -> u64,
+    R: FnOnce(
+        &HubClient,
+        &mut [P],
+        &mut DeliveryShard,
+        &mut WorkerReport,
+    ) -> Result<usize, SimError>,
+    A: FnMut(&HubClient, &[P], &DeliveryShard, &WorkerReport),
 {
     let plan = ShardPlan::degree_balanced(graph, config.shards);
     if plan.count() != config.shards || config.shard >= config.shards {
@@ -181,7 +445,12 @@ where
         }
     };
 
-    for round in 0..config.rounds {
+    let start = match prologue(client, &mut nodes, &mut shard, &mut report) {
+        Ok(start) => start,
+        Err(error) => return Err(fail(client, error)),
+    };
+
+    for round in start..config.rounds {
         if let Some(error) = client.remote_error() {
             client.send_shutdown();
             return Err(error);
@@ -224,6 +493,7 @@ where
         }
         report.stats.absorb(shard.stats);
         report.rounds_run += 1;
+        after_round(client, &nodes, &shard, &report);
     }
     client.send_stats(report.rounds_run as u64, digest_of(&nodes), &report.stats);
     client.send_shutdown();

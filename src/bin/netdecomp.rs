@@ -5,6 +5,7 @@
 //!           [--lambda L] [--seed S] [--assignment] [--json]
 //! netdecomp <file> --distributed N [--rounds R] [--max-restarts M]
 //!           [--heartbeat-ms H] [--timeout-ms T] [--hub-addr ADDR]
+//!           [--checkpoint-dir DIR] [--checkpoint-interval N]
 //!           [--json] [--trace-out FILE]
 //! netdecomp <file> --worker            # spawned by --distributed
 //! ```
@@ -42,6 +43,17 @@
 //! the shard from outside when it reaches that round;
 //! `NETDECOMP_CHAOS_SLOW_MS=<ms>` slows every round of every worker.
 //!
+//! Crash recovery in O(interval): `--checkpoint-interval N` (or
+//! `NETDECOMP_CHECKPOINT_INTERVAL`) has every worker write a checksummed
+//! checkpoint of its shard — protocol state, pending inbox, CONGEST
+//! counters, stats — every `N` committed rounds, into `--checkpoint-dir`
+//! (`NETDECOMP_CHECKPOINT_DIR`; a temp dir is provisioned when unset). A
+//! relaunched worker resumes from its newest *valid* checkpoint (torn or
+//! corrupt files are digest-rejected and skipped, never trusted) and
+//! re-handshakes at that round, so the hub's replay log only has to
+//! cover one interval — a crash older than the replay window no longer
+//! forces a whole-run restart.
+//!
 //! Observability: `--trace-out FILE` enables the trace plane
 //! (`NETDECOMP_TRACE=1` + `NETDECOMP_TRACE_OUT`, inherited by every
 //! worker) and has the supervisor dump a flight-recorder JSONL timeline
@@ -56,10 +68,13 @@ use bytes::Bytes;
 use netdecomp::baselines::linial_saks;
 use netdecomp::core::{basic, high_radius, params, staged, verify, NetworkDecomposition};
 use netdecomp::graph::{io, Graph};
-use netdecomp::sim::transport::{launcher, run_worker_reporting, WorkerConfig};
+use netdecomp::sim::transport::{
+    checkpoint_dir, checkpoint_interval, launcher, run_worker_checkpointed, CheckpointPlan,
+    WorkerConfig,
+};
 use netdecomp::sim::{
     frame_timeout, graph_digest, replay_window, CongestLimit, Ctx, HubAddr, HubClient, Inbox,
-    Outbox, Protocol, RunStats, ShardPlan, Simulator,
+    Outbox, Protocol, RunStats, ShardPlan, Simulator, Snapshot,
 };
 
 struct Options {
@@ -79,6 +94,8 @@ struct Options {
     hub_addr: Option<String>,
     json: bool,
     trace_out: Option<String>,
+    checkpoint_dir: Option<String>,
+    checkpoint_interval: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -87,6 +104,7 @@ fn usage() -> ! {
          [--k K] [--c C] [--lambda L] [--seed S] [--assignment] [--json]\n\
          \x20      netdecomp <file> --distributed N [--rounds R] [--max-restarts M]\n\
          \x20                [--heartbeat-ms H] [--timeout-ms T] [--hub-addr ADDR]\n\
+         \x20                [--checkpoint-dir DIR] [--checkpoint-interval N]\n\
          \x20                [--json] [--trace-out FILE]"
     );
     std::process::exit(2)
@@ -110,6 +128,8 @@ fn parse_args() -> Options {
         hub_addr: std::env::var("NETDECOMP_HUB_ADDR").ok(),
         json: false,
         trace_out: None,
+        checkpoint_dir: None,
+        checkpoint_interval: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -129,6 +149,10 @@ fn parse_args() -> Options {
             "--hub-addr" => opts.hub_addr = Some(args.next().unwrap_or_else(|| usage())),
             "--json" => opts.json = true,
             "--trace-out" => opts.trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--checkpoint-interval" => opts.checkpoint_interval = Some(parse_or_usage(args.next())),
             "--help" | "-h" => usage(),
             other if opts.input.is_empty() && !other.starts_with("--") => {
                 opts.input = other.to_string();
@@ -216,6 +240,20 @@ impl Protocol for Flood {
     }
 }
 
+impl Snapshot for Flood {
+    fn save_state(&self) -> Bytes {
+        Bytes::from(self.best.to_le_bytes().to_vec())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        let Ok(raw) = <[u8; 8]>::try_from(bytes) else {
+            return false;
+        };
+        self.best = u64::from_le_bytes(raw);
+        true
+    }
+}
+
 /// FNV-1a over a shard's flood states, the worker's one-frame proof of
 /// what it computed (the parent recomputes it sequentially).
 fn digest_bests(bests: impl Iterator<Item = u64>) -> u64 {
@@ -298,6 +336,19 @@ impl ChaosFlood {
     }
 }
 
+/// Only the protocol state checkpoints: the chaos schedule is
+/// configuration (and a relaunched worker runs with the one-shot hooks
+/// stripped anyway), so a restored carrier simply stops counting.
+impl Snapshot for ChaosFlood {
+    fn save_state(&self) -> Bytes {
+        self.inner.save_state()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        self.inner.load_state(bytes)
+    }
+}
+
 impl Protocol for ChaosFlood {
     fn start(&mut self, ctx: &Ctx<'_>, out: &mut Outbox) {
         self.chaos(0);
@@ -329,7 +380,21 @@ fn worker_main(graph: &Graph) -> Result<(), Box<dyn std::error::Error>> {
     let addr: HubAddr = std::env::var(launcher::ENV_ADDR)
         .map_err(|_| format!("worker mode needs {}", launcher::ENV_ADDR))?
         .parse()?;
-    let client = HubClient::connect(&addr, shard, shards, graph_digest(graph), frame_timeout())?;
+    let digest = graph_digest(graph);
+    // The checkpoint must be loaded *before* the handshake — the resume
+    // round rides in the Hello frame. A stale claim (fresh hub after a
+    // whole-run restart) is granted round 0 instead; reconcile discards
+    // the restored state and the run recomputes from scratch.
+    let mut plan = CheckpointPlan::from_env(shard, shards, digest, rounds);
+    let (client, granted) = HubClient::connect_resuming(
+        &addr,
+        shard,
+        shards,
+        digest,
+        frame_timeout(),
+        plan.resume_round(),
+    )?;
+    plan.reconcile(granted);
     if std::env::var("NETDECOMP_WORKER_ABORT").ok() == Some(shard.to_string()) {
         // Fault hook: die after the handshake without a shutdown frame,
         // exactly like a crashed worker. Peers must get a typed error.
@@ -348,17 +413,18 @@ fn worker_main(graph: &Graph) -> Result<(), Box<dyn std::error::Error>> {
         rounds,
         limit: CongestLimit::Unlimited,
     };
-    let plan = ChaosPlan::from_env(shard);
+    let chaos = ChaosPlan::from_env(shard);
     let mut first = true;
-    let (report, nodes) = run_worker_reporting(
+    let (report, nodes) = run_worker_checkpointed(
         graph,
         &client,
         &config,
+        plan,
         |id, _ctx| ChaosFlood {
             inner: Flood { best: id as u64 },
             carrier: std::mem::take(&mut first),
             round: 0,
-            plan,
+            plan: chaos,
         },
         |nodes| digest_bests(nodes.iter().map(|n| n.inner.best)),
     )?;
@@ -397,6 +463,21 @@ fn distributed_main(opts: &Options, graph: &Graph) -> Result<(), Box<dyn std::er
     }) {
         options.kill_at = Some((shard, round));
     }
+    // Checkpointing: with an interval set (flag or environment) every
+    // worker checkpoints its shard each interval rounds. A directory is
+    // provisioned under the temp dir when none was named; an explicit
+    // one is created if missing and kept afterwards.
+    let ckpt_interval = checkpoint_interval();
+    let provisioned = ckpt_interval > 0 && checkpoint_dir().is_none();
+    let ckpt_dir = if ckpt_interval > 0 {
+        let dir = checkpoint_dir().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("netdecomp-ckpt-{}", std::process::id()))
+        });
+        std::fs::create_dir_all(&dir)?;
+        Some(dir)
+    } else {
+        None
+    };
     let exe = std::env::current_exe()?;
     let report = launcher::supervise(&options, |shard, addr, attempt| {
         let mut cmd = std::process::Command::new(&exe);
@@ -419,6 +500,10 @@ fn distributed_main(opts: &Options, graph: &Graph) -> Result<(), Box<dyn std::er
             // under supervision, so don't create any.
             .stdout(std::process::Stdio::null())
             .stderr(std::process::Stdio::null());
+        if let Some(dir) = &ckpt_dir {
+            cmd.env(launcher::ENV_CHECKPOINT_DIR, dir)
+                .env(launcher::ENV_CHECKPOINT_INTERVAL, ckpt_interval.to_string());
+        }
         if attempt > 0 {
             // One-shot chaos: a relaunched worker runs clean, so the
             // crash/wedge it is recovering from cannot recur forever.
@@ -469,7 +554,8 @@ fn distributed_main(opts: &Options, graph: &Graph) -> Result<(), Box<dyn std::er
             "{{\"type\":\"distributed_summary\",\"shards\":{shards},\"vertices\":{},\
              \"rounds\":{},\"matches_sequential\":{all_match},\"workers\":[{}],\
              \"recovery\":{{\"workers_restarted\":{},\"rounds_replayed\":{},\
-             \"heartbeats_missed\":{},\"full_run_restarts\":{}}},\
+             \"heartbeats_missed\":{},\"full_run_restarts\":{},\
+             \"checkpoint_restores\":{}}},\
              \"stats\":{{\"rounds\":{},\"total_messages\":{},\"total_bytes\":{},\
              \"max_edge_bytes\":{}}},\"trace_out\":{}}}",
             graph.vertex_count(),
@@ -479,6 +565,7 @@ fn distributed_main(opts: &Options, graph: &Graph) -> Result<(), Box<dyn std::er
             report.rounds_replayed,
             report.heartbeats_missed,
             report.full_run_restarts,
+            report.checkpoint_restores,
             merged.rounds,
             merged.total_messages,
             merged.total_bytes,
@@ -488,11 +575,13 @@ fn distributed_main(opts: &Options, graph: &Graph) -> Result<(), Box<dyn std::er
         );
     } else {
         println!(
-            "recovery: readmissions={} rounds_replayed={} heartbeats_missed={} full_run_restarts={}",
+            "recovery: readmissions={} rounds_replayed={} heartbeats_missed={} \
+             full_run_restarts={} checkpoint_restores={}",
             report.workers_restarted,
             report.rounds_replayed,
             report.heartbeats_missed,
-            report.full_run_restarts
+            report.full_run_restarts,
+            report.checkpoint_restores
         );
         println!(
             "distributed: {shards} workers over {} vertices, rounds={}, {} messages, \
@@ -507,6 +596,13 @@ fn distributed_main(opts: &Options, graph: &Graph) -> Result<(), Box<dyn std::er
     }
     if !all_match {
         return Err("distributed run diverged from the sequential engine".into());
+    }
+    if provisioned {
+        // Our temp checkpoint dir served its run; an explicitly named
+        // one (or any dir after a failure) is left for forensics.
+        if let Some(dir) = &ckpt_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
     }
     Ok(())
 }
@@ -527,6 +623,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // flight recording here on completion or failure.
         std::env::set_var("NETDECOMP_TRACE_OUT", path);
         std::env::set_var("NETDECOMP_TRACE", "1");
+    }
+    // Checkpoint knobs pin the environment the same way --timeout-ms
+    // does, so the supervisor and every worker it spawns agree.
+    if let Some(n) = opts.checkpoint_interval {
+        std::env::set_var(launcher::ENV_CHECKPOINT_INTERVAL, n.to_string());
+    }
+    if let Some(dir) = &opts.checkpoint_dir {
+        std::env::set_var(launcher::ENV_CHECKPOINT_DIR, dir);
     }
     let graph = read_graph(&opts.input)?;
     if opts.worker {

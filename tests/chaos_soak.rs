@@ -249,17 +249,113 @@ fn an_exhausted_restart_budget_is_a_typed_error_naming_the_shard() {
 }
 
 #[test]
+fn a_deep_crash_with_checkpointing_heals_without_a_whole_run_restart() {
+    // The same deep crash as the whole-run-restart test below — round 9
+    // with only 2 rounds of replay history — but with checkpointing at
+    // interval 3. The crashed worker's newest checkpoint (round 9) is
+    // inside the hub's replay window, so it resumes in O(interval):
+    // recovery must go through a checkpoint restore, never the
+    // O(run-length) whole-run fallback.
+    let graph = ladder_file("soak-ckpt-heal", 30);
+    let ckpt_dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("soak-ckpt-heal-{}", std::process::id()));
+    std::fs::create_dir_all(&ckpt_dir).unwrap();
+    let (output, _) = supervised_run(
+        &graph,
+        &[
+            ("NETDECOMP_CHAOS_CRASH", "1:9".into()),
+            ("NETDECOMP_REPLAY_WINDOW", "2".into()),
+            ("NETDECOMP_CHECKPOINT_DIR", ckpt_dir.display().to_string()),
+            ("NETDECOMP_CHECKPOINT_INTERVAL", "3".into()),
+            ("NETDECOMP_FRAME_TIMEOUT_MS", "2000".into()),
+        ],
+    );
+    assert_healed(&output, "checkpointed deep crash 1:9");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert_eq!(
+        recovery_counter(&output, "full_run_restarts"),
+        0,
+        "a checkpointed worker must never need the whole-run fallback:\n{stdout}"
+    );
+    assert!(
+        recovery_counter(&output, "checkpoint_restores") >= 1,
+        "recovery must have gone through a checkpoint restore:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}
+
+#[test]
+fn a_torn_checkpoint_is_rejected_by_digest_and_reported_in_the_flight_record() {
+    // A torn/corrupt checkpoint file — here outright garbage claiming to
+    // be the newest round — must be detected by the digest check,
+    // skipped in favor of the previous valid checkpoint, and reported as
+    // a typed rejection in the JSONL flight record. Never trusted, never
+    // a hang, never a wrong answer.
+    let graph = ladder_file("soak-ckpt-torn", 30);
+    let tmp = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let ckpt_dir = tmp.join(format!("soak-ckpt-torn-{}", std::process::id()));
+    std::fs::create_dir_all(&ckpt_dir).unwrap();
+    // Round 12 outranks every checkpoint the run can write before the
+    // crash, so the resuming worker must try (and reject) it first.
+    std::fs::write(
+        ckpt_dir.join("ckpt-s1-r00000012.ndk"),
+        b"not a checkpoint at all",
+    )
+    .unwrap();
+    let dump = tmp.join(format!("soak-ckpt-torn-{}.jsonl", std::process::id()));
+    let (output, _) = supervised_run(
+        &graph,
+        &[
+            ("NETDECOMP_CHAOS_CRASH", "1:9".into()),
+            ("NETDECOMP_REPLAY_WINDOW", "2".into()),
+            ("NETDECOMP_CHECKPOINT_DIR", ckpt_dir.display().to_string()),
+            ("NETDECOMP_CHECKPOINT_INTERVAL", "3".into()),
+            ("NETDECOMP_FRAME_TIMEOUT_MS", "2000".into()),
+            ("NETDECOMP_TRACE", "1".into()),
+            ("NETDECOMP_TRACE_OUT", dump.display().to_string()),
+        ],
+    );
+    assert_healed(&output, "torn checkpoint crash 1:9");
+    assert!(
+        recovery_counter(&output, "checkpoint_restores") >= 1,
+        "the previous valid checkpoint must still carry the restore:\n{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let recording = std::fs::read_to_string(&dump)
+        .unwrap_or_else(|e| panic!("the flight recording {} must exist: {e}", dump.display()));
+    assert!(
+        recording
+            .lines()
+            .any(|line| line.contains("\"kind\":\"checkpoint_reject\"")
+                && line.contains("ckpt-s1-r00000012.ndk")),
+        "the rejection must be in the flight record, naming the torn file:\n{recording}"
+    );
+    assert!(
+        recording
+            .lines()
+            .any(|line| line.contains("\"kind\":\"checkpoint_load\"")),
+        "the fallback load must be in the flight record too:\n{recording}"
+    );
+    let _ = std::fs::remove_file(&dump);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}
+
+#[test]
 fn a_crash_outside_the_replay_window_restarts_the_whole_run() {
     // With the replay log clamped to 2 rounds, a crash at round 9 needs
     // history the hub has evicted. Per-worker recovery is refused and
     // the supervisor falls back to restarting the entire run — which
     // (chaos disarmed on re-attempts) then completes bit-identically.
+    // Checkpointing is pinned off: this test is about the fallback that
+    // remains when there is no checkpoint to resume from (the CI
+    // checkpointed row exports NETDECOMP_CHECKPOINT_INTERVAL globally).
     let graph = ladder_file("soak-evicted", 30);
     let (output, _) = supervised_run(
         &graph,
         &[
             ("NETDECOMP_CHAOS_CRASH", "1:9".into()),
             ("NETDECOMP_REPLAY_WINDOW", "2".into()),
+            ("NETDECOMP_CHECKPOINT_INTERVAL", "0".into()),
             ("NETDECOMP_FRAME_TIMEOUT_MS", "2000".into()),
         ],
     );
